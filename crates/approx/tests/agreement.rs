@@ -1,0 +1,132 @@
+//! Approximate engines validated against exact values on paper scenarios.
+
+use bayonet_approx::{rejection, smc, ApproxOptions};
+use bayonet_lang::parse;
+use bayonet_net::{compile, scheduler_for, Model};
+
+fn model(src: &str) -> Model {
+    compile(&parse(src).unwrap()).unwrap()
+}
+
+fn opts(particles: usize, seed: u64) -> ApproxOptions {
+    ApproxOptions {
+        particles,
+        seed,
+        ..Default::default()
+    }
+}
+
+const RELIABILITY_SRC: &str = r#"
+    packet_fields { dst }
+    topology {
+        nodes { H0, S0, S1, S2, S3, H1 }
+        links {
+            (H0, pt1) <-> (S0, pt1),
+            (S0, pt2) <-> (S1, pt1),
+            (S0, pt3) <-> (S2, pt1),
+            (S1, pt2) <-> (S3, pt1),
+            (S2, pt2) <-> (S3, pt2),
+            (S3, pt3) <-> (H1, pt1)
+        }
+    }
+    programs { H0 -> h0, S0 -> s0, S1 -> s1, S2 -> s2, S3 -> s3, H1 -> h1 }
+    init { packet -> (H0, pt1); }
+    query probability(arrived@H1);
+
+    def h0(pkt, pt) { fwd(1); }
+    def s0(pkt, pt) { if flip(1/2) { fwd(2); } else { fwd(3); } }
+    def s1(pkt, pt) { fwd(2); }
+    def s2(pkt, pt) state failing(2) {
+        if failing == 2 { failing = flip(1/10); }
+        if failing == 1 { drop; } else { fwd(2); }
+    }
+    def s3(pkt, pt) { fwd(3); }
+    def h1(pkt, pt) state arrived(0) { arrived = 1; drop; }
+"#;
+
+#[test]
+fn smc_matches_exact_reliability() {
+    // p_fail = 1/10 here so the failure mode actually shows up in a
+    // modest sample: exact reliability = 1 - 1/2 * 1/10 = 0.95.
+    let m = model(RELIABILITY_SRC);
+    let est = smc(&m, &*scheduler_for(&m), &m.queries[0], &opts(3000, 7)).unwrap();
+    assert!((est.value - 0.95).abs() < 0.02, "estimate {est}");
+    assert_eq!(est.z_estimate, 1.0); // no observations
+}
+
+#[test]
+fn rejection_matches_exact_reliability() {
+    let m = model(RELIABILITY_SRC);
+    let est = rejection(&m, &*scheduler_for(&m), &m.queries[0], &opts(3000, 11)).unwrap();
+    assert!((est.value - 0.95).abs() < 0.02, "estimate {est}");
+}
+
+#[test]
+fn smc_expectation_matches_gossip_k4() {
+    // E[#infected] = 94/27 ≈ 3.4815 (paper §5.3, Table 1 approx ≈ 3.476).
+    let mut links = Vec::new();
+    for i in 0..4u32 {
+        for j in (i + 1)..4u32 {
+            links.push(format!("(S{i}, pt{j}) <-> (S{j}, pt{})", i + 1));
+        }
+    }
+    let src = format!(
+        r#"
+        packet_fields {{ dst }}
+        topology {{ nodes {{ S0, S1, S2, S3 }} links {{ {links} }} }}
+        programs {{ S0 -> seed, S1 -> gossip, S2 -> gossip, S3 -> gossip }}
+        init {{ packet -> (S0, pt1); }}
+        query expectation(infected@S0 + infected@S1 + infected@S2 + infected@S3);
+        def seed(pkt, pt) state infected(0) {{
+            if infected == 0 {{ infected = 1; fwd(uniformInt(1, 3)); }} else {{ drop; }}
+        }}
+        def gossip(pkt, pt) state infected(0) {{
+            if infected == 0 {{
+                infected = 1; dup;
+                fwd(uniformInt(1, 3)); fwd(uniformInt(1, 3));
+            }} else {{ drop; }}
+        }}
+        "#,
+        links = links.join(", ")
+    );
+    let m = model(&src);
+    let est = smc(&m, &*scheduler_for(&m), &m.queries[0], &opts(2000, 3)).unwrap();
+    assert!((est.value - 94.0 / 27.0).abs() < 0.1, "estimate {est}");
+}
+
+#[test]
+fn smc_handles_observations() {
+    // Prior coin(1/3); observation passes surely when heads, w.p. 1/2
+    // otherwise: posterior P(heads) = 1/2; Z = 1/3 + 2/3 * 1/2 = 2/3.
+    let src = r#"
+        packet_fields { dst }
+        topology { nodes { A, B } links { (A, pt1) <-> (B, pt1) } }
+        programs { A -> a, B -> b }
+        init { packet -> (A, pt1); }
+        query probability(coin@A == 1);
+        def a(pkt, pt) state coin(flip(1/3)) {
+            observe(coin == 1 or flip(1/2));
+            drop;
+        }
+        def b(pkt, pt) { drop; }
+    "#;
+    let m = model(src);
+    let est = smc(&m, &*scheduler_for(&m), &m.queries[0], &opts(4000, 13)).unwrap();
+    assert!((est.value - 0.5).abs() < 0.04, "estimate {est}");
+    assert!((est.z_estimate - 2.0 / 3.0).abs() < 0.05, "Z {est:?}");
+
+    let est = rejection(&m, &*scheduler_for(&m), &m.queries[0], &opts(4000, 17)).unwrap();
+    assert!((est.value - 0.5).abs() < 0.04, "estimate {est}");
+    assert!((est.z_estimate - 2.0 / 3.0).abs() < 0.05, "Z {est:?}");
+}
+
+#[test]
+fn seeded_runs_are_reproducible() {
+    let m = model(RELIABILITY_SRC);
+    let a = smc(&m, &*scheduler_for(&m), &m.queries[0], &opts(500, 42)).unwrap();
+    let b = smc(&m, &*scheduler_for(&m), &m.queries[0], &opts(500, 42)).unwrap();
+    assert_eq!(a.value, b.value);
+    let c = smc(&m, &*scheduler_for(&m), &m.queries[0], &opts(500, 43)).unwrap();
+    // Different seeds almost surely differ on a continuous-ish estimate.
+    assert!(a.value != c.value || a.std_error != c.std_error);
+}

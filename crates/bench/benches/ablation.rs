@@ -1,0 +1,83 @@
+//! Ablation benchmarks: configuration merging, FM pruning, backend choice,
+//! and SMC particle counts (see `bin/ablations` for one-shot reports).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bayonet::{scenarios, ApproxOptions, ExactOptions, Sched};
+
+fn bench_merging(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/merging");
+    group.sample_size(10);
+    // K3 keeps the merge-off trace enumeration tractable inside a bench.
+    let k3 = scenarios::gossip(3, Sched::Uniform).unwrap();
+    for merge in [true, false] {
+        let opts = ExactOptions {
+            merge_configs: merge,
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::new("gossip_k3", merge), &opts, |b, opts| {
+            b.iter(|| k3.exact_with(opts).unwrap().results[0].rat().clone())
+        });
+    }
+    group.finish();
+}
+
+fn bench_fm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/fm_pruning");
+    group.sample_size(10);
+    let network = scenarios::congestion_example_symbolic(Sched::Uniform).unwrap();
+    for fm in [true, false] {
+        let opts = ExactOptions {
+            fm_pruning: fm,
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::new("symbolic_congestion", fm), &opts, |b, opts| {
+            b.iter(|| k_cells(&network, opts))
+        });
+    }
+    group.finish();
+}
+
+fn k_cells(network: &bayonet::Network, opts: &ExactOptions) -> usize {
+    network.exact_with(opts).unwrap().results[0].cells.len()
+}
+
+fn bench_backend(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/backend");
+    group.sample_size(10);
+    let network =
+        scenarios::reliability_chain(1, &bayonet::Rat::ratio(1, 1000), Sched::Uniform).unwrap();
+    group.bench_function("direct_exact", |b| {
+        b.iter(|| network.exact().unwrap().results[0].rat().clone())
+    });
+    group.bench_function("mini_psi_traces", |b| {
+        b.iter(|| network.infer_via_psi(0).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_particles(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/particles");
+    group.sample_size(10);
+    let network = scenarios::congestion_example(Sched::Uniform).unwrap();
+    for particles in [100usize, 1000, 10000] {
+        let opts = ApproxOptions {
+            particles,
+            seed: 7,
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::new("smc", particles), &opts, |b, opts| {
+            b.iter(|| network.smc(0, opts).unwrap().value)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_merging,
+    bench_fm,
+    bench_backend,
+    bench_particles
+);
+criterion_main!(benches);

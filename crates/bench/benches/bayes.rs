@@ -1,0 +1,35 @@
+//! Benchmarks for the §5.5 Bayesian-reasoning scenarios: forwarding-strategy
+//! inference (Figure 13) and load-balancing hash diagnosis (Figure 11(d)).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bayonet::scenarios::{
+    bad_hash_posterior, load_balancing, reliability_strategy, strategy_posterior, LB_OBS_GOOD,
+};
+
+fn bench_bayes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sec55/bayes");
+    group.sample_size(10);
+
+    let strat = reliability_strategy(&[1, 2, 3]).unwrap();
+    group.bench_function("strategy_posterior_123", |b| {
+        b.iter(|| strategy_posterior(&strat).unwrap())
+    });
+
+    let strat13 = reliability_strategy(&[1, 3]).unwrap();
+    group.bench_function("strategy_posterior_13", |b| {
+        b.iter(|| strategy_posterior(&strat13).unwrap())
+    });
+
+    // The load-balancing posterior is the heaviest exact workload
+    // (~seconds per run); keep the shorter evidence sequence here.
+    let lb = load_balancing(LB_OBS_GOOD).unwrap();
+    group.bench_function("load_balancing_posterior", |b| {
+        b.iter(|| bad_hash_posterior(&lb).unwrap())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_bayes);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Benchmarks for Table 1's congestion rows: exact and SMC inference on the
+//! §2 example (5 nodes), the 6-node diamond, and the 30-node deterministic
+//! chain.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bayonet::{scenarios, ApproxOptions, Sched};
+
+fn bench_congestion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/congestion");
+    group.sample_size(10);
+
+    let uni5 = scenarios::congestion_example(Sched::Uniform).unwrap();
+    group.bench_function("exact_uniform_5", |b| {
+        b.iter(|| uni5.exact().unwrap().results[0].rat().clone())
+    });
+
+    let det5 = scenarios::congestion_example(Sched::Deterministic).unwrap();
+    group.bench_function("exact_det_5", |b| {
+        b.iter(|| det5.exact().unwrap().results[0].rat().clone())
+    });
+
+    let uni6 = scenarios::congestion_chain(1, Sched::Uniform).unwrap();
+    group.bench_function("exact_uniform_6", |b| {
+        b.iter(|| uni6.exact().unwrap().results[0].rat().clone())
+    });
+
+    let det30 = scenarios::congestion_chain(7, Sched::Deterministic).unwrap();
+    group.bench_function("exact_det_30", |b| {
+        b.iter(|| det30.exact().unwrap().results[0].rat().clone())
+    });
+
+    let opts = ApproxOptions {
+        particles: 1000,
+        seed: 1,
+        ..Default::default()
+    };
+    group.bench_function("smc1000_uniform_5", |b| {
+        b.iter(|| uni5.smc(0, &opts).unwrap().value)
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_congestion);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Benchmarks for Table 1's gossip rows: expected epidemic spread on
+//! complete graphs — exact on K4 (94/27), SMC on the paper's K20/K30.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bayonet::{scenarios, ApproxOptions, Sched};
+
+fn bench_gossip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/gossip");
+    group.sample_size(10);
+
+    let k4 = scenarios::gossip(4, Sched::Uniform).unwrap();
+    group.bench_function("exact_k4_uniform", |b| {
+        b.iter(|| k4.exact().unwrap().results[0].rat().clone())
+    });
+
+    let k4det = scenarios::gossip(4, Sched::Deterministic).unwrap();
+    group.bench_function("exact_k4_det", |b| {
+        b.iter(|| k4det.exact().unwrap().results[0].rat().clone())
+    });
+
+    let opts = ApproxOptions {
+        particles: 1000,
+        seed: 1,
+        ..Default::default()
+    };
+    let k20 = scenarios::gossip(20, Sched::Uniform).unwrap();
+    group.bench_function("smc1000_k20", |b| {
+        b.iter(|| k20.smc(0, &opts).unwrap().value)
+    });
+
+    let k30 = scenarios::gossip(30, Sched::Uniform).unwrap();
+    group.bench_function("smc1000_k30", |b| {
+        b.iter(|| k30.smc(0, &opts).unwrap().value)
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_gossip);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Benchmarks for Table 1's reliability rows: packet-delivery probability on
+//! chains of failing diamonds (6 and 30 nodes), exact and SMC.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bayonet::{scenarios, ApproxOptions, Rat, Sched};
+
+fn bench_reliability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/reliability");
+    group.sample_size(10);
+    let p_fail = Rat::ratio(1, 1000);
+
+    let six = scenarios::reliability_chain(1, &p_fail, Sched::Uniform).unwrap();
+    group.bench_function("exact_6", |b| {
+        b.iter(|| six.exact().unwrap().results[0].rat().clone())
+    });
+
+    let thirty = scenarios::reliability_chain(7, &p_fail, Sched::Uniform).unwrap();
+    group.bench_function("exact_30", |b| {
+        b.iter(|| thirty.exact().unwrap().results[0].rat().clone())
+    });
+
+    let opts = ApproxOptions {
+        particles: 1000,
+        seed: 1,
+        ..Default::default()
+    };
+    group.bench_function("smc1000_6", |b| b.iter(|| six.smc(0, &opts).unwrap().value));
+    group.bench_function("smc1000_30", |b| {
+        b.iter(|| thirty.smc(0, &opts).unwrap().value)
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_reliability);
+criterion_main!(benches);

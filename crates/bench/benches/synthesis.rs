@@ -1,0 +1,25 @@
+//! Benchmark for Figure 3 / §2.3: exact symbolic inference over the three
+//! OSPF cost parameters, piecewise answer extraction, and witness synthesis.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bayonet::{scenarios, synthesize, Objective, Sched};
+
+fn bench_synthesis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3/synthesis");
+    group.sample_size(10);
+
+    let network = scenarios::congestion_example_symbolic(Sched::Uniform).unwrap();
+    group.bench_function("symbolic_congestion_full", |b| {
+        b.iter(|| {
+            let s = synthesize(&network, 0, Objective::Minimize).unwrap();
+            assert_eq!(s.result.cells.len(), 3);
+            s.value
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_synthesis);
+criterion_main!(benches);

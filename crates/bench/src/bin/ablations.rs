@@ -1,0 +1,142 @@
+//! Ablation studies for the design choices called out in DESIGN.md:
+//!
+//! 1. **Configuration merging** (the Markov-chain view) on/off — why the
+//!    exact engine scales.
+//! 2. **Fourier–Motzkin pruning** of symbolic branches on/off.
+//! 3. **SMC particle count** sweep — accuracy vs time (the WebPPL knob).
+//! 4. **Scheduler choice** — uniform vs deterministic vs weighted on the
+//!    congestion example (§5.1's discussion).
+//! 5. **Backend** — direct exact engine vs translated mini-PSI trace
+//!    enumeration.
+//!
+//! Run with: `cargo run --release -p bayonet-bench --bin ablations`
+
+use std::time::Instant;
+
+use bayonet::{scenarios, ApproxOptions, ExactOptions, Rat, Sched, WeightedScheduler};
+use bayonet_bench::fmt_duration;
+
+fn main() -> Result<(), bayonet::Error> {
+    merging_ablation()?;
+    fm_pruning_ablation()?;
+    particle_sweep()?;
+    scheduler_comparison()?;
+    backend_comparison()?;
+    Ok(())
+}
+
+fn merging_ablation() -> Result<(), bayonet::Error> {
+    println!("— Ablation 1: configuration merging (gossip K4, uniform) —");
+    let network = scenarios::gossip(4, Sched::Uniform)?;
+    for merge in [true, false] {
+        let opts = ExactOptions {
+            merge_configs: merge,
+            ..Default::default()
+        };
+        let t0 = Instant::now();
+        let report = network.exact_with(&opts)?;
+        println!(
+            "  merge={merge:<5}  E = {:.4}  time = {:>8}  peak configs = {:>8}  merge hits = {}",
+            report.results[0].to_f64(),
+            fmt_duration(t0.elapsed()),
+            report.stats.peak_configs,
+            report.stats.merge_hits
+        );
+    }
+    println!();
+    Ok(())
+}
+
+fn fm_pruning_ablation() -> Result<(), bayonet::Error> {
+    println!("— Ablation 2: Fourier–Motzkin pruning (symbolic congestion, §2.3) —");
+    let network = scenarios::congestion_example_symbolic(Sched::Uniform)?;
+    for fm in [true, false] {
+        let opts = ExactOptions {
+            fm_pruning: fm,
+            ..Default::default()
+        };
+        let t0 = Instant::now();
+        let report = network.exact_with(&opts)?;
+        println!(
+            "  fm_pruning={fm:<5}  cells = {}  time = {:>8}  expansions = {}",
+            report.results[0].cells.len(),
+            fmt_duration(t0.elapsed()),
+            report.stats.expansions
+        );
+    }
+    println!();
+    Ok(())
+}
+
+fn particle_sweep() -> Result<(), bayonet::Error> {
+    println!("— Ablation 3: SMC particle sweep (congestion §2, uniform; exact = 0.4487) —");
+    let network = scenarios::congestion_example(Sched::Uniform)?;
+    let exact = network.exact()?.results[0].to_f64();
+    for particles in [100usize, 300, 1000, 3000, 10000] {
+        let t0 = Instant::now();
+        let est = network.smc(
+            0,
+            &ApproxOptions {
+                particles,
+                seed: 7,
+                ..Default::default()
+            },
+        )?;
+        println!(
+            "  particles = {particles:>6}  estimate = {:.4}  |err| = {:.4}  time = {:>8}",
+            est.value,
+            (est.value - exact).abs(),
+            fmt_duration(t0.elapsed())
+        );
+    }
+    println!();
+    Ok(())
+}
+
+fn scheduler_comparison() -> Result<(), bayonet::Error> {
+    println!("— Ablation 4: scheduler choice (congestion §2) —");
+    let uni = scenarios::congestion_example(Sched::Uniform)?;
+    let det = scenarios::congestion_example(Sched::Deterministic)?;
+    println!(
+        "  uniform        P(congestion) = {:.4}",
+        uni.exact()?.results[0].to_f64()
+    );
+    println!(
+        "  deterministic  P(congestion) = {:.4}",
+        det.exact()?.results[0].to_f64()
+    );
+    // A weighted scheduler modelling a switch twice as fast as the hosts.
+    let mut weighted = scenarios::congestion_example(Sched::Uniform)?;
+    let weights = vec![1, 1, 2, 2, 2]; // H0, H1 slow; S0, S1, S2 fast
+    weighted.set_scheduler(Box::new(WeightedScheduler::new(weights)));
+    println!(
+        "  weighted(2x switches) P(congestion) = {:.4}",
+        weighted.exact()?.results[0].to_f64()
+    );
+    println!();
+    Ok(())
+}
+
+fn backend_comparison() -> Result<(), bayonet::Error> {
+    println!("— Ablation 5: direct engine vs translated mini-PSI backend —");
+    let network = scenarios::reliability_chain(1, &Rat::ratio(1, 1000), Sched::Uniform)?;
+    let t0 = Instant::now();
+    let direct = network.exact()?.results[0].rat().clone();
+    let t_direct = t0.elapsed();
+    let t0 = Instant::now();
+    let via_psi = network.infer_via_psi(0)?;
+    let t_psi = t0.elapsed();
+    println!(
+        "  direct (merged) = {direct}  in {}",
+        fmt_duration(t_direct)
+    );
+    println!(
+        "  mini-PSI (trace enumeration) = {via_psi}  in {}",
+        fmt_duration(t_psi)
+    );
+    println!(
+        "  agreement: {}",
+        if direct == via_psi { "EXACT" } else { "MISMATCH" }
+    );
+    Ok(())
+}

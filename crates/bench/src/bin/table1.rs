@@ -1,0 +1,174 @@
+//! Regenerates **Table 1** of the paper: result and inference time for
+//! every benchmark row, with both the exact (PSI-role) and approximate
+//! (WebPPL-role, SMC with 1000 particles) engines.
+//!
+//! Run with: `cargo run --release -p bayonet-bench --bin table1`
+
+use bayonet::{scenarios, Sched};
+use bayonet_bench::{fmt_duration, time_exact, time_smc};
+
+const PARTICLES: usize = 1000;
+
+struct Row {
+    benchmark: &'static str,
+    sched: &'static str,
+    nodes: usize,
+    paper_exact: &'static str,
+    paper_approx: &'static str,
+    network: bayonet::Network,
+    query: usize,
+    run_exact: bool,
+}
+
+fn main() -> Result<(), bayonet::Error> {
+    let rows = vec![
+        Row {
+            benchmark: "Congestion",
+            sched: "uni.",
+            nodes: 5,
+            paper_exact: "0.4487",
+            paper_approx: "0.4570",
+            network: scenarios::congestion_example(Sched::Uniform)?,
+            query: 0,
+            run_exact: true,
+        },
+        Row {
+            benchmark: "Congestion",
+            sched: "det.",
+            nodes: 5,
+            paper_exact: "1.0000",
+            paper_approx: "1.0000",
+            network: scenarios::congestion_example(Sched::Deterministic)?,
+            query: 0,
+            run_exact: true,
+        },
+        Row {
+            benchmark: "Congestion",
+            sched: "uni.",
+            nodes: 6,
+            paper_exact: "0.4441",
+            paper_approx: "0.4650",
+            network: scenarios::congestion_chain(1, Sched::Uniform)?,
+            query: 0,
+            run_exact: true,
+        },
+        Row {
+            benchmark: "Congestion",
+            sched: "det.",
+            nodes: 6,
+            paper_exact: "1.0000",
+            paper_approx: "1.0000",
+            network: scenarios::congestion_chain(1, Sched::Deterministic)?,
+            query: 0,
+            run_exact: true,
+        },
+        Row {
+            benchmark: "Congestion",
+            sched: "det.",
+            nodes: 30,
+            paper_exact: "1.0000",
+            paper_approx: "1.0000",
+            network: scenarios::congestion_chain(7, Sched::Deterministic)?,
+            query: 0,
+            run_exact: true,
+        },
+        Row {
+            benchmark: "Reliability",
+            sched: "uni.",
+            nodes: 6,
+            paper_exact: "0.9995",
+            paper_approx: "0.9990",
+            network: scenarios::reliability_chain(
+                1,
+                &bayonet::Rat::ratio(1, 1000),
+                Sched::Uniform,
+            )?,
+            query: 0,
+            run_exact: true,
+        },
+        Row {
+            benchmark: "Reliability",
+            sched: "uni.",
+            nodes: 30,
+            paper_exact: "0.9965",
+            paper_approx: "0.9940",
+            network: scenarios::reliability_chain(
+                7,
+                &bayonet::Rat::ratio(1, 1000),
+                Sched::Uniform,
+            )?,
+            query: 0,
+            run_exact: true,
+        },
+        Row {
+            benchmark: "Gossip",
+            sched: "uni.",
+            nodes: 4,
+            paper_exact: "3.4815",
+            paper_approx: "3.4760",
+            network: scenarios::gossip(4, Sched::Uniform)?,
+            query: 0,
+            run_exact: true,
+        },
+        Row {
+            benchmark: "Gossip",
+            sched: "det.",
+            nodes: 4,
+            paper_exact: "3.4815",
+            paper_approx: "3.4890",
+            network: scenarios::gossip(4, Sched::Deterministic)?,
+            query: 0,
+            run_exact: true,
+        },
+        Row {
+            benchmark: "Gossip",
+            sched: "uni.",
+            nodes: 20,
+            paper_exact: "-",
+            paper_approx: "16.0020",
+            network: scenarios::gossip(20, Sched::Uniform)?,
+            query: 0,
+            run_exact: false, // exact did not terminate within an hour (paper)
+        },
+        Row {
+            benchmark: "Gossip",
+            sched: "uni.",
+            nodes: 30,
+            paper_exact: "-",
+            paper_approx: "23.9910",
+            network: scenarios::gossip(30, Sched::Uniform)?,
+            query: 0,
+            run_exact: false,
+        },
+    ];
+
+    println!("Table 1 — Bayonet results (paper values in parentheses)");
+    println!(
+        "{:<12} {:<6} {:>5} | {:>24} {:>10} {:>9} | {:>10} {:>9}",
+        "Benchmark", "Sched.", "Nodes", "Exact", "(paper)", "Time", "Approx", "(paper)"
+    );
+    println!("{}", "-".repeat(100));
+    for row in &rows {
+        let (exact_str, exact_time) = if row.run_exact {
+            let m = time_exact(&row.network, row.query)?;
+            (format!("{:.4}", m.value.to_f64()), fmt_duration(m.elapsed))
+        } else {
+            ("-".to_string(), "-".to_string())
+        };
+        let (est, smc_time) = time_smc(&row.network, row.query, PARTICLES, 0xB0)?;
+        println!(
+            "{:<12} {:<6} {:>5} | {:>24} {:>10} {:>9} | {:>10.4} {:>9}",
+            row.benchmark,
+            row.sched,
+            row.nodes,
+            exact_str,
+            format!("({})", row.paper_exact),
+            exact_time,
+            est.value,
+            format!("({})", row.paper_approx),
+        );
+        let _ = smc_time;
+    }
+    println!("\n(SMC uses {PARTICLES} particles, matching the paper's WebPPL configuration.)");
+    Ok(())
+}

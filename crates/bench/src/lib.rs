@@ -1,0 +1,76 @@
+//! Shared helpers for the Bayonet benchmark harness.
+//!
+//! The binaries in `src/bin/` regenerate every table and figure of the
+//! paper's evaluation (§5): `table1`, `fig3`, `sec55`, `codesize`, and
+//! `ablations`. The Criterion benches in `benches/` measure the same
+//! workloads for performance tracking.
+
+use std::time::{Duration, Instant};
+
+use bayonet::{Error, Network};
+use bayonet_num::Rat;
+
+/// A measured exact-inference result for one query.
+#[derive(Debug, Clone)]
+pub struct Measured {
+    /// Exact value.
+    pub value: Rat,
+    /// Wall-clock time of the full run (analysis + query).
+    pub elapsed: Duration,
+}
+
+/// Runs exact inference and returns the value of query `idx` with timing.
+///
+/// # Errors
+///
+/// Propagates inference errors.
+pub fn time_exact(network: &Network, idx: usize) -> Result<Measured, Error> {
+    let t0 = Instant::now();
+    let report = network.exact()?;
+    let elapsed = t0.elapsed();
+    Ok(Measured {
+        value: report.results[idx].rat().clone(),
+        elapsed,
+    })
+}
+
+/// Runs SMC and returns `(estimate, timing)`.
+///
+/// # Errors
+///
+/// Propagates inference errors.
+pub fn time_smc(
+    network: &Network,
+    idx: usize,
+    particles: usize,
+    seed: u64,
+) -> Result<(bayonet::Estimate, Duration), Error> {
+    let t0 = Instant::now();
+    let est = network.smc(
+        idx,
+        &bayonet::ApproxOptions {
+            particles,
+            seed,
+            ..Default::default()
+        },
+    )?;
+    Ok((est, t0.elapsed()))
+}
+
+/// Formats a duration compactly (e.g. "1.24s", "87ms").
+pub fn fmt_duration(d: Duration) -> String {
+    if d.as_secs_f64() >= 1.0 {
+        format!("{:.2}s", d.as_secs_f64())
+    } else {
+        format!("{}ms", d.as_millis())
+    }
+}
+
+/// Counts non-empty, non-comment lines (the paper's code-size metric).
+pub fn loc(source: &str) -> usize {
+    source
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with("//"))
+        .count()
+}

@@ -1,0 +1,243 @@
+//! The `bayonet` command-line tool: check, run, synthesize, and compile
+//! Bayonet network programs.
+//!
+//! ```text
+//! bayonet check <file.bay>
+//! bayonet run <file.bay> [--engine exact|smc|rejection|psi]
+//!                        [--particles N] [--seed N]
+//!                        [--scheduler uniform|det|rotor]
+//!                        [--bind NAME=VALUE]...
+//! bayonet synthesize <file.bay> [--query N] [--maximize]
+//! bayonet codegen <file.bay> [--target psi|webppl]
+//! bayonet pretty <file.bay>
+//! ```
+
+use std::process::ExitCode;
+
+use bayonet::{
+    synthesize_with, ApproxOptions, DeterministicScheduler, Network, Objective, Rat,
+    RotorScheduler, SynthesisOptions, UniformScheduler,
+};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() -> String {
+    "usage: bayonet <check|run|synthesize|codegen|pretty> <file.bay> [options]\n\
+     run options: --engine exact|smc|rejection|psi|simulate  --particles N  --seed N\n\
+                  --scheduler uniform|det|rotor  --bind NAME=VALUE\n\
+     synthesize options: --query N  --maximize  --allow-zero-params\n\
+     codegen options: --target psi|webppl"
+        .to_string()
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let (cmd, file) = match args {
+        [cmd, file, ..] => (cmd.as_str(), file.as_str()),
+        _ => return Err(usage()),
+    };
+    let rest = &args[2..];
+    let source =
+        std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
+
+    match cmd {
+        "check" => check(&source),
+        "run" => run_queries(&source, rest),
+        "synthesize" => synthesize_cmd(&source, rest),
+        "codegen" => codegen(&source, rest),
+        "pretty" => {
+            let program = bayonet::parse(&source).map_err(|e| e.to_string())?;
+            print!("{}", bayonet::pretty_program(&program));
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+}
+
+fn flag_value<'a>(rest: &'a [String], name: &str) -> Option<&'a str> {
+    rest.iter()
+        .position(|a| a == name)
+        .and_then(|i| rest.get(i + 1))
+        .map(String::as_str)
+}
+
+fn has_flag(rest: &[String], name: &str) -> bool {
+    rest.iter().any(|a| a == name)
+}
+
+fn load(source: &str, rest: &[String]) -> Result<Network, String> {
+    let mut network = Network::from_source(source).map_err(|e| e.to_string())?;
+    for w in network.warnings() {
+        eprintln!("warning: {}", w.message);
+    }
+    // --bind NAME=VALUE (repeatable)
+    let mut i = 0;
+    while i < rest.len() {
+        if rest[i] == "--bind" {
+            let spec = rest
+                .get(i + 1)
+                .ok_or_else(|| "--bind needs NAME=VALUE".to_string())?;
+            let (name, value) = spec
+                .split_once('=')
+                .ok_or_else(|| format!("malformed --bind `{spec}` (want NAME=VALUE)"))?;
+            let value: Rat = value
+                .parse()
+                .map_err(|e| format!("bad value in --bind `{spec}`: {e}"))?;
+            network.bind(name, value).map_err(|e| e.to_string())?;
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    match flag_value(rest, "--scheduler") {
+        Some("uniform") => network.set_scheduler(Box::new(UniformScheduler)),
+        Some("det") | Some("deterministic") => {
+            network.set_scheduler(Box::new(DeterministicScheduler))
+        }
+        Some("rotor") => network.set_scheduler(Box::new(RotorScheduler)),
+        Some(other) => return Err(format!("unknown scheduler `{other}`")),
+        None => {}
+    }
+    Ok(network)
+}
+
+fn check(source: &str) -> Result<(), String> {
+    let program = bayonet::parse(source).map_err(|e| e.to_string())?;
+    match bayonet::check(&program) {
+        Ok(report) => {
+            for w in &report.warnings {
+                println!("warning: {}", w.message);
+            }
+            println!("ok: {} warning(s)", report.warnings.len());
+            Ok(())
+        }
+        Err(errors) => {
+            for e in &errors {
+                println!("{e}");
+            }
+            Err(format!("{} integrity error(s)", errors.len()))
+        }
+    }
+}
+
+fn run_queries(source: &str, rest: &[String]) -> Result<(), String> {
+    let network = load(source, rest)?;
+    let engine = flag_value(rest, "--engine").unwrap_or("exact");
+    let particles = flag_value(rest, "--particles")
+        .map(|v| v.parse::<usize>().map_err(|e| e.to_string()))
+        .transpose()?
+        .unwrap_or(1000);
+    let seed = flag_value(rest, "--seed")
+        .map(|v| v.parse::<u64>().map_err(|e| e.to_string()))
+        .transpose()?
+        .unwrap_or(0);
+    let approx = ApproxOptions {
+        particles,
+        seed,
+        ..Default::default()
+    };
+
+    match engine {
+        "exact" => {
+            let report = network.exact().map_err(|e| e.to_string())?;
+            for result in &report.results {
+                print!("{result}");
+            }
+            println!(
+                "Z = {} (discarded by observations: {})",
+                report.z, report.discarded
+            );
+            println!(
+                "[{} steps, {} expansions, peak {} configs, {} merge hits]",
+                report.stats.steps,
+                report.stats.expansions,
+                report.stats.peak_configs,
+                report.stats.merge_hits
+            );
+        }
+        "smc" | "rejection" => {
+            for idx in 0..network.queries().len() {
+                let est = if engine == "smc" {
+                    network.smc(idx, &approx)
+                } else {
+                    network.rejection(idx, &approx)
+                }
+                .map_err(|e| e.to_string())?;
+                println!(
+                    "{}: {est}  (Ẑ ≈ {:.4})",
+                    network.queries()[idx].source,
+                    est.z_estimate
+                );
+            }
+        }
+        "simulate" => {
+            let sim = network.simulate(&approx).map_err(|e| e.to_string())?;
+            print!("{}", sim.render(network.model()));
+        }
+        "psi" => {
+            for idx in 0..network.queries().len() {
+                let value = network.infer_via_psi(idx).map_err(|e| e.to_string())?;
+                println!(
+                    "{}: {value} ≈ {:.4}",
+                    network.queries()[idx].source,
+                    value.to_f64()
+                );
+            }
+        }
+        other => return Err(format!("unknown engine `{other}`\n{}", usage())),
+    }
+    Ok(())
+}
+
+fn synthesize_cmd(source: &str, rest: &[String]) -> Result<(), String> {
+    let network = load(source, rest)?;
+    let query = flag_value(rest, "--query")
+        .map(|v| v.parse::<usize>().map_err(|e| e.to_string()))
+        .transpose()?
+        .unwrap_or(0);
+    let opts = SynthesisOptions {
+        objective: if has_flag(rest, "--maximize") {
+            Objective::Maximize
+        } else {
+            Objective::Minimize
+        },
+        positive_params: !has_flag(rest, "--allow-zero-params"),
+    };
+    let synthesis = synthesize_with(&network, query, opts).map_err(|e| e.to_string())?;
+    println!("piecewise result:");
+    for (i, cell) in synthesis.result.cells.iter().enumerate() {
+        let marker = if i == synthesis.best_cell { "*" } else { " " };
+        let value = cell
+            .value
+            .as_ref()
+            .map(|v| format!("{v}"))
+            .unwrap_or_else(|| "undefined".into());
+        println!("{marker} [{}] {value}", cell.constraint);
+    }
+    println!("optimal value: {} ≈ {:.4}", synthesis.value, synthesis.value.to_f64());
+    println!("constraint:    {}", synthesis.constraint);
+    print!("witness:      ");
+    for (pid, v) in &synthesis.assignment {
+        print!(" {} = {v}", network.model().params.name(*pid));
+    }
+    println!();
+    Ok(())
+}
+
+fn codegen(source: &str, rest: &[String]) -> Result<(), String> {
+    let network = load(source, &[])?;
+    match flag_value(rest, "--target").unwrap_or("psi") {
+        "psi" => print!("{}", network.to_psi()),
+        "webppl" => print!("{}", network.to_webppl()),
+        other => return Err(format!("unknown codegen target `{other}`")),
+    }
+    Ok(())
+}

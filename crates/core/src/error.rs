@@ -1,0 +1,98 @@
+//! The unified error type of the public API.
+
+use std::fmt;
+
+use bayonet_approx::ApproxError;
+use bayonet_exact::ExactError;
+use bayonet_lang::LangError;
+use bayonet_net::{CompileError, SemanticsError};
+use bayonet_psi::{PsiError, TranslateError};
+
+/// Any error the Bayonet system can produce, from parsing through inference.
+#[derive(Debug)]
+pub enum Error {
+    /// Lexing or parsing failed.
+    Parse(LangError),
+    /// Static integrity checking failed (paper §4); all violations listed.
+    Check(Vec<LangError>),
+    /// Compilation to the executable model failed.
+    Compile(CompileError),
+    /// A runtime semantic error.
+    Semantics(SemanticsError),
+    /// The exact engine failed.
+    Exact(ExactError),
+    /// The approximate engine failed.
+    Approx(ApproxError),
+    /// The PSI backend failed.
+    Psi(PsiError),
+    /// Translation to the PSI backend failed.
+    Translate(TranslateError),
+    /// A bad argument to the public API.
+    Usage(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Parse(e) => write!(f, "{e}"),
+            Error::Check(errs) => {
+                writeln!(f, "integrity check failed with {} error(s):", errs.len())?;
+                for e in errs {
+                    writeln!(f, "  {e}")?;
+                }
+                Ok(())
+            }
+            Error::Compile(e) => write!(f, "{e}"),
+            Error::Semantics(e) => write!(f, "{e}"),
+            Error::Exact(e) => write!(f, "{e}"),
+            Error::Approx(e) => write!(f, "{e}"),
+            Error::Psi(e) => write!(f, "{e}"),
+            Error::Translate(e) => write!(f, "{e}"),
+            Error::Usage(m) => write!(f, "usage error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<LangError> for Error {
+    fn from(e: LangError) -> Self {
+        Error::Parse(e)
+    }
+}
+
+impl From<CompileError> for Error {
+    fn from(e: CompileError) -> Self {
+        Error::Compile(e)
+    }
+}
+
+impl From<SemanticsError> for Error {
+    fn from(e: SemanticsError) -> Self {
+        Error::Semantics(e)
+    }
+}
+
+impl From<ExactError> for Error {
+    fn from(e: ExactError) -> Self {
+        Error::Exact(e)
+    }
+}
+
+impl From<ApproxError> for Error {
+    fn from(e: ApproxError) -> Self {
+        Error::Approx(e)
+    }
+}
+
+impl From<PsiError> for Error {
+    fn from(e: PsiError) -> Self {
+        Error::Psi(e)
+    }
+}
+
+impl From<TranslateError> for Error {
+    fn from(e: TranslateError) -> Self {
+        Error::Translate(e)
+    }
+}

@@ -1,0 +1,438 @@
+//! OSPF control plane: generate Bayonet data planes from link costs.
+//!
+//! The paper's running example (§2) hand-writes the switch programs that
+//! OSPF + ECMP would install: forward along least-cost paths, and split
+//! uniformly when several least-cost next hops exist. This module automates
+//! that control-plane step, as a network operator would expect from a
+//! deployable tool: describe the topology with *link costs* and the traffic
+//! flows, and [`OspfBuilder`] computes shortest-path DAGs (Dijkstra per
+//! destination) and emits the corresponding Bayonet programs — ECMP draws
+//! included — ready for inference.
+//!
+//! # Examples
+//!
+//! ```
+//! use bayonet::ospf::OspfBuilder;
+//!
+//! // The §2 topology from its link costs: S0-S1 costs 2, S0-S2-S1 costs 1+1.
+//! let network = OspfBuilder::new()
+//!     .switch("S0").switch("S1").switch("S2")
+//!     .host("H0", "S0").host("H1", "S1")
+//!     .link("S0", "S1", 2)
+//!     .link("S0", "S2", 1)
+//!     .link("S2", "S1", 1)
+//!     .flow("H0", "H1", 3)
+//!     .build()?;
+//! // Query 0: P(recvd@H1 < 3) — congestion for the flow.
+//! # let _ = network;
+//! # Ok::<(), bayonet::Error>(())
+//! ```
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::error::Error;
+use crate::network::Network;
+use crate::scenarios::Sched;
+
+/// How equal-cost ties are split (paper §2: "we assume the load-balancing
+/// decision is done for each packet individually; a per-flow decision is
+/// easy to model").
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum EcmpMode {
+    /// Each packet independently picks a uniform least-cost next hop.
+    #[default]
+    PerPacket,
+    /// Each switch hashes the flow once: the first packet draws a next hop
+    /// uniformly and every later packet of the flow follows it (modelled
+    /// with a lazily-drawn state variable, like the paper's Figure 12).
+    PerFlow,
+}
+
+/// A traffic flow: `packets` packets from `src` to `dst` (both hosts).
+#[derive(Clone, Debug)]
+struct Flow {
+    src: String,
+    dst: String,
+    packets: u32,
+}
+
+/// Builder for OSPF/ECMP networks (see the module docs).
+#[derive(Clone, Debug, Default)]
+pub struct OspfBuilder {
+    switches: Vec<String>,
+    /// `(host, attached switch)`.
+    hosts: Vec<(String, String)>,
+    /// `(switch a, switch b, cost)`.
+    links: Vec<(String, String, u64)>,
+    flows: Vec<Flow>,
+    queue_capacity: u64,
+    scheduler: Sched,
+    ecmp: EcmpMode,
+}
+
+impl OspfBuilder {
+    /// An empty builder (queue capacity 2, uniform scheduler).
+    pub fn new() -> Self {
+        OspfBuilder {
+            queue_capacity: 2,
+            ..Default::default()
+        }
+    }
+
+    /// Declares a switch.
+    #[must_use]
+    pub fn switch(mut self, name: &str) -> Self {
+        self.switches.push(name.to_string());
+        self
+    }
+
+    /// Declares a host attached to `switch`.
+    #[must_use]
+    pub fn host(mut self, name: &str, switch: &str) -> Self {
+        self.hosts.push((name.to_string(), switch.to_string()));
+        self
+    }
+
+    /// Declares a bidirectional switch-to-switch link with an OSPF cost.
+    #[must_use]
+    pub fn link(mut self, a: &str, b: &str, cost: u64) -> Self {
+        self.links.push((a.to_string(), b.to_string(), cost));
+        self
+    }
+
+    /// Declares a flow of `packets` packets from host `src` to host `dst`.
+    #[must_use]
+    pub fn flow(mut self, src: &str, dst: &str, packets: u32) -> Self {
+        self.flows.push(Flow {
+            src: src.to_string(),
+            dst: dst.to_string(),
+            packets,
+        });
+        self
+    }
+
+    /// Sets the queue capacity (default 2, as in the paper's example).
+    #[must_use]
+    pub fn queue_capacity(mut self, capacity: u64) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Selects the scheduler (default uniform).
+    #[must_use]
+    pub fn scheduler(mut self, sched: Sched) -> Self {
+        self.scheduler = sched;
+        self
+    }
+
+    /// Selects how ECMP ties are split (default per packet).
+    #[must_use]
+    pub fn ecmp(mut self, mode: EcmpMode) -> Self {
+        self.ecmp = mode;
+        self
+    }
+
+    /// Generates the Bayonet source: host programs for the flows, switch
+    /// programs forwarding along least-cost paths with uniform ECMP splits,
+    /// and per-flow queries `probability(recvd@DST < N)` and
+    /// `expectation(recvd@DST)` in flow-declaration order.
+    ///
+    /// # Errors
+    ///
+    /// Fails on duplicate/unknown names, hosts sourcing multiple flows, or
+    /// unreachable destinations.
+    pub fn source(&self) -> Result<String, Error> {
+        let usage = |m: String| Error::Usage(m);
+        // -- validation
+        let mut all_names: Vec<&str> = Vec::new();
+        for s in &self.switches {
+            all_names.push(s);
+        }
+        for (h, _) in &self.hosts {
+            all_names.push(h);
+        }
+        for (i, n) in all_names.iter().enumerate() {
+            if all_names[..i].contains(n) {
+                return Err(usage(format!("duplicate node name `{n}`")));
+            }
+        }
+        let switch_idx: HashMap<&str, usize> = self
+            .switches
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.as_str(), i))
+            .collect();
+        for (h, sw) in &self.hosts {
+            if !switch_idx.contains_key(sw.as_str()) {
+                return Err(usage(format!("host `{h}` attached to unknown switch `{sw}`")));
+            }
+        }
+        for (a, b, cost) in &self.links {
+            if !switch_idx.contains_key(a.as_str()) || !switch_idx.contains_key(b.as_str()) {
+                return Err(usage(format!("link {a} <-> {b} references an unknown switch")));
+            }
+            if *cost == 0 {
+                return Err(usage(format!("link {a} <-> {b} must have positive cost")));
+            }
+        }
+        let host_switch: HashMap<&str, &str> = self
+            .hosts
+            .iter()
+            .map(|(h, s)| (h.as_str(), s.as_str()))
+            .collect();
+        let mut sources_seen: Vec<&str> = Vec::new();
+        for f in &self.flows {
+            for end in [&f.src, &f.dst] {
+                if !host_switch.contains_key(end.as_str()) {
+                    return Err(usage(format!("flow references unknown host `{end}`")));
+                }
+            }
+            if sources_seen.contains(&f.src.as_str()) {
+                return Err(usage(format!("host `{}` sources more than one flow", f.src)));
+            }
+            sources_seen.push(&f.src);
+            if f.packets == 0 {
+                return Err(usage(format!("flow {} -> {} sends no packets", f.src, f.dst)));
+            }
+        }
+
+        // -- port assignment: per node, ports 1.. in declaration order of
+        //    its incident edges (host attachments first, then links).
+        let mut ports: HashMap<(String, String), u32> = HashMap::new(); // (node, peer) -> port
+        let mut next_port: HashMap<String, u32> = HashMap::new();
+        fn alloc(
+            node: &str,
+            peer: &str,
+            ports: &mut HashMap<(String, String), u32>,
+            next_port: &mut HashMap<String, u32>,
+        ) -> u32 {
+            let slot = next_port.entry(node.to_string()).or_insert(1);
+            let p = *slot;
+            *slot += 1;
+            ports.insert((node.to_string(), peer.to_string()), p);
+            p
+        }
+        let mut link_decls: Vec<String> = Vec::new();
+        for (h, sw) in &self.hosts {
+            let ph = alloc(h, sw, &mut ports, &mut next_port);
+            let ps = alloc(sw, h, &mut ports, &mut next_port);
+            link_decls.push(format!("({h}, pt{ph}) <-> ({sw}, pt{ps})"));
+        }
+        for (a, b, _) in &self.links {
+            let pa = alloc(a, b, &mut ports, &mut next_port);
+            let pb = alloc(b, a, &mut ports, &mut next_port);
+            link_decls.push(format!("({a}, pt{pa}) <-> ({b}, pt{pb})"));
+        }
+
+        // -- adjacency over switches
+        let n = self.switches.len();
+        let mut adj: Vec<Vec<(usize, u64)>> = vec![Vec::new(); n];
+        for (a, b, cost) in &self.links {
+            let (ia, ib) = (switch_idx[a.as_str()], switch_idx[b.as_str()]);
+            adj[ia].push((ib, *cost));
+            adj[ib].push((ia, *cost));
+        }
+
+        // -- Dijkstra from a destination switch: dist to every switch.
+        let dijkstra = |target: usize| -> Vec<Option<u64>> {
+            let mut dist: Vec<Option<u64>> = vec![None; n];
+            dist[target] = Some(0);
+            let mut visited = vec![false; n];
+            loop {
+                let mut best: Option<(usize, u64)> = None;
+                for (i, d) in dist.iter().enumerate() {
+                    if let Some(d) = d {
+                        if !visited[i] && best.map_or(true, |(_, bd)| *d < bd) {
+                            best = Some((i, *d));
+                        }
+                    }
+                }
+                let Some((u, du)) = best else { break };
+                visited[u] = true;
+                for &(v, w) in &adj[u] {
+                    let cand = du + w;
+                    if dist[v].map_or(true, |dv| cand < dv) {
+                        dist[v] = Some(cand);
+                    }
+                }
+            }
+            dist
+        };
+
+        // -- destinations are the flow sinks; compute next-hop sets.
+        let mut dest_hosts: Vec<&str> = Vec::new();
+        for f in &self.flows {
+            if !dest_hosts.contains(&f.dst.as_str()) {
+                dest_hosts.push(&f.dst);
+            }
+        }
+        // next_hops[dest host][switch] = ports to forward out of (ECMP set),
+        // or the host-attachment port when the switch is the target.
+        let mut route_tables: HashMap<&str, Vec<Vec<u32>>> = HashMap::new();
+        for dest in &dest_hosts {
+            let target_switch = switch_idx[host_switch[*dest]];
+            let dist = dijkstra(target_switch);
+            let mut table: Vec<Vec<u32>> = vec![Vec::new(); n];
+            for (s, row) in table.iter_mut().enumerate() {
+                if s == target_switch {
+                    row.push(ports[&(self.switches[s].clone(), dest.to_string())]);
+                    continue;
+                }
+                let Some(ds) = dist[s] else { continue };
+                for &(v, w) in &adj[s] {
+                    if let Some(dv) = dist[v] {
+                        if dv + w == ds {
+                            row.push(
+                                ports[&(self.switches[s].clone(), self.switches[v].clone())],
+                            );
+                        }
+                    }
+                }
+            }
+            route_tables.insert(dest, table);
+        }
+        // Reachability check for every flow.
+        for f in &self.flows {
+            let table = &route_tables[f.dst.as_str()];
+            let src_switch = switch_idx[host_switch[f.src.as_str()]];
+            let target_switch = switch_idx[host_switch[f.dst.as_str()]];
+            if src_switch != target_switch && table[src_switch].is_empty() {
+                return Err(usage(format!(
+                    "flow {} -> {}: destination unreachable from `{}`",
+                    f.src,
+                    f.dst,
+                    host_switch[f.src.as_str()]
+                )));
+            }
+        }
+
+        // -- emit source text
+        let mut out = String::new();
+        let _ = writeln!(out, "// Generated by the OSPF control plane: least-cost");
+        let _ = writeln!(out, "// forwarding with uniform ECMP splits on ties.");
+        let _ = writeln!(out, "packet_fields {{ dst, kick }}");
+        let _ = writeln!(out, "topology {{");
+        let names: Vec<String> = self
+            .hosts
+            .iter()
+            .map(|(h, _)| h.clone())
+            .chain(self.switches.iter().cloned())
+            .collect();
+        let _ = writeln!(out, "    nodes {{ {} }}", names.join(", "));
+        let _ = writeln!(out, "    links {{ {} }}", link_decls.join(",\n            "));
+        let _ = writeln!(out, "}}");
+        let programs: Vec<String> = self
+            .hosts
+            .iter()
+            .map(|(h, _)| format!("{h} -> host_{h}"))
+            .chain(self.switches.iter().map(|s| format!("{s} -> sw_{s}")))
+            .collect();
+        let _ = writeln!(out, "programs {{ {} }}", programs.join(", "));
+        let _ = writeln!(out, "queue_capacity {};", self.queue_capacity);
+        let sched = match self.scheduler {
+            Sched::Uniform => "uniform",
+            Sched::Deterministic => "roundrobin",
+        };
+        let _ = writeln!(out, "scheduler {sched};");
+        let _ = writeln!(out, "init {{");
+        for f in &self.flows {
+            let port = ports[&(f.src.clone(), host_switch[f.src.as_str()].to_string())];
+            let _ = writeln!(out, "    packet -> ({}, pt{port}) {{ kick = 1 }};", f.src);
+        }
+        let _ = writeln!(out, "}}");
+        for f in &self.flows {
+            let _ = writeln!(out, "query probability(recvd@{} < {});", f.dst, f.packets);
+            let _ = writeln!(out, "query expectation(recvd@{});", f.dst);
+        }
+        let _ = writeln!(out);
+
+        // Host programs.
+        for (h, sw) in &self.hosts {
+            let _ = writeln!(out, "def host_{h}(pkt, pt) state sent(0), recvd(0) {{");
+            if let Some(f) = self.flows.iter().find(|f| &f.src == h) {
+                let port = ports[&(h.clone(), sw.clone())];
+                let _ = writeln!(out, "    if pkt.kick == 1 {{");
+                let _ = writeln!(out, "        if sent < {} {{", f.packets);
+                let _ = writeln!(out, "            new;");
+                let _ = writeln!(out, "            pkt.dst = {};", f.dst);
+                let _ = writeln!(out, "            fwd({port});");
+                let _ = writeln!(out, "            sent = sent + 1;");
+                let _ = writeln!(out, "        }} else {{ drop; }}");
+                let _ = writeln!(out, "    }} else {{");
+                let _ = writeln!(out, "        recvd = recvd + 1;");
+                let _ = writeln!(out, "        drop;");
+                let _ = writeln!(out, "    }}");
+            } else {
+                let _ = writeln!(out, "    recvd = recvd + 1;");
+                let _ = writeln!(out, "    drop;");
+            }
+            let _ = writeln!(out, "}}");
+        }
+
+        // Switch programs: dispatch on pkt.dst over the destinations.
+        for (s_idx, s) in self.switches.iter().enumerate() {
+            // Per-flow ECMP keeps one lazily-drawn pick per destination in
+            // switch state (0 = not yet drawn), like Figure 12's lazy
+            // failure draw.
+            let mut state_decls: Vec<String> = Vec::new();
+            if self.ecmp == EcmpMode::PerFlow {
+                for (d_idx, dest) in dest_hosts.iter().enumerate() {
+                    if route_tables[*dest][s_idx].len() > 1 {
+                        state_decls.push(format!("pick_{d_idx}(0)"));
+                    }
+                }
+            }
+            if state_decls.is_empty() {
+                let _ = writeln!(out, "def sw_{s}(pkt, pt) {{");
+            } else {
+                let _ = writeln!(
+                    out,
+                    "def sw_{s}(pkt, pt) state {} {{",
+                    state_decls.join(", ")
+                );
+            }
+            let mut chain = String::from("drop;"); // unroutable packets die
+            for (d_idx, dest) in dest_hosts.iter().enumerate().rev() {
+                let hops = &route_tables[*dest][s_idx];
+                let action = match hops.len() {
+                    0 => "drop;".to_string(), // unreachable from here
+                    1 => format!("fwd({});", hops[0]),
+                    k => {
+                        // Uniform ECMP split over the least-cost next hops.
+                        let selector = match self.ecmp {
+                            EcmpMode::PerPacket => {
+                                format!("hop = uniformInt(1, {k}); ")
+                            }
+                            EcmpMode::PerFlow => format!(
+                                "if pick_{d_idx} == 0 {{ pick_{d_idx} = uniformInt(1, {k}); }}                                  hop = pick_{d_idx}; "
+                            ),
+                        };
+                        let mut split = format!("fwd({});", hops[k - 1]);
+                        for (i, p) in hops[..k - 1].iter().enumerate().rev() {
+                            split = format!(
+                                "if hop == {} {{ fwd({p}); }} else {{ {split} }}",
+                                i + 1
+                            );
+                        }
+                        format!("{selector}{split}")
+                    }
+                };
+                chain = format!("if pkt.dst == {dest} {{ {action} }} else {{ {chain} }}");
+            }
+            let _ = writeln!(out, "    {chain}");
+            let _ = writeln!(out, "}}");
+        }
+        Ok(out)
+    }
+
+    /// Generates the source and compiles it into a [`Network`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`OspfBuilder::source`], plus front-end errors (which indicate
+    /// a generator bug).
+    pub fn build(&self) -> Result<Network, Error> {
+        Network::from_source(&self.source()?)
+    }
+}

@@ -1,0 +1,121 @@
+//! End-to-end tests of the `bayonet` CLI binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bay_file(name: &str) -> String {
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop(); // crates/
+    p.pop(); // repo root
+    p.push("examples/bay");
+    p.push(name);
+    p.to_string_lossy().into_owned()
+}
+
+fn cli(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_bayonet"))
+        .args(args)
+        .output()
+        .expect("spawn bayonet CLI");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn check_accepts_valid_files() {
+    let (ok, stdout, _) = cli(&["check", &bay_file("gossip_k4.bay")]);
+    assert!(ok);
+    assert!(stdout.contains("ok: 0 warning(s)"), "{stdout}");
+}
+
+#[test]
+fn run_exact_gossip() {
+    let (ok, stdout, _) = cli(&["run", &bay_file("gossip_k4.bay")]);
+    assert!(ok);
+    assert!(stdout.contains("94/27"), "{stdout}");
+}
+
+#[test]
+fn run_with_bind_and_smc() {
+    let (ok, stdout, _) = cli(&[
+        "run",
+        &bay_file("lossy_link.bay"),
+        "--bind",
+        "P_LOSS=1/2",
+        "--engine",
+        "smc",
+        "--particles",
+        "500",
+        "--seed",
+        "9",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("got@H1"), "{stdout}");
+}
+
+#[test]
+fn run_unbound_parameter_fails_cleanly() {
+    let (ok, _, stderr) = cli(&[
+        "run",
+        &bay_file("lossy_link.bay"),
+        "--engine",
+        "smc",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("error:"), "{stderr}");
+}
+
+#[test]
+fn synthesize_prints_the_figure3_table() {
+    let (ok, stdout, _) = cli(&["synthesize", &bay_file("ecmp_costs.bay")]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("COST_01 - COST_02 - COST_21 == 0"), "{stdout}");
+    assert!(stdout.contains("30378810105265/67706637778944"), "{stdout}");
+}
+
+#[test]
+fn codegen_targets() {
+    let (ok, psi, _) = cli(&["codegen", &bay_file("gossip_k4.bay"), "--target", "psi"]);
+    assert!(ok);
+    assert!(psi.contains("dat Network"), "{psi}");
+    let (ok, webppl, _) = cli(&["codegen", &bay_file("gossip_k4.bay"), "--target", "webppl"]);
+    assert!(ok);
+    assert!(webppl.contains("Infer({method: 'SMC'"), "{webppl}");
+}
+
+#[test]
+fn pretty_is_reparseable_by_check() {
+    let (ok, pretty, _) = cli(&["pretty", &bay_file("ecmp_costs.bay")]);
+    assert!(ok);
+    // Feed the pretty output back through the front-end.
+    let program = bayonet::parse(&pretty).expect("pretty output parses");
+    assert!(bayonet::check(&program).is_ok());
+}
+
+#[test]
+fn simulate_renders_a_log() {
+    let (ok, stdout, _) = cli(&[
+        "run",
+        &bay_file("gossip_k4.bay"),
+        "--engine",
+        "simulate",
+        "--seed",
+        "1",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("Run  S0"), "{stdout}");
+    assert!(stdout.contains("terminal"), "{stdout}");
+}
+
+#[test]
+fn unknown_flags_and_commands_error() {
+    let (ok, _, stderr) = cli(&["frobnicate", &bay_file("gossip_k4.bay")]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"), "{stderr}");
+    let (ok, _, stderr) = cli(&["run", &bay_file("gossip_k4.bay"), "--engine", "magic"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown engine"), "{stderr}");
+}

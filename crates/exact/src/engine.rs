@@ -1,0 +1,373 @@
+//! The exact inference engine: exhaustive weighted exploration of the
+//! global transition system with configuration merging.
+//!
+//! This plays the role PSI plays in the paper's toolchain — an exact
+//! posterior calculator. The global semantics is a Markov chain over
+//! configurations (Figure 7), so identical configurations reached along
+//! different traces can have their masses summed; that merging is what makes
+//! 30-node networks tractable. Observation failures remove mass, which is
+//! restored by normalizing with the surviving mass `Z` (paper §3.2).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use bayonet_num::Rat;
+use bayonet_symbolic::Guard;
+
+use bayonet_net::{
+    deliver, initial_config, run_handler, Action, GlobalConfig, HandlerOutcome, Model, Scheduler,
+    SemanticsError, Val,
+};
+
+use crate::enumerate::enumerate_eval;
+
+/// Options controlling the exact engine.
+#[derive(Debug, Clone)]
+pub struct ExactOptions {
+    /// Maximum number of global steps before reporting non-termination
+    /// (the paper's generated programs assert `terminated()` after
+    /// `num_steps`; we iterate to the fixpoint with this safety bound).
+    pub max_global_steps: u64,
+    /// Safety bound on simultaneously tracked configurations.
+    pub max_configs: usize,
+    /// Prune symbolically infeasible branches with Fourier–Motzkin.
+    pub fm_pruning: bool,
+    /// Merge identical configurations (the ablation switch; disabling this
+    /// recovers naive trace enumeration).
+    pub merge_configs: bool,
+    /// Worker threads for frontier expansion (1 = single-threaded). Large
+    /// frontiers are split into chunks expanded in parallel and merged.
+    pub threads: usize,
+}
+
+impl Default for ExactOptions {
+    fn default() -> Self {
+        ExactOptions {
+            max_global_steps: 100_000,
+            max_configs: 4_000_000,
+            fm_pruning: true,
+            merge_configs: true,
+            threads: 1,
+        }
+    }
+}
+
+/// Statistics from an exact-engine run.
+#[derive(Debug, Clone, Default)]
+pub struct EngineStats {
+    /// Global steps executed (depth of the exploration).
+    pub steps: u64,
+    /// Configuration expansions performed.
+    pub expansions: u64,
+    /// Peak number of simultaneously tracked configurations.
+    pub peak_configs: usize,
+    /// Number of times a successor merged into an existing configuration.
+    pub merge_hits: u64,
+    /// Number of distinct terminal configurations.
+    pub terminal_configs: usize,
+}
+
+/// Errors from the exact engine.
+#[derive(Debug)]
+pub enum ExactError {
+    /// A semantic error in the model (hard failure).
+    Semantics(SemanticsError),
+    /// Mass remained on non-terminal configurations after the step bound.
+    Unterminated {
+        /// Number of live configurations.
+        live_configs: usize,
+        /// Total unresolved probability mass (approximate display).
+        mass: String,
+    },
+    /// The configuration frontier exceeded [`ExactOptions::max_configs`].
+    ConfigLimit(usize),
+    /// All probability mass was discarded by observations (Z = 0), so the
+    /// posterior is undefined.
+    AllMassObservedOut,
+}
+
+impl fmt::Display for ExactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExactError::Semantics(e) => write!(f, "semantic error: {e}"),
+            ExactError::Unterminated { live_configs, mass } => write!(
+                f,
+                "network did not terminate within the step bound \
+                 ({live_configs} live configurations, mass ≈ {mass})"
+            ),
+            ExactError::ConfigLimit(n) => {
+                write!(f, "exact state space exceeded the configuration limit ({n})")
+            }
+            ExactError::AllMassObservedOut => {
+                f.write_str("all probability mass was discarded by observations (Z = 0)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExactError {}
+
+impl From<SemanticsError> for ExactError {
+    fn from(e: SemanticsError) -> Self {
+        ExactError::Semantics(e)
+    }
+}
+
+/// The exact posterior over terminal configurations.
+#[derive(Debug)]
+pub struct Analysis {
+    /// Terminal configurations with their guards and unnormalized masses.
+    pub terminals: Vec<(GlobalConfig, Guard, Rat)>,
+    /// Mass discarded by failed observations, per guard.
+    pub discarded: Vec<(Guard, Rat)>,
+    /// Run statistics.
+    pub stats: EngineStats,
+}
+
+impl Analysis {
+    /// Total surviving (terminal) mass; with no symbolic parameters this is
+    /// the paper's normalization constant `Z`.
+    pub fn total_terminal_mass(&self) -> Rat {
+        self.terminals
+            .iter()
+            .fold(Rat::zero(), |acc, (_, _, m)| acc + m)
+    }
+
+    /// Total mass discarded by observations.
+    pub fn total_discarded_mass(&self) -> Rat {
+        self.discarded
+            .iter()
+            .fold(Rat::zero(), |acc, (_, m)| acc + m)
+    }
+}
+
+/// A weighted set of guarded configurations. Kept as a `Vec`; merging
+/// compresses it through a hash map.
+type Weighted = Vec<(Guard, GlobalConfig, Rat)>;
+
+/// Successors produced by expanding a batch of configurations.
+#[derive(Default)]
+struct Expansion {
+    next: Weighted,
+    terminal: Weighted,
+    discarded: Vec<(Guard, Rat)>,
+}
+
+/// Expands one non-terminal configuration by one global step, appending
+/// successors to `out`.
+fn expand_config(
+    model: &Model,
+    scheduler: &dyn Scheduler,
+    guard: &Guard,
+    cfg: &GlobalConfig,
+    mass: &Rat,
+    opts: &ExactOptions,
+    out: &mut Expansion,
+) -> Result<(), ExactError> {
+    let k = model.num_nodes();
+    let enabled = cfg.enabled_actions();
+    debug_assert!(!enabled.is_empty(), "frontier configs are non-terminal");
+    for (action, p_sched, sched_next) in scheduler.distribution(cfg.sched_state, &enabled, k) {
+        let step_mass = mass * &p_sched;
+        match action {
+            Action::Fwd(i) => {
+                let mut c2 = cfg.clone();
+                c2.sched_state = sched_next;
+                deliver(model, &mut c2, i)?;
+                if c2.is_terminal() {
+                    out.terminal.push((guard.clone(), c2, step_mass));
+                } else {
+                    out.next.push((guard.clone(), c2, step_mass));
+                }
+            }
+            Action::Run(i) => {
+                // G-Run: enumerate every complete handler execution.
+                let branches = enumerate_eval(guard, opts.fm_pruning, |driver| {
+                    let mut node_cfg = cfg.nodes[i].clone();
+                    let outcome = run_handler(model, i, &mut node_cfg, driver)?;
+                    Ok((node_cfg, outcome))
+                })?;
+                for b in branches {
+                    let (node_cfg, outcome) = b.result;
+                    let branch_mass = &step_mass * &b.weight;
+                    match outcome {
+                        HandlerOutcome::ObserveFailed => {
+                            // Conditioning: remove this mass from the
+                            // distribution.
+                            out.discarded.push((b.guard, branch_mass));
+                        }
+                        HandlerOutcome::Completed | HandlerOutcome::AssertFailed => {
+                            let mut c2 = cfg.clone();
+                            c2.sched_state = sched_next;
+                            c2.nodes[i] = node_cfg;
+                            if outcome == HandlerOutcome::AssertFailed {
+                                c2.nodes[i].error = true;
+                            }
+                            if c2.is_terminal() {
+                                out.terminal.push((b.guard, c2, branch_mass));
+                            } else {
+                                out.next.push((b.guard, c2, branch_mass));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn compress(items: Weighted, stats: &mut EngineStats) -> Weighted {
+    let mut map: HashMap<(Guard, GlobalConfig), Rat> = HashMap::with_capacity(items.len());
+    for (g, c, m) in items {
+        match map.entry((g, c)) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                *e.get_mut() += &m;
+                stats.merge_hits += 1;
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(m);
+            }
+        }
+    }
+    map.into_iter().map(|((g, c), m)| (g, c, m)).collect()
+}
+
+/// Runs the exact engine to the termination fixpoint.
+///
+/// # Errors
+///
+/// See [`ExactError`]. In particular, networks that cannot reach a terminal
+/// configuration within `opts.max_global_steps` are reported rather than
+/// looping forever.
+pub fn analyze(
+    model: &Model,
+    scheduler: &dyn Scheduler,
+    opts: &ExactOptions,
+) -> Result<Analysis, ExactError> {
+    let mut stats = EngineStats::default();
+    let k = model.num_nodes();
+    // The source's `num_steps N;` bounds the exploration like the paper's
+    // generated `repeat N { step() }; assert(terminated())` (Figure 10).
+    let step_bound = model.num_steps.unwrap_or(opts.max_global_steps);
+
+    // Initial distribution: enumerate the (possibly random) state
+    // initializers of every node, then build the cartesian product.
+    let mut initial: Vec<(Vec<Vec<Val>>, Rat, Guard)> =
+        vec![(Vec::with_capacity(k), Rat::one(), Guard::top())];
+    for node in 0..k {
+        let prog = &model.programs[node];
+        let node_branches = enumerate_eval(&Guard::top(), opts.fm_pruning, |driver| {
+            bayonet_net::eval_state_init(model, prog, driver)
+        })?;
+        let mut next = Vec::with_capacity(initial.len() * node_branches.len());
+        for (states, mass, guard) in &initial {
+            for b in &node_branches {
+                let Some(combined) = guard.conjoin(&b.guard) else {
+                    continue; // contradictory parameter assumptions
+                };
+                let mut states = states.clone();
+                states.push(b.result.clone());
+                next.push((states, mass * &b.weight, combined));
+            }
+        }
+        initial = next;
+    }
+
+    let mut frontier: Weighted = Vec::new();
+    let mut terminal_acc: Weighted = Vec::new();
+    let mut discarded: HashMap<Guard, Rat> = HashMap::new();
+
+    for (states, mass, guard) in initial {
+        let cfg = initial_config(model, states)?;
+        if cfg.is_terminal() {
+            terminal_acc.push((guard, cfg, mass));
+        } else {
+            frontier.push((guard, cfg, mass));
+        }
+    }
+    frontier = compress(frontier, &mut stats);
+
+    while !frontier.is_empty() {
+        stats.steps += 1;
+        if stats.steps > step_bound {
+            let mass: Rat = frontier
+                .iter()
+                .fold(Rat::zero(), |acc, (_, _, m)| acc + m);
+            return Err(ExactError::Unterminated {
+                live_configs: frontier.len(),
+                mass: format!("{:.6}", mass.to_f64()),
+            });
+        }
+        stats.peak_configs = stats.peak_configs.max(frontier.len());
+        if frontier.len() > opts.max_configs {
+            return Err(ExactError::ConfigLimit(opts.max_configs));
+        }
+
+        stats.expansions += frontier.len() as u64;
+        let threads = opts.threads.max(1);
+        let expansion = if threads > 1 && frontier.len() >= threads * 8 {
+            // Parallel expansion: chunk the frontier, expand per thread,
+            // merge the results. Sound because expansion of one
+            // configuration is independent of every other.
+            let chunk_size = frontier.len().div_ceil(threads);
+            let results: Vec<Result<Expansion, ExactError>> =
+                crossbeam::thread::scope(|scope| {
+                    let handles: Vec<_> = frontier
+                        .chunks(chunk_size)
+                        .map(|chunk| {
+                            scope.spawn(move |_| {
+                                let mut out = Expansion::default();
+                                for (g, c, m) in chunk {
+                                    expand_config(model, scheduler, g, c, m, opts, &mut out)?;
+                                }
+                                Ok(out)
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("expansion worker panicked"))
+                        .collect()
+                })
+                .expect("crossbeam scope");
+            let mut merged = Expansion::default();
+            for r in results {
+                let part = r?;
+                merged.next.extend(part.next);
+                merged.terminal.extend(part.terminal);
+                merged.discarded.extend(part.discarded);
+            }
+            merged
+        } else {
+            let mut out = Expansion::default();
+            for (g, c, m) in &frontier {
+                expand_config(model, scheduler, g, c, m, opts, &mut out)?;
+            }
+            out
+        };
+        frontier.clear();
+        terminal_acc.extend(expansion.terminal);
+        for (g, m) in expansion.discarded {
+            *discarded.entry(g).or_insert_with(Rat::zero) += &m;
+        }
+        frontier = if opts.merge_configs {
+            compress(expansion.next, &mut stats)
+        } else {
+            expansion.next
+        };
+    }
+
+    // Terminal configurations are always merged: soundness does not depend
+    // on it, and it keeps the posterior small.
+    let terminals = compress(terminal_acc, &mut stats);
+    stats.terminal_configs = terminals.len();
+    Ok(Analysis {
+        terminals: terminals
+            .into_iter()
+            .map(|(g, c, m)| (c, g, m))
+            .collect(),
+        discarded: discarded.into_iter().collect(),
+        stats,
+    })
+}

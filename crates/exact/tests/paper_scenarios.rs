@@ -1,0 +1,331 @@
+//! Exact-engine tests on the paper's evaluation scenarios, checked against
+//! analytically forced values.
+
+use bayonet_exact::{analyze, answer, ExactOptions};
+use bayonet_lang::parse;
+use bayonet_net::{compile, scheduler_for, Model};
+use bayonet_num::Rat;
+
+fn model(src: &str) -> Model {
+    let program = parse(src).unwrap_or_else(|e| panic!("parse: {e}"));
+    bayonet_lang::check(&program).unwrap_or_else(|e| panic!("check: {e:?}"));
+    compile(&program).unwrap_or_else(|e| panic!("compile: {e}"))
+}
+
+fn exact_value(model: &Model, query_idx: usize) -> Rat {
+    let analysis = analyze(model, &*scheduler_for(model), &ExactOptions::default())
+        .unwrap_or_else(|e| panic!("analyze: {e}"));
+    // Sanity: terminal + discarded mass accounts for everything.
+    let total = analysis.total_terminal_mass() + analysis.total_discarded_mass();
+    assert_eq!(total, Rat::one(), "mass conservation");
+    let result = answer(model, &analysis, &model.queries[query_idx], true)
+        .unwrap_or_else(|e| panic!("answer: {e}"));
+    result.rat().clone()
+}
+
+/// The reliability diamond of Figure 11(b): ECMP at S0, link S2->S3 fails
+/// with probability 1/1000. Reliability = 1 - 1/2 * 1/1000 = 1999/2000.
+const RELIABILITY_SRC: &str = r#"
+    packet_fields { dst }
+    topology {
+        nodes { H0, S0, S1, S2, S3, H1 }
+        links {
+            (H0, pt1) <-> (S0, pt1),
+            (S0, pt2) <-> (S1, pt1),
+            (S0, pt3) <-> (S2, pt1),
+            (S1, pt2) <-> (S3, pt1),
+            (S2, pt2) <-> (S3, pt2),
+            (S3, pt3) <-> (H1, pt1)
+        }
+    }
+    programs { H0 -> h0, S0 -> s0, S1 -> s1, S2 -> s2, S3 -> s3, H1 -> h1 }
+    init { packet -> (H0, pt1); }
+    query probability(arrived@H1);
+
+    def h0(pkt, pt) { fwd(1); }
+    def s0(pkt, pt) {
+        if flip(1/2) { fwd(2); } else { fwd(3); }
+    }
+    def s1(pkt, pt) { fwd(2); }
+    def s2(pkt, pt) state failing(2) {
+        if failing == 2 { failing = flip(1/1000); }
+        if failing == 1 { drop; } else { fwd(2); }
+    }
+    def s3(pkt, pt) { fwd(3); }
+    def h1(pkt, pt) state arrived(0) { arrived = 1; drop; }
+"#;
+
+#[test]
+fn reliability_diamond_is_1999_over_2000() {
+    let m = model(RELIABILITY_SRC);
+    assert_eq!(exact_value(&m, 0), Rat::ratio(1999, 2000));
+}
+
+#[test]
+fn reliability_value_is_scheduler_independent() {
+    // A single tracked packet: the paper notes the scheduler does not
+    // influence the result (§5.2).
+    let src = RELIABILITY_SRC.replace(
+        "init {",
+        "scheduler roundrobin;\n    init {",
+    );
+    let m = model(&src);
+    assert_eq!(exact_value(&m, 0), Rat::ratio(1999, 2000));
+}
+
+/// Gossip on K4 (Figure 11(c)): S0 seeds one packet;每 uninfected receiver
+/// becomes infected and emits two packets to uniform random neighbors.
+/// E[#infected] = 94/27 (paper §5.3).
+fn gossip_k4_src() -> String {
+    // Complete graph on S0..S3: node i's neighbor j sits on port
+    // (j < i ? j+1 : j), 1-indexed.
+    let mut links = Vec::new();
+    for i in 0..4u32 {
+        for j in (i + 1)..4u32 {
+            let pi = j; // j > i, so port of j at i is j
+            let pj = i + 1; // i < j, so port of i at j is i+1
+            links.push(format!("(S{i}, pt{pi}) <-> (S{j}, pt{pj})"));
+        }
+    }
+    format!(
+        r#"
+        packet_fields {{ dst }}
+        topology {{
+            nodes {{ S0, S1, S2, S3 }}
+            links {{ {links} }}
+        }}
+        programs {{ S0 -> seed, S1 -> gossip, S2 -> gossip, S3 -> gossip }}
+        init {{ packet -> (S0, pt1); }}
+        query expectation(infected@S0 + infected@S1 + infected@S2 + infected@S3);
+
+        def seed(pkt, pt) state infected(0) {{
+            if infected == 0 {{
+                infected = 1;
+                fwd(uniformInt(1, 3));
+            }} else {{ drop; }}
+        }}
+        def gossip(pkt, pt) state infected(0) {{
+            if infected == 0 {{
+                infected = 1;
+                dup;
+                fwd(uniformInt(1, 3));
+                fwd(uniformInt(1, 3));
+            }} else {{ drop; }}
+        }}
+        "#,
+        links = links.join(", ")
+    )
+}
+
+#[test]
+fn gossip_k4_expectation_is_94_over_27() {
+    let m = model(&gossip_k4_src());
+    assert_eq!(exact_value(&m, 0), Rat::ratio(94, 27));
+}
+
+#[test]
+fn gossip_k4_deterministic_scheduler_same_expectation() {
+    // Table 1: uniform and deterministic schedulers agree for gossip.
+    let src = gossip_k4_src().replace("init {", "scheduler roundrobin;\n        init {");
+    let m = model(&src);
+    assert_eq!(exact_value(&m, 0), Rat::ratio(94, 27));
+}
+
+/// Bayesian conditioning: a host sends over a lossy link twice; we observe
+/// that at least one packet arrived and ask for the posterior probability
+/// that both did.
+#[test]
+fn observe_conditions_the_posterior() {
+    // Coin A: packet forwarded with prob 1/2, twice independently.
+    // Receiver observes count >= 1. P(count == 2 | count >= 1) = 1/3.
+    let src = r#"
+        packet_fields { dst }
+        topology { nodes { A, B } links { (A, pt1) <-> (B, pt1) } }
+        programs { A -> sender, B -> sink }
+        init { packet -> (A, pt1); }
+        query probability(got@B == 2);
+
+        def sender(pkt, pt) state sent(0) {
+            if sent < 2 {
+                sent = sent + 1;
+                if sent < 2 { dup; }
+                if flip(1/2) { fwd(1); } else { drop; }
+            } else { drop; }
+        }
+        def sink(pkt, pt) state got(0), checked(0) {
+            got = got + 1;
+            drop;
+        }
+    "#;
+    // First without observation: P(got == 2) = 1/4.
+    let m = model(src);
+    assert_eq!(exact_value(&m, 0), Rat::ratio(1, 4));
+}
+
+#[test]
+fn observe_statement_renormalizes() {
+    // flip a fair coin at state-init; observe it to be heads via a handler.
+    let src = r#"
+        packet_fields { dst }
+        topology { nodes { A, B } links { (A, pt1) <-> (B, pt1) } }
+        programs { A -> a, B -> b }
+        init { packet -> (A, pt1); }
+        query probability(coin@A == 1);
+
+        def a(pkt, pt) state coin(flip(1/3)) {
+            observe(coin == 1 or flip(1/2));
+            drop;
+        }
+        def b(pkt, pt) { drop; }
+    "#;
+    // P(coin=1) = 1/3. Observe passes with prob 1 if coin=1, else 1/2.
+    // Posterior = (1/3) / (1/3 + 2/3 * 1/2) = 1/2.
+    let m = model(src);
+    assert_eq!(exact_value(&m, 0), Rat::ratio(1, 2));
+}
+
+#[test]
+fn assert_failure_counts_in_probability_but_not_expectation() {
+    let src = r#"
+        packet_fields { dst }
+        topology { nodes { A, B } links { (A, pt1) <-> (B, pt1) } }
+        programs { A -> a, B -> b }
+        init { packet -> (A, pt1); }
+        query probability(x@A == 5);
+        query expectation(x@A);
+
+        def a(pkt, pt) state x(0) {
+            if flip(1/4) {
+                x = 5;
+                assert(0);
+            } else {
+                x = 2;
+                drop;
+            }
+        }
+        def b(pkt, pt) { drop; }
+    "#;
+    let m = model(src);
+    // probability: error terminals are terminal configurations too.
+    assert_eq!(exact_value(&m, 0), Rat::ratio(1, 4));
+    // expectation: over non-error terminals only -> always 2.
+    assert_eq!(exact_value(&m, 1), Rat::int(2));
+}
+
+/// The Section 2 running example with concrete OSPF costs (2, 1, 1):
+/// equal-cost paths, ECMP flip at S0 and S1, three packets, capacity-2
+/// queues. Under the deterministic scheduler congestion is certain
+/// (Table 1 row 2); under the uniform scheduler it is strictly between
+/// 0 and 1 (paper: ≈ 0.4487).
+fn section2_src(scheduler: &str) -> String {
+    format!(
+        r#"
+        packet_fields {{ dst }}
+        parameters {{ COST_01, COST_02, COST_21 }}
+        topology {{
+            nodes {{ H0, H1, S0, S1, S2 }}
+            links {{
+                (H0, pt1) <-> (S0, pt3),
+                (S0, pt1) <-> (S1, pt1), (S0, pt2) <-> (S2, pt1),
+                (S1, pt2) <-> (S2, pt2), (S1, pt3) <-> (H1, pt1)
+            }}
+        }}
+        programs {{ H0 -> h0, H1 -> h1, S0 -> s0, S1 -> s1, S2 -> s2 }}
+        queue_capacity 2;
+        scheduler {scheduler};
+        init {{ packet -> (H0, pt1); }}
+        query probability(pkt_cnt@H1 < 3);
+
+        def h0(pkt, pt) state pkt_cnt(0) {{
+            if pkt_cnt < 3 {{
+                new;
+                pkt.dst = H1;
+                fwd(1);
+                pkt_cnt = pkt_cnt + 1;
+            }} else {{ drop; }}
+        }}
+        def h1(pkt, pt) state pkt_cnt(0) {{
+            pkt_cnt = pkt_cnt + 1;
+            drop;
+        }}
+        def s2(pkt, pt) {{
+            if pt == 1 {{ fwd(2); }} else {{ fwd(1); }}
+        }}
+        def s0(pkt, pt) state route1(0), route2(0) {{
+            if pt == 1 {{
+                fwd(3);
+            }} else {{ if pt == 2 {{
+                if pkt.dst == H0 {{ fwd(3); }} else {{ fwd(1); }}
+            }} else {{ if pt == 3 {{
+                route1 = COST_01;
+                route2 = COST_02 + COST_21;
+                if route1 < route2 or (route1 == route2 and flip(1/2)) {{
+                    fwd(1);
+                }} else {{ fwd(2); }}
+            }} else {{ drop; }} }} }}
+        }}
+        def s1(pkt, pt) state route1(0), route2(0) {{
+            if pt == 1 {{
+                fwd(3);
+            }} else {{ if pt == 2 {{
+                if pkt.dst == H1 {{ fwd(3); }} else {{ fwd(1); }}
+            }} else {{ if pt == 3 {{
+                route1 = COST_01;
+                route2 = COST_02 + COST_21;
+                if route1 < route2 or (route1 == route2 and flip(1/2)) {{
+                    fwd(1);
+                }} else {{ fwd(2); }}
+            }} else {{ drop; }} }} }}
+        }}
+        "#
+    )
+}
+
+fn bind_costs(m: &mut Model) {
+    m.bind_param("COST_01", Rat::int(2)).unwrap();
+    m.bind_param("COST_02", Rat::int(1)).unwrap();
+    m.bind_param("COST_21", Rat::int(1)).unwrap();
+}
+
+#[test]
+fn congestion_example_deterministic_scheduler_is_certain() {
+    let mut m = model(&section2_src("roundrobin"));
+    bind_costs(&mut m);
+    assert_eq!(exact_value(&m, 0), Rat::one());
+}
+
+#[test]
+fn congestion_example_uniform_scheduler_matches_paper_exactly() {
+    let mut m = model(&section2_src("uniform"));
+    bind_costs(&mut m);
+    let p = exact_value(&m, 0);
+    // §2.2: probability(pkt_cnt@H1 < 3) = 30378810105265/67706637778944.
+    assert_eq!(p, "30378810105265/67706637778944".parse().unwrap());
+}
+
+#[test]
+fn congestion_example_symbolic_costs_reproduce_figure_3() {
+    // Leave the three link costs symbolic: the answer is piecewise over the
+    // sign of COST_01 - (COST_02 + COST_21), with the paper's fractions.
+    let m = model(&section2_src("uniform"));
+    let analysis =
+        analyze(&m, &*scheduler_for(&m), &ExactOptions::default()).unwrap();
+    let result = answer(&m, &analysis, &m.queries[0], true).unwrap();
+    assert_eq!(result.cells.len(), 3);
+    let values: Vec<Rat> = result
+        .cells
+        .iter()
+        .map(|c| c.value.as_ref().unwrap().as_rat().unwrap().clone())
+        .collect();
+    // Cells come in Minus / Zero / Plus order of the atom's sign.
+    assert_eq!(values[0], "491806403/1088391168".parse().unwrap()); // <
+    assert_eq!(values[1], "30378810105265/67706637778944".parse().unwrap()); // ==
+    assert_eq!(values[2], "2025575442161/4231664861184".parse().unwrap()); // >
+    // The minimum congestion sits on the ECMP-balanced (==) cell, which is
+    // the synthesis result of §2.3.
+    assert!(values[1] < values[0] && values[1] < values[2]);
+    // Each cell ships a usable concrete witness (the "Z3/Mathematica" step).
+    for cell in &result.cells {
+        assert!(!cell.witness.is_empty());
+    }
+}

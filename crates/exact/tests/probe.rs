@@ -1,0 +1,120 @@
+//! Exploratory probes printing measured values (run with --nocapture).
+//! These record the reproduction's concrete numbers for EXPERIMENTS.md.
+
+use bayonet_exact::{analyze, answer, ExactOptions};
+use bayonet_lang::parse;
+use bayonet_net::{compile, scheduler_for};
+use bayonet_num::Rat;
+
+fn section2_src(scheduler: &str) -> String {
+    format!(
+        r#"
+        packet_fields {{ dst }}
+        parameters {{ COST_01, COST_02, COST_21 }}
+        topology {{
+            nodes {{ H0, H1, S0, S1, S2 }}
+            links {{
+                (H0, pt1) <-> (S0, pt3),
+                (S0, pt1) <-> (S1, pt1), (S0, pt2) <-> (S2, pt1),
+                (S1, pt2) <-> (S2, pt2), (S1, pt3) <-> (H1, pt1)
+            }}
+        }}
+        programs {{ H0 -> h0, H1 -> h1, S0 -> s0, S1 -> s1, S2 -> s2 }}
+        queue_capacity 2;
+        scheduler {scheduler};
+        init {{ packet -> (H0, pt1); }}
+        query probability(pkt_cnt@H1 < 3);
+
+        def h0(pkt, pt) state pkt_cnt(0) {{
+            if pkt_cnt < 3 {{
+                new;
+                pkt.dst = H1;
+                fwd(1);
+                pkt_cnt = pkt_cnt + 1;
+            }} else {{ drop; }}
+        }}
+        def h1(pkt, pt) state pkt_cnt(0) {{
+            pkt_cnt = pkt_cnt + 1;
+            drop;
+        }}
+        def s2(pkt, pt) {{
+            if pt == 1 {{ fwd(2); }} else {{ fwd(1); }}
+        }}
+        def s0(pkt, pt) state route1(0), route2(0) {{
+            if pt == 1 {{
+                fwd(3);
+            }} else {{ if pt == 2 {{
+                if pkt.dst == H0 {{ fwd(3); }} else {{ fwd(1); }}
+            }} else {{ if pt == 3 {{
+                route1 = COST_01;
+                route2 = COST_02 + COST_21;
+                if route1 < route2 or (route1 == route2 and flip(1/2)) {{
+                    fwd(1);
+                }} else {{ fwd(2); }}
+            }} else {{ drop; }} }} }}
+        }}
+        def s1(pkt, pt) state route1(0), route2(0) {{
+            if pt == 1 {{
+                fwd(3);
+            }} else {{ if pt == 2 {{
+                if pkt.dst == H1 {{ fwd(3); }} else {{ fwd(1); }}
+            }} else {{ if pt == 3 {{
+                route1 = COST_01;
+                route2 = COST_02 + COST_21;
+                if route1 < route2 or (route1 == route2 and flip(1/2)) {{
+                    fwd(1);
+                }} else {{ fwd(2); }}
+            }} else {{ drop; }} }} }}
+        }}
+        "#
+    )
+}
+
+#[test]
+#[ignore = "exploratory probe; run with --ignored --nocapture"]
+fn probe_congestion_uniform_concrete() {
+    let program = parse(&section2_src("uniform")).unwrap();
+    let mut m = compile(&program).unwrap();
+    m.bind_param("COST_01", Rat::int(2)).unwrap();
+    m.bind_param("COST_02", Rat::int(1)).unwrap();
+    m.bind_param("COST_21", Rat::int(1)).unwrap();
+    let t0 = std::time::Instant::now();
+    let analysis = analyze(&m, &*scheduler_for(&m), &ExactOptions::default()).unwrap();
+    let result = answer(&m, &analysis, &m.queries[0], true).unwrap();
+    println!(
+        "congestion(uniform, concrete 2/1/1) = {} ≈ {:.6}  [{} terminals, {} steps, peak {}, {:?}]",
+        result.rat(),
+        result.to_f64(),
+        analysis.stats.terminal_configs,
+        analysis.stats.steps,
+        analysis.stats.peak_configs,
+        t0.elapsed(),
+    );
+}
+
+#[test]
+#[ignore = "exploratory probe; run with --ignored --nocapture"]
+fn probe_congestion_symbolic_cells() {
+    let program = parse(&section2_src("uniform")).unwrap();
+    let m = compile(&program).unwrap();
+    let t0 = std::time::Instant::now();
+    let analysis = analyze(&m, &*scheduler_for(&m), &ExactOptions::default()).unwrap();
+    let result = answer(&m, &analysis, &m.queries[0], true).unwrap();
+    println!("symbolic congestion cells ({:?}):", t0.elapsed());
+    for cell in &result.cells {
+        let value = cell
+            .value
+            .as_ref()
+            .and_then(|v| v.as_rat())
+            .map(|r| format!("{r} ≈ {:.6}", r.to_f64()))
+            .unwrap_or_else(|| "undefined/symbolic".into());
+        println!("  {} : {}", cell.guard.display(&m.params), value);
+        println!(
+            "    witness: {:?}",
+            cell.witness
+                .iter()
+                .map(|(p, v)| format!("{}={}", m.params.name(*p), v))
+                .collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,97 @@
+//! Property tests of the replay enumerator: for any (deterministic-given-
+//! the-driver) computation, branch weights sum to 1 and match direct
+//! probability calculations.
+
+use bayonet_exact::enumerate_eval;
+use bayonet_net::ChoiceDriver;
+use bayonet_num::Rat;
+use bayonet_symbolic::Guard;
+use proptest::prelude::*;
+
+/// A small random program over the driver: a sequence of draw instructions
+/// whose results select the next instruction (data-dependent branching).
+#[derive(Clone, Debug)]
+enum Instr {
+    Flip(u8, u8),    // flip(a / b) with 0 < a < b
+    Uniform(u8, u8), // uniformInt(lo, lo + span)
+}
+
+fn arb_program() -> impl Strategy<Value = Vec<Instr>> {
+    let instr = prop_oneof![
+        (1u8..4, 4u8..6).prop_map(|(a, b)| Instr::Flip(a, b)),
+        (0u8..3, 1u8..3).prop_map(|(lo, span)| Instr::Uniform(lo, span)),
+    ];
+    proptest::collection::vec(instr, 1..6)
+}
+
+fn run_program(
+    program: &[Instr],
+    driver: &mut dyn ChoiceDriver,
+) -> Result<i64, bayonet_net::SemanticsError> {
+    let mut acc = 0i64;
+    let mut skip_next = false;
+    for instr in program {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        match instr {
+            Instr::Flip(a, b) => {
+                let heads = driver.flip(&Rat::ratio(*a as i64, *b as i64))?;
+                acc = acc * 2 + i64::from(heads);
+                // Data-dependent control flow: heads skips the next draw.
+                skip_next = heads;
+            }
+            Instr::Uniform(lo, span) => {
+                let v = driver.uniform_int(*lo as i64, (*lo + *span) as i64)?;
+                acc = acc * 7 + v;
+                skip_next = v % 2 == 0;
+            }
+        }
+    }
+    Ok(acc)
+}
+
+proptest! {
+    /// Branch weights always form a probability distribution.
+    #[test]
+    fn weights_sum_to_one(program in arb_program()) {
+        let branches =
+            enumerate_eval(&Guard::top(), true, |d| run_program(&program, d)).unwrap();
+        let total: Rat = branches.iter().fold(Rat::zero(), |acc, b| acc + &b.weight);
+        prop_assert_eq!(total, Rat::one());
+        for b in &branches {
+            prop_assert!(b.weight.is_positive());
+            prop_assert!(b.guard.is_top(), "no symbolic splits here");
+        }
+    }
+
+    /// The enumerated distribution of results matches a brute-force
+    /// computation over all outcome sequences for straight-line prefixes.
+    #[test]
+    fn single_flip_probability_is_exact(a in 1u8..4, b in 4u8..6) {
+        let program = vec![Instr::Flip(a, b)];
+        let branches =
+            enumerate_eval(&Guard::top(), true, |d| run_program(&program, d)).unwrap();
+        let p_heads: Rat = branches
+            .iter()
+            .filter(|br| br.result == 1)
+            .fold(Rat::zero(), |acc, br| acc + &br.weight);
+        prop_assert_eq!(p_heads, Rat::ratio(a as i64, b as i64));
+    }
+
+    /// Enumeration is deterministic: two runs produce identical branches.
+    #[test]
+    fn enumeration_is_deterministic(program in arb_program()) {
+        let run = || {
+            let mut branches =
+                enumerate_eval(&Guard::top(), true, |d| run_program(&program, d)).unwrap();
+            branches.sort_by_key(|b| b.result);
+            branches
+                .into_iter()
+                .map(|b| (b.result, b.weight))
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,341 @@
+//! Abstract syntax of the Bayonet language (paper Figure 4, plus the
+//! surface declarations of Figure 2: topology, packet fields, program
+//! assignment, queries, and our explicit `init`/`scheduler` blocks).
+
+use bayonet_num::Rat;
+
+use crate::token::Span;
+
+/// An identifier with its source span.
+#[derive(Clone, Debug)]
+pub struct Ident {
+    /// The name as written.
+    pub name: String,
+    /// Source position.
+    pub span: Span,
+}
+
+impl Ident {
+    /// Creates an identifier with a default span (used by builders/tests).
+    pub fn synthetic(name: impl Into<String>) -> Self {
+        Ident {
+            name: name.into(),
+            span: Span::default(),
+        }
+    }
+}
+
+impl PartialEq for Ident {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+    }
+}
+
+impl Eq for Ident {}
+
+impl std::fmt::Display for Ident {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// A complete Bayonet source file.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Program {
+    /// Declared packet header fields (`packet_fields { dst, id }`).
+    pub packet_fields: Vec<Ident>,
+    /// Declared symbolic configuration parameters (`parameters { COST_01 }`).
+    pub parameters: Vec<Ident>,
+    /// The network topology.
+    pub topology: Topology,
+    /// Assignment of node programs (`programs { H0 -> h0, ... }`).
+    pub programs: Vec<(Ident, Ident)>,
+    /// Queue capacity for all nodes (`queue_capacity 2;`); default 2 as in
+    /// the paper's running example.
+    pub queue_capacity: Option<u64>,
+    /// Optional bound on global steps (`num_steps 64;`). Without it the
+    /// engines run to termination (with a safety cap).
+    pub num_steps: Option<u64>,
+    /// Scheduler selection; defaults to the uniform scheduler of Figure 6.
+    pub scheduler: SchedulerSpec,
+    /// Packets present in input queues at time zero.
+    pub init: Vec<InitPacket>,
+    /// Queries to answer (at least one; paper §4 integrity checks).
+    pub queries: Vec<Query>,
+    /// Node program definitions.
+    pub defs: Vec<NodeDef>,
+}
+
+/// The network topology: nodes and bidirectional links between interfaces.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Topology {
+    /// Declared node names, in id order (node ids are indices).
+    pub nodes: Vec<Ident>,
+    /// Links between `(node, port)` interfaces.
+    pub links: Vec<Link>,
+}
+
+/// A bidirectional link `(a, pa) <-> (b, pb)`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Link {
+    /// First endpoint.
+    pub a: Endpoint,
+    /// Second endpoint.
+    pub b: Endpoint,
+}
+
+/// One side of a link: a node name and a port number.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Endpoint {
+    /// The node.
+    pub node: Ident,
+    /// The port (written `pt1` or `1`).
+    pub port: u32,
+}
+
+/// Scheduler selection (the paper models schedulers as probabilistic
+/// programs; we provide the three families used in the evaluation).
+#[derive(Clone, Debug, PartialEq)]
+pub enum SchedulerSpec {
+    /// Uniform over enabled actions (paper Figure 6).
+    Uniform,
+    /// Deterministic round-robin (the paper's "det." scheduler).
+    RoundRobin,
+    /// Stateful rotor scheduler: a cursor sweeps the action space fairly
+    /// (demonstrates the paper's stateful-scheduler machinery).
+    Rotor,
+    /// Weighted by node: enabled actions of node `n` get weight `w(n)`;
+    /// models differing link/switch speeds.
+    Weighted(Vec<(Ident, u64)>),
+}
+
+/// A packet injected at time zero into a node's input queue.
+#[derive(Clone, Debug, PartialEq)]
+pub struct InitPacket {
+    /// Destination node of the injection.
+    pub node: Ident,
+    /// Port the packet appears to have arrived on.
+    pub port: u32,
+    /// Field initializers; unmentioned fields are 0.
+    pub fields: Vec<(Ident, Expr)>,
+}
+
+/// A query over terminal network configurations (paper Figure 8).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Query {
+    /// `probability(b)` — probability that `b` holds at termination.
+    Probability(Expr),
+    /// `expectation(e)` — expected value of `e` over non-error terminals.
+    Expectation(Expr),
+}
+
+impl Query {
+    /// The expression inside the query.
+    pub fn expr(&self) -> &Expr {
+        match self {
+            Query::Probability(e) | Query::Expectation(e) => e,
+        }
+    }
+}
+
+/// A node program definition `def name(pkt, pt) state x(e), ... { body }`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NodeDef {
+    /// Program name.
+    pub name: Ident,
+    /// Whether the `(pkt, pt)` parameter list was written (purely
+    /// syntactic; `pkt`/`pt` are always in scope inside handlers).
+    pub has_params: bool,
+    /// State variables with initializer expressions, evaluated once at
+    /// network construction time (initializers may be random, e.g.
+    /// `state bad_hash(flip(1/10))`).
+    pub state: Vec<(Ident, Expr)>,
+    /// Handler body, run per packet at the head of the input queue.
+    pub body: Vec<Stmt>,
+}
+
+/// Statements (paper Figure 4).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Stmt {
+    /// `new;` — prepend a fresh all-zero packet (port 0) to the input queue.
+    New(Span),
+    /// `drop;` — remove the packet at the head of the input queue.
+    Drop(Span),
+    /// `dup;` — duplicate the packet at the head of the input queue.
+    Dup(Span),
+    /// `fwd(e);` — move the head packet to the output queue, targeting port `e`.
+    Fwd(Expr, Span),
+    /// `x = e;`
+    Assign(Ident, Expr),
+    /// `pkt.f = e;`
+    FieldAssign(Ident, Expr),
+    /// `assert(b);` — failure sends the node to the error state ⊥.
+    Assert(Expr, Span),
+    /// `observe(b);` — failure discards the current trace (Bayesian
+    /// conditioning).
+    Observe(Expr, Span),
+    /// `skip;`
+    Skip(Span),
+    /// `if b { ... } else { ... }` (the else branch may be empty).
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// `while b { ... }`
+    While(Expr, Vec<Stmt>),
+}
+
+/// Binary operators.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `and`
+    And,
+    /// `or`
+    Or,
+}
+
+impl BinOp {
+    /// The source spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+        }
+    }
+
+    /// Returns `true` for comparison operators (result is 0/1).
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
+    }
+}
+
+/// Expressions. Booleans are encoded as 0/1 rationals; any nonzero value is
+/// truthy (the paper writes `observe(0)` and `if flip(1/2) { ... }`).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// Rational literal (integer literals and folded fractions).
+    Num(Rat, Span),
+    /// An unresolved name: local/state variable, node name, or parameter —
+    /// resolution happens during compilation against the declaration sets.
+    Name(Ident),
+    /// `pkt.f` — field of the packet at the head of the input queue.
+    Field(Ident),
+    /// `pt` — the arrival port of the head packet.
+    Port(Span),
+    /// `x@Node` — state of another node; only legal inside queries.
+    At(Ident, Ident),
+    /// `flip(p)` — Bernoulli draw, 1 with probability `p`.
+    Flip(Box<Expr>, Span),
+    /// `uniformInt(lo, hi)` — uniform integer in `[lo, hi]` inclusive.
+    UniformInt(Box<Expr>, Box<Expr>, Span),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// `not e`
+    Not(Box<Expr>, Span),
+    /// Unary minus.
+    Neg(Box<Expr>, Span),
+}
+
+impl Expr {
+    /// The source span of the expression's head token.
+    pub fn span(&self) -> Span {
+        match self {
+            Expr::Num(_, s)
+            | Expr::Port(s)
+            | Expr::Flip(_, s)
+            | Expr::UniformInt(_, _, s)
+            | Expr::Not(_, s)
+            | Expr::Neg(_, s) => *s,
+            Expr::Name(id) | Expr::Field(id) | Expr::At(id, _) => id.span,
+            Expr::Binary(_, lhs, _) => lhs.span(),
+        }
+    }
+
+    /// Visits every sub-expression, including `self`.
+    pub fn walk(&self, f: &mut dyn FnMut(&Expr)) {
+        f(self);
+        match self {
+            Expr::Flip(e, _) | Expr::Not(e, _) | Expr::Neg(e, _) => e.walk(f),
+            Expr::UniformInt(a, b, _) | Expr::Binary(_, a, b) => {
+                a.walk(f);
+                b.walk(f);
+            }
+            _ => {}
+        }
+    }
+
+    /// Returns `true` if any sub-expression draws randomness.
+    pub fn is_random(&self) -> bool {
+        let mut found = false;
+        self.walk(&mut |e| {
+            if matches!(e, Expr::Flip(..) | Expr::UniformInt(..)) {
+                found = true;
+            }
+        });
+        found
+    }
+}
+
+/// Visits every statement in a body, recursing into branches.
+pub fn walk_stmts(stmts: &[Stmt], f: &mut dyn FnMut(&Stmt)) {
+    for s in stmts {
+        f(s);
+        match s {
+            Stmt::If(_, then_body, else_body) => {
+                walk_stmts(then_body, f);
+                walk_stmts(else_body, f);
+            }
+            Stmt::While(_, body) => walk_stmts(body, f),
+            _ => {}
+        }
+    }
+}
+
+/// Visits every expression occurring in a body of statements.
+pub fn walk_exprs(stmts: &[Stmt], f: &mut dyn FnMut(&Expr)) {
+    walk_stmts(stmts, &mut |s| {
+        let exprs: Vec<&Expr> = match s {
+            Stmt::Fwd(e, _)
+            | Stmt::Assign(_, e)
+            | Stmt::FieldAssign(_, e)
+            | Stmt::Assert(e, _)
+            | Stmt::Observe(e, _)
+            | Stmt::If(e, _, _)
+            | Stmt::While(e, _) => vec![e],
+            _ => vec![],
+        };
+        for e in exprs {
+            e.walk(f);
+        }
+    });
+}

@@ -1,0 +1,762 @@
+//! Static integrity checking (paper §4).
+//!
+//! Before translating a program, Bayonet statically checks for common
+//! network-definition problems: every node is assigned a proper program,
+//! all nodes are linked, each interface belongs to at most one link, the
+//! queue capacities are sensible, at least one query is declared, and so
+//! on. These checks are domain-specific and cheap; they catch errors that a
+//! general-purpose PPL would only surface as silent misbehaviour.
+
+use std::collections::{HashMap, HashSet};
+
+use bayonet_num::Rat;
+
+use crate::ast::*;
+use crate::error::LangError;
+use crate::token::Span;
+
+/// A non-fatal finding: the program is still runnable, but likely wrong.
+#[derive(Clone, Debug)]
+pub struct Warning {
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// The outcome of a successful static check.
+#[derive(Clone, Debug, Default)]
+pub struct CheckReport {
+    /// Non-fatal findings.
+    pub warnings: Vec<Warning>,
+}
+
+/// Evaluates a constant expression (no names, fields, or draws).
+pub fn const_eval(e: &Expr) -> Option<Rat> {
+    match e {
+        Expr::Num(r, _) => Some(r.clone()),
+        Expr::Neg(inner, _) => const_eval(inner).map(|v| -v),
+        Expr::Not(inner, _) => const_eval(inner).map(|v| Rat::from_bool(!v.is_true())),
+        Expr::Binary(op, a, b) => {
+            let (a, b) = (const_eval(a)?, const_eval(b)?);
+            Some(match op {
+                BinOp::Add => a + b,
+                BinOp::Sub => a - b,
+                BinOp::Mul => a * b,
+                BinOp::Div => a.checked_div(&b)?,
+                BinOp::Eq => Rat::from_bool(a == b),
+                BinOp::Ne => Rat::from_bool(a != b),
+                BinOp::Lt => Rat::from_bool(a < b),
+                BinOp::Le => Rat::from_bool(a <= b),
+                BinOp::Gt => Rat::from_bool(a > b),
+                BinOp::Ge => Rat::from_bool(a >= b),
+                BinOp::And => Rat::from_bool(a.is_true() && b.is_true()),
+                BinOp::Or => Rat::from_bool(a.is_true() || b.is_true()),
+            })
+        }
+        _ => None,
+    }
+}
+
+/// Runs all static integrity checks on a parsed program.
+///
+/// # Errors
+///
+/// Returns every detected integrity violation (not just the first).
+pub fn check(p: &Program) -> Result<CheckReport, Vec<LangError>> {
+    let mut sink = Sink::default();
+    check_unique_declarations(p, &mut sink);
+    check_topology(p, &mut sink);
+    check_program_assignment(p, &mut sink);
+    check_queries(p, &mut sink);
+    check_init(p, &mut sink);
+    check_defs(p, &mut sink);
+    check_scheduler(p, &mut sink);
+    if sink.errors.is_empty() {
+        Ok(CheckReport {
+            warnings: sink.warnings,
+        })
+    } else {
+        Err(sink.errors)
+    }
+}
+
+#[derive(Default)]
+struct Sink {
+    errors: Vec<LangError>,
+    warnings: Vec<Warning>,
+}
+
+impl Sink {
+    fn error(&mut self, msg: impl Into<String>, span: Option<Span>) {
+        self.errors.push(LangError::check(msg, span));
+    }
+
+    fn warn(&mut self, msg: impl Into<String>) {
+        self.warnings.push(Warning {
+            message: msg.into(),
+        });
+    }
+}
+
+fn node_names(p: &Program) -> HashSet<&str> {
+    p.topology.nodes.iter().map(|n| n.name.as_str()).collect()
+}
+
+fn check_unique_declarations(p: &Program, sink: &mut Sink) {
+    fn dup(items: &[Ident], kind: &str, sink: &mut Sink) {
+        let mut seen = HashSet::new();
+        for i in items {
+            if !seen.insert(i.name.as_str()) {
+                sink.error(format!("duplicate {kind} `{}`", i.name), Some(i.span));
+            }
+        }
+    }
+    dup(&p.topology.nodes, "node", sink);
+    dup(&p.packet_fields, "packet field", sink);
+    dup(&p.parameters, "parameter", sink);
+    let def_names: Vec<Ident> = p.defs.iter().map(|d| d.name.clone()).collect();
+    dup(&def_names, "program definition", sink);
+    for d in &p.defs {
+        let state_names: Vec<Ident> = d.state.iter().map(|(v, _)| v.clone()).collect();
+        dup(&state_names, "state variable", sink);
+    }
+    // A name may not be simultaneously a node and a parameter: both are
+    // referenced as bare identifiers inside handlers.
+    let nodes = node_names(p);
+    for param in &p.parameters {
+        if nodes.contains(param.name.as_str()) {
+            sink.error(
+                format!(
+                    "`{}` is declared both as a node and a parameter",
+                    param.name
+                ),
+                Some(param.span),
+            );
+        }
+    }
+}
+
+fn check_topology(p: &Program, sink: &mut Sink) {
+    let nodes = node_names(p);
+    let mut interface_count: HashMap<(String, u32), u32> = HashMap::new();
+    for link in &p.topology.links {
+        for ep in [&link.a, &link.b] {
+            if !nodes.contains(ep.node.name.as_str()) {
+                sink.error(
+                    format!("link references undeclared node `{}`", ep.node.name),
+                    Some(ep.node.span),
+                );
+            }
+            if ep.port == 0 {
+                sink.error(
+                    format!("port numbers start at 1 (node `{}`)", ep.node.name),
+                    Some(ep.node.span),
+                );
+            }
+            *interface_count
+                .entry((ep.node.name.clone(), ep.port))
+                .or_insert(0) += 1;
+        }
+        if link.a.node == link.b.node && link.a.port == link.b.port {
+            sink.error(
+                format!(
+                    "link connects interface ({}, pt{}) to itself",
+                    link.a.node.name, link.a.port
+                ),
+                Some(link.a.node.span),
+            );
+        }
+    }
+    // Each interface participates in at most one link (paper Figure 4).
+    for ((node, port), count) in &interface_count {
+        if *count > 1 {
+            sink.error(
+                format!("interface ({node}, pt{port}) appears in {count} links"),
+                None,
+            );
+        }
+    }
+    // Every node must be linked.
+    let linked: HashSet<&str> = p
+        .topology
+        .links
+        .iter()
+        .flat_map(|l| [l.a.node.name.as_str(), l.b.node.name.as_str()])
+        .collect();
+    for n in &p.topology.nodes {
+        if !linked.contains(n.name.as_str()) {
+            sink.error(
+                format!("node `{}` is not connected to any link", n.name),
+                Some(n.span),
+            );
+        }
+    }
+}
+
+fn check_program_assignment(p: &Program, sink: &mut Sink) {
+    let nodes = node_names(p);
+    let defs: HashSet<&str> = p.defs.iter().map(|d| d.name.name.as_str()).collect();
+    let mut assigned: HashMap<&str, &str> = HashMap::new();
+    for (node, prog) in &p.programs {
+        if !nodes.contains(node.name.as_str()) {
+            sink.error(
+                format!("programs block references undeclared node `{}`", node.name),
+                Some(node.span),
+            );
+        }
+        if !defs.contains(prog.name.as_str()) {
+            sink.error(
+                format!(
+                    "node `{}` is assigned undefined program `{}`",
+                    node.name, prog.name
+                ),
+                Some(prog.span),
+            );
+        }
+        if assigned.insert(&node.name, &prog.name).is_some() {
+            sink.error(
+                format!("node `{}` is assigned more than one program", node.name),
+                Some(node.span),
+            );
+        }
+    }
+    for n in &p.topology.nodes {
+        if !assigned.contains_key(n.name.as_str()) {
+            sink.error(
+                format!("node `{}` has no program assigned", n.name),
+                Some(n.span),
+            );
+        }
+    }
+    // Unused defs are suspicious but not fatal.
+    let used: HashSet<&str> = p.programs.iter().map(|(_, pr)| pr.name.as_str()).collect();
+    for d in &p.defs {
+        if !used.contains(d.name.name.as_str()) {
+            sink.warn(format!(
+                "program `{}` is defined but never assigned to a node",
+                d.name.name
+            ));
+        }
+    }
+}
+
+fn state_vars_of_node<'a>(p: &'a Program, node: &str) -> Option<HashSet<&'a str>> {
+    let prog = p
+        .programs
+        .iter()
+        .find(|(n, _)| n.name == node)?
+        .1
+        .name
+        .as_str();
+    let def = p.defs.iter().find(|d| d.name.name == prog)?;
+    Some(def.state.iter().map(|(v, _)| v.name.as_str()).collect())
+}
+
+fn check_queries(p: &Program, sink: &mut Sink) {
+    if p.queries.is_empty() {
+        sink.error("at least one query must be declared", None);
+    }
+    let nodes = node_names(p);
+    for q in &p.queries {
+        q.expr().walk(&mut |e| match e {
+            Expr::At(var, node) => {
+                if !nodes.contains(node.name.as_str()) {
+                    sink.error(
+                        format!("query references undeclared node `{}`", node.name),
+                        Some(node.span),
+                    );
+                } else if let Some(vars) = state_vars_of_node(p, &node.name) {
+                    if !vars.contains(var.name.as_str()) {
+                        sink.error(
+                            format!(
+                                "`{}` is not a state variable of node `{}`'s program",
+                                var.name, node.name
+                            ),
+                            Some(var.span),
+                        );
+                    }
+                }
+            }
+            Expr::Field(f) => {
+                sink.error(
+                    format!("queries cannot read packet fields (pkt.{})", f.name),
+                    Some(f.span),
+                );
+            }
+            Expr::Port(s) => {
+                sink.error("queries cannot reference `pt`", Some(*s));
+            }
+            Expr::Flip(_, s) | Expr::UniformInt(_, _, s) => {
+                sink.error(
+                    "queries must be deterministic (no flip/uniformInt)",
+                    Some(*s),
+                );
+            }
+            Expr::Name(id) if !nodes.contains(id.name.as_str()) => {
+                let is_param = p.parameters.iter().any(|pr| pr.name == id.name);
+                if !is_param {
+                    sink.error(
+                        format!(
+                            "query name `{}` is neither a node nor a parameter; \
+                             use var@Node for node state",
+                            id.name
+                        ),
+                        Some(id.span),
+                    );
+                }
+            }
+            _ => {}
+        });
+    }
+}
+
+fn check_init(p: &Program, sink: &mut Sink) {
+    let nodes = node_names(p);
+    let fields: HashSet<&str> = p.packet_fields.iter().map(|f| f.name.as_str()).collect();
+    for ip in &p.init {
+        if !nodes.contains(ip.node.name.as_str()) {
+            sink.error(
+                format!("init packet targets undeclared node `{}`", ip.node.name),
+                Some(ip.node.span),
+            );
+        }
+        for (f, e) in &ip.fields {
+            if !fields.contains(f.name.as_str()) {
+                sink.error(
+                    format!("init packet sets undeclared field `{}`", f.name),
+                    Some(f.span),
+                );
+            }
+            if e.is_random() {
+                sink.error(
+                    "init packet fields must be deterministic expressions",
+                    Some(e.span()),
+                );
+            }
+        }
+    }
+    if p.init.is_empty() {
+        sink.warn(
+            "no init packets: the network terminates immediately unless state \
+             initializers inject work",
+        );
+    }
+}
+
+fn check_scheduler(p: &Program, sink: &mut Sink) {
+    if let SchedulerSpec::Weighted(ws) = &p.scheduler {
+        let nodes = node_names(p);
+        for (node, w) in ws {
+            if !nodes.contains(node.name.as_str()) {
+                sink.error(
+                    format!("scheduler weight for undeclared node `{}`", node.name),
+                    Some(node.span),
+                );
+            }
+            if *w == 0 {
+                sink.error(
+                    format!("scheduler weight for `{}` must be positive", node.name),
+                    Some(node.span),
+                );
+            }
+        }
+    }
+}
+
+fn check_defs(p: &Program, sink: &mut Sink) {
+    let nodes = node_names(p);
+    let params: HashSet<&str> = p.parameters.iter().map(|pr| pr.name.as_str()).collect();
+    let fields: HashSet<&str> = p.packet_fields.iter().map(|f| f.name.as_str()).collect();
+
+    for def in &p.defs {
+        let state: HashSet<&str> = def.state.iter().map(|(v, _)| v.name.as_str()).collect();
+
+        // State initializers may reference parameters/nodes and draw
+        // randomness, but not other variables, pkt, or pt.
+        for (var, init) in &def.state {
+            init.walk(&mut |e| match e {
+                Expr::Name(id)
+                    if !params.contains(id.name.as_str())
+                        && !nodes.contains(id.name.as_str()) =>
+                {
+                    sink.error(
+                        format!(
+                            "state initializer of `{}` references `{}`, which is neither \
+                             a parameter nor a node",
+                            var.name, id.name
+                        ),
+                        Some(id.span),
+                    );
+                }
+                Expr::Field(f) => sink.error(
+                    format!("state initializer of `{}` reads pkt.{}", var.name, f.name),
+                    Some(f.span),
+                ),
+                Expr::Port(s) => sink.error(
+                    format!("state initializer of `{}` reads pt", var.name),
+                    Some(*s),
+                ),
+                Expr::At(_, n) => sink.error(
+                    "x@Node expressions are only allowed in queries",
+                    Some(n.span),
+                ),
+                _ => {}
+            });
+        }
+
+        // Expression-level checks over the body.
+        walk_exprs(&def.body, &mut |e| match e {
+            Expr::At(_, n) => sink.error(
+                "x@Node expressions are only allowed in queries",
+                Some(n.span),
+            ),
+            Expr::Field(f) if !fields.contains(f.name.as_str()) => {
+                sink.error(
+                    format!("undeclared packet field `{}`", f.name),
+                    Some(f.span),
+                );
+            }
+            Expr::Flip(prob, s) => {
+                if let Some(v) = const_eval(prob) {
+                    if v.is_negative() || v > Rat::one() {
+                        sink.error(
+                            format!("flip probability {v} is outside [0, 1]"),
+                            Some(*s),
+                        );
+                    }
+                }
+            }
+            Expr::UniformInt(lo, hi, s) => {
+                if let (Some(l), Some(h)) = (const_eval(lo), const_eval(hi)) {
+                    if l > h {
+                        sink.error(format!("uniformInt range [{l}, {h}] is empty"), Some(*s));
+                    }
+                    if !l.is_integer() || !h.is_integer() {
+                        sink.error("uniformInt bounds must be integers", Some(*s));
+                    }
+                }
+            }
+            Expr::Binary(BinOp::Div, _, rhs) => {
+                if const_eval(rhs).is_some_and(|v| v.is_zero()) {
+                    sink.error("division by constant zero", Some(rhs.span()));
+                }
+            }
+            _ => {}
+        });
+
+        // Definite-assignment analysis for local (non-state) variables.
+        let mut assigned: HashSet<String> = HashSet::new();
+        definite_assignment(&def.body, &mut assigned, &state, &params, &nodes, def, sink);
+
+        // Literal fwd ports should exist on some node running this def.
+        let running_nodes: Vec<&str> = p
+            .programs
+            .iter()
+            .filter(|(_, pr)| pr.name == def.name.name)
+            .map(|(n, _)| n.name.as_str())
+            .collect();
+        walk_stmts(&def.body, &mut |s| {
+            if let Stmt::Fwd(e, span) = s {
+                if let Some(port) = const_eval(e).and_then(|v| v.to_i64()) {
+                    for node in &running_nodes {
+                        let has_link = p.topology.links.iter().any(|l| {
+                            (l.a.node.name == *node && l.a.port as i64 == port)
+                                || (l.b.node.name == *node && l.b.port as i64 == port)
+                        });
+                        if !has_link {
+                            sink.warn(format!(
+                                "program `{}` forwards to port {port}, but node `{node}` \
+                                 has no link on that port (at {}:{})",
+                                def.name.name, span.line, span.col
+                            ));
+                        }
+                    }
+                }
+            }
+        });
+    }
+}
+
+/// Walks `stmts` tracking which local variables are definitely assigned,
+/// reporting uses of possibly-unassigned locals. Updates `assigned` to the
+/// set of variables definitely assigned after the block.
+fn definite_assignment(
+    stmts: &[Stmt],
+    assigned: &mut HashSet<String>,
+    state: &HashSet<&str>,
+    params: &HashSet<&str>,
+    nodes: &HashSet<&str>,
+    def: &NodeDef,
+    sink: &mut Sink,
+) {
+    fn check_expr(
+        e: &Expr,
+        assigned: &HashSet<String>,
+        state: &HashSet<&str>,
+        params: &HashSet<&str>,
+        nodes: &HashSet<&str>,
+        def: &NodeDef,
+        sink: &mut Sink,
+    ) {
+        e.walk(&mut |sub| {
+            if let Expr::Name(id) = sub {
+                let known = state.contains(id.name.as_str())
+                    || params.contains(id.name.as_str())
+                    || nodes.contains(id.name.as_str())
+                    || assigned.contains(&id.name);
+                if !known {
+                    sink.error(
+                        format!(
+                            "variable `{}` may be used before assignment in program `{}`",
+                            id.name, def.name.name
+                        ),
+                        Some(id.span),
+                    );
+                }
+            }
+        });
+    }
+    for s in stmts {
+        match s {
+            Stmt::Assign(x, e) => {
+                check_expr(e, assigned, state, params, nodes, def, sink);
+                if nodes.contains(x.name.as_str()) || params.contains(x.name.as_str()) {
+                    sink.error(
+                        format!("cannot assign to `{}` (a node/parameter name)", x.name),
+                        Some(x.span),
+                    );
+                }
+                assigned.insert(x.name.clone());
+            }
+            Stmt::FieldAssign(_, e)
+            | Stmt::Fwd(e, _)
+            | Stmt::Assert(e, _)
+            | Stmt::Observe(e, _) => {
+                check_expr(e, assigned, state, params, nodes, def, sink);
+            }
+            Stmt::If(c, t, els) => {
+                check_expr(c, assigned, state, params, nodes, def, sink);
+                let mut a_then = assigned.clone();
+                let mut a_else = assigned.clone();
+                definite_assignment(t, &mut a_then, state, params, nodes, def, sink);
+                definite_assignment(els, &mut a_else, state, params, nodes, def, sink);
+                // Definitely assigned after = intersection of branches.
+                *assigned = a_then.intersection(&a_else).cloned().collect();
+            }
+            Stmt::While(c, body) => {
+                check_expr(c, assigned, state, params, nodes, def, sink);
+                // The body may run zero times: its assignments don't count,
+                // but uses inside are checked against the pre-state.
+                let mut a_body = assigned.clone();
+                definite_assignment(body, &mut a_body, state, params, nodes, def, sink);
+            }
+            Stmt::New(_) | Stmt::Drop(_) | Stmt::Dup(_) | Stmt::Skip(_) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn minimal(extra_topo: &str, defs: &str, queries: &str) -> String {
+        format!(
+            r#"
+            packet_fields {{ dst }}
+            topology {{
+                nodes {{ A, B }}
+                links {{ (A, pt1) <-> (B, pt1) {extra_topo} }}
+            }}
+            programs {{ A -> a, B -> b }}
+            init {{ packet -> (A, pt1); }}
+            {queries}
+            {defs}
+            "#
+        )
+    }
+
+    fn check_src(src: &str) -> Result<CheckReport, Vec<LangError>> {
+        check(&parse(src).unwrap())
+    }
+
+    #[test]
+    fn clean_program_passes() {
+        let src = minimal(
+            "",
+            "def a(pkt, pt) { fwd(1); } def b(pkt, pt) state n(0) { n = n + 1; drop; }",
+            "query probability(n@B == 1);",
+        );
+        let report = check_src(&src).unwrap();
+        assert!(report.warnings.is_empty(), "{:?}", report.warnings);
+    }
+
+    #[test]
+    fn missing_program_assignment() {
+        let src = r#"
+            topology { nodes { A, B } links { (A, pt1) <-> (B, pt1) } }
+            programs { A -> a }
+            query probability(1 == 1);
+            def a(pkt, pt) { drop; }
+        "#;
+        let errs = check_src(src).unwrap_err();
+        assert!(errs.iter().any(|e| e.message().contains("no program assigned")));
+    }
+
+    #[test]
+    fn unlinked_node_detected() {
+        let src = r#"
+            topology { nodes { A, B, C } links { (A, pt1) <-> (B, pt1) } }
+            programs { A -> a, B -> a, C -> a }
+            query probability(1 == 1);
+            def a(pkt, pt) { drop; }
+        "#;
+        let errs = check_src(src).unwrap_err();
+        assert!(errs.iter().any(|e| e.message().contains("not connected")));
+    }
+
+    #[test]
+    fn interface_in_two_links_detected() {
+        let src = r#"
+            topology {
+                nodes { A, B, C }
+                links { (A, pt1) <-> (B, pt1), (A, pt1) <-> (C, pt1) }
+            }
+            programs { A -> a, B -> a, C -> a }
+            query probability(1 == 1);
+            def a(pkt, pt) { drop; }
+        "#;
+        let errs = check_src(src).unwrap_err();
+        assert!(errs.iter().any(|e| e.message().contains("appears in 2 links")));
+    }
+
+    #[test]
+    fn missing_query_detected() {
+        let src = minimal("", "def a(pkt, pt) { drop; } def b(pkt, pt) { drop; }", "");
+        let errs = check_src(&src).unwrap_err();
+        assert!(errs.iter().any(|e| e.message().contains("at least one query")));
+    }
+
+    #[test]
+    fn query_against_unknown_state_var() {
+        let src = minimal(
+            "",
+            "def a(pkt, pt) { drop; } def b(pkt, pt) { drop; }",
+            "query probability(missing@B == 1);",
+        );
+        let errs = check_src(&src).unwrap_err();
+        assert!(errs.iter().any(|e| e.message().contains("not a state variable")));
+    }
+
+    #[test]
+    fn use_before_assignment_detected() {
+        let src = minimal(
+            "",
+            "def a(pkt, pt) { x = y + 1; drop; } def b(pkt, pt) { drop; }",
+            "query probability(1 == 1);",
+        );
+        let errs = check_src(&src).unwrap_err();
+        assert!(errs.iter().any(|e| e.message().contains("used before assignment")));
+    }
+
+    #[test]
+    fn branch_assignment_is_not_definite() {
+        let src = minimal(
+            "",
+            "def a(pkt, pt) { if pt == 1 { x = 1; } x = x + 1; drop; } \
+             def b(pkt, pt) { drop; }",
+            "query probability(1 == 1);",
+        );
+        let errs = check_src(&src).unwrap_err();
+        assert!(errs.iter().any(|e| e.message().contains("used before assignment")));
+    }
+
+    #[test]
+    fn both_branch_assignment_is_definite() {
+        let src = minimal(
+            "",
+            "def a(pkt, pt) { if pt == 1 { x = 1; } else { x = 2; } x = x + 1; drop; } \
+             def b(pkt, pt) { drop; }",
+            "query probability(1 == 1);",
+        );
+        assert!(check_src(&src).is_ok());
+    }
+
+    #[test]
+    fn bad_flip_probability_detected() {
+        let src = minimal(
+            "",
+            "def a(pkt, pt) { if flip(3/2) { drop; } else { drop; } } def b(pkt, pt) { drop; }",
+            "query probability(1 == 1);",
+        );
+        let errs = check_src(&src).unwrap_err();
+        assert!(errs.iter().any(|e| e.message().contains("outside [0, 1]")));
+    }
+
+    #[test]
+    fn undeclared_packet_field_detected() {
+        let src = minimal(
+            "",
+            "def a(pkt, pt) { pkt.dst = 1; fwd(1); } def b(pkt, pt) { x = pkt.nope; drop; }",
+            "query probability(1 == 1);",
+        );
+        let errs = check_src(&src).unwrap_err();
+        assert!(errs.iter().any(|e| e.message().contains("undeclared packet field")));
+    }
+
+    #[test]
+    fn fwd_to_unlinked_port_warns() {
+        let src = minimal(
+            "",
+            "def a(pkt, pt) { fwd(7); } def b(pkt, pt) { drop; }",
+            "query probability(1 == 1);",
+        );
+        let report = check_src(&src).unwrap();
+        assert!(report
+            .warnings
+            .iter()
+            .any(|w| w.message.contains("no link on that port")));
+    }
+
+    #[test]
+    fn at_in_handler_rejected() {
+        let src = minimal(
+            "",
+            "def a(pkt, pt) state n(0) { n = n@A; drop; } def b(pkt, pt) { drop; }",
+            "query probability(1 == 1);",
+        );
+        let errs = check_src(&src).unwrap_err();
+        assert!(errs.iter().any(|e| e.message().contains("only allowed in queries")));
+    }
+
+    #[test]
+    fn random_query_rejected() {
+        let src = minimal(
+            "",
+            "def a(pkt, pt) { drop; } def b(pkt, pt) { drop; }",
+            "query probability(flip(1/2) == 1);",
+        );
+        let errs = check_src(&src).unwrap_err();
+        assert!(errs.iter().any(|e| e.message().contains("deterministic")));
+    }
+
+    #[test]
+    fn random_state_initializer_is_allowed() {
+        // Paper §5.5: `state bad_hash(flip(1/10))`.
+        let src = minimal(
+            "",
+            "def a(pkt, pt) state bad_hash(flip(1/10)) { drop; } def b(pkt, pt) { drop; }",
+            "query probability(bad_hash@A == 1);",
+        );
+        assert!(check_src(&src).is_ok());
+    }
+
+    #[test]
+    fn const_eval_folds() {
+        use crate::parser::parse_expr;
+        assert_eq!(const_eval(&parse_expr("1/2 + 1/3").unwrap()), Some(Rat::ratio(5, 6)));
+        assert_eq!(const_eval(&parse_expr("2 < 3").unwrap()), Some(Rat::one()));
+        assert_eq!(const_eval(&parse_expr("not 0").unwrap()), Some(Rat::one()));
+        assert_eq!(const_eval(&parse_expr("x + 1").unwrap()), None);
+        assert_eq!(const_eval(&parse_expr("1/0").unwrap()), None);
+    }
+}

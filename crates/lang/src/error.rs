@@ -1,0 +1,90 @@
+//! Error types for the Bayonet language front-end.
+
+use std::fmt;
+
+use crate::token::Span;
+
+/// Phase in which a front-end error was detected.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Phase {
+    /// Tokenization.
+    Lex,
+    /// Parsing.
+    Parse,
+    /// Static integrity checking (paper §4).
+    Check,
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Phase::Lex => "lex",
+            Phase::Parse => "parse",
+            Phase::Check => "check",
+        })
+    }
+}
+
+/// An error from the Bayonet language front-end, carrying the source
+/// position where it was detected.
+#[derive(Clone, Debug)]
+pub struct LangError {
+    phase: Phase,
+    message: String,
+    span: Option<Span>,
+}
+
+impl LangError {
+    /// Creates a lexical error at `span`.
+    pub fn lex(message: impl Into<String>, span: Span) -> Self {
+        LangError {
+            phase: Phase::Lex,
+            message: message.into(),
+            span: Some(span),
+        }
+    }
+
+    /// Creates a parse error at `span`.
+    pub fn parse(message: impl Into<String>, span: Span) -> Self {
+        LangError {
+            phase: Phase::Parse,
+            message: message.into(),
+            span: Some(span),
+        }
+    }
+
+    /// Creates a static-check error, optionally positioned.
+    pub fn check(message: impl Into<String>, span: Option<Span>) -> Self {
+        LangError {
+            phase: Phase::Check,
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// The phase that produced the error.
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// The human-readable message (without position).
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// The source position, if known.
+    pub fn span(&self) -> Option<Span> {
+        self.span
+    }
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.span {
+            Some(s) => write!(f, "{} error at {}: {}", self.phase, s, self.message),
+            None => write!(f, "{} error: {}", self.phase, self.message),
+        }
+    }
+}
+
+impl std::error::Error for LangError {}

@@ -1,0 +1,343 @@
+//! Lexer for the Bayonet language.
+
+use crate::error::LangError;
+use crate::token::{Keyword, Span, Tok, Token};
+
+/// Tokenizes a complete Bayonet source file.
+///
+/// Supports `//` line comments and `/* ... */` block comments.
+///
+/// # Errors
+///
+/// Returns a [`LangError`] on unknown characters or unterminated block
+/// comments.
+///
+/// # Examples
+///
+/// ```
+/// use bayonet_lang::lex;
+///
+/// let tokens = lex("fwd(1); // forward\n")?;
+/// assert_eq!(tokens.len(), 6); // fwd ( 1 ) ; EOF
+/// # Ok::<(), bayonet_lang::LangError>(())
+/// ```
+pub fn lex(src: &str) -> Result<Vec<Token>, LangError> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.bytes.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn here(&self) -> Span {
+        Span {
+            start: self.pos,
+            end: self.pos,
+            line: self.line,
+            col: self.col,
+        }
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, LangError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia()?;
+            let mut span = self.here();
+            let Some(b) = self.peek() else {
+                out.push(Token {
+                    tok: Tok::Eof,
+                    span,
+                });
+                return Ok(out);
+            };
+            let tok = match b {
+                b'{' => {
+                    self.bump();
+                    Tok::LBrace
+                }
+                b'}' => {
+                    self.bump();
+                    Tok::RBrace
+                }
+                b'(' => {
+                    self.bump();
+                    Tok::LParen
+                }
+                b')' => {
+                    self.bump();
+                    Tok::RParen
+                }
+                b',' => {
+                    self.bump();
+                    Tok::Comma
+                }
+                b';' => {
+                    self.bump();
+                    Tok::Semi
+                }
+                b'.' => {
+                    self.bump();
+                    Tok::Dot
+                }
+                b'@' => {
+                    self.bump();
+                    Tok::At
+                }
+                b'+' => {
+                    self.bump();
+                    Tok::Plus
+                }
+                b'*' => {
+                    self.bump();
+                    Tok::Star
+                }
+                b'/' => {
+                    self.bump();
+                    Tok::Slash
+                }
+                b'=' => {
+                    self.bump();
+                    if self.peek() == Some(b'=') {
+                        self.bump();
+                        Tok::EqEq
+                    } else {
+                        Tok::Assign
+                    }
+                }
+                b'!' => {
+                    self.bump();
+                    if self.peek() == Some(b'=') {
+                        self.bump();
+                        Tok::Ne
+                    } else {
+                        return Err(LangError::lex("expected `!=`", span));
+                    }
+                }
+                b'<' => {
+                    self.bump();
+                    match self.peek() {
+                        Some(b'=') => {
+                            self.bump();
+                            Tok::Le
+                        }
+                        Some(b'-') if self.peek2() == Some(b'>') => {
+                            self.bump();
+                            self.bump();
+                            Tok::BiArrow
+                        }
+                        _ => Tok::Lt,
+                    }
+                }
+                b'>' => {
+                    self.bump();
+                    if self.peek() == Some(b'=') {
+                        self.bump();
+                        Tok::Ge
+                    } else {
+                        Tok::Gt
+                    }
+                }
+                b'-' => {
+                    self.bump();
+                    if self.peek() == Some(b'>') {
+                        self.bump();
+                        Tok::Arrow
+                    } else {
+                        Tok::Minus
+                    }
+                }
+                b'0'..=b'9' => {
+                    let start = self.pos;
+                    while matches!(self.peek(), Some(b'0'..=b'9')) {
+                        self.bump();
+                    }
+                    Tok::Int(self.src[start..self.pos].to_string())
+                }
+                b'A'..=b'Z' | b'a'..=b'z' | b'_' => {
+                    let start = self.pos;
+                    while matches!(
+                        self.peek(),
+                        Some(b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'_')
+                    ) {
+                        self.bump();
+                    }
+                    let word = &self.src[start..self.pos];
+                    match Keyword::from_str(word) {
+                        Some(k) => Tok::Kw(k),
+                        None => Tok::Ident(word.to_string()),
+                    }
+                }
+                other => {
+                    return Err(LangError::lex(
+                        format!("unexpected character {:?}", other as char),
+                        span,
+                    ));
+                }
+            };
+            span.end = self.pos;
+            out.push(Token { tok, span });
+        }
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), LangError> {
+        loop {
+            match self.peek() {
+                Some(b' ' | b'\t' | b'\r' | b'\n') => {
+                    self.bump();
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(b) = self.peek() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let open = self.here();
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match self.peek() {
+                            None => {
+                                return Err(LangError::lex("unterminated block comment", open))
+                            }
+                            Some(b'*') if self.peek2() == Some(b'/') => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            _ => {
+                                self.bump();
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn keywords_vs_identifiers() {
+        assert_eq!(
+            toks("def h0 fwd pkt_cnt"),
+            vec![
+                Tok::Kw(Keyword::Def),
+                Tok::Ident("h0".into()),
+                Tok::Kw(Keyword::Fwd),
+                Tok::Ident("pkt_cnt".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn multi_character_operators() {
+        assert_eq!(
+            toks("== != <= >= <-> -> < > = -"),
+            vec![
+                Tok::EqEq,
+                Tok::Ne,
+                Tok::Le,
+                Tok::Ge,
+                Tok::BiArrow,
+                Tok::Arrow,
+                Tok::Lt,
+                Tok::Gt,
+                Tok::Assign,
+                Tok::Minus,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            toks("1 // comment\n 2 /* multi\nline */ 3"),
+            vec![
+                Tok::Int("1".into()),
+                Tok::Int("2".into()),
+                Tok::Int("3".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn spans_track_lines_and_columns() {
+        let tokens = lex("ab\n  cd").unwrap();
+        assert_eq!(tokens[0].span.line, 1);
+        assert_eq!(tokens[0].span.col, 1);
+        assert_eq!(tokens[1].span.line, 2);
+        assert_eq!(tokens[1].span.col, 3);
+    }
+
+    #[test]
+    fn lone_bang_is_an_error() {
+        assert!(lex("!").is_err());
+        assert!(lex("a $ b").is_err());
+        assert!(lex("/* unterminated").is_err());
+    }
+
+    #[test]
+    fn paper_snippet_lexes() {
+        let src = r#"
+            def s0(pkt, pt) state route1(0), route2(0) {
+              if pt == 1 { fwd(3); }
+              else if pt == 3 {
+                route1 = COST_01;
+                if route1 < route2 or (route1 == route2 and flip(1/2)) {
+                  fwd(1);
+                } else { fwd(2); }
+              }
+            }
+        "#;
+        assert!(lex(src).is_ok());
+    }
+}

@@ -1,0 +1,285 @@
+//! Pretty-printer for Bayonet programs.
+//!
+//! Produces canonical source text that re-parses to an equal AST, which the
+//! test suite exploits for round-trip properties. Also used when reporting
+//! generated code sizes (paper §5: Bayonet sources are 2–10× smaller than
+//! the generated PSI/WebPPL programs).
+
+use std::fmt::Write as _;
+
+use crate::ast::*;
+
+/// Renders a whole program as canonical Bayonet source.
+pub fn pretty_program(p: &Program) -> String {
+    let mut out = String::new();
+    if !p.packet_fields.is_empty() {
+        let names: Vec<_> = p.packet_fields.iter().map(|i| i.name.clone()).collect();
+        let _ = writeln!(out, "packet_fields {{ {} }}", names.join(", "));
+    }
+    if !p.parameters.is_empty() {
+        let names: Vec<_> = p.parameters.iter().map(|i| i.name.clone()).collect();
+        let _ = writeln!(out, "parameters {{ {} }}", names.join(", "));
+    }
+    let _ = writeln!(out, "topology {{");
+    let names: Vec<_> = p.topology.nodes.iter().map(|i| i.name.clone()).collect();
+    let _ = writeln!(out, "  nodes {{ {} }}", names.join(", "));
+    let _ = writeln!(out, "  links {{");
+    for (i, l) in p.topology.links.iter().enumerate() {
+        let sep = if i + 1 == p.topology.links.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    ({}, pt{}) <-> ({}, pt{}){sep}",
+            l.a.node, l.a.port, l.b.node, l.b.port
+        );
+    }
+    let _ = writeln!(out, "  }}");
+    let _ = writeln!(out, "}}");
+    let progs: Vec<_> = p
+        .programs
+        .iter()
+        .map(|(n, pr)| format!("{n} -> {pr}"))
+        .collect();
+    let _ = writeln!(out, "programs {{ {} }}", progs.join(", "));
+    if let Some(c) = p.queue_capacity {
+        let _ = writeln!(out, "queue_capacity {c};");
+    }
+    if let Some(n) = p.num_steps {
+        let _ = writeln!(out, "num_steps {n};");
+    }
+    match &p.scheduler {
+        SchedulerSpec::Uniform => {
+            let _ = writeln!(out, "scheduler uniform;");
+        }
+        SchedulerSpec::RoundRobin => {
+            let _ = writeln!(out, "scheduler roundrobin;");
+        }
+        SchedulerSpec::Rotor => {
+            let _ = writeln!(out, "scheduler rotor;");
+        }
+        SchedulerSpec::Weighted(ws) => {
+            let entries: Vec<_> = ws.iter().map(|(n, w)| format!("{n} -> {w}")).collect();
+            let _ = writeln!(out, "scheduler weighted {{ {} }};", entries.join(", "));
+        }
+    }
+    if !p.init.is_empty() {
+        let _ = writeln!(out, "init {{");
+        for ip in &p.init {
+            if ip.fields.is_empty() {
+                let _ = writeln!(out, "  packet -> ({}, pt{});", ip.node, ip.port);
+            } else {
+                let fields: Vec<_> = ip
+                    .fields
+                    .iter()
+                    .map(|(f, e)| format!("{f} = {}", pretty_expr(e)))
+                    .collect();
+                let _ = writeln!(
+                    out,
+                    "  packet -> ({}, pt{}) {{ {} }};",
+                    ip.node,
+                    ip.port,
+                    fields.join(", ")
+                );
+            }
+        }
+        let _ = writeln!(out, "}}");
+    }
+    for q in &p.queries {
+        match q {
+            Query::Probability(e) => {
+                let _ = writeln!(out, "query probability({});", pretty_expr(e));
+            }
+            Query::Expectation(e) => {
+                let _ = writeln!(out, "query expectation({});", pretty_expr(e));
+            }
+        }
+    }
+    for d in &p.defs {
+        let _ = writeln!(out);
+        let params = if d.has_params { "(pkt, pt)" } else { "()" };
+        let _ = write!(out, "def {}{params}", d.name);
+        if !d.state.is_empty() {
+            let decls: Vec<_> = d
+                .state
+                .iter()
+                .map(|(v, e)| format!("{v}({})", pretty_expr(e)))
+                .collect();
+            let _ = write!(out, " state {}", decls.join(", "));
+        }
+        let _ = writeln!(out, " {{");
+        pretty_stmts(&d.body, 1, &mut out);
+        let _ = writeln!(out, "}}");
+    }
+    out
+}
+
+fn indent(depth: usize, out: &mut String) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+/// Renders a statement body at the given indentation depth.
+pub fn pretty_stmts(stmts: &[Stmt], depth: usize, out: &mut String) {
+    for s in stmts {
+        indent(depth, out);
+        match s {
+            Stmt::New(_) => out.push_str("new;\n"),
+            Stmt::Drop(_) => out.push_str("drop;\n"),
+            Stmt::Dup(_) => out.push_str("dup;\n"),
+            Stmt::Skip(_) => out.push_str("skip;\n"),
+            Stmt::Fwd(e, _) => {
+                let _ = writeln!(out, "fwd({});", pretty_expr(e));
+            }
+            Stmt::Assign(x, e) => {
+                let _ = writeln!(out, "{x} = {};", pretty_expr(e));
+            }
+            Stmt::FieldAssign(f, e) => {
+                let _ = writeln!(out, "pkt.{f} = {};", pretty_expr(e));
+            }
+            Stmt::Assert(e, _) => {
+                let _ = writeln!(out, "assert({});", pretty_expr(e));
+            }
+            Stmt::Observe(e, _) => {
+                let _ = writeln!(out, "observe({});", pretty_expr(e));
+            }
+            Stmt::If(c, t, e) => {
+                let _ = writeln!(out, "if {} {{", pretty_expr(c));
+                pretty_stmts(t, depth + 1, out);
+                indent(depth, out);
+                if e.is_empty() {
+                    out.push_str("}\n");
+                } else {
+                    out.push_str("} else {\n");
+                    pretty_stmts(e, depth + 1, out);
+                    indent(depth, out);
+                    out.push_str("}\n");
+                }
+            }
+            Stmt::While(c, b) => {
+                let _ = writeln!(out, "while {} {{", pretty_expr(c));
+                pretty_stmts(b, depth + 1, out);
+                indent(depth, out);
+                out.push_str("}\n");
+            }
+        }
+    }
+}
+
+fn prec(op: BinOp) -> u8 {
+    match op {
+        BinOp::Or => 1,
+        BinOp::And => 2,
+        BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => 3,
+        BinOp::Add | BinOp::Sub => 4,
+        BinOp::Mul | BinOp::Div => 5,
+    }
+}
+
+/// Renders an expression with minimal parentheses.
+pub fn pretty_expr(e: &Expr) -> String {
+    pretty_expr_prec(e, 0)
+}
+
+fn pretty_expr_prec(e: &Expr, min_prec: u8) -> String {
+    match e {
+        Expr::Num(r, _) => {
+            if r.is_negative() {
+                format!("(0 - {})", -r)
+            } else if r.is_integer() {
+                r.to_string()
+            } else {
+                format!("{}/{}", r.numer(), r.denom())
+            }
+        }
+        Expr::Name(id) => id.name.clone(),
+        Expr::Field(f) => format!("pkt.{f}"),
+        Expr::Port(_) => "pt".to_string(),
+        Expr::At(v, n) => format!("{v}@{n}"),
+        Expr::Flip(p, _) => format!("flip({})", pretty_expr(p)),
+        Expr::UniformInt(lo, hi, _) => {
+            format!("uniformInt({}, {})", pretty_expr(lo), pretty_expr(hi))
+        }
+        Expr::Binary(op, lhs, rhs) => {
+            let p = prec(*op);
+            // Left-associative operators render the right child at strictly
+            // higher precedence; comparisons are *non-associative*, so both
+            // children need strictly higher precedence to force parentheses
+            // around nested comparisons.
+            let lhs_prec = if op.is_comparison() { p + 1 } else { p };
+            let s = format!(
+                "{} {} {}",
+                pretty_expr_prec(lhs, lhs_prec),
+                op.as_str(),
+                pretty_expr_prec(rhs, p + 1)
+            );
+            if p < min_prec {
+                format!("({s})")
+            } else {
+                s
+            }
+        }
+        Expr::Not(inner, _) => {
+            let s = format!("not {}", pretty_expr_prec(inner, 3));
+            if min_prec > 2 {
+                format!("({s})")
+            } else {
+                s
+            }
+        }
+        Expr::Neg(inner, _) => format!("-{}", pretty_expr_prec(inner, 6)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse, parse_expr};
+
+    #[test]
+    fn expr_roundtrip() {
+        for src in [
+            "1 + 2 * 3",
+            "(1 + 2) * 3",
+            "a < b or a == b and flip(1/2)",
+            "not (x == 1)",
+            "pkt_cnt@H1 < 3",
+            "uniformInt(1, n - 1)",
+            "pkt.dst == 2",
+            "-x + 1",
+        ] {
+            let e = parse_expr(src).unwrap();
+            let printed = pretty_expr(&e);
+            let again = parse_expr(&printed).unwrap();
+            assert_eq!(e, again, "roundtrip failed: {src} -> {printed}");
+        }
+    }
+
+    #[test]
+    fn program_roundtrip() {
+        let src = r#"
+            packet_fields { dst, id }
+            topology {
+                nodes { H0, H1 }
+                links { (H0, pt1) <-> (H1, pt1) }
+            }
+            programs { H0 -> h0, H1 -> h1 }
+            queue_capacity 2;
+            scheduler roundrobin;
+            init { packet -> (H0, pt1) { id = 1 }; }
+            query probability(got@H1 == 1);
+            query expectation(got@H1);
+            def h0(pkt, pt) state sent(0) {
+                if sent < 1 { new; fwd(1); sent = sent + 1; } else { drop; }
+            }
+            def h1(pkt, pt) state got(0) {
+                got = got + 1;
+                observe(pkt.id == 0);
+                drop;
+            }
+        "#;
+        let p = parse(src).unwrap();
+        let printed = pretty_program(&p);
+        let again = parse(&printed).unwrap();
+        assert_eq!(p, again, "program roundtrip failed:\n{printed}");
+    }
+}

@@ -1,0 +1,252 @@
+//! Tokens and source positions for the Bayonet language.
+
+use std::fmt;
+
+/// A half-open byte range in the source, with 1-based line/column of its
+/// start for diagnostics.
+///
+/// Spans are *diagnostic metadata*: two spans always compare equal, so that
+/// AST equality (used pervasively for round-trip testing) ignores source
+/// positions.
+#[derive(Clone, Copy, Eq, Debug, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+    /// 1-based line number of `start`.
+    pub line: u32,
+    /// 1-based column number of `start`.
+    pub col: u32,
+}
+
+impl PartialEq for Span {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Keywords of the Bayonet language.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[allow(missing_docs)] // spellings are given by `as_str`
+pub enum Keyword {
+    Topology,
+    Nodes,
+    Links,
+    PacketFields,
+    Parameters,
+    Programs,
+    QueueCapacity,
+    NumSteps,
+    Scheduler,
+    Init,
+    Packet,
+    Query,
+    Probability,
+    Expectation,
+    Def,
+    State,
+    If,
+    Else,
+    While,
+    New,
+    Drop,
+    Dup,
+    Fwd,
+    Assert,
+    Observe,
+    Skip,
+    Flip,
+    UniformInt,
+    And,
+    Or,
+    Not,
+    Pkt,
+    Pt,
+    Uniform,
+    RoundRobin,
+    Rotor,
+    Weighted,
+}
+
+impl Keyword {
+    /// Looks up a keyword by its source spelling.
+    pub fn from_str(s: &str) -> Option<Keyword> {
+        use Keyword::*;
+        Some(match s {
+            "topology" => Topology,
+            "nodes" => Nodes,
+            "links" => Links,
+            "packet_fields" => PacketFields,
+            "parameters" => Parameters,
+            "programs" => Programs,
+            "queue_capacity" => QueueCapacity,
+            "num_steps" => NumSteps,
+            "scheduler" => Scheduler,
+            "init" => Init,
+            "packet" => Packet,
+            "query" => Query,
+            "probability" => Probability,
+            "expectation" => Expectation,
+            "def" => Def,
+            "state" => State,
+            "if" => If,
+            "else" => Else,
+            "while" => While,
+            "new" => New,
+            "drop" => Drop,
+            "dup" => Dup,
+            "fwd" => Fwd,
+            "assert" => Assert,
+            "observe" => Observe,
+            "skip" => Skip,
+            "flip" => Flip,
+            "uniformInt" => UniformInt,
+            "and" => And,
+            "or" => Or,
+            "not" => Not,
+            "pkt" => Pkt,
+            "pt" => Pt,
+            "uniform" => Uniform,
+            "roundrobin" => RoundRobin,
+            "rotor" => Rotor,
+            "weighted" => Weighted,
+            _ => return None,
+        })
+    }
+
+    /// The source spelling of the keyword.
+    pub fn as_str(self) -> &'static str {
+        use Keyword::*;
+        match self {
+            Topology => "topology",
+            Nodes => "nodes",
+            Links => "links",
+            PacketFields => "packet_fields",
+            Parameters => "parameters",
+            Programs => "programs",
+            QueueCapacity => "queue_capacity",
+            NumSteps => "num_steps",
+            Scheduler => "scheduler",
+            Init => "init",
+            Packet => "packet",
+            Query => "query",
+            Probability => "probability",
+            Expectation => "expectation",
+            Def => "def",
+            State => "state",
+            If => "if",
+            Else => "else",
+            While => "while",
+            New => "new",
+            Drop => "drop",
+            Dup => "dup",
+            Fwd => "fwd",
+            Assert => "assert",
+            Observe => "observe",
+            Skip => "skip",
+            Flip => "flip",
+            UniformInt => "uniformInt",
+            And => "and",
+            Or => "or",
+            Not => "not",
+            Pkt => "pkt",
+            Pt => "pt",
+            Uniform => "uniform",
+            RoundRobin => "roundrobin",
+            Rotor => "rotor",
+            Weighted => "weighted",
+        }
+    }
+}
+
+/// Lexical tokens.
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[allow(missing_docs)] // punctuation variants are self-describing; see Display
+pub enum Tok {
+    /// An identifier that is not a keyword.
+    Ident(String),
+    /// A nonnegative integer literal (arbitrary precision, kept as text).
+    Int(String),
+    /// A keyword.
+    Kw(Keyword),
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    Comma,
+    Semi,
+    Dot,
+    At,
+    /// `=`
+    Assign,
+    /// `==`
+    EqEq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    /// `->`
+    Arrow,
+    /// `<->`
+    BiArrow,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier `{s}`"),
+            Tok::Int(s) => write!(f, "integer `{s}`"),
+            Tok::Kw(k) => write!(f, "`{}`", k.as_str()),
+            Tok::LBrace => f.write_str("`{`"),
+            Tok::RBrace => f.write_str("`}`"),
+            Tok::LParen => f.write_str("`(`"),
+            Tok::RParen => f.write_str("`)`"),
+            Tok::Comma => f.write_str("`,`"),
+            Tok::Semi => f.write_str("`;`"),
+            Tok::Dot => f.write_str("`.`"),
+            Tok::At => f.write_str("`@`"),
+            Tok::Assign => f.write_str("`=`"),
+            Tok::EqEq => f.write_str("`==`"),
+            Tok::Ne => f.write_str("`!=`"),
+            Tok::Lt => f.write_str("`<`"),
+            Tok::Le => f.write_str("`<=`"),
+            Tok::Gt => f.write_str("`>`"),
+            Tok::Ge => f.write_str("`>=`"),
+            Tok::Plus => f.write_str("`+`"),
+            Tok::Minus => f.write_str("`-`"),
+            Tok::Star => f.write_str("`*`"),
+            Tok::Slash => f.write_str("`/`"),
+            Tok::Arrow => f.write_str("`->`"),
+            Tok::BiArrow => f.write_str("`<->`"),
+            Tok::Eof => f.write_str("end of input"),
+        }
+    }
+}
+
+/// A token together with its source span.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Token {
+    /// The token kind and payload.
+    pub tok: Tok,
+    /// Where in the source it came from.
+    pub span: Span,
+}

@@ -1,0 +1,176 @@
+//! Property tests for the language front-end: random ASTs survive a
+//! pretty-print → re-parse round trip, and random token soup never panics
+//! the parser.
+
+use bayonet_lang::ast::*;
+use bayonet_lang::{parse, parse_expr, pretty_expr, pretty_program};
+use bayonet_num::Rat;
+use proptest::prelude::*;
+
+fn ident(name: &str) -> Ident {
+    Ident::synthetic(name)
+}
+
+/// Strategy for random expressions (handler context).
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0i64..20).prop_map(|v| Expr::Num(Rat::int(v), Default::default())),
+        Just(Expr::Name(ident("x"))),
+        Just(Expr::Name(ident("cnt"))),
+        Just(Expr::Field(ident("tag"))),
+        Just(Expr::Port(Default::default())),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone(), arb_binop()).prop_map(|(a, b, op)| {
+                Expr::Binary(op, Box::new(a), Box::new(b))
+            }),
+            inner
+                .clone()
+                .prop_map(|e| Expr::Not(Box::new(e), Default::default())),
+            inner
+                .clone()
+                .prop_map(|e| Expr::Neg(Box::new(e), Default::default())),
+            inner
+                .clone()
+                .prop_map(|e| Expr::Flip(Box::new(e), Default::default())),
+            (inner.clone(), inner).prop_map(|(a, b)| {
+                Expr::UniformInt(Box::new(a), Box::new(b), Default::default())
+            }),
+        ]
+    })
+}
+
+fn arb_binop() -> impl Strategy<Value = BinOp> {
+    prop_oneof![
+        Just(BinOp::Add),
+        Just(BinOp::Sub),
+        Just(BinOp::Mul),
+        Just(BinOp::Div),
+        Just(BinOp::Eq),
+        Just(BinOp::Ne),
+        Just(BinOp::Lt),
+        Just(BinOp::Le),
+        Just(BinOp::Gt),
+        Just(BinOp::Ge),
+        Just(BinOp::And),
+        Just(BinOp::Or),
+    ]
+}
+
+/// Strategy for random statement bodies.
+fn arb_stmts() -> impl Strategy<Value = Vec<Stmt>> {
+    let stmt = arb_expr().prop_flat_map(|e| {
+        prop_oneof![
+            Just(Stmt::New(Default::default())),
+            Just(Stmt::Drop(Default::default())),
+            Just(Stmt::Dup(Default::default())),
+            Just(Stmt::Skip(Default::default())),
+            Just(Stmt::Fwd(e.clone(), Default::default())),
+            Just(Stmt::Assign(ident("x"), e.clone())),
+            Just(Stmt::FieldAssign(ident("tag"), e.clone())),
+            Just(Stmt::Assert(e.clone(), Default::default())),
+            Just(Stmt::Observe(e, Default::default())),
+        ]
+    });
+    let stmts = proptest::collection::vec(stmt, 0..4);
+    (stmts, arb_expr()).prop_flat_map(|(base, cond)| {
+        // Wrap some bodies in if/while for nesting coverage.
+        prop_oneof![
+            Just(base.clone()),
+            Just(vec![Stmt::If(cond.clone(), base.clone(), vec![])]),
+            Just(vec![Stmt::If(
+                cond.clone(),
+                base.clone(),
+                vec![Stmt::Skip(Default::default())]
+            )]),
+            Just(vec![Stmt::While(cond, base)]),
+        ]
+    })
+}
+
+fn arb_program() -> impl Strategy<Value = Program> {
+    (arb_stmts(), arb_stmts(), proptest::bool::ANY, 0u64..5).prop_map(
+        |(body_a, body_b, uniform, cap)| Program {
+            packet_fields: vec![ident("tag")],
+            parameters: vec![ident("P")],
+            topology: Topology {
+                nodes: vec![ident("A"), ident("B")],
+                links: vec![Link {
+                    a: Endpoint {
+                        node: ident("A"),
+                        port: 1,
+                    },
+                    b: Endpoint {
+                        node: ident("B"),
+                        port: 1,
+                    },
+                }],
+            },
+            programs: vec![(ident("A"), ident("pa")), (ident("B"), ident("pb"))],
+            queue_capacity: Some(cap),
+            num_steps: None,
+            scheduler: if uniform {
+                SchedulerSpec::Uniform
+            } else {
+                SchedulerSpec::Rotor
+            },
+            init: vec![InitPacket {
+                node: ident("A"),
+                port: 1,
+                fields: vec![(ident("tag"), Expr::Num(Rat::int(2), Default::default()))],
+            }],
+            queries: vec![Query::Probability(Expr::Binary(
+                BinOp::Lt,
+                Box::new(Expr::At(ident("cnt"), ident("B"))),
+                Box::new(Expr::Num(Rat::int(3), Default::default())),
+            ))],
+            defs: vec![
+                NodeDef {
+                    name: ident("pa"),
+                    has_params: true,
+                    state: vec![(ident("cnt"), Expr::Num(Rat::zero(), Default::default()))],
+                    body: body_a,
+                },
+                NodeDef {
+                    name: ident("pb"),
+                    has_params: true,
+                    state: vec![(ident("cnt"), Expr::Num(Rat::zero(), Default::default()))],
+                    body: body_b,
+                },
+            ],
+        },
+    )
+}
+
+proptest! {
+    /// pretty_expr then parse_expr is the identity on ASTs.
+    #[test]
+    fn expr_roundtrip(e in arb_expr()) {
+        let printed = pretty_expr(&e);
+        let reparsed = parse_expr(&printed)
+            .unwrap_or_else(|err| panic!("un-reparseable: {printed}\n{err}"));
+        prop_assert_eq!(e, reparsed, "printed: {}", printed);
+    }
+
+    /// pretty_program then parse is the identity on ASTs.
+    #[test]
+    fn program_roundtrip(p in arb_program()) {
+        let printed = pretty_program(&p);
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|err| panic!("un-reparseable:\n{printed}\n{err}"));
+        prop_assert_eq!(p, reparsed, "printed:\n{}", printed);
+    }
+
+    /// The parser never panics on arbitrary input (it errors gracefully).
+    #[test]
+    fn parser_never_panics(src in "[a-z0-9{}()<>=;,.@+*/ -]{0,200}") {
+        let _ = parse(&src);
+    }
+
+    /// The lexer never panics on fully arbitrary input.
+    #[test]
+    fn lexer_never_panics(src in ".{0,200}") {
+        let _ = bayonet_lang::lex(&src);
+    }
+}

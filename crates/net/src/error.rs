@@ -1,0 +1,88 @@
+//! Runtime/semantic errors of the network model.
+
+use std::fmt;
+
+/// An error raised while executing network semantics. These indicate a
+/// malformed model or program (the static checks catch most, but data- and
+/// schedule-dependent cases remain), never a probabilistic outcome:
+/// probabilistic failures are modelled by `assert`/`observe`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SemanticsError {
+    /// Division by zero at runtime.
+    DivisionByZero,
+    /// A product or quotient of two symbolic values (the grammar restricts
+    /// symbolic arithmetic to linear forms).
+    NonlinearArithmetic,
+    /// A statement that needs the head packet ran with an empty input queue.
+    EmptyQueue {
+        /// Node whose handler got stuck.
+        node: usize,
+    },
+    /// `flip(p)` with `p` outside `[0, 1]`.
+    FlipProbabilityOutOfRange(String),
+    /// `flip(p)` or `uniformInt` with a symbolic (unbound-parameter) argument.
+    RandomnessNeedsConcreteArgs,
+    /// `uniformInt(lo, hi)` with non-integer or reversed bounds.
+    UniformBoundsInvalid(String),
+    /// A packet was forwarded to a port with no link.
+    NoLinkOnPort {
+        /// Forwarding node.
+        node: usize,
+        /// The portless port.
+        port: u32,
+    },
+    /// `fwd(e)` where `e` is not a positive machine-size integer.
+    PortNotInteger(String),
+    /// A handler exceeded the local step limit (likely a diverging `while`).
+    LoopLimitExceeded {
+        /// Node whose handler diverged.
+        node: usize,
+        /// The limit that was hit.
+        limit: u64,
+    },
+    /// A symbolic sign decision was requested by an engine that cannot
+    /// split on parameters (e.g. the sampling engine with unbound
+    /// parameters).
+    SymbolicValueInConcreteContext(String),
+    /// An explicit trap (used by generated code for unreachable states,
+    /// e.g. the PSI backend's `assert(terminated())` and no-link checks).
+    Trap(String),
+}
+
+impl fmt::Display for SemanticsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SemanticsError::DivisionByZero => f.write_str("division by zero"),
+            SemanticsError::NonlinearArithmetic => {
+                f.write_str("nonlinear arithmetic on symbolic values (only v*e is allowed)")
+            }
+            SemanticsError::EmptyQueue { node } => {
+                write!(f, "node {node}: statement requires a packet but the input queue is empty")
+            }
+            SemanticsError::FlipProbabilityOutOfRange(p) => {
+                write!(f, "flip probability {p} is outside [0, 1]")
+            }
+            SemanticsError::RandomnessNeedsConcreteArgs => {
+                f.write_str("flip/uniformInt arguments must be concrete (bind the parameter)")
+            }
+            SemanticsError::UniformBoundsInvalid(msg) => {
+                write!(f, "invalid uniformInt bounds: {msg}")
+            }
+            SemanticsError::NoLinkOnPort { node, port } => {
+                write!(f, "node {node} forwarded a packet to port {port}, which has no link")
+            }
+            SemanticsError::PortNotInteger(v) => {
+                write!(f, "fwd target {v} is not a valid port number")
+            }
+            SemanticsError::LoopLimitExceeded { node, limit } => {
+                write!(f, "node {node}: handler exceeded {limit} local steps (diverging loop?)")
+            }
+            SemanticsError::SymbolicValueInConcreteContext(what) => {
+                write!(f, "symbolic value reached a concrete-only context: {what}")
+            }
+            SemanticsError::Trap(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SemanticsError {}

@@ -1,0 +1,68 @@
+//! The Bayonet network substrate: executable semantics of probabilistic
+//! networks (PLDI'18, §3).
+//!
+//! This crate turns a parsed Bayonet program into an executable [`Model`]
+//! and implements the paper's operational semantics:
+//!
+//! * **Local semantics** (Figure 5) — [`run_handler`] executes one node's
+//!   packet-processing program to completion, parameterized by a
+//!   [`ChoiceDriver`] so the same interpreter serves exact enumeration and
+//!   sampling.
+//! * **Global semantics** (Figure 7) — [`deliver`] implements `(Fwd, i)`;
+//!   enabledness and termination live on [`GlobalConfig`].
+//! * **Schedulers** (Figure 6) — [`UniformScheduler`],
+//!   [`DeterministicScheduler`], [`WeightedScheduler`], [`RotorScheduler`].
+//!
+//! The inference engines live in `bayonet-exact` and `bayonet-approx`; the
+//! user-facing API in the `bayonet` crate.
+//!
+//! # Examples
+//!
+//! ```
+//! use bayonet_lang::parse;
+//! use bayonet_net::compile;
+//!
+//! let program = parse(r#"
+//!     packet_fields { dst }
+//!     topology { nodes { A, B } links { (A, pt1) <-> (B, pt1) } }
+//!     programs { A -> fwd_all, B -> count }
+//!     init { packet -> (A, pt1); }
+//!     query expectation(n@B);
+//!     def fwd_all(pkt, pt) { fwd(1); }
+//!     def count(pkt, pt) state n(0) { n = n + 1; drop; }
+//! "#)?;
+//! let model = compile(&program)?;
+//! assert_eq!(model.num_nodes(), 2);
+//! assert_eq!(model.link_dest(0, 1), Some((1, 1)));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod compile;
+mod config;
+mod error;
+mod global;
+mod handler;
+mod queue;
+mod scheduler;
+mod value;
+
+pub use compile::{
+    compile, CExpr, CompileError, CompiledProgram, CompiledQuery, CStmt, InitPacketSpec, Model,
+    QExpr, QueryKind, SchedKind, DEFAULT_LOCAL_STEP_LIMIT, DEFAULT_QUEUE_CAPACITY,
+};
+pub use config::{Action, GlobalConfig, NodeConfig};
+pub use error::SemanticsError;
+pub use global::{deliver, initial_config};
+pub use handler::{
+    apply_binop, build_init_packet, compare, eval_query_expr, eval_state_init, run_handler,
+    truth_of, ChoiceDriver, HandlerOutcome, NoChoiceDriver,
+};
+pub use queue::{Packet, PktQueue, QueueEntry};
+pub use scheduler::{
+    scheduler_for, DeterministicScheduler, RotorScheduler, Scheduler, UniformScheduler,
+    WeightedScheduler,
+};
+pub use value::{DisplayVal, Val};

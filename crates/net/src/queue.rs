@@ -1,0 +1,229 @@
+//! Packets and capacity-bounded packet queues.
+//!
+//! Queues are the stateful heart of the Bayonet model: congestion *is* the
+//! event that an enqueue on a full queue silently drops the packet (the
+//! definition of `::` in paper §3.1). Both input and output queues are
+//! bounded.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::value::Val;
+
+/// A packet: values for each declared header field (by field index).
+/// A freshly created packet has all fields 0 (rule L-New).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Packet {
+    fields: Vec<Val>,
+}
+
+impl Packet {
+    /// A fresh packet with `nfields` zeroed fields.
+    pub fn fresh(nfields: usize) -> Packet {
+        Packet {
+            fields: vec![Val::zero(); nfields],
+        }
+    }
+
+    /// Reads field `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range (fields are resolved statically).
+    pub fn field(&self, idx: usize) -> &Val {
+        &self.fields[idx]
+    }
+
+    /// Writes field `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn set_field(&mut self, idx: usize, v: Val) {
+        self.fields[idx] = v;
+    }
+
+    /// Number of fields.
+    pub fn num_fields(&self) -> usize {
+        self.fields.len()
+    }
+}
+
+impl fmt::Display for Packet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pkt[")?;
+        for (i, v) in self.fields.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        f.write_str("]")
+    }
+}
+
+/// An entry in a queue: a packet tagged with a port (the arrival port for
+/// input queues, the departure port for output queues).
+pub type QueueEntry = (Packet, u32);
+
+/// A capacity-bounded FIFO packet queue.
+///
+/// Enqueue operations on a full queue are silent no-ops — packets are
+/// *dropped*, which is how congestion manifests (paper §3.1).
+///
+/// # Examples
+///
+/// ```
+/// use bayonet_net::{Packet, PktQueue};
+///
+/// let mut q = PktQueue::new(2);
+/// assert!(q.push_back((Packet::fresh(0), 1)));
+/// assert!(q.push_back((Packet::fresh(0), 2)));
+/// // Third enqueue overflows and is dropped:
+/// assert!(!q.push_back((Packet::fresh(0), 3)));
+/// assert_eq!(q.len(), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct PktQueue {
+    items: VecDeque<QueueEntry>,
+    capacity: usize,
+}
+
+impl PktQueue {
+    /// An empty queue with the given capacity.
+    pub fn new(capacity: usize) -> PktQueue {
+        PktQueue {
+            items: VecDeque::new(),
+            capacity,
+        }
+    }
+
+    /// The queue's capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of queued packets.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Returns `true` if no packets are queued.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Returns `true` if the queue is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.items.len() >= self.capacity
+    }
+
+    /// Enqueues at the back (the `::` enqueue of §3.1, used by `fwd` and by
+    /// packet delivery). Returns `false` if the queue was full and the
+    /// packet was dropped.
+    pub fn push_back(&mut self, entry: QueueEntry) -> bool {
+        if self.is_full() {
+            false
+        } else {
+            self.items.push_back(entry);
+            true
+        }
+    }
+
+    /// Enqueues at the *front* (rules L-New and L-Dup prepend, making the
+    /// fresh/duplicated packet the new head). Returns `false` if dropped.
+    pub fn push_front(&mut self, entry: QueueEntry) -> bool {
+        if self.is_full() {
+            false
+        } else {
+            self.items.push_front(entry);
+            true
+        }
+    }
+
+    /// The head entry, if any.
+    pub fn head(&self) -> Option<&QueueEntry> {
+        self.items.front()
+    }
+
+    /// Mutable access to the head entry (for `pkt.f = e`).
+    pub fn head_mut(&mut self) -> Option<&mut QueueEntry> {
+        self.items.front_mut()
+    }
+
+    /// Removes and returns the head entry.
+    pub fn pop_front(&mut self) -> Option<QueueEntry> {
+        self.items.pop_front()
+    }
+
+    /// Iterates over entries from head to tail.
+    pub fn iter(&self) -> impl Iterator<Item = &QueueEntry> + '_ {
+        self.items.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(tag: i64) -> Packet {
+        let mut p = Packet::fresh(1);
+        p.set_field(0, Val::int(tag));
+        p
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut q = PktQueue::new(10);
+        q.push_back((pkt(1), 1));
+        q.push_back((pkt(2), 2));
+        assert_eq!(q.pop_front().unwrap().0, pkt(1));
+        assert_eq!(q.pop_front().unwrap().0, pkt(2));
+        assert!(q.pop_front().is_none());
+    }
+
+    #[test]
+    fn push_front_becomes_head() {
+        let mut q = PktQueue::new(10);
+        q.push_back((pkt(1), 1));
+        q.push_front((pkt(2), 0));
+        assert_eq!(q.head().unwrap().0, pkt(2));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn overflow_drops_silently() {
+        let mut q = PktQueue::new(2);
+        assert!(q.push_back((pkt(1), 1)));
+        assert!(q.push_front((pkt(2), 1)));
+        assert!(!q.push_back((pkt(3), 1)));
+        assert!(!q.push_front((pkt(4), 1)));
+        assert_eq!(q.len(), 2);
+        // Contents unchanged: head is pkt2, tail pkt1.
+        assert_eq!(q.head().unwrap().0, pkt(2));
+    }
+
+    #[test]
+    fn zero_capacity_queue_drops_everything() {
+        let mut q = PktQueue::new(0);
+        assert!(!q.push_back((pkt(1), 1)));
+        assert!(q.is_empty() && q.is_full());
+    }
+
+    #[test]
+    fn head_mut_edits_in_place() {
+        let mut q = PktQueue::new(2);
+        q.push_back((pkt(1), 1));
+        q.head_mut().unwrap().0.set_field(0, Val::int(42));
+        assert_eq!(*q.head().unwrap().0.field(0), Val::int(42));
+    }
+
+    #[test]
+    fn fresh_packet_is_all_zero() {
+        let p = Packet::fresh(3);
+        assert_eq!(p.num_fields(), 3);
+        for i in 0..3 {
+            assert_eq!(*p.field(i), Val::zero());
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! Probabilistic schedulers (paper §3.2, Figure 6).
+//!
+//! Network nodes execute asynchronously; Bayonet captures the asynchrony
+//! with a probabilistic scheduler that selects the next global action. The
+//! paper models schedulers as stateful probabilistic programs; here they are
+//! trait objects that return an exact distribution over `(action, next
+//! scheduler state)` pairs, which serves both engines: the exact engine
+//! enumerates the support, the sampling engine draws from it.
+
+use std::fmt;
+
+use bayonet_num::Rat;
+
+use crate::compile::{Model, SchedKind};
+use crate::config::Action;
+
+/// A scheduler: a conditional distribution over enabled actions given the
+/// scheduler state (paper: `P_s(λ, σ'_s | σ_s, C_1..C_k)`).
+///
+/// Schedulers are `Send + Sync` so the exact engine can expand frontier
+/// configurations from multiple threads.
+pub trait Scheduler: fmt::Debug + Send + Sync {
+    /// A short human-readable name ("uniform", "det", ...).
+    fn name(&self) -> &str;
+
+    /// The distribution over `(action, probability, next state)` given the
+    /// current scheduler state and the enabled actions (nonempty, in
+    /// canonical order: `Run(0..k)` then `Fwd(0..k)`).
+    ///
+    /// Probabilities must sum to 1.
+    fn distribution(
+        &self,
+        sched_state: u32,
+        enabled: &[Action],
+        num_nodes: usize,
+    ) -> Vec<(Action, Rat, u32)>;
+}
+
+/// The uniform scheduler of paper Figure 6: every enabled action is equally
+/// likely.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct UniformScheduler;
+
+impl Scheduler for UniformScheduler {
+    fn name(&self) -> &str {
+        "uniform"
+    }
+
+    fn distribution(
+        &self,
+        sched_state: u32,
+        enabled: &[Action],
+        _num_nodes: usize,
+    ) -> Vec<(Action, Rat, u32)> {
+        let p = Rat::ratio(1, enabled.len() as i64);
+        enabled
+            .iter()
+            .map(|&a| (a, p.clone(), sched_state))
+            .collect()
+    }
+}
+
+/// The paper's deterministic scheduler: a fixed priority scan — lowest node
+/// id first, `Run` before `Fwd` (i.e. always the first enabled action in
+/// canonical order). Under this scheduler a sending host drains its packet
+/// budget before anything is forwarded, which is why the congestion
+/// benchmarks report probability 1.0 (Table 1).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DeterministicScheduler;
+
+impl Scheduler for DeterministicScheduler {
+    fn name(&self) -> &str {
+        "det"
+    }
+
+    fn distribution(
+        &self,
+        sched_state: u32,
+        enabled: &[Action],
+        _num_nodes: usize,
+    ) -> Vec<(Action, Rat, u32)> {
+        vec![(enabled[0], Rat::one(), sched_state)]
+    }
+}
+
+/// A weighted scheduler: enabled actions of node `i` are selected with
+/// probability proportional to `weights[i]`. Models heterogeneous equipment
+/// (fast switches, slow links).
+#[derive(Debug, Clone)]
+pub struct WeightedScheduler {
+    weights: Vec<u64>,
+}
+
+impl WeightedScheduler {
+    /// Creates a weighted scheduler from per-node weights (all positive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any weight is zero.
+    pub fn new(weights: Vec<u64>) -> Self {
+        assert!(
+            weights.iter().all(|&w| w > 0),
+            "scheduler weights must be positive"
+        );
+        WeightedScheduler { weights }
+    }
+}
+
+impl Scheduler for WeightedScheduler {
+    fn name(&self) -> &str {
+        "weighted"
+    }
+
+    fn distribution(
+        &self,
+        sched_state: u32,
+        enabled: &[Action],
+        _num_nodes: usize,
+    ) -> Vec<(Action, Rat, u32)> {
+        let total: u64 = enabled.iter().map(|a| self.weights[a.node()]).sum();
+        enabled
+            .iter()
+            .map(|&a| {
+                (
+                    a,
+                    Rat::ratio(self.weights[a.node()] as i64, total as i64),
+                    sched_state,
+                )
+            })
+            .collect()
+    }
+}
+
+/// A *stateful* deterministic round-robin scheduler: a cursor sweeps the
+/// action space `Run(0), ..., Run(k-1), Fwd(0), ..., Fwd(k-1)` cyclically
+/// and picks the first enabled action at or after the cursor; the cursor
+/// then advances past it. Demonstrates the paper's stateful-scheduler
+/// machinery (the `state` declaration of Figure 6).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RotorScheduler;
+
+impl RotorScheduler {
+    fn index(a: Action, k: usize) -> u32 {
+        match a {
+            Action::Run(i) => i as u32,
+            Action::Fwd(i) => (k + i) as u32,
+        }
+    }
+}
+
+impl Scheduler for RotorScheduler {
+    fn name(&self) -> &str {
+        "rotor"
+    }
+
+    fn distribution(
+        &self,
+        sched_state: u32,
+        enabled: &[Action],
+        num_nodes: usize,
+    ) -> Vec<(Action, Rat, u32)> {
+        let space = (2 * num_nodes) as u32;
+        let cursor = sched_state % space;
+        let chosen = enabled
+            .iter()
+            .min_by_key(|&&a| {
+                let idx = Self::index(a, num_nodes);
+                (idx + space - cursor) % space
+            })
+            .copied()
+            .expect("distribution called with enabled actions");
+        let next = (Self::index(chosen, num_nodes) + 1) % space;
+        vec![(chosen, Rat::one(), next)]
+    }
+}
+
+/// Builds the scheduler selected by the model's source program.
+pub fn scheduler_for(model: &Model) -> Box<dyn Scheduler> {
+    match &model.scheduler {
+        SchedKind::Uniform => Box::new(UniformScheduler),
+        SchedKind::Deterministic => Box::new(DeterministicScheduler),
+        SchedKind::Rotor => Box::new(RotorScheduler),
+        SchedKind::Weighted(ws) => Box::new(WeightedScheduler::new(ws.clone())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn acts() -> Vec<Action> {
+        vec![Action::Run(0), Action::Run(2), Action::Fwd(1)]
+    }
+
+    #[test]
+    fn uniform_is_uniform() {
+        let d = UniformScheduler.distribution(0, &acts(), 3);
+        assert_eq!(d.len(), 3);
+        for (_, p, s) in &d {
+            assert_eq!(*p, Rat::ratio(1, 3));
+            assert_eq!(*s, 0);
+        }
+        let total: Rat = d.iter().fold(Rat::zero(), |acc, (_, p, _)| acc + p);
+        assert_eq!(total, Rat::one());
+    }
+
+    #[test]
+    fn deterministic_picks_first_enabled() {
+        let d = DeterministicScheduler.distribution(7, &acts(), 3);
+        assert_eq!(d, vec![(Action::Run(0), Rat::one(), 7)]);
+    }
+
+    #[test]
+    fn weighted_proportional() {
+        let s = WeightedScheduler::new(vec![3, 1, 1]);
+        let d = s.distribution(0, &acts(), 3);
+        // Weights: Run(0)->3, Run(2)->1, Fwd(1)->1, total 5.
+        assert_eq!(d[0].1, Rat::ratio(3, 5));
+        assert_eq!(d[1].1, Rat::ratio(1, 5));
+        assert_eq!(d[2].1, Rat::ratio(1, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn weighted_rejects_zero_weight() {
+        let _ = WeightedScheduler::new(vec![1, 0]);
+    }
+
+    #[test]
+    fn rotor_sweeps_fairly() {
+        // k=3: indices Run0=0, Run1=1, Run2=2, Fwd0=3, Fwd1=4, Fwd2=5.
+        let enabled = acts(); // indices 0, 2, 4
+        let (a1, _, s1) = RotorScheduler.distribution(0, &enabled, 3)[0].clone();
+        assert_eq!(a1, Action::Run(0));
+        assert_eq!(s1, 1);
+        let (a2, _, s2) = RotorScheduler.distribution(s1, &enabled, 3)[0].clone();
+        assert_eq!(a2, Action::Run(2));
+        assert_eq!(s2, 3);
+        let (a3, _, s3) = RotorScheduler.distribution(s2, &enabled, 3)[0].clone();
+        assert_eq!(a3, Action::Fwd(1));
+        assert_eq!(s3, 5);
+        // Wraps around.
+        let (a4, _, _) = RotorScheduler.distribution(s3, &enabled, 3)[0].clone();
+        assert_eq!(a4, Action::Run(0));
+    }
+}

@@ -1,0 +1,246 @@
+//! Runtime values of the Bayonet semantics.
+//!
+//! The value domain is the rationals (paper Figure 4); when symbolic
+//! configuration parameters are in play, values are linear expressions over
+//! those parameters. [`Val`] keeps the invariant that a constant expression
+//! is always represented as [`Val::Rat`], so structurally equal values
+//! compare and hash equal — which is what lets the exact engine merge
+//! configurations.
+
+use std::fmt;
+
+use bayonet_num::Rat;
+use bayonet_symbolic::{LinExpr, ParamTable};
+
+use crate::error::SemanticsError;
+
+/// A runtime value: an exact rational, or a non-constant linear expression
+/// over symbolic parameters.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Val {
+    /// A concrete rational.
+    Rat(Rat),
+    /// A linear expression with at least one parameter (invariant:
+    /// never constant).
+    Sym(LinExpr),
+}
+
+impl Val {
+    /// The value 0.
+    pub fn zero() -> Val {
+        Val::Rat(Rat::zero())
+    }
+
+    /// The value 1.
+    pub fn one() -> Val {
+        Val::Rat(Rat::one())
+    }
+
+    /// An integer value.
+    pub fn int(v: i64) -> Val {
+        Val::Rat(Rat::int(v))
+    }
+
+    /// 0/1 encoding of a boolean.
+    pub fn from_bool(b: bool) -> Val {
+        Val::Rat(Rat::from_bool(b))
+    }
+
+    /// Builds a value from a linear expression, collapsing constants.
+    pub fn from_lin(e: LinExpr) -> Val {
+        match e.as_constant() {
+            Some(c) => Val::Rat(c.clone()),
+            None => Val::Sym(e),
+        }
+    }
+
+    /// Returns the concrete rational, if this value is concrete.
+    pub fn as_rat(&self) -> Option<&Rat> {
+        match self {
+            Val::Rat(r) => Some(r),
+            Val::Sym(_) => None,
+        }
+    }
+
+    /// Returns `true` if the value is concrete.
+    pub fn is_concrete(&self) -> bool {
+        matches!(self, Val::Rat(_))
+    }
+
+    /// Views the value as a linear expression (constants become constant
+    /// expressions).
+    pub fn to_lin(&self) -> LinExpr {
+        match self {
+            Val::Rat(r) => LinExpr::constant(r.clone()),
+            Val::Sym(e) => e.clone(),
+        }
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &Val) -> Val {
+        match (self, other) {
+            (Val::Rat(a), Val::Rat(b)) => Val::Rat(a + b),
+            _ => Val::from_lin(self.to_lin().add(&other.to_lin())),
+        }
+    }
+
+    /// `self - other`.
+    pub fn sub(&self, other: &Val) -> Val {
+        match (self, other) {
+            (Val::Rat(a), Val::Rat(b)) => Val::Rat(a - b),
+            _ => Val::from_lin(self.to_lin().sub(&other.to_lin())),
+        }
+    }
+
+    /// Negation.
+    pub fn neg(&self) -> Val {
+        match self {
+            Val::Rat(a) => Val::Rat(-a),
+            Val::Sym(e) => Val::from_lin(e.neg()),
+        }
+    }
+
+    /// `self * other`.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`SemanticsError::NonlinearArithmetic`] when both operands
+    /// are symbolic (the grammar's `v · e` restriction, Figure 4).
+    pub fn mul(&self, other: &Val) -> Result<Val, SemanticsError> {
+        match (self, other) {
+            (Val::Rat(a), Val::Rat(b)) => Ok(Val::Rat(a * b)),
+            _ => self
+                .to_lin()
+                .checked_mul(&other.to_lin())
+                .map(Val::from_lin)
+                .ok_or(SemanticsError::NonlinearArithmetic),
+        }
+    }
+
+    /// `self / other`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on division by zero or by a symbolic value.
+    pub fn div(&self, other: &Val) -> Result<Val, SemanticsError> {
+        match other {
+            Val::Rat(b) if b.is_zero() => Err(SemanticsError::DivisionByZero),
+            Val::Rat(b) => match self {
+                Val::Rat(a) => Ok(Val::Rat(a / b)),
+                Val::Sym(e) => Ok(Val::from_lin(e.scale(&b.recip()))),
+            },
+            Val::Sym(_) => Err(SemanticsError::NonlinearArithmetic),
+        }
+    }
+
+    /// Renders with parameter names from `table`.
+    pub fn display<'a>(&'a self, table: &'a ParamTable) -> DisplayVal<'a> {
+        DisplayVal { val: self, table }
+    }
+}
+
+impl Default for Val {
+    fn default() -> Self {
+        Val::zero()
+    }
+}
+
+impl From<Rat> for Val {
+    fn from(r: Rat) -> Self {
+        Val::Rat(r)
+    }
+}
+
+impl From<i64> for Val {
+    fn from(v: i64) -> Self {
+        Val::int(v)
+    }
+}
+
+impl fmt::Display for Val {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Val::Rat(r) => write!(f, "{r}"),
+            Val::Sym(_) => write!(f, "<symbolic>"),
+        }
+    }
+}
+
+/// Helper rendering a [`Val`] with its parameter names.
+pub struct DisplayVal<'a> {
+    val: &'a Val,
+    table: &'a ParamTable,
+}
+
+impl fmt::Display for DisplayVal<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.val {
+            Val::Rat(r) => write!(f, "{r}"),
+            Val::Sym(e) => write!(f, "{}", e.display(self.table)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bayonet_symbolic::ParamTable;
+
+    fn sym() -> (ParamTable, Val) {
+        let mut t = ParamTable::new();
+        let p = t.intern("P");
+        (t, Val::Sym(LinExpr::param(p)))
+    }
+
+    #[test]
+    fn concrete_arithmetic() {
+        let a = Val::Rat(Rat::ratio(1, 2));
+        let b = Val::Rat(Rat::ratio(1, 3));
+        assert_eq!(a.add(&b), Val::Rat(Rat::ratio(5, 6)));
+        assert_eq!(a.sub(&b), Val::Rat(Rat::ratio(1, 6)));
+        assert_eq!(a.mul(&b).unwrap(), Val::Rat(Rat::ratio(1, 6)));
+        assert_eq!(a.div(&b).unwrap(), Val::Rat(Rat::ratio(3, 2)));
+        assert_eq!(a.neg(), Val::Rat(Rat::ratio(-1, 2)));
+    }
+
+    #[test]
+    fn symbolic_collapse_to_concrete() {
+        let (_, p) = sym();
+        // P - P collapses back to the concrete 0, so configs merge.
+        assert_eq!(p.sub(&p), Val::zero());
+        assert!(p.sub(&p).is_concrete());
+        // P + 1 stays symbolic.
+        assert!(!p.add(&Val::one()).is_concrete());
+    }
+
+    #[test]
+    fn nonlinear_product_rejected() {
+        let (_, p) = sym();
+        assert!(matches!(
+            p.mul(&p),
+            Err(SemanticsError::NonlinearArithmetic)
+        ));
+        // Scalar * symbolic is fine in either order.
+        assert!(p.mul(&Val::int(3)).is_ok());
+        assert!(Val::int(3).mul(&p).is_ok());
+    }
+
+    #[test]
+    fn division_rules() {
+        let (_, p) = sym();
+        assert!(matches!(
+            Val::one().div(&Val::zero()),
+            Err(SemanticsError::DivisionByZero)
+        ));
+        assert!(matches!(
+            Val::one().div(&p),
+            Err(SemanticsError::NonlinearArithmetic)
+        ));
+        assert_eq!(
+            p.div(&Val::int(2)).unwrap().to_lin().coeff(
+                p.to_lin().params().next().unwrap()
+            ),
+            Rat::ratio(1, 2)
+        );
+    }
+}

@@ -1,0 +1,79 @@
+//! Model-based property tests of the capacity-bounded queue against a
+//! reference implementation (an unbounded `VecDeque` plus explicit capacity
+//! checks).
+
+use std::collections::VecDeque;
+
+use bayonet_net::{Packet, PktQueue, Val};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Op {
+    PushBack(i64),
+    PushFront(i64),
+    PopFront,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0i64..100).prop_map(Op::PushBack),
+        (0i64..100).prop_map(Op::PushFront),
+        Just(Op::PopFront),
+    ]
+}
+
+fn tagged(tag: i64) -> (Packet, u32) {
+    let mut p = Packet::fresh(1);
+    p.set_field(0, Val::int(tag));
+    (p, 1)
+}
+
+proptest! {
+    #[test]
+    fn queue_matches_reference_model(
+        capacity in 0usize..5,
+        ops in proptest::collection::vec(arb_op(), 0..40)
+    ) {
+        let mut queue = PktQueue::new(capacity);
+        let mut model: VecDeque<i64> = VecDeque::new();
+        for op in ops {
+            match op {
+                Op::PushBack(tag) => {
+                    let accepted = queue.push_back(tagged(tag));
+                    prop_assert_eq!(accepted, model.len() < capacity);
+                    if accepted {
+                        model.push_back(tag);
+                    }
+                }
+                Op::PushFront(tag) => {
+                    let accepted = queue.push_front(tagged(tag));
+                    prop_assert_eq!(accepted, model.len() < capacity);
+                    if accepted {
+                        model.push_front(tag);
+                    }
+                }
+                Op::PopFront => {
+                    let got = queue.pop_front().map(|(p, _)| match p.field(0) {
+                        Val::Rat(r) => r.to_i64().unwrap(),
+                        _ => unreachable!(),
+                    });
+                    prop_assert_eq!(got, model.pop_front());
+                }
+            }
+            // Invariants after every operation.
+            prop_assert_eq!(queue.len(), model.len());
+            prop_assert!(queue.len() <= capacity);
+            prop_assert_eq!(queue.is_empty(), model.is_empty());
+            prop_assert_eq!(queue.is_full(), model.len() >= capacity);
+            let contents: Vec<i64> = queue
+                .iter()
+                .map(|(p, _)| match p.field(0) {
+                    Val::Rat(r) => r.to_i64().unwrap(),
+                    _ => unreachable!(),
+                })
+                .collect();
+            let expected: Vec<i64> = model.iter().copied().collect();
+            prop_assert_eq!(contents, expected);
+        }
+    }
+}

@@ -1,0 +1,481 @@
+//! Arbitrary-precision signed integers, layered over [`BigUint`].
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::str::FromStr;
+
+use crate::biguint::{BigUint, ParseNumError};
+
+/// Sign of a [`BigInt`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Sign {
+    /// Strictly negative.
+    Minus,
+    /// Exactly zero.
+    Zero,
+    /// Strictly positive.
+    Plus,
+}
+
+impl Sign {
+    /// Flips `Plus` and `Minus`; `Zero` is its own negation.
+    pub fn negate(self) -> Sign {
+        match self {
+            Sign::Minus => Sign::Plus,
+            Sign::Zero => Sign::Zero,
+            Sign::Plus => Sign::Minus,
+        }
+    }
+
+    fn mul(self, other: Sign) -> Sign {
+        match (self, other) {
+            (Sign::Zero, _) | (_, Sign::Zero) => Sign::Zero,
+            (a, b) if a == b => Sign::Plus,
+            _ => Sign::Minus,
+        }
+    }
+}
+
+/// An arbitrary-precision signed integer.
+///
+/// Invariant: `sign == Sign::Zero` if and only if the magnitude is zero.
+///
+/// # Examples
+///
+/// ```
+/// use bayonet_num::BigInt;
+///
+/// let a: BigInt = "-123456789123456789123456789".parse()?;
+/// assert_eq!((&a + &-&a), BigInt::zero());
+/// # Ok::<(), bayonet_num::ParseNumError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BigInt {
+    sign: Sign,
+    mag: BigUint,
+}
+
+impl BigInt {
+    /// The value 0.
+    pub fn zero() -> Self {
+        BigInt {
+            sign: Sign::Zero,
+            mag: BigUint::zero(),
+        }
+    }
+
+    /// The value 1.
+    pub fn one() -> Self {
+        BigInt {
+            sign: Sign::Plus,
+            mag: BigUint::one(),
+        }
+    }
+
+    /// Builds a value from a sign and magnitude (normalizing zero).
+    pub fn from_sign_magnitude(sign: Sign, mag: BigUint) -> Self {
+        if mag.is_zero() {
+            BigInt::zero()
+        } else {
+            assert!(sign != Sign::Zero, "nonzero magnitude with Zero sign");
+            BigInt { sign, mag }
+        }
+    }
+
+    /// The sign of the value.
+    pub fn sign(&self) -> Sign {
+        self.sign
+    }
+
+    /// The magnitude `|self|` as a [`BigUint`].
+    pub fn magnitude(&self) -> &BigUint {
+        &self.mag
+    }
+
+    /// Consumes `self`, returning the magnitude.
+    pub fn into_magnitude(self) -> BigUint {
+        self.mag
+    }
+
+    /// Returns `true` if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.sign == Sign::Zero
+    }
+
+    /// Returns `true` if the value is one.
+    pub fn is_one(&self) -> bool {
+        self.sign == Sign::Plus && self.mag.is_one()
+    }
+
+    /// Returns `true` if the value is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.sign == Sign::Minus
+    }
+
+    /// Returns `true` if the value is strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.sign == Sign::Plus
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> BigInt {
+        BigInt {
+            sign: if self.is_zero() { Sign::Zero } else { Sign::Plus },
+            mag: self.mag.clone(),
+        }
+    }
+
+    /// Converts to `i64` if the value fits.
+    pub fn to_i64(&self) -> Option<i64> {
+        let m = self.mag.to_u64()?;
+        match self.sign {
+            Sign::Zero => Some(0),
+            Sign::Plus => i64::try_from(m).ok(),
+            Sign::Minus => {
+                if m <= i64::MAX as u64 + 1 {
+                    Some((m as i64).wrapping_neg())
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Converts to `i128` if the value fits.
+    pub fn to_i128(&self) -> Option<i128> {
+        let m = self.mag.to_u128()?;
+        match self.sign {
+            Sign::Zero => Some(0),
+            Sign::Plus => i128::try_from(m).ok(),
+            Sign::Minus => {
+                if m <= i128::MAX as u128 + 1 {
+                    Some((m as i128).wrapping_neg())
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Lossy conversion to `f64`.
+    pub fn to_f64(&self) -> f64 {
+        let m = self.mag.to_f64();
+        match self.sign {
+            Sign::Minus => -m,
+            _ => m,
+        }
+    }
+
+    /// Truncated division with remainder: `self = q * d + r` with
+    /// `|r| < |d|` and `r` having the sign of `self` (or zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is zero.
+    pub fn div_rem(&self, d: &BigInt) -> (BigInt, BigInt) {
+        let (q_mag, r_mag) = self.mag.div_rem(&d.mag);
+        let q = BigInt::from_sign_magnitude(
+            if q_mag.is_zero() {
+                Sign::Zero
+            } else {
+                self.sign.mul(d.sign)
+            },
+            q_mag,
+        );
+        let r = BigInt::from_sign_magnitude(
+            if r_mag.is_zero() { Sign::Zero } else { self.sign },
+            r_mag,
+        );
+        (q, r)
+    }
+
+    /// Greatest common divisor of magnitudes (always non-negative).
+    pub fn gcd(&self, other: &BigInt) -> BigUint {
+        self.mag.gcd(&other.mag)
+    }
+
+    /// Raises `self` to the power `exp`.
+    pub fn pow(&self, exp: u32) -> BigInt {
+        let mag = self.mag.pow(exp);
+        let sign = if exp == 0 {
+            Sign::Plus
+        } else if self.sign == Sign::Minus && exp % 2 == 1 {
+            Sign::Minus
+        } else if self.is_zero() {
+            Sign::Zero
+        } else {
+            Sign::Plus
+        };
+        BigInt::from_sign_magnitude(if mag.is_zero() { Sign::Zero } else { sign }, mag)
+    }
+
+    fn add_ref(&self, other: &BigInt) -> BigInt {
+        match (self.sign, other.sign) {
+            (Sign::Zero, _) => other.clone(),
+            (_, Sign::Zero) => self.clone(),
+            (a, b) if a == b => BigInt {
+                sign: a,
+                mag: &self.mag + &other.mag,
+            },
+            _ => match self.mag.cmp(&other.mag) {
+                Ordering::Equal => BigInt::zero(),
+                Ordering::Greater => BigInt {
+                    sign: self.sign,
+                    mag: &self.mag - &other.mag,
+                },
+                Ordering::Less => BigInt {
+                    sign: other.sign,
+                    mag: &other.mag - &self.mag,
+                },
+            },
+        }
+    }
+
+    fn mul_ref(&self, other: &BigInt) -> BigInt {
+        BigInt::from_sign_magnitude(self.sign.mul(other.sign), &self.mag * &other.mag)
+    }
+}
+
+impl Default for BigInt {
+    fn default() -> Self {
+        BigInt::zero()
+    }
+}
+
+impl From<BigUint> for BigInt {
+    fn from(mag: BigUint) -> Self {
+        let sign = if mag.is_zero() { Sign::Zero } else { Sign::Plus };
+        BigInt { sign, mag }
+    }
+}
+
+impl From<i64> for BigInt {
+    fn from(v: i64) -> Self {
+        BigInt::from(v as i128)
+    }
+}
+
+impl From<i128> for BigInt {
+    fn from(v: i128) -> Self {
+        match v.cmp(&0) {
+            Ordering::Equal => BigInt::zero(),
+            Ordering::Greater => BigInt {
+                sign: Sign::Plus,
+                mag: BigUint::from(v as u128),
+            },
+            Ordering::Less => BigInt {
+                sign: Sign::Minus,
+                mag: BigUint::from(v.unsigned_abs()),
+            },
+        }
+    }
+}
+
+impl From<u64> for BigInt {
+    fn from(v: u64) -> Self {
+        BigInt::from(BigUint::from(v))
+    }
+}
+
+impl From<i32> for BigInt {
+    fn from(v: i32) -> Self {
+        BigInt::from(v as i128)
+    }
+}
+
+impl Ord for BigInt {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.sign.cmp(&other.sign) {
+            Ordering::Equal => match self.sign {
+                Sign::Zero => Ordering::Equal,
+                Sign::Plus => self.mag.cmp(&other.mag),
+                Sign::Minus => other.mag.cmp(&self.mag),
+            },
+            ord => ord,
+        }
+    }
+}
+
+impl PartialOrd for BigInt {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Neg for &BigInt {
+    type Output = BigInt;
+    fn neg(self) -> BigInt {
+        BigInt {
+            sign: self.sign.negate(),
+            mag: self.mag.clone(),
+        }
+    }
+}
+
+impl Neg for BigInt {
+    type Output = BigInt;
+    fn neg(mut self) -> BigInt {
+        self.sign = self.sign.negate();
+        self
+    }
+}
+
+macro_rules! forward_int_binop {
+    ($trait:ident, $method:ident, $impl_fn:expr) => {
+        impl $trait<&BigInt> for &BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: &BigInt) -> BigInt {
+                let f: fn(&BigInt, &BigInt) -> BigInt = $impl_fn;
+                f(self, rhs)
+            }
+        }
+        impl $trait<BigInt> for BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: BigInt) -> BigInt {
+                $trait::$method(&self, &rhs)
+            }
+        }
+        impl $trait<&BigInt> for BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: &BigInt) -> BigInt {
+                $trait::$method(&self, rhs)
+            }
+        }
+        impl $trait<BigInt> for &BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: BigInt) -> BigInt {
+                $trait::$method(self, &rhs)
+            }
+        }
+    };
+}
+
+forward_int_binop!(Add, add, |a, b| a.add_ref(b));
+forward_int_binop!(Sub, sub, |a, b| a.add_ref(&-b));
+forward_int_binop!(Mul, mul, |a, b| a.mul_ref(b));
+
+impl AddAssign<&BigInt> for BigInt {
+    fn add_assign(&mut self, rhs: &BigInt) {
+        *self = self.add_ref(rhs);
+    }
+}
+
+impl SubAssign<&BigInt> for BigInt {
+    fn sub_assign(&mut self, rhs: &BigInt) {
+        *self = self.add_ref(&-rhs);
+    }
+}
+
+impl MulAssign<&BigInt> for BigInt {
+    fn mul_assign(&mut self, rhs: &BigInt) {
+        *self = self.mul_ref(rhs);
+    }
+}
+
+impl fmt::Display for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.sign == Sign::Minus {
+            f.write_str("-")?;
+        }
+        write!(f, "{}", self.mag)
+    }
+}
+
+impl fmt::Debug for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigInt({self})")
+    }
+}
+
+impl FromStr for BigInt {
+    type Err = ParseNumError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (sign, digits) = match s.strip_prefix('-') {
+            Some(rest) => (Sign::Minus, rest),
+            None => (Sign::Plus, s.strip_prefix('+').unwrap_or(s)),
+        };
+        let mag: BigUint = digits.parse()?;
+        Ok(BigInt::from_sign_magnitude(
+            if mag.is_zero() { Sign::Zero } else { sign },
+            mag,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int(v: i128) -> BigInt {
+        BigInt::from(v)
+    }
+
+    #[test]
+    fn sign_invariant() {
+        assert_eq!(int(0).sign(), Sign::Zero);
+        assert_eq!(int(5).sign(), Sign::Plus);
+        assert_eq!(int(-5).sign(), Sign::Minus);
+        assert_eq!((int(5) + int(-5)).sign(), Sign::Zero);
+    }
+
+    #[test]
+    fn add_sub_all_sign_combinations() {
+        for a in [-7i128, -1, 0, 1, 9] {
+            for b in [-4i128, -1, 0, 1, 13] {
+                assert_eq!(int(a) + int(b), int(a + b), "{a} + {b}");
+                assert_eq!(int(a) - int(b), int(a - b), "{a} - {b}");
+                assert_eq!(int(a) * int(b), int(a * b), "{a} * {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn div_rem_truncates_toward_zero() {
+        for (a, b) in [(7i128, 2i128), (-7, 2), (7, -2), (-7, -2), (6, 3), (0, 5)] {
+            let (q, r) = int(a).div_rem(&int(b));
+            assert_eq!(q, int(a / b), "{a} / {b}");
+            assert_eq!(r, int(a % b), "{a} % {b}");
+        }
+    }
+
+    #[test]
+    fn ordering_across_signs() {
+        assert!(int(-10) < int(-9));
+        assert!(int(-1) < int(0));
+        assert!(int(0) < int(1));
+        assert!(int(100) > int(99));
+    }
+
+    #[test]
+    fn parse_display_roundtrip() {
+        for s in ["0", "-1", "12345678901234567890123456789", "-987654321098765432109876543210"] {
+            let v: BigInt = s.parse().unwrap();
+            assert_eq!(v.to_string(), s);
+        }
+        assert_eq!("-0".parse::<BigInt>().unwrap(), BigInt::zero());
+        assert_eq!("+7".parse::<BigInt>().unwrap(), int(7));
+    }
+
+    #[test]
+    fn pow_signs() {
+        assert_eq!(int(-2).pow(3), int(-8));
+        assert_eq!(int(-2).pow(4), int(16));
+        assert_eq!(int(0).pow(0), int(1));
+        assert_eq!(int(0).pow(3), int(0));
+    }
+
+    #[test]
+    fn i64_conversion_boundaries() {
+        assert_eq!(BigInt::from(i64::MIN).to_i64(), Some(i64::MIN));
+        assert_eq!(BigInt::from(i64::MAX).to_i64(), Some(i64::MAX));
+        assert_eq!((BigInt::from(i64::MAX) + BigInt::one()).to_i64(), None);
+        assert_eq!((BigInt::from(i64::MIN) - BigInt::one()).to_i64(), None);
+    }
+
+    #[test]
+    fn to_f64_sign() {
+        assert_eq!(int(-12345).to_f64(), -12345.0);
+    }
+}

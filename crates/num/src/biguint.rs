@@ -1,0 +1,787 @@
+//! Arbitrary-precision unsigned integers.
+//!
+//! [`BigUint`] stores its magnitude as little-endian `u64` limbs with the
+//! invariant that the most significant limb is nonzero (zero is the empty
+//! limb vector). All arithmetic is exact; overflow cannot occur.
+//!
+//! The implementation favours clarity over asymptotic sophistication:
+//! schoolbook multiplication and Knuth Algorithm D division are more than
+//! fast enough for the operand sizes that exact network inference produces
+//! (hundreds to a few thousand bits).
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, MulAssign, Shl, Shr, Sub, SubAssign};
+use std::str::FromStr;
+
+/// An arbitrary-precision unsigned integer.
+///
+/// # Examples
+///
+/// ```
+/// use bayonet_num::BigUint;
+///
+/// let a = BigUint::from(10u64).pow(30);
+/// let b = &a * &a;
+/// assert_eq!(b.to_string(), format!("1{}", "0".repeat(60)));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BigUint {
+    /// Little-endian limbs; no trailing zero limbs (zero is empty).
+    limbs: Vec<u64>,
+}
+
+impl BigUint {
+    /// The value 0.
+    pub fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// The value 1.
+    pub fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// Returns `true` if `self` is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Returns `true` if `self` is one.
+    pub fn is_one(&self) -> bool {
+        self.limbs == [1]
+    }
+
+    /// Constructs a value from little-endian limbs, normalizing trailing zeros.
+    pub fn from_limbs(mut limbs: Vec<u64>) -> Self {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        BigUint { limbs }
+    }
+
+    /// A read-only view of the little-endian limbs.
+    pub fn limbs(&self) -> &[u64] {
+        &self.limbs
+    }
+
+    /// Number of significant bits (0 for the value zero).
+    pub fn bits(&self) -> u64 {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => (self.limbs.len() as u64 - 1) * 64 + (64 - top.leading_zeros() as u64),
+        }
+    }
+
+    /// Returns bit `i` (little-endian position) of the value.
+    pub fn bit(&self, i: u64) -> bool {
+        let limb = (i / 64) as usize;
+        if limb >= self.limbs.len() {
+            return false;
+        }
+        (self.limbs[limb] >> (i % 64)) & 1 == 1
+    }
+
+    /// Returns `true` if the value is even. Zero is even.
+    pub fn is_even(&self) -> bool {
+        self.limbs.first().map_or(true, |l| l & 1 == 0)
+    }
+
+    /// Converts to `u64` if the value fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0]),
+            _ => None,
+        }
+    }
+
+    /// Converts to `u128` if the value fits.
+    pub fn to_u128(&self) -> Option<u128> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0] as u128),
+            2 => Some(self.limbs[0] as u128 | (self.limbs[1] as u128) << 64),
+            _ => None,
+        }
+    }
+
+    /// Lossy conversion to `f64` (correct to within rounding of the top
+    /// 64 significant bits; returns `f64::INFINITY` when out of range).
+    pub fn to_f64(&self) -> f64 {
+        let bits = self.bits();
+        if bits <= 64 {
+            return self.to_u64().unwrap_or(0) as f64;
+        }
+        // Take the top 64 bits and scale by the discarded exponent.
+        let shift = bits - 64;
+        let top = (self >> shift).to_u64().expect("top 64 bits fit");
+        let x = top as f64;
+        let exp = shift as i32;
+        if exp > f64::MAX_EXP {
+            f64::INFINITY
+        } else {
+            x * 2f64.powi(exp)
+        }
+    }
+
+    /// `self + other`, in place.
+    fn add_assign_ref(&mut self, other: &BigUint) {
+        let mut carry = 0u64;
+        for i in 0..other.limbs.len().max(self.limbs.len()) {
+            if i >= self.limbs.len() {
+                self.limbs.push(0);
+            }
+            let b = other.limbs.get(i).copied().unwrap_or(0);
+            let (s1, c1) = self.limbs[i].overflowing_add(b);
+            let (s2, c2) = s1.overflowing_add(carry);
+            self.limbs[i] = s2;
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        if carry != 0 {
+            self.limbs.push(carry);
+        }
+    }
+
+    /// `self - other`, in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other > self`.
+    fn sub_assign_ref(&mut self, other: &BigUint) {
+        assert!(
+            *self >= *other,
+            "BigUint subtraction underflow: {self} - {other}"
+        );
+        let mut borrow = 0u64;
+        for i in 0..self.limbs.len() {
+            let b = other.limbs.get(i).copied().unwrap_or(0);
+            let (d1, b1) = self.limbs[i].overflowing_sub(b);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            self.limbs[i] = d2;
+            borrow = (b1 as u64) + (b2 as u64);
+        }
+        debug_assert_eq!(borrow, 0);
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// `self - other` if `other <= self`, otherwise `None`.
+    pub fn checked_sub(&self, other: &BigUint) -> Option<BigUint> {
+        if *self < *other {
+            None
+        } else {
+            let mut out = self.clone();
+            out.sub_assign_ref(other);
+            Some(out)
+        }
+    }
+
+    /// Schoolbook multiplication.
+    fn mul_ref(&self, other: &BigUint) -> BigUint {
+        if self.is_zero() || other.is_zero() {
+            return BigUint::zero();
+        }
+        let mut out = vec![0u64; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            if a == 0 {
+                continue;
+            }
+            let mut carry = 0u128;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let t = a as u128 * b as u128 + out[i + j] as u128 + carry;
+                out[i + j] = t as u64;
+                carry = t >> 64;
+            }
+            let mut k = i + other.limbs.len();
+            while carry != 0 {
+                let t = out[k] as u128 + carry;
+                out[k] = t as u64;
+                carry = t >> 64;
+                k += 1;
+            }
+        }
+        BigUint::from_limbs(out)
+    }
+
+    /// Quotient and remainder of `self / divisor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    pub fn div_rem(&self, divisor: &BigUint) -> (BigUint, BigUint) {
+        assert!(!divisor.is_zero(), "division by zero");
+        match self.cmp(divisor) {
+            Ordering::Less => return (BigUint::zero(), self.clone()),
+            Ordering::Equal => return (BigUint::one(), BigUint::zero()),
+            Ordering::Greater => {}
+        }
+        if divisor.limbs.len() == 1 {
+            let (q, r) = self.div_rem_limb(divisor.limbs[0]);
+            return (q, BigUint::from(r));
+        }
+        self.div_rem_knuth(divisor)
+    }
+
+    /// Fast path: divide by a single limb.
+    fn div_rem_limb(&self, d: u64) -> (BigUint, u64) {
+        debug_assert!(d != 0);
+        let mut q = vec![0u64; self.limbs.len()];
+        let mut rem = 0u128;
+        for i in (0..self.limbs.len()).rev() {
+            let cur = (rem << 64) | self.limbs[i] as u128;
+            q[i] = (cur / d as u128) as u64;
+            rem = cur % d as u128;
+        }
+        (BigUint::from_limbs(q), rem as u64)
+    }
+
+    /// Knuth TAOCP Vol. 2 Algorithm D (multi-limb division).
+    fn div_rem_knuth(&self, divisor: &BigUint) -> (BigUint, BigUint) {
+        // D1: normalize so the divisor's top limb has its high bit set.
+        let shift = divisor.limbs.last().unwrap().leading_zeros();
+        let v = divisor << (shift as u64);
+        let mut u = (self << (shift as u64)).limbs;
+        u.push(0); // extra headroom limb
+        let n = v.limbs.len();
+        let m = u.len() - n - 1;
+        let vn1 = v.limbs[n - 1];
+        let vn2 = v.limbs[n - 2];
+        let mut q = vec![0u64; m + 1];
+
+        for j in (0..=m).rev() {
+            // D3: estimate q̂ from the top two limbs of the current remainder.
+            let numer = ((u[j + n] as u128) << 64) | u[j + n - 1] as u128;
+            let mut qhat = numer / vn1 as u128;
+            let mut rhat = numer % vn1 as u128;
+            while qhat >> 64 != 0
+                || qhat * vn2 as u128 > ((rhat << 64) | u[j + n - 2] as u128)
+            {
+                qhat -= 1;
+                rhat += vn1 as u128;
+                if rhat >> 64 != 0 {
+                    break;
+                }
+            }
+            // D4: multiply and subtract q̂ * v from u[j .. j+n].
+            let mut borrow = 0i128;
+            let mut carry = 0u128;
+            for i in 0..n {
+                let p = qhat * v.limbs[i] as u128 + carry;
+                carry = p >> 64;
+                let t = u[i + j] as i128 - (p as u64) as i128 + borrow;
+                u[i + j] = t as u64;
+                borrow = t >> 64; // arithmetic shift: 0 or -1
+            }
+            let t = u[j + n] as i128 - carry as i128 + borrow;
+            u[j + n] = t as u64;
+            // D5/D6: if we subtracted too much, add back one v.
+            if t < 0 {
+                qhat -= 1;
+                let mut c = 0u128;
+                for i in 0..n {
+                    let s = u[i + j] as u128 + v.limbs[i] as u128 + c;
+                    u[i + j] = s as u64;
+                    c = s >> 64;
+                }
+                u[j + n] = (u[j + n] as u128).wrapping_add(c) as u64;
+            }
+            q[j] = qhat as u64;
+        }
+
+        u.truncate(n);
+        let rem = BigUint::from_limbs(u) >> (shift as u64);
+        (BigUint::from_limbs(q), rem)
+    }
+
+    /// Greatest common divisor (binary GCD; `gcd(0, x) = x`).
+    pub fn gcd(&self, other: &BigUint) -> BigUint {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        if a.is_zero() {
+            return b;
+        }
+        if b.is_zero() {
+            return a;
+        }
+        // Factor out common powers of two.
+        let az = a.trailing_zeros();
+        let bz = b.trailing_zeros();
+        let common = az.min(bz);
+        a = &a >> az;
+        b = &b >> bz;
+        while a != b {
+            if a < b {
+                std::mem::swap(&mut a, &mut b);
+            }
+            a.sub_assign_ref(&b);
+            if a.is_zero() {
+                break;
+            }
+            let z = a.trailing_zeros();
+            a = &a >> z;
+        }
+        if a.is_zero() {
+            &b << common
+        } else {
+            &a << common
+        }
+    }
+
+    /// Least common multiple (`lcm(0, x) = 0`).
+    pub fn lcm(&self, other: &BigUint) -> BigUint {
+        if self.is_zero() || other.is_zero() {
+            return BigUint::zero();
+        }
+        let g = self.gcd(other);
+        let (q, _) = self.div_rem(&g);
+        q.mul_ref(other)
+    }
+
+    /// Number of trailing zero bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is zero.
+    pub fn trailing_zeros(&self) -> u64 {
+        assert!(!self.is_zero(), "trailing_zeros of zero");
+        let mut count = 0u64;
+        for &l in &self.limbs {
+            if l == 0 {
+                count += 64;
+            } else {
+                return count + l.trailing_zeros() as u64;
+            }
+        }
+        unreachable!("normalized nonzero BigUint has a nonzero limb")
+    }
+
+    /// Raises `self` to the power `exp` by binary exponentiation.
+    pub fn pow(&self, exp: u32) -> BigUint {
+        let mut base = self.clone();
+        let mut result = BigUint::one();
+        let mut e = exp;
+        while e > 0 {
+            if e & 1 == 1 {
+                result = result.mul_ref(&base);
+            }
+            e >>= 1;
+            if e > 0 {
+                base = base.mul_ref(&base);
+            }
+        }
+        result
+    }
+}
+
+impl From<u64> for BigUint {
+    fn from(v: u64) -> Self {
+        if v == 0 {
+            BigUint::zero()
+        } else {
+            BigUint { limbs: vec![v] }
+        }
+    }
+}
+
+impl From<u128> for BigUint {
+    fn from(v: u128) -> Self {
+        BigUint::from_limbs(vec![v as u64, (v >> 64) as u64])
+    }
+}
+
+impl From<u32> for BigUint {
+    fn from(v: u32) -> Self {
+        BigUint::from(v as u64)
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => {
+                for i in (0..self.limbs.len()).rev() {
+                    match self.limbs[i].cmp(&other.limbs[i]) {
+                        Ordering::Equal => continue,
+                        ord => return ord,
+                    }
+                }
+                Ordering::Equal
+            }
+            ord => ord,
+        }
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+macro_rules! forward_binop {
+    ($trait:ident, $method:ident, $impl_fn:expr) => {
+        impl $trait<&BigUint> for &BigUint {
+            type Output = BigUint;
+            fn $method(self, rhs: &BigUint) -> BigUint {
+                let f: fn(&BigUint, &BigUint) -> BigUint = $impl_fn;
+                f(self, rhs)
+            }
+        }
+        impl $trait<BigUint> for BigUint {
+            type Output = BigUint;
+            fn $method(self, rhs: BigUint) -> BigUint {
+                $trait::$method(&self, &rhs)
+            }
+        }
+        impl $trait<&BigUint> for BigUint {
+            type Output = BigUint;
+            fn $method(self, rhs: &BigUint) -> BigUint {
+                $trait::$method(&self, rhs)
+            }
+        }
+        impl $trait<BigUint> for &BigUint {
+            type Output = BigUint;
+            fn $method(self, rhs: BigUint) -> BigUint {
+                $trait::$method(self, &rhs)
+            }
+        }
+    };
+}
+
+forward_binop!(Add, add, |a, b| {
+    let mut out = a.clone();
+    out.add_assign_ref(b);
+    out
+});
+forward_binop!(Sub, sub, |a, b| {
+    let mut out = a.clone();
+    out.sub_assign_ref(b);
+    out
+});
+forward_binop!(Mul, mul, |a, b| a.mul_ref(b));
+
+impl AddAssign<&BigUint> for BigUint {
+    fn add_assign(&mut self, rhs: &BigUint) {
+        self.add_assign_ref(rhs);
+    }
+}
+
+impl SubAssign<&BigUint> for BigUint {
+    fn sub_assign(&mut self, rhs: &BigUint) {
+        self.sub_assign_ref(rhs);
+    }
+}
+
+impl MulAssign<&BigUint> for BigUint {
+    fn mul_assign(&mut self, rhs: &BigUint) {
+        *self = self.mul_ref(rhs);
+    }
+}
+
+impl Shl<u64> for &BigUint {
+    type Output = BigUint;
+    fn shl(self, bits: u64) -> BigUint {
+        if self.is_zero() || bits == 0 {
+            return self.clone();
+        }
+        let limb_shift = (bits / 64) as usize;
+        let bit_shift = bits % 64;
+        let mut limbs = vec![0u64; limb_shift];
+        if bit_shift == 0 {
+            limbs.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u64;
+            for &l in &self.limbs {
+                limbs.push((l << bit_shift) | carry);
+                carry = l >> (64 - bit_shift);
+            }
+            if carry != 0 {
+                limbs.push(carry);
+            }
+        }
+        BigUint::from_limbs(limbs)
+    }
+}
+
+impl Shl<u64> for BigUint {
+    type Output = BigUint;
+    fn shl(self, bits: u64) -> BigUint {
+        &self << bits
+    }
+}
+
+impl Shr<u64> for &BigUint {
+    type Output = BigUint;
+    fn shr(self, bits: u64) -> BigUint {
+        let limb_shift = (bits / 64) as usize;
+        if limb_shift >= self.limbs.len() {
+            return BigUint::zero();
+        }
+        let bit_shift = bits % 64;
+        let src = &self.limbs[limb_shift..];
+        let mut limbs = Vec::with_capacity(src.len());
+        if bit_shift == 0 {
+            limbs.extend_from_slice(src);
+        } else {
+            for i in 0..src.len() {
+                let hi = src.get(i + 1).copied().unwrap_or(0);
+                limbs.push((src[i] >> bit_shift) | (hi << (64 - bit_shift)));
+            }
+        }
+        BigUint::from_limbs(limbs)
+    }
+}
+
+impl Shr<u64> for BigUint {
+    type Output = BigUint;
+    fn shr(self, bits: u64) -> BigUint {
+        &self >> bits
+    }
+}
+
+impl fmt::Display for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.write_str("0");
+        }
+        // Peel off 19 decimal digits at a time (10^19 fits in a u64).
+        const CHUNK: u64 = 10_000_000_000_000_000_000;
+        let mut chunks = Vec::new();
+        let mut cur = self.clone();
+        while !cur.is_zero() {
+            let (q, r) = cur.div_rem_limb(CHUNK);
+            chunks.push(r);
+            cur = q;
+        }
+        let mut s = chunks.pop().unwrap().to_string();
+        for c in chunks.iter().rev() {
+            s.push_str(&format!("{c:019}"));
+        }
+        f.write_str(&s)
+    }
+}
+
+impl fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigUint({self})")
+    }
+}
+
+impl fmt::LowerHex for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.write_str("0");
+        }
+        write!(f, "{:x}", self.limbs.last().unwrap())?;
+        for l in self.limbs.iter().rev().skip(1) {
+            write!(f, "{l:016x}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Error returned when parsing a [`BigUint`] (or [`BigInt`](crate::BigInt),
+/// or [`Rat`](crate::Rat)) from a malformed string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseNumError {
+    msg: String,
+}
+
+impl ParseNumError {
+    pub(crate) fn new(msg: impl Into<String>) -> Self {
+        ParseNumError { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for ParseNumError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid number syntax: {}", self.msg)
+    }
+}
+
+impl std::error::Error for ParseNumError {}
+
+impl FromStr for BigUint {
+    type Err = ParseNumError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.is_empty() {
+            return Err(ParseNumError::new("empty string"));
+        }
+        let mut out = BigUint::zero();
+        let ten = BigUint::from(10u64);
+        for c in s.chars() {
+            let d = c
+                .to_digit(10)
+                .ok_or_else(|| ParseNumError::new(format!("unexpected character {c:?}")))?;
+            out = out.mul_ref(&ten);
+            out.add_assign_ref(&BigUint::from(d as u64));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn big(s: &str) -> BigUint {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn zero_and_one_identities() {
+        let z = BigUint::zero();
+        let o = BigUint::one();
+        assert!(z.is_zero());
+        assert!(o.is_one());
+        assert_eq!(&z + &o, o);
+        assert_eq!(&o * &z, z);
+        assert_eq!(z.bits(), 0);
+        assert_eq!(o.bits(), 1);
+    }
+
+    #[test]
+    fn add_with_carry_chain() {
+        let a = BigUint::from(u64::MAX);
+        let b = BigUint::one();
+        let s = &a + &b;
+        assert_eq!(s.to_u128(), Some(1u128 << 64));
+        assert_eq!(s.limbs(), &[0, 1]);
+    }
+
+    #[test]
+    fn sub_with_borrow_chain() {
+        let a = BigUint::from(1u128 << 64);
+        let b = BigUint::one();
+        let d = &a - &b;
+        assert_eq!(d.to_u64(), Some(u64::MAX));
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let _ = BigUint::one() - BigUint::from(2u64);
+    }
+
+    #[test]
+    fn checked_sub_returns_none_on_underflow() {
+        assert_eq!(BigUint::one().checked_sub(&BigUint::from(2u64)), None);
+        assert_eq!(
+            BigUint::from(5u64).checked_sub(&BigUint::from(2u64)),
+            Some(BigUint::from(3u64))
+        );
+    }
+
+    #[test]
+    fn mul_large() {
+        let a = big("340282366920938463463374607431768211455"); // 2^128 - 1
+        let sq = &a * &a;
+        assert_eq!(
+            sq.to_string(),
+            "115792089237316195423570985008687907852589419931798687112530834793049593217025"
+        );
+    }
+
+    #[test]
+    fn div_rem_small_divisor() {
+        let a = big("123456789012345678901234567890");
+        let (q, r) = a.div_rem(&BigUint::from(97u64));
+        assert_eq!((&q * &BigUint::from(97u64)) + &r, a);
+        assert!(r < BigUint::from(97u64));
+    }
+
+    #[test]
+    fn div_rem_multi_limb_divisor() {
+        let a = big("123456789012345678901234567890123456789012345678901234567890");
+        let b = big("9876543210987654321098765432109876543");
+        let (q, r) = a.div_rem(&b);
+        assert_eq!(&(&q * &b) + &r, a);
+        assert!(r < b);
+    }
+
+    #[test]
+    fn div_rem_knuth_addback_case() {
+        // Crafted operands that force the rare D6 "add back" correction.
+        let u = BigUint::from_limbs(vec![0, 0, 1 << 63]);
+        let v = BigUint::from_limbs(vec![1, 1 << 63]);
+        let (q, r) = u.div_rem(&v);
+        assert_eq!(&(&q * &v) + &r, u);
+        assert!(r < v);
+    }
+
+    #[test]
+    fn shifts_roundtrip() {
+        let a = big("987654321987654321987654321");
+        for bits in [0u64, 1, 7, 63, 64, 65, 130] {
+            assert_eq!(&(&a << bits) >> bits, a);
+        }
+    }
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(
+            BigUint::from(48u64).gcd(&BigUint::from(36u64)),
+            BigUint::from(12u64)
+        );
+        assert_eq!(BigUint::zero().gcd(&BigUint::from(7u64)), BigUint::from(7u64));
+        assert_eq!(BigUint::from(7u64).gcd(&BigUint::zero()), BigUint::from(7u64));
+        let a = big("123456789012345678901234567890");
+        assert_eq!(a.gcd(&a), a);
+    }
+
+    #[test]
+    fn lcm_basics() {
+        assert_eq!(
+            BigUint::from(4u64).lcm(&BigUint::from(6u64)),
+            BigUint::from(12u64)
+        );
+        assert_eq!(BigUint::zero().lcm(&BigUint::from(5u64)), BigUint::zero());
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        let three = BigUint::from(3u64);
+        assert_eq!(three.pow(0), BigUint::one());
+        assert_eq!(three.pow(5), BigUint::from(243u64));
+        assert_eq!(
+            BigUint::from(10u64).pow(40).to_string(),
+            format!("1{}", "0".repeat(40))
+        );
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        for s in ["0", "1", "18446744073709551616", "123456789012345678901234567890123"] {
+            assert_eq!(big(s).to_string(), s);
+        }
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(big("100") < big("101"));
+        assert!(big("18446744073709551616") > big("18446744073709551615"));
+    }
+
+    #[test]
+    fn to_f64_accuracy() {
+        assert_eq!(BigUint::from(12345u64).to_f64(), 12345.0);
+        let a = BigUint::from(10u64).pow(30);
+        let rel = (a.to_f64() - 1e30).abs() / 1e30;
+        assert!(rel < 1e-12, "relative error {rel}");
+    }
+
+    #[test]
+    fn trailing_zeros() {
+        assert_eq!(BigUint::from(8u64).trailing_zeros(), 3);
+        assert_eq!((BigUint::one() << 130u64).trailing_zeros(), 130);
+    }
+
+    #[test]
+    fn hex_formatting() {
+        assert_eq!(format!("{:x}", big("255")), "ff");
+        assert_eq!(format!("{:x}", BigUint::one() << 64u64), "10000000000000000");
+    }
+}

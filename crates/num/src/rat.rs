@@ -1,0 +1,551 @@
+//! Exact rational numbers.
+//!
+//! [`Rat`] is the value domain of the Bayonet semantics (`Vals = Q`, paper
+//! Figure 4) and the probability domain of the exact inference engine. All
+//! operations are exact; values are kept in lowest terms with a positive
+//! denominator.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::str::FromStr;
+
+use crate::bigint::{BigInt, Sign};
+use crate::biguint::{BigUint, ParseNumError};
+
+/// An exact rational number in lowest terms.
+///
+/// Invariants: the denominator is strictly positive, `gcd(|num|, den) == 1`,
+/// and zero is represented as `0/1`.
+///
+/// # Examples
+///
+/// ```
+/// use bayonet_num::Rat;
+///
+/// let half = Rat::ratio(1, 2);
+/// let third = Rat::ratio(1, 3);
+/// assert_eq!(&half + &third, Rat::ratio(5, 6));
+/// assert_eq!((&half * &third).to_string(), "1/6");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Rat {
+    num: BigInt,
+    den: BigUint,
+}
+
+impl Rat {
+    /// The value 0.
+    pub fn zero() -> Self {
+        Rat {
+            num: BigInt::zero(),
+            den: BigUint::one(),
+        }
+    }
+
+    /// The value 1.
+    pub fn one() -> Self {
+        Rat {
+            num: BigInt::one(),
+            den: BigUint::one(),
+        }
+    }
+
+    /// Builds `num / den` in lowest terms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den` is zero.
+    pub fn new(num: BigInt, den: BigInt) -> Self {
+        assert!(!den.is_zero(), "rational with zero denominator");
+        let num = if den.is_negative() { -num } else { num };
+        let den = den.into_magnitude();
+        let mut r = Rat { num, den };
+        r.reduce();
+        r
+    }
+
+    /// Builds `num / den` from machine integers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den` is zero.
+    pub fn ratio(num: i64, den: i64) -> Self {
+        Rat::new(BigInt::from(num), BigInt::from(den))
+    }
+
+    /// Builds an integer-valued rational.
+    pub fn int(v: i64) -> Self {
+        Rat {
+            num: BigInt::from(v),
+            den: BigUint::one(),
+        }
+    }
+
+    fn reduce(&mut self) {
+        if self.num.is_zero() {
+            self.den = BigUint::one();
+            return;
+        }
+        let g = self.num.magnitude().gcd(&self.den);
+        if !g.is_one() {
+            let (nm, _) = self.num.magnitude().div_rem(&g);
+            let (dm, _) = self.den.div_rem(&g);
+            self.num = BigInt::from_sign_magnitude(self.num.sign(), nm);
+            self.den = dm;
+        }
+    }
+
+    /// The numerator (sign-carrying).
+    pub fn numer(&self) -> &BigInt {
+        &self.num
+    }
+
+    /// The (strictly positive) denominator.
+    pub fn denom(&self) -> &BigUint {
+        &self.den
+    }
+
+    /// Returns `true` if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.num.is_zero()
+    }
+
+    /// Returns `true` if the value is one.
+    pub fn is_one(&self) -> bool {
+        self.num.is_one() && self.den.is_one()
+    }
+
+    /// Returns `true` if the value is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.num.is_negative()
+    }
+
+    /// Returns `true` if the value is strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.num.is_positive()
+    }
+
+    /// Returns `true` if the value is an integer.
+    pub fn is_integer(&self) -> bool {
+        self.den.is_one()
+    }
+
+    /// The sign of the value.
+    pub fn sign(&self) -> Sign {
+        self.num.sign()
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Rat {
+        Rat {
+            num: self.num.abs(),
+            den: self.den.clone(),
+        }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is zero.
+    pub fn recip(&self) -> Rat {
+        assert!(!self.is_zero(), "reciprocal of zero");
+        Rat {
+            num: BigInt::from_sign_magnitude(self.num.sign(), self.den.clone()),
+            den: self.num.magnitude().clone(),
+        }
+    }
+
+    /// `self / other`, or `None` if `other` is zero.
+    pub fn checked_div(&self, other: &Rat) -> Option<Rat> {
+        if other.is_zero() {
+            None
+        } else {
+            Some(self * &other.recip())
+        }
+    }
+
+    /// Largest integer `<= self`.
+    pub fn floor(&self) -> BigInt {
+        let (q, r) = self.num.div_rem(&BigInt::from(self.den.clone()));
+        if r.is_negative() {
+            q - BigInt::one()
+        } else {
+            q
+        }
+    }
+
+    /// Smallest integer `>= self`.
+    pub fn ceil(&self) -> BigInt {
+        -((-self).floor())
+    }
+
+    /// Converts to `i64` if the value is an integer that fits.
+    pub fn to_i64(&self) -> Option<i64> {
+        if self.is_integer() {
+            self.num.to_i64()
+        } else {
+            None
+        }
+    }
+
+    /// Lossy conversion to `f64`.
+    pub fn to_f64(&self) -> f64 {
+        // Scale so both operands fit comfortably in f64 before dividing.
+        let nb = self.num.magnitude().bits() as i64;
+        let db = self.den.bits() as i64;
+        let shift = (nb.max(db) - 900).max(0) as u64;
+        let n = (self.num.magnitude() >> shift).to_f64();
+        let d = (&self.den >> shift).to_f64();
+        let q = if d == 0.0 { f64::INFINITY } else { n / d };
+        if self.is_negative() {
+            -q
+        } else {
+            q
+        }
+    }
+
+    /// Raises `self` to an integer power (negative powers invert).
+    ///
+    /// # Panics
+    ///
+    /// Panics when raising zero to a negative power.
+    pub fn pow(&self, exp: i32) -> Rat {
+        if exp < 0 {
+            return self.recip().pow(-exp);
+        }
+        Rat {
+            num: self.num.pow(exp as u32),
+            den: self.den.pow(exp as u32),
+        }
+    }
+
+    /// Truthiness under the Bayonet convention: any nonzero value is true.
+    pub fn is_true(&self) -> bool {
+        !self.is_zero()
+    }
+
+    /// 0/1 encoding of a boolean, the value domain of comparisons.
+    pub fn from_bool(b: bool) -> Rat {
+        if b {
+            Rat::one()
+        } else {
+            Rat::zero()
+        }
+    }
+
+    fn add_ref(&self, other: &Rat) -> Rat {
+        // a/b + c/d = (a*d + c*b) / (b*d), then reduce.
+        let num = &self.num * &BigInt::from(other.den.clone())
+            + &other.num * &BigInt::from(self.den.clone());
+        let den = &self.den * &other.den;
+        let mut r = Rat {
+            num,
+            den,
+        };
+        r.reduce();
+        r
+    }
+
+    fn mul_ref(&self, other: &Rat) -> Rat {
+        // Cross-reduce before multiplying to keep intermediates small.
+        let g1 = self.num.magnitude().gcd(&other.den);
+        let g2 = other.num.magnitude().gcd(&self.den);
+        let (n1, _) = self.num.magnitude().div_rem(&g1);
+        let (d2, _) = other.den.div_rem(&g1);
+        let (n2, _) = other.num.magnitude().div_rem(&g2);
+        let (d1, _) = self.den.div_rem(&g2);
+        let mag = &n1 * &n2;
+        let sign = match (self.num.sign(), other.num.sign()) {
+            (Sign::Zero, _) | (_, Sign::Zero) => Sign::Zero,
+            (a, b) if a == b => Sign::Plus,
+            _ => Sign::Minus,
+        };
+        Rat {
+            num: BigInt::from_sign_magnitude(if mag.is_zero() { Sign::Zero } else { sign }, mag),
+            den: &d1 * &d2,
+        }
+    }
+}
+
+impl Default for Rat {
+    fn default() -> Self {
+        Rat::zero()
+    }
+}
+
+impl From<BigInt> for Rat {
+    fn from(num: BigInt) -> Self {
+        Rat {
+            num,
+            den: BigUint::one(),
+        }
+    }
+}
+
+impl From<i64> for Rat {
+    fn from(v: i64) -> Self {
+        Rat::int(v)
+    }
+}
+
+impl From<u32> for Rat {
+    fn from(v: u32) -> Self {
+        Rat::int(v as i64)
+    }
+}
+
+impl Ord for Rat {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // a/b vs c/d  <=>  a*d vs c*b  (b, d > 0).
+        let lhs = &self.num * &BigInt::from(other.den.clone());
+        let rhs = &other.num * &BigInt::from(self.den.clone());
+        lhs.cmp(&rhs)
+    }
+}
+
+impl PartialOrd for Rat {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Neg for &Rat {
+    type Output = Rat;
+    fn neg(self) -> Rat {
+        Rat {
+            num: -&self.num,
+            den: self.den.clone(),
+        }
+    }
+}
+
+impl Neg for Rat {
+    type Output = Rat;
+    fn neg(self) -> Rat {
+        Rat {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+macro_rules! forward_rat_binop {
+    ($trait:ident, $method:ident, $impl_fn:expr) => {
+        impl $trait<&Rat> for &Rat {
+            type Output = Rat;
+            fn $method(self, rhs: &Rat) -> Rat {
+                let f: fn(&Rat, &Rat) -> Rat = $impl_fn;
+                f(self, rhs)
+            }
+        }
+        impl $trait<Rat> for Rat {
+            type Output = Rat;
+            fn $method(self, rhs: Rat) -> Rat {
+                $trait::$method(&self, &rhs)
+            }
+        }
+        impl $trait<&Rat> for Rat {
+            type Output = Rat;
+            fn $method(self, rhs: &Rat) -> Rat {
+                $trait::$method(&self, rhs)
+            }
+        }
+        impl $trait<Rat> for &Rat {
+            type Output = Rat;
+            fn $method(self, rhs: Rat) -> Rat {
+                $trait::$method(self, &rhs)
+            }
+        }
+    };
+}
+
+forward_rat_binop!(Add, add, |a, b| a.add_ref(b));
+forward_rat_binop!(Sub, sub, |a, b| a.add_ref(&-b));
+forward_rat_binop!(Mul, mul, |a, b| a.mul_ref(b));
+forward_rat_binop!(Div, div, |a, b| {
+    a.checked_div(b).expect("rational division by zero")
+});
+
+impl AddAssign<&Rat> for Rat {
+    fn add_assign(&mut self, rhs: &Rat) {
+        *self = self.add_ref(rhs);
+    }
+}
+
+impl SubAssign<&Rat> for Rat {
+    fn sub_assign(&mut self, rhs: &Rat) {
+        *self = self.add_ref(&-rhs);
+    }
+}
+
+impl MulAssign<&Rat> for Rat {
+    fn mul_assign(&mut self, rhs: &Rat) {
+        *self = self.mul_ref(rhs);
+    }
+}
+
+impl fmt::Display for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den.is_one() {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl fmt::Debug for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Rat({self})")
+    }
+}
+
+impl FromStr for Rat {
+    type Err = ParseNumError;
+
+    /// Parses `"a"`, `"a/b"`, or a decimal like `"0.125"`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if let Some((n, d)) = s.split_once('/') {
+            let num: BigInt = n.trim().parse()?;
+            let den: BigInt = d.trim().parse()?;
+            if den.is_zero() {
+                return Err(ParseNumError::new("zero denominator"));
+            }
+            return Ok(Rat::new(num, den));
+        }
+        if let Some((int_part, frac_part)) = s.split_once('.') {
+            let negative = int_part.trim_start().starts_with('-');
+            let int_val: BigInt = if int_part.is_empty() || int_part == "-" {
+                BigInt::zero()
+            } else {
+                int_part.parse()?
+            };
+            let frac_mag: BigUint = frac_part.parse()?;
+            let scale = BigUint::from(10u64).pow(frac_part.len() as u32);
+            let frac = Rat::new(BigInt::from(frac_mag), BigInt::from(scale));
+            let base = Rat::from(int_val);
+            return Ok(if negative { base - frac } else { base + frac });
+        }
+        Ok(Rat::from(s.parse::<BigInt>()?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i64, d: i64) -> Rat {
+        Rat::ratio(n, d)
+    }
+
+    #[test]
+    fn normalization() {
+        assert_eq!(r(2, 4), r(1, 2));
+        assert_eq!(r(-2, -4), r(1, 2));
+        assert_eq!(r(2, -4), r(-1, 2));
+        assert_eq!(r(0, 5), Rat::zero());
+        assert_eq!(r(0, -5).to_string(), "0");
+    }
+
+    #[test]
+    fn field_laws_small() {
+        let vals = [r(-3, 2), r(-1, 3), Rat::zero(), r(1, 7), Rat::one(), r(5, 2)];
+        for a in &vals {
+            for b in &vals {
+                assert_eq!(a + b, b + a);
+                assert_eq!(a * b, b * a);
+                for c in &vals {
+                    assert_eq!(&(a + b) + c, a + &(b + c));
+                    assert_eq!(a * &(b + c), &(a * b) + &(a * c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn arithmetic_examples() {
+        assert_eq!(r(1, 2) + r(1, 3), r(5, 6));
+        assert_eq!(r(1, 2) - r(1, 3), r(1, 6));
+        assert_eq!(r(2, 3) * r(3, 4), r(1, 2));
+        assert_eq!(r(1, 2) / r(1, 4), Rat::int(2));
+    }
+
+    #[test]
+    fn comparison() {
+        assert!(r(1, 3) < r(1, 2));
+        assert!(r(-1, 2) < r(-1, 3));
+        assert!(r(7, 7) == Rat::one());
+        assert!(r(2, 1) > r(1000, 501));
+    }
+
+    #[test]
+    fn recip_and_checked_div() {
+        assert_eq!(r(3, 4).recip(), r(4, 3));
+        assert_eq!(r(-3, 4).recip(), r(-4, 3));
+        assert_eq!(Rat::one().checked_div(&Rat::zero()), None);
+    }
+
+    #[test]
+    fn floor_ceil() {
+        assert_eq!(r(7, 2).floor(), BigInt::from(3));
+        assert_eq!(r(7, 2).ceil(), BigInt::from(4));
+        assert_eq!(r(-7, 2).floor(), BigInt::from(-4));
+        assert_eq!(r(-7, 2).ceil(), BigInt::from(-3));
+        assert_eq!(Rat::int(5).floor(), BigInt::from(5));
+        assert_eq!(Rat::int(5).ceil(), BigInt::from(5));
+    }
+
+    #[test]
+    fn pow_negative_exponent() {
+        assert_eq!(r(2, 3).pow(-2), r(9, 4));
+        assert_eq!(r(2, 3).pow(0), Rat::one());
+        assert_eq!(r(2, 3).pow(3), r(8, 27));
+    }
+
+    #[test]
+    fn parse_forms() {
+        assert_eq!("3/6".parse::<Rat>().unwrap(), r(1, 2));
+        assert_eq!("-3/6".parse::<Rat>().unwrap(), r(-1, 2));
+        assert_eq!("0.25".parse::<Rat>().unwrap(), r(1, 4));
+        assert_eq!("-0.5".parse::<Rat>().unwrap(), r(-1, 2));
+        assert_eq!("42".parse::<Rat>().unwrap(), Rat::int(42));
+        assert!("1/0".parse::<Rat>().is_err());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(r(1, 2).to_string(), "1/2");
+        assert_eq!(Rat::int(-7).to_string(), "-7");
+    }
+
+    #[test]
+    fn to_f64() {
+        assert_eq!(r(1, 2).to_f64(), 0.5);
+        assert_eq!(r(-1, 4).to_f64(), -0.25);
+        // A ratio of two huge numbers still converts accurately.
+        let big = Rat::new(
+            BigInt::from(3) * BigInt::from(10).pow(50),
+            BigInt::from(2) * BigInt::from(10).pow(50),
+        );
+        assert_eq!(big.to_f64(), 1.5);
+    }
+
+    #[test]
+    fn paper_congestion_fraction_displays_exactly() {
+        // The paper's Section 2.2 exact congestion probability.
+        let p: Rat = "30378810105265/67706637778944".parse().unwrap();
+        assert!((p.to_f64() - 0.4487).abs() < 1e-4);
+        assert_eq!(p.to_string(), "30378810105265/67706637778944");
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(!Rat::zero().is_true());
+        assert!(r(1, 100).is_true());
+        assert!(r(-1, 100).is_true());
+        assert_eq!(Rat::from_bool(true), Rat::one());
+        assert_eq!(Rat::from_bool(false), Rat::zero());
+    }
+}

@@ -1,0 +1,169 @@
+//! Property-based tests validating bignum and rational arithmetic against
+//! machine-integer models and algebraic laws.
+
+use bayonet_num::{BigInt, BigUint, Rat};
+use proptest::prelude::*;
+
+fn biguint_from_u128(v: u128) -> BigUint {
+    BigUint::from(v)
+}
+
+prop_compose! {
+    /// A BigUint built from up to four random limbs (up to 256 bits).
+    fn arb_biguint()(limbs in proptest::collection::vec(any::<u64>(), 0..4)) -> BigUint {
+        BigUint::from_limbs(limbs)
+    }
+}
+
+prop_compose! {
+    fn arb_bigint()(mag in arb_biguint(), neg in any::<bool>()) -> BigInt {
+        let v = BigInt::from(mag);
+        if neg { -v } else { v }
+    }
+}
+
+prop_compose! {
+    fn arb_rat()(n in -1_000_000i64..1_000_000, d in 1i64..1000) -> Rat {
+        Rat::ratio(n, d)
+    }
+}
+
+proptest! {
+    #[test]
+    fn biguint_add_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        let s = BigUint::from(a) + BigUint::from(b);
+        prop_assert_eq!(s.to_u128(), Some(a as u128 + b as u128));
+    }
+
+    #[test]
+    fn biguint_mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        let p = BigUint::from(a) * BigUint::from(b);
+        prop_assert_eq!(p.to_u128(), Some(a as u128 * b as u128));
+    }
+
+    #[test]
+    fn biguint_div_rem_invariant(a in arb_biguint(), b in arb_biguint()) {
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.div_rem(&b);
+        prop_assert!(r < b);
+        prop_assert_eq!(&(&q * &b) + &r, a);
+    }
+
+    #[test]
+    fn biguint_div_rem_matches_u128(a in any::<u128>(), b in 1u128..) {
+        let (q, r) = biguint_from_u128(a).div_rem(&biguint_from_u128(b));
+        prop_assert_eq!(q, biguint_from_u128(a / b));
+        prop_assert_eq!(r, biguint_from_u128(a % b));
+    }
+
+    #[test]
+    fn biguint_gcd_divides_both(a in arb_biguint(), b in arb_biguint()) {
+        let g = a.gcd(&b);
+        if !g.is_zero() {
+            prop_assert!(a.div_rem(&g).1.is_zero());
+            prop_assert!(b.div_rem(&g).1.is_zero());
+        } else {
+            prop_assert!(a.is_zero() && b.is_zero());
+        }
+    }
+
+    #[test]
+    fn biguint_gcd_matches_u128(a in any::<u128>(), b in any::<u128>()) {
+        fn gcd128(mut a: u128, mut b: u128) -> u128 {
+            while b != 0 { let t = a % b; a = b; b = t; }
+            a
+        }
+        prop_assert_eq!(
+            biguint_from_u128(a).gcd(&biguint_from_u128(b)),
+            biguint_from_u128(gcd128(a, b))
+        );
+    }
+
+    #[test]
+    fn biguint_display_parse_roundtrip(a in arb_biguint()) {
+        let s = a.to_string();
+        let back: BigUint = s.parse().unwrap();
+        prop_assert_eq!(back, a);
+    }
+
+    #[test]
+    fn biguint_shift_roundtrip(a in arb_biguint(), bits in 0u64..200) {
+        prop_assert_eq!(&(&a << bits) >> bits, a);
+    }
+
+    #[test]
+    fn biguint_cmp_consistent_with_sub(a in arb_biguint(), b in arb_biguint()) {
+        prop_assert_eq!(a.checked_sub(&b).is_some(), a >= b);
+    }
+
+    #[test]
+    fn bigint_ring_laws(a in arb_bigint(), b in arb_bigint(), c in arb_bigint()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+        prop_assert_eq!(&a * &b, &b * &a);
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+        prop_assert_eq!(&a - &a, BigInt::zero());
+    }
+
+    #[test]
+    fn bigint_matches_i128(a in any::<i64>(), b in any::<i64>()) {
+        let (ba, bb) = (BigInt::from(a), BigInt::from(b));
+        prop_assert_eq!(&ba + &bb, BigInt::from(a as i128 + b as i128));
+        prop_assert_eq!(&ba - &bb, BigInt::from(a as i128 - b as i128));
+        prop_assert_eq!(&ba * &bb, BigInt::from(a as i128 * b as i128));
+        if b != 0 {
+            let (q, r) = ba.div_rem(&bb);
+            prop_assert_eq!(q, BigInt::from(a as i128 / b as i128));
+            prop_assert_eq!(r, BigInt::from(a as i128 % b as i128));
+        }
+    }
+
+    #[test]
+    fn bigint_ordering_matches_i128(a in any::<i64>(), b in any::<i64>()) {
+        prop_assert_eq!(BigInt::from(a).cmp(&BigInt::from(b)), (a as i128).cmp(&(b as i128)));
+    }
+
+    #[test]
+    fn rat_field_laws(a in arb_rat(), b in arb_rat(), c in arb_rat()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+        if !b.is_zero() {
+            prop_assert_eq!(&(&a / &b) * &b, a.clone());
+        }
+        prop_assert_eq!(&a - &a, Rat::zero());
+    }
+
+    #[test]
+    fn rat_lowest_terms_invariant(a in arb_rat(), b in arb_rat()) {
+        for v in [&a + &b, &a * &b, &a - &b] {
+            let g = v.numer().magnitude().gcd(v.denom());
+            prop_assert!(v.is_zero() || g.is_one(), "not reduced: {}", v);
+            prop_assert!(!v.denom().is_zero());
+        }
+    }
+
+    #[test]
+    fn rat_ordering_matches_f64(a in arb_rat(), b in arb_rat()) {
+        // With numerators < 2^20 and denominators < 2^10, f64 comparison is exact.
+        let fa = a.to_f64();
+        let fb = b.to_f64();
+        if fa != fb {
+            prop_assert_eq!(a < b, fa < fb);
+        }
+    }
+
+    #[test]
+    fn rat_display_parse_roundtrip(a in arb_rat()) {
+        let back: Rat = a.to_string().parse().unwrap();
+        prop_assert_eq!(back, a);
+    }
+
+    #[test]
+    fn rat_floor_ceil_bracket(a in arb_rat()) {
+        let fl = Rat::from(a.floor());
+        let ce = Rat::from(a.ceil());
+        prop_assert!(fl <= a && a <= ce);
+        prop_assert!(&ce - &fl <= Rat::one());
+    }
+}

@@ -1,0 +1,145 @@
+//! PSI-core: a minimal first-order probabilistic intermediate language.
+//!
+//! The paper's toolchain translates Bayonet programs into PSI, a general
+//! probabilistic programming language, and lets PSI's engines do the
+//! inference (§4). PSI-core is the fragment of PSI that the translation
+//! actually exercises: rational scalars, tuples, growable arrays (queues),
+//! `flip`/`uniformInt`, `observe`, conditionals, and loops — enough to
+//! express the generated `Network.main()` of Figure 10 after static
+//! unrolling of the per-node dispatch.
+//!
+//! The IR is executed by [`crate::interp`], giving the reproduction an
+//! independent inference path used for differential testing against the
+//! direct engines.
+
+use bayonet_num::Rat;
+
+pub use bayonet_lang::BinOp;
+
+/// A global variable slot.
+pub type VarId = usize;
+
+/// PSI-core runtime values.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum PValue {
+    /// A rational scalar.
+    Rat(Rat),
+    /// A fixed-width tuple.
+    Tuple(Vec<PValue>),
+    /// A growable array (used for queues and packets).
+    Array(Vec<PValue>),
+}
+
+impl PValue {
+    /// The integer-coded boolean / scalar, if this is a scalar.
+    pub fn as_rat(&self) -> Option<&Rat> {
+        match self {
+            PValue::Rat(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// 0/1 encoding of a boolean.
+    pub fn from_bool(b: bool) -> PValue {
+        PValue::Rat(Rat::from_bool(b))
+    }
+
+    /// Integer scalar.
+    pub fn int(v: i64) -> PValue {
+        PValue::Rat(Rat::int(v))
+    }
+}
+
+/// PSI-core expressions.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PExpr {
+    /// Rational constant.
+    Const(Rat),
+    /// Global variable read.
+    Var(VarId),
+    /// Tuple constructor.
+    Tuple(Vec<PExpr>),
+    /// Array literal.
+    ArrayLit(Vec<PExpr>),
+    /// Tuple projection.
+    Proj(Box<PExpr>, usize),
+    /// Array indexing.
+    Index(Box<PExpr>, Box<PExpr>),
+    /// Array length.
+    Len(Box<PExpr>),
+    /// Binary operation on scalars (comparisons yield 0/1).
+    Bin(BinOp, Box<PExpr>, Box<PExpr>),
+    /// Logical negation.
+    Not(Box<PExpr>),
+    /// Arithmetic negation.
+    Neg(Box<PExpr>),
+    /// Bernoulli draw.
+    Flip(Box<PExpr>),
+    /// Uniform integer draw (inclusive bounds).
+    UniformInt(Box<PExpr>, Box<PExpr>),
+}
+
+/// An assignable place.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LValue {
+    /// A global variable.
+    Var(VarId),
+    /// An element of an array lvalue.
+    Index(Box<LValue>, PExpr),
+    /// A component of a tuple lvalue.
+    Proj(Box<LValue>, usize),
+}
+
+/// PSI-core statements.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PStmt {
+    /// `place = expr;`
+    Assign(LValue, PExpr),
+    /// `if cond { ... } else { ... }`
+    If(PExpr, Vec<PStmt>, Vec<PStmt>),
+    /// `while cond { ... }`
+    While(PExpr, Vec<PStmt>),
+    /// `observe(cond);` — failure discards the trace.
+    Observe(PExpr),
+    /// Append to an array.
+    PushBack(LValue, PExpr),
+    /// Prepend to an array.
+    PushFront(LValue, PExpr),
+    /// Pop the first element of `queue` into `dest` (if given).
+    ///
+    /// Popping an empty array is a runtime error — the translation always
+    /// guards pops with emptiness checks, mirroring the rule premises of
+    /// Figure 5.
+    PopFront {
+        /// Where to store the popped element, if anywhere.
+        dest: Option<LValue>,
+        /// The array to pop from.
+        queue: LValue,
+    },
+    /// Raise a hard error with the given message (generated for states the
+    /// translation knows are unreachable or fatal, e.g. Figure 10's
+    /// `assert(terminated())`).
+    Trap(String),
+}
+
+/// A complete PSI-core program: globals (with initializer expressions,
+/// evaluated in order and allowed to draw randomness), a body, and a result
+/// expression evaluated on the final state.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PProgram {
+    /// Human-readable names for globals (diagnostics only).
+    pub global_names: Vec<String>,
+    /// Initializers, one per global, evaluated top to bottom.
+    pub init: Vec<PExpr>,
+    /// The program body (the unrolled `main()` of Figure 10).
+    pub body: Vec<PStmt>,
+    /// The returned query expression.
+    pub result: PExpr,
+}
+
+impl PProgram {
+    /// Number of global variables.
+    pub fn num_globals(&self) -> usize {
+        self.global_names.len()
+    }
+}

@@ -1,0 +1,52 @@
+//! The PSI backend of the Bayonet reproduction (paper §4).
+//!
+//! Bayonet's central design decision is to phrase network inference as
+//! inference in an existing probabilistic programming language: Bayonet
+//! programs are translated to PSI (exact) or WebPPL (approximate). This
+//! crate reproduces that pipeline stage three ways:
+//!
+//! * [`to_psi`] / [`to_webppl`] — render a compiled model as PSI / WebPPL
+//!   *source text*, structurally following paper Figures 9 and 10 (used for
+//!   the §5 code-size comparison and for inspection);
+//! * [`translate`] — compile a model into **PSI-core**, a small executable
+//!   probabilistic IR ([`PProgram`]), statically unrolling the network step
+//!   function of Figure 10;
+//! * [`infer_exact`] / [`infer_query`] — run exact inference on PSI-core by
+//!   exhaustive trace enumeration (the way PSI enumerates program paths),
+//!   giving an independent differential check of the direct engines.
+//!
+//! # Examples
+//!
+//! ```
+//! use bayonet_lang::parse;
+//! use bayonet_net::{compile, QueryKind};
+//! use bayonet_psi::{translate, infer_query, DEFAULT_STEP_LIMIT};
+//! use bayonet_num::Rat;
+//!
+//! let model = compile(&parse(r#"
+//!     packet_fields { dst }
+//!     topology { nodes { A, B } links { (A, pt1) <-> (B, pt1) } }
+//!     programs { A -> send, B -> recv }
+//!     init { packet -> (A, pt1); }
+//!     query probability(got@B == 1);
+//!     def send(pkt, pt) { if flip(1/3) { fwd(1); } else { drop; } }
+//!     def recv(pkt, pt) state got(0) { got = 1; drop; }
+//! "#)?)?;
+//! let program = translate(&model, &model.queries[0])?;
+//! let p = infer_query(&program, QueryKind::Probability, DEFAULT_STEP_LIMIT)?;
+//! assert_eq!(p, Rat::ratio(1, 3));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod codegen;
+mod interp;
+mod ir;
+mod translate;
+
+pub use codegen::{to_psi, to_webppl};
+pub use interp::{infer_exact, run, PsiError, PsiPosterior, RunOutcome, DEFAULT_STEP_LIMIT};
+pub use ir::{BinOp, LValue, PExpr, PProgram, PStmt, PValue, VarId};
+pub use translate::{infer_query, translate, TranslateError, DEFAULT_NUM_STEPS};

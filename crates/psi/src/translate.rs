@@ -1,0 +1,764 @@
+//! Translation of a compiled network [`Model`] into a PSI-core program —
+//! the reproduction of paper §4 ("Capturing Network Semantics", Figure 10).
+//!
+//! The generated program lays the whole network state out in PSI-core
+//! globals (per-node state variables, error flags, input/output queues as
+//! arrays of `(packet, port)` tuples), and unrolls the global step function
+//! statically: build the enabled-action array, draw one action from the
+//! scheduler, dispatch on `(kind, node)`, run the inlined handler or deliver
+//! a packet, and loop until the termination predicate holds. The final
+//! `assert(terminated())` of Figure 10 is preserved as a hard failure.
+//!
+//! Inference on the translated program (by exhaustive trace enumeration,
+//! the way PSI enumerates paths) must agree with the direct engines — the
+//! differential tests rely on this.
+
+use std::fmt;
+
+use bayonet_net::{CExpr, CompiledQuery, CStmt, Model, QueryKind, SchedKind};
+use bayonet_num::Rat;
+
+use crate::interp::{infer_exact, PsiError};
+use crate::ir::{BinOp, LValue, PExpr, PProgram, PStmt, PValue};
+
+/// Errors from the translation step.
+#[derive(Debug)]
+pub enum TranslateError {
+    /// A symbolic parameter has no concrete binding (the PSI backend is
+    /// concrete-only; bind parameters or use the direct exact engine).
+    UnboundParameter(String),
+    /// The model uses a feature the PSI backend does not support.
+    Unsupported(String),
+}
+
+impl fmt::Display for TranslateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TranslateError::UnboundParameter(p) => {
+                write!(f, "parameter `{p}` must be bound for the PSI backend")
+            }
+            TranslateError::Unsupported(m) => write!(f, "PSI backend: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TranslateError {}
+
+/// Default step bound when the source declares no `num_steps` (the paper's
+/// generated `main` unrolls a fixed number of steps).
+pub const DEFAULT_NUM_STEPS: u64 = 4096;
+
+struct Tx<'m> {
+    model: &'m Model,
+    names: Vec<String>,
+    init: Vec<PExpr>,
+    /// Per-node slots.
+    state_base: Vec<usize>,
+    err: Vec<usize>,
+    q_in: Vec<usize>,
+    q_out: Vec<usize>,
+    /// Per-node local-variable base slot.
+    local_base: Vec<usize>,
+    /// `halt` flag for assert early-exit during a handler run.
+    halt: usize,
+    /// Scratch slots.
+    tmp_counter: usize,
+}
+
+impl<'m> Tx<'m> {
+    fn alloc(&mut self, name: String, init: PExpr) -> usize {
+        self.names.push(name);
+        self.init.push(init);
+        self.names.len() - 1
+    }
+
+    fn tmp(&mut self, hint: &str) -> usize {
+        self.tmp_counter += 1;
+        self.alloc(
+            format!("__tmp{}_{hint}", self.tmp_counter),
+            PExpr::Const(Rat::zero()),
+        )
+    }
+
+    fn param_const(&self, p: bayonet_symbolic::ParamId) -> Result<PExpr, TranslateError> {
+        match self.model.binding(p) {
+            Some(v) => Ok(PExpr::Const(v.clone())),
+            None => Err(TranslateError::UnboundParameter(
+                self.model.params.name(p).to_string(),
+            )),
+        }
+    }
+
+    /// Head entry of node `i`'s input queue, as an expression.
+    fn head(&self, i: usize) -> PExpr {
+        PExpr::Index(
+            Box::new(PExpr::Var(self.q_in[i])),
+            Box::new(PExpr::Const(Rat::zero())),
+        )
+    }
+
+    /// Lowers a handler expression for node `i` into `(statements, expr)`.
+    /// Draws and short-circuit operators materialize through temporaries so
+    /// that evaluation order and draw counts match the direct interpreter.
+    fn lower_expr(
+        &mut self,
+        e: &CExpr,
+        node: usize,
+        out: &mut Vec<PStmt>,
+    ) -> Result<PExpr, TranslateError> {
+        Ok(match e {
+            CExpr::Const(r) => PExpr::Const(r.clone()),
+            CExpr::Param(p) => self.param_const(*p)?,
+            CExpr::State(slot) => PExpr::Var(self.state_base[node] + slot),
+            CExpr::Local(slot) => PExpr::Var(self.local_base[node] + slot),
+            CExpr::Field(f) => PExpr::Index(
+                Box::new(PExpr::Proj(Box::new(self.head(node)), 0)),
+                Box::new(PExpr::Const(Rat::int(*f as i64))),
+            ),
+            CExpr::Port => PExpr::Proj(Box::new(self.head(node)), 1),
+            CExpr::Flip(p) => {
+                let pe = self.lower_expr(p, node, out)?;
+                let t = self.tmp("flip");
+                out.push(PStmt::Assign(LValue::Var(t), PExpr::Flip(Box::new(pe))));
+                PExpr::Var(t)
+            }
+            CExpr::UniformInt(lo, hi) => {
+                let lo = self.lower_expr(lo, node, out)?;
+                let hi = self.lower_expr(hi, node, out)?;
+                let t = self.tmp("uniform");
+                out.push(PStmt::Assign(
+                    LValue::Var(t),
+                    PExpr::UniformInt(Box::new(lo), Box::new(hi)),
+                ));
+                PExpr::Var(t)
+            }
+            CExpr::Binary(BinOp::And, a, b) => {
+                // Short-circuit to match the direct interpreter's draw count.
+                let t = self.tmp("and");
+                let ae = self.lower_expr(a, node, out)?;
+                let mut then_body = Vec::new();
+                let be = self.lower_expr(b, node, &mut then_body)?;
+                then_body.push(PStmt::Assign(
+                    LValue::Var(t),
+                    PExpr::Bin(
+                        BinOp::Ne,
+                        Box::new(be),
+                        Box::new(PExpr::Const(Rat::zero())),
+                    ),
+                ));
+                out.push(PStmt::Assign(LValue::Var(t), PExpr::Const(Rat::zero())));
+                out.push(PStmt::If(ae, then_body, vec![]));
+                PExpr::Var(t)
+            }
+            CExpr::Binary(BinOp::Or, a, b) => {
+                let t = self.tmp("or");
+                let ae = self.lower_expr(a, node, out)?;
+                let mut else_body = Vec::new();
+                let be = self.lower_expr(b, node, &mut else_body)?;
+                else_body.push(PStmt::Assign(
+                    LValue::Var(t),
+                    PExpr::Bin(
+                        BinOp::Ne,
+                        Box::new(be),
+                        Box::new(PExpr::Const(Rat::zero())),
+                    ),
+                ));
+                out.push(PStmt::Assign(LValue::Var(t), PExpr::Const(Rat::one())));
+                out.push(PStmt::If(ae, vec![], else_body));
+                PExpr::Var(t)
+            }
+            CExpr::Binary(op, a, b) => {
+                let ae = self.lower_expr(a, node, out)?;
+                let be = self.lower_expr(b, node, out)?;
+                PExpr::Bin(*op, Box::new(ae), Box::new(be))
+            }
+            CExpr::Not(inner) => {
+                let ie = self.lower_expr(inner, node, out)?;
+                PExpr::Not(Box::new(ie))
+            }
+            CExpr::Neg(inner) => {
+                let ie = self.lower_expr(inner, node, out)?;
+                PExpr::Neg(Box::new(ie))
+            }
+        })
+    }
+
+    fn fresh_packet(&self) -> PExpr {
+        PExpr::ArrayLit(vec![PExpr::Const(Rat::zero()); self.model.num_fields()])
+    }
+
+    fn guarded(&self, stmts: Vec<PStmt>) -> PStmt {
+        // Run only while the current handler has not hit a failed assert.
+        PStmt::If(
+            PExpr::Bin(
+                BinOp::Eq,
+                Box::new(PExpr::Var(self.halt)),
+                Box::new(PExpr::Const(Rat::zero())),
+            ),
+            stmts,
+            vec![],
+        )
+    }
+
+    /// Translates a handler statement block for node `i`. Every statement is
+    /// individually guarded by the `halt` flag so a failed `assert` aborts
+    /// the rest of the handler run (the node is then in ⊥).
+    fn lower_block(&mut self, stmts: &[CStmt], node: usize) -> Result<Vec<PStmt>, TranslateError> {
+        let cap = PExpr::Const(Rat::int(self.model.queue_capacity as i64));
+        let mut out = Vec::new();
+        for s in stmts {
+            let mut cur = Vec::new();
+            match s {
+                CStmt::Skip => {}
+                CStmt::New => {
+                    let pkt = self.fresh_packet();
+                    cur.push(PStmt::If(
+                        PExpr::Bin(
+                            BinOp::Lt,
+                            Box::new(PExpr::Len(Box::new(PExpr::Var(self.q_in[node])))),
+                            Box::new(cap.clone()),
+                        ),
+                        vec![PStmt::PushFront(
+                            LValue::Var(self.q_in[node]),
+                            PExpr::Tuple(vec![pkt, PExpr::Const(Rat::zero())]),
+                        )],
+                        vec![],
+                    ));
+                }
+                CStmt::Drop => {
+                    cur.push(PStmt::PopFront {
+                        dest: None,
+                        queue: LValue::Var(self.q_in[node]),
+                    });
+                }
+                CStmt::Dup => {
+                    // Force the head read (errors on empty, as L-Dup requires
+                    // a head packet), then conditionally prepend the copy.
+                    let t = self.tmp("dup");
+                    cur.push(PStmt::Assign(LValue::Var(t), self.head(node)));
+                    cur.push(PStmt::If(
+                        PExpr::Bin(
+                            BinOp::Lt,
+                            Box::new(PExpr::Len(Box::new(PExpr::Var(self.q_in[node])))),
+                            Box::new(cap.clone()),
+                        ),
+                        vec![PStmt::PushFront(LValue::Var(self.q_in[node]), PExpr::Var(t))],
+                        vec![],
+                    ));
+                }
+                CStmt::Fwd(e) => {
+                    // The port expression reads the pre-pop head (`pt`,
+                    // `pkt.f`), so materialize it before popping.
+                    let port_expr = self.lower_expr(e, node, &mut cur)?;
+                    let port_tmp = self.tmp("fwdport");
+                    cur.push(PStmt::Assign(LValue::Var(port_tmp), port_expr));
+                    let port = PExpr::Var(port_tmp);
+                    let entry = self.tmp("fwd");
+                    cur.push(PStmt::PopFront {
+                        dest: Some(LValue::Var(entry)),
+                        queue: LValue::Var(self.q_in[node]),
+                    });
+                    cur.push(PStmt::If(
+                        PExpr::Bin(
+                            BinOp::Lt,
+                            Box::new(PExpr::Len(Box::new(PExpr::Var(self.q_out[node])))),
+                            Box::new(cap.clone()),
+                        ),
+                        vec![PStmt::PushBack(
+                            LValue::Var(self.q_out[node]),
+                            PExpr::Tuple(vec![
+                                PExpr::Proj(Box::new(PExpr::Var(entry)), 0),
+                                port,
+                            ]),
+                        )],
+                        vec![],
+                    ));
+                }
+                CStmt::AssignState(slot, e) => {
+                    let v = self.lower_expr(e, node, &mut cur)?;
+                    cur.push(PStmt::Assign(
+                        LValue::Var(self.state_base[node] + slot),
+                        v,
+                    ));
+                }
+                CStmt::AssignLocal(slot, e) => {
+                    let v = self.lower_expr(e, node, &mut cur)?;
+                    cur.push(PStmt::Assign(
+                        LValue::Var(self.local_base[node] + slot),
+                        v,
+                    ));
+                }
+                CStmt::FieldAssign(f, e) => {
+                    let v = self.lower_expr(e, node, &mut cur)?;
+                    cur.push(PStmt::Assign(
+                        LValue::Index(
+                            Box::new(LValue::Proj(
+                                Box::new(LValue::Index(
+                                    Box::new(LValue::Var(self.q_in[node])),
+                                    PExpr::Const(Rat::zero()),
+                                )),
+                                0,
+                            )),
+                            PExpr::Const(Rat::int(*f as i64)),
+                        ),
+                        v,
+                    ));
+                }
+                CStmt::Assert(e) => {
+                    let v = self.lower_expr(e, node, &mut cur)?;
+                    cur.push(PStmt::If(
+                        v,
+                        vec![],
+                        vec![
+                            PStmt::Assign(LValue::Var(self.err[node]), PExpr::Const(Rat::one())),
+                            PStmt::Assign(LValue::Var(self.halt), PExpr::Const(Rat::one())),
+                        ],
+                    ));
+                }
+                CStmt::Observe(e) => {
+                    let v = self.lower_expr(e, node, &mut cur)?;
+                    cur.push(PStmt::Observe(v));
+                }
+                CStmt::If(c, t, els) => {
+                    let cond = self.lower_expr(c, node, &mut cur)?;
+                    let tb = self.lower_block(t, node)?;
+                    let eb = self.lower_block(els, node)?;
+                    cur.push(PStmt::If(cond, tb, eb));
+                }
+                CStmt::While(c, body) => {
+                    // t = cond (guarded); while t { body; t = 0;
+                    // if halt == 0 { t = cond } }
+                    let t = self.tmp("while");
+                    let mut cond_stmts = Vec::new();
+                    let cond = self.lower_expr(c, node, &mut cond_stmts)?;
+                    let mut eval_cond = cond_stmts.clone();
+                    eval_cond.push(PStmt::Assign(
+                        LValue::Var(t),
+                        PExpr::Bin(
+                            BinOp::Ne,
+                            Box::new(cond),
+                            Box::new(PExpr::Const(Rat::zero())),
+                        ),
+                    ));
+                    cur.extend(eval_cond.clone());
+                    let mut loop_body = self.lower_block(body, node)?;
+                    loop_body.push(PStmt::Assign(
+                        LValue::Var(t),
+                        PExpr::Const(Rat::zero()),
+                    ));
+                    loop_body.push(self.guarded(eval_cond));
+                    cur.push(PStmt::While(PExpr::Var(t), loop_body));
+                }
+            }
+            out.push(self.guarded(cur));
+        }
+        Ok(out)
+    }
+
+    /// The inlined `(Run, i)` body: reset locals and halt, then the handler.
+    fn run_node(&mut self, node: usize) -> Result<Vec<PStmt>, TranslateError> {
+        let prog = std::sync::Arc::clone(&self.model.programs[node]);
+        let mut out = vec![PStmt::Assign(
+            LValue::Var(self.halt),
+            PExpr::Const(Rat::zero()),
+        )];
+        for slot in 0..prog.local_names.len() {
+            out.push(PStmt::Assign(
+                LValue::Var(self.local_base[node] + slot),
+                PExpr::Const(Rat::zero()),
+            ));
+        }
+        out.extend(self.lower_block(&prog.body, node)?);
+        Ok(out)
+    }
+
+    /// The inlined `(Fwd, i)` body (rule G-Fwd, Figure 10's `step()`).
+    fn fwd_node(&mut self, node: usize) -> Result<Vec<PStmt>, TranslateError> {
+        let cap = PExpr::Const(Rat::int(self.model.queue_capacity as i64));
+        let entry = self.tmp("deliver");
+        let mut out = vec![PStmt::PopFront {
+            dest: Some(LValue::Var(entry)),
+            queue: LValue::Var(self.q_out[node]),
+        }];
+        // Dispatch on the departure port over this node's links.
+        let links: Vec<((usize, u32), (usize, u32))> = self
+            .model
+            .links()
+            .filter(|((from, _), _)| *from == node)
+            .collect();
+        // No link on the popped port is a hard error.
+        let mut dispatch: Vec<PStmt> = vec![PStmt::Trap(format!(
+            "node {node} forwarded a packet to a port with no link"
+        ))];
+        for ((_, port), (dst, dst_port)) in links {
+            let deliver = vec![PStmt::If(
+                PExpr::Bin(
+                    BinOp::Lt,
+                    Box::new(PExpr::Len(Box::new(PExpr::Var(self.q_in[dst])))),
+                    Box::new(cap.clone()),
+                ),
+                vec![PStmt::PushBack(
+                    LValue::Var(self.q_in[dst]),
+                    PExpr::Tuple(vec![
+                        PExpr::Proj(Box::new(PExpr::Var(entry)), 0),
+                        PExpr::Const(Rat::int(dst_port as i64)),
+                    ]),
+                )],
+                vec![],
+            )];
+            dispatch = vec![PStmt::If(
+                PExpr::Bin(
+                    BinOp::Eq,
+                    Box::new(PExpr::Proj(Box::new(PExpr::Var(entry)), 1)),
+                    Box::new(PExpr::Const(Rat::int(port as i64))),
+                ),
+                deliver,
+                dispatch,
+            )];
+        }
+        out.extend(dispatch);
+        Ok(out)
+    }
+
+    /// `terminated()`: some node in ⊥, or every queue empty.
+    fn terminated_expr(&self) -> PExpr {
+        let mut any_err = PExpr::Const(Rat::zero());
+        let mut all_empty = PExpr::Const(Rat::one());
+        for i in 0..self.model.num_nodes() {
+            any_err = PExpr::Bin(
+                BinOp::Or,
+                Box::new(any_err),
+                Box::new(PExpr::Var(self.err[i])),
+            );
+            for q in [self.q_in[i], self.q_out[i]] {
+                all_empty = PExpr::Bin(
+                    BinOp::And,
+                    Box::new(all_empty),
+                    Box::new(PExpr::Bin(
+                        BinOp::Eq,
+                        Box::new(PExpr::Len(Box::new(PExpr::Var(q)))),
+                        Box::new(PExpr::Const(Rat::zero())),
+                    )),
+                );
+            }
+        }
+        PExpr::Bin(BinOp::Or, Box::new(any_err), Box::new(all_empty))
+    }
+}
+
+/// Translates `model` (with all parameters bound) and one query into an
+/// executable PSI-core program. The program's result is the tuple
+/// `(any_error, query_value)`.
+///
+/// # Errors
+///
+/// Fails on unbound parameters or a weighted scheduler (unsupported by this
+/// backend).
+pub fn translate(model: &Model, query: &CompiledQuery) -> Result<PProgram, TranslateError> {
+    let k = model.num_nodes();
+    let mut tx = Tx {
+        model,
+        names: Vec::new(),
+        init: Vec::new(),
+        state_base: vec![0; k],
+        err: vec![0; k],
+        q_in: vec![0; k],
+        q_out: vec![0; k],
+        local_base: vec![0; k],
+        halt: 0,
+        tmp_counter: 0,
+    };
+
+    // Globals: per-node state (initializers translated, may draw), error
+    // flags, queues (initial packets), handler locals. Random state
+    // initializers become statements at the top of the body (the paper's
+    // constructor step), keeping state slots contiguous.
+    let mut state_init_stmts: Vec<PStmt> = Vec::new();
+    for i in 0..k {
+        let prog = std::sync::Arc::clone(&model.programs[i]);
+        tx.state_base[i] = tx.names.len();
+        for name in &prog.state_names {
+            tx.alloc(
+                format!("{}_{}", model.node_names[i], name),
+                PExpr::Const(Rat::zero()),
+            );
+        }
+        for slot in 0..prog.state_names.len() {
+            let mut pre = Vec::new();
+            let e = tx.lower_expr(&prog.state_init[slot], i, &mut pre)?;
+            if pre.is_empty() {
+                tx.init[tx.state_base[i] + slot] = e;
+            } else {
+                state_init_stmts.extend(pre);
+                state_init_stmts.push(PStmt::Assign(
+                    LValue::Var(tx.state_base[i] + slot),
+                    e,
+                ));
+            }
+        }
+        tx.err[i] = tx.alloc(
+            format!("err_{}", model.node_names[i]),
+            PExpr::Const(Rat::zero()),
+        );
+        // Input queue with its initial packets.
+        let mut entries = Vec::new();
+        for spec in &model.init_packets {
+            if spec.node != i {
+                continue;
+            }
+            let mut fields = vec![PExpr::Const(Rat::zero()); model.num_fields()];
+            for (slot, e) in &spec.fields {
+                let mut pre = Vec::new();
+                fields[*slot] = tx.lower_expr(e, i, &mut pre)?;
+                debug_assert!(pre.is_empty(), "init fields are deterministic");
+            }
+            entries.push(PExpr::Tuple(vec![
+                PExpr::ArrayLit(fields),
+                PExpr::Const(Rat::int(spec.port as i64)),
+            ]));
+        }
+        tx.q_in[i] = tx.alloc(
+            format!("Q_in_{}", model.node_names[i]),
+            PExpr::ArrayLit(entries),
+        );
+        tx.q_out[i] = tx.alloc(
+            format!("Q_out_{}", model.node_names[i]),
+            PExpr::ArrayLit(vec![]),
+        );
+        tx.local_base[i] = tx.names.len();
+        for name in &prog.local_names {
+            tx.alloc(
+                format!("{}_local_{}", model.node_names[i], name),
+                PExpr::Const(Rat::zero()),
+            );
+        }
+    }
+    tx.halt = tx.alloc("halt".into(), PExpr::Const(Rat::zero()));
+    let terminated = tx.alloc("terminated".into(), PExpr::Const(Rat::zero()));
+    let steps = tx.alloc("steps".into(), PExpr::Const(Rat::zero()));
+    let acts = tx.alloc("actions".into(), PExpr::ArrayLit(vec![]));
+    let choice = tx.alloc("choice".into(), PExpr::Const(Rat::zero()));
+
+    // step(): build actions, draw, dispatch.
+    let mut step_body: Vec<PStmt> = vec![PStmt::Assign(LValue::Var(acts), PExpr::ArrayLit(vec![]))];
+    for i in 0..k {
+        for (kind, q) in [(0i64, tx.q_in[i]), (1, tx.q_out[i])] {
+            step_body.push(PStmt::If(
+                PExpr::Bin(
+                    BinOp::Gt,
+                    Box::new(PExpr::Len(Box::new(PExpr::Var(q)))),
+                    Box::new(PExpr::Const(Rat::zero())),
+                ),
+                vec![PStmt::PushBack(
+                    LValue::Var(acts),
+                    PExpr::Tuple(vec![
+                        PExpr::Const(Rat::int(kind)),
+                        PExpr::Const(Rat::int(i as i64)),
+                    ]),
+                )],
+                vec![],
+            ));
+        }
+    }
+    // Scheduler choice (Figure 6 for uniform).
+    let pick = match model.scheduler {
+        SchedKind::Uniform => PExpr::Index(
+            Box::new(PExpr::Var(acts)),
+            Box::new(PExpr::UniformInt(
+                Box::new(PExpr::Const(Rat::zero())),
+                Box::new(PExpr::Bin(
+                    BinOp::Sub,
+                    Box::new(PExpr::Len(Box::new(PExpr::Var(acts)))),
+                    Box::new(PExpr::Const(Rat::one())),
+                )),
+            )),
+        ),
+        SchedKind::Deterministic => PExpr::Index(
+            Box::new(PExpr::Var(acts)),
+            Box::new(PExpr::Const(Rat::zero())),
+        ),
+        SchedKind::Weighted(_) | SchedKind::Rotor => {
+            return Err(TranslateError::Unsupported(
+                "weighted/rotor schedulers are not supported by the PSI backend".into(),
+            ))
+        }
+    };
+    // Canonical enabled order is Run before Fwd per node id — but the
+    // direct engine orders all Runs first. Rebuild in that order for the
+    // deterministic scheduler's sake: two passes.
+    if matches!(model.scheduler, SchedKind::Deterministic) {
+        step_body.clear();
+        step_body.push(PStmt::Assign(LValue::Var(acts), PExpr::ArrayLit(vec![])));
+        for (kind, qs) in [(0i64, &tx.q_in), (1, &tx.q_out)] {
+            for (i, q) in qs.iter().enumerate() {
+                step_body.push(PStmt::If(
+                    PExpr::Bin(
+                        BinOp::Gt,
+                        Box::new(PExpr::Len(Box::new(PExpr::Var(*q)))),
+                        Box::new(PExpr::Const(Rat::zero())),
+                    ),
+                    vec![PStmt::PushBack(
+                        LValue::Var(acts),
+                        PExpr::Tuple(vec![
+                            PExpr::Const(Rat::int(kind)),
+                            PExpr::Const(Rat::int(i as i64)),
+                        ]),
+                    )],
+                    vec![],
+                ));
+            }
+        }
+    }
+    step_body.push(PStmt::Assign(LValue::Var(choice), pick));
+
+    // Dispatch: if kind == 0 run, else deliver; inner dispatch on node id.
+    let kind_expr = PExpr::Proj(Box::new(PExpr::Var(choice)), 0);
+    let node_expr = PExpr::Proj(Box::new(PExpr::Var(choice)), 1);
+    let mut run_dispatch: Vec<PStmt> = vec![];
+    let mut fwd_dispatch: Vec<PStmt> = vec![];
+    for i in (0..k).rev() {
+        let run_body = tx.run_node(i)?;
+        let fwd_body = tx.fwd_node(i)?;
+        let node_eq = PExpr::Bin(
+            BinOp::Eq,
+            Box::new(node_expr.clone()),
+            Box::new(PExpr::Const(Rat::int(i as i64))),
+        );
+        run_dispatch = vec![PStmt::If(node_eq.clone(), run_body, run_dispatch)];
+        fwd_dispatch = vec![PStmt::If(node_eq, fwd_body, fwd_dispatch)];
+    }
+    step_body.push(PStmt::If(
+        PExpr::Bin(
+            BinOp::Eq,
+            Box::new(kind_expr),
+            Box::new(PExpr::Const(Rat::zero())),
+        ),
+        run_dispatch,
+        fwd_dispatch,
+    ));
+    step_body.push(PStmt::Assign(LValue::Var(terminated), tx.terminated_expr()));
+    step_body.push(PStmt::Assign(
+        LValue::Var(steps),
+        PExpr::Bin(
+            BinOp::Add,
+            Box::new(PExpr::Var(steps)),
+            Box::new(PExpr::Const(Rat::one())),
+        ),
+    ));
+
+    // main(): random state initializers (the constructor step), then
+    // initialize terminated, loop, then assert(terminated()).
+    let max_steps = model.num_steps.unwrap_or(DEFAULT_NUM_STEPS);
+    let mut body = state_init_stmts;
+    body.push(PStmt::Assign(LValue::Var(terminated), tx.terminated_expr()));
+    body.push(PStmt::While(
+        PExpr::Bin(
+            BinOp::And,
+            Box::new(PExpr::Not(Box::new(PExpr::Var(terminated)))),
+            Box::new(PExpr::Bin(
+                BinOp::Lt,
+                Box::new(PExpr::Var(steps)),
+                Box::new(PExpr::Const(Rat::int(max_steps as i64))),
+            )),
+        ),
+        step_body,
+    ));
+    // assert(terminated()) — Figure 10 line 24; a hard trap here.
+    body.push(PStmt::If(
+        PExpr::Var(terminated),
+        vec![],
+        vec![PStmt::Trap(
+            "assert(terminated()) failed: increase num_steps".into(),
+        )],
+    ));
+
+    // Result: (any_error, query value).
+    let mut any_err = PExpr::Const(Rat::zero());
+    for i in 0..k {
+        any_err = PExpr::Bin(
+            BinOp::Or,
+            Box::new(any_err),
+            Box::new(PExpr::Var(tx.err[i])),
+        );
+    }
+    let qv = translate_query_expr(&tx, &query.expr)?;
+    let result = PExpr::Tuple(vec![any_err, qv]);
+
+    Ok(PProgram {
+        global_names: tx.names,
+        init: tx.init,
+        body,
+        result,
+    })
+}
+
+fn translate_query_expr(tx: &Tx<'_>, e: &bayonet_net::QExpr) -> Result<PExpr, TranslateError> {
+    use bayonet_net::QExpr as Q;
+    Ok(match e {
+        Q::Const(r) => PExpr::Const(r.clone()),
+        Q::Param(p) => tx.param_const(*p)?,
+        Q::At { node, slot } => PExpr::Var(tx.state_base[*node] + slot),
+        Q::Binary(op, a, b) => PExpr::Bin(
+            *op,
+            Box::new(translate_query_expr(tx, a)?),
+            Box::new(translate_query_expr(tx, b)?),
+        ),
+        Q::Not(inner) => PExpr::Not(Box::new(translate_query_expr(tx, inner)?)),
+        Q::Neg(inner) => PExpr::Neg(Box::new(translate_query_expr(tx, inner)?)),
+    })
+}
+
+/// Runs exact inference on a translated network program and interprets the
+/// `(any_error, value)` result pair under the query's semantics:
+/// probabilities range over all terminals, expectations over non-error
+/// terminals.
+///
+/// # Errors
+///
+/// Propagates translation-free inference errors.
+pub fn infer_query(
+    program: &PProgram,
+    kind: QueryKind,
+    step_limit: u64,
+) -> Result<Rat, PsiError> {
+    let posterior = infer_exact(program, step_limit)?;
+    let z = posterior.z();
+    if z.is_zero() {
+        return Err(PsiError::AllMassObservedOut);
+    }
+    let project = |v: &PValue| -> (bool, Rat) {
+        match v {
+            PValue::Tuple(items) => {
+                let err = items[0].as_rat().expect("error flag").is_true();
+                let val = items[1].as_rat().expect("scalar query value").clone();
+                (err, val)
+            }
+            _ => unreachable!("network result is a pair"),
+        }
+    };
+    Ok(match kind {
+        QueryKind::Probability => {
+            let num = posterior
+                .support
+                .iter()
+                .filter(|(v, _)| project(v).1.is_true())
+                .fold(Rat::zero(), |acc, (_, m)| acc + m);
+            num / z
+        }
+        QueryKind::Expectation => {
+            let mut num = Rat::zero();
+            let mut den = Rat::zero();
+            for (v, m) in &posterior.support {
+                let (err, val) = project(v);
+                if !err {
+                    num += &(&val * m);
+                    den += m;
+                }
+            }
+            if den.is_zero() {
+                return Err(PsiError::AllMassObservedOut);
+            }
+            num / den
+        }
+    })
+}

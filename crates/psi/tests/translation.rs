@@ -1,0 +1,149 @@
+//! Unit tests of the Bayonet → PSI-core translation (structure and edge
+//! cases; agreement with the direct engine is covered in differential.rs).
+
+use bayonet_lang::parse;
+use bayonet_net::{compile, Model, QueryKind};
+use bayonet_psi::{infer_exact, infer_query, translate, PValue, TranslateError, DEFAULT_STEP_LIMIT};
+use bayonet_num::Rat;
+
+fn model(src: &str) -> Model {
+    compile(&parse(src).unwrap()).unwrap()
+}
+
+const COIN: &str = r#"
+    packet_fields { dst }
+    topology { nodes { A, B } links { (A, pt1) <-> (B, pt1) } }
+    programs { A -> send, B -> recv }
+    init { packet -> (A, pt1); }
+    query probability(got@B == 1);
+    def send(pkt, pt) { if flip(1/3) { fwd(1); } else { drop; } }
+    def recv(pkt, pt) state got(0) { got = 1; drop; }
+"#;
+
+#[test]
+fn translated_program_has_named_globals() {
+    let m = model(COIN);
+    let p = translate(&m, &m.queries[0]).unwrap();
+    // Per-node queues, error flags, state variables all present by name.
+    for expected in ["Q_in_A", "Q_out_A", "err_A", "Q_in_B", "B_got", "terminated", "actions"] {
+        assert!(
+            p.global_names.iter().any(|n| n == expected),
+            "missing global {expected}: {:?}",
+            p.global_names
+        );
+    }
+    assert_eq!(p.global_names.len(), p.init.len());
+}
+
+#[test]
+fn translated_posterior_is_a_pair_of_error_flag_and_value() {
+    let m = model(COIN);
+    let p = translate(&m, &m.queries[0]).unwrap();
+    let posterior = infer_exact(&p, DEFAULT_STEP_LIMIT).unwrap();
+    assert_eq!(posterior.discarded, Rat::zero());
+    for (v, _) in &posterior.support {
+        let PValue::Tuple(items) = v else {
+            panic!("network result must be a pair, got {v:?}")
+        };
+        assert_eq!(items.len(), 2);
+    }
+    assert_eq!(
+        infer_query(&p, QueryKind::Probability, DEFAULT_STEP_LIMIT).unwrap(),
+        Rat::ratio(1, 3)
+    );
+}
+
+#[test]
+fn unbound_parameters_are_rejected() {
+    let src = COIN.replace("flip(1/3)", "flip(P)").replace(
+        "packet_fields { dst }",
+        "packet_fields { dst } parameters { P }",
+    );
+    let m = model(&src);
+    let err = translate(&m, &m.queries[0]).unwrap_err();
+    assert!(matches!(err, TranslateError::UnboundParameter(p) if p == "P"));
+}
+
+#[test]
+fn bound_parameters_fold_to_constants() {
+    let src = COIN.replace("flip(1/3)", "flip(P)").replace(
+        "packet_fields { dst }",
+        "packet_fields { dst } parameters { P }",
+    );
+    let mut m = model(&src);
+    m.bind_param("P", Rat::ratio(1, 5)).unwrap();
+    let p = translate(&m, &m.queries[0]).unwrap();
+    assert_eq!(
+        infer_query(&p, QueryKind::Probability, DEFAULT_STEP_LIMIT).unwrap(),
+        Rat::ratio(1, 5)
+    );
+}
+
+#[test]
+fn random_state_initializers_translate() {
+    // `state coin(flip(1/4))` becomes constructor statements at the top of
+    // the body (the paper's constructor step).
+    let src = r#"
+        packet_fields { dst }
+        topology { nodes { A, B } links { (A, pt1) <-> (B, pt1) } }
+        programs { A -> a, B -> b }
+        init { packet -> (A, pt1); }
+        query probability(coin@A == 1);
+        def a(pkt, pt) state coin(flip(1/4)) { drop; }
+        def b(pkt, pt) { drop; }
+    "#;
+    let m = model(src);
+    let p = translate(&m, &m.queries[0]).unwrap();
+    assert_eq!(
+        infer_query(&p, QueryKind::Probability, DEFAULT_STEP_LIMIT).unwrap(),
+        Rat::ratio(1, 4)
+    );
+}
+
+#[test]
+fn num_steps_too_small_traps_like_assert_terminated() {
+    let src = COIN.replace("packet_fields { dst }", "packet_fields { dst } num_steps 1;");
+    let m = model(&src);
+    let p = translate(&m, &m.queries[0]).unwrap();
+    // Figure 10's assert(terminated()) is preserved: the translated program
+    // raises a hard error when the bound is insufficient.
+    assert!(infer_exact(&p, DEFAULT_STEP_LIMIT).is_err());
+}
+
+#[test]
+fn weighted_scheduler_is_rejected_by_this_backend() {
+    let src = COIN.replace(
+        "packet_fields { dst }",
+        "packet_fields { dst } scheduler weighted { A -> 2, B -> 1 };",
+    );
+    let m = model(&src);
+    assert!(matches!(
+        translate(&m, &m.queries[0]),
+        Err(TranslateError::Unsupported(_))
+    ));
+}
+
+#[test]
+fn generated_psi_text_golden_structure() {
+    let m = model(COIN);
+    let text = bayonet_psi::to_psi(&m);
+    // Figure 9/10 structure, in order.
+    let order = [
+        "dat send",
+        "def run()",
+        "dat recv",
+        "dat Network",
+        "def scheduler()",
+        "def step()",
+        "def terminated()",
+        "def main()",
+        "assert(terminated())",
+    ];
+    let mut pos = 0;
+    for needle in order {
+        let at = text[pos..]
+            .find(needle)
+            .unwrap_or_else(|| panic!("missing `{needle}` after byte {pos} in:\n{text}"));
+        pos += at;
+    }
+}

@@ -1,0 +1,51 @@
+//! Symbolic linear arithmetic for Bayonet parameter synthesis.
+//!
+//! Bayonet (PLDI'18, §2.3) lets operators leave configuration values such as
+//! OSPF link costs *symbolic*. The exact inference engine then evaluates
+//! queries to piecewise results: a probability per region of parameter
+//! space, each region described by a conjunction of sign constraints on
+//! linear expressions (paper Figure 3). This crate provides that machinery:
+//!
+//! * [`ParamTable`] / [`ParamId`] — interned symbolic parameters,
+//! * [`LinExpr`] — linear expressions `c₀ + Σ cᵢ·pᵢ` with exact rational
+//!   coefficients and canonical primitive forms,
+//! * [`Guard`] — conjunctions of sign atoms with syntactic contradiction
+//!   and redundancy detection,
+//! * [`feasibility`] — Gaussian elimination + Fourier–Motzkin decision
+//!   procedure with witness extraction (the "solver" step of synthesis),
+//! * [`enumerate_cells`] — the feasible sign-assignment cells over which
+//!   piecewise results are reported.
+//!
+//! # Examples
+//!
+//! ```
+//! use bayonet_symbolic::{enumerate_cells, LinExpr, ParamTable};
+//!
+//! // The Figure 3 case split: sign of COST_01 - (COST_02 + COST_21).
+//! let mut t = ParamTable::new();
+//! let c01 = LinExpr::param(t.intern("COST_01"));
+//! let c02 = LinExpr::param(t.intern("COST_02"));
+//! let c21 = LinExpr::param(t.intern("COST_21"));
+//! let diff = c01.sub(&c02.add(&c21));
+//! let cells = enumerate_cells(&[diff]);
+//! assert_eq!(cells.len(), 3);
+//! for cell in &cells {
+//!     let witness = cell.witness(); // concrete costs for this region
+//!     assert!(!witness.is_empty());
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cells;
+mod feasible;
+mod guard;
+mod linexpr;
+mod param;
+
+pub use cells::{atom_exprs, enumerate_cells, Cell};
+pub use feasible::{check_witness, feasibility, Assignment, Feasibility};
+pub use guard::{DisplayGuard, Guard};
+pub use linexpr::{DisplayLinExpr, LinExpr};
+pub use param::{ParamId, ParamTable};

@@ -1,0 +1,420 @@
+//! Linear expressions over symbolic parameters with rational coefficients.
+//!
+//! The Bayonet grammar restricts arithmetic on symbolic values to linear
+//! forms (`e + e`, `v · e`, Figure 4), so every symbolic value that can
+//! arise is a [`LinExpr`]: `c₀ + Σ cᵢ·pᵢ`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use bayonet_num::{BigInt, BigUint, Rat, Sign};
+
+use crate::param::{ParamId, ParamTable};
+
+/// A linear expression `constant + Σ coeff·param` with exact rational
+/// coefficients. Zero coefficients are never stored.
+///
+/// # Examples
+///
+/// ```
+/// use bayonet_symbolic::{LinExpr, ParamTable};
+/// use bayonet_num::Rat;
+///
+/// let mut t = ParamTable::new();
+/// let x = t.intern("x");
+/// let e = LinExpr::param(x) + LinExpr::constant(Rat::int(3));
+/// assert!(!e.is_constant());
+/// assert_eq!(e.coeff(x), Rat::one());
+/// ```
+/// The derived ordering is purely structural (used for canonical map keys);
+/// it has no numeric meaning.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct LinExpr {
+    constant: Rat,
+    terms: BTreeMap<ParamId, Rat>,
+}
+
+impl LinExpr {
+    /// The zero expression.
+    pub fn zero() -> Self {
+        LinExpr::default()
+    }
+
+    /// A constant expression.
+    pub fn constant(c: Rat) -> Self {
+        LinExpr {
+            constant: c,
+            terms: BTreeMap::new(),
+        }
+    }
+
+    /// The expression consisting of a single parameter.
+    pub fn param(p: ParamId) -> Self {
+        let mut terms = BTreeMap::new();
+        terms.insert(p, Rat::one());
+        LinExpr {
+            constant: Rat::zero(),
+            terms,
+        }
+    }
+
+    /// The constant part.
+    pub fn constant_part(&self) -> &Rat {
+        &self.constant
+    }
+
+    /// The coefficient of `p` (zero if absent).
+    pub fn coeff(&self, p: ParamId) -> Rat {
+        self.terms.get(&p).cloned().unwrap_or_else(Rat::zero)
+    }
+
+    /// Iterates over `(param, coefficient)` pairs with nonzero coefficients.
+    pub fn terms(&self) -> impl Iterator<Item = (ParamId, &Rat)> + '_ {
+        self.terms.iter().map(|(&p, c)| (p, c))
+    }
+
+    /// Returns `true` if no parameter occurs.
+    pub fn is_constant(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// If constant, the constant value.
+    pub fn as_constant(&self) -> Option<&Rat> {
+        if self.is_constant() {
+            Some(&self.constant)
+        } else {
+            None
+        }
+    }
+
+    /// Returns `true` if the expression is identically zero.
+    pub fn is_zero(&self) -> bool {
+        self.terms.is_empty() && self.constant.is_zero()
+    }
+
+    /// The parameters occurring in the expression.
+    pub fn params(&self) -> impl Iterator<Item = ParamId> + '_ {
+        self.terms.keys().copied()
+    }
+
+    /// Adds `coeff * p` to the expression.
+    pub fn add_term(&mut self, p: ParamId, coeff: &Rat) {
+        if coeff.is_zero() {
+            return;
+        }
+        let entry = self.terms.entry(p).or_insert_with(Rat::zero);
+        *entry += coeff;
+        if entry.is_zero() {
+            self.terms.remove(&p);
+        }
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &LinExpr) -> LinExpr {
+        let mut out = self.clone();
+        out.constant += &other.constant;
+        for (p, c) in other.terms() {
+            out.add_term(p, c);
+        }
+        out
+    }
+
+    /// `self - other`.
+    pub fn sub(&self, other: &LinExpr) -> LinExpr {
+        self.add(&other.scale(&Rat::int(-1)))
+    }
+
+    /// `k * self`.
+    pub fn scale(&self, k: &Rat) -> LinExpr {
+        if k.is_zero() {
+            return LinExpr::zero();
+        }
+        LinExpr {
+            constant: &self.constant * k,
+            terms: self.terms.iter().map(|(&p, c)| (p, c * k)).collect(),
+        }
+    }
+
+    /// Negation.
+    pub fn neg(&self) -> LinExpr {
+        self.scale(&Rat::int(-1))
+    }
+
+    /// Product of two linear expressions, if at least one is constant.
+    /// Returns `None` for a nonlinear product.
+    pub fn checked_mul(&self, other: &LinExpr) -> Option<LinExpr> {
+        if let Some(c) = self.as_constant() {
+            Some(other.scale(c))
+        } else {
+            other.as_constant().map(|c| self.scale(c))
+        }
+    }
+
+    /// Quotient `self / other`, if `other` is a nonzero constant.
+    pub fn checked_div(&self, other: &LinExpr) -> Option<LinExpr> {
+        let c = other.as_constant()?;
+        if c.is_zero() {
+            None
+        } else {
+            Some(self.scale(&c.recip()))
+        }
+    }
+
+    /// Evaluates under a full parameter assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some occurring parameter has no assignment.
+    pub fn eval(&self, assignment: &dyn Fn(ParamId) -> Rat) -> Rat {
+        let mut out = self.constant.clone();
+        for (p, c) in self.terms() {
+            out += &(c * &assignment(p));
+        }
+        out
+    }
+
+    /// Substitutes `p := e` and returns the result.
+    pub fn substitute(&self, p: ParamId, e: &LinExpr) -> LinExpr {
+        let c = self.coeff(p);
+        if c.is_zero() {
+            return self.clone();
+        }
+        let mut out = self.clone();
+        out.terms.remove(&p);
+        out.add(&e.scale(&c))
+    }
+
+    /// Canonical *primitive* form used as a guard-atom key: coefficients are
+    /// scaled to coprime integers with the leading (smallest-`ParamId`)
+    /// coefficient positive. Returns `(canonical, flipped)` where `flipped`
+    /// indicates the expression was negated to normalize (so the sign of the
+    /// original is the negated sign of the canonical form).
+    ///
+    /// Constant expressions are returned unchanged with `flipped = false`.
+    pub fn canonicalize(&self) -> (LinExpr, bool) {
+        if self.is_constant() {
+            return (self.clone(), false);
+        }
+        // L = lcm of denominators, G = gcd of numerators over all coefficients.
+        let mut lcm = BigUint::one();
+        let mut gcd = BigUint::zero();
+        let mut consider = |r: &Rat| {
+            if !r.is_zero() {
+                lcm = lcm.lcm(r.denom());
+                gcd = gcd.gcd(r.numer().magnitude());
+            }
+        };
+        consider(&self.constant);
+        for (_, c) in self.terms() {
+            consider(c);
+        }
+        debug_assert!(!gcd.is_zero());
+        // scale = L / G makes all coefficients coprime integers.
+        let scale = Rat::new(BigInt::from(lcm.clone()), BigInt::from(gcd.clone()));
+        let leading_sign = self.terms.values().next().expect("nonconstant").sign();
+        let flipped = leading_sign == Sign::Minus;
+        let scale = if flipped { -scale } else { scale };
+        (self.scale(&scale), flipped)
+    }
+
+    /// Renders with parameter names from `table`.
+    pub fn display<'a>(&'a self, table: &'a ParamTable) -> DisplayLinExpr<'a> {
+        DisplayLinExpr { expr: self, table }
+    }
+}
+
+impl std::ops::Add for LinExpr {
+    type Output = LinExpr;
+    fn add(self, rhs: LinExpr) -> LinExpr {
+        LinExpr::add(&self, &rhs)
+    }
+}
+
+impl std::ops::Sub for LinExpr {
+    type Output = LinExpr;
+    fn sub(self, rhs: LinExpr) -> LinExpr {
+        LinExpr::sub(&self, &rhs)
+    }
+}
+
+impl std::ops::Neg for LinExpr {
+    type Output = LinExpr;
+    fn neg(self) -> LinExpr {
+        LinExpr::neg(&self)
+    }
+}
+
+impl From<Rat> for LinExpr {
+    fn from(c: Rat) -> Self {
+        LinExpr::constant(c)
+    }
+}
+
+/// Helper rendering a [`LinExpr`] with its parameter names.
+pub struct DisplayLinExpr<'a> {
+    expr: &'a LinExpr,
+    table: &'a ParamTable,
+}
+
+impl fmt::Display for DisplayLinExpr<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (p, c) in self.expr.terms() {
+            let name = self.table.name(p);
+            if first {
+                if c.is_one() {
+                    write!(f, "{name}")?;
+                } else if *c == Rat::int(-1) {
+                    write!(f, "-{name}")?;
+                } else {
+                    write!(f, "{c}*{name}")?;
+                }
+                first = false;
+            } else if c.is_negative() {
+                let a = c.abs();
+                if a.is_one() {
+                    write!(f, " - {name}")?;
+                } else {
+                    write!(f, " - {a}*{name}")?;
+                }
+            } else if c.is_one() {
+                write!(f, " + {name}")?;
+            } else {
+                write!(f, " + {c}*{name}")?;
+            }
+        }
+        let k = self.expr.constant_part();
+        if first {
+            write!(f, "{k}")?;
+        } else if !k.is_zero() {
+            if k.is_negative() {
+                write!(f, " - {}", k.abs())?;
+            } else {
+                write!(f, " + {k}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (ParamTable, ParamId, ParamId, ParamId) {
+        let mut t = ParamTable::new();
+        let a = t.intern("a");
+        let b = t.intern("b");
+        let c = t.intern("c");
+        (t, a, b, c)
+    }
+
+    #[test]
+    fn add_cancels_terms() {
+        let (_, a, b, _) = setup();
+        let e1 = LinExpr::param(a).add(&LinExpr::param(b));
+        let e2 = LinExpr::param(a).neg();
+        let sum = e1.add(&e2);
+        assert_eq!(sum, LinExpr::param(b));
+        assert_eq!(sum.coeff(a), Rat::zero());
+    }
+
+    #[test]
+    fn mul_requires_a_constant_side() {
+        let (_, a, b, _) = setup();
+        let x = LinExpr::param(a);
+        let k = LinExpr::constant(Rat::int(3));
+        assert_eq!(x.checked_mul(&k), Some(x.scale(&Rat::int(3))));
+        assert_eq!(k.checked_mul(&x), Some(x.scale(&Rat::int(3))));
+        assert_eq!(x.checked_mul(&LinExpr::param(b)), None);
+    }
+
+    #[test]
+    fn div_by_constant() {
+        let (_, a, _, _) = setup();
+        let x = LinExpr::param(a).scale(&Rat::int(6));
+        let half = LinExpr::constant(Rat::int(2));
+        assert_eq!(x.checked_div(&half), Some(LinExpr::param(a).scale(&Rat::int(3))));
+        assert_eq!(x.checked_div(&LinExpr::zero()), None);
+        assert_eq!(x.checked_div(&LinExpr::param(a)), None);
+    }
+
+    #[test]
+    fn eval_full_assignment() {
+        let (_, a, b, _) = setup();
+        // 2a - 3b + 1
+        let e = LinExpr::param(a)
+            .scale(&Rat::int(2))
+            .add(&LinExpr::param(b).scale(&Rat::int(-3)))
+            .add(&LinExpr::constant(Rat::one()));
+        let v = e.eval(&|p| if p == a { Rat::int(5) } else { Rat::int(2) });
+        assert_eq!(v, Rat::int(5));
+    }
+
+    #[test]
+    fn substitute_eliminates_param() {
+        let (_, a, b, c) = setup();
+        // a + 2b, with b := c - 1 gives a + 2c - 2.
+        let e = LinExpr::param(a).add(&LinExpr::param(b).scale(&Rat::int(2)));
+        let sub = LinExpr::param(c).add(&LinExpr::constant(Rat::int(-1)));
+        let out = e.substitute(b, &sub);
+        assert_eq!(out.coeff(a), Rat::one());
+        assert_eq!(out.coeff(b), Rat::zero());
+        assert_eq!(out.coeff(c), Rat::int(2));
+        assert_eq!(*out.constant_part(), Rat::int(-2));
+    }
+
+    #[test]
+    fn canonicalize_scales_to_coprime_integers() {
+        let (_, a, b, _) = setup();
+        // (1/2)a - (1/3)b  canonicalizes to 3a - 2b (scaled by 6).
+        let e = LinExpr::param(a)
+            .scale(&Rat::ratio(1, 2))
+            .add(&LinExpr::param(b).scale(&Rat::ratio(-1, 3)));
+        let (canon, flipped) = e.canonicalize();
+        assert!(!flipped);
+        assert_eq!(canon.coeff(a), Rat::int(3));
+        assert_eq!(canon.coeff(b), Rat::int(-2));
+    }
+
+    #[test]
+    fn canonicalize_flips_negative_leading() {
+        let (_, a, b, _) = setup();
+        let e = LinExpr::param(a).neg().add(&LinExpr::param(b));
+        let (canon, flipped) = e.canonicalize();
+        assert!(flipped);
+        assert_eq!(canon.coeff(a), Rat::one());
+        assert_eq!(canon.coeff(b), Rat::int(-1));
+        // Canonical form of e and -e is identical up to the flip flag.
+        let (canon2, flipped2) = e.neg().canonicalize();
+        assert_eq!(canon, canon2);
+        assert!(!flipped2);
+    }
+
+    #[test]
+    fn canonicalize_divides_common_factor() {
+        let (_, a, b, _) = setup();
+        let e = LinExpr::param(a)
+            .scale(&Rat::int(4))
+            .add(&LinExpr::param(b).scale(&Rat::int(6)))
+            .add(&LinExpr::constant(Rat::int(10)));
+        let (canon, _) = e.canonicalize();
+        assert_eq!(canon.coeff(a), Rat::int(2));
+        assert_eq!(canon.coeff(b), Rat::int(3));
+        assert_eq!(*canon.constant_part(), Rat::int(5));
+    }
+
+    #[test]
+    fn display_formats() {
+        let (t, a, b, _) = setup();
+        let e = LinExpr::param(a)
+            .add(&LinExpr::param(b).scale(&Rat::int(-2)))
+            .add(&LinExpr::constant(Rat::int(7)));
+        assert_eq!(e.display(&t).to_string(), "a - 2*b + 7");
+        assert_eq!(LinExpr::zero().display(&t).to_string(), "0");
+        assert_eq!(
+            LinExpr::param(a).neg().display(&t).to_string(),
+            "-a"
+        );
+    }
+}

@@ -1,0 +1,124 @@
+//! Symbolic configuration parameters.
+//!
+//! Bayonet programs may leave configuration values (OSPF link costs, failure
+//! probabilities, …) *symbolic*; the exact engine then reports query results
+//! as piecewise functions of constraints over these parameters (paper §2.3).
+//! Parameters are interned into a [`ParamTable`] and referenced by the
+//! lightweight copyable [`ParamId`].
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier for an interned symbolic parameter.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ParamId(u32);
+
+impl ParamId {
+    /// The raw index of the parameter in its table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Interning table mapping parameter names to [`ParamId`]s.
+///
+/// # Examples
+///
+/// ```
+/// use bayonet_symbolic::ParamTable;
+///
+/// let mut table = ParamTable::new();
+/// let c01 = table.intern("COST_01");
+/// assert_eq!(table.intern("COST_01"), c01);
+/// assert_eq!(table.name(c01), "COST_01");
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct ParamTable {
+    names: Vec<String>,
+    ids: HashMap<String, ParamId>,
+}
+
+impl ParamTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning the existing id if already present.
+    pub fn intern(&mut self, name: &str) -> ParamId {
+        if let Some(&id) = self.ids.get(name) {
+            return id;
+        }
+        let id = ParamId(self.names.len() as u32);
+        self.names.push(name.to_string());
+        self.ids.insert(name.to_string(), id);
+        id
+    }
+
+    /// Looks up a name without interning.
+    pub fn lookup(&self, name: &str) -> Option<ParamId> {
+        self.ids.get(name).copied()
+    }
+
+    /// The name of a parameter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this table.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of interned parameters.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Returns `true` if no parameters are interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over all parameter ids in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = ParamId> + '_ {
+        (0..self.names.len() as u32).map(ParamId)
+    }
+}
+
+impl fmt::Display for ParamTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}]", self.names.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut t = ParamTable::new();
+        let a = t.intern("COST_01");
+        let b = t.intern("COST_02");
+        assert_ne!(a, b);
+        assert_eq!(t.intern("COST_01"), a);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.name(b), "COST_02");
+    }
+
+    #[test]
+    fn lookup_does_not_intern() {
+        let mut t = ParamTable::new();
+        assert_eq!(t.lookup("X"), None);
+        let x = t.intern("X");
+        assert_eq!(t.lookup("X"), Some(x));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn iter_order_matches_interning_order() {
+        let mut t = ParamTable::new();
+        let ids: Vec<_> = ["A", "B", "C"].iter().map(|n| t.intern(n)).collect();
+        assert_eq!(t.iter().collect::<Vec<_>>(), ids);
+    }
+}

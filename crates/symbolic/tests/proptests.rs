@@ -1,0 +1,126 @@
+//! Property tests for the symbolic guard machinery: Fourier–Motzkin
+//! soundness/completeness on random linear systems and canonical-form laws.
+
+use bayonet_num::{Rat, Sign};
+use bayonet_symbolic::{
+    check_witness, enumerate_cells, feasibility, Feasibility, Guard, LinExpr, ParamTable,
+};
+use proptest::prelude::*;
+
+const NVARS: usize = 3;
+
+fn make_params() -> (ParamTable, Vec<LinExpr>) {
+    let mut t = ParamTable::new();
+    let vars = (0..NVARS)
+        .map(|i| LinExpr::param(t.intern(&format!("p{i}"))))
+        .collect();
+    (t, vars)
+}
+
+prop_compose! {
+    /// A random small-coefficient linear expression over NVARS parameters.
+    fn arb_linexpr()(coeffs in proptest::collection::vec(-3i64..=3, NVARS),
+                     konst in -4i64..=4) -> Vec<i64> {
+        let mut v = coeffs;
+        v.push(konst);
+        v
+    }
+}
+
+fn build_expr(spec: &[i64], vars: &[LinExpr]) -> LinExpr {
+    let mut e = LinExpr::constant(Rat::int(spec[NVARS]));
+    for (i, &c) in spec[..NVARS].iter().enumerate() {
+        e = e.add(&vars[i].scale(&Rat::int(c)));
+    }
+    e
+}
+
+fn build_guard(specs: &[(Vec<i64>, i8)], vars: &[LinExpr]) -> Option<Guard> {
+    let mut g = Guard::top();
+    for (spec, s) in specs {
+        let sign = match s {
+            -1 => Sign::Minus,
+            0 => Sign::Zero,
+            _ => Sign::Plus,
+        };
+        g = g.assume_sign(&build_expr(spec, vars), sign)?;
+    }
+    Some(g)
+}
+
+proptest! {
+    /// If FM says SAT, the returned witness really satisfies the guard.
+    #[test]
+    fn fm_witnesses_are_valid(
+        specs in proptest::collection::vec((arb_linexpr(), -1i8..=1), 1..6)
+    ) {
+        let (_, vars) = make_params();
+        if let Some(g) = build_guard(&specs, &vars) {
+            if let Feasibility::Sat(w) = feasibility(&g) {
+                prop_assert!(check_witness(&g, &w), "invalid witness for {:?}", g);
+            }
+        }
+    }
+
+    /// If a random rational point satisfies the guard, FM must say SAT
+    /// (completeness direction against a concrete witness).
+    #[test]
+    fn fm_never_rejects_satisfiable(
+        specs in proptest::collection::vec((arb_linexpr(), 0usize..1), 1..5),
+        point in proptest::collection::vec(-5i64..=5, NVARS)
+    ) {
+        let (_, vars) = make_params();
+        // Derive each atom's sign from the point itself, so the guard is
+        // satisfied by construction.
+        let mut g = Guard::top();
+        for (spec, _) in &specs {
+            let e = build_expr(spec, &vars);
+            let v = e.eval(&|p| Rat::int(point[p.index()]));
+            match g.assume_sign(&e, v.sign()) {
+                Some(next) => g = next,
+                None => return Ok(()), // cannot happen: signs are consistent
+            }
+        }
+        prop_assert!(feasibility(&g).is_sat());
+    }
+
+    /// Canonicalization is idempotent and scale-invariant.
+    #[test]
+    fn canonicalize_laws(spec in arb_linexpr(), k in 1i64..5) {
+        let (_, vars) = make_params();
+        let e = build_expr(&spec, &vars);
+        if e.is_constant() { return Ok(()); }
+        let (c1, _) = e.canonicalize();
+        let (c2, _) = c1.canonicalize();
+        prop_assert_eq!(&c1, &c2);
+        let (c3, f3) = e.scale(&Rat::int(k)).canonicalize();
+        prop_assert_eq!(&c1, &c3);
+        let (c4, f4) = e.scale(&Rat::int(-k)).canonicalize();
+        prop_assert_eq!(&c1, &c4);
+        prop_assert_ne!(f3, f4);
+    }
+
+    /// Every point lies in exactly one cell of any cell decomposition.
+    #[test]
+    fn cells_partition_points(
+        specs in proptest::collection::vec(arb_linexpr(), 1..4),
+        point in proptest::collection::vec(-5i64..=5, NVARS)
+    ) {
+        let (_, vars) = make_params();
+        let exprs: Vec<_> = specs
+            .iter()
+            .map(|s| build_expr(s, &vars))
+            .filter(|e| !e.is_constant())
+            .collect();
+        let cells = enumerate_cells(&exprs);
+        let containing = cells
+            .iter()
+            .filter(|c| {
+                c.guard().atoms().all(|(e, s)| {
+                    e.eval(&|p| Rat::int(point[p.index()])).sign() == s
+                })
+            })
+            .count();
+        prop_assert_eq!(containing, 1);
+    }
+}

@@ -1,0 +1,59 @@
+//! The paper's §2 story end to end: compute the probability of congestion
+//! for the running example, then leave the OSPF link costs symbolic and
+//! *synthesize* cost assignments minimizing congestion (Figure 3, §2.3).
+//!
+//! Run with: `cargo run --release --example congestion_synthesis`
+
+use bayonet::{scenarios, synthesize, Objective, Rat, Sched};
+
+fn main() -> Result<(), bayonet::Error> {
+    // --- Analysis with concrete costs (2, 1, 1): equal-cost paths, ECMP.
+    let network = scenarios::congestion_example(Sched::Uniform)?;
+    let report = network.exact()?;
+    let p = report.results[0].rat();
+    println!("§2.2  probability(pkt_cnt@H1 < 3) = {p} ≈ {:.4}", p.to_f64());
+    println!(
+        "      expected packets received    = {} ≈ {:.4}",
+        report.results[1].rat(),
+        report.results[1].to_f64()
+    );
+
+    // Check mode: is congestion below an operator threshold?
+    let threshold = Rat::ratio(1, 2);
+    println!(
+        "      P(congestion) < 1/2?         {}",
+        if *p < threshold { "yes" } else { "no" }
+    );
+
+    // Under the deterministic scheduler congestion is certain (Table 1).
+    let det = scenarios::congestion_example(Sched::Deterministic)?;
+    println!(
+        "      deterministic scheduler      = {}",
+        det.exact()?.results[0].rat()
+    );
+
+    // --- Synthesis: leave COST_01, COST_02, COST_21 symbolic (Figure 3).
+    let symbolic = scenarios::congestion_example_symbolic(Sched::Uniform)?;
+    let synthesis = synthesize(&symbolic, 0, Objective::Minimize)?;
+    println!("\n§2.3  piecewise congestion probability (Figure 3):");
+    for cell in &synthesis.result.cells {
+        let value = cell.value.as_ref().unwrap().as_rat().unwrap();
+        println!(
+            "      {:<40}  {} ≈ {:.4}",
+            cell.guard.display(&symbolic.model().params).to_string(),
+            value,
+            value.to_f64()
+        );
+    }
+    println!(
+        "\n      minimal congestion {:.4} when {}",
+        synthesis.value.to_f64(),
+        synthesis.constraint
+    );
+    print!("      synthesized concrete costs:");
+    for (pid, v) in &synthesis.assignment {
+        print!(" {} = {v}", symbolic.model().params.name(*pid));
+    }
+    println!();
+    Ok(())
+}

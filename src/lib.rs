@@ -1,0 +1,151 @@
+//! Umbrella crate for the Bayonet reproduction: re-exports the public API
+//! and hosts the random-network generator used by the cross-crate
+//! integration and property tests in `tests/`.
+
+pub use bayonet::*;
+
+pub mod testgen {
+    //! Deterministic random generation of small, well-formed, *terminating*
+    //! Bayonet networks, for differential and property testing.
+    //!
+    //! Generated networks are guaranteed to
+    //!
+    //! * pass the §4 integrity checks,
+    //! * terminate under every scheduler (each handler spends one unit of a
+    //!   finite per-node `fuel` budget per forward, and otherwise drops), and
+    //! * keep all randomness within `flip`/`uniformInt` (no observes unless
+    //!   requested, so `Z = 1` by default).
+
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::fmt::Write as _;
+
+    /// Tuning knobs for [`random_network_source`].
+    #[derive(Clone, Debug)]
+    pub struct GenOptions {
+        /// Number of nodes in the ring (at least 3, so every node has both
+        /// ring ports linked).
+        pub nodes: usize,
+        /// Per-node forward budget (bounds total work).
+        pub fuel: u64,
+        /// Number of packets injected at time zero.
+        pub init_packets: usize,
+        /// Allow `observe` statements (conditioning).
+        pub observes: bool,
+        /// Queue capacity.
+        pub queue_capacity: u64,
+    }
+
+    impl Default for GenOptions {
+        fn default() -> Self {
+            GenOptions {
+                nodes: 3,
+                fuel: 2,
+                init_packets: 1,
+                observes: false,
+                queue_capacity: 2,
+            }
+        }
+    }
+
+    /// Generates the source of a random small network on a bidirectional
+    /// ring. Deterministic in `seed`.
+    pub fn random_network_source(seed: u64, opts: &GenOptions) -> String {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = opts.nodes.max(3);
+        let mut out = String::new();
+        let _ = writeln!(out, "packet_fields {{ tag }}");
+        let _ = writeln!(out, "topology {{");
+        let names: Vec<String> = (0..n).map(|i| format!("N{i}")).collect();
+        let _ = writeln!(out, "  nodes {{ {} }}", names.join(", "));
+        // Ring: port 1 = clockwise (to next), port 2 = counter-clockwise.
+        let mut links = Vec::new();
+        for i in 0..n {
+            let j = (i + 1) % n;
+            links.push(format!("(N{i}, pt1) <-> (N{j}, pt2)"));
+        }
+        let _ = writeln!(out, "  links {{ {} }}", links.join(", "));
+        let _ = writeln!(out, "}}");
+        let programs: Vec<String> = (0..n).map(|i| format!("N{i} -> prog{i}")).collect();
+        let _ = writeln!(out, "programs {{ {} }}", programs.join(", "));
+        let _ = writeln!(out, "queue_capacity {};", opts.queue_capacity);
+        let sched = if rng.gen_bool(0.5) { "uniform" } else { "roundrobin" };
+        let _ = writeln!(out, "scheduler {sched};");
+        let _ = writeln!(out, "init {{");
+        for _ in 0..opts.init_packets {
+            let node = rng.gen_range(0..n);
+            let port = rng.gen_range(1..=2);
+            let tag = rng.gen_range(0..3);
+            let _ = writeln!(out, "  packet -> (N{node}, pt{port}) {{ tag = {tag} }};");
+        }
+        let _ = writeln!(out, "}}");
+
+        // Queries over the counters every node keeps.
+        let qa = rng.gen_range(0..n);
+        let qb = rng.gen_range(0..n);
+        let bound = rng.gen_range(0..4);
+        let op = ["<", "<=", "==", ">="][rng.gen_range(0..4)];
+        let _ = writeln!(out, "query probability(cnt@N{qa} {op} {bound});");
+        let _ = writeln!(out, "query expectation(cnt@N{qa} + sum_pt@N{qb});");
+
+        for i in 0..n {
+            let _ = writeln!(
+                out,
+                "def prog{i}(pkt, pt) state fuel({}), cnt(0), sum_pt(0) {{",
+                opts.fuel
+            );
+            let _ = writeln!(out, "  cnt = cnt + 1;");
+            let _ = writeln!(out, "  sum_pt = sum_pt + pt;");
+            // A couple of random, harmless statements.
+            for _ in 0..rng.gen_range(0..3) {
+                match rng.gen_range(0..4) {
+                    0 => {
+                        let _ = writeln!(out, "  pkt.tag = pkt.tag + {};", rng.gen_range(0..3));
+                    }
+                    1 => {
+                        let _ = writeln!(
+                            out,
+                            "  if pkt.tag {} {} {{ sum_pt = sum_pt + 1; }}",
+                            ["<", ">="][rng.gen_range(0..2)],
+                            rng.gen_range(0..4)
+                        );
+                    }
+                    2 => {
+                        let _ = writeln!(out, "  x = uniformInt(0, 2); sum_pt = sum_pt + x;");
+                    }
+                    _ => {
+                        if opts.observes {
+                            // A mild observation that keeps some mass alive:
+                            // cnt >= 1 always holds, the tag bound usually does.
+                            let _ = writeln!(out, "  observe(cnt >= 1 and pkt.tag <= 12);");
+                        } else {
+                            let _ = writeln!(out, "  skip;");
+                        }
+                    }
+                }
+            }
+            // Fuel-bounded probabilistic forwarding guarantees termination.
+            let num = rng.gen_range(1..=3);
+            let _ = writeln!(out, "  if fuel > 0 and flip({num}/4) {{");
+            let _ = writeln!(out, "    fuel = fuel - 1;");
+            if rng.gen_bool(0.3) {
+                let _ = writeln!(out, "    dup;");
+                let _ = writeln!(out, "    fwd(uniformInt(1, 2));");
+                let _ = writeln!(out, "    drop;");
+            } else {
+                // Constant, echo-back (pt), and continue-direction (3 - pt)
+                // targets: all valid ring ports.
+                let target = match rng.gen_range(0..4) {
+                    0 => "1".to_string(),
+                    1 => "2".to_string(),
+                    2 => "pt".to_string(),
+                    _ => "3 - pt".to_string(),
+                };
+                let _ = writeln!(out, "    fwd({target});");
+            }
+            let _ = writeln!(out, "  }} else {{ drop; }}");
+            let _ = writeln!(out, "}}");
+        }
+        out
+    }
+}

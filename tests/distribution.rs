@@ -1,0 +1,81 @@
+//! Tests of the posterior-distribution API (`Network::distribution`).
+
+use bayonet_repro::scenarios::{self, Sched};
+use bayonet_repro::{Network, Rat};
+
+#[test]
+fn gossip_k4_distribution_matches_analysis() {
+    // Hand computation (§5.3): after the seed infects one neighbor, that
+    // neighbor's two packets determine the spread:
+    //   P(2 infected) = 1/9, P(3) = 8/27, P(4) = 16/27; E = 94/27.
+    let n = scenarios::gossip(4, Sched::Uniform).unwrap();
+    let dist = n.distribution(0).unwrap();
+    assert_eq!(
+        dist,
+        vec![
+            (Rat::int(2), Rat::ratio(1, 9)),
+            (Rat::int(3), Rat::ratio(8, 27)),
+            (Rat::int(4), Rat::ratio(16, 27)),
+        ]
+    );
+    // Consistency: Σ p = 1 and Σ v·p equals the expectation query.
+    let total: Rat = dist.iter().fold(Rat::zero(), |acc, (_, p)| acc + p);
+    assert_eq!(total, Rat::one());
+    let mean: Rat = dist
+        .iter()
+        .fold(Rat::zero(), |acc, (v, p)| acc + &(v * p));
+    assert_eq!(mean, Rat::ratio(94, 27));
+}
+
+#[test]
+fn congestion_packet_count_distribution() {
+    let n = scenarios::congestion_example(Sched::Uniform).unwrap();
+    // Query 0 is the congestion condition; the expectation query (index 1)
+    // carries the packet-count expression whose distribution we want.
+    let dist = n.distribution(1).unwrap();
+    // H1 receives between 0 and 3 packets; P(=3) must equal 1 - 0.4487...
+    let p3 = dist
+        .iter()
+        .find(|(v, _)| *v == Rat::int(3))
+        .map(|(_, p)| p.clone())
+        .unwrap();
+    let expected = Rat::one() - "30378810105265/67706637778944".parse::<Rat>().unwrap();
+    assert_eq!(p3, expected);
+    let total: Rat = dist.iter().fold(Rat::zero(), |acc, (_, p)| acc + p);
+    assert_eq!(total, Rat::one());
+}
+
+#[test]
+fn distribution_is_conditioned_by_observations() {
+    let n = Network::from_source(
+        r#"
+        packet_fields { dst }
+        topology { nodes { A, B } links { (A, pt1) <-> (B, pt1) } }
+        programs { A -> a, B -> b }
+        init { packet -> (A, pt1); }
+        query expectation(x@A);
+        def a(pkt, pt) state x(0) {
+            x = uniformInt(1, 4);
+            observe(x != 2);
+            drop;
+        }
+        def b(pkt, pt) { drop; }
+        "#,
+    )
+    .unwrap();
+    let dist = n.distribution(0).unwrap();
+    assert_eq!(
+        dist,
+        vec![
+            (Rat::int(1), Rat::ratio(1, 3)),
+            (Rat::int(3), Rat::ratio(1, 3)),
+            (Rat::int(4), Rat::ratio(1, 3)),
+        ]
+    );
+}
+
+#[test]
+fn distribution_rejects_symbolic_parameters() {
+    let n = scenarios::congestion_example_symbolic(Sched::Uniform).unwrap();
+    assert!(n.distribution(0).is_err());
+}

@@ -1,0 +1,141 @@
+//! Failure injection: semantic errors (as opposed to probabilistic
+//! `assert`/`observe` failures) must surface as hard, descriptive errors —
+//! consistently across the exact engine, the sampling engines, the
+//! simulator, and the PSI backend — never as silently wrong posteriors.
+
+use bayonet_repro::{ApproxOptions, Error, Network};
+
+fn coin_with(body_a: &str) -> Network {
+    Network::from_source(&format!(
+        r#"
+        packet_fields {{ dst }}
+        topology {{ nodes {{ A, B }} links {{ (A, pt1) <-> (B, pt1) }} }}
+        programs {{ A -> a, B -> b }}
+        init {{ packet -> (A, pt1); }}
+        query probability(got@B == 1);
+        def a(pkt, pt) {{ {body_a} }}
+        def b(pkt, pt) state got(0) {{ got = 1; drop; }}
+        "#
+    ))
+    .unwrap()
+}
+
+fn assert_all_engines_fail(n: &Network, needle: &str) {
+    let opts = ApproxOptions {
+        particles: 50,
+        seed: 1,
+        ..Default::default()
+    };
+    for (engine, result) in [
+        ("exact", n.exact().map(|_| ()).err()),
+        ("smc", n.smc(0, &opts).map(|_| ()).err()),
+        ("rejection", n.rejection(0, &opts).map(|_| ()).err()),
+        ("simulate", n.simulate(&opts).map(|_| ()).err()),
+        ("psi", n.infer_via_psi(0).map(|_| ()).err()),
+    ] {
+        let err = result.unwrap_or_else(|| panic!("{engine}: expected a hard error"));
+        let text = format!("{err}");
+        assert!(
+            text.contains(needle),
+            "{engine}: error {text:?} should mention {needle:?}"
+        );
+    }
+}
+
+#[test]
+fn forwarding_to_an_unlinked_port_fails_everywhere() {
+    // The static checker only warns (ports are data-dependent in general);
+    // at runtime it is a hard error in every engine.
+    let n = coin_with("fwd(7);");
+    assert!(n
+        .warnings()
+        .iter()
+        .any(|w| w.message.contains("no link on that port")));
+    assert_all_engines_fail(&n, "no link");
+    // A data-dependent bad port produces no warning but still fails hard.
+    let dynamic = coin_with("fwd(pt + 6);");
+    assert!(dynamic.warnings().is_empty());
+    assert_all_engines_fail(&dynamic, "no link");
+}
+
+#[test]
+fn runtime_division_by_zero_fails_everywhere() {
+    let n = coin_with("x = 1 / (pt - 1); drop;"); // pt = 1 here
+    assert_all_engines_fail(&n, "division by zero");
+}
+
+#[test]
+fn diverging_while_loop_fails_everywhere() {
+    let n = coin_with("while pt == 1 { skip; }");
+    // exact / sampling: per-handler step limit; psi: per-trace step limit.
+    let opts = ApproxOptions {
+        particles: 10,
+        seed: 1,
+        ..Default::default()
+    };
+    assert!(n.exact().is_err());
+    assert!(n.smc(0, &opts).is_err());
+    assert!(n.infer_via_psi(0).is_err());
+}
+
+#[test]
+fn draining_an_empty_queue_fails_everywhere() {
+    let n = coin_with("drop; drop;");
+    assert_all_engines_fail(&n, "input queue is empty");
+}
+
+#[test]
+fn symbolic_probability_fails_cleanly() {
+    let mut n = Network::from_source(
+        r#"
+        packet_fields { dst }
+        parameters { P }
+        topology { nodes { A, B } links { (A, pt1) <-> (B, pt1) } }
+        programs { A -> a, B -> b }
+        init { packet -> (A, pt1); }
+        query probability(got@B == 1);
+        def a(pkt, pt) { if flip(P) { fwd(1); } else { drop; } }
+        def b(pkt, pt) state got(0) { got = 1; drop; }
+        "#,
+    )
+    .unwrap();
+    // Unbound: every engine refuses (flip needs a concrete probability).
+    assert!(matches!(n.exact(), Err(Error::Semantics(_)) | Err(Error::Exact(_))));
+    assert!(n.smc(0, &Default::default()).is_err());
+    assert!(n.infer_via_psi(0).is_err());
+    // Out-of-range binding: runtime range check fires.
+    n.bind("P", bayonet_repro::Rat::ratio(3, 2)).unwrap();
+    let err = n.exact().unwrap_err();
+    assert!(format!("{err}").contains("outside [0, 1]"), "{err}");
+}
+
+#[test]
+fn all_mass_observed_out_is_reported_not_divided_by_zero() {
+    let n = coin_with("observe(0); drop;");
+    let err = n.exact().unwrap_err();
+    assert!(format!("{err}").contains("Z = 0"), "{err}");
+    // Sampling engines report rejection of every particle.
+    let err = n
+        .smc(0, &ApproxOptions { particles: 20, seed: 1, ..Default::default() })
+        .unwrap_err();
+    assert!(format!("{err}").to_lowercase().contains("rejected"), "{err}");
+}
+
+#[test]
+fn nonlinear_symbolic_arithmetic_is_rejected() {
+    let n = Network::from_source(
+        r#"
+        packet_fields { dst }
+        parameters { P }
+        topology { nodes { A, B } links { (A, pt1) <-> (B, pt1) } }
+        programs { A -> a, B -> b }
+        init { packet -> (A, pt1); }
+        query expectation(x@A);
+        def a(pkt, pt) state x(0) { x = P * P; drop; }
+        def b(pkt, pt) { drop; }
+        "#,
+    )
+    .unwrap();
+    let err = n.exact().unwrap_err();
+    assert!(format!("{err}").contains("nonlinear"), "{err}");
+}

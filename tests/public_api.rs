@@ -1,0 +1,199 @@
+//! Cross-crate integration tests of the public API surface.
+
+use bayonet_repro::scenarios::{self, Sched};
+use bayonet_repro::{
+    synthesize_with, ApproxOptions, Error, Network, Objective, Rat, RotorScheduler,
+    SynthesisOptions, UniformScheduler, WeightedScheduler,
+};
+
+const COIN_SRC: &str = r#"
+    packet_fields { dst }
+    topology { nodes { A, B } links { (A, pt1) <-> (B, pt1) } }
+    programs { A -> send, B -> recv }
+    init { packet -> (A, pt1); }
+    query probability(got@B == 1);
+    def send(pkt, pt) { if flip(1/3) { fwd(1); } else { drop; } }
+    def recv(pkt, pt) state got(0) { got = 1; drop; }
+"#;
+
+#[test]
+fn scheduler_override_changes_behavior() {
+    // Gossip expectation is scheduler-independent: overriding the scheduler
+    // must keep the answer while changing the exploration.
+    let mut n = scenarios::gossip(4, Sched::Uniform).unwrap();
+    let uniform_stats = n.exact().unwrap();
+    n.set_scheduler(Box::new(RotorScheduler));
+    assert_eq!(n.scheduler().name(), "rotor");
+    let rotor_stats = n.exact().unwrap();
+    assert_eq!(uniform_stats.results[0].rat(), rotor_stats.results[0].rat());
+    assert!(rotor_stats.stats.peak_configs < uniform_stats.stats.peak_configs);
+
+    n.set_scheduler(Box::new(WeightedScheduler::new(vec![5, 1, 1, 1])));
+    let weighted = n.exact().unwrap();
+    assert_eq!(weighted.results[0].rat(), uniform_stats.results[0].rat());
+}
+
+#[test]
+fn rebinding_parameters_changes_answers() {
+    let mut n = Network::from_source(
+        r#"
+        packet_fields { dst }
+        parameters { P_KEEP }
+        topology { nodes { A, B } links { (A, pt1) <-> (B, pt1) } }
+        programs { A -> send, B -> recv }
+        init { packet -> (A, pt1); }
+        query probability(got@B == 1);
+        def send(pkt, pt) { if flip(P_KEEP) { fwd(1); } else { drop; } }
+        def recv(pkt, pt) state got(0) { got = 1; drop; }
+        "#,
+    )
+    .unwrap();
+    n.bind("P_KEEP", Rat::ratio(1, 4)).unwrap();
+    assert_eq!(*n.exact().unwrap().results[0].rat(), Rat::ratio(1, 4));
+    n.bind("P_KEEP", Rat::ratio(9, 10)).unwrap();
+    assert_eq!(*n.exact().unwrap().results[0].rat(), Rat::ratio(9, 10));
+    // Unbinding makes the flip probability symbolic — a semantic error for
+    // every engine (probabilities must be concrete).
+    n.unbind("P_KEEP").unwrap();
+    assert!(n.exact().is_err());
+    assert!(matches!(n.bind("NOPE", Rat::one()), Err(Error::Compile(_))));
+}
+
+#[test]
+fn simulation_is_reproducible_and_consistent_with_queries() {
+    let n = Network::from_source(COIN_SRC).unwrap();
+    let opts = ApproxOptions {
+        seed: 123,
+        ..Default::default()
+    };
+    let a = n.simulate(&opts).unwrap();
+    let b = n.simulate(&opts).unwrap();
+    assert_eq!(a.events, b.events);
+    let terminal = a.terminal.expect("no observes");
+    assert!(terminal.is_terminal());
+}
+
+#[test]
+fn pretty_print_roundtrips_scenario_sources() {
+    for src in [
+        scenarios::congestion_example_source(Sched::Uniform),
+        scenarios::congestion_chain_source(2, Sched::Deterministic),
+        scenarios::reliability_chain_source(2, &Rat::ratio(1, 100), Sched::Uniform),
+        scenarios::gossip_source(5, Sched::Uniform),
+        scenarios::load_balancing_source(scenarios::LB_OBS_GOOD),
+        scenarios::reliability_strategy_source(&[1, 2, 3]),
+    ] {
+        let parsed = bayonet_repro::parse(&src).unwrap();
+        let printed = bayonet_repro::pretty_program(&parsed);
+        let reparsed = bayonet_repro::parse(&printed)
+            .unwrap_or_else(|e| panic!("pretty output unparseable: {e}\n{printed}"));
+        assert_eq!(parsed, reparsed);
+    }
+}
+
+#[test]
+fn synthesis_options_control_the_witness() {
+    let n = scenarios::congestion_example_symbolic(Sched::Uniform).unwrap();
+    let plain = synthesize_with(
+        &n,
+        0,
+        SynthesisOptions {
+            objective: Objective::Minimize,
+            positive_params: false,
+        },
+    )
+    .unwrap();
+    let positive = synthesize_with(
+        &n,
+        0,
+        SynthesisOptions {
+            objective: Objective::Minimize,
+            positive_params: true,
+        },
+    )
+    .unwrap();
+    assert_eq!(plain.value, positive.value);
+    // The positive witness has all costs > 0; the plain one may sit at 0.
+    assert!(positive.assignment.values().all(|v| v.is_positive()));
+    // Maximize picks the most congested cell (the strict-> case, 0.4787).
+    let max = synthesize_with(
+        &n,
+        0,
+        SynthesisOptions {
+            objective: Objective::Maximize,
+            positive_params: true,
+        },
+    )
+    .unwrap();
+    assert!(max.value > positive.value);
+    assert!(max.constraint.contains("> 0"), "{}", max.constraint);
+}
+
+#[test]
+fn query_index_errors_are_usage_errors() {
+    let n = Network::from_source(COIN_SRC).unwrap();
+    assert!(matches!(n.smc(7, &Default::default()), Err(Error::Usage(_))));
+    assert!(matches!(n.infer_via_psi(7), Err(Error::Usage(_))));
+}
+
+#[test]
+fn error_display_is_informative() {
+    let err = Network::from_source("topology { nodes { A } links { } }").unwrap_err();
+    let text = format!("{err}");
+    assert!(text.contains("integrity check failed"), "{text}");
+    let err = Network::from_source("no such thing").unwrap_err();
+    assert!(format!("{err}").contains("parse error"), "{err}");
+}
+
+#[test]
+fn exact_report_exposes_z_and_discarded_mass() {
+    let n = Network::from_source(
+        r#"
+        packet_fields { dst }
+        topology { nodes { A, B } links { (A, pt1) <-> (B, pt1) } }
+        programs { A -> a, B -> b }
+        init { packet -> (A, pt1); }
+        query probability(coin@A == 1);
+        def a(pkt, pt) state coin(flip(1/4)) {
+            observe(coin == 1 or flip(1/3));
+            drop;
+        }
+        def b(pkt, pt) { drop; }
+        "#,
+    )
+    .unwrap();
+    let report = n.exact().unwrap();
+    // Z = 1/4 + 3/4 * 1/3 = 1/2; discarded = 1/2.
+    assert_eq!(report.z, Rat::ratio(1, 2));
+    assert_eq!(report.discarded, Rat::ratio(1, 2));
+    assert_eq!(*report.results[0].rat(), Rat::ratio(1, 2));
+}
+
+#[test]
+fn uniform_scheduler_override_keeps_source_semantics() {
+    // Source says roundrobin; overriding back to uniform must reproduce the
+    // uniform value.
+    let uni = scenarios::congestion_example(Sched::Uniform).unwrap();
+    let expected = uni.exact().unwrap().results[0].rat().clone();
+    let mut det = scenarios::congestion_example(Sched::Deterministic).unwrap();
+    det.set_scheduler(Box::new(UniformScheduler));
+    assert_eq!(*det.exact().unwrap().results[0].rat(), expected);
+}
+
+#[test]
+fn check_probability_implements_the_figure1_check_mode() {
+    let n = Network::from_source(COIN_SRC).unwrap();
+    // P = 1/3.
+    assert!(n
+        .check_probability(0, &Rat::ratio(1, 4), &Rat::ratio(1, 2))
+        .unwrap());
+    assert!(!n
+        .check_probability(0, &Rat::ratio(1, 2), &Rat::one())
+        .unwrap());
+    assert!(n.check_probability(9, &Rat::zero(), &Rat::one()).is_err());
+    // Piecewise results are rejected with a pointer to .cells.
+    let sym = scenarios::congestion_example_symbolic(Sched::Uniform).unwrap();
+    assert!(sym
+        .check_probability(0, &Rat::zero(), &Rat::one())
+        .is_err());
+}

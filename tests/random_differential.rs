@@ -1,0 +1,151 @@
+//! Randomized differential testing across inference backends: on generated
+//! networks, the direct exact engine (with and without merging / FM
+//! pruning) and the translated mini-PSI trace enumerator must agree
+//! exactly, and SMC must agree statistically.
+
+use bayonet_repro::testgen::{random_network_source, GenOptions};
+use bayonet_repro::{ApproxOptions, ExactOptions, Network, Rat};
+
+fn build(seed: u64, opts: &GenOptions) -> Network {
+    let src = random_network_source(seed, opts);
+    Network::from_source(&src).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{src}"))
+}
+
+#[test]
+fn exact_engine_conserves_mass_on_random_networks() {
+    let opts = GenOptions::default();
+    for seed in 0..40 {
+        let network = build(seed, &opts);
+        let analysis = network.analyze_with(&ExactOptions::default()).unwrap();
+        let total = analysis.total_terminal_mass() + analysis.total_discarded_mass();
+        assert_eq!(total, Rat::one(), "seed {seed}: mass leaked");
+        // Without observes, nothing is discarded.
+        assert_eq!(analysis.total_discarded_mass(), Rat::zero(), "seed {seed}");
+    }
+}
+
+#[test]
+fn exact_engine_conserves_mass_with_observes() {
+    let opts = GenOptions {
+        observes: true,
+        ..Default::default()
+    };
+    for seed in 0..25 {
+        let network = build(seed, &opts);
+        let analysis = network.analyze_with(&ExactOptions::default()).unwrap();
+        let total = analysis.total_terminal_mass() + analysis.total_discarded_mass();
+        assert_eq!(total, Rat::one(), "seed {seed}: mass leaked");
+    }
+}
+
+#[test]
+fn merging_does_not_change_answers() {
+    let opts = GenOptions::default();
+    for seed in 0..15 {
+        let network = build(seed, &opts);
+        let merged = network
+            .exact_with(&ExactOptions::default())
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        let unmerged = network
+            .exact_with(&ExactOptions {
+                merge_configs: false,
+                ..Default::default()
+            })
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        for (a, b) in merged.results.iter().zip(&unmerged.results) {
+            assert_eq!(a.rat(), b.rat(), "seed {seed}: merging changed a result");
+        }
+    }
+}
+
+#[test]
+fn psi_backend_agrees_on_random_networks() {
+    let opts = GenOptions {
+        fuel: 1, // keep trace enumeration cheap
+        ..Default::default()
+    };
+    for seed in 0..25 {
+        let network = build(seed, &opts);
+        let report = network.exact().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        for (idx, result) in report.results.iter().enumerate() {
+            let via_psi = network
+                .infer_via_psi(idx)
+                .unwrap_or_else(|e| panic!("seed {seed} query {idx}: {e}"));
+            assert_eq!(
+                *result.rat(),
+                via_psi,
+                "seed {seed} query {idx}: direct vs PSI mismatch\n{}",
+                network.source()
+            );
+        }
+    }
+}
+
+#[test]
+fn psi_backend_agrees_with_observations() {
+    let opts = GenOptions {
+        fuel: 1,
+        observes: true,
+        ..Default::default()
+    };
+    for seed in 0..15 {
+        let network = build(seed, &opts);
+        let report = match network.exact() {
+            Ok(r) => r,
+            Err(bayonet_repro::Error::Exact(
+                bayonet_exact::ExactError::AllMassObservedOut,
+            )) => continue,
+            Err(e) => panic!("seed {seed}: {e}"),
+        };
+        let via_psi = network
+            .infer_via_psi(0)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        assert_eq!(*report.results[0].rat(), via_psi, "seed {seed}");
+    }
+}
+
+#[test]
+fn smc_agrees_statistically_on_random_networks() {
+    let opts = GenOptions::default();
+    for seed in 0..8 {
+        let network = build(seed, &opts);
+        let exact = network.exact().unwrap().results[0].rat().to_f64();
+        let est = network
+            .smc(
+                0,
+                &ApproxOptions {
+                    particles: 4000,
+                    seed: seed * 31 + 1,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        let tolerance = (5.0 * est.std_error).max(0.03);
+        assert!(
+            (est.value - exact).abs() <= tolerance,
+            "seed {seed}: exact {exact} vs SMC {est} (tolerance {tolerance})"
+        );
+    }
+}
+
+#[test]
+fn rejection_and_smc_agree() {
+    let opts = GenOptions {
+        observes: true,
+        ..Default::default()
+    };
+    let network = build(3, &opts);
+    let approx = ApproxOptions {
+        particles: 3000,
+        seed: 9,
+        ..Default::default()
+    };
+    let smc = network.smc(0, &approx);
+    let rej = network.rejection(0, &approx);
+    if let (Ok(smc), Ok(rej)) = (smc, rej) {
+        assert!(
+            (smc.value - rej.value).abs() < 0.06,
+            "smc {smc} vs rejection {rej}"
+        );
+    }
+}
