@@ -103,10 +103,7 @@ pub fn sample_step(
 /// # Errors
 ///
 /// Propagates semantic errors from initializer evaluation.
-pub fn sample_initial(
-    model: &Model,
-    rng: &mut StdRng,
-) -> Result<GlobalConfig, SemanticsError> {
+pub fn sample_initial(model: &Model, rng: &mut StdRng) -> Result<GlobalConfig, SemanticsError> {
     let mut states = Vec::with_capacity(model.num_nodes());
     for node in 0..model.num_nodes() {
         let mut driver = SampleDriver::new(rng);

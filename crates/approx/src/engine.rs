@@ -14,8 +14,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use bayonet_net::{
-    eval_query_expr, truth_of, CompiledQuery, GlobalConfig, Model, NoChoiceDriver, QueryKind,
-    Scheduler, SemanticsError,
+    eval_query_expr, truth_of, CompiledQuery, Deadline, GlobalConfig, Model, NoChoiceDriver,
+    QueryKind, Scheduler, SemanticsError,
 };
 
 use crate::driver::{sample_initial, sample_step, StepOutcome};
@@ -29,6 +29,9 @@ pub struct ApproxOptions {
     pub max_global_steps: u64,
     /// RNG seed (runs are reproducible given a seed).
     pub seed: u64,
+    /// Cooperative deadline/cancellation, polled once per SMC round or
+    /// rejection attempt. Defaults to unlimited.
+    pub deadline: Deadline,
 }
 
 impl Default for ApproxOptions {
@@ -36,7 +39,8 @@ impl Default for ApproxOptions {
         ApproxOptions {
             particles: 1000,
             max_global_steps: 1_000_000,
-            seed: 0xBA10_4E7,
+            seed: 0x0BA1_04E7,
+            deadline: Deadline::default(),
         }
     }
 }
@@ -50,6 +54,11 @@ pub enum ApproxError {
     Unterminated,
     /// Every particle/sample was rejected by observations.
     AllRejected,
+    /// The run was cut short by its [`Deadline`] (timeout or cancellation).
+    Interrupted {
+        /// Samples or SMC rounds completed before the interruption.
+        completed: u64,
+    },
 }
 
 impl fmt::Display for ApproxError {
@@ -62,6 +71,10 @@ impl fmt::Display for ApproxError {
             ApproxError::AllRejected => {
                 f.write_str("all samples were rejected by observations (Ẑ ≈ 0)")
             }
+            ApproxError::Interrupted { completed } => write!(
+                f,
+                "approximate inference interrupted by deadline (after {completed} rounds)"
+            ),
         }
     }
 }
@@ -165,7 +178,10 @@ pub fn smc(
         .collect::<Result<_, _>>()?;
     let mut z_estimate = 1.0f64;
 
-    for _ in 0..opts.max_global_steps {
+    for round in 0..opts.max_global_steps {
+        if opts.deadline.expired() {
+            return Err(ApproxError::Interrupted { completed: round });
+        }
         let mut all_terminal = true;
         let mut dead: Vec<usize> = Vec::new();
         for (i, p) in particles.iter_mut().enumerate() {
@@ -235,6 +251,11 @@ pub fn rejection(
         attempts += 1;
         if attempts > opts.particles.saturating_mul(1000) {
             return Err(ApproxError::AllRejected);
+        }
+        if opts.deadline.expired() {
+            return Err(ApproxError::Interrupted {
+                completed: values.len() as u64,
+            });
         }
         let Some(cfg) = sample_trace(model, scheduler, opts, &mut rng)? else {
             continue; // rejected by an observation

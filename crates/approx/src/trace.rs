@@ -10,9 +10,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use bayonet_net::{
-    deliver, run_handler, Action, GlobalConfig, HandlerOutcome, Model, Scheduler,
-};
+use bayonet_net::{deliver, run_handler, Action, GlobalConfig, HandlerOutcome, Model, Scheduler};
 
 use crate::driver::{sample_initial, SampleDriver};
 use crate::engine::{ApproxError, ApproxOptions};
@@ -94,7 +92,11 @@ impl Simulation {
                         model.node_names[*from],
                         port,
                         model.node_names[*to],
-                        if *accepted { "" } else { "  ** DROPPED (queue full)" }
+                        if *accepted {
+                            ""
+                        } else {
+                            "  ** DROPPED (queue full)"
+                        }
                     );
                 }
             }
@@ -151,9 +153,9 @@ pub fn simulate(
         match *action {
             Action::Fwd(i) => {
                 let port = cfg.nodes[i].q_out.head().expect("Fwd enabled").1;
-                let (to, _) = model.link_dest(i, port).ok_or(
-                    bayonet_net::SemanticsError::NoLinkOnPort { node: i, port },
-                )?;
+                let (to, _) = model
+                    .link_dest(i, port)
+                    .ok_or(bayonet_net::SemanticsError::NoLinkOnPort { node: i, port })?;
                 let accepted = deliver(model, &mut cfg, i)?;
                 events.push(SimEvent::Delivered {
                     step,

@@ -31,9 +31,11 @@ fn bench_fm(c: &mut Criterion) {
             fm_pruning: fm,
             ..Default::default()
         };
-        group.bench_with_input(BenchmarkId::new("symbolic_congestion", fm), &opts, |b, opts| {
-            b.iter(|| k_cells(&network, opts))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("symbolic_congestion", fm),
+            &opts,
+            |b, opts| b.iter(|| k_cells(&network, opts)),
+        );
     }
     group.finish();
 }

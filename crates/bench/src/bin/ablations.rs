@@ -136,7 +136,11 @@ fn backend_comparison() -> Result<(), bayonet::Error> {
     );
     println!(
         "  agreement: {}",
-        if direct == via_psi { "EXACT" } else { "MISMATCH" }
+        if direct == via_psi {
+            "EXACT"
+        } else {
+            "MISMATCH"
+        }
     );
     Ok(())
 }

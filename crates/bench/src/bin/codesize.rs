@@ -16,8 +16,14 @@ fn main() -> Result<(), bayonet::Error> {
     println!("{}", "-".repeat(80));
 
     let mut entries: Vec<(&str, bayonet::Network)> = vec![
-        ("congestion (§2, 5 nodes)", scenarios::congestion_example(Sched::Uniform)?),
-        ("congestion (6 nodes)", scenarios::congestion_chain(1, Sched::Uniform)?),
+        (
+            "congestion (§2, 5 nodes)",
+            scenarios::congestion_example(Sched::Uniform)?,
+        ),
+        (
+            "congestion (6 nodes)",
+            scenarios::congestion_chain(1, Sched::Uniform)?,
+        ),
         (
             "reliability (6 nodes)",
             scenarios::reliability_chain(1, &Rat::ratio(1, 1000), Sched::Uniform)?,

@@ -16,19 +16,34 @@ fn main() -> Result<(), bayonet::Error> {
 
     println!("Figure 3 — probability of congestion vs symbolic link costs");
     println!("(paper: 0.4487 / 0.4519 / 0.4787 with the same exact fractions)\n");
-    println!("{:<42} {:>26} {:>9}", "Symbolic constraint", "Probability", "(float)");
+    println!(
+        "{:<42} {:>26} {:>9}",
+        "Symbolic constraint", "Probability", "(float)"
+    );
     println!("{}", "-".repeat(80));
     for cell in &synthesis.result.cells {
         let v = cell.value.as_ref().unwrap().as_rat().unwrap();
-        println!("{:<42} {:>26} {:>9.4}", cell.constraint, v.to_string(), v.to_f64());
+        println!(
+            "{:<42} {:>26} {:>9.4}",
+            cell.constraint,
+            v.to_string(),
+            v.to_f64()
+        );
     }
     println!("\nSynthesis (minimize congestion):");
     println!("  optimal constraint: {}", synthesis.constraint);
-    println!("  optimal value:      {} ≈ {:.4}", synthesis.value, synthesis.value.to_f64());
+    println!(
+        "  optimal value:      {} ≈ {:.4}",
+        synthesis.value,
+        synthesis.value.to_f64()
+    );
     print!("  witness costs:     ");
     for (pid, v) in &synthesis.assignment {
         print!(" {} = {v}", network.model().params.name(*pid));
     }
-    println!("\n  total time: {:.2?} (paper: 65s per concrete PSI run)", elapsed);
+    println!(
+        "\n  total time: {:.2?} (paper: 65s per concrete PSI run)",
+        elapsed
+    );
     Ok(())
 }

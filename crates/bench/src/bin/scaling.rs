@@ -11,7 +11,10 @@ fn main() -> Result<(), bayonet::Error> {
     println!("§5.4 — performance vs network size\n");
 
     println!("Reliability chains (exact engine; single tracked packet):");
-    println!("{:>7} {:>7} {:>12} {:>14}", "nodes", "exact t", "value", "SMC(1000) t");
+    println!(
+        "{:>7} {:>7} {:>12} {:>14}",
+        "nodes", "exact t", "value", "SMC(1000) t"
+    );
     for diamonds in [1usize, 2, 4, 7, 10, 14] {
         let n = scenarios::reliability_chain(diamonds, &Rat::ratio(1, 1000), Sched::Uniform)?;
         let m = time_exact(&n, 0)?;

@@ -44,10 +44,7 @@ fn main() -> Result<(), bayonet::Error> {
             post[2].to_f64(),
             t0.elapsed()
         );
-        println!(
-            "    exact: {} / {} / {}",
-            post[0], post[1], post[2]
-        );
+        println!("    exact: {} / {} / {}", post[0], post[1], post[2]);
     }
     Ok(())
 }

@@ -6,13 +6,15 @@
 //! bayonet run <file.bay> [--engine exact|smc|rejection|psi]
 //!                        [--particles N] [--seed N]
 //!                        [--scheduler uniform|det|rotor]
-//!                        [--bind NAME=VALUE]...
+//!                        [--bind NAME=VALUE]... [--stats]
 //! bayonet synthesize <file.bay> [--query N] [--maximize]
 //! bayonet codegen <file.bay> [--target psi|webppl]
 //! bayonet pretty <file.bay>
+//! bayonet serve [--addr A] [--threads N] [--cache-entries K]
 //! ```
 
 use std::process::ExitCode;
+use std::time::Instant;
 
 use bayonet::{
     synthesize_with, ApproxOptions, DeterministicScheduler, Network, Objective, Rat,
@@ -31,35 +33,97 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> String {
-    "usage: bayonet <check|run|synthesize|codegen|pretty> <file.bay> [options]\n\
+    "usage: bayonet <check|run|synthesize|codegen|pretty|serve> [<file.bay>] [options]\n\
      run options: --engine exact|smc|rejection|psi|simulate  --particles N  --seed N\n\
-                  --scheduler uniform|det|rotor  --bind NAME=VALUE\n\
+                  --scheduler uniform|det|rotor  --bind NAME=VALUE  --stats\n\
      synthesize options: --query N  --maximize  --allow-zero-params\n\
-     codegen options: --target psi|webppl"
+     codegen options: --target psi|webppl\n\
+     serve options: --addr HOST:PORT  --threads N  --cache-entries K"
         .to_string()
 }
 
+/// Allowed flags per subcommand: `(name, takes_value)`.
+const RUN_FLAGS: &[(&str, bool)] = &[
+    ("--engine", true),
+    ("--particles", true),
+    ("--seed", true),
+    ("--scheduler", true),
+    ("--bind", true),
+    ("--stats", false),
+];
+const SYNTHESIZE_FLAGS: &[(&str, bool)] = &[
+    ("--query", true),
+    ("--maximize", false),
+    ("--allow-zero-params", false),
+    ("--scheduler", true),
+    ("--bind", true),
+];
+const CODEGEN_FLAGS: &[(&str, bool)] = &[("--target", true)];
+const NO_FLAGS: &[(&str, bool)] = &[];
+const SERVE_FLAGS: &[(&str, bool)] = &[
+    ("--addr", true),
+    ("--threads", true),
+    ("--cache-entries", true),
+];
+
 fn run(args: &[String]) -> Result<(), String> {
+    if args.first().map(String::as_str) == Some("serve") {
+        return serve_cmd(&args[1..]);
+    }
     let (cmd, file) = match args {
         [cmd, file, ..] => (cmd.as_str(), file.as_str()),
         _ => return Err(usage()),
     };
     let rest = &args[2..];
-    let source =
-        std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
+    let source = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
 
     match cmd {
-        "check" => check(&source),
-        "run" => run_queries(&source, rest),
-        "synthesize" => synthesize_cmd(&source, rest),
-        "codegen" => codegen(&source, rest),
+        "check" => {
+            validate_flags(rest, NO_FLAGS)?;
+            check(&source)
+        }
+        "run" => {
+            validate_flags(rest, RUN_FLAGS)?;
+            run_queries(&source, rest)
+        }
+        "synthesize" => {
+            validate_flags(rest, SYNTHESIZE_FLAGS)?;
+            synthesize_cmd(&source, rest)
+        }
+        "codegen" => {
+            validate_flags(rest, CODEGEN_FLAGS)?;
+            codegen(&source, rest)
+        }
         "pretty" => {
+            validate_flags(rest, NO_FLAGS)?;
             let program = bayonet::parse(&source).map_err(|e| e.to_string())?;
             print!("{}", bayonet::pretty_program(&program));
             Ok(())
         }
         other => Err(format!("unknown command `{other}`\n{}", usage())),
     }
+}
+
+/// Checks `rest` against a flag specification: every argument must be a
+/// known flag, and every value-taking flag must be followed by a value
+/// (which may not itself look like a flag).
+fn validate_flags(rest: &[String], spec: &[(&str, bool)]) -> Result<(), String> {
+    let mut i = 0;
+    while i < rest.len() {
+        let arg = rest[i].as_str();
+        match spec.iter().find(|(name, _)| *name == arg) {
+            Some((name, true)) => match rest.get(i + 1) {
+                Some(v) if !v.starts_with("--") => i += 2,
+                _ => return Err(format!("{name} needs a value\n{}", usage())),
+            },
+            Some((_, false)) => i += 1,
+            None if arg.starts_with("--") => {
+                return Err(format!("unknown flag `{arg}`\n{}", usage()))
+            }
+            None => return Err(format!("unexpected argument `{arg}`\n{}", usage())),
+        }
+    }
+    Ok(())
 }
 
 fn flag_value<'a>(rest: &'a [String], name: &str) -> Option<&'a str> {
@@ -131,6 +195,8 @@ fn check(source: &str) -> Result<(), String> {
 fn run_queries(source: &str, rest: &[String]) -> Result<(), String> {
     let network = load(source, rest)?;
     let engine = flag_value(rest, "--engine").unwrap_or("exact");
+    let want_stats = has_flag(rest, "--stats");
+    let started = Instant::now();
     let particles = flag_value(rest, "--particles")
         .map(|v| v.parse::<usize>().map_err(|e| e.to_string()))
         .transpose()?
@@ -162,6 +228,15 @@ fn run_queries(source: &str, rest: &[String]) -> Result<(), String> {
                 report.stats.peak_configs,
                 report.stats.merge_hits
             );
+            if want_stats {
+                eprintln!(
+                    "stats: {} states expanded, {} merged, terminal mass {}, {:.1} ms wall",
+                    report.stats.expansions,
+                    report.stats.merge_hits,
+                    report.z,
+                    started.elapsed().as_secs_f64() * 1000.0
+                );
+            }
         }
         "smc" | "rejection" => {
             for idx in 0..network.queries().len() {
@@ -194,6 +269,34 @@ fn run_queries(source: &str, rest: &[String]) -> Result<(), String> {
         }
         other => return Err(format!("unknown engine `{other}`\n{}", usage())),
     }
+    if want_stats && engine != "exact" {
+        eprintln!(
+            "stats: {:.1} ms wall",
+            started.elapsed().as_secs_f64() * 1000.0
+        );
+    }
+    Ok(())
+}
+
+fn serve_cmd(rest: &[String]) -> Result<(), String> {
+    validate_flags(rest, SERVE_FLAGS)?;
+    let mut config = bayonet_serve::ServerConfig::default();
+    if let Some(addr) = flag_value(rest, "--addr") {
+        config.addr = addr.to_string();
+    }
+    if let Some(threads) = flag_value(rest, "--threads") {
+        config.threads = threads
+            .parse()
+            .map_err(|e| format!("bad --threads value: {e}"))?;
+    }
+    if let Some(entries) = flag_value(rest, "--cache-entries") {
+        config.cache_entries = entries
+            .parse()
+            .map_err(|e| format!("bad --cache-entries value: {e}"))?;
+    }
+    let handle = bayonet_serve::start(config).map_err(|e| format!("cannot start server: {e}"))?;
+    eprintln!("bayonet-serve listening on http://{}", handle.addr());
+    handle.join();
     Ok(())
 }
 
@@ -222,7 +325,11 @@ fn synthesize_cmd(source: &str, rest: &[String]) -> Result<(), String> {
             .unwrap_or_else(|| "undefined".into());
         println!("{marker} [{}] {value}", cell.constraint);
     }
-    println!("optimal value: {} ≈ {:.4}", synthesis.value, synthesis.value.to_f64());
+    println!(
+        "optimal value: {} ≈ {:.4}",
+        synthesis.value,
+        synthesis.value.to_f64()
+    );
     println!("constraint:    {}", synthesis.constraint);
     print!("witness:      ");
     for (pid, v) in &synthesis.assignment {

@@ -191,12 +191,7 @@ impl Network {
     ///
     /// Fails on bad indices, piecewise (symbolic) results, or inference
     /// errors.
-    pub fn check_probability(
-        &self,
-        query_idx: usize,
-        lo: &Rat,
-        hi: &Rat,
-    ) -> Result<bool, Error> {
+    pub fn check_probability(&self, query_idx: usize, lo: &Rat, hi: &Rat) -> Result<bool, Error> {
         let report = self.exact()?;
         let result = report
             .results

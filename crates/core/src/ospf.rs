@@ -165,12 +165,16 @@ impl OspfBuilder {
             .collect();
         for (h, sw) in &self.hosts {
             if !switch_idx.contains_key(sw.as_str()) {
-                return Err(usage(format!("host `{h}` attached to unknown switch `{sw}`")));
+                return Err(usage(format!(
+                    "host `{h}` attached to unknown switch `{sw}`"
+                )));
             }
         }
         for (a, b, cost) in &self.links {
             if !switch_idx.contains_key(a.as_str()) || !switch_idx.contains_key(b.as_str()) {
-                return Err(usage(format!("link {a} <-> {b} references an unknown switch")));
+                return Err(usage(format!(
+                    "link {a} <-> {b} references an unknown switch"
+                )));
             }
             if *cost == 0 {
                 return Err(usage(format!("link {a} <-> {b} must have positive cost")));
@@ -189,11 +193,17 @@ impl OspfBuilder {
                 }
             }
             if sources_seen.contains(&f.src.as_str()) {
-                return Err(usage(format!("host `{}` sources more than one flow", f.src)));
+                return Err(usage(format!(
+                    "host `{}` sources more than one flow",
+                    f.src
+                )));
             }
             sources_seen.push(&f.src);
             if f.packets == 0 {
-                return Err(usage(format!("flow {} -> {} sends no packets", f.src, f.dst)));
+                return Err(usage(format!(
+                    "flow {} -> {} sends no packets",
+                    f.src, f.dst
+                )));
             }
         }
 
@@ -243,7 +253,7 @@ impl OspfBuilder {
                 let mut best: Option<(usize, u64)> = None;
                 for (i, d) in dist.iter().enumerate() {
                     if let Some(d) = d {
-                        if !visited[i] && best.map_or(true, |(_, bd)| *d < bd) {
+                        if !visited[i] && best.is_none_or(|(_, bd)| *d < bd) {
                             best = Some((i, *d));
                         }
                     }
@@ -252,7 +262,7 @@ impl OspfBuilder {
                 visited[u] = true;
                 for &(v, w) in &adj[u] {
                     let cand = du + w;
-                    if dist[v].map_or(true, |dv| cand < dv) {
+                    if dist[v].is_none_or(|dv| cand < dv) {
                         dist[v] = Some(cand);
                     }
                 }
@@ -283,9 +293,7 @@ impl OspfBuilder {
                 for &(v, w) in &adj[s] {
                     if let Some(dv) = dist[v] {
                         if dv + w == ds {
-                            row.push(
-                                ports[&(self.switches[s].clone(), self.switches[v].clone())],
-                            );
+                            row.push(ports[&(self.switches[s].clone(), self.switches[v].clone())]);
                         }
                     }
                 }
@@ -320,7 +328,11 @@ impl OspfBuilder {
             .chain(self.switches.iter().cloned())
             .collect();
         let _ = writeln!(out, "    nodes {{ {} }}", names.join(", "));
-        let _ = writeln!(out, "    links {{ {} }}", link_decls.join(",\n            "));
+        let _ = writeln!(
+            out,
+            "    links {{ {} }}",
+            link_decls.join(",\n            ")
+        );
         let _ = writeln!(out, "}}");
         let programs: Vec<String> = self
             .hosts
@@ -410,10 +422,8 @@ impl OspfBuilder {
                         };
                         let mut split = format!("fwd({});", hops[k - 1]);
                         for (i, p) in hops[..k - 1].iter().enumerate().rev() {
-                            split = format!(
-                                "if hop == {} {{ fwd({p}); }} else {{ {split} }}",
-                                i + 1
-                            );
+                            split =
+                                format!("if hop == {} {{ fwd({p}); }} else {{ {split} }}", i + 1);
                         }
                         format!("{selector}{split}")
                     }

@@ -1,52 +1,14 @@
 //! Parameter synthesis (paper §2.3).
 //!
-//! With symbolic configuration parameters, the exact engine returns a query
-//! value per *cell* of parameter space. Synthesis picks the cell optimizing
-//! the query and extracts a concrete parameter assignment from it — the
-//! step the paper delegates to Mathematica or Z3, performed here by the
-//! built-in Fourier–Motzkin witness extractor.
+//! The cell-selection and witness-extraction core lives in
+//! [`bayonet_exact::synthesize_result`]; this module re-exports its types
+//! and wraps it in the [`Network`] facade: run exact inference, pick the
+//! requested query, synthesize.
 
-use bayonet_exact::{CellAnswer, QueryResult};
-use bayonet_num::{Rat, Sign};
-use bayonet_symbolic::{feasibility, Assignment, Feasibility, LinExpr};
+pub use bayonet_exact::{Objective, Synthesis, SynthesisOptions};
 
 use crate::error::Error;
 use crate::network::Network;
-
-/// Optimization direction for [`synthesize`].
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub enum Objective {
-    /// Pick the cell with the smallest query value (e.g. minimize the
-    /// probability of congestion).
-    Minimize,
-    /// Pick the cell with the largest query value.
-    Maximize,
-}
-
-/// The outcome of parameter synthesis.
-#[derive(Debug, Clone)]
-pub struct Synthesis {
-    /// The full piecewise result the choice was made from.
-    pub result: QueryResult,
-    /// Index of the optimal cell within `result.cells`.
-    pub best_cell: usize,
-    /// The optimal query value.
-    pub value: Rat,
-    /// A concrete parameter assignment achieving it.
-    pub assignment: Assignment,
-    /// Human-readable rendering of the optimal cell's constraint.
-    pub constraint: String,
-}
-
-/// Options for [`synthesize_with`].
-#[derive(Clone, Copy, Debug)]
-pub struct SynthesisOptions {
-    /// Optimization direction.
-    pub objective: Objective,
-    /// Require every parameter to be strictly positive in the witness
-    /// (natural for link costs; plain cell witnesses may sit at 0).
-    pub positive_params: bool,
-}
 
 /// Runs exact inference with symbolic parameters and synthesizes parameter
 /// values optimizing query `query_idx`.
@@ -92,69 +54,11 @@ pub fn synthesize_with(
     query_idx: usize,
     opts: SynthesisOptions,
 ) -> Result<Synthesis, Error> {
-    let objective = opts.objective;
     let report = network.exact()?;
     let result = report
         .results
         .get(query_idx)
-        .ok_or_else(|| Error::Usage(format!("query index {query_idx} out of range")))?
-        .clone();
-
-    let defined: Vec<(usize, &CellAnswer, Rat)> = result
-        .cells
-        .iter()
-        .enumerate()
-        .filter_map(|(i, c)| {
-            let v = c.value.as_ref()?.as_rat()?.clone();
-            Some((i, c, v))
-        })
-        .collect();
-    if defined.is_empty() {
-        return Err(Error::Usage(
-            "no cell has a defined rational value to optimize".into(),
-        ));
-    }
-    let (best_cell, cell, value) = match objective {
-        Objective::Minimize => defined
-            .into_iter()
-            .min_by(|a, b| a.2.cmp(&b.2))
-            .expect("nonempty"),
-        Objective::Maximize => defined
-            .into_iter()
-            .max_by(|a, b| a.2.cmp(&b.2))
-            .expect("nonempty"),
-    };
-    let constraint = cell.constraint.clone();
-    let assignment = if opts.positive_params {
-        positive_witness(network, cell).unwrap_or_else(|| cell.witness.clone())
-    } else {
-        cell.witness.clone()
-    };
-    Ok(Synthesis {
-        best_cell,
-        value,
-        assignment,
-        constraint,
-        result,
-    })
-}
-
-/// Extends the cell's guard with `p > 0` for every declared parameter and
-/// extracts a witness, if that stays feasible.
-fn positive_witness(network: &Network, cell: &CellAnswer) -> Option<Assignment> {
-    let params = &network.model().params;
-    let mut guard = cell.guard.clone();
-    for pid in params.iter() {
-        guard = guard.assume_sign(&LinExpr::param(pid), Sign::Plus)?;
-    }
-    match feasibility(&guard) {
-        Feasibility::Sat(mut w) => {
-            // Parameters not mentioned in any atom default to 1, not 0.
-            for pid in params.iter() {
-                w.entry(pid).or_insert_with(Rat::one);
-            }
-            Some(w)
-        }
-        Feasibility::Unsat => None,
-    }
+        .ok_or_else(|| Error::Usage(format!("query index {query_idx} out of range")))?;
+    bayonet_exact::synthesize_result(network.model(), result, opts)
+        .map_err(|e| Error::Usage(e.to_string()))
 }

@@ -58,12 +58,7 @@ fn run_with_bind_and_smc() {
 
 #[test]
 fn run_unbound_parameter_fails_cleanly() {
-    let (ok, _, stderr) = cli(&[
-        "run",
-        &bay_file("lossy_link.bay"),
-        "--engine",
-        "smc",
-    ]);
+    let (ok, _, stderr) = cli(&["run", &bay_file("lossy_link.bay"), "--engine", "smc"]);
     assert!(!ok);
     assert!(stderr.contains("error:"), "{stderr}");
 }
@@ -72,7 +67,10 @@ fn run_unbound_parameter_fails_cleanly() {
 fn synthesize_prints_the_figure3_table() {
     let (ok, stdout, _) = cli(&["synthesize", &bay_file("ecmp_costs.bay")]);
     assert!(ok, "{stdout}");
-    assert!(stdout.contains("COST_01 - COST_02 - COST_21 == 0"), "{stdout}");
+    assert!(
+        stdout.contains("COST_01 - COST_02 - COST_21 == 0"),
+        "{stdout}"
+    );
     assert!(stdout.contains("30378810105265/67706637778944"), "{stdout}");
 }
 
@@ -118,4 +116,77 @@ fn unknown_flags_and_commands_error() {
     let (ok, _, stderr) = cli(&["run", &bay_file("gossip_k4.bay"), "--engine", "magic"]);
     assert!(!ok);
     assert!(stderr.contains("unknown engine"), "{stderr}");
+}
+
+#[test]
+fn rejects_unknown_flags() {
+    let (ok, _, stderr) = cli(&["run", &bay_file("gossip_k4.bay"), "--frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown flag `--frobnicate`"), "{stderr}");
+    // Flags from other subcommands are unknown here too.
+    let (ok, _, stderr) = cli(&["check", &bay_file("gossip_k4.bay"), "--engine", "exact"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown flag `--engine`"), "{stderr}");
+    let (ok, _, stderr) = cli(&[
+        "synthesize",
+        &bay_file("ecmp_costs.bay"),
+        "--particles",
+        "9",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown flag `--particles`"), "{stderr}");
+}
+
+#[test]
+fn rejects_missing_flag_values() {
+    // Value missing at the end of the argument list.
+    let (ok, _, stderr) = cli(&["run", &bay_file("gossip_k4.bay"), "--engine"]);
+    assert!(!ok);
+    assert!(stderr.contains("--engine needs a value"), "{stderr}");
+    // Another flag where the value should be.
+    let (ok, _, stderr) = cli(&[
+        "run",
+        &bay_file("gossip_k4.bay"),
+        "--seed",
+        "--particles",
+        "10",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("--seed needs a value"), "{stderr}");
+}
+
+#[test]
+fn rejects_stray_positional_arguments() {
+    let (ok, _, stderr) = cli(&["run", &bay_file("gossip_k4.bay"), "extra.bay"]);
+    assert!(!ok);
+    assert!(
+        stderr.contains("unexpected argument `extra.bay`"),
+        "{stderr}"
+    );
+}
+
+#[test]
+fn run_stats_flag_reports_to_stderr() {
+    let (ok, stdout, stderr) = cli(&["run", &bay_file("gossip_k4.bay"), "--stats"]);
+    assert!(ok, "{stderr}");
+    // stdout is unchanged by --stats.
+    assert!(stdout.contains("94/27"), "{stdout}");
+    assert!(!stdout.contains("stats:"), "{stdout}");
+    assert!(stderr.contains("states expanded"), "{stderr}");
+    assert!(stderr.contains("merged"), "{stderr}");
+    assert!(stderr.contains("terminal mass"), "{stderr}");
+    assert!(stderr.contains("ms wall"), "{stderr}");
+}
+
+#[test]
+fn serve_rejects_bad_flags() {
+    let (ok, _, stderr) = cli(&["serve", "--port", "80"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown flag `--port`"), "{stderr}");
+    let (ok, _, stderr) = cli(&["serve", "--threads"]);
+    assert!(!ok);
+    assert!(stderr.contains("--threads needs a value"), "{stderr}");
+    let (ok, _, stderr) = cli(&["serve", "--threads", "banana"]);
+    assert!(!ok);
+    assert!(stderr.contains("bad --threads value"), "{stderr}");
 }

@@ -2,8 +2,8 @@
 //! the paper's §5 with its expected (or analytically forced) value.
 
 use bayonet::scenarios::{
-    self, bad_hash_posterior, load_balancing, reliability_strategy, strategy_posterior,
-    LB_OBS_BAD, LB_OBS_GOOD,
+    self, bad_hash_posterior, load_balancing, reliability_strategy, strategy_posterior, LB_OBS_BAD,
+    LB_OBS_GOOD,
 };
 use bayonet::{synthesize, ApproxOptions, Network, Objective, Rat, Sched};
 
@@ -18,7 +18,10 @@ fn congestion_5_uniform_exact_matches_paper() {
     let n = scenarios::congestion_example(Sched::Uniform).unwrap();
     let report = n.exact().unwrap();
     // Paper §2.2 / Table 1 row 1: 0.4487 exactly.
-    assert_eq!(*report.results[0].rat(), rat("30378810105265/67706637778944"));
+    assert_eq!(
+        *report.results[0].rat(),
+        rat("30378810105265/67706637778944")
+    );
 }
 
 #[test]
@@ -26,7 +29,7 @@ fn congestion_5_deterministic_is_one() {
     let n = scenarios::congestion_example(Sched::Deterministic).unwrap();
     let report = n.exact().unwrap();
     assert_eq!(*report.results[0].rat(), Rat::one()); // Table 1 row 2
-    // Expected packets received is deterministic under det. scheduling.
+                                                      // Expected packets received is deterministic under det. scheduling.
     assert_eq!(*report.results[1].rat(), Rat::int(2));
 }
 
@@ -82,7 +85,14 @@ fn reliability_30_exact_is_9965() {
 fn reliability_6_smc_close() {
     let n = scenarios::reliability_chain(1, &Rat::ratio(1, 10), Sched::Uniform).unwrap();
     let est = n
-        .smc(0, &ApproxOptions { particles: 2000, seed: 5, ..Default::default() })
+        .smc(
+            0,
+            &ApproxOptions {
+                particles: 2000,
+                seed: 5,
+                ..Default::default()
+            },
+        )
         .unwrap();
     assert!((est.value - 0.95).abs() < 0.02, "{est}");
 }
@@ -104,7 +114,14 @@ fn gossip_8_smc_runs() {
     // bench harness runs those sizes — here a quick K8).
     let n = scenarios::gossip(8, Sched::Uniform).unwrap();
     let est = n
-        .smc(0, &ApproxOptions { particles: 500, seed: 2, ..Default::default() })
+        .smc(
+            0,
+            &ApproxOptions {
+                particles: 500,
+                seed: 2,
+                ..Default::default()
+            },
+        )
         .unwrap();
     // All nodes reachable; between 1 and 8 infected, mean well inside.
     assert!(est.value > 2.0 && est.value < 8.0, "{est}");
@@ -119,7 +136,11 @@ fn figure3_synthesis_minimizes_on_the_balanced_cell() {
     assert_eq!(synthesis.result.cells.len(), 3);
     // Minimum congestion on COST_01 == COST_02 + COST_21 (ECMP balanced).
     assert_eq!(synthesis.value, rat("30378810105265/67706637778944"));
-    assert!(synthesis.constraint.contains("== 0"), "{}", synthesis.constraint);
+    assert!(
+        synthesis.constraint.contains("== 0"),
+        "{}",
+        synthesis.constraint
+    );
     // The witness satisfies the constraint: COST_01 - COST_02 - COST_21 = 0.
     let params = &n.model().params;
     let get = |name: &str| {

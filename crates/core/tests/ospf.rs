@@ -100,16 +100,13 @@ fn three_way_ecmp_splits_uniformly() {
         .host("B", "OUT")
         .flow("A", "B", 1);
     for mid in ["M0", "M1", "M2"] {
-        builder = builder
-            .switch(mid)
-            .link("IN", mid, 1)
-            .link(mid, "OUT", 1);
+        builder = builder.switch(mid).link("IN", mid, 1).link(mid, "OUT", 1);
     }
     let network = builder.build().unwrap();
     let report = network.exact().unwrap();
     assert_eq!(*report.results[1].rat(), Rat::one()); // always delivered
-    // The exact analysis must have explored all three middle switches:
-    // check via the generated source that the IN switch draws 3 ways.
+                                                      // The exact analysis must have explored all three middle switches:
+                                                      // check via the generated source that the IN switch draws 3 ways.
     assert!(network.source().contains("uniformInt(1, 3)"));
 }
 
@@ -135,7 +132,11 @@ fn bidirectional_flows_work() {
 #[test]
 fn validation_errors() {
     // Unknown switch.
-    assert!(OspfBuilder::new().host("A", "S9").flow("A", "A", 1).source().is_err());
+    assert!(OspfBuilder::new()
+        .host("A", "S9")
+        .flow("A", "A", 1)
+        .source()
+        .is_err());
     // Unreachable destination.
     let unreachable = OspfBuilder::new()
         .switch("S0")
@@ -146,11 +147,7 @@ fn validation_errors() {
         .source();
     assert!(unreachable.is_err());
     // Duplicate names.
-    assert!(OspfBuilder::new()
-        .switch("X")
-        .switch("X")
-        .source()
-        .is_err());
+    assert!(OspfBuilder::new().switch("X").switch("X").source().is_err());
     // Zero-cost link.
     assert!(OspfBuilder::new()
         .switch("S0")
@@ -183,7 +180,10 @@ fn per_flow_ecmp_is_the_mixture_of_deterministic_routes() {
 
 #[test]
 fn generated_source_passes_integrity_checks_cleanly() {
-    let network = section2_builder().scheduler(Sched::Deterministic).build().unwrap();
+    let network = section2_builder()
+        .scheduler(Sched::Deterministic)
+        .build()
+        .unwrap();
     assert!(network.warnings().is_empty(), "{:?}", network.warnings());
     // Deterministic scheduler: congestion certain, like the paper row.
     assert_eq!(*network.exact().unwrap().results[0].rat(), Rat::one());

@@ -20,7 +20,10 @@ fn probe_strategy_posteriors() {
             post[2].to_f64(),
             t0.elapsed()
         );
-        println!("  exact: rand={} detS1={} detS2={}", post[0], post[1], post[2]);
+        println!(
+            "  exact: rand={} detS1={} detS2={}",
+            post[0], post[1], post[2]
+        );
     }
 }
 

@@ -1,0 +1,135 @@
+//! Cross-checks the HTTP service against the CLI: for the same program,
+//! the server's `text` field must equal the `bayonet` binary's stdout
+//! byte for byte.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::process::Command;
+use std::time::Duration;
+
+use bayonet_serve::{start, Json, ServerConfig, ServerHandle};
+
+fn bay_source(name: &str) -> String {
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop(); // crates/
+    p.pop(); // repo root
+    p.push("examples/bay");
+    p.push(name);
+    std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("read {}: {e}", p.display()))
+}
+
+fn cli_stdout(args: &[&str]) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_bayonet"))
+        .args(args)
+        .output()
+        .expect("spawn bayonet CLI");
+    assert!(
+        out.status.success(),
+        "CLI failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf8 stdout")
+}
+
+fn bay_path(name: &str) -> String {
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop();
+    p.pop();
+    p.push("examples/bay");
+    p.push(name);
+    p.to_string_lossy().into_owned()
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    conn.set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    let request = format!(
+        "POST {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    conn.write_all(request.as_bytes()).expect("write request");
+    let mut raw = String::new();
+    conn.read_to_string(&mut raw).expect("read response");
+    let (head, payload) = raw.split_once("\r\n\r\n").expect("head/body split");
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    (status, payload.to_string())
+}
+
+fn server() -> ServerHandle {
+    start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        ..ServerConfig::default()
+    })
+    .expect("start server")
+}
+
+fn text_field(payload: &str) -> String {
+    let doc = bayonet_serve::parse_json(payload).expect("json body");
+    assert_eq!(
+        doc.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "{payload}"
+    );
+    doc.get("text")
+        .and_then(Json::as_str)
+        .expect("text field")
+        .to_string()
+}
+
+#[test]
+fn run_text_matches_cli_stdout_byte_for_byte() {
+    let handle = server();
+    let body = Json::obj(vec![("source", Json::Str(bay_source("gossip_k4.bay")))]).to_string();
+    let (status, payload) = post(handle.addr(), "/v1/run", &body);
+    assert_eq!(status, 200, "{payload}");
+    let served = text_field(&payload);
+    let cli = cli_stdout(&["run", &bay_path("gossip_k4.bay")]);
+    assert_eq!(served, cli);
+    handle.shutdown();
+}
+
+#[test]
+fn synthesize_text_matches_cli_stdout_byte_for_byte() {
+    let handle = server();
+    let body = Json::obj(vec![("source", Json::Str(bay_source("ecmp_costs.bay")))]).to_string();
+    let (status, payload) = post(handle.addr(), "/v1/synthesize", &body);
+    assert_eq!(status, 200, "{payload}");
+    let served = text_field(&payload);
+    let cli = cli_stdout(&["synthesize", &bay_path("ecmp_costs.bay")]);
+    assert_eq!(served, cli);
+    handle.shutdown();
+}
+
+#[test]
+fn smc_text_matches_cli_stdout_byte_for_byte() {
+    let handle = server();
+    let body = Json::obj(vec![
+        ("source", Json::Str(bay_source("gossip_k4.bay"))),
+        ("engine", Json::Str("smc".into())),
+        ("particles", Json::Num(300.0)),
+        ("seed", Json::Num(11.0)),
+    ])
+    .to_string();
+    let (status, payload) = post(handle.addr(), "/v1/run", &body);
+    assert_eq!(status, 200, "{payload}");
+    let served = text_field(&payload);
+    let cli = cli_stdout(&[
+        "run",
+        &bay_path("gossip_k4.bay"),
+        "--engine",
+        "smc",
+        "--particles",
+        "300",
+        "--seed",
+        "11",
+    ]);
+    assert_eq!(served, cli);
+    handle.shutdown();
+}

@@ -15,8 +15,8 @@ use bayonet_num::Rat;
 use bayonet_symbolic::Guard;
 
 use bayonet_net::{
-    deliver, initial_config, run_handler, Action, GlobalConfig, HandlerOutcome, Model, Scheduler,
-    SemanticsError, Val,
+    deliver, initial_config, run_handler, Action, Deadline, GlobalConfig, HandlerOutcome, Model,
+    Scheduler, SemanticsError, Val,
 };
 
 use crate::enumerate::enumerate_eval;
@@ -38,6 +38,9 @@ pub struct ExactOptions {
     /// Worker threads for frontier expansion (1 = single-threaded). Large
     /// frontiers are split into chunks expanded in parallel and merged.
     pub threads: usize,
+    /// Cooperative deadline/cancellation, polled between expansion batches.
+    /// Defaults to unlimited.
+    pub deadline: Deadline,
 }
 
 impl Default for ExactOptions {
@@ -48,6 +51,7 @@ impl Default for ExactOptions {
             fm_pruning: true,
             merge_configs: true,
             threads: 1,
+            deadline: Deadline::default(),
         }
     }
 }
@@ -84,6 +88,13 @@ pub enum ExactError {
     /// All probability mass was discarded by observations (Z = 0), so the
     /// posterior is undefined.
     AllMassObservedOut,
+    /// The run was cut short by its [`Deadline`] (timeout or cancellation).
+    Interrupted {
+        /// Global steps completed before the interruption.
+        steps: u64,
+        /// Configuration expansions completed before the interruption.
+        expansions: u64,
+    },
 }
 
 impl fmt::Display for ExactError {
@@ -96,11 +107,19 @@ impl fmt::Display for ExactError {
                  ({live_configs} live configurations, mass ≈ {mass})"
             ),
             ExactError::ConfigLimit(n) => {
-                write!(f, "exact state space exceeded the configuration limit ({n})")
+                write!(
+                    f,
+                    "exact state space exceeded the configuration limit ({n})"
+                )
             }
             ExactError::AllMassObservedOut => {
                 f.write_str("all probability mass was discarded by observations (Z = 0)")
             }
+            ExactError::Interrupted { steps, expansions } => write!(
+                f,
+                "exact inference interrupted by deadline \
+                 (after {steps} steps, {expansions} expansions)"
+            ),
         }
     }
 }
@@ -140,6 +159,9 @@ impl Analysis {
             .fold(Rat::zero(), |acc, (_, m)| acc + m)
     }
 }
+
+/// How many configuration expansions to run between deadline polls.
+const DEADLINE_POLL_STRIDE: usize = 256;
 
 /// A weighted set of guarded configurations. Kept as a `Vec`; merging
 /// compresses it through a hash map.
@@ -291,9 +313,7 @@ pub fn analyze(
     while !frontier.is_empty() {
         stats.steps += 1;
         if stats.steps > step_bound {
-            let mass: Rat = frontier
-                .iter()
-                .fold(Rat::zero(), |acc, (_, _, m)| acc + m);
+            let mass: Rat = frontier.iter().fold(Rat::zero(), |acc, (_, _, m)| acc + m);
             return Err(ExactError::Unterminated {
                 live_configs: frontier.len(),
                 mass: format!("{:.6}", mass.to_f64()),
@@ -303,6 +323,12 @@ pub fn analyze(
         if frontier.len() > opts.max_configs {
             return Err(ExactError::ConfigLimit(opts.max_configs));
         }
+        if opts.deadline.expired() {
+            return Err(ExactError::Interrupted {
+                steps: stats.steps - 1,
+                expansions: stats.expansions,
+            });
+        }
 
         stats.expansions += frontier.len() as u64;
         let threads = opts.threads.max(1);
@@ -311,29 +337,40 @@ pub fn analyze(
             // merge the results. Sound because expansion of one
             // configuration is independent of every other.
             let chunk_size = frontier.len().div_ceil(threads);
-            let results: Vec<Result<Expansion, ExactError>> =
-                crossbeam::thread::scope(|scope| {
-                    let handles: Vec<_> = frontier
-                        .chunks(chunk_size)
-                        .map(|chunk| {
-                            scope.spawn(move |_| {
-                                let mut out = Expansion::default();
-                                for (g, c, m) in chunk {
-                                    expand_config(model, scheduler, g, c, m, opts, &mut out)?;
+            let results: Vec<Result<Expansion, ExactError>> = crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = frontier
+                    .chunks(chunk_size)
+                    .map(|chunk| {
+                        scope.spawn(move |_| {
+                            let mut out = Expansion::default();
+                            for (i, (g, c, m)) in chunk.iter().enumerate() {
+                                if i % DEADLINE_POLL_STRIDE == 0 && opts.deadline.expired() {
+                                    return Err(ExactError::Interrupted {
+                                        steps: 0, // filled in by the caller
+                                        expansions: 0,
+                                    });
                                 }
-                                Ok(out)
-                            })
+                                expand_config(model, scheduler, g, c, m, opts, &mut out)?;
+                            }
+                            Ok(out)
                         })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("expansion worker panicked"))
-                        .collect()
-                })
-                .expect("crossbeam scope");
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("expansion worker panicked"))
+                    .collect()
+            })
+            .expect("crossbeam scope");
             let mut merged = Expansion::default();
             for r in results {
-                let part = r?;
+                let part = r.map_err(|e| match e {
+                    ExactError::Interrupted { .. } => ExactError::Interrupted {
+                        steps: stats.steps - 1,
+                        expansions: stats.expansions,
+                    },
+                    other => other,
+                })?;
                 merged.next.extend(part.next);
                 merged.terminal.extend(part.terminal);
                 merged.discarded.extend(part.discarded);
@@ -341,7 +378,13 @@ pub fn analyze(
             merged
         } else {
             let mut out = Expansion::default();
-            for (g, c, m) in &frontier {
+            for (i, (g, c, m)) in frontier.iter().enumerate() {
+                if i > 0 && i % DEADLINE_POLL_STRIDE == 0 && opts.deadline.expired() {
+                    return Err(ExactError::Interrupted {
+                        steps: stats.steps - 1,
+                        expansions: stats.expansions,
+                    });
+                }
                 expand_config(model, scheduler, g, c, m, opts, &mut out)?;
             }
             out
@@ -363,10 +406,7 @@ pub fn analyze(
     let terminals = compress(terminal_acc, &mut stats);
     stats.terminal_configs = terminals.len();
     Ok(Analysis {
-        terminals: terminals
-            .into_iter()
-            .map(|(g, c, m)| (c, g, m))
-            .collect(),
+        terminals: terminals.into_iter().map(|(g, c, m)| (c, g, m)).collect(),
         discarded: discarded.into_iter().collect(),
         stats,
     })

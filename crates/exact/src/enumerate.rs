@@ -215,9 +215,7 @@ mod tests {
     fn single_flip_two_branches() {
         let branches = enumerate_eval(&Guard::top(), true, |d| d.flip(&Rat::ratio(1, 3))).unwrap();
         assert_eq!(branches.len(), 2);
-        let total: Rat = branches
-            .iter()
-            .fold(Rat::zero(), |acc, b| acc + &b.weight);
+        let total: Rat = branches.iter().fold(Rat::zero(), |acc, b| acc + &b.weight);
         assert_eq!(total, Rat::one());
         // true branch has weight 1/3, false 2/3.
         let t = branches.iter().find(|b| b.result).unwrap();

@@ -234,9 +234,10 @@ pub fn answer(
                 Contribution::Truth(true) => numer_mass += mass,
                 Contribution::Truth(false) => {}
                 Contribution::Value(Some(v)) => {
-                    exp_num = exp_num.add(&v.mul(&Val::Rat(mass.clone())).map_err(
-                        |e| -> ExactError { e.into() },
-                    )?);
+                    exp_num = exp_num.add(
+                        &v.mul(&Val::Rat(mass.clone()))
+                            .map_err(|e| -> ExactError { e.into() })?,
+                    );
                     exp_den += mass;
                 }
                 Contribution::Value(None) => {}

@@ -1,0 +1,141 @@
+//! Parameter synthesis over piecewise exact results (paper §2.3).
+//!
+//! With symbolic configuration parameters, [`answer`](crate::answer)
+//! returns a query value per *cell* of parameter space. Synthesis picks the
+//! cell optimizing the query and extracts a concrete parameter assignment
+//! from it — the step the paper delegates to Mathematica or Z3, performed
+//! here by the built-in Fourier–Motzkin witness extractor.
+//!
+//! This module holds the engine-level core operating on a [`Model`] and a
+//! [`QueryResult`]; the `bayonet` facade crate and the inference service
+//! both build on it.
+
+use std::fmt;
+
+use bayonet_net::Model;
+use bayonet_num::{Rat, Sign};
+use bayonet_symbolic::{feasibility, Assignment, Feasibility, LinExpr};
+
+use crate::query::{CellAnswer, QueryResult};
+
+/// Optimization direction for synthesis.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Objective {
+    /// Pick the cell with the smallest query value (e.g. minimize the
+    /// probability of congestion).
+    Minimize,
+    /// Pick the cell with the largest query value.
+    Maximize,
+}
+
+/// Options for [`synthesize_result`].
+#[derive(Clone, Copy, Debug)]
+pub struct SynthesisOptions {
+    /// Optimization direction.
+    pub objective: Objective,
+    /// Require every parameter to be strictly positive in the witness
+    /// (natural for link costs; plain cell witnesses may sit at 0).
+    pub positive_params: bool,
+}
+
+/// The outcome of parameter synthesis.
+#[derive(Debug, Clone)]
+pub struct Synthesis {
+    /// The full piecewise result the choice was made from.
+    pub result: QueryResult,
+    /// Index of the optimal cell within `result.cells`.
+    pub best_cell: usize,
+    /// The optimal query value.
+    pub value: Rat,
+    /// A concrete parameter assignment achieving it.
+    pub assignment: Assignment,
+    /// Human-readable rendering of the optimal cell's constraint.
+    pub constraint: String,
+}
+
+/// Why synthesis could not pick a cell.
+#[derive(Debug)]
+pub enum SynthesisError {
+    /// No cell carries a defined, concrete rational query value.
+    NoDefinedCell,
+}
+
+impl fmt::Display for SynthesisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthesisError::NoDefinedCell => {
+                f.write_str("no cell has a defined rational value to optimize")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SynthesisError {}
+
+/// Picks the cell of `result` optimizing the query value and extracts a
+/// concrete parameter assignment for it.
+///
+/// # Errors
+///
+/// Fails when no cell carries a concrete rational value.
+pub fn synthesize_result(
+    model: &Model,
+    result: &QueryResult,
+    opts: SynthesisOptions,
+) -> Result<Synthesis, SynthesisError> {
+    let defined: Vec<(usize, &CellAnswer, Rat)> = result
+        .cells
+        .iter()
+        .enumerate()
+        .filter_map(|(i, c)| {
+            let v = c.value.as_ref()?.as_rat()?.clone();
+            Some((i, c, v))
+        })
+        .collect();
+    if defined.is_empty() {
+        return Err(SynthesisError::NoDefinedCell);
+    }
+    let (best_cell, cell, value) = match opts.objective {
+        Objective::Minimize => defined
+            .into_iter()
+            .min_by(|a, b| a.2.cmp(&b.2))
+            .expect("nonempty"),
+        Objective::Maximize => defined
+            .into_iter()
+            .max_by(|a, b| a.2.cmp(&b.2))
+            .expect("nonempty"),
+    };
+    let constraint = cell.constraint.clone();
+    let assignment = if opts.positive_params {
+        positive_witness(model, cell).unwrap_or_else(|| cell.witness.clone())
+    } else {
+        cell.witness.clone()
+    };
+    Ok(Synthesis {
+        best_cell,
+        value,
+        assignment,
+        constraint,
+        result: result.clone(),
+    })
+}
+
+/// Extends the cell's guard with `p > 0` for every declared parameter and
+/// extracts a witness, if that stays feasible.
+fn positive_witness(model: &Model, cell: &CellAnswer) -> Option<Assignment> {
+    let params = &model.params;
+    let mut guard = cell.guard.clone();
+    for pid in params.iter() {
+        guard = guard.assume_sign(&LinExpr::param(pid), Sign::Plus)?;
+    }
+    match feasibility(&guard) {
+        Feasibility::Sat(mut w) => {
+            // Parameters not mentioned in any atom default to 1, not 0.
+            for pid in params.iter() {
+                w.entry(pid).or_insert_with(Rat::one);
+            }
+            Some(w)
+        }
+        Feasibility::Unsat => None,
+    }
+}

@@ -126,7 +126,10 @@ fn expectation_of_a_symbolic_state_is_a_linear_expression() {
     // E[x] = COST + 1, a symbolic value on the single (trivial) cell.
     assert_eq!(result.cells.len(), 1);
     let Some(Val::Sym(e)) = &result.cells[0].value else {
-        panic!("expected a symbolic expectation, got {:?}", result.cells[0].value);
+        panic!(
+            "expected a symbolic expectation, got {:?}",
+            result.cells[0].value
+        );
     };
     let cost = m.params.lookup("COST").unwrap();
     assert_eq!(e.coeff(cost), Rat::one());
@@ -219,8 +222,60 @@ fn parallel_expansion_matches_single_threaded() {
     let a = answer(&m, &single, &m.queries[0], true).unwrap();
     let b = answer(&m, &parallel, &m.queries[0], true).unwrap();
     assert_eq!(a.rat(), b.rat());
-    assert_eq!(
-        single.total_terminal_mass(),
-        parallel.total_terminal_mass()
-    );
+    assert_eq!(single.total_terminal_mass(), parallel.total_terminal_mass());
+}
+
+#[test]
+fn expired_deadline_interrupts_analysis() {
+    let src = format!("{GOSSIP_K4_HEADER} scheduler uniform; {GOSSIP_BODY}");
+    let m = model(&src);
+    let err = analyze(
+        &m,
+        &*scheduler_for(&m),
+        &ExactOptions {
+            deadline: bayonet_net::Deadline::after(std::time::Duration::ZERO),
+            ..Default::default()
+        },
+    )
+    .unwrap_err();
+    assert!(matches!(err, ExactError::Interrupted { .. }), "{err}");
+    assert!(err.to_string().contains("interrupted by deadline"), "{err}");
+}
+
+#[test]
+fn cancel_handle_interrupts_analysis() {
+    // A pre-cancelled handle is indistinguishable from a deadline that
+    // fired mid-run: the engine must stop at its next poll point.
+    let src = format!("{GOSSIP_K4_HEADER} scheduler uniform; {GOSSIP_BODY}");
+    let m = model(&src);
+    let mut deadline = bayonet_net::Deadline::unlimited();
+    let handle = deadline.cancel_handle();
+    handle.cancel();
+    let err = analyze(
+        &m,
+        &*scheduler_for(&m),
+        &ExactOptions {
+            deadline,
+            ..Default::default()
+        },
+    )
+    .unwrap_err();
+    assert!(matches!(err, ExactError::Interrupted { .. }), "{err}");
+}
+
+#[test]
+fn unlimited_deadline_changes_nothing() {
+    let src = format!("{GOSSIP_K4_HEADER} scheduler uniform; {GOSSIP_BODY}");
+    let m = model(&src);
+    let analysis = analyze(
+        &m,
+        &*scheduler_for(&m),
+        &ExactOptions {
+            deadline: bayonet_net::Deadline::unlimited(),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let v = answer(&m, &analysis, &m.queries[0], true).unwrap();
+    assert_eq!(v.rat().clone(), Rat::ratio(94, 27));
 }

@@ -65,10 +65,7 @@ fn reliability_diamond_is_1999_over_2000() {
 fn reliability_value_is_scheduler_independent() {
     // A single tracked packet: the paper notes the scheduler does not
     // influence the result (§5.2).
-    let src = RELIABILITY_SRC.replace(
-        "init {",
-        "scheduler roundrobin;\n    init {",
-    );
+    let src = RELIABILITY_SRC.replace("init {", "scheduler roundrobin;\n    init {");
     let m = model(&src);
     assert_eq!(exact_value(&m, 0), Rat::ratio(1999, 2000));
 }
@@ -308,8 +305,7 @@ fn congestion_example_symbolic_costs_reproduce_figure_3() {
     // Leave the three link costs symbolic: the answer is piecewise over the
     // sign of COST_01 - (COST_02 + COST_21), with the paper's fractions.
     let m = model(&section2_src("uniform"));
-    let analysis =
-        analyze(&m, &*scheduler_for(&m), &ExactOptions::default()).unwrap();
+    let analysis = analyze(&m, &*scheduler_for(&m), &ExactOptions::default()).unwrap();
     let result = answer(&m, &analysis, &m.queries[0], true).unwrap();
     assert_eq!(result.cells.len(), 3);
     let values: Vec<Rat> = result
@@ -321,8 +317,8 @@ fn congestion_example_symbolic_costs_reproduce_figure_3() {
     assert_eq!(values[0], "491806403/1088391168".parse().unwrap()); // <
     assert_eq!(values[1], "30378810105265/67706637778944".parse().unwrap()); // ==
     assert_eq!(values[2], "2025575442161/4231664861184".parse().unwrap()); // >
-    // The minimum congestion sits on the ECMP-balanced (==) cell, which is
-    // the synthesis result of §2.3.
+                                                                           // The minimum congestion sits on the ECMP-balanced (==) cell, which is
+                                                                           // the synthesis result of §2.3.
     assert!(values[1] < values[0] && values[1] < values[2]);
     // Each cell ships a usable concrete witness (the "Z3/Mathematica" step).
     for cell in &result.cells {

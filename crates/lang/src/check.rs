@@ -375,8 +375,7 @@ fn check_defs(p: &Program, sink: &mut Sink) {
         for (var, init) in &def.state {
             init.walk(&mut |e| match e {
                 Expr::Name(id)
-                    if !params.contains(id.name.as_str())
-                        && !nodes.contains(id.name.as_str()) =>
+                    if !params.contains(id.name.as_str()) && !nodes.contains(id.name.as_str()) =>
                 {
                     sink.error(
                         format!(
@@ -418,10 +417,7 @@ fn check_defs(p: &Program, sink: &mut Sink) {
             Expr::Flip(prob, s) => {
                 if let Some(v) = const_eval(prob) {
                     if v.is_negative() || v > Rat::one() {
-                        sink.error(
-                            format!("flip probability {v} is outside [0, 1]"),
-                            Some(*s),
-                        );
+                        sink.error(format!("flip probability {v} is outside [0, 1]"), Some(*s));
                     }
                 }
             }
@@ -435,10 +431,8 @@ fn check_defs(p: &Program, sink: &mut Sink) {
                     }
                 }
             }
-            Expr::Binary(BinOp::Div, _, rhs) => {
-                if const_eval(rhs).is_some_and(|v| v.is_zero()) {
-                    sink.error("division by constant zero", Some(rhs.span()));
-                }
+            Expr::Binary(BinOp::Div, _, rhs) if const_eval(rhs).is_some_and(|v| v.is_zero()) => {
+                sink.error("division by constant zero", Some(rhs.span()));
             }
             _ => {}
         });
@@ -599,7 +593,9 @@ mod tests {
             def a(pkt, pt) { drop; }
         "#;
         let errs = check_src(src).unwrap_err();
-        assert!(errs.iter().any(|e| e.message().contains("no program assigned")));
+        assert!(errs
+            .iter()
+            .any(|e| e.message().contains("no program assigned")));
     }
 
     #[test]
@@ -626,14 +622,18 @@ mod tests {
             def a(pkt, pt) { drop; }
         "#;
         let errs = check_src(src).unwrap_err();
-        assert!(errs.iter().any(|e| e.message().contains("appears in 2 links")));
+        assert!(errs
+            .iter()
+            .any(|e| e.message().contains("appears in 2 links")));
     }
 
     #[test]
     fn missing_query_detected() {
         let src = minimal("", "def a(pkt, pt) { drop; } def b(pkt, pt) { drop; }", "");
         let errs = check_src(&src).unwrap_err();
-        assert!(errs.iter().any(|e| e.message().contains("at least one query")));
+        assert!(errs
+            .iter()
+            .any(|e| e.message().contains("at least one query")));
     }
 
     #[test]
@@ -644,7 +644,9 @@ mod tests {
             "query probability(missing@B == 1);",
         );
         let errs = check_src(&src).unwrap_err();
-        assert!(errs.iter().any(|e| e.message().contains("not a state variable")));
+        assert!(errs
+            .iter()
+            .any(|e| e.message().contains("not a state variable")));
     }
 
     #[test]
@@ -655,7 +657,9 @@ mod tests {
             "query probability(1 == 1);",
         );
         let errs = check_src(&src).unwrap_err();
-        assert!(errs.iter().any(|e| e.message().contains("used before assignment")));
+        assert!(errs
+            .iter()
+            .any(|e| e.message().contains("used before assignment")));
     }
 
     #[test]
@@ -667,7 +671,9 @@ mod tests {
             "query probability(1 == 1);",
         );
         let errs = check_src(&src).unwrap_err();
-        assert!(errs.iter().any(|e| e.message().contains("used before assignment")));
+        assert!(errs
+            .iter()
+            .any(|e| e.message().contains("used before assignment")));
     }
 
     #[test]
@@ -700,7 +706,9 @@ mod tests {
             "query probability(1 == 1);",
         );
         let errs = check_src(&src).unwrap_err();
-        assert!(errs.iter().any(|e| e.message().contains("undeclared packet field")));
+        assert!(errs
+            .iter()
+            .any(|e| e.message().contains("undeclared packet field")));
     }
 
     #[test]
@@ -725,7 +733,9 @@ mod tests {
             "query probability(1 == 1);",
         );
         let errs = check_src(&src).unwrap_err();
-        assert!(errs.iter().any(|e| e.message().contains("only allowed in queries")));
+        assert!(errs
+            .iter()
+            .any(|e| e.message().contains("only allowed in queries")));
     }
 
     #[test]
@@ -753,7 +763,10 @@ mod tests {
     #[test]
     fn const_eval_folds() {
         use crate::parser::parse_expr;
-        assert_eq!(const_eval(&parse_expr("1/2 + 1/3").unwrap()), Some(Rat::ratio(5, 6)));
+        assert_eq!(
+            const_eval(&parse_expr("1/2 + 1/3").unwrap()),
+            Some(Rat::ratio(5, 6))
+        );
         assert_eq!(const_eval(&parse_expr("2 < 3").unwrap()), Some(Rat::one()));
         assert_eq!(const_eval(&parse_expr("not 0").unwrap()), Some(Rat::one()));
         assert_eq!(const_eval(&parse_expr("x + 1").unwrap()), None);

@@ -234,9 +234,7 @@ impl<'a> Lexer<'a> {
                     self.bump();
                     loop {
                         match self.peek() {
-                            None => {
-                                return Err(LangError::lex("unterminated block comment", open))
-                            }
+                            None => return Err(LangError::lex("unterminated block comment", open)),
                             Some(b'*') if self.peek2() == Some(b'/') => {
                                 self.bump();
                                 self.bump();

@@ -232,9 +232,8 @@ impl Parser {
             }
         }
 
-        let topology = topology.ok_or_else(|| {
-            LangError::parse("missing topology block", self.span())
-        })?;
+        let topology =
+            topology.ok_or_else(|| LangError::parse("missing topology block", self.span()))?;
         Ok(Program {
             packet_fields,
             parameters,
@@ -702,7 +701,10 @@ mod tests {
     #[test]
     fn not_and_unary_minus() {
         assert!(matches!(parse_expr("not x").unwrap(), Expr::Not(_, _)));
-        assert!(matches!(parse_expr("-x + 1").unwrap(), Expr::Binary(BinOp::Add, _, _)));
+        assert!(matches!(
+            parse_expr("-x + 1").unwrap(),
+            Expr::Binary(BinOp::Add, _, _)
+        ));
         assert!(matches!(parse_expr("not not x").unwrap(), Expr::Not(_, _)));
     }
 

@@ -25,7 +25,11 @@ pub fn pretty_program(p: &Program) -> String {
     let _ = writeln!(out, "  nodes {{ {} }}", names.join(", "));
     let _ = writeln!(out, "  links {{");
     for (i, l) in p.topology.links.iter().enumerate() {
-        let sep = if i + 1 == p.topology.links.len() { "" } else { "," };
+        let sep = if i + 1 == p.topology.links.len() {
+            ""
+        } else {
+            ","
+        };
         let _ = writeln!(
             out,
             "    ({}, pt{}) <-> ({}, pt{}){sep}",

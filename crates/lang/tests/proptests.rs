@@ -22,9 +22,8 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
     ];
     leaf.prop_recursive(3, 24, 3, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone(), arb_binop()).prop_map(|(a, b, op)| {
-                Expr::Binary(op, Box::new(a), Box::new(b))
-            }),
+            (inner.clone(), inner.clone(), arb_binop())
+                .prop_map(|(a, b, op)| { Expr::Binary(op, Box::new(a), Box::new(b)) }),
             inner
                 .clone()
                 .prop_map(|e| Expr::Not(Box::new(e), Default::default())),

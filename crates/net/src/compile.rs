@@ -569,13 +569,16 @@ fn compile_stmts(
             }
             Stmt::If(c, t, e) => {
                 let cc = compile_e(c, local_names)?;
-                let tt = compile_stmts(t, node_names, field_names, params, state_names, local_names)?;
-                let ee = compile_stmts(e, node_names, field_names, params, state_names, local_names)?;
+                let tt =
+                    compile_stmts(t, node_names, field_names, params, state_names, local_names)?;
+                let ee =
+                    compile_stmts(e, node_names, field_names, params, state_names, local_names)?;
                 CStmt::If(cc, tt, ee)
             }
             Stmt::While(c, b) => {
                 let cc = compile_e(c, local_names)?;
-                let bb = compile_stmts(b, node_names, field_names, params, state_names, local_names)?;
+                let bb =
+                    compile_stmts(b, node_names, field_names, params, state_names, local_names)?;
                 CStmt::While(cc, bb)
             }
         });
@@ -680,7 +683,10 @@ mod tests {
         assert_eq!(**lhs, CExpr::Local(0));
         assert_eq!(**rhs, CExpr::Const(Rat::int(1)));
         // pkt.dst = A
-        assert_eq!(prog_a.body[2], CStmt::FieldAssign(0, CExpr::Const(Rat::zero())));
+        assert_eq!(
+            prog_a.body[2],
+            CStmt::FieldAssign(0, CExpr::Const(Rat::zero()))
+        );
     }
 
     #[test]

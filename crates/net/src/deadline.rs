@@ -1,0 +1,144 @@
+//! Cooperative cancellation for long-running inference.
+//!
+//! Exact enumeration and particle inference can run for a long time on
+//! large networks. A [`Deadline`] is a cheap, clonable handle combining an
+//! optional wall-clock cutoff with an optional shared cancellation flag;
+//! engines poll it every few hundred expansion steps / particles and bail
+//! out with a typed `Interrupted` error instead of running to completion.
+//! The service layer uses this to enforce per-request `timeout_ms` budgets
+//! and to abandon work for disconnected clients.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A deadline and/or cancellation flag polled cooperatively by engines.
+///
+/// The default value never expires, so existing call sites that build
+/// options with `..Default::default()` are unaffected.
+///
+/// # Examples
+///
+/// ```
+/// use std::time::Duration;
+/// use bayonet_net::Deadline;
+///
+/// let unlimited = Deadline::default();
+/// assert!(!unlimited.expired());
+///
+/// let strict = Deadline::after(Duration::from_millis(0));
+/// assert!(strict.expired());
+///
+/// let mut flagged = Deadline::default();
+/// let handle = flagged.cancel_handle();
+/// assert!(!flagged.expired());
+/// handle.cancel();
+/// assert!(flagged.expired());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Deadline {
+    cutoff: Option<Instant>,
+    cancelled: Option<Arc<AtomicBool>>,
+}
+
+/// A handle that cancels every [`Deadline`] cloned from the one that
+/// produced it.
+#[derive(Debug, Clone)]
+pub struct CancelHandle(Arc<AtomicBool>);
+
+impl CancelHandle {
+    /// Signals cancellation; affected engines return `Interrupted` at their
+    /// next poll.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+}
+
+impl Deadline {
+    /// A deadline that never expires (same as `Default`).
+    pub fn unlimited() -> Deadline {
+        Deadline::default()
+    }
+
+    /// A deadline expiring `budget` from now.
+    pub fn after(budget: Duration) -> Deadline {
+        Deadline {
+            cutoff: Some(Instant::now() + budget),
+            cancelled: None,
+        }
+    }
+
+    /// A deadline expiring at `cutoff`.
+    pub fn at(cutoff: Instant) -> Deadline {
+        Deadline {
+            cutoff: Some(cutoff),
+            cancelled: None,
+        }
+    }
+
+    /// Attaches a cancellation flag (created on first call) and returns a
+    /// handle that trips it. Clones made **after** this call share the flag.
+    pub fn cancel_handle(&mut self) -> CancelHandle {
+        let flag = self
+            .cancelled
+            .get_or_insert_with(|| Arc::new(AtomicBool::new(false)));
+        CancelHandle(Arc::clone(flag))
+    }
+
+    /// Whether the budget is exhausted or cancellation was signalled.
+    ///
+    /// Cheap enough to poll every few hundred steps: one atomic load plus,
+    /// when a cutoff is set, one monotonic-clock read.
+    pub fn expired(&self) -> bool {
+        if let Some(flag) = &self.cancelled {
+            if flag.load(Ordering::Relaxed) {
+                return true;
+            }
+        }
+        match self.cutoff {
+            Some(cutoff) => Instant::now() >= cutoff,
+            None => false,
+        }
+    }
+
+    /// Whether this deadline can ever expire.
+    pub fn is_limited(&self) -> bool {
+        self.cutoff.is_some() || self.cancelled.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_unlimited() {
+        let d = Deadline::default();
+        assert!(!d.is_limited());
+        assert!(!d.expired());
+    }
+
+    #[test]
+    fn zero_budget_expires_immediately() {
+        let d = Deadline::after(Duration::from_millis(0));
+        assert!(d.is_limited());
+        assert!(d.expired());
+    }
+
+    #[test]
+    fn generous_budget_does_not_expire_now() {
+        let d = Deadline::after(Duration::from_secs(3600));
+        assert!(!d.expired());
+    }
+
+    #[test]
+    fn cancellation_crosses_clones() {
+        let mut d = Deadline::unlimited();
+        let handle = d.cancel_handle();
+        let clone = d.clone();
+        assert!(!clone.expired());
+        handle.cancel();
+        assert!(clone.expired());
+        assert!(d.expired());
+    }
+}

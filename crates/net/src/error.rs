@@ -57,7 +57,10 @@ impl fmt::Display for SemanticsError {
                 f.write_str("nonlinear arithmetic on symbolic values (only v*e is allowed)")
             }
             SemanticsError::EmptyQueue { node } => {
-                write!(f, "node {node}: statement requires a packet but the input queue is empty")
+                write!(
+                    f,
+                    "node {node}: statement requires a packet but the input queue is empty"
+                )
             }
             SemanticsError::FlipProbabilityOutOfRange(p) => {
                 write!(f, "flip probability {p} is outside [0, 1]")
@@ -69,13 +72,19 @@ impl fmt::Display for SemanticsError {
                 write!(f, "invalid uniformInt bounds: {msg}")
             }
             SemanticsError::NoLinkOnPort { node, port } => {
-                write!(f, "node {node} forwarded a packet to port {port}, which has no link")
+                write!(
+                    f,
+                    "node {node} forwarded a packet to port {port}, which has no link"
+                )
             }
             SemanticsError::PortNotInteger(v) => {
                 write!(f, "fwd target {v} is not a valid port number")
             }
             SemanticsError::LoopLimitExceeded { node, limit } => {
-                write!(f, "node {node}: handler exceeded {limit} local steps (diverging loop?)")
+                write!(
+                    f,
+                    "node {node}: handler exceeded {limit} local steps (diverging loop?)"
+                )
             }
             SemanticsError::SymbolicValueInConcreteContext(what) => {
                 write!(f, "symbolic value reached a concrete-only context: {what}")

@@ -16,7 +16,7 @@
 use bayonet_num::{Rat, Sign};
 use bayonet_symbolic::LinExpr;
 
-use crate::compile::{CExpr, CompiledProgram, CStmt, Model, QExpr};
+use crate::compile::{CExpr, CStmt, CompiledProgram, Model, QExpr};
 use crate::config::NodeConfig;
 use crate::error::SemanticsError;
 use crate::queue::Packet;
@@ -351,11 +351,7 @@ impl ExecCx<'_> {
         })
     }
 
-    fn truth(
-        &mut self,
-        v: &Val,
-        driver: &mut dyn ChoiceDriver,
-    ) -> Result<bool, SemanticsError> {
+    fn truth(&mut self, v: &Val, driver: &mut dyn ChoiceDriver) -> Result<bool, SemanticsError> {
         truth_of(v, driver)
     }
 }

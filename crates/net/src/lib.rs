@@ -42,6 +42,7 @@
 
 mod compile;
 mod config;
+mod deadline;
 mod error;
 mod global;
 mod handler;
@@ -50,10 +51,11 @@ mod scheduler;
 mod value;
 
 pub use compile::{
-    compile, CExpr, CompileError, CompiledProgram, CompiledQuery, CStmt, InitPacketSpec, Model,
+    compile, CExpr, CStmt, CompileError, CompiledProgram, CompiledQuery, InitPacketSpec, Model,
     QExpr, QueryKind, SchedKind, DEFAULT_LOCAL_STEP_LIMIT, DEFAULT_QUEUE_CAPACITY,
 };
 pub use config::{Action, GlobalConfig, NodeConfig};
+pub use deadline::{CancelHandle, Deadline};
 pub use error::SemanticsError;
 pub use global::{deliver, initial_config};
 pub use handler::{

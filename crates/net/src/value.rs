@@ -237,9 +237,10 @@ mod tests {
             Err(SemanticsError::NonlinearArithmetic)
         ));
         assert_eq!(
-            p.div(&Val::int(2)).unwrap().to_lin().coeff(
-                p.to_lin().params().next().unwrap()
-            ),
+            p.div(&Val::int(2))
+                .unwrap()
+                .to_lin()
+                .coeff(p.to_lin().params().next().unwrap()),
             Rat::ratio(1, 2)
         );
     }

@@ -121,7 +121,11 @@ impl BigInt {
     /// Absolute value.
     pub fn abs(&self) -> BigInt {
         BigInt {
-            sign: if self.is_zero() { Sign::Zero } else { Sign::Plus },
+            sign: if self.is_zero() {
+                Sign::Zero
+            } else {
+                Sign::Plus
+            },
             mag: self.mag.clone(),
         }
     }
@@ -184,7 +188,11 @@ impl BigInt {
             q_mag,
         );
         let r = BigInt::from_sign_magnitude(
-            if r_mag.is_zero() { Sign::Zero } else { self.sign },
+            if r_mag.is_zero() {
+                Sign::Zero
+            } else {
+                self.sign
+            },
             r_mag,
         );
         (q, r)
@@ -245,7 +253,11 @@ impl Default for BigInt {
 
 impl From<BigUint> for BigInt {
     fn from(mag: BigUint) -> Self {
-        let sign = if mag.is_zero() { Sign::Zero } else { Sign::Plus };
+        let sign = if mag.is_zero() {
+            Sign::Zero
+        } else {
+            Sign::Plus
+        };
         BigInt { sign, mag }
     }
 }
@@ -450,7 +462,12 @@ mod tests {
 
     #[test]
     fn parse_display_roundtrip() {
-        for s in ["0", "-1", "12345678901234567890123456789", "-987654321098765432109876543210"] {
+        for s in [
+            "0",
+            "-1",
+            "12345678901234567890123456789",
+            "-987654321098765432109876543210",
+        ] {
             let v: BigInt = s.parse().unwrap();
             assert_eq!(v.to_string(), s);
         }

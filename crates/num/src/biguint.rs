@@ -84,7 +84,7 @@ impl BigUint {
 
     /// Returns `true` if the value is even. Zero is even.
     pub fn is_even(&self) -> bool {
-        self.limbs.first().map_or(true, |l| l & 1 == 0)
+        self.limbs.first().is_none_or(|l| l & 1 == 0)
     }
 
     /// Converts to `u64` if the value fits.
@@ -255,9 +255,7 @@ impl BigUint {
             let numer = ((u[j + n] as u128) << 64) | u[j + n - 1] as u128;
             let mut qhat = numer / vn1 as u128;
             let mut rhat = numer % vn1 as u128;
-            while qhat >> 64 != 0
-                || qhat * vn2 as u128 > ((rhat << 64) | u[j + n - 2] as u128)
-            {
+            while qhat >> 64 != 0 || qhat * vn2 as u128 > ((rhat << 64) | u[j + n - 2] as u128) {
                 qhat -= 1;
                 rhat += vn1 as u128;
                 if rhat >> 64 != 0 {
@@ -726,8 +724,14 @@ mod tests {
             BigUint::from(48u64).gcd(&BigUint::from(36u64)),
             BigUint::from(12u64)
         );
-        assert_eq!(BigUint::zero().gcd(&BigUint::from(7u64)), BigUint::from(7u64));
-        assert_eq!(BigUint::from(7u64).gcd(&BigUint::zero()), BigUint::from(7u64));
+        assert_eq!(
+            BigUint::zero().gcd(&BigUint::from(7u64)),
+            BigUint::from(7u64)
+        );
+        assert_eq!(
+            BigUint::from(7u64).gcd(&BigUint::zero()),
+            BigUint::from(7u64)
+        );
         let a = big("123456789012345678901234567890");
         assert_eq!(a.gcd(&a), a);
     }
@@ -754,7 +758,12 @@ mod tests {
 
     #[test]
     fn display_parse_roundtrip() {
-        for s in ["0", "1", "18446744073709551616", "123456789012345678901234567890123"] {
+        for s in [
+            "0",
+            "1",
+            "18446744073709551616",
+            "123456789012345678901234567890123",
+        ] {
             assert_eq!(big(s).to_string(), s);
         }
     }
@@ -782,6 +791,9 @@ mod tests {
     #[test]
     fn hex_formatting() {
         assert_eq!(format!("{:x}", big("255")), "ff");
-        assert_eq!(format!("{:x}", BigUint::one() << 64u64), "10000000000000000");
+        assert_eq!(
+            format!("{:x}", BigUint::one() << 64u64),
+            "10000000000000000"
+        );
     }
 }

@@ -240,10 +240,7 @@ impl Rat {
         let num = &self.num * &BigInt::from(other.den.clone())
             + &other.num * &BigInt::from(self.den.clone());
         let den = &self.den * &other.den;
-        let mut r = Rat {
-            num,
-            den,
-        };
+        let mut r = Rat { num, den };
         r.reduce();
         r
     }
@@ -451,7 +448,14 @@ mod tests {
 
     #[test]
     fn field_laws_small() {
-        let vals = [r(-3, 2), r(-1, 3), Rat::zero(), r(1, 7), Rat::one(), r(5, 2)];
+        let vals = [
+            r(-3, 2),
+            r(-1, 3),
+            Rat::zero(),
+            r(1, 7),
+            Rat::one(),
+            r(5, 2),
+        ];
         for a in &vals {
             for b in &vals {
                 assert_eq!(a + b, b + a);

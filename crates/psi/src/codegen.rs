@@ -11,7 +11,7 @@
 use std::fmt::Write as _;
 
 use bayonet_lang::BinOp;
-use bayonet_net::{CExpr, CompiledProgram, CStmt, Model, QueryKind};
+use bayonet_net::{CExpr, CStmt, CompiledProgram, Model, QueryKind};
 
 fn binop_str(op: BinOp) -> &'static str {
     match op {
@@ -184,8 +184,14 @@ pub fn to_psi(model: &Model) -> String {
     let _ = writeln!(out, "    def scheduler() {{");
     let _ = writeln!(out, "        actions := []: (R x R)[];");
     let _ = writeln!(out, "        for i in [0..{}) {{", model.num_nodes());
-    let _ = writeln!(out, "            if programs[i].Q_in.size() > 0 {{ actions ~= (Run, i); }}");
-    let _ = writeln!(out, "            if programs[i].Q_out.size() > 0 {{ actions ~= (Fwd, i); }}");
+    let _ = writeln!(
+        out,
+        "            if programs[i].Q_in.size() > 0 {{ actions ~= (Run, i); }}"
+    );
+    let _ = writeln!(
+        out,
+        "            if programs[i].Q_out.size() > 0 {{ actions ~= (Fwd, i); }}"
+    );
     let _ = writeln!(out, "        }}");
     match &model.scheduler {
         bayonet_net::SchedKind::Uniform => {
@@ -208,7 +214,10 @@ pub fn to_psi(model: &Model) -> String {
     let _ = writeln!(out, "    }}");
     let _ = writeln!(out, "    def step() {{");
     let _ = writeln!(out, "        (action, node_id) := scheduler();");
-    let _ = writeln!(out, "        if action == Run {{ programs[node_id].run(); }}");
+    let _ = writeln!(
+        out,
+        "        if action == Run {{ programs[node_id].run(); }}"
+    );
     let _ = writeln!(out, "        if action == Fwd {{");
     let _ = writeln!(
         out,
@@ -238,7 +247,9 @@ pub fn to_psi(model: &Model) -> String {
             spec.port
         );
     }
-    let num_steps = model.num_steps.unwrap_or(crate::translate::DEFAULT_NUM_STEPS);
+    let num_steps = model
+        .num_steps
+        .unwrap_or(crate::translate::DEFAULT_NUM_STEPS);
     let _ = writeln!(out, "        repeat {num_steps} {{");
     let _ = writeln!(out, "            if !terminated() {{ step(); }}");
     let _ = writeln!(out, "        }}");
@@ -349,11 +360,7 @@ fn stmts_webppl(
                 );
             }
             CStmt::Observe(e) => {
-                let _ = writeln!(
-                    out,
-                    "{pad}condition({});",
-                    expr_webppl(e, model, prog)
-                );
+                let _ = writeln!(out, "{pad}condition({});", expr_webppl(e, model, prog));
             }
             CStmt::If(c, t, els) => {
                 let _ = writeln!(out, "{pad}if ({}) {{", expr_webppl(c, model, prog));
@@ -367,11 +374,7 @@ fn stmts_webppl(
                 }
             }
             CStmt::While(c, body) => {
-                let _ = writeln!(
-                    out,
-                    "{pad}while ({}) {{",
-                    expr_webppl(c, model, prog)
-                );
+                let _ = writeln!(out, "{pad}while ({}) {{", expr_webppl(c, model, prog));
                 stmts_webppl(body, model, prog, depth + 1, out);
                 let _ = writeln!(out, "{pad}}}");
             }
@@ -384,11 +387,7 @@ fn stmts_webppl(
 pub fn to_webppl(model: &Model) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "// WebPPL program generated from a Bayonet model.");
-    let _ = writeln!(
-        out,
-        "var queueCapacity = {};",
-        model.queue_capacity
-    );
+    let _ = writeln!(out, "var queueCapacity = {};", model.queue_capacity);
     let _ = writeln!(out, "var links = {{");
     for ((a, pa), (b, pb)) in model.links() {
         let _ = writeln!(out, "    '{a},{pa}': [{b}, {pb}],");
@@ -451,10 +450,7 @@ pub fn to_webppl(model: &Model) -> String {
             let _ = writeln!(out, "        var choice = actions[0];");
         }
         bayonet_net::SchedKind::Weighted(ws) => {
-            let _ = writeln!(
-                out,
-                "        var choice = weightedChoice(actions, {ws:?});"
-            );
+            let _ = writeln!(out, "        var choice = weightedChoice(actions, {ws:?});");
         }
         bayonet_net::SchedKind::Rotor => {
             let _ = writeln!(out, "        var choice = rotorPick(actions, cursor);");
@@ -466,16 +462,15 @@ pub fn to_webppl(model: &Model) -> String {
     let _ = writeln!(
         out,
         "    run({});",
-        model.num_steps.unwrap_or(crate::translate::DEFAULT_NUM_STEPS)
+        model
+            .num_steps
+            .unwrap_or(crate::translate::DEFAULT_NUM_STEPS)
     );
     for q in &model.queries {
         let _ = writeln!(out, "    // query: {}", q.source);
     }
     let _ = writeln!(out, "    return queryValue(nodes);");
     let _ = writeln!(out, "}};");
-    let _ = writeln!(
-        out,
-        "Infer({{method: 'SMC', particles: 1000}}, model);"
-    );
+    let _ = writeln!(out, "Infer({{method: 'SMC', particles: 1000}}, model);");
     out
 }

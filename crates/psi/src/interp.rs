@@ -102,9 +102,7 @@ pub struct PsiPosterior {
 impl PsiPosterior {
     /// Normalization constant (surviving mass).
     pub fn z(&self) -> Rat {
-        self.support
-            .iter()
-            .fold(Rat::zero(), |acc, (_, m)| acc + m)
+        self.support.iter().fold(Rat::zero(), |acc, (_, m)| acc + m)
     }
 
     /// Probability that the result is truthy (for probability queries).
@@ -261,22 +259,14 @@ impl Interp {
         Ok(true)
     }
 
-    fn truthy(
-        &mut self,
-        e: &PExpr,
-        driver: &mut dyn ChoiceDriver,
-    ) -> Result<bool, SemanticsError> {
+    fn truthy(&mut self, e: &PExpr, driver: &mut dyn ChoiceDriver) -> Result<bool, SemanticsError> {
         match self.eval(e, driver)? {
             PValue::Rat(r) => Ok(r.is_true()),
             other => Err(type_error("scalar condition", &other)),
         }
     }
 
-    fn eval(
-        &mut self,
-        e: &PExpr,
-        driver: &mut dyn ChoiceDriver,
-    ) -> Result<PValue, SemanticsError> {
+    fn eval(&mut self, e: &PExpr, driver: &mut dyn ChoiceDriver) -> Result<PValue, SemanticsError> {
         Ok(match e {
             PExpr::Const(r) => PValue::Rat(r.clone()),
             PExpr::Var(slot) => self.globals[*slot].clone(),
@@ -302,9 +292,10 @@ impl Interp {
             PExpr::Index(a, i) => {
                 let idx = self.eval_index(i, driver)?;
                 match self.eval(a, driver)? {
-                    PValue::Array(items) => {
-                        items.get(idx).cloned().ok_or_else(|| oob(idx, items.len()))?
-                    }
+                    PValue::Array(items) => items
+                        .get(idx)
+                        .cloned()
+                        .ok_or_else(|| oob(idx, items.len()))?,
                     other => return Err(type_error("array", &other)),
                 }
             }
@@ -348,7 +339,9 @@ impl Interp {
                 let lo = self.eval_int(lo, driver)?;
                 let hi = self.eval_int(hi, driver)?;
                 if lo > hi {
-                    return Err(SemanticsError::UniformBoundsInvalid(format!("[{lo}, {hi}]")));
+                    return Err(SemanticsError::UniformBoundsInvalid(format!(
+                        "[{lo}, {hi}]"
+                    )));
                 }
                 if lo == hi {
                     PValue::int(lo)
@@ -448,9 +441,7 @@ fn scalar_binop(op: BinOp, a: &Rat, b: &Rat) -> Result<Rat, SemanticsError> {
         BinOp::Add => a + b,
         BinOp::Sub => a - b,
         BinOp::Mul => a * b,
-        BinOp::Div => a
-            .checked_div(b)
-            .ok_or(SemanticsError::DivisionByZero)?,
+        BinOp::Div => a.checked_div(b).ok_or(SemanticsError::DivisionByZero)?,
         BinOp::Eq => Rat::from_bool(a == b),
         BinOp::Ne => Rat::from_bool(a != b),
         BinOp::Lt => Rat::from_bool(a < b),
@@ -499,7 +490,11 @@ mod tests {
                 LValue::Var(1),
                 PExpr::Bin(
                     BinOp::Add,
-                    Box::new(PExpr::Bin(BinOp::Mul, Box::new(PExpr::Var(0)), Box::new(c(3)))),
+                    Box::new(PExpr::Bin(
+                        BinOp::Mul,
+                        Box::new(PExpr::Var(0)),
+                        Box::new(c(3)),
+                    )),
                     Box::new(c(1)),
                 ),
             )],

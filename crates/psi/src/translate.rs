@@ -15,7 +15,7 @@
 
 use std::fmt;
 
-use bayonet_net::{CExpr, CompiledQuery, CStmt, Model, QueryKind, SchedKind};
+use bayonet_net::{CExpr, CStmt, CompiledQuery, Model, QueryKind, SchedKind};
 use bayonet_num::Rat;
 
 use crate::interp::{infer_exact, PsiError};
@@ -140,11 +140,7 @@ impl<'m> Tx<'m> {
                 let be = self.lower_expr(b, node, &mut then_body)?;
                 then_body.push(PStmt::Assign(
                     LValue::Var(t),
-                    PExpr::Bin(
-                        BinOp::Ne,
-                        Box::new(be),
-                        Box::new(PExpr::Const(Rat::zero())),
-                    ),
+                    PExpr::Bin(BinOp::Ne, Box::new(be), Box::new(PExpr::Const(Rat::zero()))),
                 ));
                 out.push(PStmt::Assign(LValue::Var(t), PExpr::Const(Rat::zero())));
                 out.push(PStmt::If(ae, then_body, vec![]));
@@ -157,11 +153,7 @@ impl<'m> Tx<'m> {
                 let be = self.lower_expr(b, node, &mut else_body)?;
                 else_body.push(PStmt::Assign(
                     LValue::Var(t),
-                    PExpr::Bin(
-                        BinOp::Ne,
-                        Box::new(be),
-                        Box::new(PExpr::Const(Rat::zero())),
-                    ),
+                    PExpr::Bin(BinOp::Ne, Box::new(be), Box::new(PExpr::Const(Rat::zero()))),
                 ));
                 out.push(PStmt::Assign(LValue::Var(t), PExpr::Const(Rat::one())));
                 out.push(PStmt::If(ae, vec![], else_body));
@@ -242,7 +234,10 @@ impl<'m> Tx<'m> {
                             Box::new(PExpr::Len(Box::new(PExpr::Var(self.q_in[node])))),
                             Box::new(cap.clone()),
                         ),
-                        vec![PStmt::PushFront(LValue::Var(self.q_in[node]), PExpr::Var(t))],
+                        vec![PStmt::PushFront(
+                            LValue::Var(self.q_in[node]),
+                            PExpr::Var(t),
+                        )],
                         vec![],
                     ));
                 }
@@ -266,27 +261,18 @@ impl<'m> Tx<'m> {
                         ),
                         vec![PStmt::PushBack(
                             LValue::Var(self.q_out[node]),
-                            PExpr::Tuple(vec![
-                                PExpr::Proj(Box::new(PExpr::Var(entry)), 0),
-                                port,
-                            ]),
+                            PExpr::Tuple(vec![PExpr::Proj(Box::new(PExpr::Var(entry)), 0), port]),
                         )],
                         vec![],
                     ));
                 }
                 CStmt::AssignState(slot, e) => {
                     let v = self.lower_expr(e, node, &mut cur)?;
-                    cur.push(PStmt::Assign(
-                        LValue::Var(self.state_base[node] + slot),
-                        v,
-                    ));
+                    cur.push(PStmt::Assign(LValue::Var(self.state_base[node] + slot), v));
                 }
                 CStmt::AssignLocal(slot, e) => {
                     let v = self.lower_expr(e, node, &mut cur)?;
-                    cur.push(PStmt::Assign(
-                        LValue::Var(self.local_base[node] + slot),
-                        v,
-                    ));
+                    cur.push(PStmt::Assign(LValue::Var(self.local_base[node] + slot), v));
                 }
                 CStmt::FieldAssign(f, e) => {
                     let v = self.lower_expr(e, node, &mut cur)?;
@@ -342,10 +328,7 @@ impl<'m> Tx<'m> {
                     ));
                     cur.extend(eval_cond.clone());
                     let mut loop_body = self.lower_block(body, node)?;
-                    loop_body.push(PStmt::Assign(
-                        LValue::Var(t),
-                        PExpr::Const(Rat::zero()),
-                    ));
+                    loop_body.push(PStmt::Assign(LValue::Var(t), PExpr::Const(Rat::zero())));
                     loop_body.push(self.guarded(eval_cond));
                     cur.push(PStmt::While(PExpr::Var(t), loop_body));
                 }
@@ -490,10 +473,7 @@ pub fn translate(model: &Model, query: &CompiledQuery) -> Result<PProgram, Trans
                 tx.init[tx.state_base[i] + slot] = e;
             } else {
                 state_init_stmts.extend(pre);
-                state_init_stmts.push(PStmt::Assign(
-                    LValue::Var(tx.state_base[i] + slot),
-                    e,
-                ));
+                state_init_stmts.push(PStmt::Assign(LValue::Var(tx.state_base[i] + slot), e));
             }
         }
         tx.err[i] = tx.alloc(
@@ -716,11 +696,7 @@ fn translate_query_expr(tx: &Tx<'_>, e: &bayonet_net::QExpr) -> Result<PExpr, Tr
 /// # Errors
 ///
 /// Propagates translation-free inference errors.
-pub fn infer_query(
-    program: &PProgram,
-    kind: QueryKind,
-    step_limit: u64,
-) -> Result<Rat, PsiError> {
+pub fn infer_query(program: &PProgram, kind: QueryKind, step_limit: u64) -> Result<Rat, PsiError> {
     let posterior = infer_exact(program, step_limit)?;
     let z = posterior.z();
     if z.is_zero() {

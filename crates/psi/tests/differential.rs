@@ -206,7 +206,10 @@ fn while_loops_agree() {
     );
     // E[n(n+1)/2] for n ~ U{1,2,3} = (1 + 3 + 6)/3 = 10/3.
     let analysis = analyze(&m, &*scheduler_for(&m), &ExactOptions::default()).unwrap();
-    let direct = answer(&m, &analysis, &m.queries[0], true).unwrap().rat().clone();
+    let direct = answer(&m, &analysis, &m.queries[0], true)
+        .unwrap()
+        .rat()
+        .clone();
     assert_eq!(direct, Rat::ratio(10, 3));
     assert_backends_agree(&m);
 }

@@ -3,8 +3,10 @@
 
 use bayonet_lang::parse;
 use bayonet_net::{compile, Model, QueryKind};
-use bayonet_psi::{infer_exact, infer_query, translate, PValue, TranslateError, DEFAULT_STEP_LIMIT};
 use bayonet_num::Rat;
+use bayonet_psi::{
+    infer_exact, infer_query, translate, PValue, TranslateError, DEFAULT_STEP_LIMIT,
+};
 
 fn model(src: &str) -> Model {
     compile(&parse(src).unwrap()).unwrap()
@@ -25,7 +27,15 @@ fn translated_program_has_named_globals() {
     let m = model(COIN);
     let p = translate(&m, &m.queries[0]).unwrap();
     // Per-node queues, error flags, state variables all present by name.
-    for expected in ["Q_in_A", "Q_out_A", "err_A", "Q_in_B", "B_got", "terminated", "actions"] {
+    for expected in [
+        "Q_in_A",
+        "Q_out_A",
+        "err_A",
+        "Q_in_B",
+        "B_got",
+        "terminated",
+        "actions",
+    ] {
         assert!(
             p.global_names.iter().any(|n| n == expected),
             "missing global {expected}: {:?}",
@@ -102,7 +112,10 @@ fn random_state_initializers_translate() {
 
 #[test]
 fn num_steps_too_small_traps_like_assert_terminated() {
-    let src = COIN.replace("packet_fields { dst }", "packet_fields { dst } num_steps 1;");
+    let src = COIN.replace(
+        "packet_fields { dst }",
+        "packet_fields { dst } num_steps 1;",
+    );
     let m = model(&src);
     let p = translate(&m, &m.queries[0]).unwrap();
     // Figure 10's assert(terminated()) is preserved: the translated program

@@ -1,0 +1,289 @@
+//! A deliberately small HTTP/1.1 implementation over `std::net`.
+//!
+//! The service needs exactly one shape of exchange: read one request with
+//! an optional `Content-Length` body, write one response, close. No
+//! keep-alive, no chunked encoding, no TLS. Limits on header and body sizes
+//! guard against hostile or broken clients.
+
+use std::io::{self, Read, Write};
+
+/// Maximum accepted size of the request head (request line + headers).
+pub const MAX_HEAD_BYTES: usize = 64 * 1024;
+
+/// Maximum accepted size of a request body.
+pub const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// Request method (uppercase, e.g. `GET`).
+    pub method: String,
+    /// Request path (no normalization; query strings are kept verbatim).
+    pub path: String,
+    /// Header name/value pairs; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The request body.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Case-insensitive header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 text.
+    pub fn body_str(&self) -> Result<&str, RequestError> {
+        std::str::from_utf8(&self.body).map_err(|_| RequestError::Malformed("body is not UTF-8"))
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum RequestError {
+    /// Transport error (client went away, etc.).
+    Io(io::Error),
+    /// The request violates the subset of HTTP this server speaks.
+    Malformed(&'static str),
+    /// The head or body exceeded its size limit.
+    TooLarge,
+}
+
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RequestError::Io(e) => write!(f, "i/o error: {e}"),
+            RequestError::Malformed(m) => write!(f, "malformed request: {m}"),
+            RequestError::TooLarge => f.write_str("request too large"),
+        }
+    }
+}
+
+impl From<io::Error> for RequestError {
+    fn from(e: io::Error) -> Self {
+        RequestError::Io(e)
+    }
+}
+
+/// Reads one request from `stream`.
+///
+/// # Errors
+///
+/// See [`RequestError`]. A clean EOF before any byte yields
+/// `Malformed("empty request")` — callers usually just drop the connection.
+pub fn read_request(stream: &mut impl Read) -> Result<Request, RequestError> {
+    // Read until the blank line separating head from body.
+    let mut head = Vec::with_capacity(1024);
+    let mut byte = [0u8; 1];
+    loop {
+        let n = stream.read(&mut byte)?;
+        if n == 0 {
+            if head.is_empty() {
+                return Err(RequestError::Malformed("empty request"));
+            }
+            return Err(RequestError::Malformed("truncated request head"));
+        }
+        head.push(byte[0]);
+        if head.len() > MAX_HEAD_BYTES {
+            return Err(RequestError::TooLarge);
+        }
+        if head.ends_with(b"\r\n\r\n") || head.ends_with(b"\n\n") {
+            break;
+        }
+    }
+    let head_text =
+        std::str::from_utf8(&head).map_err(|_| RequestError::Malformed("head is not UTF-8"))?;
+    let mut lines = head_text.split("\r\n").flat_map(|l| l.split('\n'));
+    let request_line = lines
+        .next()
+        .ok_or(RequestError::Malformed("missing request line"))?;
+    let mut parts = request_line.split_ascii_whitespace();
+    let method = parts
+        .next()
+        .ok_or(RequestError::Malformed("missing method"))?
+        .to_ascii_uppercase();
+    let path = parts
+        .next()
+        .ok_or(RequestError::Malformed("missing path"))?
+        .to_string();
+    match parts.next() {
+        Some(v) if v.starts_with("HTTP/1.") => {}
+        _ => return Err(RequestError::Malformed("unsupported HTTP version")),
+    }
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or(RequestError::Malformed("bad header line"))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| RequestError::Malformed("bad Content-Length"))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > MAX_BODY_BYTES {
+        return Err(RequestError::TooLarge);
+    }
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body)?;
+
+    Ok(Request {
+        method,
+        path,
+        headers,
+        body,
+    })
+}
+
+/// An HTTP response ready to serialize.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Extra headers (`Content-Length`, `Connection`, and `Content-Type`
+    /// are emitted automatically).
+    pub headers: Vec<(String, String)>,
+    /// Media type of `body`.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            headers: Vec::new(),
+            content_type: "application/json",
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            headers: Vec::new(),
+            content_type: "text/plain; charset=utf-8",
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// Adds a header.
+    #[must_use]
+    pub fn with_header(mut self, name: &str, value: impl Into<String>) -> Response {
+        self.headers.push((name.to_string(), value.into()));
+        self
+    }
+
+    /// Overrides the media type.
+    #[must_use]
+    pub fn with_content_type(mut self, content_type: &'static str) -> Response {
+        self.content_type = content_type;
+        self
+    }
+
+    /// Serializes and writes the response.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors.
+    pub fn write_to(&self, stream: &mut impl Write) -> io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+            self.status,
+            status_reason(self.status),
+            self.content_type,
+            self.body.len()
+        );
+        for (name, value) in &self.headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+}
+
+/// The canonical reason phrase for the status codes this server emits.
+pub fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Response",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let raw = b"POST /v1/run HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd";
+        let req = read_request(&mut &raw[..]).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/run");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn parses_a_get_without_body() {
+        let raw = b"GET /healthz HTTP/1.1\r\n\r\n";
+        let req = read_request(&mut &raw[..]).unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_bad_requests() {
+        assert!(matches!(
+            read_request(&mut &b""[..]),
+            Err(RequestError::Malformed("empty request"))
+        ));
+        let raw = b"GET /x SPDY/9\r\n\r\n";
+        assert!(read_request(&mut &raw[..]).is_err());
+        let raw = b"GET /x HTTP/1.1\r\nContent-Length: zebra\r\n\r\n";
+        assert!(read_request(&mut &raw[..]).is_err());
+    }
+
+    #[test]
+    fn serializes_a_response() {
+        let resp = Response::json(200, "{}").with_header("Retry-After", "1");
+        let mut out = Vec::new();
+        resp.write_to(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+}

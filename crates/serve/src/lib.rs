@@ -1,0 +1,56 @@
+//! `bayonet-serve`: a concurrent inference service for Bayonet programs.
+//!
+//! The service exposes the reproduction's inference engines over a
+//! hand-rolled HTTP/1.1 + JSON protocol (no external dependencies):
+//!
+//! * `POST /v1/check` — parse + integrity-check a program,
+//! * `POST /v1/run` — exact, SMC, or rejection inference,
+//! * `POST /v1/synthesize` — parameter synthesis,
+//! * `GET /healthz` — liveness probe,
+//! * `GET /metrics` — Prometheus text exposition.
+//!
+//! Inference requests are JSON objects
+//! `{source, engine, query, bindings, particles, seed, timeout_ms}`;
+//! responses carry structured JSON plus a `text` field rendered
+//! byte-for-byte identically to the `bayonet` CLI output, so the two can
+//! be diffed directly. A fixed worker pool pulls jobs from a bounded queue
+//! (overload is answered with `503` + `Retry-After`), per-request
+//! `timeout_ms` budgets are enforced cooperatively inside the engines via
+//! [`bayonet_net::Deadline`], and successful results are cached in an LRU
+//! keyed by the canonicalized program and engine options.
+//!
+//! # Examples
+//!
+//! ```
+//! use bayonet_serve::{start, ServerConfig};
+//! use std::io::{Read, Write};
+//!
+//! let handle = start(ServerConfig {
+//!     addr: "127.0.0.1:0".into(), // ephemeral port
+//!     ..ServerConfig::default()
+//! })?;
+//! let mut conn = std::net::TcpStream::connect(handle.addr())?;
+//! conn.write_all(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")?;
+//! let mut reply = String::new();
+//! conn.read_to_string(&mut reply)?;
+//! assert!(reply.starts_with("HTTP/1.1 200 OK"));
+//! handle.shutdown();
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod http;
+mod json;
+mod metrics;
+mod server;
+mod service;
+
+pub use cache::LruCache;
+pub use http::{read_request, Request, RequestError, Response, MAX_BODY_BYTES, MAX_HEAD_BYTES};
+pub use json::{parse as parse_json, Json, ParseError as JsonParseError};
+pub use metrics::Metrics;
+pub use server::{start, ServerConfig, ServerHandle};
+pub use service::{Service, DEFAULT_CACHE_ENTRIES};

@@ -1,0 +1,244 @@
+//! Service metrics with Prometheus text exposition.
+//!
+//! A single [`Metrics`] registry is shared by all workers; counters are
+//! grouped behind one mutex (contention is negligible next to inference
+//! work), except the queue depth gauge which the accept loop updates
+//! lock-free.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use bayonet_exact::EngineStats;
+
+/// Latency histogram bucket upper bounds, in seconds.
+const BUCKETS: [f64; 8] = [0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0];
+
+#[derive(Default, Clone)]
+struct Histogram {
+    counts: [u64; BUCKETS.len()],
+    total: u64,
+    sum: f64,
+}
+
+impl Histogram {
+    fn observe(&mut self, seconds: f64) {
+        for (i, bound) in BUCKETS.iter().enumerate() {
+            if seconds <= *bound {
+                self.counts[i] += 1;
+            }
+        }
+        self.total += 1;
+        self.sum += seconds;
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    /// (endpoint, status) → count.
+    requests: BTreeMap<(String, u16), u64>,
+    /// endpoint → latency histogram.
+    latency: BTreeMap<String, Histogram>,
+    cache_hits: u64,
+    cache_misses: u64,
+    /// Cumulative exact-engine work across all requests.
+    engine_steps: u64,
+    engine_expansions: u64,
+    engine_merge_hits: u64,
+    engine_peak_configs: u64,
+}
+
+/// The service metrics registry.
+#[derive(Default)]
+pub struct Metrics {
+    inner: Mutex<Inner>,
+    queue_depth: AtomicI64,
+}
+
+impl Metrics {
+    /// Creates an empty registry.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Records one completed request.
+    pub fn record_request(&self, endpoint: &str, status: u16, elapsed: Duration) {
+        let mut inner = self.inner.lock().expect("metrics mutex");
+        *inner
+            .requests
+            .entry((endpoint.to_string(), status))
+            .or_insert(0) += 1;
+        inner
+            .latency
+            .entry(endpoint.to_string())
+            .or_default()
+            .observe(elapsed.as_secs_f64());
+    }
+
+    /// Records a cache hit or miss.
+    pub fn record_cache(&self, hit: bool) {
+        let mut inner = self.inner.lock().expect("metrics mutex");
+        if hit {
+            inner.cache_hits += 1;
+        } else {
+            inner.cache_misses += 1;
+        }
+    }
+
+    /// Folds one exact-engine run into the cumulative totals.
+    pub fn record_engine(&self, stats: &EngineStats) {
+        let mut inner = self.inner.lock().expect("metrics mutex");
+        inner.engine_steps += stats.steps;
+        inner.engine_expansions += stats.expansions;
+        inner.engine_merge_hits += stats.merge_hits;
+        inner.engine_peak_configs = inner.engine_peak_configs.max(stats.peak_configs as u64);
+    }
+
+    /// Adjusts the queue depth gauge (±1 from the accept loop / workers).
+    pub fn queue_depth_add(&self, delta: i64) {
+        self.queue_depth.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current queue depth.
+    pub fn queue_depth(&self) -> i64 {
+        self.queue_depth.load(Ordering::Relaxed).max(0)
+    }
+
+    /// Current cache hit/miss counters `(hits, misses)`.
+    pub fn cache_counts(&self) -> (u64, u64) {
+        let inner = self.inner.lock().expect("metrics mutex");
+        (inner.cache_hits, inner.cache_misses)
+    }
+
+    /// Renders the registry in the Prometheus text exposition format.
+    pub fn render(&self) -> String {
+        let inner = self.inner.lock().expect("metrics mutex");
+        let mut out = String::new();
+
+        out.push_str("# HELP bayonet_requests_total Completed HTTP requests.\n");
+        out.push_str("# TYPE bayonet_requests_total counter\n");
+        for ((endpoint, status), count) in &inner.requests {
+            let _ = writeln!(
+                out,
+                "bayonet_requests_total{{endpoint=\"{endpoint}\",status=\"{status}\"}} {count}"
+            );
+        }
+
+        out.push_str("# HELP bayonet_request_seconds Request latency.\n");
+        out.push_str("# TYPE bayonet_request_seconds histogram\n");
+        for (endpoint, hist) in &inner.latency {
+            for (i, bound) in BUCKETS.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "bayonet_request_seconds_bucket{{endpoint=\"{endpoint}\",le=\"{bound}\"}} {}",
+                    hist.counts[i]
+                );
+            }
+            let _ = writeln!(
+                out,
+                "bayonet_request_seconds_bucket{{endpoint=\"{endpoint}\",le=\"+Inf\"}} {}",
+                hist.total
+            );
+            let _ = writeln!(
+                out,
+                "bayonet_request_seconds_sum{{endpoint=\"{endpoint}\"}} {}",
+                hist.sum
+            );
+            let _ = writeln!(
+                out,
+                "bayonet_request_seconds_count{{endpoint=\"{endpoint}\"}} {}",
+                hist.total
+            );
+        }
+
+        out.push_str("# HELP bayonet_queue_depth Jobs waiting in the worker queue.\n");
+        out.push_str("# TYPE bayonet_queue_depth gauge\n");
+        let _ = writeln!(out, "bayonet_queue_depth {}", self.queue_depth());
+
+        out.push_str("# HELP bayonet_cache_hits_total Result cache hits.\n");
+        out.push_str("# TYPE bayonet_cache_hits_total counter\n");
+        let _ = writeln!(out, "bayonet_cache_hits_total {}", inner.cache_hits);
+        out.push_str("# HELP bayonet_cache_misses_total Result cache misses.\n");
+        out.push_str("# TYPE bayonet_cache_misses_total counter\n");
+        let _ = writeln!(out, "bayonet_cache_misses_total {}", inner.cache_misses);
+
+        out.push_str("# HELP bayonet_engine_steps_total Exact-engine global steps.\n");
+        out.push_str("# TYPE bayonet_engine_steps_total counter\n");
+        let _ = writeln!(out, "bayonet_engine_steps_total {}", inner.engine_steps);
+        out.push_str("# HELP bayonet_engine_expansions_total Exact-engine expansions.\n");
+        out.push_str("# TYPE bayonet_engine_expansions_total counter\n");
+        let _ = writeln!(
+            out,
+            "bayonet_engine_expansions_total {}",
+            inner.engine_expansions
+        );
+        out.push_str("# HELP bayonet_engine_merge_hits_total Configuration merges.\n");
+        out.push_str("# TYPE bayonet_engine_merge_hits_total counter\n");
+        let _ = writeln!(
+            out,
+            "bayonet_engine_merge_hits_total {}",
+            inner.engine_merge_hits
+        );
+        out.push_str("# HELP bayonet_engine_peak_configs Largest frontier seen.\n");
+        out.push_str("# TYPE bayonet_engine_peak_configs gauge\n");
+        let _ = writeln!(
+            out,
+            "bayonet_engine_peak_configs {}",
+            inner.engine_peak_configs
+        );
+
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_prometheus_text() {
+        let m = Metrics::new();
+        m.record_request("/v1/run", 200, Duration::from_millis(3));
+        m.record_request("/v1/run", 200, Duration::from_millis(700));
+        m.record_request("/healthz", 200, Duration::from_micros(50));
+        m.record_cache(true);
+        m.record_cache(false);
+        m.queue_depth_add(2);
+        m.record_engine(&EngineStats {
+            steps: 10,
+            expansions: 100,
+            peak_configs: 7,
+            merge_hits: 3,
+            terminal_configs: 2,
+        });
+
+        let text = m.render();
+        assert!(text.contains("bayonet_requests_total{endpoint=\"/v1/run\",status=\"200\"} 2"));
+        assert!(text.contains("bayonet_request_seconds_bucket{endpoint=\"/v1/run\",le=\"+Inf\"} 2"));
+        assert!(text.contains("bayonet_request_seconds_count{endpoint=\"/healthz\"} 1"));
+        assert!(text.contains("bayonet_queue_depth 2"));
+        assert!(text.contains("bayonet_cache_hits_total 1"));
+        assert!(text.contains("bayonet_cache_misses_total 1"));
+        assert!(text.contains("bayonet_engine_steps_total 10"));
+        assert!(text.contains("bayonet_engine_peak_configs 7"));
+        // Every non-comment line is `name{labels} value` or `name value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (_, value) = line.rsplit_once(' ').expect("metric line");
+            assert!(value.parse::<f64>().is_ok(), "bad metric line: {line}");
+        }
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let mut h = Histogram::default();
+        h.observe(0.0005);
+        h.observe(0.02);
+        h.observe(100.0);
+        assert_eq!(h.counts[0], 1); // <= 1ms
+        assert_eq!(h.counts[3], 2); // <= 50ms
+        assert_eq!(h.counts[7], 2); // <= 5s
+        assert_eq!(h.total, 3);
+    }
+}

@@ -1,0 +1,176 @@
+//! The TCP server: accept loop, bounded job queue, fixed worker pool.
+//!
+//! The accept thread pushes connections into a bounded crossbeam channel;
+//! `threads` workers pull from it, each reading one request, running it
+//! through the shared [`Service`], and writing the response. When the queue
+//! is full the accept thread answers `503 Service Unavailable` with a
+//! `Retry-After` header itself, so overload sheds load in microseconds
+//! instead of stacking latency.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{self, TrySendError};
+
+use crate::http::{read_request, RequestError, Response};
+use crate::metrics::Metrics;
+use crate::service::{Service, DEFAULT_CACHE_ENTRIES};
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:8645`. Port 0 picks an ephemeral port
+    /// (see [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Worker threads executing inference jobs.
+    pub threads: usize,
+    /// Result-cache capacity in entries (0 disables caching).
+    pub cache_entries: usize,
+    /// Bounded queue capacity; connections beyond this get `503`.
+    pub queue_capacity: usize,
+    /// Per-connection socket read/write timeout.
+    pub io_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:8645".to_string(),
+            threads: 4,
+            cache_entries: DEFAULT_CACHE_ENTRIES,
+            queue_capacity: 64,
+            io_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// A handle to a running server.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    metrics: Arc<Metrics>,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the actual port when 0 was requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server's metrics registry.
+    pub fn metrics(&self) -> Arc<Metrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// Signals shutdown and joins all threads. In-flight requests finish;
+    /// queued connections are drained and served.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+
+    /// Blocks until the accept loop exits (i.e. forever, absent
+    /// [`ServerHandle::shutdown`] from another thread).
+    pub fn join(mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Starts the server: binds, spawns the worker pool and the accept loop.
+///
+/// # Errors
+///
+/// Fails if the address cannot be bound.
+pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let service = Arc::new(Service::new(config.cache_entries));
+    let metrics = service.metrics();
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let (tx, rx) = channel::bounded::<TcpStream>(config.queue_capacity);
+
+    let threads = config.threads.max(1);
+    let mut workers = Vec::with_capacity(threads);
+    for _ in 0..threads {
+        let rx = rx.clone();
+        let service = Arc::clone(&service);
+        let io_timeout = config.io_timeout;
+        workers.push(std::thread::spawn(move || {
+            while let Ok(stream) = rx.recv() {
+                service.metrics().queue_depth_add(-1);
+                serve_connection(&service, stream, io_timeout);
+            }
+        }));
+    }
+
+    let accept_shutdown = Arc::clone(&shutdown);
+    let accept_metrics = Arc::clone(&metrics);
+    let accept = std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            if accept_shutdown.load(Ordering::SeqCst) {
+                break; // tx drops here; workers drain and exit
+            }
+            let Ok(stream) = stream else { continue };
+            accept_metrics.queue_depth_add(1);
+            match tx.try_send(stream) {
+                Ok(()) => {}
+                Err(TrySendError::Full(mut stream)) => {
+                    accept_metrics.queue_depth_add(-1);
+                    let resp = Response::json(
+                        503,
+                        r#"{"ok":false,"error":{"kind":"overloaded","message":"job queue is full"}}"#,
+                    )
+                    .with_header("Retry-After", "1");
+                    let _ = resp.write_to(&mut stream);
+                    accept_metrics.record_request("_queue", 503, Duration::ZERO);
+                }
+                Err(TrySendError::Disconnected(_)) => break,
+            }
+        }
+    });
+
+    Ok(ServerHandle {
+        addr,
+        metrics,
+        shutdown,
+        accept: Some(accept),
+        workers,
+    })
+}
+
+fn serve_connection(service: &Service, mut stream: TcpStream, io_timeout: Duration) {
+    let _ = stream.set_read_timeout(Some(io_timeout));
+    let _ = stream.set_write_timeout(Some(io_timeout));
+    let response = match read_request(&mut stream) {
+        Ok(req) => service.handle(&req),
+        Err(RequestError::Malformed("empty request")) => return, // probe/shutdown poke
+        Err(RequestError::Io(_)) => return,
+        Err(RequestError::TooLarge) => Response::json(
+            413,
+            r#"{"ok":false,"error":{"kind":"too_large","message":"request exceeds size limits"}}"#,
+        ),
+        Err(e @ RequestError::Malformed(_)) => Response::json(
+            400,
+            format!(r#"{{"ok":false,"error":{{"kind":"bad_request","message":"{e}"}}}}"#),
+        ),
+    };
+    let _ = response.write_to(&mut stream);
+}

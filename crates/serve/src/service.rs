@@ -1,0 +1,848 @@
+//! Request routing and inference execution.
+//!
+//! The [`Service`] is the transport-independent core of the server: it maps
+//! one parsed HTTP [`Request`] to a [`Response`], running the same
+//! parse → check → compile → infer pipeline as the `bayonet` CLI. Exact
+//! results carry a `text` field rendered **byte-for-byte identically** to
+//! `bayonet run` stdout, so clients (and tests) can diff the two directly.
+//!
+//! Successful inference responses are cached in an LRU keyed by a hash of
+//! the canonically pretty-printed program, the engine, the query selection,
+//! the engine options, and the sorted parameter bindings — so textually
+//! different but structurally identical requests share cache entries. The
+//! deadline is deliberately left out of the key: a successful result is
+//! valid regardless of the budget that produced it, and error responses
+//! (including timeouts) are never cached.
+
+use std::collections::hash_map::DefaultHasher;
+use std::fmt::Write as _;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use bayonet_approx::{rejection, smc, ApproxError, ApproxOptions, Estimate};
+use bayonet_exact::{
+    analyze, answer, synthesize_result, ExactError, ExactOptions, Objective, QueryResult,
+    SynthesisOptions,
+};
+use bayonet_lang::{check, parse, pretty_program};
+use bayonet_net::{compile, scheduler_for, Deadline, Model, Scheduler};
+use bayonet_num::Rat;
+
+use crate::cache::LruCache;
+use crate::http::{Request, Response};
+use crate::json::{self, Json};
+use crate::metrics::Metrics;
+
+/// Default result-cache capacity (entries).
+pub const DEFAULT_CACHE_ENTRIES: usize = 128;
+
+/// The transport-independent request handler shared by all workers.
+pub struct Service {
+    metrics: Arc<Metrics>,
+    cache: Mutex<LruCache<u64, Response>>,
+}
+
+impl Service {
+    /// Creates a service with a result cache of `cache_entries` entries
+    /// (0 disables caching).
+    pub fn new(cache_entries: usize) -> Service {
+        Service {
+            metrics: Arc::new(Metrics::new()),
+            cache: Mutex::new(LruCache::new(cache_entries)),
+        }
+    }
+
+    /// The shared metrics registry.
+    pub fn metrics(&self) -> Arc<Metrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// Handles one request, recording request metrics.
+    pub fn handle(&self, req: &Request) -> Response {
+        let started = Instant::now();
+        let endpoint = normalize_endpoint(&req.path);
+        let response = self.route(req);
+        self.metrics
+            .record_request(endpoint, response.status, started.elapsed());
+        response
+    }
+
+    fn route(&self, req: &Request) -> Response {
+        match (req.method.as_str(), req.path.as_str()) {
+            ("GET", "/healthz") => Response::json(200, r#"{"status":"ok"}"#),
+            ("GET", "/metrics") => Response::text(200, self.metrics.render())
+                .with_content_type("text/plain; version=0.0.4; charset=utf-8"),
+            ("POST", "/v1/check") | ("POST", "/v1/run") | ("POST", "/v1/synthesize") => {
+                match self.inference(req) {
+                    Ok(resp) => resp,
+                    Err(e) => e.into_response(),
+                }
+            }
+            ("GET", "/v1/check" | "/v1/run" | "/v1/synthesize")
+            | ("POST", "/healthz" | "/metrics") => ApiError {
+                status: 405,
+                kind: "method_not_allowed",
+                message: format!("{} does not support {}", req.path, req.method),
+            }
+            .into_response(),
+            _ => ApiError {
+                status: 404,
+                kind: "not_found",
+                message: format!("no such endpoint: {}", req.path),
+            }
+            .into_response(),
+        }
+    }
+
+    fn inference(&self, req: &Request) -> Result<Response, ApiError> {
+        let parsed = InferenceRequest::from_http(req)?;
+
+        // Canonical cache key: pretty-printed program, not raw source, so
+        // formatting differences still hit.
+        let program = parse(&parsed.source).map_err(|e| ApiError {
+            status: 422,
+            kind: "parse_error",
+            message: e.to_string(),
+        })?;
+        let canonical = pretty_program(&program);
+        let key = parsed.cache_key(&req.path, &canonical);
+
+        if let Some(hit) = self.cache.lock().expect("cache mutex").get(&key).cloned() {
+            self.metrics.record_cache(true);
+            return Ok(hit);
+        }
+        self.metrics.record_cache(false);
+
+        let response = match req.path.as_str() {
+            "/v1/check" => self.check_endpoint(&parsed)?,
+            "/v1/run" => self.run_endpoint(&parsed)?,
+            "/v1/synthesize" => self.synthesize_endpoint(&parsed)?,
+            _ => unreachable!("routed"),
+        };
+        if response.status == 200 {
+            self.cache
+                .lock()
+                .expect("cache mutex")
+                .insert(key, response.clone());
+        }
+        Ok(response)
+    }
+
+    fn check_endpoint(&self, req: &InferenceRequest) -> Result<Response, ApiError> {
+        let program = parse(&req.source).expect("parsed once already");
+        match check(&program) {
+            Ok(report) => {
+                let mut text = String::new();
+                for w in &report.warnings {
+                    let _ = writeln!(text, "warning: {}", w.message);
+                }
+                let _ = writeln!(text, "ok: {} warning(s)", report.warnings.len());
+                let warnings = report
+                    .warnings
+                    .iter()
+                    .map(|w| Json::Str(w.message.clone()))
+                    .collect();
+                Ok(Response::json(
+                    200,
+                    Json::obj(vec![
+                        ("ok", Json::Bool(true)),
+                        ("warnings", Json::Arr(warnings)),
+                        ("text", Json::Str(text)),
+                    ])
+                    .to_string(),
+                ))
+            }
+            Err(errors) => {
+                let details = errors.iter().map(|e| Json::Str(e.to_string())).collect();
+                Ok(Response::json(
+                    422,
+                    Json::obj(vec![
+                        ("ok", Json::Bool(false)),
+                        (
+                            "error",
+                            Json::obj(vec![
+                                ("kind", Json::Str("check_error".into())),
+                                (
+                                    "message",
+                                    Json::Str(format!("{} integrity error(s)", errors.len())),
+                                ),
+                                ("details", Json::Arr(details)),
+                            ]),
+                        ),
+                    ])
+                    .to_string(),
+                ))
+            }
+        }
+    }
+
+    fn run_endpoint(&self, req: &InferenceRequest) -> Result<Response, ApiError> {
+        let (model, scheduler) = req.build_model()?;
+        match req.engine {
+            Engine::Exact => {
+                let opts = ExactOptions {
+                    deadline: req.deadline(),
+                    ..ExactOptions::default()
+                };
+                let analysis = analyze(&model, &*scheduler, &opts).map_err(exact_error)?;
+                self.metrics.record_engine(&analysis.stats);
+                let mut results: Vec<QueryResult> = Vec::with_capacity(model.queries.len());
+                for q in &model.queries {
+                    results
+                        .push(answer(&model, &analysis, q, opts.fm_pruning).map_err(exact_error)?);
+                }
+                let z = analysis.total_terminal_mass();
+                let discarded = analysis.total_discarded_mass();
+
+                // Byte-for-byte the stdout of `bayonet run --engine exact`.
+                let mut text = String::new();
+                for result in &results {
+                    let _ = write!(text, "{result}");
+                }
+                let _ = writeln!(text, "Z = {z} (discarded by observations: {discarded})");
+                let _ = writeln!(
+                    text,
+                    "[{} steps, {} expansions, peak {} configs, {} merge hits]",
+                    analysis.stats.steps,
+                    analysis.stats.expansions,
+                    analysis.stats.peak_configs,
+                    analysis.stats.merge_hits
+                );
+
+                let results_json = results.iter().map(query_result_json).collect();
+                Ok(Response::json(
+                    200,
+                    Json::obj(vec![
+                        ("ok", Json::Bool(true)),
+                        ("engine", Json::Str("exact".into())),
+                        ("results", Json::Arr(results_json)),
+                        ("z", Json::Str(z.to_string())),
+                        ("discarded", Json::Str(discarded.to_string())),
+                        (
+                            "stats",
+                            Json::obj(vec![
+                                ("steps", Json::Num(analysis.stats.steps as f64)),
+                                ("expansions", Json::Num(analysis.stats.expansions as f64)),
+                                (
+                                    "peak_configs",
+                                    Json::Num(analysis.stats.peak_configs as f64),
+                                ),
+                                ("merge_hits", Json::Num(analysis.stats.merge_hits as f64)),
+                                (
+                                    "terminal_configs",
+                                    Json::Num(analysis.stats.terminal_configs as f64),
+                                ),
+                            ]),
+                        ),
+                        ("text", Json::Str(text)),
+                    ])
+                    .to_string(),
+                ))
+            }
+            Engine::Smc | Engine::Rejection => {
+                let opts = ApproxOptions {
+                    particles: req.particles.unwrap_or(1000),
+                    seed: req.seed.unwrap_or(0),
+                    deadline: req.deadline(),
+                    ..ApproxOptions::default()
+                };
+                let indices: Vec<usize> = match req.query {
+                    Some(idx) => {
+                        req.check_query_index(idx, model.queries.len())?;
+                        vec![idx]
+                    }
+                    None => (0..model.queries.len()).collect(),
+                };
+                let mut text = String::new();
+                let mut estimates = Vec::new();
+                for idx in indices {
+                    let q = &model.queries[idx];
+                    let est: Estimate = match req.engine {
+                        Engine::Smc => smc(&model, &*scheduler, q, &opts),
+                        Engine::Rejection => rejection(&model, &*scheduler, q, &opts),
+                        Engine::Exact => unreachable!(),
+                    }
+                    .map_err(approx_error)?;
+                    // Byte-for-byte the stdout of `bayonet run --engine smc`.
+                    let _ = writeln!(text, "{}: {est}  (Ẑ ≈ {:.4})", q.source, est.z_estimate);
+                    estimates.push(Json::obj(vec![
+                        ("query", Json::Str(q.source.clone())),
+                        ("value", Json::Num(est.value)),
+                        ("std_error", Json::Num(est.std_error)),
+                        ("samples", Json::Num(est.samples as f64)),
+                        ("z_estimate", Json::Num(est.z_estimate)),
+                    ]));
+                }
+                Ok(Response::json(
+                    200,
+                    Json::obj(vec![
+                        ("ok", Json::Bool(true)),
+                        ("engine", Json::Str(req.engine.name().into())),
+                        ("estimates", Json::Arr(estimates)),
+                        ("text", Json::Str(text)),
+                    ])
+                    .to_string(),
+                ))
+            }
+        }
+    }
+
+    fn synthesize_endpoint(&self, req: &InferenceRequest) -> Result<Response, ApiError> {
+        let (model, scheduler) = req.build_model()?;
+        let query_idx = req.query.unwrap_or(0);
+        req.check_query_index(query_idx, model.queries.len())?;
+
+        let opts = ExactOptions {
+            deadline: req.deadline(),
+            ..ExactOptions::default()
+        };
+        let analysis = analyze(&model, &*scheduler, &opts).map_err(exact_error)?;
+        self.metrics.record_engine(&analysis.stats);
+        let result = answer(
+            &model,
+            &analysis,
+            &model.queries[query_idx],
+            opts.fm_pruning,
+        )
+        .map_err(exact_error)?;
+        let synthesis = synthesize_result(
+            &model,
+            &result,
+            SynthesisOptions {
+                objective: if req.maximize {
+                    Objective::Maximize
+                } else {
+                    Objective::Minimize
+                },
+                positive_params: !req.allow_zero_params,
+            },
+        )
+        .map_err(|e| ApiError {
+            status: 422,
+            kind: "engine_error",
+            message: e.to_string(),
+        })?;
+
+        // Byte-for-byte the stdout of `bayonet synthesize`.
+        let mut text = String::new();
+        let _ = writeln!(text, "piecewise result:");
+        let mut cells = Vec::new();
+        for (i, cell) in synthesis.result.cells.iter().enumerate() {
+            let marker = if i == synthesis.best_cell { "*" } else { " " };
+            let value = cell
+                .value
+                .as_ref()
+                .map(|v| format!("{v}"))
+                .unwrap_or_else(|| "undefined".into());
+            let _ = writeln!(text, "{marker} [{}] {value}", cell.constraint);
+            cells.push(Json::obj(vec![
+                ("constraint", Json::Str(cell.constraint.clone())),
+                (
+                    "value",
+                    cell.value
+                        .as_ref()
+                        .map(|v| Json::Str(v.to_string()))
+                        .unwrap_or(Json::Null),
+                ),
+                ("best", Json::Bool(i == synthesis.best_cell)),
+            ]));
+        }
+        let _ = writeln!(
+            text,
+            "optimal value: {} ≈ {:.4}",
+            synthesis.value,
+            synthesis.value.to_f64()
+        );
+        let _ = writeln!(text, "constraint:    {}", synthesis.constraint);
+        let _ = write!(text, "witness:      ");
+        let mut witness = Vec::new();
+        for (pid, v) in &synthesis.assignment {
+            let _ = write!(text, " {} = {v}", model.params.name(*pid));
+            witness.push((
+                model.params.name(*pid).to_string(),
+                Json::Str(v.to_string()),
+            ));
+        }
+        text.push('\n');
+
+        Ok(Response::json(
+            200,
+            Json::obj(vec![
+                ("ok", Json::Bool(true)),
+                ("best_cell", Json::Num(synthesis.best_cell as f64)),
+                ("value", Json::Str(synthesis.value.to_string())),
+                ("value_f64", Json::Num(synthesis.value.to_f64())),
+                ("constraint", Json::Str(synthesis.constraint.clone())),
+                ("witness", Json::Obj(witness)),
+                ("cells", Json::Arr(cells)),
+                ("text", Json::Str(text)),
+            ])
+            .to_string(),
+        ))
+    }
+}
+
+/// Collapses request paths onto a bounded label set, so hostile paths
+/// cannot blow up metric cardinality.
+fn normalize_endpoint(path: &str) -> &'static str {
+    match path {
+        "/healthz" => "/healthz",
+        "/metrics" => "/metrics",
+        "/v1/check" => "/v1/check",
+        "/v1/run" => "/v1/run",
+        "/v1/synthesize" => "/v1/synthesize",
+        _ => "other",
+    }
+}
+
+fn query_result_json(result: &QueryResult) -> Json {
+    let cells = result
+        .cells
+        .iter()
+        .map(|c| {
+            Json::obj(vec![
+                ("constraint", Json::Str(c.constraint.clone())),
+                (
+                    "value",
+                    c.value
+                        .as_ref()
+                        .map(|v| Json::Str(v.to_string()))
+                        .unwrap_or(Json::Null),
+                ),
+                ("z", Json::Str(c.z.to_string())),
+                ("discarded", Json::Str(c.discarded.to_string())),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("query", Json::Str(result.source.clone())),
+        ("cells", Json::Arr(cells)),
+    ])
+}
+
+/// Inference engines the service can run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Engine {
+    Exact,
+    Smc,
+    Rejection,
+}
+
+impl Engine {
+    fn name(self) -> &'static str {
+        match self {
+            Engine::Exact => "exact",
+            Engine::Smc => "smc",
+            Engine::Rejection => "rejection",
+        }
+    }
+}
+
+/// A structured API error, rendered as `{"ok":false,"error":{...}}`.
+struct ApiError {
+    status: u16,
+    kind: &'static str,
+    message: String,
+}
+
+impl ApiError {
+    fn into_response(self) -> Response {
+        Response::json(
+            self.status,
+            Json::obj(vec![
+                ("ok", Json::Bool(false)),
+                (
+                    "error",
+                    Json::obj(vec![
+                        ("kind", Json::Str(self.kind.into())),
+                        ("message", Json::Str(self.message)),
+                    ]),
+                ),
+            ])
+            .to_string(),
+        )
+    }
+}
+
+fn exact_error(e: ExactError) -> ApiError {
+    match e {
+        ExactError::Interrupted { .. } => ApiError {
+            status: 504,
+            kind: "timeout",
+            message: e.to_string(),
+        },
+        other => ApiError {
+            status: 422,
+            kind: "engine_error",
+            message: other.to_string(),
+        },
+    }
+}
+
+fn approx_error(e: ApproxError) -> ApiError {
+    match e {
+        ApproxError::Interrupted { .. } => ApiError {
+            status: 504,
+            kind: "timeout",
+            message: e.to_string(),
+        },
+        other => ApiError {
+            status: 422,
+            kind: "engine_error",
+            message: other.to_string(),
+        },
+    }
+}
+
+/// The decoded body of a `/v1/*` inference request.
+struct InferenceRequest {
+    source: String,
+    engine: Engine,
+    query: Option<usize>,
+    /// Parameter bindings, sorted by name for canonical hashing.
+    bindings: Vec<(String, Rat)>,
+    particles: Option<usize>,
+    seed: Option<u64>,
+    timeout_ms: Option<u64>,
+    maximize: bool,
+    allow_zero_params: bool,
+}
+
+impl InferenceRequest {
+    fn from_http(req: &Request) -> Result<InferenceRequest, ApiError> {
+        let bad = |message: String| ApiError {
+            status: 400,
+            kind: "bad_request",
+            message,
+        };
+        let body = req.body_str().map_err(|e| bad(e.to_string()))?;
+        let doc = json::parse(body).map_err(|e| bad(e.to_string()))?;
+        if doc.as_obj().is_none() {
+            return Err(bad("request body must be a JSON object".into()));
+        }
+
+        let known = [
+            "source",
+            "engine",
+            "query",
+            "bindings",
+            "particles",
+            "seed",
+            "timeout_ms",
+            "maximize",
+            "allow_zero_params",
+        ];
+        for (key, _) in doc.as_obj().expect("checked") {
+            if !known.contains(&key.as_str()) {
+                return Err(bad(format!("unknown request field `{key}`")));
+            }
+        }
+
+        let source = doc
+            .get("source")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("missing required string field `source`".into()))?
+            .to_string();
+        let engine = match doc.get("engine").map(|e| (e, e.as_str())) {
+            None => Engine::Exact,
+            Some((_, Some("exact"))) => Engine::Exact,
+            Some((_, Some("smc"))) => Engine::Smc,
+            Some((_, Some("rejection"))) => Engine::Rejection,
+            Some((v, _)) => return Err(bad(format!("unknown engine `{v}`"))),
+        };
+        let query = match doc.get("query") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(
+                v.as_u64()
+                    .ok_or_else(|| bad("`query` must be a nonnegative integer".into()))?
+                    as usize,
+            ),
+        };
+        let mut bindings = Vec::new();
+        match doc.get("bindings") {
+            None | Some(Json::Null) => {}
+            Some(Json::Obj(pairs)) => {
+                for (name, value) in pairs {
+                    let rat = match value {
+                        Json::Str(s) => s
+                            .parse::<Rat>()
+                            .map_err(|e| bad(format!("bad binding for `{name}`: {e}")))?,
+                        Json::Num(n) if n.fract() == 0.0 && n.abs() < 9e15 => {
+                            Rat::ratio(*n as i64, 1)
+                        }
+                        _ => {
+                            return Err(bad(format!(
+                                "binding `{name}` must be an integer or a rational string \
+                                 like \"1/2\""
+                            )))
+                        }
+                    };
+                    bindings.push((name.clone(), rat));
+                }
+            }
+            Some(_) => return Err(bad("`bindings` must be an object".into())),
+        }
+        bindings.sort_by(|a, b| a.0.cmp(&b.0));
+
+        let int_field = |name: &str| -> Result<Option<u64>, ApiError> {
+            match doc.get(name) {
+                None | Some(Json::Null) => Ok(None),
+                Some(v) => v
+                    .as_u64()
+                    .map(Some)
+                    .ok_or_else(|| bad(format!("`{name}` must be a nonnegative integer"))),
+            }
+        };
+        let bool_field = |name: &str| -> Result<bool, ApiError> {
+            match doc.get(name) {
+                None | Some(Json::Null) => Ok(false),
+                Some(v) => v
+                    .as_bool()
+                    .ok_or_else(|| bad(format!("`{name}` must be a boolean"))),
+            }
+        };
+
+        Ok(InferenceRequest {
+            source,
+            engine,
+            query,
+            bindings,
+            particles: int_field("particles")?.map(|v| v as usize),
+            seed: int_field("seed")?,
+            timeout_ms: int_field("timeout_ms")?,
+            maximize: bool_field("maximize")?,
+            allow_zero_params: bool_field("allow_zero_params")?,
+        })
+    }
+
+    fn deadline(&self) -> Deadline {
+        match self.timeout_ms {
+            Some(ms) => Deadline::after(Duration::from_millis(ms)),
+            None => Deadline::unlimited(),
+        }
+    }
+
+    fn cache_key(&self, endpoint: &str, canonical_program: &str) -> u64 {
+        let mut h = DefaultHasher::new();
+        endpoint.hash(&mut h);
+        canonical_program.hash(&mut h);
+        self.engine.name().hash(&mut h);
+        self.query.hash(&mut h);
+        self.particles.hash(&mut h);
+        self.seed.hash(&mut h);
+        self.maximize.hash(&mut h);
+        self.allow_zero_params.hash(&mut h);
+        for (name, value) in &self.bindings {
+            name.hash(&mut h);
+            value.to_string().hash(&mut h);
+        }
+        h.finish()
+    }
+
+    fn check_query_index(&self, idx: usize, len: usize) -> Result<(), ApiError> {
+        if idx < len {
+            Ok(())
+        } else {
+            Err(ApiError {
+                status: 400,
+                kind: "bad_request",
+                message: format!("query index {idx} out of range ({len} queries declared)"),
+            })
+        }
+    }
+
+    /// The CLI's `load()` pipeline: compile, apply bindings, pick the
+    /// scheduler.
+    fn build_model(&self) -> Result<(Model, Box<dyn Scheduler>), ApiError> {
+        let program = parse(&self.source).expect("parsed once already");
+        check(&program).map_err(|errors| ApiError {
+            status: 422,
+            kind: "check_error",
+            message: format!(
+                "{} integrity error(s): {}",
+                errors.len(),
+                errors
+                    .iter()
+                    .map(|e| e.to_string())
+                    .collect::<Vec<_>>()
+                    .join("; ")
+            ),
+        })?;
+        let mut model = compile(&program).map_err(|e| ApiError {
+            status: 422,
+            kind: "compile_error",
+            message: e.to_string(),
+        })?;
+        for (name, value) in &self.bindings {
+            model
+                .bind_param(name, value.clone())
+                .map_err(|e| ApiError {
+                    status: 400,
+                    kind: "bad_request",
+                    message: e.to_string(),
+                })?;
+        }
+        let scheduler = scheduler_for(&model);
+        Ok((model, scheduler))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOSSIP: &str = r#"
+        packet_fields { dst }
+        topology { nodes { A, B } links { (A, pt1) <-> (B, pt1) } }
+        programs { A -> send, B -> recv }
+        init { packet -> (A, pt1); }
+        query probability(got@B == 1);
+        def send(pkt, pt) { if flip(1/3) { fwd(1); } else { drop; } }
+        def recv(pkt, pt) state got(0) { got = 1; drop; }
+    "#;
+
+    fn post(path: &str, body: &str) -> Request {
+        Request {
+            method: "POST".into(),
+            path: path.into(),
+            headers: Vec::new(),
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    fn get(path: &str) -> Request {
+        Request {
+            method: "GET".into(),
+            path: path.into(),
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    fn body_json(resp: &Response) -> Json {
+        json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn healthz_and_unknown_routes() {
+        let svc = Service::new(4);
+        assert_eq!(svc.handle(&get("/healthz")).status, 200);
+        assert_eq!(svc.handle(&get("/nope")).status, 404);
+        assert_eq!(svc.handle(&get("/v1/run")).status, 405);
+    }
+
+    #[test]
+    fn run_exact_returns_cli_text() {
+        let svc = Service::new(4);
+        let body = Json::obj(vec![("source", Json::Str(GOSSIP.into()))]).to_string();
+        let resp = svc.handle(&post("/v1/run", &body));
+        assert_eq!(
+            resp.status,
+            200,
+            "{:?}",
+            String::from_utf8_lossy(&resp.body)
+        );
+        let doc = body_json(&resp);
+        assert_eq!(doc.get("ok").unwrap().as_bool(), Some(true));
+        let text = doc.get("text").unwrap().as_str().unwrap();
+        assert!(text.contains("1/3"), "{text}");
+        assert!(text.contains("Z = 1"), "{text}");
+        assert!(text.ends_with("merge hits]\n"), "{text}");
+    }
+
+    #[test]
+    fn identical_requests_hit_the_cache() {
+        let svc = Service::new(4);
+        let body = Json::obj(vec![("source", Json::Str(GOSSIP.into()))]).to_string();
+        let first = svc.handle(&post("/v1/run", &body));
+        // Different surface syntax, same canonical program: extra blank
+        // lines don't defeat the cache.
+        let body2 = Json::obj(vec![("source", Json::Str(format!("\n\n{GOSSIP}\n")))]).to_string();
+        let second = svc.handle(&post("/v1/run", &body2));
+        assert_eq!(first, second);
+        assert_eq!(svc.metrics().cache_counts(), (1, 1));
+    }
+
+    #[test]
+    fn errors_are_structured_and_uncached() {
+        let svc = Service::new(4);
+        let resp = svc.handle(&post("/v1/run", "not json"));
+        assert_eq!(resp.status, 400);
+        let doc = body_json(&resp);
+        assert_eq!(doc.get("ok").unwrap().as_bool(), Some(false));
+        assert_eq!(
+            doc.get("error").unwrap().get("kind").unwrap().as_str(),
+            Some("bad_request")
+        );
+
+        let bad_field = r#"{"source":"x","fuel":1}"#;
+        let resp = svc.handle(&post("/v1/run", bad_field));
+        assert_eq!(resp.status, 400);
+        assert!(String::from_utf8_lossy(&resp.body).contains("unknown request field"));
+
+        let parse_fail = Json::obj(vec![("source", Json::Str("not a program".into()))]).to_string();
+        let resp = svc.handle(&post("/v1/run", &parse_fail));
+        assert_eq!(resp.status, 422);
+        assert_eq!(
+            body_json(&resp)
+                .get("error")
+                .unwrap()
+                .get("kind")
+                .unwrap()
+                .as_str(),
+            Some("parse_error")
+        );
+        // All three failed before reaching the cache, so no hits or misses.
+        assert_eq!(svc.metrics().cache_counts(), (0, 0));
+    }
+
+    #[test]
+    fn smc_engine_estimates() {
+        let svc = Service::new(4);
+        let body = Json::obj(vec![
+            ("source", Json::Str(GOSSIP.into())),
+            ("engine", Json::Str("smc".into())),
+            ("particles", Json::Num(200.0)),
+            ("seed", Json::Num(7.0)),
+        ])
+        .to_string();
+        let resp = svc.handle(&post("/v1/run", &body));
+        assert_eq!(
+            resp.status,
+            200,
+            "{:?}",
+            String::from_utf8_lossy(&resp.body)
+        );
+        let doc = body_json(&resp);
+        let est = &doc.get("estimates").unwrap();
+        let value = est
+            .get_index(0)
+            .and_then(|e| e.get("value"))
+            .and_then(Json::as_f64)
+            .unwrap();
+        assert!((value - 1.0 / 3.0).abs() < 0.15, "estimate {value}");
+    }
+
+    #[test]
+    fn timeout_returns_structured_error() {
+        let svc = Service::new(4);
+        let body = Json::obj(vec![
+            ("source", Json::Str(GOSSIP.into())),
+            ("timeout_ms", Json::Num(0.0)),
+        ])
+        .to_string();
+        let resp = svc.handle(&post("/v1/run", &body));
+        assert_eq!(
+            resp.status,
+            504,
+            "{:?}",
+            String::from_utf8_lossy(&resp.body)
+        );
+        let doc = body_json(&resp);
+        assert_eq!(
+            doc.get("error").unwrap().get("kind").unwrap().as_str(),
+            Some("timeout")
+        );
+    }
+}

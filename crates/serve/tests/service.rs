@@ -1,0 +1,188 @@
+//! End-to-end tests of the HTTP server: a real `TcpListener` on an
+//! ephemeral port, real sockets, concurrent clients.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use bayonet_serve::{start, Json, ServerConfig};
+
+const GOSSIP: &str = r#"
+    packet_fields { dst }
+    topology { nodes { A, B } links { (A, pt1) <-> (B, pt1) } }
+    programs { A -> send, B -> recv }
+    init { packet -> (A, pt1); }
+    query probability(got@B == 1);
+    def send(pkt, pt) { if flip(1/3) { fwd(1); } else { drop; } }
+    def recv(pkt, pt) state got(0) { got = 1; drop; }
+"#;
+
+/// One-shot HTTP exchange: returns (status, headers, body).
+fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String, String) {
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    conn.set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    conn.write_all(request.as_bytes()).expect("write request");
+    let mut raw = String::new();
+    conn.read_to_string(&mut raw).expect("read response");
+    let (head, payload) = raw
+        .split_once("\r\n\r\n")
+        .expect("response has a head/body split");
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    (status, head.to_string(), payload.to_string())
+}
+
+fn run_body(source: &str) -> String {
+    Json::obj(vec![("source", Json::Str(source.into()))]).to_string()
+}
+
+#[test]
+fn concurrent_clients_all_get_exact_answers() {
+    let handle = start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 4,
+        ..ServerConfig::default()
+    })
+    .expect("start server");
+    let addr = handle.addr();
+
+    let clients: Vec<_> = (0..8)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let (status, _, body) = http(addr, "POST", "/v1/run", &run_body(GOSSIP));
+                (status, body)
+            })
+        })
+        .collect();
+    for client in clients {
+        let (status, body) = client.join().expect("client thread");
+        assert_eq!(status, 200, "{body}");
+        let doc = bayonet_serve::parse_json(&body).expect("json body");
+        assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(true));
+        let text = doc.get("text").and_then(Json::as_str).unwrap();
+        assert!(text.contains("1/3"), "{text}");
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn repeat_requests_hit_the_cache_per_metrics() {
+    let handle = start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        ..ServerConfig::default()
+    })
+    .expect("start server");
+    let addr = handle.addr();
+
+    let (status, _, first) = http(addr, "POST", "/v1/run", &run_body(GOSSIP));
+    assert_eq!(status, 200, "{first}");
+    let (status, _, second) = http(addr, "POST", "/v1/run", &run_body(GOSSIP));
+    assert_eq!(status, 200, "{second}");
+    assert_eq!(first, second);
+
+    let (status, head, metrics) = http(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    assert!(
+        head.contains("text/plain; version=0.0.4"),
+        "Prometheus content type: {head}"
+    );
+    // The second run was a cache hit: the engine ran exactly once.
+    assert!(metrics.contains("bayonet_cache_hits_total 1"), "{metrics}");
+    assert!(
+        metrics.contains("bayonet_cache_misses_total 1"),
+        "{metrics}"
+    );
+    // Prometheus text sanity: TYPE lines and nonzero counters.
+    assert!(
+        metrics.contains("# TYPE bayonet_requests_total counter"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains(r#"bayonet_requests_total{endpoint="/v1/run",status="200"} 2"#),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("bayonet_engine_expansions_total"),
+        "{metrics}"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn expired_deadline_returns_structured_timeout() {
+    let handle = start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        ..ServerConfig::default()
+    })
+    .expect("start server");
+    let addr = handle.addr();
+
+    let body = Json::obj(vec![
+        ("source", Json::Str(GOSSIP.into())),
+        ("timeout_ms", Json::Num(0.0)),
+    ])
+    .to_string();
+    let (status, _, payload) = http(addr, "POST", "/v1/run", &body);
+    assert_eq!(status, 504, "{payload}");
+    let doc = bayonet_serve::parse_json(&payload).expect("json body");
+    assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(false));
+    let error = doc.get("error").unwrap();
+    assert_eq!(error.get("kind").and_then(Json::as_str), Some("timeout"));
+    assert!(
+        error
+            .get("message")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("interrupted by deadline"),
+        "{payload}"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn overloaded_queue_sheds_load_with_503() {
+    // One worker, a one-slot queue, and a short I/O timeout so the
+    // stalled connection cannot wedge the test.
+    let handle = start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 1,
+        queue_capacity: 1,
+        io_timeout: Duration::from_secs(5),
+        ..ServerConfig::default()
+    })
+    .expect("start server");
+    let addr = handle.addr();
+
+    // Occupy the worker: connect but never send a request, so the worker
+    // blocks reading this socket.
+    let stall = TcpStream::connect(addr).expect("stall connection");
+    std::thread::sleep(Duration::from_millis(200));
+    // Fill the queue's single slot the same way.
+    let parked = TcpStream::connect(addr).expect("parked connection");
+    std::thread::sleep(Duration::from_millis(100));
+
+    // The next connection is rejected by the accept loop before any
+    // request bytes are read.
+    let mut conn = TcpStream::connect(addr).expect("overflow connection");
+    conn.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut raw = String::new();
+    conn.read_to_string(&mut raw).expect("read 503");
+    assert!(raw.starts_with("HTTP/1.1 503"), "{raw}");
+    assert!(raw.contains("Retry-After: 1"), "{raw}");
+    assert!(raw.contains(r#""kind":"overloaded""#), "{raw}");
+
+    // Release the worker and the queued slot so shutdown joins cleanly.
+    drop(stall);
+    drop(parked);
+    handle.shutdown();
+}

@@ -103,7 +103,7 @@ mod tests {
     fn one_expr_gives_three_cells() {
         let mut t = ParamTable::new();
         let x = LinExpr::param(t.intern("x"));
-        let cells = enumerate_cells(&[x.clone()]);
+        let cells = enumerate_cells(std::slice::from_ref(&x));
         assert_eq!(cells.len(), 3);
         for c in &cells {
             let w = c.witness();
@@ -137,7 +137,7 @@ mod tests {
         let gx_pos = Guard::top().assume_sign(&x, Sign::Plus).unwrap();
         let admitting: Vec<_> = cells.iter().filter(|c| c.admits(&gx_pos)).collect();
         assert_eq!(admitting.len(), 3); // one per sign of y
-        // The trivial guard is admitted by every cell.
+                                        // The trivial guard is admitted by every cell.
         assert!(cells.iter().all(|c| c.admits(&Guard::top())));
     }
 

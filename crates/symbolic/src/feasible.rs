@@ -177,22 +177,10 @@ pub fn feasibility(guard: &Guard) -> Feasibility {
     let mut witness: Assignment = BTreeMap::new();
     for elim in eliminated.iter().rev() {
         let eval = |e: &LinExpr, w: &Assignment| -> Rat {
-            e.eval(&|p| {
-                w.get(&p)
-                    .cloned()
-                    .unwrap_or_else(Rat::zero)
-            })
+            e.eval(&|p| w.get(&p).cloned().unwrap_or_else(Rat::zero))
         };
-        let lo = elim
-            .lowers
-            .iter()
-            .map(|e| eval(e, &witness))
-            .max();
-        let hi = elim
-            .uppers
-            .iter()
-            .map(|e| eval(e, &witness))
-            .min();
+        let lo = elim.lowers.iter().map(|e| eval(e, &witness)).max();
+        let hi = elim.uppers.iter().map(|e| eval(e, &witness)).min();
         let value = match (lo, hi) {
             (Some(l), Some(h)) => {
                 debug_assert!(l < h, "FM guaranteed an open interval");
@@ -317,7 +305,9 @@ mod tests {
         // Trick: use 2x to avoid the syntactic same-atom check.
         let g1 = Guard::top().assume_sign(&v[0], Sign::Zero).unwrap();
         // Same canonical atom -> None syntactically:
-        assert!(g1.assume_sign(&v[0].scale(&Rat::int(2)), Sign::Plus).is_none());
+        assert!(g1
+            .assume_sign(&v[0].scale(&Rat::int(2)), Sign::Plus)
+            .is_none());
         // x == y and x - y + 1 == 0 is a deep contradiction (1 == 0).
         let (_, v) = vars(2);
         let g = Guard::top()

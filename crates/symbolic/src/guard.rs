@@ -203,7 +203,10 @@ mod tests {
         assert_eq!(g.known_sign(&x.sub(&y)), Some(Sign::Plus));
         assert_eq!(g.known_sign(&y.sub(&x)), Some(Sign::Minus));
         assert_eq!(g.known_sign(&x), None);
-        assert_eq!(g.known_sign(&LinExpr::constant(Rat::int(-2))), Some(Sign::Minus));
+        assert_eq!(
+            g.known_sign(&LinExpr::constant(Rat::int(-2))),
+            Some(Sign::Minus)
+        );
     }
 
     #[test]
@@ -223,9 +226,7 @@ mod tests {
     #[test]
     fn display_guard() {
         let (t, x, y) = xy();
-        let g = Guard::top()
-            .assume_sign(&x.sub(&y), Sign::Zero)
-            .unwrap();
+        let g = Guard::top().assume_sign(&x.sub(&y), Sign::Zero).unwrap();
         assert_eq!(g.display(&t).to_string(), "x - y == 0");
         assert_eq!(Guard::top().display(&t).to_string(), "true");
     }

@@ -334,7 +334,10 @@ mod tests {
         let (_, a, _, _) = setup();
         let x = LinExpr::param(a).scale(&Rat::int(6));
         let half = LinExpr::constant(Rat::int(2));
-        assert_eq!(x.checked_div(&half), Some(LinExpr::param(a).scale(&Rat::int(3))));
+        assert_eq!(
+            x.checked_div(&half),
+            Some(LinExpr::param(a).scale(&Rat::int(3)))
+        );
         assert_eq!(x.checked_div(&LinExpr::zero()), None);
         assert_eq!(x.checked_div(&LinExpr::param(a)), None);
     }
@@ -412,9 +415,6 @@ mod tests {
             .add(&LinExpr::constant(Rat::int(7)));
         assert_eq!(e.display(&t).to_string(), "a - 2*b + 7");
         assert_eq!(LinExpr::zero().display(&t).to_string(), "0");
-        assert_eq!(
-            LinExpr::param(a).neg().display(&t).to_string(),
-            "-a"
-        );
+        assert_eq!(LinExpr::param(a).neg().display(&t).to_string(), "-a");
     }
 }

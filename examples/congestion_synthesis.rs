@@ -11,7 +11,10 @@ fn main() -> Result<(), bayonet::Error> {
     let network = scenarios::congestion_example(Sched::Uniform)?;
     let report = network.exact()?;
     let p = report.results[0].rat();
-    println!("§2.2  probability(pkt_cnt@H1 < 3) = {p} ≈ {:.4}", p.to_f64());
+    println!(
+        "§2.2  probability(pkt_cnt@H1 < 3) = {p} ≈ {:.4}",
+        p.to_f64()
+    );
     println!(
         "      expected packets received    = {} ≈ {:.4}",
         report.results[1].rat(),

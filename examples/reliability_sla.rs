@@ -11,7 +11,10 @@ fn main() -> Result<(), bayonet::Error> {
     let p_fail = Rat::ratio(1, 1000);
     let sla = Rat::ratio(99, 100);
     println!("link failure probability: {p_fail}; SLA: delivery ≥ {sla}");
-    println!("{:<8} {:>6} {:>22} {:>12} {:>10} {:>6}", "diamonds", "nodes", "exact", "(float)", "SMC", "SLA?");
+    println!(
+        "{:<8} {:>6} {:>22} {:>12} {:>10} {:>6}",
+        "diamonds", "nodes", "exact", "(float)", "SMC", "SLA?"
+    );
 
     for diamonds in [1usize, 2, 4, 7, 14] {
         let nodes = 2 + 4 * diamonds;

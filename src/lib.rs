@@ -69,7 +69,11 @@ pub mod testgen {
         let programs: Vec<String> = (0..n).map(|i| format!("N{i} -> prog{i}")).collect();
         let _ = writeln!(out, "programs {{ {} }}", programs.join(", "));
         let _ = writeln!(out, "queue_capacity {};", opts.queue_capacity);
-        let sched = if rng.gen_bool(0.5) { "uniform" } else { "roundrobin" };
+        let sched = if rng.gen_bool(0.5) {
+            "uniform"
+        } else {
+            "roundrobin"
+        };
         let _ = writeln!(out, "scheduler {sched};");
         let _ = writeln!(out, "init {{");
         for _ in 0..opts.init_packets {
@@ -84,7 +88,7 @@ pub mod testgen {
         let qa = rng.gen_range(0..n);
         let qb = rng.gen_range(0..n);
         let bound = rng.gen_range(0..4);
-        let op = ["<", "<=", "==", ">="][rng.gen_range(0..4)];
+        let op = ["<", "<=", "==", ">="][rng.gen_range(0..4usize)];
         let _ = writeln!(out, "query probability(cnt@N{qa} {op} {bound});");
         let _ = writeln!(out, "query expectation(cnt@N{qa} + sum_pt@N{qb});");
 
@@ -106,7 +110,7 @@ pub mod testgen {
                         let _ = writeln!(
                             out,
                             "  if pkt.tag {} {} {{ sum_pt = sum_pt + 1; }}",
-                            ["<", ">="][rng.gen_range(0..2)],
+                            ["<", ">="][rng.gen_range(0..2usize)],
                             rng.gen_range(0..4)
                         );
                     }

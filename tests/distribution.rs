@@ -21,9 +21,7 @@ fn gossip_k4_distribution_matches_analysis() {
     // Consistency: Σ p = 1 and Σ v·p equals the expectation query.
     let total: Rat = dist.iter().fold(Rat::zero(), |acc, (_, p)| acc + p);
     assert_eq!(total, Rat::one());
-    let mean: Rat = dist
-        .iter()
-        .fold(Rat::zero(), |acc, (v, p)| acc + &(v * p));
+    let mean: Rat = dist.iter().fold(Rat::zero(), |acc, (v, p)| acc + &(v * p));
     assert_eq!(mean, Rat::ratio(94, 27));
 }
 

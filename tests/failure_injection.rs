@@ -100,7 +100,10 @@ fn symbolic_probability_fails_cleanly() {
     )
     .unwrap();
     // Unbound: every engine refuses (flip needs a concrete probability).
-    assert!(matches!(n.exact(), Err(Error::Semantics(_)) | Err(Error::Exact(_))));
+    assert!(matches!(
+        n.exact(),
+        Err(Error::Semantics(_)) | Err(Error::Exact(_))
+    ));
     assert!(n.smc(0, &Default::default()).is_err());
     assert!(n.infer_via_psi(0).is_err());
     // Out-of-range binding: runtime range check fires.
@@ -116,9 +119,19 @@ fn all_mass_observed_out_is_reported_not_divided_by_zero() {
     assert!(format!("{err}").contains("Z = 0"), "{err}");
     // Sampling engines report rejection of every particle.
     let err = n
-        .smc(0, &ApproxOptions { particles: 20, seed: 1, ..Default::default() })
+        .smc(
+            0,
+            &ApproxOptions {
+                particles: 20,
+                seed: 1,
+                ..Default::default()
+            },
+        )
         .unwrap_err();
-    assert!(format!("{err}").to_lowercase().contains("rejected"), "{err}");
+    assert!(
+        format!("{err}").to_lowercase().contains("rejected"),
+        "{err}"
+    );
 }
 
 #[test]

@@ -63,11 +63,16 @@ fn random_ospf_planes_conserve_mass_and_agree_with_smc() {
             }
         };
         checked += 1;
-        let report = network.exact().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        let report = network
+            .exact()
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         assert_eq!(report.z, Rat::one(), "seed {seed}: no observes, Z = 1");
         // Delivery expectation is between 0 and the flow size.
         let e_recv = report.results[1].rat().clone();
-        assert!(e_recv >= Rat::zero() && e_recv <= Rat::int(2), "seed {seed}");
+        assert!(
+            e_recv >= Rat::zero() && e_recv <= Rat::int(2),
+            "seed {seed}"
+        );
         // SMC agrees within tolerance.
         let est = network
             .smc(
@@ -85,7 +90,10 @@ fn random_ospf_planes_conserve_mass_and_agree_with_smc() {
             "seed {seed}: exact {e_recv} vs SMC {est}"
         );
     }
-    assert!(checked >= 15, "too few random topologies survived ({checked})");
+    assert!(
+        checked >= 15,
+        "too few random topologies survived ({checked})"
+    );
 }
 
 #[test]
@@ -95,7 +103,9 @@ fn single_packet_flows_always_deliver_on_random_planes() {
     for seed in 100..120u64 {
         let mut builder = random_builder(seed);
         builder = builder.queue_capacity(2);
-        let Ok(network) = builder.build() else { continue };
+        let Ok(network) = builder.build() else {
+            continue;
+        };
         // Rebuild the flow size to 1 by... the builder API fixes it at
         // construction; instead just check E >= P(recvd >= 1) sanity:
         let report = network.exact().unwrap();

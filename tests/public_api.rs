@@ -132,7 +132,10 @@ fn synthesis_options_control_the_witness() {
 #[test]
 fn query_index_errors_are_usage_errors() {
     let n = Network::from_source(COIN_SRC).unwrap();
-    assert!(matches!(n.smc(7, &Default::default()), Err(Error::Usage(_))));
+    assert!(matches!(
+        n.smc(7, &Default::default()),
+        Err(Error::Usage(_))
+    ));
     assert!(matches!(n.infer_via_psi(7), Err(Error::Usage(_))));
 }
 
@@ -193,7 +196,5 @@ fn check_probability_implements_the_figure1_check_mode() {
     assert!(n.check_probability(9, &Rat::zero(), &Rat::one()).is_err());
     // Piecewise results are rejected with a pointer to .cells.
     let sym = scenarios::congestion_example_symbolic(Sched::Uniform).unwrap();
-    assert!(sym
-        .check_probability(0, &Rat::zero(), &Rat::one())
-        .is_err());
+    assert!(sym.check_probability(0, &Rat::zero(), &Rat::one()).is_err());
 }

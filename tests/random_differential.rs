@@ -66,7 +66,9 @@ fn psi_backend_agrees_on_random_networks() {
     };
     for seed in 0..25 {
         let network = build(seed, &opts);
-        let report = network.exact().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        let report = network
+            .exact()
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         for (idx, result) in report.results.iter().enumerate() {
             let via_psi = network
                 .infer_via_psi(idx)
@@ -92,9 +94,9 @@ fn psi_backend_agrees_with_observations() {
         let network = build(seed, &opts);
         let report = match network.exact() {
             Ok(r) => r,
-            Err(bayonet_repro::Error::Exact(
-                bayonet_exact::ExactError::AllMassObservedOut,
-            )) => continue,
+            Err(bayonet_repro::Error::Exact(bayonet_exact::ExactError::AllMassObservedOut)) => {
+                continue
+            }
             Err(e) => panic!("seed {seed}: {e}"),
         };
         let via_psi = network

