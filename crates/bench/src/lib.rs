@@ -34,6 +34,26 @@ pub fn time_exact(network: &Network, idx: usize) -> Result<Measured, Error> {
     })
 }
 
+/// Runs exact inference under explicit [`bayonet::ExactOptions`] (e.g. a
+/// thread count) and returns the value of query `idx` with timing.
+///
+/// # Errors
+///
+/// Propagates inference errors.
+pub fn time_exact_with(
+    network: &Network,
+    idx: usize,
+    opts: &bayonet::ExactOptions,
+) -> Result<Measured, Error> {
+    let t0 = Instant::now();
+    let report = network.exact_with(opts)?;
+    let elapsed = t0.elapsed();
+    Ok(Measured {
+        value: report.results[idx].rat().clone(),
+        elapsed,
+    })
+}
+
 /// Runs SMC and returns `(estimate, timing)`.
 ///
 /// # Errors

@@ -4,7 +4,7 @@
 //! ```text
 //! bayonet check <file.bay>
 //! bayonet run <file.bay> [--engine exact|smc|rejection|psi]
-//!                        [--particles N] [--seed N]
+//!                        [--particles N] [--seed N] [--threads N]
 //!                        [--scheduler uniform|det|rotor]
 //!                        [--bind NAME=VALUE]... [--stats]
 //! bayonet synthesize <file.bay> [--query N] [--maximize]
@@ -17,7 +17,7 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use bayonet::{
-    synthesize_with, ApproxOptions, DeterministicScheduler, Network, Objective, Rat,
+    synthesize_with, ApproxOptions, DeterministicScheduler, ExactOptions, Network, Objective, Rat,
     RotorScheduler, SynthesisOptions, UniformScheduler,
 };
 
@@ -35,7 +35,7 @@ fn main() -> ExitCode {
 fn usage() -> String {
     "usage: bayonet <check|run|synthesize|codegen|pretty|serve> [<file.bay>] [options]\n\
      run options: --engine exact|smc|rejection|psi|simulate  --particles N  --seed N\n\
-                  --scheduler uniform|det|rotor  --bind NAME=VALUE  --stats\n\
+                  --scheduler uniform|det|rotor  --bind NAME=VALUE  --threads N  --stats\n\
      synthesize options: --query N  --maximize  --allow-zero-params\n\
      codegen options: --target psi|webppl\n\
      serve options: --addr HOST:PORT  --threads N  --cache-entries K"
@@ -49,6 +49,7 @@ const RUN_FLAGS: &[(&str, bool)] = &[
     ("--seed", true),
     ("--scheduler", true),
     ("--bind", true),
+    ("--threads", true),
     ("--stats", false),
 ];
 const SYNTHESIZE_FLAGS: &[(&str, bool)] = &[
@@ -211,9 +212,27 @@ fn run_queries(source: &str, rest: &[String]) -> Result<(), String> {
         ..Default::default()
     };
 
+    let threads = flag_value(rest, "--threads")
+        .map(|v| match v.parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(n),
+            Ok(_) => Err("bad --threads value: must be at least 1".to_string()),
+            Err(e) => Err(format!("bad --threads value: {e}")),
+        })
+        .transpose()?
+        .unwrap_or(1);
+    if threads > 1 && engine != "exact" {
+        return Err(format!(
+            "--threads only applies to the exact engine, not `{engine}`"
+        ));
+    }
+
     match engine {
         "exact" => {
-            let report = network.exact().map_err(|e| e.to_string())?;
+            let opts = ExactOptions {
+                threads,
+                ..ExactOptions::default()
+            };
+            let report = network.exact_with(&opts).map_err(|e| e.to_string())?;
             for result in &report.results {
                 print!("{result}");
             }

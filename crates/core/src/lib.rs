@@ -67,7 +67,9 @@ pub use scenarios::Sched;
 pub use synthesis::{synthesize, synthesize_with, Objective, Synthesis, SynthesisOptions};
 
 pub use bayonet_approx::{ApproxOptions, Estimate, SimEvent, Simulation};
-pub use bayonet_exact::{CellAnswer, EngineStats, ExactOptions, QueryResult};
+pub use bayonet_exact::{
+    CellAnswer, ComputePool, EngineStats, ExactOptions, PoolStats, QueryResult,
+};
 pub use bayonet_lang::{check, parse, pretty_program};
 pub use bayonet_net::{
     scheduler_for, DeterministicScheduler, Model, QueryKind, RotorScheduler, Scheduler,

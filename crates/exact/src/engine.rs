@@ -7,9 +7,26 @@
 //! different traces can have their masses summed; that merging is what makes
 //! 30-node networks tractable. Observation failures remove mass, which is
 //! restored by normalizing with the surviving mass `Z` (paper §3.2).
+//!
+//! # Parallel expansion and determinism
+//!
+//! Large frontiers are expanded by a work-stealing crew: the frontier is cut
+//! into chunk tasks, each worker owns a deque seeded with one task, and the
+//! remaining tasks queue on a shared injector that idle workers steal from
+//! (falling back to raiding each other's deques). Expanding one
+//! configuration is independent of every other, so any schedule computes the
+//! same multiset of successors; to make the *results byte-for-bit
+//! reproducible regardless of schedule*, chunk outputs are re-assembled in
+//! chunk order and every merge ([`compress`]) sorts its output by the
+//! canonical `(GlobalConfig, Guard)` state key. A single-threaded run and an
+//! 8-thread run therefore produce identical [`Analysis`] values (identical
+//! terminals, identical statistics — only [`EngineStats::steals`] is
+//! schedule-dependent), which `crates/exact/tests/differential.rs` locks
+//! down.
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 use bayonet_num::Rat;
 use bayonet_symbolic::Guard;
@@ -19,7 +36,10 @@ use bayonet_net::{
     Scheduler, SemanticsError, Val,
 };
 
+use crossbeam::deque::{Injector, Stealer, Worker};
+
 use crate::enumerate::enumerate_eval;
+use crate::pool::ComputePool;
 
 /// Options controlling the exact engine.
 #[derive(Debug, Clone)]
@@ -35,9 +55,18 @@ pub struct ExactOptions {
     /// Merge identical configurations (the ablation switch; disabling this
     /// recovers naive trace enumeration).
     pub merge_configs: bool,
-    /// Worker threads for frontier expansion (1 = single-threaded). Large
-    /// frontiers are split into chunks expanded in parallel and merged.
+    /// Worker threads for frontier expansion (1 = single-threaded). When
+    /// [`ExactOptions::pool`] is set this is a *request*: the engine leases
+    /// up to `threads - 1` extra workers from the pool and degrades toward
+    /// single-threaded when the pool is busy. Results are identical for
+    /// every value; only wall-clock time changes.
     pub threads: usize,
+    /// Smallest frontier worth parallelizing; frontiers below this expand
+    /// sequentially even when `threads > 1` (spawn overhead dominates).
+    pub par_threshold: usize,
+    /// Shared compute pool to lease extra workers from (see
+    /// [`ComputePool`]); `None` means `threads` is taken at face value.
+    pub pool: Option<ComputePool>,
     /// Cooperative deadline/cancellation, polled between expansion batches.
     /// Defaults to unlimited.
     pub deadline: Deadline,
@@ -51,12 +80,17 @@ impl Default for ExactOptions {
             fm_pruning: true,
             merge_configs: true,
             threads: 1,
+            par_threshold: 16,
+            pool: None,
             deadline: Deadline::default(),
         }
     }
 }
 
 /// Statistics from an exact-engine run.
+///
+/// Every field except [`EngineStats::steals`] is a pure function of the
+/// model and options — independent of thread count and schedule.
 #[derive(Debug, Clone, Default)]
 pub struct EngineStats {
     /// Global steps executed (depth of the exploration).
@@ -69,6 +103,9 @@ pub struct EngineStats {
     pub merge_hits: u64,
     /// Number of distinct terminal configurations.
     pub terminal_configs: usize,
+    /// Expansion tasks stolen across worker deques (schedule-dependent;
+    /// 0 for single-threaded runs).
+    pub steals: u64,
 }
 
 /// Errors from the exact engine.
@@ -133,6 +170,10 @@ impl From<SemanticsError> for ExactError {
 }
 
 /// The exact posterior over terminal configurations.
+///
+/// `terminals` and `discarded` are sorted by canonical state key / guard,
+/// so two runs of the same model produce structurally identical values
+/// regardless of thread count.
 #[derive(Debug)]
 pub struct Analysis {
     /// Terminal configurations with their guards and unnormalized masses.
@@ -163,6 +204,10 @@ impl Analysis {
 /// How many configuration expansions to run between deadline polls.
 const DEADLINE_POLL_STRIDE: usize = 256;
 
+/// Target number of chunk tasks per parallel worker. More tasks than
+/// workers is what makes stealing effective under uneven chunk costs.
+const TASKS_PER_WORKER: usize = 4;
+
 /// A weighted set of guarded configurations. Kept as a `Vec`; merging
 /// compresses it through a hash map.
 type Weighted = Vec<(Guard, GlobalConfig, Rat)>;
@@ -173,6 +218,14 @@ struct Expansion {
     next: Weighted,
     terminal: Weighted,
     discarded: Vec<(Guard, Rat)>,
+}
+
+impl Expansion {
+    fn absorb(&mut self, part: Expansion) {
+        self.next.extend(part.next);
+        self.terminal.extend(part.terminal);
+        self.discarded.extend(part.discarded);
+    }
 }
 
 /// Expands one non-terminal configuration by one global step, appending
@@ -239,6 +292,10 @@ fn expand_config(
     Ok(())
 }
 
+/// Merges identical `(guard, config)` entries by summing their masses, then
+/// sorts by the canonical state key so the output order — and everything
+/// derived from it downstream — is independent of both hash-map iteration
+/// order and the parallel schedule that produced `items`.
 fn compress(items: Weighted, stats: &mut EngineStats) -> Weighted {
     let mut map: HashMap<(Guard, GlobalConfig), Rat> = HashMap::with_capacity(items.len());
     for (g, c, m) in items {
@@ -252,10 +309,161 @@ fn compress(items: Weighted, stats: &mut EngineStats) -> Weighted {
             }
         }
     }
-    map.into_iter().map(|((g, c), m)| (g, c, m)).collect()
+    let mut out: Weighted = map.into_iter().map(|((g, c), m)| (g, c, m)).collect();
+    out.sort_unstable_by(|(g1, c1, _), (g2, c2, _)| (c1, g1).cmp(&(c2, g2)));
+    out
+}
+
+/// One parallel expansion task: chunk `ordinal` covering
+/// `frontier[start..end]`.
+#[derive(Clone, Copy)]
+struct Task {
+    ordinal: usize,
+    start: usize,
+    end: usize,
+}
+
+/// A worker's error, tagged with the chunk it occurred in so the caller can
+/// surface the error the *sequential* engine would have hit first.
+/// Interruptions are tagged `usize::MAX` so real errors take precedence.
+type TaggedError = (usize, ExactError);
+
+/// Expands `frontier` with a work-stealing crew of `workers` threads.
+///
+/// Tasks are chunk ranges of the frontier. Each worker's deque is seeded
+/// with one task; the remainder queue on a shared injector. A worker whose
+/// deque runs dry first steals from the injector, then raids its peers —
+/// each successful steal is counted. Chunk outputs are re-assembled in
+/// ordinal order, so the merged [`Expansion`] is byte-identical to what the
+/// sequential loop produces.
+fn expand_frontier_parallel(
+    model: &Model,
+    scheduler: &dyn Scheduler,
+    frontier: &[(Guard, GlobalConfig, Rat)],
+    opts: &ExactOptions,
+    workers: usize,
+) -> Result<(Expansion, u64), TaggedError> {
+    let chunk = frontier.len().div_ceil(workers * TASKS_PER_WORKER).max(1);
+    let locals: Vec<Worker<Task>> = (0..workers).map(|_| Worker::new_fifo()).collect();
+    let stealers: Vec<Stealer<Task>> = locals.iter().map(Worker::stealer).collect();
+    let injector = Injector::new();
+    for (ordinal, start) in (0..frontier.len()).step_by(chunk).enumerate() {
+        let task = Task {
+            ordinal,
+            start,
+            end: (start + chunk).min(frontier.len()),
+        };
+        if ordinal < workers {
+            locals[ordinal].push(task);
+        } else {
+            injector.push(task);
+        }
+    }
+    // Raised by the first worker to fail (deadline or semantics), making
+    // the others abandon their remaining tasks promptly.
+    let stop = AtomicBool::new(false);
+
+    type WorkerResult = Result<(Vec<(usize, Expansion)>, u64), TaggedError>;
+    let results: Vec<WorkerResult> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = locals
+            .into_iter()
+            .enumerate()
+            .map(|(me, local)| {
+                let stealers = &stealers;
+                let injector = &injector;
+                let stop = &stop;
+                scope.spawn(move |_| -> WorkerResult {
+                    let mut done: Vec<(usize, Expansion)> = Vec::new();
+                    let mut steals = 0u64;
+                    loop {
+                        let task = local.pop().or_else(|| {
+                            injector
+                                .steal()
+                                .success()
+                                .or_else(|| {
+                                    stealers
+                                        .iter()
+                                        .enumerate()
+                                        .filter(|(victim, _)| *victim != me)
+                                        .find_map(|(_, s)| s.steal().success())
+                                })
+                                .inspect(|_| steals += 1)
+                        });
+                        let Some(task) = task else { break };
+                        let mut out = Expansion::default();
+                        for (i, (g, c, m)) in frontier[task.start..task.end].iter().enumerate() {
+                            if i % DEADLINE_POLL_STRIDE == 0 {
+                                if stop.load(Ordering::Relaxed) {
+                                    return Ok((done, steals));
+                                }
+                                if opts.deadline.expired() {
+                                    stop.store(true, Ordering::Relaxed);
+                                    return Err((
+                                        usize::MAX,
+                                        // steps/expansions are filled in by
+                                        // the caller.
+                                        ExactError::Interrupted {
+                                            steps: 0,
+                                            expansions: 0,
+                                        },
+                                    ));
+                                }
+                            }
+                            if let Err(e) = expand_config(model, scheduler, g, c, m, opts, &mut out)
+                            {
+                                stop.store(true, Ordering::Relaxed);
+                                return Err((task.ordinal, e));
+                            }
+                        }
+                        done.push((task.ordinal, out));
+                    }
+                    Ok((done, steals))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("expansion worker panicked"))
+            .collect()
+    })
+    .expect("crossbeam scope");
+
+    let mut chunks: Vec<(usize, Expansion)> = Vec::new();
+    let mut steals = 0u64;
+    let mut first_err: Option<TaggedError> = None;
+    for r in results {
+        match r {
+            Ok((done, s)) => {
+                chunks.extend(done);
+                steals += s;
+            }
+            Err((ordinal, e)) => {
+                // Keep the error from the earliest chunk — the one the
+                // sequential engine would have reported.
+                if first_err.as_ref().is_none_or(|(o, _)| ordinal < *o) {
+                    first_err = Some((ordinal, e));
+                }
+            }
+        }
+    }
+    if let Some(err) = first_err {
+        return Err(err);
+    }
+    // Deterministic merge: concatenate chunk outputs in ordinal order,
+    // exactly reproducing the sequential iteration order.
+    chunks.sort_unstable_by_key(|(ordinal, _)| *ordinal);
+    let mut merged = Expansion::default();
+    for (_, part) in chunks {
+        merged.absorb(part);
+    }
+    Ok((merged, steals))
 }
 
 /// Runs the exact engine to the termination fixpoint.
+///
+/// With `opts.threads > 1` the frontier expansion of each global step is
+/// parallelized (see [`expand_frontier_parallel`]); the returned
+/// [`Analysis`] is byte-identical to a single-threaded run.
 ///
 /// # Errors
 ///
@@ -272,6 +480,19 @@ pub fn analyze(
     // The source's `num_steps N;` bounds the exploration like the paper's
     // generated `repeat N { step() }; assert(terminated())` (Figure 10).
     let step_bound = model.num_steps.unwrap_or(opts.max_global_steps);
+
+    // Lease extra workers for the whole run: a big request holds its crew
+    // from the shared pool (degrading gracefully when the pool is busy),
+    // while `threads` is taken at face value without a pool.
+    let requested = opts.threads.max(1);
+    let lease = match &opts.pool {
+        Some(pool) if requested > 1 => Some(pool.lease(requested - 1)),
+        _ => None,
+    };
+    let workers = match &lease {
+        Some(lease) => 1 + lease.granted(),
+        None => requested,
+    };
 
     // Initial distribution: enumerate the (possibly random) state
     // initializers of every node, then build the cartesian product.
@@ -331,51 +552,25 @@ pub fn analyze(
         }
 
         stats.expansions += frontier.len() as u64;
-        let threads = opts.threads.max(1);
-        let expansion = if threads > 1 && frontier.len() >= threads * 8 {
-            // Parallel expansion: chunk the frontier, expand per thread,
-            // merge the results. Sound because expansion of one
-            // configuration is independent of every other.
-            let chunk_size = frontier.len().div_ceil(threads);
-            let results: Vec<Result<Expansion, ExactError>> = crossbeam::thread::scope(|scope| {
-                let handles: Vec<_> = frontier
-                    .chunks(chunk_size)
-                    .map(|chunk| {
-                        scope.spawn(move |_| {
-                            let mut out = Expansion::default();
-                            for (i, (g, c, m)) in chunk.iter().enumerate() {
-                                if i % DEADLINE_POLL_STRIDE == 0 && opts.deadline.expired() {
-                                    return Err(ExactError::Interrupted {
-                                        steps: 0, // filled in by the caller
-                                        expansions: 0,
-                                    });
-                                }
-                                expand_config(model, scheduler, g, c, m, opts, &mut out)?;
-                            }
-                            Ok(out)
-                        })
+        let expansion = if workers > 1 && frontier.len() >= opts.par_threshold.max(2) {
+            match expand_frontier_parallel(model, scheduler, &frontier, opts, workers) {
+                Ok((merged, steals)) => {
+                    stats.steals += steals;
+                    if let Some(pool) = &opts.pool {
+                        pool.add_steals(steals);
+                    }
+                    merged
+                }
+                Err((_, e)) => {
+                    return Err(match e {
+                        ExactError::Interrupted { .. } => ExactError::Interrupted {
+                            steps: stats.steps - 1,
+                            expansions: stats.expansions,
+                        },
+                        other => other,
                     })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("expansion worker panicked"))
-                    .collect()
-            })
-            .expect("crossbeam scope");
-            let mut merged = Expansion::default();
-            for r in results {
-                let part = r.map_err(|e| match e {
-                    ExactError::Interrupted { .. } => ExactError::Interrupted {
-                        steps: stats.steps - 1,
-                        expansions: stats.expansions,
-                    },
-                    other => other,
-                })?;
-                merged.next.extend(part.next);
-                merged.terminal.extend(part.terminal);
-                merged.discarded.extend(part.discarded);
+                }
             }
-            merged
         } else {
             let mut out = Expansion::default();
             for (i, (g, c, m)) in frontier.iter().enumerate() {
@@ -405,9 +600,11 @@ pub fn analyze(
     // on it, and it keeps the posterior small.
     let terminals = compress(terminal_acc, &mut stats);
     stats.terminal_configs = terminals.len();
+    let mut discarded: Vec<(Guard, Rat)> = discarded.into_iter().collect();
+    discarded.sort_unstable_by(|(g1, _), (g2, _)| g1.cmp(g2));
     Ok(Analysis {
         terminals: terminals.into_iter().map(|(g, c, m)| (c, g, m)).collect(),
-        discarded: discarded.into_iter().collect(),
+        discarded,
         stats,
     })
 }

@@ -37,10 +37,12 @@
 
 mod engine;
 mod enumerate;
+mod pool;
 mod query;
 mod synthesize;
 
 pub use engine::{analyze, Analysis, EngineStats, ExactError, ExactOptions};
 pub use enumerate::{enumerate_eval, Branch, ReplayDriver};
+pub use pool::{ComputePool, PoolLease, PoolStats};
 pub use query::{answer, value_distribution, CellAnswer, QueryResult, MAX_CELL_ATOMS};
 pub use synthesize::{synthesize_result, Objective, Synthesis, SynthesisError, SynthesisOptions};

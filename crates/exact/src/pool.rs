@@ -1,0 +1,232 @@
+//! A shared compute pool: bounded admission for parallel frontier expansion.
+//!
+//! The exact engine can fan a large frontier out over several worker
+//! threads ([`crate::ExactOptions::threads`]). When many inference requests
+//! run concurrently (as in `bayonet-serve`), unbounded per-request
+//! parallelism would oversubscribe the machine, so requests share one
+//! [`ComputePool`]: a request asks for extra workers and is *granted up to
+//! as many as are currently idle* ([`ComputePool::lease`]). A big request
+//! alone on the server gets the whole pool; under load everyone degrades
+//! toward single-threaded — results are byte-identical either way, only
+//! wall-clock time changes.
+//!
+//! The pool also aggregates scheduling telemetry: how many slots are busy
+//! right now (occupancy) and how many tasks were stolen across worker
+//! deques ([`ComputePool::steals`]), which the serve layer exposes as
+//! Prometheus gauges.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A cloneable handle to a shared pool of compute slots.
+///
+/// The pool does not own threads; it is an admission controller. The exact
+/// engine spawns scoped worker threads itself and uses the pool only to
+/// decide *how many* it may spawn, so slots are never blocked on and a
+/// lease can never deadlock.
+///
+/// # Examples
+///
+/// ```
+/// use bayonet_exact::ComputePool;
+///
+/// let pool = ComputePool::new(4);
+/// let big = pool.lease(3); // wants 3 extra workers, all idle -> granted 3
+/// assert_eq!(big.granted(), 3);
+/// let small = pool.lease(3); // only 1 slot left
+/// assert_eq!(small.granted(), 1);
+/// drop(big);
+/// assert_eq!(pool.busy(), 1);
+/// ```
+#[derive(Clone)]
+pub struct ComputePool {
+    inner: Arc<PoolInner>,
+}
+
+struct PoolInner {
+    capacity: usize,
+    busy: AtomicUsize,
+    steals: AtomicU64,
+    leases: AtomicU64,
+}
+
+/// A point-in-time snapshot of pool telemetry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Total compute slots.
+    pub capacity: usize,
+    /// Slots currently leased.
+    pub busy: usize,
+    /// Cumulative tasks stolen across worker deques / the shared injector.
+    pub steals: u64,
+    /// Cumulative leases granted (including zero-slot grants).
+    pub leases: u64,
+}
+
+impl ComputePool {
+    /// Creates a pool with `capacity` slots (clamped to at least 1).
+    pub fn new(capacity: usize) -> ComputePool {
+        ComputePool {
+            inner: Arc::new(PoolInner {
+                capacity: capacity.max(1),
+                busy: AtomicUsize::new(0),
+                steals: AtomicU64::new(0),
+                leases: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Total number of slots.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
+    }
+
+    /// Slots currently leased.
+    pub fn busy(&self) -> usize {
+        self.inner.busy.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative number of stolen expansion tasks.
+    pub fn steals(&self) -> u64 {
+        self.inner.steals.load(Ordering::Relaxed)
+    }
+
+    /// A telemetry snapshot.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            capacity: self.inner.capacity,
+            busy: self.busy(),
+            steals: self.steals(),
+            leases: self.inner.leases.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Grants up to `requested` idle slots, never blocking: the grant is
+    /// `min(requested, capacity - busy)` at the moment of the call and may
+    /// be zero. The slots return to the pool when the lease is dropped.
+    pub fn lease(&self, requested: usize) -> PoolLease {
+        let mut granted;
+        let mut current = self.inner.busy.load(Ordering::Relaxed);
+        loop {
+            granted = requested.min(self.inner.capacity.saturating_sub(current));
+            if granted == 0 {
+                break;
+            }
+            match self.inner.busy.compare_exchange_weak(
+                current,
+                current + granted,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => current = seen,
+            }
+        }
+        self.inner.leases.fetch_add(1, Ordering::Relaxed);
+        PoolLease {
+            pool: self.clone(),
+            granted,
+        }
+    }
+
+    /// Folds a run's steal count into the pool's cumulative counter.
+    pub fn add_steals(&self, n: u64) {
+        if n > 0 {
+            self.inner.steals.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+}
+
+impl fmt::Debug for ComputePool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.stats();
+        f.debug_struct("ComputePool")
+            .field("capacity", &s.capacity)
+            .field("busy", &s.busy)
+            .field("steals", &s.steals)
+            .finish()
+    }
+}
+
+/// An in-flight grant of compute slots; returns them on drop.
+pub struct PoolLease {
+    pool: ComputePool,
+    granted: usize,
+}
+
+impl PoolLease {
+    /// Number of extra workers this lease allows.
+    pub fn granted(&self) -> usize {
+        self.granted
+    }
+}
+
+impl Drop for PoolLease {
+    fn drop(&mut self) {
+        if self.granted > 0 {
+            self.pool
+                .inner
+                .busy
+                .fetch_sub(self.granted, Ordering::AcqRel);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leases_never_exceed_capacity() {
+        let pool = ComputePool::new(3);
+        let a = pool.lease(2);
+        let b = pool.lease(2);
+        let c = pool.lease(2);
+        assert_eq!(a.granted(), 2);
+        assert_eq!(b.granted(), 1);
+        assert_eq!(c.granted(), 0);
+        assert_eq!(pool.busy(), 3);
+        drop(b);
+        assert_eq!(pool.busy(), 2);
+        assert_eq!(pool.lease(5).granted(), 1);
+        drop(a);
+        drop(c);
+        assert_eq!(pool.busy(), 0);
+        assert_eq!(pool.stats().leases, 4);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let pool = ComputePool::new(0);
+        assert_eq!(pool.capacity(), 1);
+        assert_eq!(pool.lease(8).granted(), 1);
+    }
+
+    #[test]
+    fn steals_accumulate() {
+        let pool = ComputePool::new(2);
+        pool.add_steals(0);
+        pool.add_steals(5);
+        pool.add_steals(2);
+        assert_eq!(pool.steals(), 7);
+    }
+
+    #[test]
+    fn concurrent_leases_stay_bounded() {
+        let pool = ComputePool::new(4);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let pool = pool.clone();
+                s.spawn(move || {
+                    for _ in 0..200 {
+                        let lease = pool.lease(3);
+                        assert!(pool.busy() <= pool.capacity());
+                        drop(lease);
+                    }
+                });
+            }
+        });
+        assert_eq!(pool.busy(), 0);
+    }
+}

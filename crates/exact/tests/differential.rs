@@ -1,0 +1,237 @@
+//! Differential tests: multi-threaded exact inference must be
+//! **bit-for-bit identical** to the single-threaded engine.
+//!
+//! For every program under `examples/bay/` the posterior (terminals,
+//! discarded mass, statistics) and the rendered CLI text are compared
+//! against a `threads = 1` baseline for several worker counts, with the
+//! parallel threshold forced low so even small frontiers take the
+//! work-stealing path. The symbolic-synthesis pipeline is covered too.
+//!
+//! The `BAYONET_TEST_THREADS` environment variable adds one extra worker
+//! count to the matrix; CI runs the suite with it set to both `1` and `8`.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+
+use bayonet_exact::{
+    analyze, answer, synthesize_result, Analysis, ComputePool, ExactOptions, Objective,
+    SynthesisOptions,
+};
+use bayonet_lang::parse;
+use bayonet_net::{compile, scheduler_for, Model, Scheduler};
+use bayonet_num::Rat;
+
+fn example_dir() -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/bay"))
+}
+
+fn example_sources() -> Vec<(String, String)> {
+    let mut out: Vec<(String, String)> = fs::read_dir(example_dir())
+        .expect("examples/bay exists")
+        .filter_map(|e| {
+            let path = e.expect("dir entry").path();
+            if path.extension().is_some_and(|ext| ext == "bay") {
+                let name = path.file_name().unwrap().to_string_lossy().into_owned();
+                Some((name, fs::read_to_string(&path).expect("readable example")))
+            } else {
+                None
+            }
+        })
+        .collect();
+    out.sort();
+    assert!(!out.is_empty(), "no example programs found");
+    out
+}
+
+/// Worker counts under test: the fixed {1, 2, 8} matrix plus whatever
+/// `BAYONET_TEST_THREADS` asks for.
+fn thread_matrix() -> Vec<usize> {
+    let mut counts = vec![1, 2, 8];
+    if let Ok(v) = std::env::var("BAYONET_TEST_THREADS") {
+        let extra: usize = v
+            .parse()
+            .expect("BAYONET_TEST_THREADS must be a positive integer");
+        if !counts.contains(&extra) {
+            counts.push(extra.max(1));
+        }
+    }
+    counts
+}
+
+/// Compiles `source`, binding every declared parameter to `binding` when
+/// given (programs like `lossy_link.bay` use parameters inside `flip`,
+/// which requires concrete values; `ecmp_costs.bay` stays fully symbolic).
+fn build(source: &str, binding: Option<Rat>) -> (Model, Box<dyn Scheduler>) {
+    let program = parse(source).expect("example parses");
+    let mut model = compile(&program).expect("example compiles");
+    if let Some(value) = binding {
+        let names: Vec<String> = model
+            .params
+            .iter()
+            .map(|id| model.params.name(id).to_string())
+            .collect();
+        for name in names {
+            model.bind_param(&name, value.clone()).expect("bindable");
+        }
+    }
+    let scheduler = scheduler_for(&model);
+    (model, scheduler)
+}
+
+fn options(threads: usize) -> ExactOptions {
+    ExactOptions {
+        threads,
+        // Force the work-stealing path even on tiny frontiers, so the
+        // differential comparison actually exercises parallel expansion.
+        par_threshold: 2,
+        ..ExactOptions::default()
+    }
+}
+
+/// Runs the exact engine and renders its result exactly as `bayonet run`
+/// prints it: per-query results, the Z line, and the stats line.
+fn run_and_render(source: &str, binding: Option<Rat>, opts: &ExactOptions) -> (Analysis, String) {
+    let (model, scheduler) = build(source, binding);
+    let analysis = analyze(&model, &*scheduler, opts).expect("example analyzes");
+    let mut text = String::new();
+    for q in &model.queries {
+        let result = answer(&model, &analysis, q, opts.fm_pruning).expect("query answers");
+        let _ = write!(text, "{result}");
+    }
+    let _ = writeln!(
+        text,
+        "Z = {} (discarded by observations: {})",
+        analysis.total_terminal_mass(),
+        analysis.total_discarded_mass()
+    );
+    let _ = writeln!(
+        text,
+        "[{} steps, {} expansions, peak {} configs, {} merge hits]",
+        analysis.stats.steps,
+        analysis.stats.expansions,
+        analysis.stats.peak_configs,
+        analysis.stats.merge_hits
+    );
+    (analysis, text)
+}
+
+/// Needs a concrete parameter binding to run under the exact engine
+/// (symbolic arguments to `flip`/`uniformInt` are a semantic error).
+fn needs_binding(source: &str) -> bool {
+    let (model, scheduler) = build(source, None);
+    matches!(
+        analyze(&model, &*scheduler, &ExactOptions::default()),
+        Err(bayonet_exact::ExactError::Semantics(_))
+    )
+}
+
+/// Everything but `steals`, which is legitimately schedule-dependent.
+fn deterministic_stats(a: &Analysis) -> (u64, u64, usize, u64, usize) {
+    (
+        a.stats.steps,
+        a.stats.expansions,
+        a.stats.peak_configs,
+        a.stats.merge_hits,
+        a.stats.terminal_configs,
+    )
+}
+
+#[test]
+fn every_example_is_bit_identical_across_thread_counts() {
+    for (name, source) in example_sources() {
+        let binding = needs_binding(&source).then(|| Rat::ratio(1, 4));
+        let (baseline, baseline_text) = run_and_render(&source, binding.clone(), &options(1));
+        assert_eq!(
+            baseline.stats.steals, 0,
+            "{name}: sequential runs never steal"
+        );
+        for threads in thread_matrix() {
+            let (run, text) = run_and_render(&source, binding.clone(), &options(threads));
+            assert_eq!(
+                baseline.terminals, run.terminals,
+                "{name}: terminals diverge at {threads} threads"
+            );
+            assert_eq!(
+                baseline.discarded, run.discarded,
+                "{name}: discarded mass diverges at {threads} threads"
+            );
+            assert_eq!(
+                deterministic_stats(&baseline),
+                deterministic_stats(&run),
+                "{name}: stats diverge at {threads} threads"
+            );
+            assert_eq!(
+                baseline_text, text,
+                "{name}: rendered text diverges at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn symbolic_synthesis_is_bit_identical_across_thread_counts() {
+    let source = fs::read_to_string(example_dir().join("ecmp_costs.bay")).expect("ecmp example");
+    let synthesize = |threads: usize| -> String {
+        let opts = options(threads);
+        let (model, scheduler) = build(&source, None);
+        let analysis = analyze(&model, &*scheduler, &opts).expect("analyzes");
+        let result =
+            answer(&model, &analysis, &model.queries[0], opts.fm_pruning).expect("answers");
+        let synthesis = synthesize_result(
+            &model,
+            &result,
+            SynthesisOptions {
+                objective: Objective::Minimize,
+                positive_params: true,
+            },
+        )
+        .expect("synthesizes");
+        format!("{synthesis:?}")
+    };
+    let baseline = synthesize(1);
+    for threads in thread_matrix() {
+        assert_eq!(
+            baseline,
+            synthesize(threads),
+            "synthesis diverges at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn pool_contention_degrades_gracefully_without_changing_results() {
+    let source = fs::read_to_string(example_dir().join("gossip_k4.bay")).expect("gossip example");
+    let (_, baseline_text) = run_and_render(&source, None, &options(1));
+
+    // A busy pool: one slot total, and a standing lease hogging it, so the
+    // request's lease grants zero extra workers.
+    let pool = ComputePool::new(1);
+    let hog = pool.lease(1);
+    let starved = ExactOptions {
+        pool: Some(pool.clone()),
+        ..options(8)
+    };
+    let (_, starved_text) = run_and_render(&source, None, &starved);
+    assert_eq!(baseline_text, starved_text);
+    drop(hog);
+
+    // An idle pool grants workers; results still match and the pool's
+    // occupancy returns to zero once the run finishes.
+    let relaxed = ExactOptions {
+        pool: Some(pool.clone()),
+        ..options(8)
+    };
+    let (run, relaxed_text) = run_and_render(&source, None, &relaxed);
+    assert_eq!(baseline_text, relaxed_text);
+    assert_eq!(pool.busy(), 0);
+    // Three leases: the hog, the starved run's zero-slot grant, and the
+    // relaxed run.
+    assert_eq!(pool.stats().leases, 3);
+    // With more chunk tasks than workers, stealing must actually happen —
+    // proof the parallel path engaged.
+    assert!(
+        run.stats.steals > 0,
+        "parallel expansion never stole a task"
+    );
+}

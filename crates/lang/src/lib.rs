@@ -55,6 +55,7 @@ mod error;
 mod lexer;
 mod parser;
 mod pretty;
+pub mod testgen;
 pub mod token;
 
 pub use ast::{

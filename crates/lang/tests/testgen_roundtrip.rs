@@ -1,0 +1,30 @@
+//! Round-trip property: for every generated program, `parse → pretty →
+//! parse` succeeds and pretty-printing is a fixpoint (the canonical form
+//! the serve cache keys on is stable).
+
+use bayonet_lang::testgen::ProgramGen;
+use bayonet_lang::{check, parse, pretty_program};
+
+#[test]
+fn two_hundred_generated_programs_round_trip() {
+    for seed in 0..200u64 {
+        let source = ProgramGen::new(seed).generate();
+        let program = parse(&source).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{source}"));
+        let canonical = pretty_program(&program);
+        let reparsed = parse(&canonical).unwrap_or_else(|e| {
+            panic!("seed {seed}: canonical form fails to parse: {e}\n{canonical}")
+        });
+        assert_eq!(
+            program, reparsed,
+            "seed {seed}: pretty-printing changed the AST\n{canonical}"
+        );
+        assert_eq!(
+            canonical,
+            pretty_program(&reparsed),
+            "seed {seed}: pretty-printing is not a fixpoint"
+        );
+        // Generated programs are also semantically well-formed.
+        check(&program)
+            .unwrap_or_else(|errs| panic!("seed {seed}: integrity errors {errs:?}\n{canonical}"));
+    }
+}

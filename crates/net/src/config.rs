@@ -14,7 +14,7 @@ use crate::value::Val;
 /// The paper's ⟨σ, Q_IN, Q_OUT, s⟩ tuple — the statement component `s` is
 /// always fully evaluated between global steps because `(Run, i)` executes
 /// handlers to completion.
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct NodeConfig {
     /// State variable values (slot-indexed).
     pub state: Vec<Val>,
@@ -40,7 +40,12 @@ impl NodeConfig {
 
 /// A global network configuration: the scheduler state plus every node's
 /// local configuration.
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+///
+/// The derived ordering is structural — a canonical state key. The exact
+/// engine sorts merged frontiers and terminals by it so that exploration
+/// order (and therefore every downstream result) is independent of the
+/// parallel schedule that produced them.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct GlobalConfig {
     /// Scheduler state (0 for the stateless built-in schedulers; the rotor
     /// scheduler keeps its cursor here).

@@ -12,7 +12,10 @@ use crate::value::Val;
 
 /// A packet: values for each declared header field (by field index).
 /// A freshly created packet has all fields 0 (rule L-New).
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+///
+/// The derived ordering is structural, used only as a canonical sort key
+/// (the exact engine orders merged configurations deterministically).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct Packet {
     fields: Vec<Val>,
 }
@@ -83,7 +86,7 @@ pub type QueueEntry = (Packet, u32);
 /// assert!(!q.push_back((Packet::fresh(0), 3)));
 /// assert_eq!(q.len(), 2);
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct PktQueue {
     items: VecDeque<QueueEntry>,
     capacity: usize,

@@ -11,7 +11,7 @@ use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
 
-use bayonet_exact::EngineStats;
+use bayonet_exact::{ComputePool, EngineStats};
 
 /// Latency histogram bucket upper bounds, in seconds.
 const BUCKETS: [f64; 8] = [0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0];
@@ -48,6 +48,7 @@ struct Inner {
     engine_expansions: u64,
     engine_merge_hits: u64,
     engine_peak_configs: u64,
+    engine_steals: u64,
 }
 
 /// The service metrics registry.
@@ -55,6 +56,9 @@ struct Inner {
 pub struct Metrics {
     inner: Mutex<Inner>,
     queue_depth: AtomicI64,
+    /// Shared compute pool whose occupancy/steal gauges are exported; bound
+    /// once at service construction when parallel expansion is enabled.
+    pool: Mutex<Option<ComputePool>>,
 }
 
 impl Metrics {
@@ -94,6 +98,13 @@ impl Metrics {
         inner.engine_expansions += stats.expansions;
         inner.engine_merge_hits += stats.merge_hits;
         inner.engine_peak_configs = inner.engine_peak_configs.max(stats.peak_configs as u64);
+        inner.engine_steals += stats.steals;
+    }
+
+    /// Binds the shared compute pool whose occupancy and steal counters are
+    /// exported as `bayonet_pool_*` gauges.
+    pub fn bind_pool(&self, pool: ComputePool) {
+        *self.pool.lock().expect("pool mutex") = Some(pool);
     }
 
     /// Adjusts the queue depth gauge (±1 from the accept loop / workers).
@@ -188,6 +199,27 @@ impl Metrics {
             "bayonet_engine_peak_configs {}",
             inner.engine_peak_configs
         );
+        out.push_str(
+            "# HELP bayonet_engine_steals_total Expansion tasks stolen across worker deques.\n",
+        );
+        out.push_str("# TYPE bayonet_engine_steals_total counter\n");
+        let _ = writeln!(out, "bayonet_engine_steals_total {}", inner.engine_steals);
+
+        if let Some(pool) = self.pool.lock().expect("pool mutex").as_ref() {
+            let stats = pool.stats();
+            out.push_str("# HELP bayonet_pool_workers_total Compute-pool slots.\n");
+            out.push_str("# TYPE bayonet_pool_workers_total gauge\n");
+            let _ = writeln!(out, "bayonet_pool_workers_total {}", stats.capacity);
+            out.push_str("# HELP bayonet_pool_workers_busy Compute-pool slots currently leased.\n");
+            out.push_str("# TYPE bayonet_pool_workers_busy gauge\n");
+            let _ = writeln!(out, "bayonet_pool_workers_busy {}", stats.busy);
+            out.push_str("# HELP bayonet_pool_steals_total Tasks stolen via the shared pool.\n");
+            out.push_str("# TYPE bayonet_pool_steals_total counter\n");
+            let _ = writeln!(out, "bayonet_pool_steals_total {}", stats.steals);
+            out.push_str("# HELP bayonet_pool_leases_total Worker leases granted.\n");
+            out.push_str("# TYPE bayonet_pool_leases_total counter\n");
+            let _ = writeln!(out, "bayonet_pool_leases_total {}", stats.leases);
+        }
 
         out
     }
@@ -212,7 +244,12 @@ mod tests {
             peak_configs: 7,
             merge_hits: 3,
             terminal_configs: 2,
+            steals: 4,
         });
+        let pool = ComputePool::new(8);
+        let lease = pool.lease(3);
+        pool.add_steals(5);
+        m.bind_pool(pool);
 
         let text = m.render();
         assert!(text.contains("bayonet_requests_total{endpoint=\"/v1/run\",status=\"200\"} 2"));
@@ -223,11 +260,17 @@ mod tests {
         assert!(text.contains("bayonet_cache_misses_total 1"));
         assert!(text.contains("bayonet_engine_steps_total 10"));
         assert!(text.contains("bayonet_engine_peak_configs 7"));
+        assert!(text.contains("bayonet_engine_steals_total 4"));
+        assert!(text.contains("bayonet_pool_workers_total 8"));
+        assert!(text.contains("bayonet_pool_workers_busy 3"));
+        assert!(text.contains("bayonet_pool_steals_total 5"));
+        assert!(text.contains("bayonet_pool_leases_total 1"));
         // Every non-comment line is `name{labels} value` or `name value`.
         for line in text.lines().filter(|l| !l.starts_with('#')) {
             let (_, value) = line.rsplit_once(' ').expect("metric line");
             assert!(value.parse::<f64>().is_ok(), "bad metric line: {line}");
         }
+        drop(lease);
     }
 
     #[test]

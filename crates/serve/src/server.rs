@@ -14,6 +14,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use bayonet_exact::ComputePool;
 use crossbeam::channel::{self, TrySendError};
 
 use crate::http::{read_request, RequestError, Response};
@@ -102,12 +103,18 @@ impl ServerHandle {
 pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
-    let service = Arc::new(Service::new(config.cache_entries));
+    // One shared compute pool, sized to the worker count: a large request
+    // can borrow threads that would otherwise sit idle in the HTTP pool,
+    // and under full load everyone degrades to single-threaded.
+    let threads = config.threads.max(1);
+    let service = Arc::new(Service::with_pool(
+        config.cache_entries,
+        ComputePool::new(threads),
+    ));
     let metrics = service.metrics();
     let shutdown = Arc::new(AtomicBool::new(false));
     let (tx, rx) = channel::bounded::<TcpStream>(config.queue_capacity);
 
-    let threads = config.threads.max(1);
     let mut workers = Vec::with_capacity(threads);
     for _ in 0..threads {
         let rx = rx.clone();

@@ -10,9 +10,10 @@
 //! the canonically pretty-printed program, the engine, the query selection,
 //! the engine options, and the sorted parameter bindings — so textually
 //! different but structurally identical requests share cache entries. The
-//! deadline is deliberately left out of the key: a successful result is
-//! valid regardless of the budget that produced it, and error responses
-//! (including timeouts) are never cached.
+//! deadline and the `threads` hint are deliberately left out of the key: a
+//! successful result is valid regardless of the budget that produced it,
+//! parallel runs are bit-identical to single-threaded ones, and error
+//! responses (including timeouts) are never cached.
 
 use std::collections::hash_map::DefaultHasher;
 use std::fmt::Write as _;
@@ -22,8 +23,8 @@ use std::time::{Duration, Instant};
 
 use bayonet_approx::{rejection, smc, ApproxError, ApproxOptions, Estimate};
 use bayonet_exact::{
-    analyze, answer, synthesize_result, ExactError, ExactOptions, Objective, QueryResult,
-    SynthesisOptions,
+    analyze, answer, synthesize_result, ComputePool, ExactError, ExactOptions, Objective,
+    QueryResult, SynthesisOptions,
 };
 use bayonet_lang::{check, parse, pretty_program};
 use bayonet_net::{compile, scheduler_for, Deadline, Model, Scheduler};
@@ -37,19 +38,61 @@ use crate::metrics::Metrics;
 /// Default result-cache capacity (entries).
 pub const DEFAULT_CACHE_ENTRIES: usize = 128;
 
+/// Largest per-request `threads` value accepted before server-side
+/// clamping; anything above this is a client error rather than a hint.
+pub const MAX_REQUEST_THREADS: u64 = 64;
+
+/// Largest accepted `timeout_ms`; uncapped deadlines are expressed by
+/// omitting the field.
+pub const MAX_TIMEOUT_MS: u64 = 600_000;
+
 /// The transport-independent request handler shared by all workers.
 pub struct Service {
     metrics: Arc<Metrics>,
     cache: Mutex<LruCache<u64, Response>>,
+    /// Shared compute pool for parallel exact expansion; `None` keeps every
+    /// request single-threaded regardless of its `threads` hint.
+    pool: Option<ComputePool>,
 }
 
 impl Service {
     /// Creates a service with a result cache of `cache_entries` entries
-    /// (0 disables caching).
+    /// (0 disables caching) and no compute pool: every request runs
+    /// single-threaded.
     pub fn new(cache_entries: usize) -> Service {
         Service {
             metrics: Arc::new(Metrics::new()),
             cache: Mutex::new(LruCache::new(cache_entries)),
+            pool: None,
+        }
+    }
+
+    /// Creates a service that leases workers for parallel exact expansion
+    /// from `pool`. The pool's occupancy and steal counters are exported
+    /// through `/metrics`.
+    pub fn with_pool(cache_entries: usize, pool: ComputePool) -> Service {
+        let svc = Service {
+            metrics: Arc::new(Metrics::new()),
+            cache: Mutex::new(LruCache::new(cache_entries)),
+            pool: Some(pool.clone()),
+        };
+        svc.metrics.bind_pool(pool);
+        svc
+    }
+
+    /// Exact-engine options for one request: the per-request `threads` hint
+    /// (clamped to the pool capacity) plus the shared pool handle.
+    fn exact_options(&self, req: &InferenceRequest) -> ExactOptions {
+        let requested = req.threads.unwrap_or(1);
+        let threads = match &self.pool {
+            Some(pool) => requested.min(pool.capacity()),
+            None => 1,
+        };
+        ExactOptions {
+            deadline: req.deadline(),
+            threads,
+            pool: self.pool.clone(),
+            ..ExactOptions::default()
         }
     }
 
@@ -181,10 +224,7 @@ impl Service {
         let (model, scheduler) = req.build_model()?;
         match req.engine {
             Engine::Exact => {
-                let opts = ExactOptions {
-                    deadline: req.deadline(),
-                    ..ExactOptions::default()
-                };
+                let opts = self.exact_options(req);
                 let analysis = analyze(&model, &*scheduler, &opts).map_err(exact_error)?;
                 self.metrics.record_engine(&analysis.stats);
                 let mut results: Vec<QueryResult> = Vec::with_capacity(model.queries.len());
@@ -293,10 +333,7 @@ impl Service {
         let query_idx = req.query.unwrap_or(0);
         req.check_query_index(query_idx, model.queries.len())?;
 
-        let opts = ExactOptions {
-            deadline: req.deadline(),
-            ..ExactOptions::default()
-        };
+        let opts = self.exact_options(req);
         let analysis = analyze(&model, &*scheduler, &opts).map_err(exact_error)?;
         self.metrics.record_engine(&analysis.stats);
         let result = answer(
@@ -505,6 +542,9 @@ struct InferenceRequest {
     particles: Option<usize>,
     seed: Option<u64>,
     timeout_ms: Option<u64>,
+    /// Requested exact-engine worker threads; validated at parse time and
+    /// clamped to the server's pool capacity at execution time.
+    threads: Option<usize>,
     maximize: bool,
     allow_zero_params: bool,
 }
@@ -530,6 +570,7 @@ impl InferenceRequest {
             "particles",
             "seed",
             "timeout_ms",
+            "threads",
             "maximize",
             "allow_zero_params",
         ];
@@ -603,6 +644,23 @@ impl InferenceRequest {
             }
         };
 
+        // Bounded integer knobs: wrong type, negative, zero, and
+        // out-of-range values are all structured 400s, never silent
+        // defaults. `timeout_ms: 0` would be a deadline that has already
+        // expired, and `threads: 0` a run with no workers — both are
+        // client mistakes worth naming.
+        let bounded_field = |name: &str, lo: u64, hi: u64| -> Result<Option<u64>, ApiError> {
+            match int_field(name)? {
+                None => Ok(None),
+                Some(v) if (lo..=hi).contains(&v) => Ok(Some(v)),
+                Some(v) => Err(bad(format!(
+                    "`{name}` must be between {lo} and {hi}, got {v}"
+                ))),
+            }
+        };
+        let timeout_ms = bounded_field("timeout_ms", 1, MAX_TIMEOUT_MS)?;
+        let threads = bounded_field("threads", 1, MAX_REQUEST_THREADS)?.map(|v| v as usize);
+
         Ok(InferenceRequest {
             source,
             engine,
@@ -610,7 +668,8 @@ impl InferenceRequest {
             bindings,
             particles: int_field("particles")?.map(|v| v as usize),
             seed: int_field("seed")?,
-            timeout_ms: int_field("timeout_ms")?,
+            timeout_ms,
+            threads,
             maximize: bool_field("maximize")?,
             allow_zero_params: bool_field("allow_zero_params")?,
         })
@@ -824,12 +883,41 @@ mod tests {
         assert!((value - 1.0 / 3.0).abs() < 0.15, "estimate {value}");
     }
 
+    /// Gossip on K4 (examples/bay/gossip_k4.bay): big enough that a 1 ms
+    /// deadline reliably expires mid-exploration.
+    const GOSSIP_K4: &str = r#"
+        packet_fields { dst }
+        topology {
+            nodes { S0, S1, S2, S3 }
+            links {
+                (S0, pt1) <-> (S1, pt1), (S0, pt2) <-> (S2, pt1),
+                (S0, pt3) <-> (S3, pt1), (S1, pt2) <-> (S2, pt2),
+                (S1, pt3) <-> (S3, pt2), (S2, pt3) <-> (S3, pt3)
+            }
+        }
+        programs { S0 -> seed, S1 -> gossip, S2 -> gossip, S3 -> gossip }
+        init { packet -> (S0, pt1); }
+        query expectation(infected@S0 + infected@S1 + infected@S2 + infected@S3);
+        def seed(pkt, pt) state infected(0) {
+            if infected == 0 { infected = 1; fwd(uniformInt(1, 3)); }
+            else { drop; }
+        }
+        def gossip(pkt, pt) state infected(0) {
+            if infected == 0 {
+                infected = 1;
+                dup;
+                fwd(uniformInt(1, 3));
+                fwd(uniformInt(1, 3));
+            } else { drop; }
+        }
+    "#;
+
     #[test]
     fn timeout_returns_structured_error() {
         let svc = Service::new(4);
         let body = Json::obj(vec![
-            ("source", Json::Str(GOSSIP.into())),
-            ("timeout_ms", Json::Num(0.0)),
+            ("source", Json::Str(GOSSIP_K4.into())),
+            ("timeout_ms", Json::Num(1.0)),
         ])
         .to_string();
         let resp = svc.handle(&post("/v1/run", &body));
@@ -844,5 +932,25 @@ mod tests {
             doc.get("error").unwrap().get("kind").unwrap().as_str(),
             Some("timeout")
         );
+    }
+
+    #[test]
+    fn threads_hint_is_accepted_and_results_match_single_threaded() {
+        let single = Service::new(0);
+        let body1 = Json::obj(vec![("source", Json::Str(GOSSIP.into()))]).to_string();
+        let baseline = single.handle(&post("/v1/run", &body1));
+        assert_eq!(baseline.status, 200);
+
+        let pooled = Service::with_pool(0, ComputePool::new(4));
+        let body8 = Json::obj(vec![
+            ("source", Json::Str(GOSSIP.into())),
+            ("threads", Json::Num(8.0)),
+        ])
+        .to_string();
+        let parallel = pooled.handle(&post("/v1/run", &body8));
+        assert_eq!(parallel.status, 200);
+        // Identical posterior and identical rendered text: the threads
+        // hint must never change what a request computes.
+        assert_eq!(baseline.body, parallel.body);
     }
 }

@@ -17,6 +17,35 @@ const GOSSIP: &str = r#"
     def recv(pkt, pt) state got(0) { got = 1; drop; }
 "#;
 
+/// Gossip on K4 (examples/bay/gossip_k4.bay): heavy enough that a 1 ms
+/// deadline reliably expires mid-exploration.
+const GOSSIP_K4: &str = r#"
+    packet_fields { dst }
+    topology {
+        nodes { S0, S1, S2, S3 }
+        links {
+            (S0, pt1) <-> (S1, pt1), (S0, pt2) <-> (S2, pt1),
+            (S0, pt3) <-> (S3, pt1), (S1, pt2) <-> (S2, pt2),
+            (S1, pt3) <-> (S3, pt2), (S2, pt3) <-> (S3, pt3)
+        }
+    }
+    programs { S0 -> seed, S1 -> gossip, S2 -> gossip, S3 -> gossip }
+    init { packet -> (S0, pt1); }
+    query expectation(infected@S0 + infected@S1 + infected@S2 + infected@S3);
+    def seed(pkt, pt) state infected(0) {
+        if infected == 0 { infected = 1; fwd(uniformInt(1, 3)); }
+        else { drop; }
+    }
+    def gossip(pkt, pt) state infected(0) {
+        if infected == 0 {
+            infected = 1;
+            dup;
+            fwd(uniformInt(1, 3));
+            fwd(uniformInt(1, 3));
+        } else { drop; }
+    }
+"#;
+
 /// One-shot HTTP exchange: returns (status, headers, body).
 fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String, String) {
     let mut conn = TcpStream::connect(addr).expect("connect");
@@ -127,8 +156,8 @@ fn expired_deadline_returns_structured_timeout() {
     let addr = handle.addr();
 
     let body = Json::obj(vec![
-        ("source", Json::Str(GOSSIP.into())),
-        ("timeout_ms", Json::Num(0.0)),
+        ("source", Json::Str(GOSSIP_K4.into())),
+        ("timeout_ms", Json::Num(1.0)),
     ])
     .to_string();
     let (status, _, payload) = http(addr, "POST", "/v1/run", &body);

@@ -1,0 +1,156 @@
+//! Stress test: one large parallel request sharing the server with a burst
+//! of small concurrent requests.
+//!
+//! Locks down the pool-sharing contract: the big request leases idle
+//! workers (visible as steal/lease movement in `/metrics`), the small
+//! requests are neither deadlocked nor shed with `503`, and the pool's
+//! occupancy returns to zero when the dust settles.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use bayonet_serve::{start, Json, ServerConfig};
+
+/// Gossip on K4: the heaviest curated example — a frontier of thousands of
+/// configurations, enough for the work-stealing expander to engage.
+const GOSSIP_K4: &str = r#"
+    packet_fields { dst }
+    topology {
+        nodes { S0, S1, S2, S3 }
+        links {
+            (S0, pt1) <-> (S1, pt1), (S0, pt2) <-> (S2, pt1),
+            (S0, pt3) <-> (S3, pt1), (S1, pt2) <-> (S2, pt2),
+            (S1, pt3) <-> (S3, pt2), (S2, pt3) <-> (S3, pt3)
+        }
+    }
+    programs { S0 -> seed, S1 -> gossip, S2 -> gossip, S3 -> gossip }
+    init { packet -> (S0, pt1); }
+    query expectation(infected@S0 + infected@S1 + infected@S2 + infected@S3);
+    def seed(pkt, pt) state infected(0) {
+        if infected == 0 { infected = 1; fwd(uniformInt(1, 3)); }
+        else { drop; }
+    }
+    def gossip(pkt, pt) state infected(0) {
+        if infected == 0 {
+            infected = 1;
+            dup;
+            fwd(uniformInt(1, 3));
+            fwd(uniformInt(1, 3));
+        } else { drop; }
+    }
+"#;
+
+/// A small two-node program, parameterized by the flip weight so each
+/// burst request is a distinct cache entry (forcing real engine work).
+fn small_program(k: u64) -> String {
+    format!(
+        r#"
+        packet_fields {{ dst }}
+        topology {{ nodes {{ A, B }} links {{ (A, pt1) <-> (B, pt1) }} }}
+        programs {{ A -> send, B -> recv }}
+        init {{ packet -> (A, pt1); }}
+        query probability(got@B == 1);
+        def send(pkt, pt) {{ if flip(1/{k}) {{ fwd(1); }} else {{ drop; }} }}
+        def recv(pkt, pt) state got(0) {{ got = 1; drop; }}
+    "#
+    )
+}
+
+fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    conn.set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    conn.write_all(request.as_bytes()).expect("write request");
+    let mut raw = String::new();
+    conn.read_to_string(&mut raw).expect("read response");
+    let (head, payload) = raw.split_once("\r\n\r\n").expect("head/body split");
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    (status, payload.to_string())
+}
+
+fn metric_value(metrics: &str, name: &str) -> f64 {
+    metrics
+        .lines()
+        .find_map(|l| {
+            l.strip_prefix(name)
+                .and_then(|rest| rest.trim().parse().ok())
+        })
+        .unwrap_or_else(|| panic!("metric {name} missing:\n{metrics}"))
+}
+
+#[test]
+fn big_parallel_request_and_small_burst_coexist() {
+    let handle = start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 4,
+        ..ServerConfig::default()
+    })
+    .expect("start server");
+    let addr = handle.addr();
+
+    // The big request asks for 8 workers; the server clamps it to the
+    // 4-slot pool and lets it borrow whatever is idle.
+    let big = std::thread::spawn(move || {
+        let body = Json::obj(vec![
+            ("source", Json::Str(GOSSIP_K4.into())),
+            ("threads", Json::Num(8.0)),
+        ])
+        .to_string();
+        http(addr, "POST", "/v1/run", &body)
+    });
+
+    // A burst of distinct small requests racing the big one.
+    let burst: Vec<_> = (0..12)
+        .map(|k| {
+            std::thread::spawn(move || {
+                let body = Json::obj(vec![("source", Json::Str(small_program(k + 2)))]).to_string();
+                http(addr, "POST", "/v1/run", &body)
+            })
+        })
+        .collect();
+
+    for (k, client) in burst.into_iter().enumerate() {
+        let (status, body) = client.join().expect("small client");
+        // Small requests must never be shed or starved by the big one:
+        // the queue is deep enough and the pool lease never blocks.
+        assert_eq!(status, 200, "small request {k} failed: {body}");
+        let doc = bayonet_serve::parse_json(&body).expect("json body");
+        assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(true));
+    }
+    let (status, body) = big.join().expect("big client");
+    assert_eq!(status, 200, "big request failed: {body}");
+    let doc = bayonet_serve::parse_json(&body).expect("json body");
+    let text = doc.get("text").and_then(Json::as_str).unwrap();
+    assert!(text.contains("94/27"), "wrong posterior: {text}");
+
+    // The pool saw the action: workers were leased, tasks were stolen, and
+    // every slot was returned.
+    let (status, metrics) = http(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    assert_eq!(metric_value(&metrics, "bayonet_pool_workers_total"), 4.0);
+    assert_eq!(metric_value(&metrics, "bayonet_pool_workers_busy"), 0.0);
+    assert!(
+        metric_value(&metrics, "bayonet_pool_leases_total") >= 1.0,
+        "{metrics}"
+    );
+    assert!(
+        metric_value(&metrics, "bayonet_pool_steals_total") > 0.0,
+        "the big request never engaged the work-stealing expander:\n{metrics}"
+    );
+    assert!(
+        metric_value(&metrics, "bayonet_engine_steals_total") > 0.0,
+        "{metrics}"
+    );
+
+    handle.shutdown();
+}

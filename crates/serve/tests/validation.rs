@@ -1,0 +1,139 @@
+//! Table-driven request-validation tests: malformed `threads` and
+//! `timeout_ms` values must produce structured `400` responses — never a
+//! panic, and never a silent fall-back to the default.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use bayonet_serve::{parse_json, start, Json, ServerConfig};
+
+const TINY: &str = r#"
+    packet_fields { dst }
+    topology { nodes { A, B } links { (A, pt1) <-> (B, pt1) } }
+    programs { A -> send, B -> recv }
+    init { packet -> (A, pt1); }
+    query probability(got@B == 1);
+    def send(pkt, pt) { if flip(1/3) { fwd(1); } else { drop; } }
+    def recv(pkt, pt) state got(0) { got = 1; drop; }
+"#;
+
+fn http(addr: SocketAddr, body: &str) -> (u16, String) {
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    conn.set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    let request = format!(
+        "POST /v1/run HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    conn.write_all(request.as_bytes()).expect("write request");
+    let mut raw = String::new();
+    conn.read_to_string(&mut raw).expect("read response");
+    let (head, payload) = raw.split_once("\r\n\r\n").expect("head/body split");
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    (status, payload.to_string())
+}
+
+/// Raw request body with `source` set to the tiny program and one extra
+/// field spliced in verbatim (so the table can express wrong types,
+/// fractions, and negatives that `Json` builders would normalize away).
+fn body_with(field: &str) -> String {
+    let source = Json::Str(TINY.into()).to_string();
+    format!("{{\"source\":{source},{field}}}")
+}
+
+#[test]
+fn malformed_knobs_are_structured_400s() {
+    #[rustfmt::skip]
+    let cases: &[(&str, &str)] = &[
+        // (raw field, expected message fragment)
+        ("\"threads\":0",            "`threads` must be between 1 and 64, got 0"),
+        ("\"threads\":65",           "`threads` must be between 1 and 64, got 65"),
+        ("\"threads\":1000000000",   "`threads` must be between 1 and 64"),
+        ("\"threads\":-1",           "`threads` must be a nonnegative integer"),
+        ("\"threads\":1.5",          "`threads` must be a nonnegative integer"),
+        ("\"threads\":\"four\"",     "`threads` must be a nonnegative integer"),
+        ("\"threads\":true",         "`threads` must be a nonnegative integer"),
+        ("\"threads\":[2]",          "`threads` must be a nonnegative integer"),
+        ("\"timeout_ms\":0",         "`timeout_ms` must be between 1 and 600000, got 0"),
+        ("\"timeout_ms\":600001",    "`timeout_ms` must be between 1 and 600000"),
+        ("\"timeout_ms\":-5",        "`timeout_ms` must be a nonnegative integer"),
+        ("\"timeout_ms\":0.25",      "`timeout_ms` must be a nonnegative integer"),
+        ("\"timeout_ms\":\"1s\"",    "`timeout_ms` must be a nonnegative integer"),
+        ("\"timeout_ms\":{}",        "`timeout_ms` must be a nonnegative integer"),
+        ("\"thread\":2",             "unknown request field `thread`"),
+    ];
+
+    let handle = start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        ..ServerConfig::default()
+    })
+    .expect("start server");
+    let addr = handle.addr();
+
+    for (field, expected) in cases {
+        let (status, body) = http(addr, &body_with(field));
+        assert_eq!(status, 400, "case {field}: expected 400, got body {body}");
+        let doc =
+            parse_json(&body).unwrap_or_else(|e| panic!("case {field}: bad json {e}: {body}"));
+        assert_eq!(
+            doc.get("ok").and_then(Json::as_bool),
+            Some(false),
+            "case {field}: {body}"
+        );
+        let error = doc
+            .get("error")
+            .unwrap_or_else(|| panic!("case {field}: no error object: {body}"));
+        assert_eq!(
+            error.get("kind").and_then(Json::as_str),
+            Some("bad_request"),
+            "case {field}: {body}"
+        );
+        let message = error.get("message").and_then(Json::as_str).unwrap_or("");
+        assert!(
+            message.contains(expected),
+            "case {field}: message {message:?} does not mention {expected:?}"
+        );
+    }
+
+    handle.shutdown();
+}
+
+#[test]
+fn edge_values_are_accepted_not_rejected() {
+    let handle = start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 2,
+        ..ServerConfig::default()
+    })
+    .expect("start server");
+    let addr = handle.addr();
+
+    // Boundary values inside the contract must work; `threads` beyond the
+    // pool is clamped (not rejected), and `null` means "not provided".
+    for field in [
+        "\"threads\":1",
+        "\"threads\":64",
+        "\"threads\":null",
+        "\"timeout_ms\":600000",
+        "\"timeout_ms\":null",
+    ] {
+        let (status, body) = http(addr, &body_with(field));
+        assert_eq!(status, 200, "case {field}: {body}");
+        let doc = parse_json(&body).expect("json body");
+        assert_eq!(
+            doc.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "case {field}: {body}"
+        );
+        let text = doc.get("text").and_then(Json::as_str).unwrap();
+        assert!(text.contains("1/3"), "case {field}: {text}");
+    }
+
+    handle.shutdown();
+}

@@ -32,7 +32,7 @@ use crate::param::ParamTable;
 /// let neg2x = x.scale(&Rat::int(-2));
 /// assert_eq!(g.assume_sign(&neg2x, Sign::Minus), Some(g.clone()));
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 pub struct Guard {
     atoms: BTreeMap<LinExpr, Sign>,
 }

@@ -225,6 +225,150 @@ pub mod channel {
     }
 }
 
+/// Work-stealing deques (crossbeam-deque API subset).
+///
+/// A [`deque::Worker`] is an owner-side queue; [`deque::Stealer`] handles
+/// take work from the opposite end; a [`deque::Injector`] is a shared
+/// global queue every worker can steal from. The real crate is lock-free;
+/// this stand-in uses a mutex per queue, which is fine when each task
+/// carries substantial work (as the exact engine's expansion chunks do).
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// Result of a steal attempt.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The queue was empty.
+        Empty,
+        /// One task was stolen.
+        Success(T),
+        /// The operation lost a race and may be retried.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// Extracts the stolen task, if any.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                _ => None,
+            }
+        }
+    }
+
+    /// The owner side of a work-stealing deque (FIFO flavour).
+    pub struct Worker<T> {
+        inner: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    /// A handle that steals from the back of a [`Worker`]'s deque.
+    pub struct Stealer<T> {
+        inner: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Default for Worker<T> {
+        fn default() -> Self {
+            Worker::new_fifo()
+        }
+    }
+
+    impl<T> Worker<T> {
+        /// Creates an empty FIFO worker queue.
+        pub fn new_fifo() -> Worker<T> {
+            Worker {
+                inner: Arc::new(Mutex::new(VecDeque::new())),
+            }
+        }
+
+        /// Pushes a task onto the owner's end.
+        pub fn push(&self, task: T) {
+            self.inner.lock().expect("deque poisoned").push_back(task);
+        }
+
+        /// Pops the next task from the owner's end (front, FIFO).
+        pub fn pop(&self) -> Option<T> {
+            self.inner.lock().expect("deque poisoned").pop_front()
+        }
+
+        /// Whether the deque is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.inner.lock().expect("deque poisoned").is_empty()
+        }
+
+        /// Creates a [`Stealer`] for this deque.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Steals one task from the victim's back end.
+        pub fn steal(&self) -> Steal<T> {
+            match self.inner.lock().expect("deque poisoned").pop_back() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+    }
+
+    /// A shared global queue of tasks, stealable by every worker.
+    pub struct Injector<T> {
+        inner: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Injector::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        /// Creates an empty injector.
+        pub fn new() -> Injector<T> {
+            Injector {
+                inner: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Pushes a task onto the global queue.
+        pub fn push(&self, task: T) {
+            self.inner
+                .lock()
+                .expect("injector poisoned")
+                .push_back(task);
+        }
+
+        /// Steals one task from the global queue.
+        pub fn steal(&self) -> Steal<T> {
+            match self.inner.lock().expect("injector poisoned").pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Whether the global queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.inner.lock().expect("injector poisoned").is_empty()
+        }
+
+        /// Number of queued tasks.
+        pub fn len(&self) -> usize {
+            self.inner.lock().expect("injector poisoned").len()
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::channel::{bounded, TrySendError};
@@ -263,6 +407,29 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(20));
         drop(tx);
         assert!(t.join().unwrap().is_err());
+    }
+
+    #[test]
+    fn deque_owner_pops_fifo_and_stealers_take_the_back() {
+        use super::deque::{Injector, Steal, Worker};
+        let w = Worker::new_fifo();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        let s = w.stealer();
+        assert_eq!(s.steal(), Steal::Success(3)); // opposite end
+        assert_eq!(w.pop(), Some(1));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+        assert_eq!(s.steal(), Steal::Empty);
+
+        let inj = Injector::new();
+        inj.push(10);
+        inj.push(11);
+        assert_eq!(inj.len(), 2);
+        assert_eq!(inj.steal(), Steal::Success(10));
+        assert_eq!(inj.steal().success(), Some(11));
+        assert!(inj.is_empty());
     }
 
     #[test]
