@@ -11,6 +11,7 @@
 //! bayonet codegen <file.bay> [--target psi|webppl]
 //! bayonet pretty <file.bay>
 //! bayonet serve [--addr A] [--threads N] [--cache-entries K]
+//!               [--cache-dir DIR] [--cache-max-bytes N]
 //! ```
 
 use std::process::ExitCode;
@@ -38,7 +39,8 @@ fn usage() -> String {
                   --scheduler uniform|det|rotor  --bind NAME=VALUE  --threads N  --stats\n\
      synthesize options: --query N  --maximize  --allow-zero-params\n\
      codegen options: --target psi|webppl\n\
-     serve options: --addr HOST:PORT  --threads N  --cache-entries K"
+     serve options: --addr HOST:PORT  --threads N  --cache-entries K\n\
+                    --cache-dir DIR  --cache-max-bytes N"
         .to_string()
 }
 
@@ -65,6 +67,8 @@ const SERVE_FLAGS: &[(&str, bool)] = &[
     ("--addr", true),
     ("--threads", true),
     ("--cache-entries", true),
+    ("--cache-dir", true),
+    ("--cache-max-bytes", true),
 ];
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -312,6 +316,14 @@ fn serve_cmd(rest: &[String]) -> Result<(), String> {
         config.cache_entries = entries
             .parse()
             .map_err(|e| format!("bad --cache-entries value: {e}"))?;
+    }
+    if let Some(dir) = flag_value(rest, "--cache-dir") {
+        config.cache_dir = Some(dir.into());
+    }
+    if let Some(max) = flag_value(rest, "--cache-max-bytes") {
+        config.cache_max_bytes = max
+            .parse()
+            .map_err(|e| format!("bad --cache-max-bytes value: {e}"))?;
     }
     let handle = bayonet_serve::start(config).map_err(|e| format!("cannot start server: {e}"))?;
     eprintln!("bayonet-serve listening on http://{}", handle.addr());

@@ -1,0 +1,215 @@
+//! Crash/restart harness for the persistent result cache, driven through
+//! the real `bayonet serve` binary: populate the cache over HTTP, SIGKILL
+//! the process (no graceful flush), restart on the same `--cache-dir`, and
+//! require a byte-identical cache hit with zero recomputation. A second
+//! case corrupts the segment (bit flip + torn tail) and requires the
+//! damaged records to be skipped and counted, never fatal.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+const TINY: &str = r#"
+    packet_fields { dst }
+    topology { nodes { A, B } links { (A, pt1) <-> (B, pt1) } }
+    programs { A -> send, B -> recv }
+    init { packet -> (A, pt1); }
+    query probability(got@B == 1);
+    def send(pkt, pt) { if flip(1/3) { fwd(1); } else { drop; } }
+    def recv(pkt, pt) state got(0) { got = 1; drop; }
+"#;
+
+/// A spawned `bayonet serve` child; killed on drop so a failing assertion
+/// never leaks a listener.
+struct Server {
+    child: Child,
+    addr: SocketAddr,
+}
+
+impl Server {
+    /// Spawns `bayonet serve --addr 127.0.0.1:0 --cache-dir <dir>` and
+    /// parses the bound address from the startup line on stderr.
+    fn spawn(dir: &Path) -> Server {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_bayonet"))
+            .args([
+                "serve",
+                "--addr",
+                "127.0.0.1:0",
+                "--cache-dir",
+                dir.to_str().expect("utf8 dir"),
+            ])
+            .stdout(Stdio::null())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn bayonet serve");
+        let stderr = child.stderr.take().expect("piped stderr");
+        let mut line = String::new();
+        BufReader::new(stderr)
+            .read_line(&mut line)
+            .expect("read startup line");
+        let addr = line
+            .trim()
+            .rsplit("http://")
+            .next()
+            .unwrap_or_else(|| panic!("no address in startup line {line:?}"))
+            .parse()
+            .unwrap_or_else(|e| panic!("bad address in {line:?}: {e}"));
+        Server { child, addr }
+    }
+
+    /// SIGKILL — the whole point: no destructors, no flush, no fsync
+    /// beyond what the write-behind thread already did per record.
+    fn kill(mut self) {
+        self.child.kill().expect("kill server");
+        self.child.wait().expect("reap server");
+        std::mem::forget(self);
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn unique_dir(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "bayonet-crash-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn request(addr: SocketAddr, head: &str, body: &str) -> (u16, String) {
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    conn.set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    let request = format!("{head}Content-Length: {}\r\n\r\n{body}", body.len());
+    conn.write_all(request.as_bytes()).expect("write request");
+    let mut raw = String::new();
+    conn.read_to_string(&mut raw).expect("read response");
+    let (head, payload) = raw.split_once("\r\n\r\n").expect("head/body split");
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    (status, payload.to_string())
+}
+
+fn post_run(addr: SocketAddr, source: &str) -> (u16, String) {
+    let body = bayonet_serve::Json::obj(vec![("source", bayonet_serve::Json::Str(source.into()))])
+        .to_string();
+    request(addr, "POST /v1/run HTTP/1.1\r\nHost: test\r\n", &body)
+}
+
+fn metrics(addr: SocketAddr) -> String {
+    let (status, body) = request(addr, "GET /metrics HTTP/1.1\r\nHost: test\r\n", "");
+    assert_eq!(status, 200, "{body}");
+    body
+}
+
+fn metric(text: &str, name: &str) -> u64 {
+    text.lines()
+        .find_map(|line| line.strip_prefix(&format!("{name} ")))
+        .unwrap_or_else(|| panic!("metric {name} missing from:\n{text}"))
+        .trim()
+        .parse()
+        .unwrap_or_else(|e| panic!("metric {name} not an integer: {e}"))
+}
+
+/// Polls `/metrics` until the record is durably on disk (the writes
+/// counter only moves after the per-record fsync), so SIGKILL immediately
+/// afterwards cannot lose it.
+fn await_durable_writes(addr: SocketAddr, want: u64) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if metric(&metrics(addr), "bayonet_cache_persist_writes_total") >= want {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "record never became durable (writes_total < {want})"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn sigkill_then_restart_serves_cached_bytes_without_recomputation() {
+    let dir = unique_dir("warm");
+
+    let server = Server::spawn(&dir);
+    let (status, first) = post_run(server.addr, TINY);
+    assert_eq!(status, 200, "{first}");
+    await_durable_writes(server.addr, 1);
+    server.kill();
+
+    let server = Server::spawn(&dir);
+    let text = metrics(server.addr);
+    assert!(metric(&text, "bayonet_cache_persist_load_ok_total") >= 1);
+    assert_eq!(metric(&text, "bayonet_cache_persist_load_corrupt_total"), 0);
+
+    let (status, second) = post_run(server.addr, TINY);
+    assert_eq!(status, 200, "{second}");
+    assert_eq!(
+        first, second,
+        "result after crash+restart must be byte-identical"
+    );
+
+    // The hit came straight from the warm-loaded cache: no engine work.
+    let text = metrics(server.addr);
+    assert_eq!(metric(&text, "bayonet_cache_hits_total"), 1);
+    assert_eq!(metric(&text, "bayonet_engine_expansions_total"), 0);
+    server.kill();
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupted_segment_is_skipped_counted_and_survivable() {
+    let dir = unique_dir("corrupt");
+
+    let server = Server::spawn(&dir);
+    let (status, original) = post_run(server.addr, TINY);
+    assert_eq!(status, 200, "{original}");
+    await_durable_writes(server.addr, 1);
+    server.kill();
+
+    // Damage the segment two ways at once: flip a bit inside the first
+    // record's payload (offset 24 = 8-byte header + 8-byte frame + start
+    // of the keyed payload) and tear the tail as a mid-append crash would.
+    let segment = dir.join(bayonet_serve::SEGMENT_FILE);
+    let mut bytes = std::fs::read(&segment).expect("read segment");
+    assert!(bytes.len() > 32, "segment too small: {}", bytes.len());
+    bytes[30] ^= 0x01;
+    bytes.truncate(bytes.len() - 2);
+    std::fs::write(&segment, &bytes).expect("rewrite segment");
+
+    let server = Server::spawn(&dir);
+    let text = metrics(server.addr);
+    assert!(
+        metric(&text, "bayonet_cache_persist_load_corrupt_total") > 0,
+        "corruption must be counted:\n{text}"
+    );
+    assert_eq!(metric(&text, "bayonet_cache_persist_load_ok_total"), 0);
+
+    // The server stays healthy and recomputes the exact same answer.
+    let (status, recomputed) = post_run(server.addr, TINY);
+    assert_eq!(status, 200, "{recomputed}");
+    assert_eq!(original, recomputed);
+    let text = metrics(server.addr);
+    assert_eq!(metric(&text, "bayonet_cache_hits_total"), 0);
+    assert!(metric(&text, "bayonet_engine_expansions_total") > 0);
+    server.kill();
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

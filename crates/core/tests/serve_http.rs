@@ -62,12 +62,26 @@ fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
     (status, payload.to_string())
 }
 
+/// An ephemeral-port server; honors `BAYONET_TEST_CACHE_DIR` so the CLI
+/// parity suite also runs with the persistent cache enabled (persistence
+/// must never change a rendered byte).
 fn server() -> ServerHandle {
-    start(ServerConfig {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let mut config = ServerConfig {
         addr: "127.0.0.1:0".into(),
         ..ServerConfig::default()
-    })
-    .expect("start server")
+    };
+    if let Ok(root) = std::env::var("BAYONET_TEST_CACHE_DIR") {
+        if !root.is_empty() {
+            config.cache_dir = Some(PathBuf::from(root).join(format!(
+                "serve-http-{}-{}",
+                std::process::id(),
+                SEQ.fetch_add(1, Ordering::Relaxed)
+            )));
+        }
+    }
+    start(config).expect("start server")
 }
 
 fn text_field(payload: &str) -> String {

@@ -462,7 +462,7 @@ fn expand_frontier_parallel(
 /// Runs the exact engine to the termination fixpoint.
 ///
 /// With `opts.threads > 1` the frontier expansion of each global step is
-/// parallelized (see [`expand_frontier_parallel`]); the returned
+/// parallelized via per-worker deques with work stealing; the returned
 /// [`Analysis`] is byte-identical to a single-threaded run.
 ///
 /// # Errors

@@ -1,0 +1,110 @@
+//! Crash-safe filesystem primitives: durable writes and atomic replace.
+//!
+//! The serve layer's persistent result cache (and anything else that wants
+//! its on-disk state to survive `SIGKILL`) builds on two guarantees:
+//!
+//! * [`atomic_write`] — a whole-file replace that is all-or-nothing: the
+//!   destination either keeps its old contents or holds the complete new
+//!   bytes, never a torn mixture. Implemented as write-to-temp + `fsync` +
+//!   `rename` + directory `fsync`.
+//! * [`fsync_dir`] — flushes a directory so a freshly created or renamed
+//!   entry survives power loss, not just the file data itself.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Flushes directory metadata so renames and newly created files within
+/// `dir` are durable.
+///
+/// On platforms where directories cannot be opened for syncing this is a
+/// no-op rather than an error.
+///
+/// # Errors
+///
+/// Propagates the underlying open/sync failure on Unix.
+pub fn fsync_dir(dir: &Path) -> io::Result<()> {
+    #[cfg(unix)]
+    {
+        File::open(dir)?.sync_all()
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = dir;
+        Ok(())
+    }
+}
+
+/// Atomically replaces `path` with `bytes`.
+///
+/// The bytes are written to a uniquely named temp file in the same
+/// directory, synced to disk, and renamed over `path`; the directory is
+/// then synced so the rename itself is durable. A crash at any point
+/// leaves either the old file or the complete new one.
+///
+/// # Errors
+///
+/// Propagates I/O failures; on failure the temp file is removed
+/// best-effort and `path` is untouched.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = path.parent().unwrap_or_else(|| Path::new("."));
+    let base = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?;
+    let tmp = dir.join(format!(
+        ".{}.tmp.{}.{}",
+        base.to_string_lossy(),
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let write_all = (|| {
+        let mut f = OpenOptions::new().write(true).create_new(true).open(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()
+    })();
+    if let Err(e) = write_all {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
+    if let Err(e) = std::fs::rename(&tmp, path) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
+    fsync_dir(dir)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("bayonet-fsio-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn atomic_write_creates_and_replaces() {
+        let dir = temp_dir("replace");
+        let path = dir.join("state.bin");
+        atomic_write(&path, b"one").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"one");
+        atomic_write(&path, b"two").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"two");
+        // No temp droppings left behind.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains("tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn atomic_write_rejects_bare_root() {
+        assert!(atomic_write(Path::new("/"), b"x").is_err());
+    }
+}

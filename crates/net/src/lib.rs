@@ -44,6 +44,7 @@ mod compile;
 mod config;
 mod deadline;
 mod error;
+mod fsio;
 mod global;
 mod handler;
 mod queue;
@@ -57,6 +58,7 @@ pub use compile::{
 pub use config::{Action, GlobalConfig, NodeConfig};
 pub use deadline::{CancelHandle, Deadline};
 pub use error::SemanticsError;
+pub use fsio::{atomic_write, fsync_dir};
 pub use global::{deliver, initial_config};
 pub use handler::{
     apply_binop, build_init_packet, compare, eval_query_expr, eval_state_init, run_handler,

@@ -26,6 +26,7 @@ pub struct LruCache<K, V> {
     capacity: usize,
     hits: u64,
     misses: u64,
+    evictions: u64,
 }
 
 impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
@@ -41,6 +42,7 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
             capacity,
             hits: 0,
             misses: 0,
+            evictions: 0,
         }
     }
 
@@ -57,6 +59,27 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
     /// Lifetime hit/miss counters: `(hits, misses)`.
     pub fn stats(&self) -> (u64, u64) {
         (self.hits, self.misses)
+    }
+
+    /// Lifetime count of entries pushed out by capacity pressure.
+    /// In-place replacement of an existing key is not an eviction, and a
+    /// capacity-0 cache (caching disabled) never evicts: inserts into it
+    /// are simply dropped.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Iterates entries from least- to most-recently used, without
+    /// touching recency or the hit/miss counters.
+    pub fn iter_lru_to_mru(&self) -> impl Iterator<Item = (&K, &V)> {
+        let mut order = Vec::with_capacity(self.map.len());
+        let mut idx = self.tail;
+        while idx != NIL {
+            let e = self.slab[idx].as_ref().expect("live entry");
+            order.push((&e.key, &e.value));
+            idx = e.prev;
+        }
+        order.into_iter()
     }
 
     /// Looks up `key`, marking the entry most recently used.
@@ -76,17 +99,19 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
     }
 
     /// Inserts or replaces `key`, evicting the least recently used entry if
-    /// the cache is full.
-    pub fn insert(&mut self, key: K, value: V) {
+    /// the cache is full. Returns the evicted `(key, value)` pair, if any
+    /// (in-place replacement returns `None`).
+    pub fn insert(&mut self, key: K, value: V) -> Option<(K, V)> {
         if self.capacity == 0 {
-            return;
+            return None;
         }
         if let Some(&idx) = self.map.get(&key) {
             self.slab[idx].as_mut().expect("live entry").value = value;
             self.unlink(idx);
             self.push_front(idx);
-            return;
+            return None;
         }
+        let mut evicted = None;
         if self.map.len() == self.capacity {
             let lru = self.tail;
             debug_assert_ne!(lru, NIL);
@@ -94,6 +119,8 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
             let entry = self.slab[lru].take().expect("live tail");
             self.map.remove(&entry.key);
             self.free.push(lru);
+            self.evictions += 1;
+            evicted = Some((entry.key, entry.value));
         }
         let idx = match self.free.pop() {
             Some(i) => i,
@@ -110,6 +137,7 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         });
         self.map.insert(key, idx);
         self.push_front(idx);
+        evicted
     }
 
     fn unlink(&mut self, idx: usize) {
@@ -187,9 +215,46 @@ mod tests {
     #[test]
     fn zero_capacity_disables_caching() {
         let mut c = LruCache::new(0);
-        c.insert("a", 1);
+        assert_eq!(c.insert("a", 1), None);
         assert_eq!(c.get(&"a"), None);
         assert!(c.is_empty());
+        // Dropped inserts are not evictions: nothing was ever displaced.
+        assert_eq!(c.evictions(), 0);
+        assert_eq!(c.iter_lru_to_mru().count(), 0);
+    }
+
+    #[test]
+    fn evictions_come_back_in_recency_order_and_are_counted() {
+        let mut c = LruCache::new(2);
+        assert_eq!(c.insert("a", 1), None);
+        assert_eq!(c.insert("b", 2), None);
+        assert_eq!(c.evictions(), 0);
+        // "a" is LRU, so it goes first; then "b".
+        assert_eq!(c.insert("c", 3), Some(("a", 1)));
+        assert_eq!(c.insert("d", 4), Some(("b", 2)));
+        assert_eq!(c.evictions(), 2);
+        // Touching "c" protects it: "d" is now the victim.
+        assert_eq!(c.get(&"c"), Some(&3));
+        assert_eq!(c.insert("e", 5), Some(("d", 4)));
+        assert_eq!(c.evictions(), 3);
+        // Replacing a live key in place displaces nothing.
+        assert_eq!(c.insert("e", 50), None);
+        assert_eq!(c.evictions(), 3);
+    }
+
+    #[test]
+    fn iterates_least_to_most_recently_used() {
+        let mut c = LruCache::new(3);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        c.insert("c", 3);
+        let _ = c.get(&"a"); // recency is now b < c < a
+        let keys: Vec<_> = c.iter_lru_to_mru().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec!["b", "c", "a"]);
+        // Iteration is a read-only walk: no hits, misses, or reordering.
+        assert_eq!(c.stats(), (1, 0));
+        let keys: Vec<_> = c.iter_lru_to_mru().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec!["b", "c", "a"]);
     }
 
     #[test]

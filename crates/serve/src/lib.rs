@@ -17,7 +17,10 @@
 //! (overload is answered with `503` + `Retry-After`), per-request
 //! `timeout_ms` budgets are enforced cooperatively inside the engines via
 //! [`bayonet_net::Deadline`], and successful results are cached in an LRU
-//! keyed by the canonicalized program and engine options.
+//! keyed by the canonicalized program and engine options. With
+//! [`ServerConfig::cache_dir`] set, cached results are also persisted to a
+//! crash-safe append-only segment file and warm-loaded on restart (see
+//! the `persist` module docs for the format and corruption semantics).
 //!
 //! # Examples
 //!
@@ -45,6 +48,7 @@ mod cache;
 mod http;
 mod json;
 mod metrics;
+mod persist;
 mod server;
 mod service;
 
@@ -52,5 +56,8 @@ pub use cache::LruCache;
 pub use http::{read_request, Request, RequestError, Response, MAX_BODY_BYTES, MAX_HEAD_BYTES};
 pub use json::{parse as parse_json, Json, ParseError as JsonParseError};
 pub use metrics::Metrics;
+pub use persist::{
+    PersistConfig, PersistCounters, PersistentStore, DEFAULT_CACHE_MAX_BYTES, SEGMENT_FILE,
+};
 pub use server::{start, ServerConfig, ServerHandle};
-pub use service::{Service, DEFAULT_CACHE_ENTRIES};
+pub use service::{Service, ServiceOptions, DEFAULT_CACHE_ENTRIES};

@@ -8,10 +8,12 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicI64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use bayonet_exact::{ComputePool, EngineStats};
+
+use crate::persist::PersistCounters;
 
 /// Latency histogram bucket upper bounds, in seconds.
 const BUCKETS: [f64; 8] = [0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0];
@@ -43,6 +45,9 @@ struct Inner {
     latency: BTreeMap<String, Histogram>,
     cache_hits: u64,
     cache_misses: u64,
+    /// Mirror of the LRU's lifetime eviction count (set, not incremented,
+    /// so warm-load evictions are included).
+    cache_evictions: u64,
     /// Cumulative exact-engine work across all requests.
     engine_steps: u64,
     engine_expansions: u64,
@@ -59,6 +64,9 @@ pub struct Metrics {
     /// Shared compute pool whose occupancy/steal gauges are exported; bound
     /// once at service construction when parallel expansion is enabled.
     pool: Mutex<Option<ComputePool>>,
+    /// Persistent-cache counters; bound once at service construction when
+    /// `--cache-dir` is set.
+    persist: Mutex<Option<Arc<PersistCounters>>>,
 }
 
 impl Metrics {
@@ -105,6 +113,17 @@ impl Metrics {
     /// exported as `bayonet_pool_*` gauges.
     pub fn bind_pool(&self, pool: ComputePool) {
         *self.pool.lock().expect("pool mutex") = Some(pool);
+    }
+
+    /// Binds the persistent-cache counters, exported as
+    /// `bayonet_cache_persist_*`.
+    pub fn bind_persist(&self, counters: Arc<PersistCounters>) {
+        *self.persist.lock().expect("persist mutex") = Some(counters);
+    }
+
+    /// Updates the exported eviction count to the LRU's lifetime total.
+    pub fn set_cache_evictions(&self, total: u64) {
+        self.inner.lock().expect("metrics mutex").cache_evictions = total;
     }
 
     /// Adjusts the queue depth gauge (±1 from the accept loop / workers).
@@ -174,6 +193,62 @@ impl Metrics {
         out.push_str("# HELP bayonet_cache_misses_total Result cache misses.\n");
         out.push_str("# TYPE bayonet_cache_misses_total counter\n");
         let _ = writeln!(out, "bayonet_cache_misses_total {}", inner.cache_misses);
+        out.push_str("# HELP bayonet_cache_evictions_total Entries evicted by LRU pressure.\n");
+        out.push_str("# TYPE bayonet_cache_evictions_total counter\n");
+        let _ = writeln!(
+            out,
+            "bayonet_cache_evictions_total {}",
+            inner.cache_evictions
+        );
+
+        if let Some(p) = self.persist.lock().expect("persist mutex").as_ref() {
+            out.push_str(
+                "# HELP bayonet_cache_persist_writes_total Records durably appended \
+                 to the segment (post-fsync).\n",
+            );
+            out.push_str("# TYPE bayonet_cache_persist_writes_total counter\n");
+            let _ = writeln!(
+                out,
+                "bayonet_cache_persist_writes_total {}",
+                p.writes.load(Ordering::Relaxed)
+            );
+            out.push_str(
+                "# HELP bayonet_cache_persist_load_ok_total Records warm-loaded at startup.\n",
+            );
+            out.push_str("# TYPE bayonet_cache_persist_load_ok_total counter\n");
+            let _ = writeln!(
+                out,
+                "bayonet_cache_persist_load_ok_total {}",
+                p.load_ok.load(Ordering::Relaxed)
+            );
+            out.push_str(
+                "# HELP bayonet_cache_persist_load_corrupt_total Records skipped at \
+                 startup (CRC mismatch, torn tail, bad header).\n",
+            );
+            out.push_str("# TYPE bayonet_cache_persist_load_corrupt_total counter\n");
+            let _ = writeln!(
+                out,
+                "bayonet_cache_persist_load_corrupt_total {}",
+                p.load_corrupt.load(Ordering::Relaxed)
+            );
+            out.push_str(
+                "# HELP bayonet_cache_persist_compactions_total Segment rewrites \
+                 triggered by the size bound.\n",
+            );
+            out.push_str("# TYPE bayonet_cache_persist_compactions_total counter\n");
+            let _ = writeln!(
+                out,
+                "bayonet_cache_persist_compactions_total {}",
+                p.compactions.load(Ordering::Relaxed)
+            );
+            out.push_str("# HELP bayonet_cache_persist_size_bytes Segment file size.\n");
+            out.push_str("# TYPE bayonet_cache_persist_size_bytes gauge\n");
+            let _ = writeln!(
+                out,
+                "bayonet_cache_persist_size_bytes {}",
+                p.size_bytes.load(Ordering::Relaxed)
+            );
+        }
 
         out.push_str("# HELP bayonet_engine_steps_total Exact-engine global steps.\n");
         out.push_str("# TYPE bayonet_engine_steps_total counter\n");
@@ -237,6 +312,14 @@ mod tests {
         m.record_request("/healthz", 200, Duration::from_micros(50));
         m.record_cache(true);
         m.record_cache(false);
+        m.set_cache_evictions(6);
+        let persist = Arc::new(PersistCounters::default());
+        persist.writes.store(4, Ordering::Relaxed);
+        persist.load_ok.store(3, Ordering::Relaxed);
+        persist.load_corrupt.store(2, Ordering::Relaxed);
+        persist.compactions.store(1, Ordering::Relaxed);
+        persist.size_bytes.store(512, Ordering::Relaxed);
+        m.bind_persist(persist);
         m.queue_depth_add(2);
         m.record_engine(&EngineStats {
             steps: 10,
@@ -258,6 +341,12 @@ mod tests {
         assert!(text.contains("bayonet_queue_depth 2"));
         assert!(text.contains("bayonet_cache_hits_total 1"));
         assert!(text.contains("bayonet_cache_misses_total 1"));
+        assert!(text.contains("bayonet_cache_evictions_total 6"));
+        assert!(text.contains("bayonet_cache_persist_writes_total 4"));
+        assert!(text.contains("bayonet_cache_persist_load_ok_total 3"));
+        assert!(text.contains("bayonet_cache_persist_load_corrupt_total 2"));
+        assert!(text.contains("bayonet_cache_persist_compactions_total 1"));
+        assert!(text.contains("bayonet_cache_persist_size_bytes 512"));
         assert!(text.contains("bayonet_engine_steps_total 10"));
         assert!(text.contains("bayonet_engine_peak_configs 7"));
         assert!(text.contains("bayonet_engine_steals_total 4"));

@@ -9,6 +9,7 @@
 
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -19,7 +20,8 @@ use crossbeam::channel::{self, TrySendError};
 
 use crate::http::{read_request, RequestError, Response};
 use crate::metrics::Metrics;
-use crate::service::{Service, DEFAULT_CACHE_ENTRIES};
+use crate::persist::{PersistConfig, DEFAULT_CACHE_MAX_BYTES};
+use crate::service::{Service, ServiceOptions, DEFAULT_CACHE_ENTRIES};
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -35,6 +37,12 @@ pub struct ServerConfig {
     pub queue_capacity: usize,
     /// Per-connection socket read/write timeout.
     pub io_timeout: Duration,
+    /// Directory for the persistent result cache; `None` (the default)
+    /// keeps the cache memory-only.
+    pub cache_dir: Option<PathBuf>,
+    /// Segment-file size that triggers compaction when persistence is
+    /// enabled.
+    pub cache_max_bytes: u64,
 }
 
 impl Default for ServerConfig {
@@ -45,6 +53,8 @@ impl Default for ServerConfig {
             cache_entries: DEFAULT_CACHE_ENTRIES,
             queue_capacity: 64,
             io_timeout: Duration::from_secs(30),
+            cache_dir: None,
+            cache_max_bytes: DEFAULT_CACHE_MAX_BYTES,
         }
     }
 }
@@ -99,7 +109,9 @@ impl ServerHandle {
 ///
 /// # Errors
 ///
-/// Fails if the address cannot be bound.
+/// Fails if the address cannot be bound, or if `cache_dir` is set and the
+/// persistent cache segment cannot be created or opened (corrupt segment
+/// *contents* are skipped and counted, never fatal).
 pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
@@ -107,10 +119,14 @@ pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
     // can borrow threads that would otherwise sit idle in the HTTP pool,
     // and under full load everyone degrades to single-threaded.
     let threads = config.threads.max(1);
-    let service = Arc::new(Service::with_pool(
-        config.cache_entries,
-        ComputePool::new(threads),
-    ));
+    let service = Arc::new(Service::with_options(ServiceOptions {
+        cache_entries: config.cache_entries,
+        pool: Some(ComputePool::new(threads)),
+        persist: config.cache_dir.as_ref().map(|dir| PersistConfig {
+            dir: dir.clone(),
+            max_bytes: config.cache_max_bytes,
+        }),
+    })?);
     let metrics = service.metrics();
     let shutdown = Arc::new(AtomicBool::new(false));
     let (tx, rx) = channel::bounded::<TcpStream>(config.queue_capacity);

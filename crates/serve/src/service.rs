@@ -18,6 +18,7 @@
 use std::collections::hash_map::DefaultHasher;
 use std::fmt::Write as _;
 use std::hash::{Hash, Hasher};
+use std::io;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -34,6 +35,7 @@ use crate::cache::LruCache;
 use crate::http::{Request, Response};
 use crate::json::{self, Json};
 use crate::metrics::Metrics;
+use crate::persist::{PersistConfig, PersistentStore};
 
 /// Default result-cache capacity (entries).
 pub const DEFAULT_CACHE_ENTRIES: usize = 128;
@@ -46,13 +48,30 @@ pub const MAX_REQUEST_THREADS: u64 = 64;
 /// omitting the field.
 pub const MAX_TIMEOUT_MS: u64 = 600_000;
 
+/// Everything [`Service::with_options`] needs to build a service.
+#[derive(Default)]
+pub struct ServiceOptions {
+    /// Result-cache capacity in entries (0 disables caching *and*
+    /// persistence).
+    pub cache_entries: usize,
+    /// Shared compute pool for parallel exact expansion; `None` keeps
+    /// every request single-threaded regardless of its `threads` hint.
+    pub pool: Option<ComputePool>,
+    /// On-disk persistence for the result cache; `None` keeps it
+    /// memory-only.
+    pub persist: Option<PersistConfig>,
+}
+
 /// The transport-independent request handler shared by all workers.
 pub struct Service {
     metrics: Arc<Metrics>,
-    cache: Mutex<LruCache<u64, Response>>,
+    cache: Arc<Mutex<LruCache<u64, Response>>>,
     /// Shared compute pool for parallel exact expansion; `None` keeps every
     /// request single-threaded regardless of its `threads` hint.
     pool: Option<ComputePool>,
+    /// Write-behind persistence for cached responses; dropped last-ish so
+    /// a graceful shutdown flushes queued appends.
+    persist: Option<PersistentStore>,
 }
 
 impl Service {
@@ -60,24 +79,76 @@ impl Service {
     /// (0 disables caching) and no compute pool: every request runs
     /// single-threaded.
     pub fn new(cache_entries: usize) -> Service {
-        Service {
-            metrics: Arc::new(Metrics::new()),
-            cache: Mutex::new(LruCache::new(cache_entries)),
-            pool: None,
-        }
+        Service::with_options(ServiceOptions {
+            cache_entries,
+            ..ServiceOptions::default()
+        })
+        .expect("no persistence requested, so construction cannot fail")
     }
 
     /// Creates a service that leases workers for parallel exact expansion
     /// from `pool`. The pool's occupancy and steal counters are exported
     /// through `/metrics`.
     pub fn with_pool(cache_entries: usize, pool: ComputePool) -> Service {
-        let svc = Service {
-            metrics: Arc::new(Metrics::new()),
-            cache: Mutex::new(LruCache::new(cache_entries)),
-            pool: Some(pool.clone()),
+        Service::with_options(ServiceOptions {
+            cache_entries,
+            pool: Some(pool),
+            ..ServiceOptions::default()
+        })
+        .expect("no persistence requested, so construction cannot fail")
+    }
+
+    /// Creates a fully configured service. With [`ServiceOptions::persist`]
+    /// set, surviving records are warm-loaded into the LRU before the
+    /// first request and every subsequent cached response is appended
+    /// (write-behind) to the segment file.
+    ///
+    /// # Errors
+    ///
+    /// Fails only if the persistence directory or segment file cannot be
+    /// created/opened. Corrupt segment *contents* never fail construction;
+    /// they are skipped and counted (`bayonet_cache_persist_load_corrupt_total`).
+    pub fn with_options(opts: ServiceOptions) -> io::Result<Service> {
+        let metrics = Arc::new(Metrics::new());
+        let cache: Arc<Mutex<LruCache<u64, Response>>> =
+            Arc::new(Mutex::new(LruCache::new(opts.cache_entries)));
+        let persist = match &opts.persist {
+            Some(cfg) if opts.cache_entries > 0 => {
+                let snapshot_cache = Arc::clone(&cache);
+                let (store, loaded) = PersistentStore::open(
+                    cfg,
+                    Box::new(move || {
+                        snapshot_cache
+                            .lock()
+                            .expect("cache mutex")
+                            .iter_lru_to_mru()
+                            .map(|(key, resp)| (*key, resp.body.clone()))
+                            .collect()
+                    }),
+                )?;
+                {
+                    let mut c = cache.lock().expect("cache mutex");
+                    // File order is oldest-first, so sequential insertion
+                    // reproduces the pre-restart recency order.
+                    for (key, body) in loaded {
+                        c.insert(key, Response::json(200, body));
+                    }
+                    metrics.set_cache_evictions(c.evictions());
+                }
+                metrics.bind_persist(store.counters());
+                Some(store)
+            }
+            _ => None,
         };
-        svc.metrics.bind_pool(pool);
-        svc
+        if let Some(pool) = &opts.pool {
+            metrics.bind_pool(pool.clone());
+        }
+        Ok(Service {
+            metrics,
+            cache,
+            pool: opts.pool,
+            persist,
+        })
     }
 
     /// Exact-engine options for one request: the per-request `threads` hint
@@ -127,12 +198,14 @@ impl Service {
                 status: 405,
                 kind: "method_not_allowed",
                 message: format!("{} does not support {}", req.path, req.method),
+                field: None,
             }
             .into_response(),
             _ => ApiError {
                 status: 404,
                 kind: "not_found",
                 message: format!("no such endpoint: {}", req.path),
+                field: None,
             }
             .into_response(),
         }
@@ -147,6 +220,7 @@ impl Service {
             status: 422,
             kind: "parse_error",
             message: e.to_string(),
+            field: None,
         })?;
         let canonical = pretty_program(&program);
         let key = parsed.cache_key(&req.path, &canonical);
@@ -164,10 +238,15 @@ impl Service {
             _ => unreachable!("routed"),
         };
         if response.status == 200 {
-            self.cache
-                .lock()
-                .expect("cache mutex")
-                .insert(key, response.clone());
+            let evictions = {
+                let mut cache = self.cache.lock().expect("cache mutex");
+                cache.insert(key, response.clone());
+                cache.evictions()
+            };
+            self.metrics.set_cache_evictions(evictions);
+            if let Some(store) = &self.persist {
+                store.append(key, response.body.clone());
+            }
         }
         Ok(response)
     }
@@ -359,6 +438,7 @@ impl Service {
             status: 422,
             kind: "engine_error",
             message: e.to_string(),
+            field: None,
         })?;
 
         // Byte-for-byte the stdout of `bayonet synthesize`.
@@ -477,27 +557,27 @@ impl Engine {
 }
 
 /// A structured API error, rendered as `{"ok":false,"error":{...}}`.
+/// When the error is about one specific request field, `field` names it
+/// machine-readably alongside the human message.
 struct ApiError {
     status: u16,
     kind: &'static str,
     message: String,
+    field: Option<String>,
 }
 
 impl ApiError {
     fn into_response(self) -> Response {
+        let mut error = vec![
+            ("kind", Json::Str(self.kind.into())),
+            ("message", Json::Str(self.message)),
+        ];
+        if let Some(field) = self.field {
+            error.push(("field", Json::Str(field)));
+        }
         Response::json(
             self.status,
-            Json::obj(vec![
-                ("ok", Json::Bool(false)),
-                (
-                    "error",
-                    Json::obj(vec![
-                        ("kind", Json::Str(self.kind.into())),
-                        ("message", Json::Str(self.message)),
-                    ]),
-                ),
-            ])
-            .to_string(),
+            Json::obj(vec![("ok", Json::Bool(false)), ("error", Json::obj(error))]).to_string(),
         )
     }
 }
@@ -508,11 +588,13 @@ fn exact_error(e: ExactError) -> ApiError {
             status: 504,
             kind: "timeout",
             message: e.to_string(),
+            field: None,
         },
         other => ApiError {
             status: 422,
             kind: "engine_error",
             message: other.to_string(),
+            field: None,
         },
     }
 }
@@ -523,11 +605,13 @@ fn approx_error(e: ApproxError) -> ApiError {
             status: 504,
             kind: "timeout",
             message: e.to_string(),
+            field: None,
         },
         other => ApiError {
             status: 422,
             kind: "engine_error",
             message: other.to_string(),
+            field: None,
         },
     }
 }
@@ -555,6 +639,7 @@ impl InferenceRequest {
             status: 400,
             kind: "bad_request",
             message,
+            field: None,
         };
         let body = req.body_str().map_err(|e| bad(e.to_string()))?;
         let doc = json::parse(body).map_err(|e| bad(e.to_string()))?;
@@ -576,7 +661,18 @@ impl InferenceRequest {
         ];
         for (key, _) in doc.as_obj().expect("checked") {
             if !known.contains(&key.as_str()) {
-                return Err(bad(format!("unknown request field `{key}`")));
+                // Named structurally (`error.field`) so clients can catch a
+                // typo like `"cache": false` programmatically instead of
+                // having it silently change nothing.
+                return Err(ApiError {
+                    status: 400,
+                    kind: "bad_request",
+                    message: format!(
+                        "unknown request field `{key}` (known fields: {})",
+                        known.join(", ")
+                    ),
+                    field: Some(key.clone()),
+                });
             }
         }
 
@@ -707,6 +803,7 @@ impl InferenceRequest {
                 status: 400,
                 kind: "bad_request",
                 message: format!("query index {idx} out of range ({len} queries declared)"),
+                field: None,
             })
         }
     }
@@ -727,11 +824,13 @@ impl InferenceRequest {
                     .collect::<Vec<_>>()
                     .join("; ")
             ),
+            field: None,
         })?;
         let mut model = compile(&program).map_err(|e| ApiError {
             status: 422,
             kind: "compile_error",
             message: e.to_string(),
+            field: None,
         })?;
         for (name, value) in &self.bindings {
             model
@@ -740,6 +839,7 @@ impl InferenceRequest {
                     status: 400,
                     kind: "bad_request",
                     message: e.to_string(),
+                    field: None,
                 })?;
         }
         let scheduler = scheduler_for(&model);

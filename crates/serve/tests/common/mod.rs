@@ -1,0 +1,30 @@
+//! Shared helpers for the serve integration suites.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bayonet_serve::ServerConfig;
+
+/// A `ServerConfig` on an ephemeral port, with the persistent cache
+/// enabled when `BAYONET_TEST_CACHE_DIR` is set (non-empty): every suite
+/// then exercises the exact same assertions with and without a disk-backed
+/// cache — persistence must never change observable behavior. Each call
+/// gets a fresh unique directory so suites and tests stay isolated.
+pub fn test_config() -> ServerConfig {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        ..ServerConfig::default()
+    };
+    match std::env::var("BAYONET_TEST_CACHE_DIR") {
+        Ok(root) if !root.is_empty() => {
+            config.cache_dir = Some(PathBuf::from(root).join(format!(
+                "serve-{}-{}",
+                std::process::id(),
+                SEQ.fetch_add(1, Ordering::Relaxed)
+            )));
+        }
+        _ => {}
+    }
+    config
+}

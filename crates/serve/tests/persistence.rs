@@ -1,0 +1,208 @@
+//! In-process persistence tests: a server restarted on the same
+//! `--cache-dir` must serve byte-identical cached results without
+//! recomputing, and corrupt segment records must be skipped (counted,
+//! never fatal).
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use bayonet_serve::{start, Json, ServerConfig, SEGMENT_FILE};
+
+mod common;
+
+const TINY: &str = r#"
+    packet_fields { dst }
+    topology { nodes { A, B } links { (A, pt1) <-> (B, pt1) } }
+    programs { A -> send, B -> recv }
+    init { packet -> (A, pt1); }
+    query probability(got@B == 1);
+    def send(pkt, pt) { if flip(1/3) { fwd(1); } else { drop; } }
+    def recv(pkt, pt) state got(0) { got = 1; drop; }
+"#;
+
+/// A fresh, unique cache directory under the system temp dir.
+fn unique_dir(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "bayonet-persist-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn config_with_dir(dir: &std::path::Path) -> ServerConfig {
+    ServerConfig {
+        cache_dir: Some(dir.to_path_buf()),
+        ..common::test_config()
+    }
+}
+
+fn request(addr: SocketAddr, head: &str, body: &str) -> (u16, String) {
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    conn.set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    let request = format!("{head}Content-Length: {}\r\n\r\n{body}", body.len());
+    conn.write_all(request.as_bytes()).expect("write request");
+    let mut raw = String::new();
+    conn.read_to_string(&mut raw).expect("read response");
+    let (head, payload) = raw.split_once("\r\n\r\n").expect("head/body split");
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    (status, payload.to_string())
+}
+
+fn post_run(addr: SocketAddr, source: &str) -> (u16, String) {
+    let body = Json::obj(vec![("source", Json::Str(source.into()))]).to_string();
+    request(addr, "POST /v1/run HTTP/1.1\r\nHost: test\r\n", &body)
+}
+
+fn metrics(addr: SocketAddr) -> String {
+    let (status, body) = request(addr, "GET /metrics HTTP/1.1\r\nHost: test\r\n", "");
+    assert_eq!(status, 200, "{body}");
+    body
+}
+
+/// Value of a plain `name value` Prometheus line; panics when absent.
+fn metric(text: &str, name: &str) -> u64 {
+    text.lines()
+        .find_map(|line| line.strip_prefix(&format!("{name} ")))
+        .unwrap_or_else(|| panic!("metric {name} missing from:\n{text}"))
+        .trim()
+        .parse()
+        .unwrap_or_else(|e| panic!("metric {name} not an integer: {e}"))
+}
+
+#[test]
+fn warm_reload_serves_identical_bytes_without_recomputation() {
+    let dir = unique_dir("warm");
+
+    // First life: compute once, which must hit the engine and then be
+    // persisted. Graceful shutdown flushes the write-behind queue.
+    let handle = start(config_with_dir(&dir)).expect("start server");
+    let (status, first) = post_run(handle.addr(), TINY);
+    assert_eq!(status, 200, "{first}");
+    let text = metrics(handle.addr());
+    assert!(metric(&text, "bayonet_engine_expansions_total") > 0);
+    assert_eq!(metric(&text, "bayonet_cache_persist_load_ok_total"), 0);
+    handle.shutdown();
+
+    let segment = dir.join(SEGMENT_FILE);
+    assert!(segment.is_file(), "no segment at {}", segment.display());
+
+    // Second life: the result comes back from disk — same bytes, zero
+    // engine work, and the hit is visible in the metrics.
+    let handle = start(config_with_dir(&dir)).expect("restart server");
+    let text = metrics(handle.addr());
+    assert!(metric(&text, "bayonet_cache_persist_load_ok_total") >= 1);
+    assert_eq!(metric(&text, "bayonet_cache_persist_load_corrupt_total"), 0);
+
+    let (status, second) = post_run(handle.addr(), TINY);
+    assert_eq!(status, 200, "{second}");
+    assert_eq!(first, second, "persisted result must be byte-identical");
+
+    let text = metrics(handle.addr());
+    assert_eq!(metric(&text, "bayonet_cache_hits_total"), 1);
+    assert_eq!(metric(&text, "bayonet_engine_expansions_total"), 0);
+    handle.shutdown();
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bit_flipped_record_is_skipped_and_counted() {
+    let dir = unique_dir("flip");
+
+    let handle = start(config_with_dir(&dir)).expect("start server");
+    let (status, body) = post_run(handle.addr(), TINY);
+    assert_eq!(status, 200, "{body}");
+    handle.shutdown();
+
+    // Flip one byte inside the record payload (header is 8 bytes, each
+    // record carries an 8-byte frame and an 8-byte key before the body).
+    let segment = dir.join(SEGMENT_FILE);
+    let mut bytes = std::fs::read(&segment).expect("read segment");
+    assert!(bytes.len() > 32, "segment too small: {}", bytes.len());
+    bytes[30] ^= 0x40;
+    std::fs::write(&segment, &bytes).expect("rewrite segment");
+
+    // The damaged record is skipped — not loaded, not fatal — and the
+    // server recomputes the same answer from scratch.
+    let handle = start(config_with_dir(&dir)).expect("restart server");
+    let text = metrics(handle.addr());
+    assert!(metric(&text, "bayonet_cache_persist_load_corrupt_total") >= 1);
+    assert_eq!(metric(&text, "bayonet_cache_persist_load_ok_total"), 0);
+
+    let (status, recomputed) = post_run(handle.addr(), TINY);
+    assert_eq!(status, 200, "{recomputed}");
+    assert_eq!(body, recomputed, "recompute must match the original");
+    let text = metrics(handle.addr());
+    assert_eq!(metric(&text, "bayonet_cache_hits_total"), 0);
+    assert!(metric(&text, "bayonet_engine_expansions_total") > 0);
+    handle.shutdown();
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_tail_is_truncated_and_the_server_recovers() {
+    let dir = unique_dir("torn");
+
+    let handle = start(config_with_dir(&dir)).expect("start server");
+    let (status, body) = post_run(handle.addr(), TINY);
+    assert_eq!(status, 200, "{body}");
+    handle.shutdown();
+
+    // Chop a few bytes off the tail, as a crash mid-append would.
+    let segment = dir.join(SEGMENT_FILE);
+    let bytes = std::fs::read(&segment).expect("read segment");
+    std::fs::write(&segment, &bytes[..bytes.len() - 3]).expect("truncate");
+
+    let handle = start(config_with_dir(&dir)).expect("restart server");
+    let text = metrics(handle.addr());
+    assert!(metric(&text, "bayonet_cache_persist_load_corrupt_total") >= 1);
+
+    // The torn record was discarded and the segment re-framed: a new
+    // result appends cleanly and survives the *next* restart.
+    let (status, recomputed) = post_run(handle.addr(), TINY);
+    assert_eq!(status, 200, "{recomputed}");
+    assert_eq!(body, recomputed);
+    handle.shutdown();
+
+    let handle = start(config_with_dir(&dir)).expect("third start");
+    let text = metrics(handle.addr());
+    assert!(metric(&text, "bayonet_cache_persist_load_ok_total") >= 1);
+    let (status, replayed) = post_run(handle.addr(), TINY);
+    assert_eq!(status, 200, "{replayed}");
+    assert_eq!(body, replayed);
+    let text = metrics(handle.addr());
+    assert_eq!(metric(&text, "bayonet_cache_hits_total"), 1);
+    handle.shutdown();
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn persistence_off_exposes_no_persist_metrics_and_writes_nothing() {
+    let handle = start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        cache_dir: None,
+        ..ServerConfig::default()
+    })
+    .expect("start server");
+    let (status, body) = post_run(handle.addr(), TINY);
+    assert_eq!(status, 200, "{body}");
+    let text = metrics(handle.addr());
+    assert!(!text.contains("bayonet_cache_persist_"), "{text}");
+    // The always-on eviction counter is still exported.
+    assert_eq!(metric(&text, "bayonet_cache_evictions_total"), 0);
+    handle.shutdown();
+}

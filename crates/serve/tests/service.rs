@@ -7,6 +7,8 @@ use std::time::Duration;
 
 use bayonet_serve::{start, Json, ServerConfig};
 
+mod common;
+
 const GOSSIP: &str = r#"
     packet_fields { dst }
     topology { nodes { A, B } links { (A, pt1) <-> (B, pt1) } }
@@ -77,9 +79,8 @@ fn run_body(source: &str) -> String {
 #[test]
 fn concurrent_clients_all_get_exact_answers() {
     let handle = start(ServerConfig {
-        addr: "127.0.0.1:0".into(),
         threads: 4,
-        ..ServerConfig::default()
+        ..common::test_config()
     })
     .expect("start server");
     let addr = handle.addr();
@@ -105,11 +106,7 @@ fn concurrent_clients_all_get_exact_answers() {
 
 #[test]
 fn repeat_requests_hit_the_cache_per_metrics() {
-    let handle = start(ServerConfig {
-        addr: "127.0.0.1:0".into(),
-        ..ServerConfig::default()
-    })
-    .expect("start server");
+    let handle = start(common::test_config()).expect("start server");
     let addr = handle.addr();
 
     let (status, _, first) = http(addr, "POST", "/v1/run", &run_body(GOSSIP));
@@ -148,11 +145,7 @@ fn repeat_requests_hit_the_cache_per_metrics() {
 
 #[test]
 fn expired_deadline_returns_structured_timeout() {
-    let handle = start(ServerConfig {
-        addr: "127.0.0.1:0".into(),
-        ..ServerConfig::default()
-    })
-    .expect("start server");
+    let handle = start(common::test_config()).expect("start server");
     let addr = handle.addr();
 
     let body = Json::obj(vec![
@@ -182,11 +175,10 @@ fn overloaded_queue_sheds_load_with_503() {
     // One worker, a one-slot queue, and a short I/O timeout so the
     // stalled connection cannot wedge the test.
     let handle = start(ServerConfig {
-        addr: "127.0.0.1:0".into(),
         threads: 1,
         queue_capacity: 1,
         io_timeout: Duration::from_secs(5),
-        ..ServerConfig::default()
+        ..common::test_config()
     })
     .expect("start server");
     let addr = handle.addr();

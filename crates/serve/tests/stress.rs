@@ -12,6 +12,8 @@ use std::time::Duration;
 
 use bayonet_serve::{start, Json, ServerConfig};
 
+mod common;
+
 /// Gossip on K4: the heaviest curated example — a frontier of thousands of
 /// configurations, enough for the work-stealing expander to engage.
 const GOSSIP_K4: &str = r#"
@@ -91,9 +93,8 @@ fn metric_value(metrics: &str, name: &str) -> f64 {
 #[test]
 fn big_parallel_request_and_small_burst_coexist() {
     let handle = start(ServerConfig {
-        addr: "127.0.0.1:0".into(),
         threads: 4,
-        ..ServerConfig::default()
+        ..common::test_config()
     })
     .expect("start server");
     let addr = handle.addr();

@@ -8,6 +8,8 @@ use std::time::Duration;
 
 use bayonet_serve::{parse_json, start, Json, ServerConfig};
 
+mod common;
+
 const TINY: &str = r#"
     packet_fields { dst }
     topology { nodes { A, B } links { (A, pt1) <-> (B, pt1) } }
@@ -69,11 +71,7 @@ fn malformed_knobs_are_structured_400s() {
         ("\"thread\":2",             "unknown request field `thread`"),
     ];
 
-    let handle = start(ServerConfig {
-        addr: "127.0.0.1:0".into(),
-        ..ServerConfig::default()
-    })
-    .expect("start server");
+    let handle = start(common::test_config()).expect("start server");
     let addr = handle.addr();
 
     for (field, expected) in cases {
@@ -104,12 +102,69 @@ fn malformed_knobs_are_structured_400s() {
     handle.shutdown();
 }
 
+/// Unknown top-level fields (typos like `"cache": false`) must be loud
+/// structured 400s, never silently ignored: the error names the offending
+/// key both in the message and machine-readably in `error.field`.
+#[test]
+fn unknown_fields_are_named_structured_400s() {
+    #[rustfmt::skip]
+    let cases: &[(&str, &str)] = &[
+        // (raw extra field, expected `error.field`)
+        ("\"cache\":false",        "cache"),
+        ("\"Source\":\"x\"",       "Source"),
+        ("\"time_out_ms\":5",      "time_out_ms"),
+        ("\"particle\":100",       "particle"),
+        ("\"binding\":{}",         "binding"),
+        ("\"extra\":null",         "extra"),
+    ];
+
+    let handle = start(common::test_config()).expect("start server");
+    let addr = handle.addr();
+
+    for (field, name) in cases {
+        let (status, body) = http(addr, &body_with(field));
+        assert_eq!(status, 400, "case {field}: expected 400, got body {body}");
+        let doc = parse_json(&body).expect("json body");
+        let error = doc
+            .get("error")
+            .unwrap_or_else(|| panic!("case {field}: no error object: {body}"));
+        assert_eq!(
+            error.get("kind").and_then(Json::as_str),
+            Some("bad_request"),
+            "case {field}: {body}"
+        );
+        assert_eq!(
+            error.get("field").and_then(Json::as_str),
+            Some(*name),
+            "case {field}: {body}"
+        );
+        let message = error.get("message").and_then(Json::as_str).unwrap_or("");
+        assert!(
+            message.contains(&format!("unknown request field `{name}`")),
+            "case {field}: message {message:?}"
+        );
+        // The message also lists the accepted fields, so a typo is
+        // self-correcting from the error alone.
+        assert!(
+            message.contains("known fields: source, engine"),
+            "{message}"
+        );
+    }
+
+    // Known fields with the error-producing values spliced *as values* are
+    // not unknown-field errors; sanity-check one to pin the distinction.
+    let (status, body) = http(addr, &body_with("\"engine\":\"warp\""));
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("unknown engine"), "{body}");
+
+    handle.shutdown();
+}
+
 #[test]
 fn edge_values_are_accepted_not_rejected() {
     let handle = start(ServerConfig {
-        addr: "127.0.0.1:0".into(),
         threads: 2,
-        ..ServerConfig::default()
+        ..common::test_config()
     })
     .expect("start server");
     let addr = handle.addr();

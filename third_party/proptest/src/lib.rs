@@ -475,7 +475,7 @@ pub mod bool {
 pub mod collection {
     use super::{Strategy, TestRng};
 
-    /// An inclusive-exclusive size specification for [`vec`].
+    /// An inclusive-exclusive size specification for [`vec()`].
     pub struct SizeRange {
         lo: usize,
         hi: usize, // inclusive
