@@ -7,6 +7,7 @@
 //!                        [--particles N] [--seed N] [--threads N]
 //!                        [--scheduler uniform|det|rotor]
 //!                        [--bind NAME=VALUE]... [--stats]
+//! bayonet run <batch.json> --batch [--threads N]
 //! bayonet synthesize <file.bay> [--query N] [--maximize]
 //! bayonet codegen <file.bay> [--target psi|webppl]
 //! bayonet pretty <file.bay>
@@ -37,6 +38,7 @@ fn usage() -> String {
     "usage: bayonet <check|run|synthesize|codegen|pretty|serve> [<file.bay>] [options]\n\
      run options: --engine exact|smc|rejection|psi|simulate  --particles N  --seed N\n\
                   --scheduler uniform|det|rotor  --bind NAME=VALUE  --threads N  --stats\n\
+                  --batch (file is a /v1/batch JSON request; NDJSON frames to stdout)\n\
      synthesize options: --query N  --maximize  --allow-zero-params\n\
      codegen options: --target psi|webppl\n\
      serve options: --addr HOST:PORT  --threads N  --cache-entries K\n\
@@ -53,6 +55,7 @@ const RUN_FLAGS: &[(&str, bool)] = &[
     ("--bind", true),
     ("--threads", true),
     ("--stats", false),
+    ("--batch", false),
 ];
 const SYNTHESIZE_FLAGS: &[(&str, bool)] = &[
     ("--query", true),
@@ -89,7 +92,11 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         "run" => {
             validate_flags(rest, RUN_FLAGS)?;
-            run_queries(&source, rest)
+            if has_flag(rest, "--batch") {
+                run_batch_cmd(&source, rest)
+            } else {
+                run_queries(&source, rest)
+            }
         }
         "synthesize" => {
             validate_flags(rest, SYNTHESIZE_FLAGS)?;
@@ -297,6 +304,65 @@ fn run_queries(source: &str, rest: &[String]) -> Result<(), String> {
             "stats: {:.1} ms wall",
             started.elapsed().as_secs_f64() * 1000.0
         );
+    }
+    Ok(())
+}
+
+/// `bayonet run <file.json> --batch`: the file is a `/v1/batch` request
+/// body, not a program. Items run through the same orchestration as the
+/// server (shared-source compile amortization, pool fan-out, per-item
+/// errors) and the NDJSON frames are printed to stdout sorted by item
+/// index, so output is deterministic and diffable against server runs.
+fn run_batch_cmd(source: &str, rest: &[String]) -> Result<(), String> {
+    for flag in [
+        "--engine",
+        "--particles",
+        "--seed",
+        "--scheduler",
+        "--bind",
+        "--stats",
+    ] {
+        if has_flag(rest, flag) {
+            return Err(format!(
+                "{flag} cannot be combined with --batch; set it per item in the batch file"
+            ));
+        }
+    }
+    let threads = flag_value(rest, "--threads")
+        .map(|v| match v.parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(n),
+            Ok(_) => Err("bad --threads value: must be at least 1".to_string()),
+            Err(e) => Err(format!("bad --threads value: {e}")),
+        })
+        .transpose()?
+        .unwrap_or(1);
+
+    let service = bayonet_serve::Service::with_options(bayonet_serve::ServiceOptions {
+        cache_entries: bayonet_serve::DEFAULT_CACHE_ENTRIES,
+        pool: (threads > 1).then(|| bayonet::ComputePool::new(threads)),
+        persist: None,
+    })
+    .map_err(|e| format!("cannot build batch service: {e}"))?;
+    let request = bayonet_serve::Request {
+        method: "POST".into(),
+        path: "/v1/batch".into(),
+        headers: Vec::new(),
+        body: source.as_bytes().to_vec(),
+    };
+    let response = service.handle(&request);
+    let body = String::from_utf8_lossy(&response.body).into_owned();
+    if response.status != 200 {
+        return Err(format!("batch rejected ({}): {body}", response.status));
+    }
+    print!("{body}");
+    let failed = body
+        .lines()
+        .filter_map(|line| bayonet_serve::parse_json(line).ok())
+        .filter(|doc| doc.get("status").and_then(|s| s.as_u64()) != Some(200))
+        .count();
+    if failed > 0 {
+        let total = body.lines().count();
+        return Err(format!("{failed} of {total} batch item(s) failed"));
     }
     Ok(())
 }

@@ -5,22 +5,15 @@
 //! case corrupts the segment (bit flip + torn tail) and requires the
 //! damaged records to be skipped and counted, never fatal.
 
-use std::io::{BufRead, BufReader, Read, Write};
-use std::net::{SocketAddr, TcpStream};
-use std::path::{Path, PathBuf};
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::path::Path;
 use std::process::{Child, Command, Stdio};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
-const TINY: &str = r#"
-    packet_fields { dst }
-    topology { nodes { A, B } links { (A, pt1) <-> (B, pt1) } }
-    programs { A -> send, B -> recv }
-    init { packet -> (A, pt1); }
-    query probability(got@B == 1);
-    def send(pkt, pt) { if flip(1/3) { fwd(1); } else { drop; } }
-    def recv(pkt, pt) state got(0) { got = 1; drop; }
-"#;
+#[path = "../../serve/tests/common/mod.rs"]
+mod common;
+use common::{metric, metrics, post_run, unique_dir, TINY};
 
 /// A spawned `bayonet serve` child; killed on drop so a failing assertion
 /// never leaks a listener.
@@ -76,56 +69,6 @@ impl Drop for Server {
     }
 }
 
-fn unique_dir(tag: &str) -> PathBuf {
-    static SEQ: AtomicU64 = AtomicU64::new(0);
-    let dir = std::env::temp_dir().join(format!(
-        "bayonet-crash-{tag}-{}-{}",
-        std::process::id(),
-        SEQ.fetch_add(1, Ordering::Relaxed)
-    ));
-    let _ = std::fs::remove_dir_all(&dir);
-    dir
-}
-
-fn request(addr: SocketAddr, head: &str, body: &str) -> (u16, String) {
-    let mut conn = TcpStream::connect(addr).expect("connect");
-    conn.set_read_timeout(Some(Duration::from_secs(60)))
-        .unwrap();
-    let request = format!("{head}Content-Length: {}\r\n\r\n{body}", body.len());
-    conn.write_all(request.as_bytes()).expect("write request");
-    let mut raw = String::new();
-    conn.read_to_string(&mut raw).expect("read response");
-    let (head, payload) = raw.split_once("\r\n\r\n").expect("head/body split");
-    let status: u16 = head
-        .split_whitespace()
-        .nth(1)
-        .expect("status code")
-        .parse()
-        .expect("numeric status");
-    (status, payload.to_string())
-}
-
-fn post_run(addr: SocketAddr, source: &str) -> (u16, String) {
-    let body = bayonet_serve::Json::obj(vec![("source", bayonet_serve::Json::Str(source.into()))])
-        .to_string();
-    request(addr, "POST /v1/run HTTP/1.1\r\nHost: test\r\n", &body)
-}
-
-fn metrics(addr: SocketAddr) -> String {
-    let (status, body) = request(addr, "GET /metrics HTTP/1.1\r\nHost: test\r\n", "");
-    assert_eq!(status, 200, "{body}");
-    body
-}
-
-fn metric(text: &str, name: &str) -> u64 {
-    text.lines()
-        .find_map(|line| line.strip_prefix(&format!("{name} ")))
-        .unwrap_or_else(|| panic!("metric {name} missing from:\n{text}"))
-        .trim()
-        .parse()
-        .unwrap_or_else(|e| panic!("metric {name} not an integer: {e}"))
-}
-
 /// Polls `/metrics` until the record is durably on disk (the writes
 /// counter only moves after the per-record fsync), so SIGKILL immediately
 /// afterwards cannot lose it.
@@ -145,7 +88,7 @@ fn await_durable_writes(addr: SocketAddr, want: u64) {
 
 #[test]
 fn sigkill_then_restart_serves_cached_bytes_without_recomputation() {
-    let dir = unique_dir("warm");
+    let dir = unique_dir("crash-warm");
 
     let server = Server::spawn(&dir);
     let (status, first) = post_run(server.addr, TINY);
@@ -176,7 +119,7 @@ fn sigkill_then_restart_serves_cached_bytes_without_recomputation() {
 
 #[test]
 fn corrupted_segment_is_skipped_counted_and_survivable() {
-    let dir = unique_dir("corrupt");
+    let dir = unique_dir("crash-corrupt");
 
     let server = Server::spawn(&dir);
     let (status, original) = post_run(server.addr, TINY);
@@ -209,6 +152,45 @@ fn corrupted_segment_is_skipped_counted_and_survivable() {
     let text = metrics(server.addr);
     assert_eq!(metric(&text, "bayonet_cache_hits_total"), 0);
     assert!(metric(&text, "bayonet_engine_expansions_total") > 0);
+    server.kill();
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A batch populates the persistent cache through the real binary: after
+/// SIGKILL + restart, replaying the batch over HTTP is pure cache hits
+/// with byte-identical frames.
+#[test]
+fn sigkill_then_restart_replays_batch_from_disk() {
+    let dir = unique_dir("crash-batch");
+    let batch_body = format!(
+        r#"{{"source":{},"items":[{{}},{{"engine":"smc","particles":50,"seed":9}}]}}"#,
+        bayonet_serve::Json::Str(TINY.into())
+    );
+
+    let server = Server::spawn(&dir);
+    let (status, payload) = common::post_batch(server.addr, &batch_body);
+    assert_eq!(status, 200, "{payload}");
+    let mut first = common::parse_frames(&payload);
+    first.sort_by_key(|f| f.index);
+    assert_eq!(first.len(), 2);
+    await_durable_writes(server.addr, 2);
+    server.kill();
+
+    let server = Server::spawn(&dir);
+    let text = metrics(server.addr);
+    assert!(metric(&text, "bayonet_cache_persist_load_ok_total") >= 2);
+
+    let (status, payload) = common::post_batch(server.addr, &batch_body);
+    assert_eq!(status, 200, "{payload}");
+    let mut second = common::parse_frames(&payload);
+    second.sort_by_key(|f| f.index);
+    for (a, b) in first.iter().zip(&second) {
+        assert_eq!(a.body, b.body, "item {} changed across crash", a.index);
+    }
+    let text = metrics(server.addr);
+    assert_eq!(metric(&text, "bayonet_cache_hits_total"), 2);
+    assert_eq!(metric(&text, "bayonet_engine_expansions_total"), 0);
     server.kill();
 
     let _ = std::fs::remove_dir_all(&dir);

@@ -1,22 +1,20 @@
 //! Cross-checks the HTTP service against the CLI: for the same program,
 //! the server's `text` field must equal the `bayonet` binary's stdout
-//! byte for byte.
+//! byte for byte — and a `run --batch` invocation must print exactly the
+//! frames `/v1/batch` streams.
 
-use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpStream};
+use std::net::SocketAddr;
 use std::path::PathBuf;
 use std::process::Command;
-use std::time::Duration;
 
-use bayonet_serve::{start, Json, ServerConfig, ServerHandle};
+use bayonet_serve::{start, Json, ServerHandle};
+
+#[path = "../../serve/tests/common/mod.rs"]
+mod common;
 
 fn bay_source(name: &str) -> String {
-    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
-    p.pop(); // crates/
-    p.pop(); // repo root
-    p.push("examples/bay");
-    p.push(name);
-    std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("read {}: {e}", p.display()))
+    let p = bay_path(name);
+    std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("read {p}: {e}"))
 }
 
 fn cli_stdout(args: &[&str]) -> String {
@@ -34,54 +32,24 @@ fn cli_stdout(args: &[&str]) -> String {
 
 fn bay_path(name: &str) -> String {
     let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
-    p.pop();
-    p.pop();
+    p.pop(); // crates/
+    p.pop(); // repo root
     p.push("examples/bay");
     p.push(name);
     p.to_string_lossy().into_owned()
 }
 
 fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
-    let mut conn = TcpStream::connect(addr).expect("connect");
-    conn.set_read_timeout(Some(Duration::from_secs(60)))
-        .unwrap();
-    let request = format!(
-        "POST {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
-        body.len()
-    );
-    conn.write_all(request.as_bytes()).expect("write request");
-    let mut raw = String::new();
-    conn.read_to_string(&mut raw).expect("read response");
-    let (head, payload) = raw.split_once("\r\n\r\n").expect("head/body split");
-    let status: u16 = head
-        .split_whitespace()
-        .nth(1)
-        .expect("status code")
-        .parse()
-        .expect("numeric status");
-    (status, payload.to_string())
+    let (status, _, payload) = common::http(addr, "POST", path, body);
+    (status, payload)
 }
 
-/// An ephemeral-port server; honors `BAYONET_TEST_CACHE_DIR` so the CLI
-/// parity suite also runs with the persistent cache enabled (persistence
-/// must never change a rendered byte).
+/// An ephemeral-port server; `common::test_config` honors
+/// `BAYONET_TEST_CACHE_DIR` so the CLI parity suite also runs with the
+/// persistent cache enabled (persistence must never change a rendered
+/// byte).
 fn server() -> ServerHandle {
-    use std::sync::atomic::{AtomicU64, Ordering};
-    static SEQ: AtomicU64 = AtomicU64::new(0);
-    let mut config = ServerConfig {
-        addr: "127.0.0.1:0".into(),
-        ..ServerConfig::default()
-    };
-    if let Ok(root) = std::env::var("BAYONET_TEST_CACHE_DIR") {
-        if !root.is_empty() {
-            config.cache_dir = Some(PathBuf::from(root).join(format!(
-                "serve-http-{}-{}",
-                std::process::id(),
-                SEQ.fetch_add(1, Ordering::Relaxed)
-            )));
-        }
-    }
-    start(config).expect("start server")
+    start(common::test_config()).expect("start server")
 }
 
 fn text_field(payload: &str) -> String {
@@ -146,4 +114,46 @@ fn smc_text_matches_cli_stdout_byte_for_byte() {
     ]);
     assert_eq!(served, cli);
     handle.shutdown();
+}
+
+/// `bayonet run <file> --batch` prints exactly the frames `/v1/batch`
+/// streams for the same body, in index order — the CLI and the server
+/// share one orchestration path.
+#[test]
+fn batch_cli_matches_http_batch_frame_for_frame() {
+    let handle = server();
+    let batch_body = format!(
+        r#"{{"source":{},"items":[{{}},{{"engine":"smc","particles":120,"seed":3}},{{"engine":"smc","particles":120,"seed":4}}]}}"#,
+        Json::Str(bay_source("gossip_k4.bay"))
+    );
+
+    let dir = common::unique_dir("cli-batch");
+    std::fs::create_dir_all(&dir).expect("create batch dir");
+    let file = dir.join("batch.json");
+    std::fs::write(&file, &batch_body).expect("write batch file");
+    let cli = cli_stdout(&["run", &file.to_string_lossy(), "--batch"]);
+
+    let (status, payload) = common::post_batch(handle.addr(), &batch_body);
+    assert_eq!(status, 200, "{payload}");
+    let mut served: Vec<(u64, &str)> = payload
+        .lines()
+        .map(|line| {
+            let frame = common::parse_frames(line);
+            (frame[0].index, line)
+        })
+        .collect();
+    served.sort_by_key(|(index, _)| *index);
+
+    let cli_lines: Vec<&str> = cli.lines().collect();
+    assert_eq!(cli_lines.len(), served.len(), "cli: {cli}\nhttp: {payload}");
+    for (k, (cli_line, (index, http_line))) in cli_lines.iter().zip(&served).enumerate() {
+        assert_eq!(*index, k as u64, "http frames must cover every index");
+        assert_eq!(
+            cli_line, http_line,
+            "frame {k}: CLI and HTTP bytes diverged"
+        );
+    }
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
 }

@@ -176,7 +176,12 @@ pub struct InitPacketSpec {
 }
 
 /// A fully compiled, executable network model.
-#[derive(Debug)]
+///
+/// Cloning is cheap relative to compilation: node programs are shared
+/// behind [`Arc`], so a clone copies only the tables and bindings. The
+/// serve layer's batch endpoint relies on this to compile a shared source
+/// once and give every batch item its own bindable copy.
+#[derive(Clone, Debug)]
 pub struct Model {
     /// Node names, index = node id.
     pub node_names: Vec<String>,

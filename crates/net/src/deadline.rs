@@ -85,6 +85,22 @@ impl Deadline {
         CancelHandle(Arc::clone(flag))
     }
 
+    /// A copy of this deadline that also expires no later than `budget`
+    /// from now, keeping any cancellation flag. The serve layer uses this
+    /// to give each batch item its own `timeout_ms` while never letting it
+    /// outlive the batch-level deadline.
+    #[must_use]
+    pub fn clamped(&self, budget: Duration) -> Deadline {
+        let candidate = Instant::now() + budget;
+        Deadline {
+            cutoff: Some(match self.cutoff {
+                Some(cutoff) => cutoff.min(candidate),
+                None => candidate,
+            }),
+            cancelled: self.cancelled.clone(),
+        }
+    }
+
     /// Whether the budget is exhausted or cancellation was signalled.
     ///
     /// Cheap enough to poll every few hundred steps: one atomic load plus,
@@ -129,6 +145,25 @@ mod tests {
     fn generous_budget_does_not_expire_now() {
         let d = Deadline::after(Duration::from_secs(3600));
         assert!(!d.expired());
+    }
+
+    #[test]
+    fn clamped_keeps_the_earlier_cutoff_and_the_flag() {
+        let mut batch = Deadline::after(Duration::from_millis(0));
+        let handle = batch.cancel_handle();
+        // Batch cutoff already passed: a generous per-item budget cannot
+        // resurrect it.
+        assert!(batch.clamped(Duration::from_secs(3600)).expired());
+
+        let mut roomy = Deadline::after(Duration::from_secs(3600));
+        let handle2 = roomy.cancel_handle();
+        let item = roomy.clamped(Duration::from_millis(0));
+        assert!(item.expired());
+        let live = roomy.clamped(Duration::from_secs(1800));
+        assert!(!live.expired());
+        handle2.cancel();
+        assert!(live.expired());
+        drop(handle);
     }
 
     #[test]

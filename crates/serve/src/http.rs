@@ -224,6 +224,70 @@ impl Response {
     }
 }
 
+/// An in-progress chunked (streaming) HTTP response.
+///
+/// The batch endpoint streams per-item results as they complete, so it
+/// cannot know `Content-Length` up front; instead the head advertises
+/// `Transfer-Encoding: chunked` and each item result is written as one
+/// self-delimiting chunk. Dropping the writer without [`ChunkedWriter::finish`]
+/// leaves the body unterminated — the client sees a truncated transfer,
+/// never a silently complete-looking one.
+pub struct ChunkedWriter<'a, W: Write> {
+    stream: &'a mut W,
+}
+
+impl<'a, W: Write> ChunkedWriter<'a, W> {
+    /// Writes the response head (status line + headers) and switches the
+    /// connection into chunked transfer encoding.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors.
+    pub fn begin(
+        stream: &'a mut W,
+        status: u16,
+        content_type: &str,
+    ) -> io::Result<ChunkedWriter<'a, W>> {
+        let head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nTransfer-Encoding: chunked\r\n\
+             Connection: close\r\n\r\n",
+            status,
+            status_reason(status),
+            content_type,
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.flush()?;
+        Ok(ChunkedWriter { stream })
+    }
+
+    /// Writes one chunk and flushes it, so a slow batch still delivers
+    /// every completed item promptly. Empty chunks are skipped: in chunked
+    /// encoding a zero-length chunk terminates the body.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors.
+    pub fn chunk(&mut self, data: &[u8]) -> io::Result<()> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        write!(self.stream, "{:x}\r\n", data.len())?;
+        self.stream.write_all(data)?;
+        self.stream.write_all(b"\r\n")?;
+        self.stream.flush()
+    }
+
+    /// Terminates the body with the final zero-length chunk.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors.
+    pub fn finish(self) -> io::Result<()> {
+        self.stream.write_all(b"0\r\n\r\n")?;
+        self.stream.flush()
+    }
+}
+
 /// The canonical reason phrase for the status codes this server emits.
 pub fn status_reason(status: u16) -> &'static str {
     match status {
@@ -273,6 +337,25 @@ mod tests {
         assert!(read_request(&mut &raw[..]).is_err());
         let raw = b"GET /x HTTP/1.1\r\nContent-Length: zebra\r\n\r\n";
         assert!(read_request(&mut &raw[..]).is_err());
+    }
+
+    #[test]
+    fn chunked_writer_frames_and_terminates() {
+        let mut out = Vec::new();
+        let mut w = ChunkedWriter::begin(&mut out, 200, "application/x-ndjson").unwrap();
+        w.chunk(b"{\"index\":0}\n").unwrap();
+        w.chunk(b"").unwrap(); // skipped: would terminate the body early
+        w.chunk(b"{\"index\":1}\n").unwrap();
+        w.finish().unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Transfer-Encoding: chunked\r\n"), "{text}");
+        assert!(!text.contains("Content-Length"), "{text}");
+        let body = text.split_once("\r\n\r\n").unwrap().1;
+        assert_eq!(
+            body,
+            "c\r\n{\"index\":0}\n\r\nc\r\n{\"index\":1}\n\r\n0\r\n\r\n"
+        );
     }
 
     #[test]

@@ -80,6 +80,14 @@ impl Json {
         }
     }
 
+    /// The array elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
     /// The object entries, if this is an object.
     pub fn as_obj(&self) -> Option<&[(String, Json)]> {
         match self {

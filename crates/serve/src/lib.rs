@@ -6,6 +6,9 @@
 //! * `POST /v1/check` — parse + integrity-check a program,
 //! * `POST /v1/run` — exact, SMC, or rejection inference,
 //! * `POST /v1/synthesize` — parameter synthesis,
+//! * `POST /v1/batch` — many inference items in one request, streamed back
+//!   as NDJSON frames over chunked transfer encoding as they complete,
+//!   with parse/check/compile amortized across items sharing a source,
 //! * `GET /healthz` — liveness probe,
 //! * `GET /metrics` — Prometheus text exposition.
 //!
@@ -53,11 +56,13 @@ mod server;
 mod service;
 
 pub use cache::LruCache;
-pub use http::{read_request, Request, RequestError, Response, MAX_BODY_BYTES, MAX_HEAD_BYTES};
+pub use http::{
+    read_request, ChunkedWriter, Request, RequestError, Response, MAX_BODY_BYTES, MAX_HEAD_BYTES,
+};
 pub use json::{parse as parse_json, Json, ParseError as JsonParseError};
 pub use metrics::Metrics;
 pub use persist::{
     PersistConfig, PersistCounters, PersistentStore, DEFAULT_CACHE_MAX_BYTES, SEGMENT_FILE,
 };
 pub use server::{start, ServerConfig, ServerHandle};
-pub use service::{Service, ServiceOptions, DEFAULT_CACHE_ENTRIES};
+pub use service::{Service, ServiceOptions, DEFAULT_CACHE_ENTRIES, MAX_BATCH_ITEMS};

@@ -48,6 +48,14 @@ struct Inner {
     /// Mirror of the LRU's lifetime eviction count (set, not incremented,
     /// so warm-load evictions are included).
     cache_evictions: u64,
+    /// Batch endpoint totals: batches handled, items executed, items that
+    /// ended in a per-item error frame, distinct canonical sources
+    /// compiled, and items that reused a batch-local compiled source.
+    batches: u64,
+    batch_items: u64,
+    batch_item_errors: u64,
+    batch_compiles: u64,
+    batch_source_reuse: u64,
     /// Cumulative exact-engine work across all requests.
     engine_steps: u64,
     engine_expansions: u64,
@@ -97,6 +105,19 @@ impl Metrics {
         } else {
             inner.cache_misses += 1;
         }
+    }
+
+    /// Folds one completed batch into the `bayonet_batch_*` totals:
+    /// `items` executed of which `item_errors` produced error frames,
+    /// `compiles` distinct canonical sources compiled for the batch, and
+    /// `source_reuse` items that ran off an already-compiled source.
+    pub fn record_batch(&self, items: u64, item_errors: u64, compiles: u64, source_reuse: u64) {
+        let mut inner = self.inner.lock().expect("metrics mutex");
+        inner.batches += 1;
+        inner.batch_items += items;
+        inner.batch_item_errors += item_errors;
+        inner.batch_compiles += compiles;
+        inner.batch_source_reuse += source_reuse;
     }
 
     /// Folds one exact-engine run into the cumulative totals.
@@ -250,6 +271,38 @@ impl Metrics {
             );
         }
 
+        out.push_str("# HELP bayonet_batch_requests_total Batches handled by /v1/batch.\n");
+        out.push_str("# TYPE bayonet_batch_requests_total counter\n");
+        let _ = writeln!(out, "bayonet_batch_requests_total {}", inner.batches);
+        out.push_str("# HELP bayonet_batch_items_total Batch items executed.\n");
+        out.push_str("# TYPE bayonet_batch_items_total counter\n");
+        let _ = writeln!(out, "bayonet_batch_items_total {}", inner.batch_items);
+        out.push_str(
+            "# HELP bayonet_batch_item_errors_total Batch items that produced an error frame.\n",
+        );
+        out.push_str("# TYPE bayonet_batch_item_errors_total counter\n");
+        let _ = writeln!(
+            out,
+            "bayonet_batch_item_errors_total {}",
+            inner.batch_item_errors
+        );
+        out.push_str(
+            "# HELP bayonet_batch_compiles_total Distinct canonical sources \
+             parsed+checked+compiled for batches.\n",
+        );
+        out.push_str("# TYPE bayonet_batch_compiles_total counter\n");
+        let _ = writeln!(out, "bayonet_batch_compiles_total {}", inner.batch_compiles);
+        out.push_str(
+            "# HELP bayonet_batch_source_reuse_total Batch items that reused a \
+             batch-local compiled source.\n",
+        );
+        out.push_str("# TYPE bayonet_batch_source_reuse_total counter\n");
+        let _ = writeln!(
+            out,
+            "bayonet_batch_source_reuse_total {}",
+            inner.batch_source_reuse
+        );
+
         out.push_str("# HELP bayonet_engine_steps_total Exact-engine global steps.\n");
         out.push_str("# TYPE bayonet_engine_steps_total counter\n");
         let _ = writeln!(out, "bayonet_engine_steps_total {}", inner.engine_steps);
@@ -321,6 +374,7 @@ mod tests {
         persist.size_bytes.store(512, Ordering::Relaxed);
         m.bind_persist(persist);
         m.queue_depth_add(2);
+        m.record_batch(10, 2, 1, 9);
         m.record_engine(&EngineStats {
             steps: 10,
             expansions: 100,
@@ -347,6 +401,11 @@ mod tests {
         assert!(text.contains("bayonet_cache_persist_load_corrupt_total 2"));
         assert!(text.contains("bayonet_cache_persist_compactions_total 1"));
         assert!(text.contains("bayonet_cache_persist_size_bytes 512"));
+        assert!(text.contains("bayonet_batch_requests_total 1"));
+        assert!(text.contains("bayonet_batch_items_total 10"));
+        assert!(text.contains("bayonet_batch_item_errors_total 2"));
+        assert!(text.contains("bayonet_batch_compiles_total 1"));
+        assert!(text.contains("bayonet_batch_source_reuse_total 9"));
         assert!(text.contains("bayonet_engine_steps_total 10"));
         assert!(text.contains("bayonet_engine_peak_configs 7"));
         assert!(text.contains("bayonet_engine_steals_total 4"));

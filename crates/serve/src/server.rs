@@ -183,6 +183,12 @@ fn serve_connection(service: &Service, mut stream: TcpStream, io_timeout: Durati
     let _ = stream.set_read_timeout(Some(io_timeout));
     let _ = stream.set_write_timeout(Some(io_timeout));
     let response = match read_request(&mut stream) {
+        // Batch requests stream per-item results over chunked transfer
+        // encoding as they complete, so they bypass the buffered path.
+        Ok(req) if req.method == "POST" && req.path == "/v1/batch" => {
+            let _ = service.handle_batch(&req, &mut stream);
+            return;
+        }
         Ok(req) => service.handle(&req),
         Err(RequestError::Malformed("empty request")) => return, // probe/shutdown poke
         Err(RequestError::Io(_)) => return,

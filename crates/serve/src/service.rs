@@ -16,9 +16,11 @@
 //! responses (including timeouts) are never cached.
 
 use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::hash::{Hash, Hasher};
-use std::io;
+use std::io::{self, Write};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -27,18 +29,23 @@ use bayonet_exact::{
     analyze, answer, synthesize_result, ComputePool, ExactError, ExactOptions, Objective,
     QueryResult, SynthesisOptions,
 };
-use bayonet_lang::{check, parse, pretty_program};
+use bayonet_lang::{check, parse, pretty_program, Program};
 use bayonet_net::{compile, scheduler_for, Deadline, Model, Scheduler};
 use bayonet_num::Rat;
 
 use crate::cache::LruCache;
-use crate::http::{Request, Response};
+use crate::http::{ChunkedWriter, Request, Response};
 use crate::json::{self, Json};
 use crate::metrics::Metrics;
 use crate::persist::{PersistConfig, PersistentStore};
 
 /// Default result-cache capacity (entries).
 pub const DEFAULT_CACHE_ENTRIES: usize = 128;
+
+/// Largest accepted `items` array in a `/v1/batch` request. The cap keeps
+/// one hostile or confused client from parking an unbounded amount of work
+/// behind a single connection; bigger workloads split into several batches.
+pub const MAX_BATCH_ITEMS: usize = 256;
 
 /// Largest per-request `threads` value accepted before server-side
 /// clamping; anything above this is a client error rather than a hint.
@@ -152,15 +159,17 @@ impl Service {
     }
 
     /// Exact-engine options for one request: the per-request `threads` hint
-    /// (clamped to the pool capacity) plus the shared pool handle.
-    fn exact_options(&self, req: &InferenceRequest) -> ExactOptions {
+    /// (clamped to the pool capacity) plus the shared pool handle. The
+    /// deadline is passed in rather than read off the request so batch
+    /// items can substitute their batch-clamped deadline.
+    fn exact_options(&self, req: &InferenceRequest, deadline: Deadline) -> ExactOptions {
         let requested = req.threads.unwrap_or(1);
         let threads = match &self.pool {
             Some(pool) => requested.min(pool.capacity()),
             None => 1,
         };
         ExactOptions {
-            deadline: req.deadline(),
+            deadline,
             threads,
             pool: self.pool.clone(),
             ..ExactOptions::default()
@@ -193,7 +202,8 @@ impl Service {
                     Err(e) => e.into_response(),
                 }
             }
-            ("GET", "/v1/check" | "/v1/run" | "/v1/synthesize")
+            ("POST", "/v1/batch") => self.batch_endpoint(req),
+            ("GET", "/v1/check" | "/v1/run" | "/v1/synthesize" | "/v1/batch")
             | ("POST", "/healthz" | "/metrics") => ApiError {
                 status: 405,
                 kind: "method_not_allowed",
@@ -301,15 +311,28 @@ impl Service {
 
     fn run_endpoint(&self, req: &InferenceRequest) -> Result<Response, ApiError> {
         let (model, scheduler) = req.build_model()?;
+        self.run_with_model(req, &model, &*scheduler, req.deadline())
+    }
+
+    /// Runs the `/v1/run` engine dispatch against an already compiled
+    /// model. The batch endpoint calls this directly with a clone of a
+    /// shared compiled model and a batch-clamped deadline.
+    fn run_with_model(
+        &self,
+        req: &InferenceRequest,
+        model: &Model,
+        scheduler: &dyn Scheduler,
+        deadline: Deadline,
+    ) -> Result<Response, ApiError> {
         match req.engine {
             Engine::Exact => {
-                let opts = self.exact_options(req);
-                let analysis = analyze(&model, &*scheduler, &opts).map_err(exact_error)?;
+                let opts = self.exact_options(req, deadline);
+                let analysis = analyze(model, scheduler, &opts).map_err(exact_error)?;
                 self.metrics.record_engine(&analysis.stats);
                 let mut results: Vec<QueryResult> = Vec::with_capacity(model.queries.len());
                 for q in &model.queries {
                     results
-                        .push(answer(&model, &analysis, q, opts.fm_pruning).map_err(exact_error)?);
+                        .push(answer(model, &analysis, q, opts.fm_pruning).map_err(exact_error)?);
                 }
                 let z = analysis.total_terminal_mass();
                 let discarded = analysis.total_discarded_mass();
@@ -363,7 +386,7 @@ impl Service {
                 let opts = ApproxOptions {
                     particles: req.particles.unwrap_or(1000),
                     seed: req.seed.unwrap_or(0),
-                    deadline: req.deadline(),
+                    deadline,
                     ..ApproxOptions::default()
                 };
                 let indices: Vec<usize> = match req.query {
@@ -378,8 +401,8 @@ impl Service {
                 for idx in indices {
                     let q = &model.queries[idx];
                     let est: Estimate = match req.engine {
-                        Engine::Smc => smc(&model, &*scheduler, q, &opts),
-                        Engine::Rejection => rejection(&model, &*scheduler, q, &opts),
+                        Engine::Smc => smc(model, scheduler, q, &opts),
+                        Engine::Rejection => rejection(model, scheduler, q, &opts),
                         Engine::Exact => unreachable!(),
                     }
                     .map_err(approx_error)?;
@@ -412,7 +435,7 @@ impl Service {
         let query_idx = req.query.unwrap_or(0);
         req.check_query_index(query_idx, model.queries.len())?;
 
-        let opts = self.exact_options(req);
+        let opts = self.exact_options(req, req.deadline());
         let analysis = analyze(&model, &*scheduler, &opts).map_err(exact_error)?;
         self.metrics.record_engine(&analysis.stats);
         let result = answer(
@@ -498,6 +521,467 @@ impl Service {
             .to_string(),
         ))
     }
+
+    /// The buffered `/v1/batch` handler used by [`Service::handle`]: runs
+    /// the whole batch, then returns one NDJSON body with the frames
+    /// sorted by item index. The HTTP server streams instead via
+    /// [`Service::handle_batch`]; this path serves in-process callers (the
+    /// CLI's `run --batch`, tests) that want deterministic output.
+    fn batch_endpoint(&self, req: &Request) -> Response {
+        let batch = match BatchRequest::from_http(req) {
+            Ok(batch) => batch,
+            Err(e) => return e.into_response(),
+        };
+        let deadline = batch.deadline();
+        let frames: Mutex<Vec<(usize, Vec<u8>)>> = Mutex::new(Vec::new());
+        let emit = |index: usize, resp: &Response| {
+            frames
+                .lock()
+                .expect("frames mutex")
+                .push((index, batch_frame(index, resp)));
+        };
+        let stats = self.run_batch(&batch, &deadline, &emit);
+        self.record_batch_stats(&stats);
+        let mut frames = frames.into_inner().expect("frames mutex");
+        frames.sort_by_key(|(index, _)| *index);
+        let mut body = Vec::new();
+        for (_, frame) in frames {
+            body.extend_from_slice(&frame);
+        }
+        Response {
+            status: 200,
+            headers: Vec::new(),
+            content_type: "application/x-ndjson",
+            body,
+        }
+    }
+
+    /// The streaming `/v1/batch` handler: validates the batch, then writes
+    /// per-item NDJSON frames to `stream` as chunked transfer encoding, in
+    /// completion order. Validation errors are written as an ordinary
+    /// buffered error response (no chunk is ever emitted before the batch
+    /// is known to be well-formed). If the client disconnects mid-stream,
+    /// the remaining items are cancelled so engine time is not wasted on an
+    /// unreadable response.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors, including the client disconnecting
+    /// mid-batch.
+    pub fn handle_batch<W: Write + Send>(&self, req: &Request, stream: &mut W) -> io::Result<()> {
+        let started = Instant::now();
+        let batch = match BatchRequest::from_http(req) {
+            Ok(batch) => batch,
+            Err(e) => {
+                let resp = e.into_response();
+                self.metrics
+                    .record_request("/v1/batch", resp.status, started.elapsed());
+                return resp.write_to(stream);
+            }
+        };
+        let mut deadline = batch.deadline();
+        let cancel = deadline.cancel_handle();
+        let writer = Mutex::new(ChunkedWriter::begin(stream, 200, "application/x-ndjson")?);
+        let broken = AtomicBool::new(false);
+        let emit = |index: usize, resp: &Response| {
+            if broken.load(Ordering::Relaxed) {
+                return;
+            }
+            let frame = batch_frame(index, resp);
+            let failed = writer
+                .lock()
+                .expect("chunk writer mutex")
+                .chunk(&frame)
+                .is_err();
+            if failed {
+                broken.store(true, Ordering::Relaxed);
+                // The client is gone; expire the remaining items instead of
+                // burning engine time on frames nobody will read.
+                cancel.cancel();
+            }
+        };
+        let stats = self.run_batch(&batch, &deadline, &emit);
+        self.metrics
+            .record_request("/v1/batch", 200, started.elapsed());
+        self.record_batch_stats(&stats);
+        if broken.load(Ordering::Relaxed) {
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "client disconnected mid-batch",
+            ));
+        }
+        writer.into_inner().expect("chunk writer mutex").finish()
+    }
+
+    fn record_batch_stats(&self, stats: &BatchStats) {
+        self.metrics.record_batch(
+            stats.items,
+            stats.item_errors,
+            stats.compiles,
+            stats.source_reuse,
+        );
+    }
+
+    /// Runs every batch item, calling `emit` (possibly from several worker
+    /// threads, hence `Sync`) with each item's index and `/v1/run`-shaped
+    /// response as it completes. Items fan out across lanes leased from the
+    /// compute pool; the request's own thread always works as lane zero, so
+    /// a fully busy pool degrades to sequential execution instead of
+    /// blocking.
+    fn run_batch(
+        &self,
+        batch: &BatchRequest,
+        deadline: &Deadline,
+        emit: &(dyn Fn(usize, &Response) + Sync),
+    ) -> BatchStats {
+        // Phase 1 (sequential): compile each distinct source exactly once.
+        let prep = self.prepare_sources(batch);
+
+        // Phase 2 (parallel): fan items out over pool lanes.
+        let next = AtomicUsize::new(0);
+        let item_errors = AtomicU64::new(0);
+        let shared_source = batch.shared_source.as_deref();
+        let run_lane = || loop {
+            let index = next.fetch_add(1, Ordering::Relaxed);
+            let Some(item) = batch.items.get(index) else {
+                break;
+            };
+            let resp = self.batch_item(item, shared_source, &prep, deadline);
+            if resp.status != 200 {
+                item_errors.fetch_add(1, Ordering::Relaxed);
+            }
+            emit(index, &resp);
+        };
+        let lease = self
+            .pool
+            .as_ref()
+            .map(|pool| pool.lease(batch.items.len().saturating_sub(1)));
+        let extra_lanes = lease.as_ref().map_or(0, |l| l.granted());
+        if extra_lanes == 0 {
+            run_lane();
+        } else {
+            let run_lane = &run_lane;
+            std::thread::scope(|scope| {
+                for _ in 0..extra_lanes {
+                    scope.spawn(run_lane);
+                }
+                run_lane();
+            });
+        }
+        drop(lease);
+
+        let resolvable = batch
+            .items
+            .iter()
+            .filter(|item| item_source(item, shared_source).is_some())
+            .count() as u64;
+        BatchStats {
+            items: batch.items.len() as u64,
+            item_errors: item_errors.into_inner(),
+            compiles: prep.compiles,
+            source_reuse: resolvable.saturating_sub(prep.fresh),
+        }
+    }
+
+    /// Scans the batch once and parses + checks + compiles each distinct
+    /// source exactly one time. Sources that differ only in formatting
+    /// share a compile through the canonical pretty-printed form. Failures
+    /// are prepared too: every item with a broken source reports the same
+    /// structured error without re-parsing.
+    fn prepare_sources(&self, batch: &BatchRequest) -> BatchPrep {
+        let mut by_source: HashMap<String, Arc<PreparedSource>> = HashMap::new();
+        let mut by_canonical: HashMap<String, Arc<PreparedSource>> = HashMap::new();
+        let mut compiles = 0u64;
+        let mut fresh = 0u64;
+        for item in &batch.items {
+            let Some(source) = item_source(item, batch.shared_source.as_deref()) else {
+                // No resolvable source: the per-item pass reports the same
+                // missing-field error `/v1/run` would.
+                continue;
+            };
+            if by_source.contains_key(source) {
+                continue;
+            }
+            let prepared = match parse(source) {
+                Err(e) => {
+                    fresh += 1;
+                    Arc::new(PreparedSource {
+                        canonical: String::new(),
+                        outcome: Err(ApiError {
+                            status: 422,
+                            kind: "parse_error",
+                            message: e.to_string(),
+                            field: None,
+                        }),
+                    })
+                }
+                Ok(program) => {
+                    let canonical = pretty_program(&program);
+                    match by_canonical.get(&canonical) {
+                        // Textually different but canonically identical:
+                        // reuse the compile.
+                        Some(shared) => Arc::clone(shared),
+                        None => {
+                            fresh += 1;
+                            compiles += 1;
+                            let prepared = Arc::new(PreparedSource {
+                                canonical: canonical.clone(),
+                                outcome: check_and_compile(&program),
+                            });
+                            by_canonical.insert(canonical, Arc::clone(&prepared));
+                            prepared
+                        }
+                    }
+                }
+            };
+            by_source.insert(source.to_string(), prepared);
+        }
+        BatchPrep {
+            by_source,
+            compiles,
+            fresh,
+        }
+    }
+
+    /// Runs one batch item to a `/v1/run`-shaped [`Response`] (success or
+    /// structured error), never panicking the lane.
+    fn batch_item(
+        &self,
+        item: &Json,
+        shared_source: Option<&str>,
+        prep: &BatchPrep,
+        batch_deadline: &Deadline,
+    ) -> Response {
+        match self.batch_item_inner(item, shared_source, prep, batch_deadline) {
+            Ok(resp) => resp,
+            Err(e) => e.into_response(),
+        }
+    }
+
+    fn batch_item_inner(
+        &self,
+        item: &Json,
+        shared_source: Option<&str>,
+        prep: &BatchPrep,
+        batch_deadline: &Deadline,
+    ) -> Result<Response, ApiError> {
+        let parsed = InferenceRequest::from_json(item, shared_source)?;
+        let prepared = prep
+            .by_source
+            .get(&parsed.source)
+            .expect("every resolvable source was prepared in the scan phase");
+        let template = match &prepared.outcome {
+            Ok(model) => model,
+            Err(e) => return Err(e.clone()),
+        };
+
+        // Same key as a single `/v1/run` call, so batch items and single
+        // runs share cache entries in both directions.
+        let key = parsed.cache_key("/v1/run", &prepared.canonical);
+        if let Some(hit) = self.cache.lock().expect("cache mutex").get(&key).cloned() {
+            self.metrics.record_cache(true);
+            return Ok(hit);
+        }
+        self.metrics.record_cache(false);
+
+        if batch_deadline.expired() {
+            return Err(ApiError {
+                status: 504,
+                kind: "timeout",
+                message: "batch budget exhausted before this item started".into(),
+                field: None,
+            });
+        }
+        let deadline = match parsed.timeout_ms {
+            Some(ms) => batch_deadline.clamped(Duration::from_millis(ms)),
+            None => batch_deadline.clone(),
+        };
+
+        let mut model = template.clone();
+        apply_bindings(&mut model, &parsed.bindings)?;
+        let scheduler = scheduler_for(&model);
+        let response = self.run_with_model(&parsed, &model, &*scheduler, deadline)?;
+        if response.status == 200 {
+            let evictions = {
+                let mut cache = self.cache.lock().expect("cache mutex");
+                cache.insert(key, response.clone());
+                cache.evictions()
+            };
+            self.metrics.set_cache_evictions(evictions);
+            if let Some(store) = &self.persist {
+                store.append(key, response.body.clone());
+            }
+        }
+        Ok(response)
+    }
+}
+
+/// One item's source string: its own `source` field if set, else the
+/// batch-level shared source.
+fn item_source<'a>(item: &'a Json, shared: Option<&'a str>) -> Option<&'a str> {
+    item.get("source").and_then(Json::as_str).or(shared)
+}
+
+/// Renders one NDJSON batch frame: `{"index":N,"status":S,"body":...}\n`
+/// with the item's `/v1/run` response body spliced in verbatim, so each
+/// frame's `body` is byte-identical to the equivalent single call.
+fn batch_frame(index: usize, resp: &Response) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(resp.body.len() + 48);
+    frame.extend_from_slice(format!("{{\"index\":{index},\"status\":{}", resp.status).as_bytes());
+    frame.extend_from_slice(b",\"body\":");
+    frame.extend_from_slice(&resp.body);
+    frame.extend_from_slice(b"}\n");
+    frame
+}
+
+/// One distinct source's shared parse → check → compile outcome.
+struct PreparedSource {
+    /// Canonical pretty-printed program (empty when parsing failed).
+    canonical: String,
+    /// A compiled model template cloned per item, or the structured error
+    /// every item with this source reports.
+    outcome: Result<Model, ApiError>,
+}
+
+/// Result of the batch scan phase.
+struct BatchPrep {
+    /// Shared outcome per distinct raw source text.
+    by_source: HashMap<String, Arc<PreparedSource>>,
+    /// Distinct canonical programs actually compiled.
+    compiles: u64,
+    /// Distinct outcomes built (compiles plus parse failures); everything
+    /// else was a reuse.
+    fresh: u64,
+}
+
+/// Counters from one batch run, for `bayonet_batch_*` metrics.
+struct BatchStats {
+    items: u64,
+    item_errors: u64,
+    compiles: u64,
+    source_reuse: u64,
+}
+
+/// The decoded body of a `/v1/batch` request.
+struct BatchRequest {
+    /// The raw per-item JSON objects, validated to be objects.
+    items: Vec<Json>,
+    /// Batch-level shared program source, if any.
+    shared_source: Option<String>,
+    /// Batch-level deadline budget covering all items.
+    timeout_ms: Option<u64>,
+}
+
+impl BatchRequest {
+    fn from_http(req: &Request) -> Result<BatchRequest, ApiError> {
+        let bad = |message: String, field: Option<String>| ApiError {
+            status: 400,
+            kind: "bad_request",
+            message,
+            field,
+        };
+        let body = req.body_str().map_err(|e| bad(e.to_string(), None))?;
+        let doc = json::parse(body).map_err(|e| bad(e.to_string(), None))?;
+        let Some(pairs) = doc.as_obj() else {
+            return Err(bad("request body must be a JSON object".into(), None));
+        };
+
+        let known = ["source", "items", "timeout_ms"];
+        for (key, _) in pairs {
+            if !known.contains(&key.as_str()) {
+                return Err(bad(
+                    format!(
+                        "unknown batch field `{key}` (known fields: {})",
+                        known.join(", ")
+                    ),
+                    Some(key.clone()),
+                ));
+            }
+        }
+
+        let shared_source = match doc.get("source") {
+            None | Some(Json::Null) => None,
+            Some(Json::Str(s)) => Some(s.clone()),
+            Some(_) => {
+                return Err(bad(
+                    "`source` must be a string".into(),
+                    Some("source".into()),
+                ))
+            }
+        };
+        let timeout_ms = match doc.get("timeout_ms") {
+            None | Some(Json::Null) => None,
+            Some(v) => match v.as_u64() {
+                Some(ms) if (1..=MAX_TIMEOUT_MS).contains(&ms) => Some(ms),
+                Some(ms) => {
+                    return Err(bad(
+                        format!("`timeout_ms` must be between 1 and {MAX_TIMEOUT_MS}, got {ms}"),
+                        Some("timeout_ms".into()),
+                    ))
+                }
+                None => {
+                    return Err(bad(
+                        "`timeout_ms` must be a nonnegative integer".into(),
+                        Some("timeout_ms".into()),
+                    ))
+                }
+            },
+        };
+
+        let items = match doc.get("items") {
+            None => {
+                return Err(bad(
+                    "missing required array field `items`".into(),
+                    Some("items".into()),
+                ))
+            }
+            Some(v) => match v.as_arr() {
+                Some(items) => items.to_vec(),
+                None => return Err(bad("`items` must be an array".into(), Some("items".into()))),
+            },
+        };
+        if items.is_empty() || items.len() > MAX_BATCH_ITEMS {
+            return Err(bad(
+                format!(
+                    "`items` must contain between 1 and {MAX_BATCH_ITEMS} items, got {}",
+                    items.len()
+                ),
+                Some("items".into()),
+            ));
+        }
+        for (i, item) in items.iter().enumerate() {
+            if item.as_obj().is_none() {
+                return Err(bad(
+                    format!("batch item {i} must be a JSON object"),
+                    Some(format!("items[{i}]")),
+                ));
+            }
+            let has_own_source = matches!(item.get("source"), Some(v) if !matches!(v, Json::Null));
+            if shared_source.is_some() && has_own_source {
+                return Err(bad(
+                    format!(
+                        "batch item {i} sets `source` while the batch has a shared top-level \
+                         `source`; use one or the other"
+                    ),
+                    Some(format!("items[{i}].source")),
+                ));
+            }
+        }
+
+        Ok(BatchRequest {
+            items,
+            shared_source,
+            timeout_ms,
+        })
+    }
+
+    /// The batch-level deadline covering every item.
+    fn deadline(&self) -> Deadline {
+        match self.timeout_ms {
+            Some(ms) => Deadline::after(Duration::from_millis(ms)),
+            None => Deadline::unlimited(),
+        }
+    }
 }
 
 /// Collapses request paths onto a bounded label set, so hostile paths
@@ -509,6 +993,7 @@ fn normalize_endpoint(path: &str) -> &'static str {
         "/v1/check" => "/v1/check",
         "/v1/run" => "/v1/run",
         "/v1/synthesize" => "/v1/synthesize",
+        "/v1/batch" => "/v1/batch",
         _ => "other",
     }
 }
@@ -558,7 +1043,9 @@ impl Engine {
 
 /// A structured API error, rendered as `{"ok":false,"error":{...}}`.
 /// When the error is about one specific request field, `field` names it
-/// machine-readably alongside the human message.
+/// machine-readably alongside the human message. `Clone` lets a batch
+/// report one shared compile failure from every affected item.
+#[derive(Clone)]
 struct ApiError {
     status: u16,
     kind: &'static str,
@@ -643,6 +1130,21 @@ impl InferenceRequest {
         };
         let body = req.body_str().map_err(|e| bad(e.to_string()))?;
         let doc = json::parse(body).map_err(|e| bad(e.to_string()))?;
+        InferenceRequest::from_json(&doc, None)
+    }
+
+    /// Decodes one inference request from an already parsed JSON object —
+    /// either a whole `/v1/*` request body or one `/v1/batch` item. With
+    /// `shared_source` set, an item missing its own `source` inherits it;
+    /// every validation message matches the single-request path exactly, so
+    /// batch frames stay byte-identical to `/v1/run` responses.
+    fn from_json(doc: &Json, shared_source: Option<&str>) -> Result<InferenceRequest, ApiError> {
+        let bad = |message: String| ApiError {
+            status: 400,
+            kind: "bad_request",
+            message,
+            field: None,
+        };
         if doc.as_obj().is_none() {
             return Err(bad("request body must be a JSON object".into()));
         }
@@ -679,6 +1181,7 @@ impl InferenceRequest {
         let source = doc
             .get("source")
             .and_then(Json::as_str)
+            .or(shared_source)
             .ok_or_else(|| bad("missing required string field `source`".into()))?
             .to_string();
         let engine = match doc.get("engine").map(|e| (e, e.as_str())) {
@@ -812,39 +1315,53 @@ impl InferenceRequest {
     /// scheduler.
     fn build_model(&self) -> Result<(Model, Box<dyn Scheduler>), ApiError> {
         let program = parse(&self.source).expect("parsed once already");
-        check(&program).map_err(|errors| ApiError {
-            status: 422,
-            kind: "check_error",
-            message: format!(
-                "{} integrity error(s): {}",
-                errors.len(),
-                errors
-                    .iter()
-                    .map(|e| e.to_string())
-                    .collect::<Vec<_>>()
-                    .join("; ")
-            ),
-            field: None,
-        })?;
-        let mut model = compile(&program).map_err(|e| ApiError {
-            status: 422,
-            kind: "compile_error",
-            message: e.to_string(),
-            field: None,
-        })?;
-        for (name, value) in &self.bindings {
-            model
-                .bind_param(name, value.clone())
-                .map_err(|e| ApiError {
-                    status: 400,
-                    kind: "bad_request",
-                    message: e.to_string(),
-                    field: None,
-                })?;
-        }
+        let mut model = check_and_compile(&program)?;
+        apply_bindings(&mut model, &self.bindings)?;
         let scheduler = scheduler_for(&model);
         Ok((model, scheduler))
     }
+}
+
+/// Integrity-checks and compiles a parsed program with the same error
+/// shapes as the single-request path. Batch preparation calls this once
+/// per distinct canonical source.
+fn check_and_compile(program: &Program) -> Result<Model, ApiError> {
+    check(program).map_err(|errors| ApiError {
+        status: 422,
+        kind: "check_error",
+        message: format!(
+            "{} integrity error(s): {}",
+            errors.len(),
+            errors
+                .iter()
+                .map(|e| e.to_string())
+                .collect::<Vec<_>>()
+                .join("; ")
+        ),
+        field: None,
+    })?;
+    compile(program).map_err(|e| ApiError {
+        status: 422,
+        kind: "compile_error",
+        message: e.to_string(),
+        field: None,
+    })
+}
+
+/// Applies request parameter bindings to a model, again with single-request
+/// error shapes.
+fn apply_bindings(model: &mut Model, bindings: &[(String, Rat)]) -> Result<(), ApiError> {
+    for (name, value) in bindings {
+        model
+            .bind_param(name, value.clone())
+            .map_err(|e| ApiError {
+                status: 400,
+                kind: "bad_request",
+                message: e.to_string(),
+                field: None,
+            })?;
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -1032,6 +1549,208 @@ mod tests {
             doc.get("error").unwrap().get("kind").unwrap().as_str(),
             Some("timeout")
         );
+    }
+
+    /// Splits an NDJSON batch body into `(index, status, raw body)` frame
+    /// parts, keeping the body bytes verbatim for byte-identity checks.
+    fn frames(resp: &Response) -> Vec<(u64, u64, String)> {
+        assert_eq!(
+            resp.status,
+            200,
+            "{:?}",
+            String::from_utf8_lossy(&resp.body)
+        );
+        let text = std::str::from_utf8(&resp.body).unwrap();
+        text.lines()
+            .map(|line| {
+                let doc = json::parse(line).unwrap();
+                let index = doc.get("index").unwrap().as_u64().unwrap();
+                let status = doc.get("status").unwrap().as_u64().unwrap();
+                let start = line.find(",\"body\":").unwrap() + ",\"body\":".len();
+                let body = line[start..line.len() - 1].to_string();
+                (index, status, body)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_shared_source_compiles_once_and_matches_single_runs() {
+        // Independent service computes the sequential baselines.
+        let single = Service::new(8);
+        let item_bodies = [
+            Json::obj(vec![("source", Json::Str(GOSSIP.into()))]).to_string(),
+            Json::obj(vec![
+                ("source", Json::Str(GOSSIP.into())),
+                ("engine", Json::Str("smc".into())),
+                ("particles", Json::Num(100.0)),
+                ("seed", Json::Num(1.0)),
+            ])
+            .to_string(),
+            Json::obj(vec![
+                ("source", Json::Str(GOSSIP.into())),
+                ("engine", Json::Str("smc".into())),
+                ("particles", Json::Num(100.0)),
+                ("seed", Json::Num(2.0)),
+            ])
+            .to_string(),
+        ];
+        let baselines: Vec<Vec<u8>> = item_bodies
+            .iter()
+            .map(|b| {
+                let resp = single.handle(&post("/v1/run", b));
+                assert_eq!(resp.status, 200);
+                resp.body
+            })
+            .collect();
+
+        let svc = Service::new(8);
+        let batch = format!(
+            r#"{{"source":{},"items":[{{}},{{"engine":"smc","particles":100,"seed":1}},{{"engine":"smc","particles":100,"seed":2}}]}}"#,
+            Json::Str(GOSSIP.into())
+        );
+        let resp = svc.handle(&post("/v1/batch", &batch));
+        assert_eq!(resp.content_type, "application/x-ndjson");
+        let frames = frames(&resp);
+        assert_eq!(frames.len(), 3);
+        for (i, (index, status, body)) in frames.iter().enumerate() {
+            assert_eq!(*index, i as u64);
+            assert_eq!(*status, 200);
+            assert_eq!(body.as_bytes(), baselines[i], "item {i} diverged");
+        }
+
+        let metrics = svc.metrics().render();
+        assert!(
+            metrics.contains("bayonet_batch_requests_total 1"),
+            "{metrics}"
+        );
+        assert!(metrics.contains("bayonet_batch_items_total 3"), "{metrics}");
+        assert!(
+            metrics.contains("bayonet_batch_item_errors_total 0"),
+            "{metrics}"
+        );
+        // One shared source: compiled exactly once, reused by the other two.
+        assert!(
+            metrics.contains("bayonet_batch_compiles_total 1"),
+            "{metrics}"
+        );
+        assert!(
+            metrics.contains("bayonet_batch_source_reuse_total 2"),
+            "{metrics}"
+        );
+    }
+
+    #[test]
+    fn batch_items_share_the_result_cache_with_single_runs() {
+        let svc = Service::new(8);
+        let run_body = Json::obj(vec![("source", Json::Str(GOSSIP.into()))]).to_string();
+        let warm = svc.handle(&post("/v1/run", &run_body));
+        assert_eq!(warm.status, 200);
+
+        let batch = format!(r#"{{"items":[{{"source":{}}}]}}"#, Json::Str(GOSSIP.into()));
+        let resp = svc.handle(&post("/v1/batch", &batch));
+        let frames = frames(&resp);
+        assert_eq!(frames[0].2.as_bytes(), warm.body);
+        // One miss from the warm-up run, one hit from the batch item.
+        assert_eq!(svc.metrics().cache_counts(), (1, 1));
+    }
+
+    #[test]
+    fn batch_validation_is_structured_and_preflight() {
+        let svc = Service::new(4);
+
+        // Empty items array.
+        let resp = svc.handle(&post("/v1/batch", r#"{"items":[]}"#));
+        assert_eq!(resp.status, 400);
+        let doc = body_json(&resp);
+        assert_eq!(
+            doc.get("error").unwrap().get("field").unwrap().as_str(),
+            Some("items")
+        );
+
+        // Conflicting shared and per-item source.
+        let body = format!(
+            r#"{{"source":{},"items":[{{"source":"x"}}]}}"#,
+            Json::Str(GOSSIP.into())
+        );
+        let resp = svc.handle(&post("/v1/batch", &body));
+        assert_eq!(resp.status, 400);
+        let doc = body_json(&resp);
+        assert_eq!(
+            doc.get("error").unwrap().get("field").unwrap().as_str(),
+            Some("items[0].source")
+        );
+
+        // Unknown top-level batch field.
+        let resp = svc.handle(&post("/v1/batch", r#"{"items":[{}],"engine":"smc"}"#));
+        assert_eq!(resp.status, 400);
+        let doc = body_json(&resp);
+        assert_eq!(
+            doc.get("error").unwrap().get("field").unwrap().as_str(),
+            Some("engine")
+        );
+
+        // Non-object item.
+        let resp = svc.handle(&post("/v1/batch", r#"{"items":[{},7]}"#));
+        assert_eq!(resp.status, 400);
+        let doc = body_json(&resp);
+        assert_eq!(
+            doc.get("error").unwrap().get("field").unwrap().as_str(),
+            Some("items[1]")
+        );
+
+        // Nothing ran, so no batch metrics were recorded.
+        let metrics = svc.metrics().render();
+        assert!(
+            metrics.contains("bayonet_batch_requests_total 0"),
+            "{metrics}"
+        );
+    }
+
+    #[test]
+    fn batch_item_failures_do_not_abort_siblings() {
+        let svc = Service::new(4);
+        let batch = format!(
+            r#"{{"source":{},"items":[{{}},{{"fuel":1}},{{"timeout_ms":0}}]}}"#,
+            Json::Str(GOSSIP.into())
+        );
+        let resp = svc.handle(&post("/v1/batch", &batch));
+        let frames = frames(&resp);
+        assert_eq!(frames.len(), 3);
+        assert_eq!(frames[0].1, 200);
+        // Unknown per-item field: same structured error as /v1/run.
+        assert_eq!(frames[1].1, 400);
+        assert!(
+            frames[1].2.contains("unknown request field `fuel`"),
+            "{}",
+            frames[1].2
+        );
+        // Invalid per-item timeout.
+        assert_eq!(frames[2].1, 400);
+        assert!(frames[2].2.contains("timeout_ms"), "{}", frames[2].2);
+
+        let metrics = svc.metrics().render();
+        assert!(
+            metrics.contains("bayonet_batch_item_errors_total 2"),
+            "{metrics}"
+        );
+    }
+
+    #[test]
+    fn batch_deadline_expires_unstarted_items() {
+        let svc = Service::new(0);
+        // A batch whose budget is practically zero: every item that is not
+        // already cached times out with a structured per-item 504.
+        let batch = format!(
+            r#"{{"source":{},"timeout_ms":1,"items":[{{}},{{"seed":1,"engine":"smc"}}]}}"#,
+            Json::Str(GOSSIP_K4.into())
+        );
+        let resp = svc.handle(&post("/v1/batch", &batch));
+        let frames = frames(&resp);
+        assert_eq!(frames.len(), 2);
+        for (_, status, body) in &frames {
+            assert_eq!(*status, 504, "{body}");
+            assert!(body.contains("timeout"), "{body}");
+        }
     }
 
     #[test]

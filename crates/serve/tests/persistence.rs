@@ -3,37 +3,10 @@
 //! recomputing, and corrupt segment records must be skipped (counted,
 //! never fatal).
 
-use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpStream};
-use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
-
-use bayonet_serve::{start, Json, ServerConfig, SEGMENT_FILE};
+use bayonet_serve::{start, ServerConfig, SEGMENT_FILE};
 
 mod common;
-
-const TINY: &str = r#"
-    packet_fields { dst }
-    topology { nodes { A, B } links { (A, pt1) <-> (B, pt1) } }
-    programs { A -> send, B -> recv }
-    init { packet -> (A, pt1); }
-    query probability(got@B == 1);
-    def send(pkt, pt) { if flip(1/3) { fwd(1); } else { drop; } }
-    def recv(pkt, pt) state got(0) { got = 1; drop; }
-"#;
-
-/// A fresh, unique cache directory under the system temp dir.
-fn unique_dir(tag: &str) -> PathBuf {
-    static SEQ: AtomicU64 = AtomicU64::new(0);
-    let dir = std::env::temp_dir().join(format!(
-        "bayonet-persist-{tag}-{}-{}",
-        std::process::id(),
-        SEQ.fetch_add(1, Ordering::Relaxed)
-    ));
-    let _ = std::fs::remove_dir_all(&dir);
-    dir
-}
+use common::{metric, metrics, post_run, unique_dir, TINY};
 
 fn config_with_dir(dir: &std::path::Path) -> ServerConfig {
     ServerConfig {
@@ -42,48 +15,9 @@ fn config_with_dir(dir: &std::path::Path) -> ServerConfig {
     }
 }
 
-fn request(addr: SocketAddr, head: &str, body: &str) -> (u16, String) {
-    let mut conn = TcpStream::connect(addr).expect("connect");
-    conn.set_read_timeout(Some(Duration::from_secs(60)))
-        .unwrap();
-    let request = format!("{head}Content-Length: {}\r\n\r\n{body}", body.len());
-    conn.write_all(request.as_bytes()).expect("write request");
-    let mut raw = String::new();
-    conn.read_to_string(&mut raw).expect("read response");
-    let (head, payload) = raw.split_once("\r\n\r\n").expect("head/body split");
-    let status: u16 = head
-        .split_whitespace()
-        .nth(1)
-        .expect("status code")
-        .parse()
-        .expect("numeric status");
-    (status, payload.to_string())
-}
-
-fn post_run(addr: SocketAddr, source: &str) -> (u16, String) {
-    let body = Json::obj(vec![("source", Json::Str(source.into()))]).to_string();
-    request(addr, "POST /v1/run HTTP/1.1\r\nHost: test\r\n", &body)
-}
-
-fn metrics(addr: SocketAddr) -> String {
-    let (status, body) = request(addr, "GET /metrics HTTP/1.1\r\nHost: test\r\n", "");
-    assert_eq!(status, 200, "{body}");
-    body
-}
-
-/// Value of a plain `name value` Prometheus line; panics when absent.
-fn metric(text: &str, name: &str) -> u64 {
-    text.lines()
-        .find_map(|line| line.strip_prefix(&format!("{name} ")))
-        .unwrap_or_else(|| panic!("metric {name} missing from:\n{text}"))
-        .trim()
-        .parse()
-        .unwrap_or_else(|e| panic!("metric {name} not an integer: {e}"))
-}
-
 #[test]
 fn warm_reload_serves_identical_bytes_without_recomputation() {
-    let dir = unique_dir("warm");
+    let dir = unique_dir("persist-warm");
 
     // First life: compute once, which must hit the engine and then be
     // persisted. Graceful shutdown flushes the write-behind queue.
@@ -119,7 +53,7 @@ fn warm_reload_serves_identical_bytes_without_recomputation() {
 
 #[test]
 fn bit_flipped_record_is_skipped_and_counted() {
-    let dir = unique_dir("flip");
+    let dir = unique_dir("persist-flip");
 
     let handle = start(config_with_dir(&dir)).expect("start server");
     let (status, body) = post_run(handle.addr(), TINY);
@@ -154,7 +88,7 @@ fn bit_flipped_record_is_skipped_and_counted() {
 
 #[test]
 fn torn_tail_is_truncated_and_the_server_recovers() {
-    let dir = unique_dir("torn");
+    let dir = unique_dir("persist-torn");
 
     let handle = start(config_with_dir(&dir)).expect("start server");
     let (status, body) = post_run(handle.addr(), TINY);
@@ -205,4 +139,44 @@ fn persistence_off_exposes_no_persist_metrics_and_writes_nothing() {
     // The always-on eviction counter is still exported.
     assert_eq!(metric(&text, "bayonet_cache_evictions_total"), 0);
     handle.shutdown();
+}
+
+/// Batch items persist through the same write-behind path as single runs:
+/// a batch computed in one life is served from disk in the next, item for
+/// item, byte for byte.
+#[test]
+fn batch_results_survive_a_restart() {
+    let dir = unique_dir("persist-batch");
+    let batch_body = format!(
+        r#"{{"source":{},"items":[{{}},{{"engine":"smc","particles":60,"seed":7}}]}}"#,
+        bayonet_serve::Json::Str(TINY.into())
+    );
+
+    let handle = start(config_with_dir(&dir)).expect("start server");
+    let (status, payload) = common::post_batch(handle.addr(), &batch_body);
+    assert_eq!(status, 200, "{payload}");
+    let mut first = common::parse_frames(&payload);
+    first.sort_by_key(|f| f.index);
+    assert_eq!(first.len(), 2);
+    handle.shutdown();
+
+    // Second life: both items come back from disk with identical bytes
+    // and zero engine work.
+    let handle = start(config_with_dir(&dir)).expect("restart server");
+    let text = metrics(handle.addr());
+    assert!(metric(&text, "bayonet_cache_persist_load_ok_total") >= 2);
+
+    let (status, payload) = common::post_batch(handle.addr(), &batch_body);
+    assert_eq!(status, 200, "{payload}");
+    let mut second = common::parse_frames(&payload);
+    second.sort_by_key(|f| f.index);
+    for (a, b) in first.iter().zip(&second) {
+        assert_eq!(a.body, b.body, "item {} changed across restart", a.index);
+    }
+    let text = metrics(handle.addr());
+    assert_eq!(metric(&text, "bayonet_cache_hits_total"), 2);
+    assert_eq!(metric(&text, "bayonet_engine_expansions_total"), 0);
+    handle.shutdown();
+
+    let _ = std::fs::remove_dir_all(&dir);
 }

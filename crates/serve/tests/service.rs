@@ -1,80 +1,18 @@
 //! End-to-end tests of the HTTP server: a real `TcpListener` on an
-//! ephemeral port, real sockets, concurrent clients.
+//! ephemeral port, real sockets, concurrent clients — plus the
+//! batch/sequential differential: for every example program, a 10-item
+//! `/v1/batch` must be byte-identical per item to 10 individual `/v1/run`
+//! calls, with the metrics proving the shared source compiled exactly once.
 
-use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpStream};
+use std::io::Read;
+use std::net::TcpStream;
+use std::path::PathBuf;
 use std::time::Duration;
 
 use bayonet_serve::{start, Json, ServerConfig};
 
 mod common;
-
-const GOSSIP: &str = r#"
-    packet_fields { dst }
-    topology { nodes { A, B } links { (A, pt1) <-> (B, pt1) } }
-    programs { A -> send, B -> recv }
-    init { packet -> (A, pt1); }
-    query probability(got@B == 1);
-    def send(pkt, pt) { if flip(1/3) { fwd(1); } else { drop; } }
-    def recv(pkt, pt) state got(0) { got = 1; drop; }
-"#;
-
-/// Gossip on K4 (examples/bay/gossip_k4.bay): heavy enough that a 1 ms
-/// deadline reliably expires mid-exploration.
-const GOSSIP_K4: &str = r#"
-    packet_fields { dst }
-    topology {
-        nodes { S0, S1, S2, S3 }
-        links {
-            (S0, pt1) <-> (S1, pt1), (S0, pt2) <-> (S2, pt1),
-            (S0, pt3) <-> (S3, pt1), (S1, pt2) <-> (S2, pt2),
-            (S1, pt3) <-> (S3, pt2), (S2, pt3) <-> (S3, pt3)
-        }
-    }
-    programs { S0 -> seed, S1 -> gossip, S2 -> gossip, S3 -> gossip }
-    init { packet -> (S0, pt1); }
-    query expectation(infected@S0 + infected@S1 + infected@S2 + infected@S3);
-    def seed(pkt, pt) state infected(0) {
-        if infected == 0 { infected = 1; fwd(uniformInt(1, 3)); }
-        else { drop; }
-    }
-    def gossip(pkt, pt) state infected(0) {
-        if infected == 0 {
-            infected = 1;
-            dup;
-            fwd(uniformInt(1, 3));
-            fwd(uniformInt(1, 3));
-        } else { drop; }
-    }
-"#;
-
-/// One-shot HTTP exchange: returns (status, headers, body).
-fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String, String) {
-    let mut conn = TcpStream::connect(addr).expect("connect");
-    conn.set_read_timeout(Some(Duration::from_secs(30)))
-        .unwrap();
-    let request = format!(
-        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
-        body.len()
-    );
-    conn.write_all(request.as_bytes()).expect("write request");
-    let mut raw = String::new();
-    conn.read_to_string(&mut raw).expect("read response");
-    let (head, payload) = raw
-        .split_once("\r\n\r\n")
-        .expect("response has a head/body split");
-    let status: u16 = head
-        .split_whitespace()
-        .nth(1)
-        .expect("status code")
-        .parse()
-        .expect("numeric status");
-    (status, head.to_string(), payload.to_string())
-}
-
-fn run_body(source: &str) -> String {
-    Json::obj(vec![("source", Json::Str(source.into()))]).to_string()
-}
+use common::{http, run_body, GOSSIP_K4, TINY};
 
 #[test]
 fn concurrent_clients_all_get_exact_answers() {
@@ -88,7 +26,7 @@ fn concurrent_clients_all_get_exact_answers() {
     let clients: Vec<_> = (0..8)
         .map(|_| {
             std::thread::spawn(move || {
-                let (status, _, body) = http(addr, "POST", "/v1/run", &run_body(GOSSIP));
+                let (status, _, body) = http(addr, "POST", "/v1/run", &run_body(TINY));
                 (status, body)
             })
         })
@@ -109,9 +47,9 @@ fn repeat_requests_hit_the_cache_per_metrics() {
     let handle = start(common::test_config()).expect("start server");
     let addr = handle.addr();
 
-    let (status, _, first) = http(addr, "POST", "/v1/run", &run_body(GOSSIP));
+    let (status, _, first) = http(addr, "POST", "/v1/run", &run_body(TINY));
     assert_eq!(status, 200, "{first}");
-    let (status, _, second) = http(addr, "POST", "/v1/run", &run_body(GOSSIP));
+    let (status, _, second) = http(addr, "POST", "/v1/run", &run_body(TINY));
     assert_eq!(status, 200, "{second}");
     assert_eq!(first, second);
 
@@ -206,4 +144,213 @@ fn overloaded_queue_sheds_load_with_503() {
     drop(stall);
     drop(parked);
     handle.shutdown();
+}
+
+/// Every curated example program, read from `examples/bay/`.
+fn example_programs() -> Vec<(String, String)> {
+    let mut dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    dir.pop(); // crates/
+    dir.pop(); // repo root
+    dir.push("examples/bay");
+    let mut programs: Vec<(String, String)> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("read {}: {e}", dir.display()))
+        .filter_map(|entry| {
+            let path = entry.expect("dir entry").path();
+            (path.extension().is_some_and(|e| e == "bay")).then(|| {
+                let name = path.file_name().unwrap().to_string_lossy().into_owned();
+                let source = std::fs::read_to_string(&path)
+                    .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+                (name, source)
+            })
+        })
+        .collect();
+    programs.sort();
+    assert!(
+        !programs.is_empty(),
+        "no example programs in {}",
+        dir.display()
+    );
+    programs
+}
+
+/// The differential: for every example program, a 10-item batch against
+/// one server must be byte-identical, item for item, to 10 individual
+/// `/v1/run` calls against an *independent* server — and the batch
+/// server's metrics must show exactly one compile per batch, with a
+/// replayed batch served entirely from the result cache.
+#[test]
+fn batch_is_byte_identical_to_sequential_runs_for_every_example() {
+    let batch_server = start(ServerConfig {
+        threads: common::test_threads(),
+        ..common::test_config()
+    })
+    .expect("start batch server");
+    let sequential_server = start(common::test_config()).expect("start sequential server");
+
+    let programs = example_programs();
+    let mut expected_items = 0u64;
+    for (round, (name, source)) in programs.iter().enumerate() {
+        // `lossy_link.bay` samples `flip(P_LOSS)`, which the exact engine
+        // only accepts with a concrete binding; everything else runs
+        // symbolically. Bindings are part of the cache key, so all ten
+        // items carry the same ones.
+        let bindings = (name == "lossy_link.bay").then_some(r#""bindings":{"P_LOSS":"1/10"}"#);
+        // Ten items sharing one source. Odd items carry extra per-item
+        // knobs (`timeout_ms`, `threads`) that must not change a byte of
+        // the result — both are deliberately excluded from the cache key.
+        let item_fields = |k: usize| {
+            let mut fields: Vec<&str> = bindings.into_iter().collect();
+            if k % 2 == 1 {
+                fields.push(r#""timeout_ms":600000,"threads":2"#);
+            }
+            fields.join(",")
+        };
+        let items: Vec<String> = (0..10).map(|k| format!("{{{}}}", item_fields(k))).collect();
+        let batch_body = format!(
+            r#"{{"source":{},"items":[{}]}}"#,
+            Json::Str(source.clone()),
+            items.join(",")
+        );
+        let (status, payload) = common::post_batch(batch_server.addr(), &batch_body);
+        assert_eq!(status, 200, "{name}: {payload}");
+        let mut frames = common::parse_frames(&payload);
+        assert_eq!(frames.len(), 10, "{name}: {payload}");
+        frames.sort_by_key(|f| f.index);
+
+        for (k, frame) in frames.iter().enumerate() {
+            assert_eq!(frame.index, k as u64, "{name}: indices must cover 0..10");
+            assert_eq!(frame.status, 200, "{name} item {k}: {}", frame.body);
+            // The sequential call carries the identical per-item fields,
+            // with the shared source inlined.
+            let fields = item_fields(k);
+            let run = if fields.is_empty() {
+                run_body(source)
+            } else {
+                format!(r#"{{"source":{},{fields}}}"#, Json::Str(source.clone()))
+            };
+            let (status, _, sequential) = http(sequential_server.addr(), "POST", "/v1/run", &run);
+            assert_eq!(status, 200, "{name} item {k}: {sequential}");
+            assert_eq!(
+                frame.body, sequential,
+                "{name} item {k}: batch and sequential bytes diverged"
+            );
+        }
+
+        // The shared source compiled exactly once per batch and the other
+        // nine items reused it. Parallel lanes may race identical cache
+        // keys (several items can miss before the first result lands), so
+        // hit/miss counts are asserted by conservation, not exact split.
+        let text = common::metrics(batch_server.addr());
+        let rounds = (round + 1) as u64;
+        expected_items += 10;
+        assert_eq!(
+            common::metric(&text, "bayonet_batch_compiles_total"),
+            2 * rounds - 1,
+            "{name}: expected exactly one compile per batch\n{text}"
+        );
+        assert_eq!(
+            common::metric(&text, "bayonet_batch_source_reuse_total"),
+            9 * (2 * rounds - 1),
+            "{name}\n{text}"
+        );
+        let hits = common::metric(&text, "bayonet_cache_hits_total");
+        let misses = common::metric(&text, "bayonet_cache_misses_total");
+        assert_eq!(
+            hits + misses,
+            expected_items,
+            "{name}: every item must be a hit or a miss\n{text}"
+        );
+        assert!(misses >= rounds, "{name}: at least one engine run\n{text}");
+        assert_eq!(
+            common::metric(&text, "bayonet_batch_item_errors_total"),
+            0,
+            "{name}\n{text}"
+        );
+
+        // Replaying the identical batch must not rerun the engine at all:
+        // every item is a cache hit, and the bytes are unchanged.
+        let (status, replay) = common::post_batch(batch_server.addr(), &batch_body);
+        assert_eq!(status, 200, "{name} replay: {replay}");
+        let mut replayed = common::parse_frames(&replay);
+        replayed.sort_by_key(|f| f.index);
+        assert_eq!(replayed.len(), 10, "{name} replay: {replay}");
+        for (first, again) in frames.iter().zip(&replayed) {
+            assert_eq!(
+                first.body, again.body,
+                "{name}: replayed batch diverged on item {}",
+                first.index
+            );
+        }
+        expected_items += 10;
+        let text = common::metrics(batch_server.addr());
+        assert_eq!(
+            common::metric(&text, "bayonet_cache_misses_total"),
+            misses,
+            "{name}: replay must be served from cache\n{text}"
+        );
+        assert_eq!(
+            common::metric(&text, "bayonet_cache_hits_total"),
+            hits + 10,
+            "{name}: replay must hit on all ten items\n{text}"
+        );
+        assert_eq!(
+            common::metric(&text, "bayonet_batch_compiles_total"),
+            2 * rounds,
+            "{name}: replay still compiles its shared source once\n{text}"
+        );
+    }
+
+    batch_server.shutdown();
+    sequential_server.shutdown();
+}
+
+/// Mixed-engine batches also match their sequential counterparts and
+/// stream distinct results per item.
+#[test]
+fn mixed_engine_batch_matches_sequential_runs() {
+    let batch_server = start(common::test_config()).expect("start batch server");
+    let sequential_server = start(common::test_config()).expect("start sequential server");
+
+    let item_fields = [
+        String::new(),
+        r#""engine":"smc","particles":80,"seed":1"#.to_string(),
+        r#""engine":"smc","particles":80,"seed":2"#.to_string(),
+        r#""engine":"rejection","particles":80,"seed":1"#.to_string(),
+    ];
+    let items: Vec<String> = item_fields.iter().map(|f| format!("{{{f}}}")).collect();
+    let batch_body = format!(
+        r#"{{"source":{},"items":[{}]}}"#,
+        Json::Str(TINY.into()),
+        items.join(",")
+    );
+    let (status, payload) = common::post_batch(batch_server.addr(), &batch_body);
+    assert_eq!(status, 200, "{payload}");
+    let mut frames = common::parse_frames(&payload);
+    frames.sort_by_key(|f| f.index);
+    assert_eq!(frames.len(), 4);
+
+    for (k, frame) in frames.iter().enumerate() {
+        assert_eq!(frame.status, 200, "item {k}: {}", frame.body);
+        let run = if item_fields[k].is_empty() {
+            run_body(TINY)
+        } else {
+            format!(
+                r#"{{"source":{},{}}}"#,
+                Json::Str(TINY.into()),
+                item_fields[k]
+            )
+        };
+        let (status, _, sequential) = http(sequential_server.addr(), "POST", "/v1/run", &run);
+        assert_eq!(status, 200, "item {k}: {sequential}");
+        assert_eq!(frame.body, sequential, "item {k} diverged");
+    }
+
+    // Four distinct cache keys, one shared compile.
+    let text = common::metrics(batch_server.addr());
+    assert_eq!(common::metric(&text, "bayonet_batch_compiles_total"), 1);
+    assert_eq!(common::metric(&text, "bayonet_batch_source_reuse_total"), 3);
+    assert_eq!(common::metric(&text, "bayonet_cache_misses_total"), 4);
+
+    batch_server.shutdown();
+    sequential_server.shutdown();
 }

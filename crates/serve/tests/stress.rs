@@ -1,47 +1,23 @@
-//! Stress test: one large parallel request sharing the server with a burst
-//! of small concurrent requests.
+//! Stress tests: one large parallel request sharing the server with a
+//! burst of small concurrent requests, and concurrent batches against a
+//! saturated pool.
 //!
 //! Locks down the pool-sharing contract: the big request leases idle
 //! workers (visible as steal/lease movement in `/metrics`), the small
 //! requests are neither deadlocked nor shed with `503`, and the pool's
-//! occupancy returns to zero when the dust settles.
+//! occupancy returns to zero when the dust settles. The batch leg locks
+//! down overload behavior: a shed batch is a *complete* buffered `503` —
+//! never a half-written chunked body — and once the pool frees up a batch
+//! completes with full chunked framing.
 
-use std::io::{Read, Write};
+use std::io::Read;
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
-use bayonet_serve::{start, Json, ServerConfig};
+use bayonet_serve::{parse_json, start, Json, ServerConfig};
 
 mod common;
-
-/// Gossip on K4: the heaviest curated example — a frontier of thousands of
-/// configurations, enough for the work-stealing expander to engage.
-const GOSSIP_K4: &str = r#"
-    packet_fields { dst }
-    topology {
-        nodes { S0, S1, S2, S3 }
-        links {
-            (S0, pt1) <-> (S1, pt1), (S0, pt2) <-> (S2, pt1),
-            (S0, pt3) <-> (S3, pt1), (S1, pt2) <-> (S2, pt2),
-            (S1, pt3) <-> (S3, pt2), (S2, pt3) <-> (S3, pt3)
-        }
-    }
-    programs { S0 -> seed, S1 -> gossip, S2 -> gossip, S3 -> gossip }
-    init { packet -> (S0, pt1); }
-    query expectation(infected@S0 + infected@S1 + infected@S2 + infected@S3);
-    def seed(pkt, pt) state infected(0) {
-        if infected == 0 { infected = 1; fwd(uniformInt(1, 3)); }
-        else { drop; }
-    }
-    def gossip(pkt, pt) state infected(0) {
-        if infected == 0 {
-            infected = 1;
-            dup;
-            fwd(uniformInt(1, 3));
-            fwd(uniformInt(1, 3));
-        } else { drop; }
-    }
-"#;
+use common::{metric_value, GOSSIP_K4, TINY};
 
 /// A small two-node program, parameterized by the flip weight so each
 /// burst request is a distinct cache entry (forcing real engine work).
@@ -60,34 +36,8 @@ fn small_program(k: u64) -> String {
 }
 
 fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
-    let mut conn = TcpStream::connect(addr).expect("connect");
-    conn.set_read_timeout(Some(Duration::from_secs(120)))
-        .unwrap();
-    let request = format!(
-        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
-        body.len()
-    );
-    conn.write_all(request.as_bytes()).expect("write request");
-    let mut raw = String::new();
-    conn.read_to_string(&mut raw).expect("read response");
-    let (head, payload) = raw.split_once("\r\n\r\n").expect("head/body split");
-    let status: u16 = head
-        .split_whitespace()
-        .nth(1)
-        .expect("status code")
-        .parse()
-        .expect("numeric status");
-    (status, payload.to_string())
-}
-
-fn metric_value(metrics: &str, name: &str) -> f64 {
-    metrics
-        .lines()
-        .find_map(|l| {
-            l.strip_prefix(name)
-                .and_then(|rest| rest.trim().parse().ok())
-        })
-        .unwrap_or_else(|| panic!("metric {name} missing:\n{metrics}"))
+    let (status, _, payload) = common::http(addr, method, path, body);
+    (status, payload)
 }
 
 #[test]
@@ -125,19 +75,18 @@ fn big_parallel_request_and_small_burst_coexist() {
         // Small requests must never be shed or starved by the big one:
         // the queue is deep enough and the pool lease never blocks.
         assert_eq!(status, 200, "small request {k} failed: {body}");
-        let doc = bayonet_serve::parse_json(&body).expect("json body");
+        let doc = parse_json(&body).expect("json body");
         assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(true));
     }
     let (status, body) = big.join().expect("big client");
     assert_eq!(status, 200, "big request failed: {body}");
-    let doc = bayonet_serve::parse_json(&body).expect("json body");
+    let doc = parse_json(&body).expect("json body");
     let text = doc.get("text").and_then(Json::as_str).unwrap();
     assert!(text.contains("94/27"), "wrong posterior: {text}");
 
     // The pool saw the action: workers were leased, tasks were stolen, and
     // every slot was returned.
-    let (status, metrics) = http(addr, "GET", "/metrics", "");
-    assert_eq!(status, 200);
+    let metrics = common::metrics(addr);
     assert_eq!(metric_value(&metrics, "bayonet_pool_workers_total"), 4.0);
     assert_eq!(metric_value(&metrics, "bayonet_pool_workers_busy"), 0.0);
     assert!(
@@ -152,6 +101,107 @@ fn big_parallel_request_and_small_burst_coexist() {
         metric_value(&metrics, "bayonet_engine_steals_total") > 0.0,
         "{metrics}"
     );
+
+    handle.shutdown();
+}
+
+/// Concurrent batches against a saturated pool: every shed batch gets a
+/// complete, buffered `503` (never chunked, never truncated), and after
+/// the pool frees up a batch completes with well-formed chunked framing
+/// all the way to the terminal zero chunk.
+#[test]
+fn saturated_pool_sheds_whole_batches_then_recovers() {
+    // One worker and a one-slot queue make saturation deterministic even
+    // on a loaded host; `BAYONET_TEST_THREADS` instead drives the per-item
+    // `threads` knob of the recovery batch below.
+    let handle = start(ServerConfig {
+        threads: 1,
+        queue_capacity: 1,
+        io_timeout: Duration::from_secs(5),
+        ..common::test_config()
+    })
+    .expect("start server");
+    let addr = handle.addr();
+
+    // Saturate: stall the single worker with a connection that never sends
+    // a request, then park another in the queue's only slot.
+    let stall = TcpStream::connect(addr).expect("stall connection");
+    std::thread::sleep(Duration::from_millis(300));
+    let parked = TcpStream::connect(addr).expect("parked connection");
+    std::thread::sleep(Duration::from_millis(100));
+
+    // Three concurrent batch clients hit the saturated server. The shed
+    // happens in the accept loop — *before any request byte is read*, so
+    // a rejected batch can never have started a chunked body. Each client
+    // must see a complete buffered 503: a Content-Length, no
+    // Transfer-Encoding, and a JSON body that parses whole. (The clients
+    // hold their request back: the server closes the socket right after
+    // the 503, and bytes it never read would turn that close into a
+    // reset.)
+    let shed: Vec<_> = (0..3)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut conn = TcpStream::connect(addr).expect("batch connection");
+                conn.set_read_timeout(Some(Duration::from_secs(10)))
+                    .unwrap();
+                let mut raw = String::new();
+                conn.read_to_string(&mut raw).expect("read shed response");
+                raw
+            })
+        })
+        .collect();
+    for client in shed {
+        let raw = client.join().expect("shed client");
+        assert!(raw.starts_with("HTTP/1.1 503"), "{raw}");
+        assert!(raw.contains("Content-Length:"), "{raw}");
+        assert!(
+            !raw.contains("Transfer-Encoding"),
+            "a shed batch must never start a chunked body: {raw}"
+        );
+        let (_, payload) = raw.split_once("\r\n\r\n").expect("head/body split");
+        let doc = parse_json(payload).expect("shed body parses whole");
+        assert_eq!(
+            doc.get("error")
+                .and_then(|e| e.get("kind"))
+                .and_then(Json::as_str),
+            Some("overloaded"),
+            "{raw}"
+        );
+    }
+
+    // Release the worker; the parked (now closed) connection drains and
+    // the server recovers.
+    drop(stall);
+    drop(parked);
+
+    // A batch now completes — with `BAYONET_TEST_THREADS` driving the
+    // items' exact-engine parallelism — and the raw wire bytes are
+    // verified as well-formed chunked framing ending in the terminal zero
+    // chunk (decode_chunked panics on any truncated or malformed chunk).
+    let batch_body = format!(
+        r#"{{"source":{},"items":[{{"threads":{t}}},{{"threads":{t}}},{{"threads":{t}}}]}}"#,
+        Json::Str(TINY.into()),
+        t = common::test_threads().min(64)
+    );
+    let (status, head, payload) = common::http(addr, "POST", "/v1/batch", &batch_body);
+    assert_eq!(status, 200, "{payload}");
+    assert!(head.contains("Transfer-Encoding: chunked"), "{head}");
+    assert!(
+        payload.ends_with("0\r\n\r\n"),
+        "missing terminal chunk: {payload:?}"
+    );
+    let frames = common::parse_frames(&common::decode_chunked(&payload));
+    assert_eq!(frames.len(), 3, "{payload}");
+    for frame in &frames {
+        assert_eq!(frame.status, 200, "{}", frame.body);
+        assert!(frame.body.contains("1/3"), "{}", frame.body);
+    }
+
+    // Shed batches recorded no batch work; the successful one recorded
+    // exactly one.
+    let metrics = common::metrics(addr);
+    assert_eq!(metric_value(&metrics, "bayonet_batch_requests_total"), 1.0);
+    assert_eq!(metric_value(&metrics, "bayonet_batch_items_total"), 3.0);
 
     handle.shutdown();
 }

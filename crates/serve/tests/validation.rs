@@ -1,44 +1,18 @@
 //! Table-driven request-validation tests: malformed `threads` and
-//! `timeout_ms` values must produce structured `400` responses — never a
-//! panic, and never a silent fall-back to the default.
+//! `timeout_ms` values, unknown fields, and malformed `/v1/batch` bodies
+//! must all produce structured `400` responses — never a panic, never a
+//! half-written chunked body, and never a silent fall-back to a default.
 
-use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpStream};
-use std::time::Duration;
+use std::net::SocketAddr;
 
-use bayonet_serve::{parse_json, start, Json, ServerConfig};
+use bayonet_serve::{parse_json, start, Json, ServerConfig, MAX_BATCH_ITEMS};
 
 mod common;
-
-const TINY: &str = r#"
-    packet_fields { dst }
-    topology { nodes { A, B } links { (A, pt1) <-> (B, pt1) } }
-    programs { A -> send, B -> recv }
-    init { packet -> (A, pt1); }
-    query probability(got@B == 1);
-    def send(pkt, pt) { if flip(1/3) { fwd(1); } else { drop; } }
-    def recv(pkt, pt) state got(0) { got = 1; drop; }
-"#;
+use common::TINY;
 
 fn http(addr: SocketAddr, body: &str) -> (u16, String) {
-    let mut conn = TcpStream::connect(addr).expect("connect");
-    conn.set_read_timeout(Some(Duration::from_secs(60)))
-        .unwrap();
-    let request = format!(
-        "POST /v1/run HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
-        body.len()
-    );
-    conn.write_all(request.as_bytes()).expect("write request");
-    let mut raw = String::new();
-    conn.read_to_string(&mut raw).expect("read response");
-    let (head, payload) = raw.split_once("\r\n\r\n").expect("head/body split");
-    let status: u16 = head
-        .split_whitespace()
-        .nth(1)
-        .expect("status code")
-        .parse()
-        .expect("numeric status");
-    (status, payload.to_string())
+    let (status, _, payload) = common::http(addr, "POST", "/v1/run", body);
+    (status, payload)
 }
 
 /// Raw request body with `source` set to the tiny program and one extra
@@ -189,6 +163,137 @@ fn edge_values_are_accepted_not_rejected() {
         let text = doc.get("text").and_then(Json::as_str).unwrap();
         assert!(text.contains("1/3"), "case {field}: {text}");
     }
+
+    handle.shutdown();
+}
+
+/// Malformed `/v1/batch` bodies are rejected *before* any chunk is
+/// written: a buffered 400 naming the offending field in `error.field`.
+#[test]
+fn malformed_batches_are_structured_400s() {
+    let source = Json::Str(TINY.into()).to_string();
+    let over_cap = format!(
+        r#"{{"source":{source},"items":[{}]}}"#,
+        vec!["{}"; MAX_BATCH_ITEMS + 1].join(",")
+    );
+    #[rustfmt::skip]
+    let cases: &[(String, &str, &str)] = &[
+        // (raw body, expected `error.field`, expected message fragment)
+        (r#"{"items":[]}"#.into(), "items",
+         "`items` must contain between 1 and 256 items, got 0"),
+        (over_cap, "items",
+         "`items` must contain between 1 and 256 items, got 257"),
+        (format!(r#"{{"source":{source}}}"#), "items",
+         "missing required array field `items`"),
+        (format!(r#"{{"source":{source},"items":{{}}}}"#), "items",
+         "`items` must be an array"),
+        (format!(r#"{{"source":{source},"items":[{{}},4]}}"#), "items[1]",
+         "batch item 1 must be a JSON object"),
+        (format!(r#"{{"source":{source},"items":[{{"source":"x"}}]}}"#), "items[0].source",
+         "batch item 0 sets `source` while the batch has a shared top-level `source`"),
+        (format!(r#"{{"source":{source},"items":[{{}}],"engine":"smc"}}"#), "engine",
+         "unknown batch field `engine`"),
+        (format!(r#"{{"source":{source},"items":[{{}}],"timeout_ms":0}}"#), "timeout_ms",
+         "`timeout_ms` must be between 1 and 600000, got 0"),
+        (r#"{"source":7,"items":[{}]}"#.into(), "source",
+         "`source` must be a string"),
+    ];
+
+    let handle = start(common::test_config()).expect("start server");
+    let addr = handle.addr();
+
+    for (body, field, expected) in cases {
+        let (status, payload) = common::post_batch(addr, body);
+        assert_eq!(status, 400, "case {field}: got {status}: {payload}");
+        let doc = parse_json(&payload)
+            .unwrap_or_else(|e| panic!("case {field}: bad json {e}: {payload}"));
+        let error = doc
+            .get("error")
+            .unwrap_or_else(|| panic!("case {field}: no error object: {payload}"));
+        assert_eq!(
+            error.get("kind").and_then(Json::as_str),
+            Some("bad_request"),
+            "case {field}: {payload}"
+        );
+        assert_eq!(
+            error.get("field").and_then(Json::as_str),
+            Some(*field),
+            "case {field}: {payload}"
+        );
+        let message = error.get("message").and_then(Json::as_str).unwrap_or("");
+        assert!(
+            message.contains(expected),
+            "case {field}: message {message:?} does not mention {expected:?}"
+        );
+    }
+
+    // None of the rejected batches may have recorded batch work.
+    let text = common::metrics(addr);
+    assert_eq!(common::metric(&text, "bayonet_batch_requests_total"), 0);
+    assert_eq!(common::metric(&text, "bayonet_batch_items_total"), 0);
+
+    handle.shutdown();
+}
+
+/// Per-item problems — unknown item fields, bad item types, a missing
+/// source — become per-item error frames with the exact `/v1/run` error
+/// shape, and never abort sibling items.
+#[test]
+fn invalid_items_fail_individually_without_aborting_siblings() {
+    let handle = start(common::test_config()).expect("start server");
+    let addr = handle.addr();
+
+    let source = Json::Str(TINY.into()).to_string();
+    let body = format!(
+        r#"{{"source":{source},"items":[{{}},{{"fuel":1}},{{"threads":0}},{{"engine":"warp"}}]}}"#
+    );
+    let (status, payload) = common::post_batch(addr, &body);
+    assert_eq!(status, 200, "{payload}");
+    let frames = common::parse_frames(&payload);
+    assert_eq!(frames.len(), 4, "{payload}");
+
+    let by_index = |i: u64| frames.iter().find(|f| f.index == i).unwrap();
+    assert_eq!(by_index(0).status, 200, "{}", by_index(0).body);
+    assert!(by_index(0).body.contains("1/3"), "{}", by_index(0).body);
+
+    for (i, fragment) in [
+        (1, "unknown request field `fuel`"),
+        (2, "`threads` must be between 1 and 64, got 0"),
+        (3, "unknown engine"),
+    ] {
+        let frame = by_index(i);
+        assert_eq!(frame.status, 400, "{}", frame.body);
+        let doc = parse_json(&frame.body).expect("frame body json");
+        assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(false));
+        let message = doc
+            .get("error")
+            .and_then(|e| e.get("message"))
+            .and_then(Json::as_str)
+            .unwrap_or("");
+        assert!(
+            message.contains(fragment),
+            "item {i}: message {message:?} does not mention {fragment:?}"
+        );
+    }
+
+    // An item with no source at all (and no shared source) gets the same
+    // missing-field error a bare `/v1/run` would.
+    let (status, payload) = common::post_batch(addr, r#"{"items":[{"seed":1}]}"#);
+    assert_eq!(status, 200, "{payload}");
+    let frames = common::parse_frames(&payload);
+    assert_eq!(frames[0].status, 400);
+    assert!(
+        frames[0]
+            .body
+            .contains("missing required string field `source`"),
+        "{}",
+        frames[0].body
+    );
+
+    let text = common::metrics(addr);
+    assert_eq!(common::metric(&text, "bayonet_batch_requests_total"), 2);
+    assert_eq!(common::metric(&text, "bayonet_batch_items_total"), 5);
+    assert_eq!(common::metric(&text, "bayonet_batch_item_errors_total"), 4);
 
     handle.shutdown();
 }
