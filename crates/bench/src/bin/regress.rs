@@ -1,0 +1,354 @@
+//! Perf-regression harness: the trajectory every perf PR is judged against.
+//!
+//! Times each pipeline phase — parse, compile, enumerate, query, synthesis —
+//! over the curated `examples/bay` corpus plus generated scaling programs,
+//! and emits a JSON report with per-phase medians over N trials and machine
+//! info. The report is self-validated by re-parsing it with the same JSON
+//! parser the service uses, so CI can gate on "harness ran and produced
+//! well-formed output" without gating on wall-clock numbers.
+//!
+//! Run with:
+//!   cargo run --release -p bayonet-bench --bin regress -- --out BENCH_5.json
+//!
+//! Flags:
+//!   --quick          single trial over the curated corpus only (CI smoke)
+//!   --trials N       median over N trials (default 5)
+//!   --out PATH       write the report to PATH (always printed to stdout)
+//!   --baseline PATH  embed a prior report under "baseline" and compute
+//!                    per-workload enumerate-phase speedups
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use bayonet::{parse, scenarios, Network, Rat, Sched};
+use bayonet_exact::{
+    analyze, answer_cached, synthesize_result, ExactOptions, FeasibilityCache, Objective,
+    SynthesisOptions,
+};
+use bayonet_serve::{parse_json, Json};
+
+struct Workload {
+    name: &'static str,
+    source: String,
+    bindings: Vec<(&'static str, Rat)>,
+    synthesize: bool,
+}
+
+/// One trial's phase timings (nanoseconds) plus determinism evidence.
+#[derive(Default)]
+struct Trial {
+    parse_ns: u64,
+    compile_ns: u64,
+    enumerate_ns: u64,
+    query_ns: u64,
+    synthesis_ns: Option<u64>,
+    feasibility_hits: u64,
+    feasibility_misses: u64,
+    answer_digest: u64,
+}
+
+fn median(mut xs: Vec<u64>) -> u64 {
+    xs.sort_unstable();
+    xs[xs.len() / 2]
+}
+
+/// FNV-1a over the rendered answers: a compact fingerprint proving the
+/// posteriors are byte-identical between baseline and current runs.
+fn fnv1a(acc: u64, text: &str) -> u64 {
+    let mut h = if acc == 0 { 0xcbf2_9ce4_8422_2325 } else { acc };
+    for b in text.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn examples_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/bay")
+}
+
+fn curated(name: &'static str, file: &str) -> Workload {
+    let path = examples_dir().join(file);
+    let source = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    Workload {
+        name,
+        source,
+        bindings: Vec::new(),
+        synthesize: false,
+    }
+}
+
+fn workloads(quick: bool) -> Vec<Workload> {
+    let mut ws = vec![
+        Workload {
+            bindings: vec![("P_LOSS", Rat::ratio(1, 4))],
+            ..curated("lossy_link", "lossy_link.bay")
+        },
+        Workload {
+            synthesize: true,
+            ..curated("ecmp_costs", "ecmp_costs.bay")
+        },
+        curated("gossip_k4", "gossip_k4.bay"),
+        curated("ttl_triangle", "ttl_triangle.bay"),
+    ];
+    if !quick {
+        ws.push(Workload {
+            name: "reliability_chain_4",
+            source: scenarios::reliability_chain_source(4, &Rat::ratio(1, 1000), Sched::Uniform),
+            bindings: Vec::new(),
+            synthesize: false,
+        });
+        ws.push(Workload {
+            name: "congestion_chain_7",
+            source: scenarios::congestion_chain_source(7, Sched::Deterministic),
+            bindings: Vec::new(),
+            synthesize: false,
+        });
+        ws.push(Workload {
+            name: "gossip_k4_generated",
+            source: scenarios::gossip_source(4, Sched::Uniform),
+            bindings: Vec::new(),
+            synthesize: false,
+        });
+    }
+    ws
+}
+
+fn run_trial(w: &Workload) -> Trial {
+    let mut t = Trial::default();
+
+    let start = Instant::now();
+    let program = parse(&w.source).expect("parse");
+    t.parse_ns = start.elapsed().as_nanos() as u64;
+    drop(program);
+
+    let start = Instant::now();
+    let mut network = Network::from_source(&w.source).expect("compile");
+    for (name, value) in &w.bindings {
+        network.bind(name, value.clone()).expect("bind");
+    }
+    t.compile_ns = start.elapsed().as_nanos() as u64;
+
+    // One feasibility memo table per trial, shared across analyze and
+    // query answering — the same sharing the serve request path uses.
+    let cache = Arc::new(FeasibilityCache::new());
+    let opts = ExactOptions {
+        feasibility_cache: Some(Arc::clone(&cache)),
+        ..ExactOptions::default()
+    };
+    let start = Instant::now();
+    let analysis = analyze(network.model(), network.scheduler(), &opts).expect("analyze");
+    t.enumerate_ns = start.elapsed().as_nanos() as u64;
+
+    let start = Instant::now();
+    let mut results = Vec::new();
+    for q in network.queries() {
+        results.push(
+            answer_cached(network.model(), &analysis, q, opts.fm_pruning, Some(&cache))
+                .expect("answer"),
+        );
+    }
+    t.query_ns = start.elapsed().as_nanos() as u64;
+    (t.feasibility_hits, t.feasibility_misses) = cache.counts();
+    for r in &results {
+        t.answer_digest = fnv1a(t.answer_digest, &r.to_string());
+    }
+
+    if w.synthesize {
+        let sopts = SynthesisOptions {
+            objective: Objective::Maximize,
+            positive_params: true,
+        };
+        let start = Instant::now();
+        let syn = synthesize_result(network.model(), &results[0], sopts).expect("synthesize");
+        t.synthesis_ns = Some(start.elapsed().as_nanos() as u64);
+        t.answer_digest = fnv1a(
+            t.answer_digest,
+            &format!("{} {:?}", syn.constraint, syn.assignment),
+        );
+    }
+
+    t
+}
+
+fn num(n: u64) -> Json {
+    Json::Num(n as f64)
+}
+
+fn bench_workload(w: &Workload, trials: usize) -> Json {
+    let runs: Vec<Trial> = (0..trials).map(|_| run_trial(w)).collect();
+    let digest = runs[0].answer_digest;
+    assert!(
+        runs.iter().all(|t| t.answer_digest == digest),
+        "{}: non-deterministic answers across trials",
+        w.name
+    );
+    let mut phases = vec![
+        (
+            "parse_ns",
+            num(median(runs.iter().map(|t| t.parse_ns).collect())),
+        ),
+        (
+            "compile_ns",
+            num(median(runs.iter().map(|t| t.compile_ns).collect())),
+        ),
+        (
+            "enumerate_ns",
+            num(median(runs.iter().map(|t| t.enumerate_ns).collect())),
+        ),
+        (
+            "query_ns",
+            num(median(runs.iter().map(|t| t.query_ns).collect())),
+        ),
+    ];
+    if runs[0].synthesis_ns.is_some() {
+        phases.push((
+            "synthesis_ns",
+            num(median(
+                runs.iter().map(|t| t.synthesis_ns.unwrap_or(0)).collect(),
+            )),
+        ));
+    }
+    Json::obj(vec![
+        ("name", Json::Str(w.name.to_string())),
+        ("phases", Json::obj(phases)),
+        (
+            "feasibility",
+            Json::obj(vec![
+                ("hits", num(runs[0].feasibility_hits)),
+                ("misses", num(runs[0].feasibility_misses)),
+            ]),
+        ),
+        ("answer_digest", Json::Str(format!("{digest:016x}"))),
+    ])
+}
+
+fn machine_info() -> Json {
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get() as u64)
+        .unwrap_or(1);
+    Json::obj(vec![
+        ("os", Json::Str(std::env::consts::OS.to_string())),
+        ("arch", Json::Str(std::env::consts::ARCH.to_string())),
+        ("cpus", num(cpus)),
+        (
+            "profile",
+            Json::Str(
+                if cfg!(debug_assertions) {
+                    "debug"
+                } else {
+                    "release"
+                }
+                .to_string(),
+            ),
+        ),
+    ])
+}
+
+/// Per-workload enumerate-phase speedup vs. an embedded baseline report.
+fn comparison(current: &Json, baseline: &Json) -> Json {
+    let find = |report: &Json, name: &str| -> Option<f64> {
+        report.get("workloads")?.as_arr()?.iter().find_map(|w| {
+            if w.get("name")?.as_str()? == name {
+                w.get("phases")?.get("enumerate_ns")?.as_f64()
+            } else {
+                None
+            }
+        })
+    };
+    let mut rows = Vec::new();
+    if let Some(ws) = current.get("workloads").and_then(Json::as_arr) {
+        for w in ws {
+            let name = w.get("name").and_then(Json::as_str).unwrap_or("");
+            let (Some(now), Some(before)) = (find(current, name), find(baseline, name)) else {
+                continue;
+            };
+            if now <= 0.0 {
+                continue;
+            }
+            rows.push(Json::obj(vec![
+                ("name", Json::Str(name.to_string())),
+                ("baseline_enumerate_ns", Json::Num(before)),
+                ("enumerate_ns", Json::Num(now)),
+                (
+                    "speedup",
+                    Json::Num((before / now * 1000.0).round() / 1000.0),
+                ),
+            ]));
+        }
+    }
+    Json::Arr(rows)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut trials = 5usize;
+    let mut out: Option<String> = None;
+    let mut baseline_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => quick = true,
+            "--trials" => {
+                i += 1;
+                trials = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--trials needs a positive integer");
+            }
+            "--out" => {
+                i += 1;
+                out = Some(args.get(i).expect("--out needs a path").clone());
+            }
+            "--baseline" => {
+                i += 1;
+                baseline_path = Some(args.get(i).expect("--baseline needs a path").clone());
+            }
+            other => panic!("unknown flag `{other}` (see --help in the source header)"),
+        }
+        i += 1;
+    }
+    if quick {
+        trials = trials.min(2);
+    }
+    assert!(trials >= 1, "--trials must be at least 1");
+
+    let ws = workloads(quick);
+    let mut rows = Vec::new();
+    for w in &ws {
+        eprintln!("regress: {} ({} trials)...", w.name, trials);
+        rows.push(bench_workload(w, trials));
+    }
+
+    let mut report_pairs = vec![
+        ("schema", Json::Str("bayonet-regress-v1".to_string())),
+        ("quick", Json::Bool(quick)),
+        ("trials", num(trials as u64)),
+        ("machine", machine_info()),
+        ("workloads", Json::Arr(rows)),
+    ];
+    if let Some(path) = &baseline_path {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let baseline = parse_json(&text).expect("baseline is not valid JSON");
+        let current = Json::obj(report_pairs.clone());
+        report_pairs.push(("comparison", comparison(&current, &baseline)));
+        report_pairs.push(("baseline", baseline));
+    }
+    let report = Json::obj(report_pairs);
+
+    let rendered = report.to_string();
+    // Self-validation: the emitted report must round-trip through the same
+    // parser the service uses; a malformed report is a harness bug.
+    let reparsed = parse_json(&rendered).expect("emitted report is not valid JSON");
+    assert_eq!(reparsed, report, "report does not round-trip");
+
+    println!("{rendered}");
+    if let Some(path) = &out {
+        std::fs::write(path, format!("{rendered}\n"))
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        eprintln!("regress: wrote {path}");
+    }
+}

@@ -260,10 +260,13 @@ fn run_queries(source: &str, rest: &[String]) -> Result<(), String> {
             );
             if want_stats {
                 eprintln!(
-                    "stats: {} states expanded, {} merged, terminal mass {}, {:.1} ms wall",
+                    "stats: {} states expanded, {} merged, terminal mass {}, \
+                     feasibility cache {} hits / {} misses, {:.1} ms wall",
                     report.stats.expansions,
                     report.stats.merge_hits,
                     report.z,
+                    report.stats.feasibility_hits,
+                    report.stats.feasibility_misses,
                     started.elapsed().as_secs_f64() * 1000.0
                 );
             }

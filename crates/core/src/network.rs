@@ -1,8 +1,10 @@
 //! The [`Network`] façade: parse → check → compile → infer.
 
+use std::sync::Arc;
+
 use bayonet_approx::{rejection, simulate, smc, ApproxOptions, Estimate, Simulation};
 use bayonet_exact::{
-    analyze, answer, value_distribution, Analysis, EngineStats, ExactOptions, QueryResult,
+    analyze, answer_cached, value_distribution, Analysis, EngineStats, ExactOptions, QueryResult,
 };
 use bayonet_lang::{check, parse, Warning};
 use bayonet_net::{compile, scheduler_for, CompiledQuery, Model, Scheduler};
@@ -141,16 +143,36 @@ impl Network {
     ///
     /// See [`bayonet_exact::ExactError`].
     pub fn exact_with(&self, opts: &ExactOptions) -> Result<ExactReport, Error> {
-        let analysis = self.analyze_with(opts)?;
+        // One feasibility memo table serves the whole run: query answering
+        // revisits guards the analysis already proved, so sharing the cache
+        // turns those re-checks into hits. The report's counters cover the
+        // analysis and every query.
+        let cache = opts.feasibility_cache.clone().unwrap_or_default();
+        let (hits_before, misses_before) = cache.counts();
+        let opts = ExactOptions {
+            feasibility_cache: Some(Arc::clone(&cache)),
+            ..opts.clone()
+        };
+        let analysis = self.analyze_with(&opts)?;
         let mut results = Vec::with_capacity(self.model.queries.len());
         for q in &self.model.queries {
-            results.push(answer(&self.model, &analysis, q, opts.fm_pruning)?);
+            results.push(answer_cached(
+                &self.model,
+                &analysis,
+                q,
+                opts.fm_pruning,
+                Some(&cache),
+            )?);
         }
+        let mut stats = analysis.stats.clone();
+        let (hits_after, misses_after) = cache.counts();
+        stats.feasibility_hits = hits_after - hits_before;
+        stats.feasibility_misses = misses_after - misses_before;
         Ok(ExactReport {
             z: analysis.total_terminal_mass(),
             discarded: analysis.total_discarded_mass(),
             results,
-            stats: analysis.stats,
+            stats,
         })
     }
 

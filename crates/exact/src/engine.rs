@@ -27,9 +27,10 @@
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 use bayonet_num::Rat;
-use bayonet_symbolic::Guard;
+use bayonet_symbolic::{FeasibilityCache, Guard};
 
 use bayonet_net::{
     deliver, initial_config, run_handler, Action, Deadline, GlobalConfig, HandlerOutcome, Model,
@@ -38,7 +39,7 @@ use bayonet_net::{
 
 use crossbeam::deque::{Injector, Stealer, Worker};
 
-use crate::enumerate::enumerate_eval;
+use crate::enumerate::enumerate_eval_cached;
 use crate::pool::ComputePool;
 
 /// Options controlling the exact engine.
@@ -70,6 +71,11 @@ pub struct ExactOptions {
     /// Cooperative deadline/cancellation, polled between expansion batches.
     /// Defaults to unlimited.
     pub deadline: Deadline,
+    /// Memo table for Fourier–Motzkin feasibility verdicts. `None` (the
+    /// default) gives each [`analyze`] run a private cache; pass a shared
+    /// [`FeasibilityCache`] to reuse verdicts across the analyze and
+    /// query-answering passes of one request.
+    pub feasibility_cache: Option<Arc<FeasibilityCache>>,
 }
 
 impl Default for ExactOptions {
@@ -83,14 +89,18 @@ impl Default for ExactOptions {
             par_threshold: 16,
             pool: None,
             deadline: Deadline::default(),
+            feasibility_cache: None,
         }
     }
 }
 
 /// Statistics from an exact-engine run.
 ///
-/// Every field except [`EngineStats::steals`] is a pure function of the
-/// model and options — independent of thread count and schedule.
+/// Every field except [`EngineStats::steals`] and the feasibility-cache
+/// counters is a pure function of the model and options — independent of
+/// thread count and schedule. The cache counters depend on which worker
+/// reaches a guard first, so they are reported out-of-band (CLI `--stats`
+/// stderr, server `/metrics` aggregates) and never in pinned output.
 #[derive(Debug, Clone, Default)]
 pub struct EngineStats {
     /// Global steps executed (depth of the exploration).
@@ -106,6 +116,11 @@ pub struct EngineStats {
     /// Expansion tasks stolen across worker deques (schedule-dependent;
     /// 0 for single-threaded runs).
     pub steals: u64,
+    /// Fourier–Motzkin feasibility checks answered from the per-run guard
+    /// cache (schedule-dependent under parallel expansion).
+    pub feasibility_hits: u64,
+    /// Feasibility checks that ran the full elimination.
+    pub feasibility_misses: u64,
 }
 
 /// Errors from the exact engine.
@@ -257,11 +272,16 @@ fn expand_config(
             }
             Action::Run(i) => {
                 // G-Run: enumerate every complete handler execution.
-                let branches = enumerate_eval(guard, opts.fm_pruning, |driver| {
-                    let mut node_cfg = cfg.nodes[i].clone();
-                    let outcome = run_handler(model, i, &mut node_cfg, driver)?;
-                    Ok((node_cfg, outcome))
-                })?;
+                let branches = enumerate_eval_cached(
+                    guard,
+                    opts.fm_pruning,
+                    opts.feasibility_cache.as_deref(),
+                    |driver| {
+                        let mut node_cfg = cfg.nodes[i].clone();
+                        let outcome = run_handler(model, i, &mut node_cfg, driver)?;
+                        Ok((node_cfg, outcome))
+                    },
+                )?;
                 for b in branches {
                     let (node_cfg, outcome) = b.result;
                     let branch_mass = &step_mass * &b.weight;
@@ -481,6 +501,16 @@ pub fn analyze(
     // generated `repeat N { step() }; assert(terminated())` (Figure 10).
     let step_bound = model.num_steps.unwrap_or(opts.max_global_steps);
 
+    // Every run memoizes feasibility verdicts: a caller-provided cache is
+    // shared (and its counters delta-reported), otherwise the run gets a
+    // private one. The rebound `opts` carries the cache to every expansion.
+    let run_cache: Arc<FeasibilityCache> = opts.feasibility_cache.clone().unwrap_or_default();
+    let (hits_before, misses_before) = run_cache.counts();
+    let opts = &ExactOptions {
+        feasibility_cache: Some(Arc::clone(&run_cache)),
+        ..opts.clone()
+    };
+
     // Lease extra workers for the whole run: a big request holds its crew
     // from the shared pool (degrading gracefully when the pool is busy),
     // while `threads` is taken at face value without a pool.
@@ -500,9 +530,12 @@ pub fn analyze(
         vec![(Vec::with_capacity(k), Rat::one(), Guard::top())];
     for node in 0..k {
         let prog = &model.programs[node];
-        let node_branches = enumerate_eval(&Guard::top(), opts.fm_pruning, |driver| {
-            bayonet_net::eval_state_init(model, prog, driver)
-        })?;
+        let node_branches = enumerate_eval_cached(
+            &Guard::top(),
+            opts.fm_pruning,
+            opts.feasibility_cache.as_deref(),
+            |driver| bayonet_net::eval_state_init(model, prog, driver),
+        )?;
         let mut next = Vec::with_capacity(initial.len() * node_branches.len());
         for (states, mass, guard) in &initial {
             for b in &node_branches {
@@ -600,6 +633,9 @@ pub fn analyze(
     // on it, and it keeps the posterior small.
     let terminals = compress(terminal_acc, &mut stats);
     stats.terminal_configs = terminals.len();
+    let (hits_after, misses_after) = run_cache.counts();
+    stats.feasibility_hits = hits_after - hits_before;
+    stats.feasibility_misses = misses_after - misses_before;
     let mut discarded: Vec<(Guard, Rat)> = discarded.into_iter().collect();
     discarded.sort_unstable_by(|(g1, _), (g2, _)| g1.cmp(g2));
     Ok(Analysis {

@@ -9,7 +9,7 @@
 //! the exact engine's counterpart of PSI's symbolic path enumeration.
 
 use bayonet_num::{Rat, Sign};
-use bayonet_symbolic::{feasibility, Guard, LinExpr};
+use bayonet_symbolic::{feasibility, FeasibilityCache, Guard, LinExpr};
 
 use bayonet_net::{ChoiceDriver, SemanticsError};
 
@@ -24,7 +24,7 @@ enum Choice {
 /// A [`ChoiceDriver`] that replays a script of choice outcomes, extending it
 /// at the frontier and registering unexplored siblings.
 #[derive(Debug)]
-pub struct ReplayDriver {
+pub struct ReplayDriver<'a> {
     script: Vec<Choice>,
     pos: usize,
     /// Product of the probabilities of the replayed/extended choices.
@@ -35,10 +35,17 @@ pub struct ReplayDriver {
     pending: Vec<Vec<Choice>>,
     /// Prune symbolically infeasible sign branches with Fourier–Motzkin.
     fm_pruning: bool,
+    /// Memoized feasibility verdicts shared across the run, if any.
+    cache: Option<&'a FeasibilityCache>,
 }
 
-impl ReplayDriver {
-    fn new(script: Vec<Choice>, base_guard: Guard, fm_pruning: bool) -> Self {
+impl<'a> ReplayDriver<'a> {
+    fn new(
+        script: Vec<Choice>,
+        base_guard: Guard,
+        fm_pruning: bool,
+        cache: Option<&'a FeasibilityCache>,
+    ) -> Self {
         ReplayDriver {
             script,
             pos: 0,
@@ -46,6 +53,7 @@ impl ReplayDriver {
             guard: base_guard,
             pending: Vec::new(),
             fm_pruning,
+            cache,
         }
     }
 
@@ -65,11 +73,15 @@ impl ReplayDriver {
     }
 }
 
-impl ChoiceDriver for ReplayDriver {
+impl ChoiceDriver for ReplayDriver<'_> {
     fn flip(&mut self, p: &Rat) -> Result<bool, SemanticsError> {
         match self.next_scripted() {
             Some(Choice::Flip(b)) => {
-                self.weight *= &if b { p.clone() } else { Rat::one() - p };
+                if b {
+                    self.weight *= p;
+                } else {
+                    self.weight *= &p.complement();
+                }
                 Ok(b)
             }
             Some(_) => unreachable!("replay mismatch: expected a flip"),
@@ -122,11 +134,19 @@ impl ChoiceDriver for ReplayDriver {
             None => {
                 // Fresh trichotomy split: keep the first feasible sign,
                 // register the other feasible signs as siblings.
+                let guard = &self.guard;
+                let fm_pruning = self.fm_pruning;
+                let cache = self.cache;
                 let mut feasible = [Sign::Minus, Sign::Zero, Sign::Plus]
                     .into_iter()
-                    .filter_map(|s| {
-                        let g = self.guard.assume_sign(expr, s)?;
-                        if self.fm_pruning && !feasibility(&g).is_sat() {
+                    .filter_map(move |s| {
+                        let g = guard.assume_sign(expr, s)?;
+                        let sat = !fm_pruning
+                            || match cache {
+                                Some(c) => c.is_sat(&g),
+                                None => feasibility(&g).is_sat(),
+                            };
+                        if !sat {
                             return None;
                         }
                         Some((s, g))
@@ -190,12 +210,28 @@ pub struct Branch<T> {
 pub fn enumerate_eval<T>(
     base_guard: &Guard,
     fm_pruning: bool,
+    f: impl FnMut(&mut ReplayDriver) -> Result<T, SemanticsError>,
+) -> Result<Vec<Branch<T>>, SemanticsError> {
+    enumerate_eval_cached(base_guard, fm_pruning, None, f)
+}
+
+/// [`enumerate_eval`] with the Fourier–Motzkin pruning checks routed
+/// through a shared [`FeasibilityCache`].
+///
+/// The exact engine replays sibling branches from the root, so the same
+/// guard prefixes are re-checked many times per enumeration; memoizing the
+/// verdicts turns those repeats into hash lookups. Pass `None` to check
+/// feasibility directly (identical behavior, no memoization).
+pub fn enumerate_eval_cached<T>(
+    base_guard: &Guard,
+    fm_pruning: bool,
+    cache: Option<&FeasibilityCache>,
     mut f: impl FnMut(&mut ReplayDriver) -> Result<T, SemanticsError>,
 ) -> Result<Vec<Branch<T>>, SemanticsError> {
     let mut out = Vec::new();
     let mut stack = vec![Vec::new()];
     while let Some(script) = stack.pop() {
-        let mut driver = ReplayDriver::new(script, base_guard.clone(), fm_pruning);
+        let mut driver = ReplayDriver::new(script, base_guard.clone(), fm_pruning, cache);
         let result = f(&mut driver)?;
         stack.append(&mut driver.pending);
         out.push(Branch {
@@ -307,5 +343,41 @@ mod tests {
         })
         .unwrap();
         assert_eq!(unpruned.len(), 27);
+    }
+
+    #[test]
+    fn cached_enumeration_matches_uncached() {
+        use bayonet_symbolic::ParamTable;
+        let mut t = ParamTable::new();
+        let x = LinExpr::param(t.intern("x"));
+        let y = LinExpr::param(t.intern("y"));
+        let z = LinExpr::param(t.intern("z"));
+        let run = |cache: Option<&FeasibilityCache>| {
+            enumerate_eval_cached(&Guard::top(), true, cache, |d| {
+                let a = d.decide_sign(&x.sub(&y))?;
+                let b = d.decide_sign(&y.sub(&z))?;
+                let c = d.decide_sign(&x.sub(&z))?;
+                Ok((a, b, c))
+            })
+            .unwrap()
+        };
+        let plain = run(None);
+        let cache = FeasibilityCache::new();
+        let cached = run(Some(&cache));
+        assert_eq!(plain.len(), cached.len());
+        for (p, c) in plain.iter().zip(&cached) {
+            assert_eq!(p.result, c.result);
+            assert_eq!(p.weight, c.weight);
+            assert_eq!(p.guard, c.guard);
+        }
+        let (_, misses) = cache.counts();
+        assert!(misses > 0);
+        // A second enumeration sharing the cache (as the engine does across
+        // configs) answers every check from the memo table.
+        let again = run(Some(&cache));
+        assert_eq!(again.len(), cached.len());
+        let (hits2, misses2) = cache.counts();
+        assert_eq!(misses2, misses, "second run must not miss");
+        assert!(hits2 >= misses, "expected cache hits, got {hits2}");
     }
 }

@@ -41,8 +41,11 @@ mod pool;
 mod query;
 mod synthesize;
 
+pub use bayonet_symbolic::FeasibilityCache;
 pub use engine::{analyze, Analysis, EngineStats, ExactError, ExactOptions};
-pub use enumerate::{enumerate_eval, Branch, ReplayDriver};
+pub use enumerate::{enumerate_eval, enumerate_eval_cached, Branch, ReplayDriver};
 pub use pool::{ComputePool, PoolLease, PoolStats};
-pub use query::{answer, value_distribution, CellAnswer, QueryResult, MAX_CELL_ATOMS};
+pub use query::{
+    answer, answer_cached, value_distribution, CellAnswer, QueryResult, MAX_CELL_ATOMS,
+};
 pub use synthesize::{synthesize_result, Objective, Synthesis, SynthesisError, SynthesisOptions};

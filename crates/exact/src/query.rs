@@ -9,12 +9,12 @@
 use std::fmt;
 
 use bayonet_num::Rat;
-use bayonet_symbolic::{atom_exprs, enumerate_cells, Assignment, Guard};
+use bayonet_symbolic::{atom_exprs, enumerate_cells_cached, Assignment, FeasibilityCache, Guard};
 
 use bayonet_net::{eval_query_expr, truth_of, CompiledQuery, Model, QueryKind, Val};
 
 use crate::engine::{Analysis, ExactError};
-use crate::enumerate::enumerate_eval;
+use crate::enumerate::enumerate_eval_cached;
 
 /// Maximum number of distinct sign-atom expressions a query result may
 /// involve (cells grow as 3^n).
@@ -182,12 +182,33 @@ pub fn answer(
     query: &CompiledQuery,
     fm_pruning: bool,
 ) -> Result<QueryResult, ExactError> {
+    answer_cached(model, analysis, query, fm_pruning, None)
+}
+
+/// [`answer`] with the feasibility checks of query-time sign splits and the
+/// cell decomposition routed through a shared [`FeasibilityCache`].
+///
+/// The answering pass revisits the same guard prefixes the analysis already
+/// proved feasible, so sharing the analysis run's cache (see
+/// [`ExactOptions::feasibility_cache`](crate::ExactOptions)) answers most
+/// checks from the memo table.
+///
+/// # Errors
+///
+/// As for [`answer`].
+pub fn answer_cached(
+    model: &Model,
+    analysis: &Analysis,
+    query: &CompiledQuery,
+    fm_pruning: bool,
+    cache: Option<&FeasibilityCache>,
+) -> Result<QueryResult, ExactError> {
     // Evaluate the query on every terminal configuration, enumerating any
     // symbolic sign splits the evaluation itself introduces.
     let mut contributions: Vec<(Guard, Rat, Contribution)> = Vec::new();
     for (cfg, guard, mass) in &analysis.terminals {
         let states = |node: usize, slot: usize| cfg.nodes[node].state[slot].clone();
-        let branches = enumerate_eval(guard, fm_pruning, |driver| {
+        let branches = enumerate_eval_cached(guard, fm_pruning, cache, |driver| {
             Ok(match query.kind {
                 QueryKind::Probability => {
                     let v = eval_query_expr(model, &query.expr, &states, driver)?;
@@ -216,7 +237,7 @@ pub fn answer(
     if exprs.len() > MAX_CELL_ATOMS {
         return Err(ExactError::ConfigLimit(exprs.len()));
     }
-    let cells = enumerate_cells(&exprs);
+    let cells = enumerate_cells_cached(&exprs, cache);
 
     let mut out = Vec::with_capacity(cells.len());
     let mut any_defined = false;

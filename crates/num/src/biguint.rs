@@ -1,18 +1,37 @@
 //! Arbitrary-precision unsigned integers.
 //!
-//! [`BigUint`] stores its magnitude as little-endian `u64` limbs with the
-//! invariant that the most significant limb is nonzero (zero is the empty
-//! limb vector). All arithmetic is exact; overflow cannot occur.
+//! [`BigUint`] is a tagged small/big representation: values below 2^64 are
+//! stored inline as a single machine word ([`Repr::Small`]) and never touch
+//! the heap; larger magnitudes fall back to little-endian `u64` limbs
+//! ([`Repr::Big`], always at least two limbs with a nonzero top limb). The
+//! representation is canonical — a value fits in one limb if and only if it
+//! is stored as `Small` — so the derived `Eq`/`Hash` and the hand-written
+//! `Ord` agree across representations by construction.
 //!
-//! The implementation favours clarity over asymptotic sophistication:
-//! schoolbook multiplication and Knuth Algorithm D division are more than
-//! fast enough for the operand sizes that exact network inference produces
-//! (hundreds to a few thousand bits).
+//! All arithmetic is exact; overflow cannot occur. Single-word operands take
+//! branch-predictable `u64`/`u128` fast paths; multi-limb operands use
+//! schoolbook multiplication and Knuth Algorithm D division, which are more
+//! than fast enough for the operand sizes that exact network inference
+//! produces (hundreds to a few thousand bits).
 
 use std::cmp::Ordering;
 use std::fmt;
 use std::ops::{Add, AddAssign, Mul, MulAssign, Shl, Shr, Sub, SubAssign};
 use std::str::FromStr;
+
+/// The tagged magnitude.
+///
+/// Invariant: `Big` holds at least two little-endian limbs and its most
+/// significant limb is nonzero. Every value below 2^64 is `Small`, so equal
+/// values always share a representation and the derived `Eq`/`Hash` are
+/// value-correct.
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum Repr {
+    /// An inline single-word value (including zero).
+    Small(u64),
+    /// Little-endian limbs; `len >= 2`, top limb nonzero.
+    Big(Vec<u64>),
+}
 
 /// An arbitrary-precision unsigned integer.
 ///
@@ -25,31 +44,40 @@ use std::str::FromStr;
 /// let b = &a * &a;
 /// assert_eq!(b.to_string(), format!("1{}", "0".repeat(60)));
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash, Default)]
+#[derive(Clone, PartialEq, Eq, Hash)]
 pub struct BigUint {
-    /// Little-endian limbs; no trailing zero limbs (zero is empty).
-    limbs: Vec<u64>,
+    repr: Repr,
+}
+
+impl Default for BigUint {
+    fn default() -> Self {
+        BigUint::zero()
+    }
 }
 
 impl BigUint {
     /// The value 0.
     pub fn zero() -> Self {
-        BigUint { limbs: Vec::new() }
+        BigUint {
+            repr: Repr::Small(0),
+        }
     }
 
     /// The value 1.
     pub fn one() -> Self {
-        BigUint { limbs: vec![1] }
+        BigUint {
+            repr: Repr::Small(1),
+        }
     }
 
     /// Returns `true` if `self` is zero.
     pub fn is_zero(&self) -> bool {
-        self.limbs.is_empty()
+        matches!(self.repr, Repr::Small(0))
     }
 
     /// Returns `true` if `self` is one.
     pub fn is_one(&self) -> bool {
-        self.limbs == [1]
+        matches!(self.repr, Repr::Small(1))
     }
 
     /// Constructs a value from little-endian limbs, normalizing trailing zeros.
@@ -57,52 +85,80 @@ impl BigUint {
         while limbs.last() == Some(&0) {
             limbs.pop();
         }
-        BigUint { limbs }
+        match limbs.len() {
+            0 => BigUint::zero(),
+            1 => BigUint {
+                repr: Repr::Small(limbs[0]),
+            },
+            _ => BigUint {
+                repr: Repr::Big(limbs),
+            },
+        }
     }
 
-    /// A read-only view of the little-endian limbs.
+    /// A read-only view of the little-endian limbs (empty for zero).
     pub fn limbs(&self) -> &[u64] {
-        &self.limbs
+        match &self.repr {
+            Repr::Small(0) => &[],
+            Repr::Small(v) => std::slice::from_ref(v),
+            Repr::Big(limbs) => limbs,
+        }
+    }
+
+    /// The limb vector, surrendering the small-value optimization.
+    fn into_limbs(self) -> Vec<u64> {
+        match self.repr {
+            Repr::Small(0) => Vec::new(),
+            Repr::Small(v) => vec![v],
+            Repr::Big(limbs) => limbs,
+        }
     }
 
     /// Number of significant bits (0 for the value zero).
     pub fn bits(&self) -> u64 {
-        match self.limbs.last() {
-            None => 0,
-            Some(&top) => (self.limbs.len() as u64 - 1) * 64 + (64 - top.leading_zeros() as u64),
+        match &self.repr {
+            Repr::Small(v) => 64 - v.leading_zeros() as u64,
+            Repr::Big(limbs) => {
+                let top = *limbs.last().expect("Big is nonempty");
+                (limbs.len() as u64 - 1) * 64 + (64 - top.leading_zeros() as u64)
+            }
         }
     }
 
     /// Returns bit `i` (little-endian position) of the value.
     pub fn bit(&self, i: u64) -> bool {
+        let limbs = self.limbs();
         let limb = (i / 64) as usize;
-        if limb >= self.limbs.len() {
+        if limb >= limbs.len() {
             return false;
         }
-        (self.limbs[limb] >> (i % 64)) & 1 == 1
+        (limbs[limb] >> (i % 64)) & 1 == 1
     }
 
     /// Returns `true` if the value is even. Zero is even.
     pub fn is_even(&self) -> bool {
-        self.limbs.first().is_none_or(|l| l & 1 == 0)
+        match &self.repr {
+            Repr::Small(v) => v & 1 == 0,
+            Repr::Big(limbs) => limbs[0] & 1 == 0,
+        }
     }
 
     /// Converts to `u64` if the value fits.
     pub fn to_u64(&self) -> Option<u64> {
-        match self.limbs.len() {
-            0 => Some(0),
-            1 => Some(self.limbs[0]),
-            _ => None,
+        match &self.repr {
+            Repr::Small(v) => Some(*v),
+            Repr::Big(_) => None,
         }
     }
 
     /// Converts to `u128` if the value fits.
     pub fn to_u128(&self) -> Option<u128> {
-        match self.limbs.len() {
-            0 => Some(0),
-            1 => Some(self.limbs[0] as u128),
-            2 => Some(self.limbs[0] as u128 | (self.limbs[1] as u128) << 64),
-            _ => None,
+        match &self.repr {
+            Repr::Small(v) => Some(*v as u128),
+            Repr::Big(limbs) if limbs.len() == 2 => {
+                Some(limbs[0] as u128 | (limbs[1] as u128) << 64)
+            }
+            Repr::Big(_) => None,
         }
     }
 
@@ -127,20 +183,32 @@ impl BigUint {
 
     /// `self + other`, in place.
     fn add_assign_ref(&mut self, other: &BigUint) {
+        if let (Repr::Small(a), Repr::Small(b)) = (&self.repr, &other.repr) {
+            let (sum, carry) = a.overflowing_add(*b);
+            self.repr = if carry {
+                Repr::Big(vec![sum, 1])
+            } else {
+                Repr::Small(sum)
+            };
+            return;
+        }
+        let mut limbs = std::mem::take(self).into_limbs();
+        let rhs = other.limbs();
         let mut carry = 0u64;
-        for i in 0..other.limbs.len().max(self.limbs.len()) {
-            if i >= self.limbs.len() {
-                self.limbs.push(0);
+        for i in 0..rhs.len().max(limbs.len()) {
+            if i >= limbs.len() {
+                limbs.push(0);
             }
-            let b = other.limbs.get(i).copied().unwrap_or(0);
-            let (s1, c1) = self.limbs[i].overflowing_add(b);
+            let b = rhs.get(i).copied().unwrap_or(0);
+            let (s1, c1) = limbs[i].overflowing_add(b);
             let (s2, c2) = s1.overflowing_add(carry);
-            self.limbs[i] = s2;
+            limbs[i] = s2;
             carry = (c1 as u64) + (c2 as u64);
         }
         if carry != 0 {
-            self.limbs.push(carry);
+            limbs.push(carry);
         }
+        *self = BigUint::from_limbs(limbs);
     }
 
     /// `self - other`, in place.
@@ -153,18 +221,22 @@ impl BigUint {
             *self >= *other,
             "BigUint subtraction underflow: {self} - {other}"
         );
+        if let (Repr::Small(a), Repr::Small(b)) = (&self.repr, &other.repr) {
+            self.repr = Repr::Small(a - b);
+            return;
+        }
+        let mut limbs = std::mem::take(self).into_limbs();
+        let rhs = other.limbs();
         let mut borrow = 0u64;
-        for i in 0..self.limbs.len() {
-            let b = other.limbs.get(i).copied().unwrap_or(0);
-            let (d1, b1) = self.limbs[i].overflowing_sub(b);
+        for (i, limb) in limbs.iter_mut().enumerate() {
+            let b = rhs.get(i).copied().unwrap_or(0);
+            let (d1, b1) = limb.overflowing_sub(b);
             let (d2, b2) = d1.overflowing_sub(borrow);
-            self.limbs[i] = d2;
+            *limb = d2;
             borrow = (b1 as u64) + (b2 as u64);
         }
         debug_assert_eq!(borrow, 0);
-        while self.limbs.last() == Some(&0) {
-            self.limbs.pop();
-        }
+        *self = BigUint::from_limbs(limbs);
     }
 
     /// `self - other` if `other <= self`, otherwise `None`.
@@ -178,23 +250,29 @@ impl BigUint {
         }
     }
 
-    /// Schoolbook multiplication.
+    /// Multiplication: an inline `u128` product for single-word operands,
+    /// schoolbook for everything else.
     fn mul_ref(&self, other: &BigUint) -> BigUint {
+        if let (Repr::Small(a), Repr::Small(b)) = (&self.repr, &other.repr) {
+            return BigUint::from(*a as u128 * *b as u128);
+        }
         if self.is_zero() || other.is_zero() {
             return BigUint::zero();
         }
-        let mut out = vec![0u64; self.limbs.len() + other.limbs.len()];
-        for (i, &a) in self.limbs.iter().enumerate() {
+        let lhs = self.limbs();
+        let rhs = other.limbs();
+        let mut out = vec![0u64; lhs.len() + rhs.len()];
+        for (i, &a) in lhs.iter().enumerate() {
             if a == 0 {
                 continue;
             }
             let mut carry = 0u128;
-            for (j, &b) in other.limbs.iter().enumerate() {
+            for (j, &b) in rhs.iter().enumerate() {
                 let t = a as u128 * b as u128 + out[i + j] as u128 + carry;
                 out[i + j] = t as u64;
                 carry = t >> 64;
             }
-            let mut k = i + other.limbs.len();
+            let mut k = i + rhs.len();
             while carry != 0 {
                 let t = out[k] as u128 + carry;
                 out[k] = t as u64;
@@ -212,13 +290,16 @@ impl BigUint {
     /// Panics if `divisor` is zero.
     pub fn div_rem(&self, divisor: &BigUint) -> (BigUint, BigUint) {
         assert!(!divisor.is_zero(), "division by zero");
+        if let (Repr::Small(a), Repr::Small(b)) = (&self.repr, &divisor.repr) {
+            return (BigUint::from(a / b), BigUint::from(a % b));
+        }
         match self.cmp(divisor) {
             Ordering::Less => return (BigUint::zero(), self.clone()),
             Ordering::Equal => return (BigUint::one(), BigUint::zero()),
             Ordering::Greater => {}
         }
-        if divisor.limbs.len() == 1 {
-            let (q, r) = self.div_rem_limb(divisor.limbs[0]);
+        if let Repr::Small(d) = divisor.repr {
+            let (q, r) = self.div_rem_limb(d);
             return (q, BigUint::from(r));
         }
         self.div_rem_knuth(divisor)
@@ -227,27 +308,33 @@ impl BigUint {
     /// Fast path: divide by a single limb.
     fn div_rem_limb(&self, d: u64) -> (BigUint, u64) {
         debug_assert!(d != 0);
-        let mut q = vec![0u64; self.limbs.len()];
+        if let Repr::Small(v) = self.repr {
+            return (BigUint::from(v / d), v % d);
+        }
+        let limbs = self.limbs();
+        let mut q = vec![0u64; limbs.len()];
         let mut rem = 0u128;
-        for i in (0..self.limbs.len()).rev() {
-            let cur = (rem << 64) | self.limbs[i] as u128;
+        for i in (0..limbs.len()).rev() {
+            let cur = (rem << 64) | limbs[i] as u128;
             q[i] = (cur / d as u128) as u64;
             rem = cur % d as u128;
         }
         (BigUint::from_limbs(q), rem as u64)
     }
 
-    /// Knuth TAOCP Vol. 2 Algorithm D (multi-limb division).
+    /// Knuth TAOCP Vol. 2 Algorithm D (multi-limb division). The divisor
+    /// has at least two limbs here.
     fn div_rem_knuth(&self, divisor: &BigUint) -> (BigUint, BigUint) {
         // D1: normalize so the divisor's top limb has its high bit set.
-        let shift = divisor.limbs.last().unwrap().leading_zeros();
+        let shift = divisor.limbs().last().unwrap().leading_zeros();
         let v = divisor << (shift as u64);
-        let mut u = (self << (shift as u64)).limbs;
+        let vl = v.limbs();
+        let mut u = (self << (shift as u64)).into_limbs();
         u.push(0); // extra headroom limb
-        let n = v.limbs.len();
+        let n = vl.len();
         let m = u.len() - n - 1;
-        let vn1 = v.limbs[n - 1];
-        let vn2 = v.limbs[n - 2];
+        let vn1 = vl[n - 1];
+        let vn2 = vl[n - 2];
         let mut q = vec![0u64; m + 1];
 
         for j in (0..=m).rev() {
@@ -266,7 +353,7 @@ impl BigUint {
             let mut borrow = 0i128;
             let mut carry = 0u128;
             for i in 0..n {
-                let p = qhat * v.limbs[i] as u128 + carry;
+                let p = qhat * vl[i] as u128 + carry;
                 carry = p >> 64;
                 let t = u[i + j] as i128 - (p as u64) as i128 + borrow;
                 u[i + j] = t as u64;
@@ -279,7 +366,7 @@ impl BigUint {
                 qhat -= 1;
                 let mut c = 0u128;
                 for i in 0..n {
-                    let s = u[i + j] as u128 + v.limbs[i] as u128 + c;
+                    let s = u[i + j] as u128 + vl[i] as u128 + c;
                     u[i + j] = s as u64;
                     c = s >> 64;
                 }
@@ -293,8 +380,38 @@ impl BigUint {
         (BigUint::from_limbs(q), rem)
     }
 
+    /// Binary GCD over single words; used whenever both operands have
+    /// shrunk (or started) below 2^64, and by the [`crate::Rat`] fast paths.
+    pub(crate) fn gcd_u64(mut a: u64, mut b: u64) -> u64 {
+        if a == 0 {
+            return b;
+        }
+        if b == 0 {
+            return a;
+        }
+        let common = (a | b).trailing_zeros();
+        a >>= a.trailing_zeros();
+        loop {
+            b >>= b.trailing_zeros();
+            if a > b {
+                std::mem::swap(&mut a, &mut b);
+            }
+            b -= a;
+            if b == 0 {
+                return a << common;
+            }
+        }
+    }
+
     /// Greatest common divisor (binary GCD; `gcd(0, x) = x`).
+    ///
+    /// Word-sized operands run an inline `u64` binary GCD; multi-limb
+    /// operands use the limb algorithm until the subtract-and-shift loop
+    /// brings both sides under 2^64, then finish in words.
     pub fn gcd(&self, other: &BigUint) -> BigUint {
+        if let (Repr::Small(a), Repr::Small(b)) = (&self.repr, &other.repr) {
+            return BigUint::from(Self::gcd_u64(*a, *b));
+        }
         let mut a = self.clone();
         let mut b = other.clone();
         if a.is_zero() {
@@ -310,6 +427,9 @@ impl BigUint {
         a = &a >> az;
         b = &b >> bz;
         while a != b {
+            if let (Some(a64), Some(b64)) = (a.to_u64(), b.to_u64()) {
+                return BigUint::from(Self::gcd_u64(a64, b64)) << common;
+            }
             if a < b {
                 std::mem::swap(&mut a, &mut b);
             }
@@ -345,7 +465,7 @@ impl BigUint {
     pub fn trailing_zeros(&self) -> u64 {
         assert!(!self.is_zero(), "trailing_zeros of zero");
         let mut count = 0u64;
-        for &l in &self.limbs {
+        for &l in self.limbs() {
             if l == 0 {
                 count += 64;
             } else {
@@ -375,17 +495,21 @@ impl BigUint {
 
 impl From<u64> for BigUint {
     fn from(v: u64) -> Self {
-        if v == 0 {
-            BigUint::zero()
-        } else {
-            BigUint { limbs: vec![v] }
+        BigUint {
+            repr: Repr::Small(v),
         }
     }
 }
 
 impl From<u128> for BigUint {
     fn from(v: u128) -> Self {
-        BigUint::from_limbs(vec![v as u64, (v >> 64) as u64])
+        if v <= u64::MAX as u128 {
+            BigUint::from(v as u64)
+        } else {
+            BigUint {
+                repr: Repr::Big(vec![v as u64, (v >> 64) as u64]),
+            }
+        }
     }
 }
 
@@ -397,17 +521,22 @@ impl From<u32> for BigUint {
 
 impl Ord for BigUint {
     fn cmp(&self, other: &Self) -> Ordering {
-        match self.limbs.len().cmp(&other.limbs.len()) {
-            Ordering::Equal => {
-                for i in (0..self.limbs.len()).rev() {
-                    match self.limbs[i].cmp(&other.limbs[i]) {
-                        Ordering::Equal => continue,
-                        ord => return ord,
+        match (&self.repr, &other.repr) {
+            (Repr::Small(a), Repr::Small(b)) => a.cmp(b),
+            (Repr::Small(_), Repr::Big(_)) => Ordering::Less,
+            (Repr::Big(_), Repr::Small(_)) => Ordering::Greater,
+            (Repr::Big(a), Repr::Big(b)) => match a.len().cmp(&b.len()) {
+                Ordering::Equal => {
+                    for i in (0..a.len()).rev() {
+                        match a[i].cmp(&b[i]) {
+                            Ordering::Equal => continue,
+                            ord => return ord,
+                        }
                     }
+                    Ordering::Equal
                 }
-                Ordering::Equal
-            }
-            ord => ord,
+                ord => ord,
+            },
         }
     }
 }
@@ -474,7 +603,11 @@ impl SubAssign<&BigUint> for BigUint {
 
 impl MulAssign<&BigUint> for BigUint {
     fn mul_assign(&mut self, rhs: &BigUint) {
-        *self = self.mul_ref(rhs);
+        if let (Repr::Small(a), Repr::Small(b)) = (&self.repr, &rhs.repr) {
+            *self = BigUint::from(*a as u128 * *b as u128);
+        } else {
+            *self = self.mul_ref(rhs);
+        }
     }
 }
 
@@ -484,14 +617,19 @@ impl Shl<u64> for &BigUint {
         if self.is_zero() || bits == 0 {
             return self.clone();
         }
+        if let Repr::Small(v) = self.repr {
+            if bits < 64 && v.leading_zeros() as u64 >= bits {
+                return BigUint::from(v << bits);
+            }
+        }
         let limb_shift = (bits / 64) as usize;
         let bit_shift = bits % 64;
         let mut limbs = vec![0u64; limb_shift];
         if bit_shift == 0 {
-            limbs.extend_from_slice(&self.limbs);
+            limbs.extend_from_slice(self.limbs());
         } else {
             let mut carry = 0u64;
-            for &l in &self.limbs {
+            for &l in self.limbs() {
                 limbs.push((l << bit_shift) | carry);
                 carry = l >> (64 - bit_shift);
             }
@@ -513,12 +651,16 @@ impl Shl<u64> for BigUint {
 impl Shr<u64> for &BigUint {
     type Output = BigUint;
     fn shr(self, bits: u64) -> BigUint {
+        if let Repr::Small(v) = self.repr {
+            return BigUint::from(if bits >= 64 { 0 } else { v >> bits });
+        }
+        let src_all = self.limbs();
         let limb_shift = (bits / 64) as usize;
-        if limb_shift >= self.limbs.len() {
+        if limb_shift >= src_all.len() {
             return BigUint::zero();
         }
         let bit_shift = bits % 64;
-        let src = &self.limbs[limb_shift..];
+        let src = &src_all[limb_shift..];
         let mut limbs = Vec::with_capacity(src.len());
         if bit_shift == 0 {
             limbs.extend_from_slice(src);
@@ -541,8 +683,8 @@ impl Shr<u64> for BigUint {
 
 impl fmt::Display for BigUint {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.is_zero() {
-            return f.write_str("0");
+        if let Repr::Small(v) = self.repr {
+            return fmt::Display::fmt(&v, f);
         }
         // Peel off 19 decimal digits at a time (10^19 fits in a u64).
         const CHUNK: u64 = 10_000_000_000_000_000_000;
@@ -572,8 +714,9 @@ impl fmt::LowerHex for BigUint {
         if self.is_zero() {
             return f.write_str("0");
         }
-        write!(f, "{:x}", self.limbs.last().unwrap())?;
-        for l in self.limbs.iter().rev().skip(1) {
+        let limbs = self.limbs();
+        write!(f, "{:x}", limbs.last().unwrap())?;
+        for l in limbs.iter().rev().skip(1) {
             write!(f, "{l:016x}")?;
         }
         Ok(())
@@ -674,6 +817,28 @@ mod tests {
     }
 
     #[test]
+    fn small_values_stay_inline() {
+        // The canonical-representation invariant: anything below 2^64 is
+        // `Small`, and arithmetic that shrinks a `Big` renormalizes.
+        let max = BigUint::from(u64::MAX);
+        assert_eq!(max.limbs().len(), 1);
+        let wrapped = &max + &BigUint::one();
+        assert_eq!(wrapped.limbs().len(), 2);
+        let back = &wrapped - &BigUint::one();
+        assert_eq!(back.limbs().len(), 1);
+        assert_eq!(back, max);
+    }
+
+    #[test]
+    fn from_limbs_normalizes_to_small() {
+        let a = BigUint::from_limbs(vec![7, 0, 0]);
+        assert_eq!(a, BigUint::from(7u64));
+        assert_eq!(a.limbs(), &[7]);
+        assert_eq!(BigUint::from_limbs(vec![0, 0]), BigUint::zero());
+        assert!(BigUint::from_limbs(Vec::new()).is_zero());
+    }
+
+    #[test]
     fn mul_large() {
         let a = big("340282366920938463463374607431768211455"); // 2^128 - 1
         let sq = &a * &a;
@@ -716,6 +881,10 @@ mod tests {
         for bits in [0u64, 1, 7, 63, 64, 65, 130] {
             assert_eq!(&(&a << bits) >> bits, a);
         }
+        let s = BigUint::from(5u64);
+        for bits in [0u64, 1, 7, 61, 64, 130] {
+            assert_eq!(&(&s << bits) >> bits, s);
+        }
     }
 
     #[test]
@@ -734,6 +903,17 @@ mod tests {
         );
         let a = big("123456789012345678901234567890");
         assert_eq!(a.gcd(&a), a);
+    }
+
+    #[test]
+    fn gcd_mixed_sizes() {
+        // A multi-limb operand whose gcd with a word-sized operand must
+        // funnel through the mid-loop u64 fast path.
+        let a = BigUint::from(10u64).pow(30);
+        let b = BigUint::from(1u64 << 20);
+        assert_eq!(a.gcd(&b), BigUint::from(1u64 << 20));
+        let p = big("18446744073709551629"); // prime just above 2^64
+        assert_eq!(p.gcd(&BigUint::from(97u64)), BigUint::one());
     }
 
     #[test]

@@ -221,6 +221,27 @@ impl Rat {
         }
     }
 
+    /// `1 - self`, without materializing the constant one.
+    ///
+    /// The hot use is complementing a branch probability: `(b - a)/b` is
+    /// already in lowest terms because `gcd(b - a, b) = gcd(a, b) = 1`, so
+    /// no GCD runs at all.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use bayonet_num::Rat;
+    ///
+    /// assert_eq!(Rat::ratio(3, 10).complement(), Rat::ratio(7, 10));
+    /// assert_eq!(Rat::one().complement(), Rat::zero());
+    /// ```
+    pub fn complement(&self) -> Rat {
+        Rat {
+            num: BigInt::from(self.den.clone()) - &self.num,
+            den: self.den.clone(),
+        }
+    }
+
     /// Truthiness under the Bayonet convention: any nonzero value is true.
     pub fn is_true(&self) -> bool {
         !self.is_zero()
@@ -235,8 +256,45 @@ impl Rat {
         }
     }
 
-    fn add_ref(&self, other: &Rat) -> Rat {
-        // a/b + c/d = (a*d + c*b) / (b*d), then reduce.
+    /// The numerator magnitude and denominator as machine words, when both
+    /// fit. Signs are handled by the callers.
+    #[inline]
+    fn small_parts(&self) -> Option<(u64, u64)> {
+        Some((self.num.magnitude().to_u64()?, self.den.to_u64()?))
+    }
+
+    /// Word-sized path for `self + (rhs_sign / |other|)`: cross products in
+    /// `u128` and a binary GCD, with no heap traffic until the result is
+    /// wrapped. `None` when a component exceeds a word or the same-sign sum
+    /// overflows `u128` (the limb path takes over).
+    fn add_small(&self, other: &Rat, rhs_sign: Sign) -> Option<Rat> {
+        let (an, ad) = self.small_parts()?;
+        let (bn, bd) = other.small_parts()?;
+        let l = an as u128 * bd as u128; // |a|·d
+        let r = bn as u128 * ad as u128; // |c|·b
+        let den = ad as u128 * bd as u128;
+        let (mag, sign) = match (self.num.sign(), rhs_sign) {
+            (Sign::Zero, s) => (r, s),
+            (s, Sign::Zero) => (l, s),
+            (sa, sb) if sa == sb => (l.checked_add(r)?, sa),
+            (sa, sb) => match l.cmp(&r) {
+                Ordering::Greater => (l - r, sa),
+                Ordering::Less => (r - l, sb),
+                Ordering::Equal => (0, Sign::Zero),
+            },
+        };
+        if mag == 0 {
+            return Some(Rat::zero());
+        }
+        let g = gcd_u128(mag, den);
+        Some(Rat {
+            num: BigInt::from_sign_magnitude(sign, BigUint::from(mag / g)),
+            den: BigUint::from(den / g),
+        })
+    }
+
+    /// Limb path for addition: `a/b + c/d = (a*d + c*b) / (b*d)`, then reduce.
+    fn add_big(&self, other: &Rat) -> Rat {
         let num = &self.num * &BigInt::from(other.den.clone())
             + &other.num * &BigInt::from(self.den.clone());
         let den = &self.den * &other.den;
@@ -245,8 +303,38 @@ impl Rat {
         r
     }
 
-    fn mul_ref(&self, other: &Rat) -> Rat {
-        // Cross-reduce before multiplying to keep intermediates small.
+    fn add_ref(&self, other: &Rat) -> Rat {
+        self.add_small(other, other.num.sign())
+            .unwrap_or_else(|| self.add_big(other))
+    }
+
+    /// Word-sized path for multiplication. After cross-reducing with two
+    /// `u64` GCDs the products are provably in lowest terms and fit `u128`,
+    /// so there is no overflow fallback and no final reduction.
+    fn mul_small(&self, other: &Rat) -> Option<Rat> {
+        let (an, ad) = self.small_parts()?;
+        let (bn, bd) = other.small_parts()?;
+        if an == 0 || bn == 0 {
+            return Some(Rat::zero());
+        }
+        let g1 = BigUint::gcd_u64(an, bd);
+        let g2 = BigUint::gcd_u64(bn, ad);
+        let mag = (an / g1) as u128 * (bn / g2) as u128;
+        let den = (ad / g2) as u128 * (bd / g1) as u128;
+        let sign = if self.num.sign() == other.num.sign() {
+            Sign::Plus
+        } else {
+            Sign::Minus
+        };
+        Some(Rat {
+            num: BigInt::from_sign_magnitude(sign, BigUint::from(mag)),
+            den: BigUint::from(den),
+        })
+    }
+
+    /// Limb path for multiplication: cross-reduce before multiplying to
+    /// keep intermediates small.
+    fn mul_big(&self, other: &Rat) -> Rat {
         let g1 = self.num.magnitude().gcd(&other.den);
         let g2 = other.num.magnitude().gcd(&self.den);
         let (n1, _) = self.num.magnitude().div_rem(&g1);
@@ -262,6 +350,27 @@ impl Rat {
         Rat {
             num: BigInt::from_sign_magnitude(if mag.is_zero() { Sign::Zero } else { sign }, mag),
             den: &d1 * &d2,
+        }
+    }
+
+    fn mul_ref(&self, other: &Rat) -> Rat {
+        self.mul_small(other).unwrap_or_else(|| self.mul_big(other))
+    }
+}
+
+/// Binary GCD over `u128`; both operands must be nonzero.
+fn gcd_u128(mut a: u128, mut b: u128) -> u128 {
+    debug_assert!(a != 0 && b != 0);
+    let common = (a | b).trailing_zeros();
+    a >>= a.trailing_zeros();
+    loop {
+        b >>= b.trailing_zeros();
+        if a > b {
+            std::mem::swap(&mut a, &mut b);
+        }
+        b -= a;
+        if b == 0 {
+            return a << common;
         }
     }
 }
@@ -295,6 +404,22 @@ impl From<u32> for Rat {
 
 impl Ord for Rat {
     fn cmp(&self, other: &Self) -> Ordering {
+        // Signs decide first (`Minus < Zero < Plus` by declaration order);
+        // equal-sign word-sized values compare by exact u128 cross products.
+        let sa = self.num.sign();
+        let sb = other.num.sign();
+        if sa != sb {
+            return sa.cmp(&sb);
+        }
+        if let (Some((an, ad)), Some((bn, bd))) = (self.small_parts(), other.small_parts()) {
+            let l = an as u128 * bd as u128;
+            let r = bn as u128 * ad as u128;
+            return if sa == Sign::Minus {
+                r.cmp(&l)
+            } else {
+                l.cmp(&r)
+            };
+        }
         // a/b vs c/d  <=>  a*d vs c*b  (b, d > 0).
         let lhs = &self.num * &BigInt::from(other.den.clone());
         let rhs = &other.num * &BigInt::from(self.den.clone());
@@ -359,27 +484,51 @@ macro_rules! forward_rat_binop {
 }
 
 forward_rat_binop!(Add, add, |a, b| a.add_ref(b));
-forward_rat_binop!(Sub, sub, |a, b| a.add_ref(&-b));
+forward_rat_binop!(Sub, sub, |a, b| {
+    // Flip the sign at the call instead of materializing `-b`.
+    a.add_small(b, b.num.sign().negate())
+        .unwrap_or_else(|| a.add_big(&-b))
+});
 forward_rat_binop!(Mul, mul, |a, b| a.mul_ref(b));
 forward_rat_binop!(Div, div, |a, b| {
     a.checked_div(b).expect("rational division by zero")
 });
 
+// The assign ops write the word-sized result straight into the receiver's
+// fields — no operand clones, no temporary `Rat`, no heap traffic. Only
+// multi-limb operands fall back to the allocating limb path, whose
+// algorithms need a separate output buffer anyway.
+
 impl AddAssign<&Rat> for Rat {
     fn add_assign(&mut self, rhs: &Rat) {
-        *self = self.add_ref(rhs);
+        if let Some(r) = self.add_small(rhs, rhs.num.sign()) {
+            self.num = r.num;
+            self.den = r.den;
+        } else {
+            *self = self.add_big(rhs);
+        }
     }
 }
 
 impl SubAssign<&Rat> for Rat {
     fn sub_assign(&mut self, rhs: &Rat) {
-        *self = self.add_ref(&-rhs);
+        if let Some(r) = self.add_small(rhs, rhs.num.sign().negate()) {
+            self.num = r.num;
+            self.den = r.den;
+        } else {
+            *self = self.add_big(&-rhs);
+        }
     }
 }
 
 impl MulAssign<&Rat> for Rat {
     fn mul_assign(&mut self, rhs: &Rat) {
-        *self = self.mul_ref(rhs);
+        if let Some(r) = self.mul_small(rhs) {
+            self.num = r.num;
+            self.den = r.den;
+        } else {
+            *self = self.mul_big(rhs);
+        }
     }
 }
 
@@ -542,6 +691,55 @@ mod tests {
         let p: Rat = "30378810105265/67706637778944".parse().unwrap();
         assert!((p.to_f64() - 0.4487).abs() < 1e-4);
         assert_eq!(p.to_string(), "30378810105265/67706637778944");
+    }
+
+    #[test]
+    fn complement_matches_one_minus() {
+        for v in [Rat::zero(), Rat::one(), r(3, 10), r(-2, 3), r(7, 2)] {
+            assert_eq!(v.complement(), &Rat::one() - &v);
+        }
+    }
+
+    #[test]
+    fn assign_ops_match_operators() {
+        let big = Rat::new(
+            BigInt::from(7) * BigInt::from(10).pow(40),
+            BigInt::from(3) * BigInt::from(10).pow(20) + BigInt::one(),
+        );
+        let vals = [r(-3, 2), Rat::zero(), r(1, 7), r(5, 2), big];
+        for a in &vals {
+            for b in &vals {
+                let mut x = a.clone();
+                x += b;
+                assert_eq!(x, a + b);
+                let mut x = a.clone();
+                x -= b;
+                assert_eq!(x, a - b);
+                let mut x = a.clone();
+                x *= b;
+                assert_eq!(x, a * b);
+            }
+        }
+    }
+
+    #[test]
+    fn small_path_overflow_falls_back() {
+        // Same-sign addition whose u128 cross-product sum overflows: both
+        // numerators and denominators are near-maximal machine words, so
+        // each cross product alone is close to 2^128.
+        let a = Rat::new(
+            BigInt::from(u64::MAX as i128),
+            BigInt::from((u64::MAX - 2) as i128),
+        );
+        let b = Rat::new(
+            BigInt::from((u64::MAX - 2) as i128),
+            BigInt::from((u64::MAX - 4) as i128),
+        );
+        let s = &a + &b;
+        assert_eq!(&s - &b, a);
+        let mut t = a.clone();
+        t += &b;
+        assert_eq!(t, s);
     }
 
     #[test]

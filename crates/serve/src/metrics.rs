@@ -62,6 +62,11 @@ struct Inner {
     engine_merge_hits: u64,
     engine_peak_configs: u64,
     engine_steals: u64,
+    /// Per-request feasibility-cache totals (recorded from the request's
+    /// cache after analyze+answer, not folded from [`EngineStats`], so the
+    /// answer-phase checks are included exactly once).
+    engine_feasibility_hits: u64,
+    engine_feasibility_misses: u64,
 }
 
 /// The service metrics registry.
@@ -128,6 +133,15 @@ impl Metrics {
         inner.engine_merge_hits += stats.merge_hits;
         inner.engine_peak_configs = inner.engine_peak_configs.max(stats.peak_configs as u64);
         inner.engine_steals += stats.steals;
+    }
+
+    /// Folds one request's feasibility-cache totals (hits, misses) into the
+    /// cumulative counters. Called with the final counts of the per-request
+    /// cache so analyze- and answer-phase checks are each counted once.
+    pub fn record_feasibility(&self, hits: u64, misses: u64) {
+        let mut inner = self.inner.lock().expect("metrics mutex");
+        inner.engine_feasibility_hits += hits;
+        inner.engine_feasibility_misses += misses;
     }
 
     /// Binds the shared compute pool whose occupancy and steal counters are
@@ -332,6 +346,26 @@ impl Metrics {
         );
         out.push_str("# TYPE bayonet_engine_steals_total counter\n");
         let _ = writeln!(out, "bayonet_engine_steals_total {}", inner.engine_steals);
+        out.push_str(
+            "# HELP bayonet_engine_feasibility_hits_total Fourier–Motzkin feasibility \
+             checks answered from the per-run guard cache.\n",
+        );
+        out.push_str("# TYPE bayonet_engine_feasibility_hits_total counter\n");
+        let _ = writeln!(
+            out,
+            "bayonet_engine_feasibility_hits_total {}",
+            inner.engine_feasibility_hits
+        );
+        out.push_str(
+            "# HELP bayonet_engine_feasibility_misses_total Feasibility checks that ran \
+             the full elimination.\n",
+        );
+        out.push_str("# TYPE bayonet_engine_feasibility_misses_total counter\n");
+        let _ = writeln!(
+            out,
+            "bayonet_engine_feasibility_misses_total {}",
+            inner.engine_feasibility_misses
+        );
 
         if let Some(pool) = self.pool.lock().expect("pool mutex").as_ref() {
             let stats = pool.stats();
@@ -382,7 +416,10 @@ mod tests {
             merge_hits: 3,
             terminal_configs: 2,
             steals: 4,
+            feasibility_hits: 0,
+            feasibility_misses: 0,
         });
+        m.record_feasibility(11, 5);
         let pool = ComputePool::new(8);
         let lease = pool.lease(3);
         pool.add_steals(5);
@@ -409,6 +446,8 @@ mod tests {
         assert!(text.contains("bayonet_engine_steps_total 10"));
         assert!(text.contains("bayonet_engine_peak_configs 7"));
         assert!(text.contains("bayonet_engine_steals_total 4"));
+        assert!(text.contains("bayonet_engine_feasibility_hits_total 11"));
+        assert!(text.contains("bayonet_engine_feasibility_misses_total 5"));
         assert!(text.contains("bayonet_pool_workers_total 8"));
         assert!(text.contains("bayonet_pool_workers_busy 3"));
         assert!(text.contains("bayonet_pool_steals_total 5"));

@@ -26,8 +26,8 @@ use std::time::{Duration, Instant};
 
 use bayonet_approx::{rejection, smc, ApproxError, ApproxOptions, Estimate};
 use bayonet_exact::{
-    analyze, answer, synthesize_result, ComputePool, ExactError, ExactOptions, Objective,
-    QueryResult, SynthesisOptions,
+    analyze, answer_cached, synthesize_result, ComputePool, ExactError, ExactOptions,
+    FeasibilityCache, Objective, QueryResult, SynthesisOptions,
 };
 use bayonet_lang::{check, parse, pretty_program, Program};
 use bayonet_net::{compile, scheduler_for, Deadline, Model, Scheduler};
@@ -326,14 +326,23 @@ impl Service {
     ) -> Result<Response, ApiError> {
         match req.engine {
             Engine::Exact => {
-                let opts = self.exact_options(req, deadline);
+                // Per-request feasibility memo table, shared between the
+                // analysis and every query answer; its totals feed the
+                // metrics aggregates once, below.
+                let cache = Arc::new(FeasibilityCache::new());
+                let mut opts = self.exact_options(req, deadline);
+                opts.feasibility_cache = Some(Arc::clone(&cache));
                 let analysis = analyze(model, scheduler, &opts).map_err(exact_error)?;
                 self.metrics.record_engine(&analysis.stats);
                 let mut results: Vec<QueryResult> = Vec::with_capacity(model.queries.len());
                 for q in &model.queries {
-                    results
-                        .push(answer(model, &analysis, q, opts.fm_pruning).map_err(exact_error)?);
+                    results.push(
+                        answer_cached(model, &analysis, q, opts.fm_pruning, Some(&cache))
+                            .map_err(exact_error)?,
+                    );
                 }
+                let (feas_hits, feas_misses) = cache.counts();
+                self.metrics.record_feasibility(feas_hits, feas_misses);
                 let z = analysis.total_terminal_mass();
                 let discarded = analysis.total_discarded_mass();
 
@@ -435,16 +444,21 @@ impl Service {
         let query_idx = req.query.unwrap_or(0);
         req.check_query_index(query_idx, model.queries.len())?;
 
-        let opts = self.exact_options(req, req.deadline());
+        let cache = Arc::new(FeasibilityCache::new());
+        let mut opts = self.exact_options(req, req.deadline());
+        opts.feasibility_cache = Some(Arc::clone(&cache));
         let analysis = analyze(&model, &*scheduler, &opts).map_err(exact_error)?;
         self.metrics.record_engine(&analysis.stats);
-        let result = answer(
+        let result = answer_cached(
             &model,
             &analysis,
             &model.queries[query_idx],
             opts.fm_pruning,
+            Some(&cache),
         )
         .map_err(exact_error)?;
+        let (feas_hits, feas_misses) = cache.counts();
+        self.metrics.record_feasibility(feas_hits, feas_misses);
         let synthesis = synthesize_result(
             &model,
             &result,

@@ -81,6 +81,54 @@ fn repeat_requests_hit_the_cache_per_metrics() {
     handle.shutdown();
 }
 
+/// A minimal symbolic program: the forwarding decision compares two unbound
+/// parameters, so exact inference trichotomizes on sign(C1 - C2) and
+/// synthesis picks among the resulting cells.
+const SYMBOLIC_COSTS: &str = r#"
+    packet_fields { dst }
+    parameters { C1, C2 }
+    topology { nodes { A, B } links { (A, pt1) <-> (B, pt1) } }
+    programs { A -> send, B -> recv }
+    init { packet -> (A, pt1); }
+    query probability(got@B == 1);
+    def send(pkt, pt) state r1(0), r2(0) {
+        r1 = C1;
+        r2 = C2;
+        if r1 < r2 { fwd(1); } else { drop; }
+    }
+    def recv(pkt, pt) state got(0) { got = 1; drop; }
+"#;
+
+#[test]
+fn synthesize_moves_feasibility_cache_metrics() {
+    let handle = start(common::test_config()).expect("start server");
+    let addr = handle.addr();
+
+    let before = common::metrics(addr);
+    assert_eq!(
+        common::metric(&before, "bayonet_engine_feasibility_hits_total"),
+        0
+    );
+    assert_eq!(
+        common::metric(&before, "bayonet_engine_feasibility_misses_total"),
+        0
+    );
+
+    let (status, _, body) = http(addr, "POST", "/v1/synthesize", &run_body(SYMBOLIC_COSTS));
+    assert_eq!(status, 200, "{body}");
+    let doc = bayonet_serve::parse_json(&body).expect("json body");
+    assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(true));
+
+    // The analysis pays elimination misses; the query-answering and
+    // cell-enumeration passes revisit those guards and must hit.
+    let after = common::metrics(addr);
+    let hits = common::metric(&after, "bayonet_engine_feasibility_hits_total");
+    let misses = common::metric(&after, "bayonet_engine_feasibility_misses_total");
+    assert!(misses > 0, "expected elimination misses:\n{after}");
+    assert!(hits > 0, "expected memoized hits:\n{after}");
+    handle.shutdown();
+}
+
 #[test]
 fn expired_deadline_returns_structured_timeout() {
     let handle = start(common::test_config()).expect("start server");

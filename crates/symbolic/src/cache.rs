@@ -1,0 +1,131 @@
+//! Memoized Fourier–Motzkin feasibility.
+//!
+//! Exact enumeration re-proves the same guard prefixes along sibling
+//! branches of the replay tree: every fresh trichotomy split asks for the
+//! satisfiability of up to three extended guards, and the replay of each
+//! pending sibling asks again from the root. Guards are canonical
+//! ([`Guard`] is an ordered atom map with `Eq`/`Hash`), so a per-run table
+//! keyed on the guard answers repeats in a hash lookup instead of a full
+//! elimination.
+//!
+//! The cache stores only the boolean verdict — witnesses stay uncached
+//! because callers that need one (cell witnesses, synthesis) want the full
+//! [`feasibility`] result.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::feasible::feasibility;
+use crate::guard::Guard;
+
+/// A thread-safe memo table for [`feasibility`] verdicts, keyed on the
+/// canonical guard.
+///
+/// Shared by the parallel expansion workers of a single run; the hit/miss
+/// counters are therefore schedule-dependent (two workers can race to the
+/// same fresh guard and both miss) and must never feed deterministic
+/// output — report them through diagnostics channels only.
+#[derive(Default)]
+pub struct FeasibilityCache {
+    map: Mutex<HashMap<Guard, bool>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl FeasibilityCache {
+    /// Creates an empty cache.
+    pub fn new() -> FeasibilityCache {
+        FeasibilityCache::default()
+    }
+
+    /// Whether `guard` is satisfiable, answering from the memo table when
+    /// possible.
+    ///
+    /// On a miss the elimination runs *outside* the table lock, so
+    /// concurrent workers never serialize on each other's eliminations; two
+    /// workers racing to the same fresh guard may both compute it (both
+    /// count as misses), which is harmless because the verdict is a pure
+    /// function of the guard.
+    pub fn is_sat(&self, guard: &Guard) -> bool {
+        if let Some(&sat) = self.map.lock().expect("feasibility cache").get(guard) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return sat;
+        }
+        let sat = feasibility(guard).is_sat();
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.map
+            .lock()
+            .expect("feasibility cache")
+            .insert(guard.clone(), sat);
+        sat
+    }
+
+    /// Lifetime `(hits, misses)` counters.
+    pub fn counts(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Number of distinct guards memoized.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("feasibility cache").len()
+    }
+
+    /// Whether the memo table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl fmt::Debug for FeasibilityCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (hits, misses) = self.counts();
+        f.debug_struct("FeasibilityCache")
+            .field("entries", &self.len())
+            .field("hits", &hits)
+            .field("misses", &misses)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linexpr::LinExpr;
+    use crate::param::ParamTable;
+    use bayonet_num::Sign;
+
+    #[test]
+    fn memoizes_verdicts_and_counts() {
+        let mut t = ParamTable::new();
+        let x = LinExpr::param(t.intern("x"));
+        let y = LinExpr::param(t.intern("y"));
+        let z = LinExpr::param(t.intern("z"));
+        let sat = Guard::top().assume_sign(&x, Sign::Plus).unwrap();
+        // A cycle x > y > z > x: each atom is syntactically fine, only the
+        // elimination detects the contradiction.
+        let unsat = Guard::top()
+            .assume_sign(&x.sub(&y), Sign::Plus)
+            .unwrap()
+            .assume_sign(&y.sub(&z), Sign::Plus)
+            .unwrap()
+            .assume_sign(&z.sub(&x), Sign::Plus)
+            .unwrap();
+
+        let cache = FeasibilityCache::new();
+        assert!(cache.is_sat(&sat));
+        assert!(!cache.is_sat(&unsat));
+        assert_eq!(cache.counts(), (0, 2));
+        assert!(cache.is_sat(&sat));
+        assert!(!cache.is_sat(&unsat));
+        assert_eq!(cache.counts(), (2, 2));
+        assert_eq!(cache.len(), 2);
+        // Memoized verdicts agree with direct elimination.
+        assert!(feasibility(&sat).is_sat());
+        assert!(!feasibility(&unsat).is_sat());
+    }
+}

@@ -9,6 +9,7 @@
 
 use bayonet_num::Sign;
 
+use crate::cache::FeasibilityCache;
 use crate::feasible::{feasibility, Assignment, Feasibility};
 use crate::guard::Guard;
 use crate::linexpr::LinExpr;
@@ -74,6 +75,16 @@ pub fn atom_exprs(guards: &[Guard]) -> Vec<LinExpr> {
 /// assert_eq!(cells.len(), 3); // x < 0, x == 0, x > 0
 /// ```
 pub fn enumerate_cells(exprs: &[LinExpr]) -> Vec<Cell> {
+    enumerate_cells_cached(exprs, None)
+}
+
+/// [`enumerate_cells`] with the pruning feasibility checks routed through a
+/// [`FeasibilityCache`], sharing memoized verdicts with the rest of a run.
+pub fn enumerate_cells_cached(exprs: &[LinExpr], cache: Option<&FeasibilityCache>) -> Vec<Cell> {
+    let is_sat = |g: &Guard| match cache {
+        Some(c) => c.is_sat(g),
+        None => feasibility(g).is_sat(),
+    };
     let mut out = Vec::new();
     let mut stack = vec![(Guard::top(), 0usize)];
     while let Some((guard, i)) = stack.pop() {
@@ -83,7 +94,7 @@ pub fn enumerate_cells(exprs: &[LinExpr]) -> Vec<Cell> {
         }
         for s in [Sign::Minus, Sign::Zero, Sign::Plus] {
             if let Some(extended) = guard.assume_sign(&exprs[i], s) {
-                if feasibility(&extended).is_sat() {
+                if is_sat(&extended) {
                     stack.push((extended, i + 1));
                 }
             }

@@ -38,13 +38,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cache;
 mod cells;
 mod feasible;
 mod guard;
 mod linexpr;
 mod param;
 
-pub use cells::{atom_exprs, enumerate_cells, Cell};
+pub use cache::FeasibilityCache;
+pub use cells::{atom_exprs, enumerate_cells, enumerate_cells_cached, Cell};
 pub use feasible::{check_witness, feasibility, Assignment, Feasibility};
 pub use guard::{DisplayGuard, Guard};
 pub use linexpr::{DisplayLinExpr, LinExpr};
