@@ -3,7 +3,12 @@
 //! Times each pipeline phase — parse, compile, enumerate, query, synthesis —
 //! over the curated `examples/bay` corpus plus generated scaling programs,
 //! and emits a JSON report with per-phase medians over N trials and machine
-//! info. The report is self-validated by re-parsing it with the same JSON
+//! info. Every workload is enumerated by **both** exact backends — frontier
+//! enumeration and the `bayonet-bdd` knowledge-compilation engine — with the
+//! FNV-1a answer digests asserted equal, so the report doubles as a
+//! bit-identity witness while exposing the per-engine wall-clock trade-off
+//! (`enumerate_ns` vs. `bdd_enumerate_ns`, summarized as `bdd_speedup`).
+//! The report is self-validated by re-parsing it with the same JSON
 //! parser the service uses, so CI can gate on "harness ran and produced
 //! well-formed output" without gating on wall-clock numbers.
 //!
@@ -22,8 +27,8 @@ use std::time::Instant;
 
 use bayonet::{parse, scenarios, Network, Rat, Sched};
 use bayonet_exact::{
-    analyze, answer_cached, synthesize_result, ExactOptions, FeasibilityCache, Objective,
-    SynthesisOptions,
+    analyze, answer_cached, synthesize_result, EngineKind, ExactOptions, FeasibilityCache,
+    Objective, SynthesisOptions,
 };
 use bayonet_serve::{parse_json, Json};
 
@@ -35,12 +40,17 @@ struct Workload {
 }
 
 /// One trial's phase timings (nanoseconds) plus determinism evidence.
+/// The `bdd_*` fields come from re-enumerating the same compiled model
+/// under the knowledge-compilation backend; `run_trial` asserts its
+/// digest matches the enumeration digest before returning.
 #[derive(Default)]
 struct Trial {
     parse_ns: u64,
     compile_ns: u64,
     enumerate_ns: u64,
     query_ns: u64,
+    bdd_enumerate_ns: u64,
+    bdd_query_ns: u64,
     synthesis_ns: Option<u64>,
     feasibility_hits: u64,
     feasibility_misses: u64,
@@ -111,8 +121,78 @@ fn workloads(quick: bool) -> Vec<Workload> {
             bindings: Vec::new(),
             synthesize: false,
         });
+        // The structured workload where knowledge compilation pulls away
+        // from enumeration (~5-7x); deliberately not in --quick, since the
+        // enumeration side alone takes tens of seconds per trial.
+        ws.push(Workload {
+            name: "gossip_k5_generated",
+            source: scenarios::gossip_source(5, Sched::Uniform),
+            bindings: Vec::new(),
+            synthesize: false,
+        });
     }
     ws
+}
+
+/// One engine's share of a trial: analyze, answer every query, and (when
+/// the workload asks) synthesize — all timed, all folded into one digest.
+struct EnginePass {
+    enumerate_ns: u64,
+    query_ns: u64,
+    synthesis_ns: Option<u64>,
+    feasibility_hits: u64,
+    feasibility_misses: u64,
+    digest: u64,
+}
+
+fn engine_pass(network: &Network, w: &Workload, engine: EngineKind) -> EnginePass {
+    // One feasibility memo table per pass, shared across analyze and
+    // query answering — the same sharing the serve request path uses.
+    let cache = Arc::new(FeasibilityCache::new());
+    let opts = ExactOptions {
+        engine,
+        feasibility_cache: Some(Arc::clone(&cache)),
+        ..ExactOptions::default()
+    };
+    let start = Instant::now();
+    let analysis = analyze(network.model(), network.scheduler(), &opts).expect("analyze");
+    let enumerate_ns = start.elapsed().as_nanos() as u64;
+
+    let start = Instant::now();
+    let mut results = Vec::new();
+    for q in network.queries() {
+        results.push(
+            answer_cached(network.model(), &analysis, q, opts.fm_pruning, Some(&cache))
+                .expect("answer"),
+        );
+    }
+    let query_ns = start.elapsed().as_nanos() as u64;
+    let (feasibility_hits, feasibility_misses) = cache.counts();
+    let mut digest = 0u64;
+    for r in &results {
+        digest = fnv1a(digest, &r.to_string());
+    }
+
+    let mut synthesis_ns = None;
+    if w.synthesize {
+        let sopts = SynthesisOptions {
+            objective: Objective::Maximize,
+            positive_params: true,
+        };
+        let start = Instant::now();
+        let syn = synthesize_result(network.model(), &results[0], sopts).expect("synthesize");
+        synthesis_ns = Some(start.elapsed().as_nanos() as u64);
+        digest = fnv1a(digest, &format!("{} {:?}", syn.constraint, syn.assignment));
+    }
+
+    EnginePass {
+        enumerate_ns,
+        query_ns,
+        synthesis_ns,
+        feasibility_hits,
+        feasibility_misses,
+        digest,
+    }
 }
 
 fn run_trial(w: &Workload) -> Trial {
@@ -130,44 +210,24 @@ fn run_trial(w: &Workload) -> Trial {
     }
     t.compile_ns = start.elapsed().as_nanos() as u64;
 
-    // One feasibility memo table per trial, shared across analyze and
-    // query answering — the same sharing the serve request path uses.
-    let cache = Arc::new(FeasibilityCache::new());
-    let opts = ExactOptions {
-        feasibility_cache: Some(Arc::clone(&cache)),
-        ..ExactOptions::default()
-    };
-    let start = Instant::now();
-    let analysis = analyze(network.model(), network.scheduler(), &opts).expect("analyze");
-    t.enumerate_ns = start.elapsed().as_nanos() as u64;
+    let enumeration = engine_pass(&network, w, EngineKind::Enum);
+    let diagrams = engine_pass(&network, w, EngineKind::Bdd);
+    // The whole point of timing both: the answers must be bit-identical,
+    // otherwise the speedup is comparing different computations.
+    assert_eq!(
+        enumeration.digest, diagrams.digest,
+        "{}: enum and bdd posteriors diverge",
+        w.name
+    );
 
-    let start = Instant::now();
-    let mut results = Vec::new();
-    for q in network.queries() {
-        results.push(
-            answer_cached(network.model(), &analysis, q, opts.fm_pruning, Some(&cache))
-                .expect("answer"),
-        );
-    }
-    t.query_ns = start.elapsed().as_nanos() as u64;
-    (t.feasibility_hits, t.feasibility_misses) = cache.counts();
-    for r in &results {
-        t.answer_digest = fnv1a(t.answer_digest, &r.to_string());
-    }
-
-    if w.synthesize {
-        let sopts = SynthesisOptions {
-            objective: Objective::Maximize,
-            positive_params: true,
-        };
-        let start = Instant::now();
-        let syn = synthesize_result(network.model(), &results[0], sopts).expect("synthesize");
-        t.synthesis_ns = Some(start.elapsed().as_nanos() as u64);
-        t.answer_digest = fnv1a(
-            t.answer_digest,
-            &format!("{} {:?}", syn.constraint, syn.assignment),
-        );
-    }
+    t.enumerate_ns = enumeration.enumerate_ns;
+    t.query_ns = enumeration.query_ns;
+    t.bdd_enumerate_ns = diagrams.enumerate_ns;
+    t.bdd_query_ns = diagrams.query_ns;
+    t.synthesis_ns = enumeration.synthesis_ns;
+    t.feasibility_hits = enumeration.feasibility_hits;
+    t.feasibility_misses = enumeration.feasibility_misses;
+    t.answer_digest = enumeration.digest;
 
     t
 }
@@ -201,6 +261,14 @@ fn bench_workload(w: &Workload, trials: usize) -> Json {
             "query_ns",
             num(median(runs.iter().map(|t| t.query_ns).collect())),
         ),
+        (
+            "bdd_enumerate_ns",
+            num(median(runs.iter().map(|t| t.bdd_enumerate_ns).collect())),
+        ),
+        (
+            "bdd_query_ns",
+            num(median(runs.iter().map(|t| t.bdd_query_ns).collect())),
+        ),
     ];
     if runs[0].synthesis_ns.is_some() {
         phases.push((
@@ -210,6 +278,10 @@ fn bench_workload(w: &Workload, trials: usize) -> Json {
             )),
         ));
     }
+    // Headline ratio: enumeration median over diagram median. `run_trial`
+    // already asserted the digests match, so this compares like for like.
+    let enum_med = median(runs.iter().map(|t| t.enumerate_ns).collect()) as f64;
+    let bdd_med = median(runs.iter().map(|t| t.bdd_enumerate_ns).collect()).max(1) as f64;
     Json::obj(vec![
         ("name", Json::Str(w.name.to_string())),
         ("phases", Json::obj(phases)),
@@ -221,6 +293,10 @@ fn bench_workload(w: &Workload, trials: usize) -> Json {
             ]),
         ),
         ("answer_digest", Json::Str(format!("{digest:016x}"))),
+        (
+            "bdd_speedup",
+            Json::Num((enum_med / bdd_med * 1000.0).round() / 1000.0),
+        ),
     ])
 }
 

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! bayonet check <file.bay>
-//! bayonet run <file.bay> [--engine exact|smc|rejection|psi]
+//! bayonet run <file.bay> [--engine exact|enum|bdd|smc|rejection|psi]
 //!                        [--particles N] [--seed N] [--threads N]
 //!                        [--scheduler uniform|det|rotor]
 //!                        [--bind NAME=VALUE]... [--stats]
@@ -19,8 +19,8 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use bayonet::{
-    synthesize_with, ApproxOptions, DeterministicScheduler, ExactOptions, Network, Objective, Rat,
-    RotorScheduler, SynthesisOptions, UniformScheduler,
+    synthesize_with, ApproxOptions, DeterministicScheduler, EngineKind, ExactOptions, Network,
+    Objective, Rat, RotorScheduler, SynthesisOptions, UniformScheduler,
 };
 
 fn main() -> ExitCode {
@@ -36,7 +36,7 @@ fn main() -> ExitCode {
 
 fn usage() -> String {
     "usage: bayonet <check|run|synthesize|codegen|pretty|serve> [<file.bay>] [options]\n\
-     run options: --engine exact|smc|rejection|psi|simulate  --particles N  --seed N\n\
+     run options: --engine exact|enum|bdd|smc|rejection|psi|simulate  --particles N  --seed N\n\
                   --scheduler uniform|det|rotor  --bind NAME=VALUE  --threads N  --stats\n\
                   --batch (file is a /v1/batch JSON request; NDJSON frames to stdout)\n\
      synthesize options: --query N  --maximize  --allow-zero-params\n\
@@ -231,16 +231,23 @@ fn run_queries(source: &str, rest: &[String]) -> Result<(), String> {
         })
         .transpose()?
         .unwrap_or(1);
-    if threads > 1 && engine != "exact" {
+    if threads > 1 && !matches!(engine, "exact" | "enum") {
+        // The diagram backend is single-threaded by design; erroring beats
+        // silently ignoring the flag.
         return Err(format!(
-            "--threads only applies to the exact engine, not `{engine}`"
+            "--threads only applies to the exact enumeration engine, not `{engine}`"
         ));
     }
 
     match engine {
-        "exact" => {
+        "exact" | "enum" | "bdd" => {
             let opts = ExactOptions {
                 threads,
+                engine: if engine == "bdd" {
+                    EngineKind::Bdd
+                } else {
+                    EngineKind::Enum
+                },
                 ..ExactOptions::default()
             };
             let report = network.exact_with(&opts).map_err(|e| e.to_string())?;
@@ -269,6 +276,14 @@ fn run_queries(source: &str, rest: &[String]) -> Result<(), String> {
                     report.stats.feasibility_misses,
                     started.elapsed().as_secs_f64() * 1000.0
                 );
+                if engine == "bdd" {
+                    eprintln!(
+                        "stats: bdd {} nodes, {} unique-table hits, {} apply-cache hits",
+                        report.stats.bdd_nodes,
+                        report.stats.bdd_unique_hits,
+                        report.stats.bdd_apply_cache_hits
+                    );
+                }
             }
         }
         "smc" | "rejection" => {
@@ -302,7 +317,7 @@ fn run_queries(source: &str, rest: &[String]) -> Result<(), String> {
         }
         other => return Err(format!("unknown engine `{other}`\n{}", usage())),
     }
-    if want_stats && engine != "exact" {
+    if want_stats && !matches!(engine, "exact" | "enum" | "bdd") {
         eprintln!(
             "stats: {:.1} ms wall",
             started.elapsed().as_secs_f64() * 1000.0

@@ -42,6 +42,23 @@ use crossbeam::deque::{Injector, Stealer, Worker};
 use crate::enumerate::enumerate_eval_cached;
 use crate::pool::ComputePool;
 
+/// Which exact backend explores the global transition system. Both produce
+/// bit-identical [`Analysis`] posteriors; they differ in how the frontier is
+/// represented and therefore in speed on structured state spaces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineKind {
+    /// Explicit frontier enumeration with configuration merging (the
+    /// default). Parallelizes across [`ExactOptions::threads`].
+    #[default]
+    Enum,
+    /// Knowledge compilation to algebraic decision diagrams
+    /// (`bayonet-bdd`): the frontier is a set of hash-consed diagrams and
+    /// each scheduler action is a set-level transform. Wins — often by an
+    /// order of magnitude — when nodes' local states are conditionally
+    /// independent. Single-threaded; ignores [`ExactOptions::threads`].
+    Bdd,
+}
+
 /// Options controlling the exact engine.
 #[derive(Debug, Clone)]
 pub struct ExactOptions {
@@ -76,6 +93,9 @@ pub struct ExactOptions {
     /// [`FeasibilityCache`] to reuse verdicts across the analyze and
     /// query-answering passes of one request.
     pub feasibility_cache: Option<Arc<FeasibilityCache>>,
+    /// Which backend to run; see [`EngineKind`]. Both backends honor every
+    /// other option and produce bit-identical posteriors.
+    pub engine: EngineKind,
 }
 
 impl Default for ExactOptions {
@@ -90,6 +110,7 @@ impl Default for ExactOptions {
             pool: None,
             deadline: Deadline::default(),
             feasibility_cache: None,
+            engine: EngineKind::default(),
         }
     }
 }
@@ -121,6 +142,15 @@ pub struct EngineStats {
     pub feasibility_hits: u64,
     /// Feasibility checks that ran the full elimination.
     pub feasibility_misses: u64,
+    /// Decision nodes allocated in the ADD store ([`EngineKind::Bdd`] only;
+    /// 0 under enumeration).
+    pub bdd_nodes: u64,
+    /// ADD constructions answered by the unique table (structural merges;
+    /// [`EngineKind::Bdd`] only).
+    pub bdd_unique_hits: u64,
+    /// ADD operations answered by the apply/operation memo caches
+    /// ([`EngineKind::Bdd`] only).
+    pub bdd_apply_cache_hits: u64,
 }
 
 /// Errors from the exact engine.
@@ -495,6 +525,12 @@ pub fn analyze(
     scheduler: &dyn Scheduler,
     opts: &ExactOptions,
 ) -> Result<Analysis, ExactError> {
+    if opts.engine == EngineKind::Bdd && model.num_nodes() <= 64 {
+        // The diagram backend packs per-node queue flags into a `u128` (two
+        // bits per node); larger models fall back to enumeration, which has
+        // no such bound.
+        return crate::bdd_engine::analyze_bdd(model, scheduler, opts);
+    }
     let mut stats = EngineStats::default();
     let k = model.num_nodes();
     // The source's `num_steps N;` bounds the exploration like the paper's

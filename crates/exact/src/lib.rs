@@ -35,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bdd_engine;
 mod engine;
 mod enumerate;
 mod pool;
@@ -42,7 +43,7 @@ mod query;
 mod synthesize;
 
 pub use bayonet_symbolic::FeasibilityCache;
-pub use engine::{analyze, Analysis, EngineStats, ExactError, ExactOptions};
+pub use engine::{analyze, Analysis, EngineKind, EngineStats, ExactError, ExactOptions};
 pub use enumerate::{enumerate_eval, enumerate_eval_cached, Branch, ReplayDriver};
 pub use pool::{ComputePool, PoolLease, PoolStats};
 pub use query::{

@@ -1,0 +1,33 @@
+//! Shared helpers for the exact-engine integration suites.
+//!
+//! The whole suite can be re-run under the knowledge-compilation backend by
+//! setting `BAYONET_TEST_ENGINE=bdd` (the CI test matrix has a leg that does
+//! exactly that). Both backends promise bit-identical posteriors, so every
+//! assertion on terminals, discarded mass, and step counts must hold
+//! unchanged; only `merge_hits` is engine-specific.
+
+use bayonet_exact::{EngineKind, ExactOptions};
+
+/// The engine this test process runs under: `BAYONET_TEST_ENGINE=bdd`
+/// selects the diagram backend, anything else (or unset) the enumeration
+/// default. Unknown values are an error — a typo silently falling back to
+/// the default would quietly skip the whole matrix leg.
+pub fn test_engine() -> EngineKind {
+    match std::env::var("BAYONET_TEST_ENGINE") {
+        Ok(v) if v == "bdd" => EngineKind::Bdd,
+        Ok(v) if v == "enum" || v.is_empty() => EngineKind::Enum,
+        Ok(v) => panic!("BAYONET_TEST_ENGINE must be `enum` or `bdd`, got `{v}`"),
+        Err(_) => EngineKind::Enum,
+    }
+}
+
+/// [`ExactOptions::default`] with the suite engine applied. Use this (or
+/// struct-update from it) instead of `ExactOptions::default()` so the
+/// `BAYONET_TEST_ENGINE=bdd` CI leg actually exercises the diagram backend.
+#[allow(dead_code)]
+pub fn test_options() -> ExactOptions {
+    ExactOptions {
+        engine: test_engine(),
+        ..ExactOptions::default()
+    }
+}

@@ -22,6 +22,8 @@ use bayonet_lang::parse;
 use bayonet_net::{compile, scheduler_for, Model, Scheduler};
 use bayonet_num::Rat;
 
+mod common;
+
 fn example_dir() -> PathBuf {
     PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/bay"))
 }
@@ -84,8 +86,10 @@ fn options(threads: usize) -> ExactOptions {
         threads,
         // Force the work-stealing path even on tiny frontiers, so the
         // differential comparison actually exercises parallel expansion.
+        // (Under `BAYONET_TEST_ENGINE=bdd` both knobs are ignored and the
+        // matrix degenerates to self-consistency, which is intended.)
         par_threshold: 2,
-        ..ExactOptions::default()
+        ..common::test_options()
     }
 }
 
@@ -201,6 +205,12 @@ fn symbolic_synthesis_is_bit_identical_across_thread_counts() {
 
 #[test]
 fn pool_contention_degrades_gracefully_without_changing_results() {
+    // Pool leases and work stealing are enumeration-engine machinery; pin
+    // the engine so the `BAYONET_TEST_ENGINE=bdd` leg still exercises it.
+    let options = |threads: usize| ExactOptions {
+        engine: bayonet_exact::EngineKind::Enum,
+        ..options(threads)
+    };
     let source = fs::read_to_string(example_dir().join("gossip_k4.bay")).expect("gossip example");
     let (_, baseline_text) = run_and_render(&source, None, &options(1));
 

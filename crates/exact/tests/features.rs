@@ -7,12 +7,14 @@ use bayonet_lang::parse;
 use bayonet_net::{compile, scheduler_for, Model, Val};
 use bayonet_num::Rat;
 
+mod common;
+
 fn model(src: &str) -> Model {
     compile(&parse(src).unwrap()).unwrap()
 }
 
 fn value(m: &Model, idx: usize) -> Rat {
-    let analysis = analyze(m, &*scheduler_for(m), &ExactOptions::default()).unwrap();
+    let analysis = analyze(m, &*scheduler_for(m), &common::test_options()).unwrap();
     answer(m, &analysis, &m.queries[idx], true)
         .unwrap()
         .rat()
@@ -62,12 +64,12 @@ fn rotor_scheduler_is_deterministic_but_fair() {
     // seed-only network has exactly 3 terminals (one per first hop).
     let src = format!("{GOSSIP_K4_HEADER} scheduler rotor; {GOSSIP_BODY}");
     let m = model(&src);
-    let analysis = analyze(&m, &*scheduler_for(&m), &ExactOptions::default()).unwrap();
+    let analysis = analyze(&m, &*scheduler_for(&m), &common::test_options()).unwrap();
     // Every step is deterministic except uniformInt draws: the trace tree
     // has far fewer configurations than under the uniform scheduler.
     let uniform_src = format!("{GOSSIP_K4_HEADER} scheduler uniform; {GOSSIP_BODY}");
     let uni = model(&uniform_src);
-    let uni_analysis = analyze(&uni, &*scheduler_for(&uni), &ExactOptions::default()).unwrap();
+    let uni_analysis = analyze(&uni, &*scheduler_for(&uni), &common::test_options()).unwrap();
     assert!(analysis.stats.peak_configs < uni_analysis.stats.peak_configs);
 }
 
@@ -85,7 +87,7 @@ fn num_steps_bound_too_small_reports_untermination() {
         def sink(pkt, pt) state got(0) { got = 1; drop; }
     "#;
     let m = model(src);
-    let err = analyze(&m, &*scheduler_for(&m), &ExactOptions::default()).unwrap_err();
+    let err = analyze(&m, &*scheduler_for(&m), &common::test_options()).unwrap_err();
     assert!(matches!(err, ExactError::Unterminated { .. }), "{err}");
 }
 
@@ -121,7 +123,7 @@ fn expectation_of_a_symbolic_state_is_a_linear_expression() {
         def b(pkt, pt) { drop; }
     "#;
     let m = model(src);
-    let analysis = analyze(&m, &*scheduler_for(&m), &ExactOptions::default()).unwrap();
+    let analysis = analyze(&m, &*scheduler_for(&m), &common::test_options()).unwrap();
     let result = answer(&m, &analysis, &m.queries[0], true).unwrap();
     // E[x] = COST + 1, a symbolic value on the single (trivial) cell.
     assert_eq!(result.cells.len(), 1);
@@ -154,7 +156,7 @@ fn probability_query_splitting_on_symbolic_state() {
         def b(pkt, pt) { drop; }
     "#;
     let m = model(src);
-    let analysis = analyze(&m, &*scheduler_for(&m), &ExactOptions::default()).unwrap();
+    let analysis = analyze(&m, &*scheduler_for(&m), &common::test_options()).unwrap();
     let result = answer(&m, &analysis, &m.queries[0], true).unwrap();
     assert_eq!(result.cells.len(), 3);
     let vals: Vec<Rat> = result
@@ -180,7 +182,7 @@ fn engine_stats_are_plausible() {
         def b(pkt, pt) state got(0) { got = 1; drop; }
     "#;
     let m = model(src);
-    let analysis = analyze(&m, &*scheduler_for(&m), &ExactOptions::default()).unwrap();
+    let analysis = analyze(&m, &*scheduler_for(&m), &common::test_options()).unwrap();
     assert!(analysis.stats.steps >= 3);
     assert!(analysis.stats.expansions >= 3);
     assert_eq!(analysis.stats.terminal_configs, 2); // delivered vs dropped
@@ -209,7 +211,7 @@ fn parallel_expansion_matches_single_threaded() {
     // posterior is identical (merging happens after the parallel phase).
     let src = format!("{GOSSIP_K4_HEADER} scheduler uniform; {GOSSIP_BODY}");
     let m = model(&src);
-    let single = analyze(&m, &*scheduler_for(&m), &ExactOptions::default()).unwrap();
+    let single = analyze(&m, &*scheduler_for(&m), &common::test_options()).unwrap();
     let parallel = analyze(
         &m,
         &*scheduler_for(&m),

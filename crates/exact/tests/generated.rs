@@ -12,6 +12,8 @@ use bayonet_lang::parse;
 use bayonet_lang::testgen::ProgramGen;
 use bayonet_net::{compile, scheduler_for};
 
+mod common;
+
 const SEEDS: u64 = 200;
 
 fn run(source: &str, threads: usize) -> Result<Analysis, ExactError> {
@@ -22,7 +24,7 @@ fn run(source: &str, threads: usize) -> Result<Analysis, ExactError> {
         threads,
         // Force the parallel path even on small frontiers.
         par_threshold: 2,
-        ..ExactOptions::default()
+        ..common::test_options()
     };
     analyze(&model, &*scheduler, &opts)
 }

@@ -1,10 +1,12 @@
 //! Exact-engine tests on the paper's evaluation scenarios, checked against
 //! analytically forced values.
 
-use bayonet_exact::{analyze, answer, ExactOptions};
+use bayonet_exact::{analyze, answer};
 use bayonet_lang::parse;
 use bayonet_net::{compile, scheduler_for, Model};
 use bayonet_num::Rat;
+
+mod common;
 
 fn model(src: &str) -> Model {
     let program = parse(src).unwrap_or_else(|e| panic!("parse: {e}"));
@@ -13,7 +15,7 @@ fn model(src: &str) -> Model {
 }
 
 fn exact_value(model: &Model, query_idx: usize) -> Rat {
-    let analysis = analyze(model, &*scheduler_for(model), &ExactOptions::default())
+    let analysis = analyze(model, &*scheduler_for(model), &common::test_options())
         .unwrap_or_else(|e| panic!("analyze: {e}"));
     // Sanity: terminal + discarded mass accounts for everything.
     let total = analysis.total_terminal_mass() + analysis.total_discarded_mass();
@@ -305,7 +307,7 @@ fn congestion_example_symbolic_costs_reproduce_figure_3() {
     // Leave the three link costs symbolic: the answer is piecewise over the
     // sign of COST_01 - (COST_02 + COST_21), with the paper's fractions.
     let m = model(&section2_src("uniform"));
-    let analysis = analyze(&m, &*scheduler_for(&m), &ExactOptions::default()).unwrap();
+    let analysis = analyze(&m, &*scheduler_for(&m), &common::test_options()).unwrap();
     let result = answer(&m, &analysis, &m.queries[0], true).unwrap();
     assert_eq!(result.cells.len(), 3);
     let values: Vec<Rat> = result

@@ -1,10 +1,12 @@
 //! Exploratory probes printing measured values (run with --nocapture).
 //! These record the reproduction's concrete numbers for EXPERIMENTS.md.
 
-use bayonet_exact::{analyze, answer, ExactOptions};
+use bayonet_exact::{analyze, answer};
 use bayonet_lang::parse;
 use bayonet_net::{compile, scheduler_for};
 use bayonet_num::Rat;
+
+mod common;
 
 fn section2_src(scheduler: &str) -> String {
     format!(
@@ -79,7 +81,7 @@ fn probe_congestion_uniform_concrete() {
     m.bind_param("COST_02", Rat::int(1)).unwrap();
     m.bind_param("COST_21", Rat::int(1)).unwrap();
     let t0 = std::time::Instant::now();
-    let analysis = analyze(&m, &*scheduler_for(&m), &ExactOptions::default()).unwrap();
+    let analysis = analyze(&m, &*scheduler_for(&m), &common::test_options()).unwrap();
     let result = answer(&m, &analysis, &m.queries[0], true).unwrap();
     println!(
         "congestion(uniform, concrete 2/1/1) = {} ≈ {:.6}  [{} terminals, {} steps, peak {}, {:?}]",
@@ -98,7 +100,7 @@ fn probe_congestion_symbolic_cells() {
     let program = parse(&section2_src("uniform")).unwrap();
     let m = compile(&program).unwrap();
     let t0 = std::time::Instant::now();
-    let analysis = analyze(&m, &*scheduler_for(&m), &ExactOptions::default()).unwrap();
+    let analysis = analyze(&m, &*scheduler_for(&m), &common::test_options()).unwrap();
     let result = answer(&m, &analysis, &m.queries[0], true).unwrap();
     println!("symbolic congestion cells ({:?}):", t0.elapsed());
     for cell in &result.cells {

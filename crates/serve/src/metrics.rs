@@ -62,6 +62,9 @@ struct Inner {
     engine_merge_hits: u64,
     engine_peak_configs: u64,
     engine_steals: u64,
+    bdd_nodes: u64,
+    bdd_unique_hits: u64,
+    bdd_apply_cache_hits: u64,
     /// Per-request feasibility-cache totals (recorded from the request's
     /// cache after analyze+answer, not folded from [`EngineStats`], so the
     /// answer-phase checks are included exactly once).
@@ -133,6 +136,9 @@ impl Metrics {
         inner.engine_merge_hits += stats.merge_hits;
         inner.engine_peak_configs = inner.engine_peak_configs.max(stats.peak_configs as u64);
         inner.engine_steals += stats.steals;
+        inner.bdd_nodes += stats.bdd_nodes;
+        inner.bdd_unique_hits += stats.bdd_unique_hits;
+        inner.bdd_apply_cache_hits += stats.bdd_apply_cache_hits;
     }
 
     /// Folds one request's feasibility-cache totals (hits, misses) into the
@@ -346,6 +352,29 @@ impl Metrics {
         );
         out.push_str("# TYPE bayonet_engine_steals_total counter\n");
         let _ = writeln!(out, "bayonet_engine_steals_total {}", inner.engine_steals);
+        out.push_str("# HELP bayonet_bdd_nodes_total ADD store decision nodes allocated.\n");
+        out.push_str("# TYPE bayonet_bdd_nodes_total counter\n");
+        let _ = writeln!(out, "bayonet_bdd_nodes_total {}", inner.bdd_nodes);
+        out.push_str(
+            "# HELP bayonet_bdd_unique_hits_total ADD unique-table hits \
+             (structural merges).\n",
+        );
+        out.push_str("# TYPE bayonet_bdd_unique_hits_total counter\n");
+        let _ = writeln!(
+            out,
+            "bayonet_bdd_unique_hits_total {}",
+            inner.bdd_unique_hits
+        );
+        out.push_str(
+            "# HELP bayonet_bdd_apply_cache_hits_total ADD apply/weight memo \
+             cache hits.\n",
+        );
+        out.push_str("# TYPE bayonet_bdd_apply_cache_hits_total counter\n");
+        let _ = writeln!(
+            out,
+            "bayonet_bdd_apply_cache_hits_total {}",
+            inner.bdd_apply_cache_hits
+        );
         out.push_str(
             "# HELP bayonet_engine_feasibility_hits_total Fourier–Motzkin feasibility \
              checks answered from the per-run guard cache.\n",
@@ -418,6 +447,9 @@ mod tests {
             steals: 4,
             feasibility_hits: 0,
             feasibility_misses: 0,
+            bdd_nodes: 21,
+            bdd_unique_hits: 13,
+            bdd_apply_cache_hits: 8,
         });
         m.record_feasibility(11, 5);
         let pool = ComputePool::new(8);
@@ -448,6 +480,9 @@ mod tests {
         assert!(text.contains("bayonet_engine_steals_total 4"));
         assert!(text.contains("bayonet_engine_feasibility_hits_total 11"));
         assert!(text.contains("bayonet_engine_feasibility_misses_total 5"));
+        assert!(text.contains("bayonet_bdd_nodes_total 21"));
+        assert!(text.contains("bayonet_bdd_unique_hits_total 13"));
+        assert!(text.contains("bayonet_bdd_apply_cache_hits_total 8"));
         assert!(text.contains("bayonet_pool_workers_total 8"));
         assert!(text.contains("bayonet_pool_workers_busy 3"));
         assert!(text.contains("bayonet_pool_steals_total 5"));

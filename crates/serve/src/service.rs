@@ -26,7 +26,7 @@ use std::time::{Duration, Instant};
 
 use bayonet_approx::{rejection, smc, ApproxError, ApproxOptions, Estimate};
 use bayonet_exact::{
-    analyze, answer_cached, synthesize_result, ComputePool, ExactError, ExactOptions,
+    analyze, answer_cached, synthesize_result, ComputePool, EngineKind, ExactError, ExactOptions,
     FeasibilityCache, Objective, QueryResult, SynthesisOptions,
 };
 use bayonet_lang::{check, parse, pretty_program, Program};
@@ -325,12 +325,15 @@ impl Service {
         deadline: Deadline,
     ) -> Result<Response, ApiError> {
         match req.engine {
-            Engine::Exact => {
+            Engine::Exact | Engine::Bdd => {
                 // Per-request feasibility memo table, shared between the
                 // analysis and every query answer; its totals feed the
                 // metrics aggregates once, below.
                 let cache = Arc::new(FeasibilityCache::new());
                 let mut opts = self.exact_options(req, deadline);
+                if req.engine == Engine::Bdd {
+                    opts.engine = EngineKind::Bdd;
+                }
                 opts.feasibility_cache = Some(Arc::clone(&cache));
                 let analysis = analyze(model, scheduler, &opts).map_err(exact_error)?;
                 self.metrics.record_engine(&analysis.stats);
@@ -346,7 +349,8 @@ impl Service {
                 let z = analysis.total_terminal_mass();
                 let discarded = analysis.total_discarded_mass();
 
-                // Byte-for-byte the stdout of `bayonet run --engine exact`.
+                // Byte-for-byte the stdout of `bayonet run` with the same
+                // engine selection.
                 let mut text = String::new();
                 for result in &results {
                     let _ = write!(text, "{result}");
@@ -366,7 +370,7 @@ impl Service {
                     200,
                     Json::obj(vec![
                         ("ok", Json::Bool(true)),
-                        ("engine", Json::Str("exact".into())),
+                        ("engine", Json::Str(req.engine.name().into())),
                         ("results", Json::Arr(results_json)),
                         ("z", Json::Str(z.to_string())),
                         ("discarded", Json::Str(discarded.to_string())),
@@ -412,7 +416,7 @@ impl Service {
                     let est: Estimate = match req.engine {
                         Engine::Smc => smc(model, scheduler, q, &opts),
                         Engine::Rejection => rejection(model, scheduler, q, &opts),
-                        Engine::Exact => unreachable!(),
+                        Engine::Exact | Engine::Bdd => unreachable!(),
                     }
                     .map_err(approx_error)?;
                     // Byte-for-byte the stdout of `bayonet run --engine smc`.
@@ -1041,6 +1045,10 @@ fn query_result_json(result: &QueryResult) -> Json {
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 enum Engine {
     Exact,
+    /// The `bayonet-bdd` knowledge-compilation backend: same posteriors as
+    /// [`Engine::Exact`], bit for bit, often much faster on structured
+    /// topologies. `"enum"` is accepted as an alias for `"exact"`.
+    Bdd,
     Smc,
     Rejection,
 }
@@ -1049,6 +1057,7 @@ impl Engine {
     fn name(self) -> &'static str {
         match self {
             Engine::Exact => "exact",
+            Engine::Bdd => "bdd",
             Engine::Smc => "smc",
             Engine::Rejection => "rejection",
         }
@@ -1200,10 +1209,20 @@ impl InferenceRequest {
             .to_string();
         let engine = match doc.get("engine").map(|e| (e, e.as_str())) {
             None => Engine::Exact,
-            Some((_, Some("exact"))) => Engine::Exact,
+            Some((_, Some("exact" | "enum"))) => Engine::Exact,
+            Some((_, Some("bdd"))) => Engine::Bdd,
             Some((_, Some("smc"))) => Engine::Smc,
             Some((_, Some("rejection"))) => Engine::Rejection,
-            Some((v, _)) => return Err(bad(format!("unknown engine `{v}`"))),
+            Some((v, _)) => {
+                return Err(ApiError {
+                    status: 400,
+                    kind: "bad_request",
+                    message: format!(
+                        "unknown engine {v} (known engines: exact, enum, bdd, smc, rejection)"
+                    ),
+                    field: Some("engine".into()),
+                })
+            }
         };
         let query = match doc.get("query") {
             None | Some(Json::Null) => None,

@@ -180,3 +180,79 @@ fn batch_results_survive_a_restart() {
 
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// The cache key incorporates the engine: an `enum` result must never be
+/// served to a `"engine": "bdd"` request (or vice versa), in memory *or*
+/// from disk. Both orders are exercised — enum-then-bdd computes twice in
+/// the first life, and the restarted server replays bdd-then-enum from the
+/// persisted segment, each request matching its own engine's bytes.
+#[test]
+fn engine_is_part_of_the_persisted_cache_key() {
+    let dir = unique_dir("persist-engine");
+    let post = |addr, engine: &str| {
+        let body = format!(
+            r#"{{"source":{},"engine":"{engine}"}}"#,
+            bayonet_serve::Json::Str(TINY.into())
+        );
+        let (status, _, payload) = common::http(addr, "POST", "/v1/run", &body);
+        (status, payload)
+    };
+
+    // First life, enum then bdd: the second request must MISS the cache
+    // and run the diagram backend, not replay the enumeration result.
+    let handle = start(config_with_dir(&dir)).expect("start server");
+    let (status, enum_body) = post(handle.addr(), "enum");
+    assert_eq!(status, 200, "{enum_body}");
+    let (status, bdd_body) = post(handle.addr(), "bdd");
+    assert_eq!(status, 200, "{bdd_body}");
+    let text = metrics(handle.addr());
+    assert_eq!(
+        metric(&text, "bayonet_cache_hits_total"),
+        0,
+        "bdd request was served the enum entry"
+    );
+    assert!(metric(&text, "bayonet_bdd_nodes_total") > 0);
+    // Same posterior, different engine echo (`merge_hits` is also allowed
+    // to differ — the backends count merges at different granularities).
+    assert_ne!(enum_body, bdd_body);
+    let enum_doc = bayonet_serve::parse_json(&enum_body).expect("enum json");
+    let bdd_doc = bayonet_serve::parse_json(&bdd_body).expect("bdd json");
+    assert_eq!(
+        enum_doc.get("engine").and_then(bayonet_serve::Json::as_str),
+        Some("exact")
+    );
+    assert_eq!(
+        bdd_doc.get("engine").and_then(bayonet_serve::Json::as_str),
+        Some("bdd")
+    );
+    for field in ["results", "z", "discarded"] {
+        assert_eq!(
+            enum_doc.get(field).map(|v| v.to_string()),
+            bdd_doc.get(field).map(|v| v.to_string()),
+            "posterior field `{field}` diverges between engines"
+        );
+    }
+    handle.shutdown();
+
+    // Second life, REVERSED order: both answers come back from disk,
+    // byte-identical to their own engine's first-life response, with zero
+    // engine work.
+    let handle = start(config_with_dir(&dir)).expect("restart server");
+    let text = metrics(handle.addr());
+    assert!(metric(&text, "bayonet_cache_persist_load_ok_total") >= 2);
+
+    let (status, bdd_replayed) = post(handle.addr(), "bdd");
+    assert_eq!(status, 200, "{bdd_replayed}");
+    assert_eq!(bdd_body, bdd_replayed, "bdd replay diverged");
+    let (status, enum_replayed) = post(handle.addr(), "enum");
+    assert_eq!(status, 200, "{enum_replayed}");
+    assert_eq!(enum_body, enum_replayed, "enum replay diverged");
+
+    let text = metrics(handle.addr());
+    assert_eq!(metric(&text, "bayonet_cache_hits_total"), 2);
+    assert_eq!(metric(&text, "bayonet_engine_expansions_total"), 0);
+    assert_eq!(metric(&text, "bayonet_bdd_nodes_total"), 0);
+    handle.shutdown();
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -134,6 +134,107 @@ fn unknown_fields_are_named_structured_400s() {
     handle.shutdown();
 }
 
+/// Every way `engine` can be wrong — unknown names, case mismatches,
+/// empty strings, and non-string JSON values — is a structured 400 with
+/// `error.field == "engine"` and a message that lists the known engines,
+/// so the caller can fix the request from the error alone. The same table
+/// is replayed as `/v1/batch` items, where the rejection must arrive as a
+/// per-item 400 frame with the identical error shape.
+#[test]
+fn engine_validation_is_table_driven_across_run_and_batch() {
+    #[rustfmt::skip]
+    let cases: &[&str] = &[
+        // Unknown engine names.
+        "\"engine\":\"warp\"",
+        "\"engine\":\"exhaustive\"",
+        // Known names are matched case-sensitively and unpadded.
+        "\"engine\":\"BDD\"",
+        "\"engine\":\"Enum\"",
+        "\"engine\":\" bdd\"",
+        "\"engine\":\"\"",
+        // Wrong JSON types are the same error, not a type error.
+        "\"engine\":5",
+        "\"engine\":null",
+        "\"engine\":true",
+        "\"engine\":[\"bdd\"]",
+        "\"engine\":{\"name\":\"bdd\"}",
+    ];
+
+    let handle = start(common::test_config()).expect("start server");
+    let addr = handle.addr();
+
+    let check_error = |case: &str, error: &Json, body: &str| {
+        assert_eq!(
+            error.get("kind").and_then(Json::as_str),
+            Some("bad_request"),
+            "case {case}: {body}"
+        );
+        assert_eq!(
+            error.get("field").and_then(Json::as_str),
+            Some("engine"),
+            "case {case}: {body}"
+        );
+        let message = error.get("message").and_then(Json::as_str).unwrap_or("");
+        assert!(message.contains("unknown engine"), "case {case}: {message}");
+        assert!(
+            message.contains("known engines: exact, enum, bdd, smc, rejection"),
+            "case {case}: {message}"
+        );
+    };
+
+    for case in cases {
+        // `/v1/run`: a buffered structured 400.
+        let (status, body) = http(addr, &body_with(case));
+        assert_eq!(status, 400, "case {case}: {body}");
+        let doc = parse_json(&body).unwrap_or_else(|e| panic!("case {case}: bad json {e}: {body}"));
+        assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(false));
+        let error = doc
+            .get("error")
+            .unwrap_or_else(|| panic!("case {case}: no error object: {body}"));
+        check_error(case, error, &body);
+
+        // `/v1/batch`: the same table entry as an item-level field becomes
+        // a per-item 400 frame; the healthy sibling item still completes.
+        let source = Json::Str(TINY.into()).to_string();
+        let batch = format!(r#"{{"source":{source},"items":[{{{case}}},{{}}]}}"#);
+        let (status, payload) = common::post_batch(addr, &batch);
+        assert_eq!(status, 200, "case {case}: {payload}");
+        let frames = common::parse_frames(&payload);
+        assert_eq!(frames.len(), 2, "case {case}: {payload}");
+        let bad = frames.iter().find(|f| f.index == 0).unwrap();
+        assert_eq!(bad.status, 400, "case {case}: {}", bad.body);
+        let doc = parse_json(&bad.body).expect("frame body json");
+        assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(false));
+        let error = doc
+            .get("error")
+            .unwrap_or_else(|| panic!("case {case}: frame has no error: {}", bad.body));
+        check_error(case, error, &bad.body);
+        let good = frames.iter().find(|f| f.index == 1).unwrap();
+        assert_eq!(good.status, 200, "case {case}: {}", good.body);
+    }
+
+    // The accepted spellings, for contrast: each runs and echoes its
+    // canonical engine name back (`enum` is an alias for `exact`).
+    for (spelling, echoed) in [
+        ("\"engine\":\"exact\"", "exact"),
+        ("\"engine\":\"enum\"", "exact"),
+        ("\"engine\":\"bdd\"", "bdd"),
+    ] {
+        let (status, body) = http(addr, &body_with(spelling));
+        assert_eq!(status, 200, "case {spelling}: {body}");
+        let doc = parse_json(&body).expect("json body");
+        assert_eq!(
+            doc.get("engine").and_then(Json::as_str),
+            Some(echoed),
+            "case {spelling}: {body}"
+        );
+        let text = doc.get("text").and_then(Json::as_str).unwrap();
+        assert!(text.contains("1/3"), "case {spelling}: {text}");
+    }
+
+    handle.shutdown();
+}
+
 #[test]
 fn edge_values_are_accepted_not_rejected() {
     let handle = start(ServerConfig {
