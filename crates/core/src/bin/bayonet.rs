@@ -13,6 +13,7 @@
 //! bayonet pretty <file.bay>
 //! bayonet serve [--addr A] [--threads N] [--cache-entries K]
 //!               [--cache-dir DIR] [--cache-max-bytes N]
+//!               [--replicas N] [--max-connections N]
 //! ```
 
 use std::process::ExitCode;
@@ -24,6 +25,11 @@ use bayonet::{
 };
 
 fn main() -> ExitCode {
+    // When spawned as a `serve --replicas N` shard this process is a
+    // replica server, not a CLI: the hook detects the replica spec in the
+    // environment and never returns.
+    bayonet_serve::replica_entry();
+
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
@@ -42,7 +48,8 @@ fn usage() -> String {
      synthesize options: --query N  --maximize  --allow-zero-params\n\
      codegen options: --target psi|webppl\n\
      serve options: --addr HOST:PORT  --threads N  --cache-entries K\n\
-                    --cache-dir DIR  --cache-max-bytes N"
+                    --cache-dir DIR  --cache-max-bytes N\n\
+                    --replicas N  --max-connections N"
         .to_string()
 }
 
@@ -72,6 +79,8 @@ const SERVE_FLAGS: &[(&str, bool)] = &[
     ("--cache-entries", true),
     ("--cache-dir", true),
     ("--cache-max-bytes", true),
+    ("--replicas", true),
+    ("--max-connections", true),
 ];
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -409,8 +418,29 @@ fn serve_cmd(rest: &[String]) -> Result<(), String> {
             .parse()
             .map_err(|e| format!("bad --cache-max-bytes value: {e}"))?;
     }
+    if let Some(replicas) = flag_value(rest, "--replicas") {
+        config.replicas = replicas
+            .parse()
+            .map_err(|e| format!("bad --replicas value: {e}"))?;
+        if config.replicas == 0 {
+            return Err("--replicas must be at least 1".to_string());
+        }
+    }
+    if let Some(max) = flag_value(rest, "--max-connections") {
+        config.max_connections = max
+            .parse()
+            .map_err(|e| format!("bad --max-connections value: {e}"))?;
+    }
+    let replicas = config.replicas;
     let handle = bayonet_serve::start(config).map_err(|e| format!("cannot start server: {e}"))?;
-    eprintln!("bayonet-serve listening on http://{}", handle.addr());
+    if replicas > 1 {
+        eprintln!(
+            "bayonet-serve router on http://{} ({replicas} replicas)",
+            handle.addr()
+        );
+    } else {
+        eprintln!("bayonet-serve listening on http://{}", handle.addr());
+    }
     handle.join();
     Ok(())
 }

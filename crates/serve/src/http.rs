@@ -69,34 +69,11 @@ impl From<io::Error> for RequestError {
     }
 }
 
-/// Reads one request from `stream`.
-///
-/// # Errors
-///
-/// See [`RequestError`]. A clean EOF before any byte yields
-/// `Malformed("empty request")` — callers usually just drop the connection.
-pub fn read_request(stream: &mut impl Read) -> Result<Request, RequestError> {
-    // Read until the blank line separating head from body.
-    let mut head = Vec::with_capacity(1024);
-    let mut byte = [0u8; 1];
-    loop {
-        let n = stream.read(&mut byte)?;
-        if n == 0 {
-            if head.is_empty() {
-                return Err(RequestError::Malformed("empty request"));
-            }
-            return Err(RequestError::Malformed("truncated request head"));
-        }
-        head.push(byte[0]);
-        if head.len() > MAX_HEAD_BYTES {
-            return Err(RequestError::TooLarge);
-        }
-        if head.ends_with(b"\r\n\r\n") || head.ends_with(b"\n\n") {
-            break;
-        }
-    }
+/// Parses a complete request head (everything before the blank line) into
+/// a body-less [`Request`] plus the declared `Content-Length`.
+fn parse_head(head: &[u8]) -> Result<(Request, usize), RequestError> {
     let head_text =
-        std::str::from_utf8(&head).map_err(|_| RequestError::Malformed("head is not UTF-8"))?;
+        std::str::from_utf8(head).map_err(|_| RequestError::Malformed("head is not UTF-8"))?;
     let mut lines = head_text.split("\r\n").flat_map(|l| l.split('\n'));
     let request_line = lines
         .next()
@@ -106,6 +83,9 @@ pub fn read_request(stream: &mut impl Read) -> Result<Request, RequestError> {
         .next()
         .ok_or(RequestError::Malformed("missing method"))?
         .to_ascii_uppercase();
+    if method.is_empty() || !method.bytes().all(|b| b.is_ascii_alphabetic()) {
+        return Err(RequestError::Malformed("bad method"));
+    }
     let path = parts
         .next()
         .ok_or(RequestError::Malformed("missing path"))?
@@ -126,27 +106,168 @@ pub fn read_request(stream: &mut impl Read) -> Result<Request, RequestError> {
         headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
     }
 
-    let content_length = headers
-        .iter()
-        .find(|(k, _)| k == "content-length")
-        .map(|(_, v)| {
-            v.parse::<usize>()
-                .map_err(|_| RequestError::Malformed("bad Content-Length"))
-        })
-        .transpose()?
-        .unwrap_or(0);
+    let mut content_length = None;
+    for (k, v) in &headers {
+        if k == "content-length" {
+            let parsed: usize = v
+                .parse()
+                .map_err(|_| RequestError::Malformed("bad Content-Length"))?;
+            // Duplicate Content-Length headers are a classic smuggling
+            // vector; accept them only when they agree.
+            if content_length.is_some_and(|prev| prev != parsed) {
+                return Err(RequestError::Malformed("conflicting Content-Length"));
+            }
+            content_length = Some(parsed);
+        }
+    }
+    let content_length = content_length.unwrap_or(0);
     if content_length > MAX_BODY_BYTES {
         return Err(RequestError::TooLarge);
     }
-    let mut body = vec![0u8; content_length];
-    stream.read_exact(&mut body)?;
 
-    Ok(Request {
-        method,
-        path,
-        headers,
-        body,
-    })
+    Ok((
+        Request {
+            method,
+            path,
+            headers,
+            body: Vec::new(),
+        },
+        content_length,
+    ))
+}
+
+/// What [`RequestParser::feed`] concluded after consuming more bytes.
+#[derive(Debug)]
+pub enum ParseStatus {
+    /// The request is incomplete; feed more bytes when they arrive.
+    NeedMore,
+    /// One complete request. Any bytes past the declared body (pipelined
+    /// garbage — this server speaks `Connection: close`) are discarded.
+    Complete(Request),
+}
+
+/// An incremental, nonblocking-friendly request parser: the per-connection
+/// read state machine of the event loop.
+///
+/// Bytes arrive in arbitrary fragments ([`RequestParser::feed`]); the
+/// parser buffers them, finds the head/body boundary, enforces
+/// [`MAX_HEAD_BYTES`] / [`MAX_BODY_BYTES`], and yields exactly one
+/// [`Request`]. It is a one-shot machine — after `Complete` or an error
+/// the parser is spent, matching the server's one-exchange connections.
+#[derive(Debug, Default)]
+pub struct RequestParser {
+    buf: Vec<u8>,
+    /// Parsed head plus declared body length, once the blank line was seen.
+    head: Option<(Request, usize)>,
+    /// Offset of the first body byte in `buf`.
+    body_start: usize,
+}
+
+impl RequestParser {
+    /// A fresh parser.
+    pub fn new() -> RequestParser {
+        RequestParser::default()
+    }
+
+    /// Whether no byte has been consumed yet (a clean pre-request EOF is a
+    /// probe, not an error worth answering).
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty() && self.head.is_none()
+    }
+
+    /// Whether the head was fully received (an EOF after this point is a
+    /// torn body rather than a torn head).
+    pub fn head_complete(&self) -> bool {
+        self.head.is_some()
+    }
+
+    /// Consumes the next fragment from the wire.
+    ///
+    /// # Errors
+    ///
+    /// Same taxonomy as [`read_request`]; once an error is returned the
+    /// parser must be discarded (the connection answers 4xx and closes).
+    pub fn feed(&mut self, bytes: &[u8]) -> Result<ParseStatus, RequestError> {
+        if self.head.is_none() {
+            // Resume the boundary scan a few bytes back, in case the blank
+            // line straddles two fragments.
+            let scan_from = self.buf.len().saturating_sub(3);
+            self.buf.extend_from_slice(bytes);
+            if let Some((head_len, sep_len)) = find_head_end(&self.buf, scan_from) {
+                if head_len + sep_len > MAX_HEAD_BYTES {
+                    return Err(RequestError::TooLarge);
+                }
+                let (request, content_length) = parse_head(&self.buf[..head_len + sep_len])?;
+                self.head = Some((request, content_length));
+                self.body_start = head_len + sep_len;
+            } else {
+                if self.buf.len() > MAX_HEAD_BYTES {
+                    return Err(RequestError::TooLarge);
+                }
+                return Ok(ParseStatus::NeedMore);
+            }
+        } else {
+            self.buf.extend_from_slice(bytes);
+        }
+
+        let (_, content_length) = self.head.as_ref().expect("head parsed above");
+        let content_length = *content_length;
+        if self.buf.len() < self.body_start + content_length {
+            return Ok(ParseStatus::NeedMore);
+        }
+        let (mut request, _) = self.head.take().expect("head parsed above");
+        self.buf.truncate(self.body_start + content_length);
+        request.body = self.buf.split_off(self.body_start);
+        Ok(ParseStatus::Complete(request))
+    }
+}
+
+/// Finds the head/body separator (`\r\n\r\n` or `\n\n`) at or after
+/// `from`, returning `(head_len_including_separator_start, separator_len)`
+/// — i.e. the head slice is `buf[..end]` where `end = head_len + sep_len`.
+fn find_head_end(buf: &[u8], from: usize) -> Option<(usize, usize)> {
+    let mut i = from;
+    while i < buf.len() {
+        if buf[i..].starts_with(b"\r\n\r\n") {
+            return Some((i, 4));
+        }
+        if buf[i..].starts_with(b"\n\n") {
+            return Some((i, 2));
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Reads one request from `stream` (blocking). A convenience wrapper over
+/// [`RequestParser`] for synchronous callers — the CLI, tests, and the
+/// replica-side of simple tooling.
+///
+/// # Errors
+///
+/// See [`RequestError`]. A clean EOF before any byte yields
+/// `Malformed("empty request")` — callers usually just drop the connection.
+pub fn read_request(stream: &mut impl Read) -> Result<Request, RequestError> {
+    let mut parser = RequestParser::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            if parser.is_empty() {
+                return Err(RequestError::Malformed("empty request"));
+            }
+            if parser.head_complete() {
+                return Err(RequestError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-body",
+                )));
+            }
+            return Err(RequestError::Malformed("truncated request head"));
+        }
+        if let ParseStatus::Complete(request) = parser.feed(&chunk[..n])? {
+            return Ok(request);
+        }
+    }
 }
 
 /// An HTTP response ready to serialize.

@@ -48,21 +48,26 @@
 #![warn(missing_docs)]
 
 mod cache;
+mod evloop;
+pub mod fuzz;
 mod http;
 mod json;
 mod metrics;
 mod persist;
+mod router;
 mod server;
 mod service;
 
 pub use cache::LruCache;
 pub use http::{
-    read_request, ChunkedWriter, Request, RequestError, Response, MAX_BODY_BYTES, MAX_HEAD_BYTES,
+    read_request, ChunkedWriter, ParseStatus, Request, RequestError, RequestParser, Response,
+    MAX_BODY_BYTES, MAX_HEAD_BYTES,
 };
 pub use json::{parse as parse_json, Json, ParseError as JsonParseError};
 pub use metrics::Metrics;
 pub use persist::{
     PersistConfig, PersistCounters, PersistentStore, DEFAULT_CACHE_MAX_BYTES, SEGMENT_FILE,
 };
-pub use server::{start, ServerConfig, ServerHandle};
+pub use router::replica_entry;
+pub use server::{start, ServerConfig, ServerHandle, DEFAULT_MAX_CONNECTIONS};
 pub use service::{Service, ServiceOptions, DEFAULT_CACHE_ENTRIES, MAX_BATCH_ITEMS};

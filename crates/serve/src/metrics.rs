@@ -7,7 +7,7 @@
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
@@ -70,6 +70,9 @@ struct Inner {
     /// answer-phase checks are included exactly once).
     engine_feasibility_hits: u64,
     engine_feasibility_misses: u64,
+    /// Requests proxied per replica index (router mode only; rendered only
+    /// when nonempty).
+    router_routed: BTreeMap<usize, u64>,
 }
 
 /// The service metrics registry.
@@ -77,6 +80,21 @@ struct Inner {
 pub struct Metrics {
     inner: Mutex<Inner>,
     queue_depth: AtomicI64,
+    /// Connections currently open on the event loop (accept to close).
+    http_open_connections: AtomicI64,
+    /// Connections accepted since startup.
+    http_accepted: AtomicU64,
+    /// Connections torn down because the head or body did not arrive
+    /// within the read deadline (slow-loris defense).
+    http_read_timeouts: AtomicU64,
+    /// Connections torn down because the client stopped draining its
+    /// response within the write deadline.
+    http_write_timeouts: AtomicU64,
+    /// Event-loop wakeups (`epoll_wait` returns, including timeouts).
+    http_loop_wakeups: AtomicU64,
+    /// Connections answered `503` by the loop itself (job queue full or
+    /// connection cap reached) before any worker was involved.
+    http_conn_shed: AtomicU64,
     /// Shared compute pool whose occupancy/steal gauges are exported; bound
     /// once at service construction when parallel expansion is enabled.
     pool: Mutex<Option<ComputePool>>,
@@ -172,6 +190,48 @@ impl Metrics {
         self.queue_depth.fetch_add(delta, Ordering::Relaxed);
     }
 
+    /// Records a connection accepted by the event loop.
+    pub fn conn_opened(&self) {
+        self.http_accepted.fetch_add(1, Ordering::Relaxed);
+        self.http_open_connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a connection fully torn down (fd closed).
+    pub fn conn_closed(&self) {
+        self.http_open_connections.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Current open-connection gauge value.
+    pub fn open_connections(&self) -> i64 {
+        self.http_open_connections.load(Ordering::Relaxed).max(0)
+    }
+
+    /// Records a connection killed by the per-connection read deadline.
+    pub fn record_read_timeout(&self) {
+        self.http_read_timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a connection killed by the per-connection write deadline.
+    pub fn record_write_timeout(&self) {
+        self.http_write_timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Folds `n` event-loop wakeups into the counter.
+    pub fn record_wakeups(&self, n: u64) {
+        self.http_loop_wakeups.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records a connection the loop shed with `503` before dispatch.
+    pub fn record_conn_shed(&self) {
+        self.http_conn_shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one request proxied to replica `index` (router mode).
+    pub fn record_routed(&self, index: usize) {
+        let mut inner = self.inner.lock().expect("metrics mutex");
+        *inner.router_routed.entry(index).or_insert(0) += 1;
+    }
+
     /// Current queue depth.
     pub fn queue_depth(&self) -> i64 {
         self.queue_depth.load(Ordering::Relaxed).max(0)
@@ -227,6 +287,74 @@ impl Metrics {
         out.push_str("# HELP bayonet_queue_depth Jobs waiting in the worker queue.\n");
         out.push_str("# TYPE bayonet_queue_depth gauge\n");
         let _ = writeln!(out, "bayonet_queue_depth {}", self.queue_depth());
+
+        out.push_str(
+            "# HELP bayonet_http_open_connections Connections currently open on the \
+             event loop.\n",
+        );
+        out.push_str("# TYPE bayonet_http_open_connections gauge\n");
+        let _ = writeln!(
+            out,
+            "bayonet_http_open_connections {}",
+            self.open_connections()
+        );
+        out.push_str("# HELP bayonet_http_accepted_total Connections accepted.\n");
+        out.push_str("# TYPE bayonet_http_accepted_total counter\n");
+        let _ = writeln!(
+            out,
+            "bayonet_http_accepted_total {}",
+            self.http_accepted.load(Ordering::Relaxed)
+        );
+        out.push_str(
+            "# HELP bayonet_http_read_timeouts_total Connections killed by the \
+             per-connection read deadline (slow-loris defense).\n",
+        );
+        out.push_str("# TYPE bayonet_http_read_timeouts_total counter\n");
+        let _ = writeln!(
+            out,
+            "bayonet_http_read_timeouts_total {}",
+            self.http_read_timeouts.load(Ordering::Relaxed)
+        );
+        out.push_str(
+            "# HELP bayonet_http_write_timeouts_total Connections killed by the \
+             per-connection write deadline.\n",
+        );
+        out.push_str("# TYPE bayonet_http_write_timeouts_total counter\n");
+        let _ = writeln!(
+            out,
+            "bayonet_http_write_timeouts_total {}",
+            self.http_write_timeouts.load(Ordering::Relaxed)
+        );
+        out.push_str("# HELP bayonet_http_loop_wakeups_total Event-loop wakeups.\n");
+        out.push_str("# TYPE bayonet_http_loop_wakeups_total counter\n");
+        let _ = writeln!(
+            out,
+            "bayonet_http_loop_wakeups_total {}",
+            self.http_loop_wakeups.load(Ordering::Relaxed)
+        );
+        out.push_str(
+            "# HELP bayonet_http_conn_shed_total Connections answered 503 by the \
+             loop (queue full or connection cap).\n",
+        );
+        out.push_str("# TYPE bayonet_http_conn_shed_total counter\n");
+        let _ = writeln!(
+            out,
+            "bayonet_http_conn_shed_total {}",
+            self.http_conn_shed.load(Ordering::Relaxed)
+        );
+
+        if !inner.router_routed.is_empty() {
+            out.push_str(
+                "# HELP bayonet_router_requests_total Requests proxied per replica.\n",
+            );
+            out.push_str("# TYPE bayonet_router_requests_total counter\n");
+            for (replica, count) in &inner.router_routed {
+                let _ = writeln!(
+                    out,
+                    "bayonet_router_requests_total{{replica=\"{replica}\"}} {count}"
+                );
+            }
+        }
 
         out.push_str("# HELP bayonet_cache_hits_total Result cache hits.\n");
         out.push_str("# TYPE bayonet_cache_hits_total counter\n");

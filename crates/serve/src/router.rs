@@ -1,0 +1,448 @@
+//! Multi-process shard routing: `serve --replicas N`.
+//!
+//! The router process binds the public address and forks `N` replica
+//! processes, each a full single-replica server on an ephemeral loopback
+//! port with its own worker pool, LRU, and persistent-cache shard
+//! (`<cache_dir>/shard-<i>`). Requests are routed by a consistent hash of
+//! the **canonical pretty-printed program**, the same normalization the
+//! result cache keys on — so two textually different spellings of one
+//! program land on the same replica, every replica's caches stay disjoint,
+//! and no program is ever compiled on two replicas.
+//!
+//! Mechanics:
+//!
+//! * **Spawning** — replicas re-execute the current binary (or
+//!   [`crate::ServerConfig::replica_exe`]) with the serialized config in
+//!   the `BAYONET_REPLICA_SPEC` environment variable; [`replica_entry`]
+//!   at the top of `main` detects the variable, runs the replica, and
+//!   never returns. Each replica announces its bound address on stdout
+//!   and holds its stdin open as a parent-death watchdog: when the router
+//!   exits for any reason the pipe closes and the replica shuts down.
+//! * **Routing** — [`RouterCore::pick`] hashes the shard key onto a ring
+//!   of virtual points (FNV-1a, [`VIRTUAL_POINTS`] per replica).
+//!   `/healthz`, `/metrics`, and `/v1/replicas` are answered by the
+//!   router itself; everything else is proxied byte-for-byte with an
+//!   `X-Bayonet-Replica: <i>` header injected into the response head.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bayonet_lang::{parse as parse_program, pretty_program};
+
+use crate::http::{Request, Response};
+use crate::json::{self, Json};
+use crate::metrics::Metrics;
+use crate::server::ServerConfig;
+
+/// Environment variable carrying a replica's serialized configuration.
+/// Its presence is what turns a process into a replica.
+pub(crate) const REPLICA_ENV: &str = "BAYONET_REPLICA_SPEC";
+
+/// Virtual points per replica on the consistent-hash ring. Enough that
+/// load spreads within a few percent of even; few enough that the ring
+/// stays a cache-resident array.
+const VIRTUAL_POINTS: usize = 64;
+
+/// How long the router waits for a freshly spawned replica to announce
+/// its bound address before declaring the spawn failed.
+const REPLICA_START_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// 64-bit FNV-1a: the house hash for stable, dependency-free hashing.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x1_0000_0000_01b3);
+    }
+    hash
+}
+
+/// A consistent-hash ring over replica indices.
+pub(crate) struct ShardRing {
+    /// `(point, replica)` sorted by point.
+    points: Vec<(u64, usize)>,
+}
+
+impl ShardRing {
+    pub(crate) fn new(replicas: usize) -> ShardRing {
+        let mut points = Vec::with_capacity(replicas * VIRTUAL_POINTS);
+        for replica in 0..replicas {
+            for v in 0..VIRTUAL_POINTS {
+                points.push((fnv1a(format!("replica:{replica}:{v}").as_bytes()), replica));
+            }
+        }
+        points.sort_unstable();
+        ShardRing { points }
+    }
+
+    /// The replica owning `key`: the first ring point at or after it,
+    /// wrapping at the top.
+    pub(crate) fn shard_for(&self, key: u64) -> usize {
+        let idx = self.points.partition_point(|&(point, _)| point < key);
+        let (_, replica) = self.points[idx % self.points.len()];
+        replica
+    }
+}
+
+/// The shard key of a request: FNV-1a of the canonical pretty-printed
+/// program when the body carries a parseable `source` (top-level for the
+/// inference endpoints, first item's for a batch), of the raw source text
+/// when it parses as JSON but not as a program, and of path + body
+/// otherwise. Canonicalizing first means formatting differences cannot
+/// split one program across two replica caches.
+pub(crate) fn shard_key(request: &Request) -> u64 {
+    if let Ok(text) = std::str::from_utf8(&request.body) {
+        if let Ok(doc) = json::parse(text) {
+            let source = doc.get("source").and_then(Json::as_str).or_else(|| {
+                doc.get("items")
+                    .and_then(|items| items.get_index(0))
+                    .and_then(|item| item.get("source"))
+                    .and_then(Json::as_str)
+            });
+            if let Some(source) = source {
+                if let Ok(program) = parse_program(source) {
+                    return fnv1a(pretty_program(&program).as_bytes());
+                }
+                return fnv1a(source.as_bytes());
+            }
+        }
+    }
+    let mut seed = request.path.clone().into_bytes();
+    seed.extend_from_slice(&request.body);
+    fnv1a(&seed)
+}
+
+/// The router's routing state, owned by the event loop.
+pub(crate) struct RouterCore {
+    replicas: Vec<SocketAddr>,
+    ring: ShardRing,
+}
+
+impl RouterCore {
+    pub(crate) fn new(replicas: Vec<SocketAddr>) -> RouterCore {
+        let ring = ShardRing::new(replicas.len());
+        RouterCore { replicas, ring }
+    }
+
+    /// Picks the replica for a request.
+    pub(crate) fn pick(&self, request: &Request) -> (usize, SocketAddr) {
+        let replica = self.ring.shard_for(shard_key(request));
+        (replica, self.replicas[replica])
+    }
+
+    /// Endpoints the router answers itself: its own health, its own
+    /// metrics (routing counters and `bayonet_http_*` series), and the
+    /// replica table so clients and tests can reach shards directly.
+    pub(crate) fn respond_locally(
+        &self,
+        request: &Request,
+        metrics: &Arc<Metrics>,
+    ) -> Option<Response> {
+        match (request.method.as_str(), request.path.as_str()) {
+            ("GET", "/healthz") => Some(Response::json(200, r#"{"status":"ok"}"#)),
+            ("GET", "/metrics") => Some(
+                Response::text(200, metrics.render())
+                    .with_content_type("text/plain; version=0.0.4; charset=utf-8"),
+            ),
+            ("GET", "/v1/replicas") => {
+                let entries: Vec<String> = self
+                    .replicas
+                    .iter()
+                    .enumerate()
+                    .map(|(i, addr)| format!(r#"{{"index":{i},"addr":"{addr}"}}"#))
+                    .collect();
+                Some(Response::json(
+                    200,
+                    format!(r#"{{"ok":true,"replicas":[{}]}}"#, entries.join(",")),
+                ))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// One spawned replica process. Dropping the struct (or calling
+/// [`Replica::stop`]) closes the stdin pipe, which the replica treats as
+/// a shutdown order; stop also reaps the process.
+pub(crate) struct Replica {
+    pub(crate) addr: SocketAddr,
+    child: Child,
+}
+
+impl Replica {
+    /// Orders a graceful shutdown and reaps the process, killing it if it
+    /// ignores the order for five seconds.
+    pub(crate) fn stop(mut self) {
+        drop(self.child.stdin.take()); // EOF on stdin = shutdown order
+        for _ in 0..50 {
+            match self.child.try_wait() {
+                Ok(Some(_)) => return,
+                Ok(None) => std::thread::sleep(Duration::from_millis(100)),
+                Err(_) => break,
+            }
+        }
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Serializes the replica-side config. `cache_dir` goes last so the only
+/// field that may contain arbitrary characters never needs escaping.
+fn encode_spec(config: &ServerConfig, index: usize) -> String {
+    let mut spec = format!(
+        "index={index};threads={};cache_entries={};queue={};io_ms={};max_conns={};cache_max_bytes={}",
+        config.threads,
+        config.cache_entries,
+        config.queue_capacity,
+        config.io_timeout.as_millis(),
+        config.max_connections,
+        config.cache_max_bytes,
+    );
+    if let Some(dir) = &config.cache_dir {
+        spec.push_str(";cache_dir=");
+        spec.push_str(&dir.join(format!("shard-{index}")).to_string_lossy());
+    }
+    spec
+}
+
+/// Parses a spec back into a single-replica [`ServerConfig`] bound to an
+/// ephemeral loopback port.
+fn decode_spec(spec: &str) -> ServerConfig {
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        replicas: 1,
+        ..ServerConfig::default()
+    };
+    let mut rest = spec;
+    while !rest.is_empty() {
+        let (field, tail) = match rest.split_once(';') {
+            Some((field, tail)) => (field, tail),
+            None => (rest, ""),
+        };
+        let Some((key, value)) = field.split_once('=') else {
+            rest = tail;
+            continue;
+        };
+        match key {
+            "threads" => config.threads = value.parse().unwrap_or(config.threads),
+            "cache_entries" => config.cache_entries = value.parse().unwrap_or(config.cache_entries),
+            "queue" => config.queue_capacity = value.parse().unwrap_or(config.queue_capacity),
+            "io_ms" => {
+                if let Ok(ms) = value.parse() {
+                    config.io_timeout = Duration::from_millis(ms);
+                }
+            }
+            "max_conns" => {
+                config.max_connections = value.parse().unwrap_or(config.max_connections);
+            }
+            "cache_max_bytes" => {
+                config.cache_max_bytes = value.parse().unwrap_or(config.cache_max_bytes);
+            }
+            // Everything after `cache_dir=` is the path, semicolons and all.
+            "cache_dir" => {
+                let mut dir = value.to_string();
+                if !tail.is_empty() {
+                    dir.push(';');
+                    dir.push_str(tail);
+                }
+                config.cache_dir = Some(PathBuf::from(dir));
+                break;
+            }
+            _ => {}
+        }
+        rest = tail;
+    }
+    config
+}
+
+/// Spawns the replica fleet for a router. Each child re-executes
+/// `replica_exe` (default: the current binary, which must call
+/// [`replica_entry`] first thing in `main`) and reports its bound address
+/// on stdout.
+pub(crate) fn spawn_replicas(config: &ServerConfig) -> io::Result<Vec<Replica>> {
+    let exe = match &config.replica_exe {
+        Some(path) => path.clone(),
+        None => std::env::current_exe()?,
+    };
+    let mut fleet = Vec::with_capacity(config.replicas);
+    for index in 0..config.replicas {
+        match spawn_one(&exe, config, index) {
+            Ok(replica) => fleet.push(replica),
+            Err(e) => {
+                for replica in fleet {
+                    replica.stop();
+                }
+                return Err(e);
+            }
+        }
+    }
+    Ok(fleet)
+}
+
+fn spawn_one(exe: &PathBuf, config: &ServerConfig, index: usize) -> io::Result<Replica> {
+    let mut child = Command::new(exe)
+        .env(REPLICA_ENV, encode_spec(config, index))
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()?;
+    let stdout = child.stdout.take().expect("stdout piped");
+
+    // The announcement read happens on a helper thread so a replica that
+    // wedges before binding cannot hang the router forever.
+    let (tx, rx) = std::sync::mpsc::channel::<io::Result<SocketAddr>>();
+    std::thread::spawn(move || {
+        let mut lines = BufReader::new(stdout);
+        let mut line = String::new();
+        let result = match lines.read_line(&mut line) {
+            Ok(0) => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "replica exited before announcing its address",
+            )),
+            Ok(_) => line
+                .trim()
+                .strip_prefix("BAYONET_REPLICA_ADDR ")
+                .and_then(|addr| addr.parse().ok())
+                .ok_or_else(|| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("bad replica announcement: {line:?}"),
+                    )
+                }),
+            Err(e) => Err(e),
+        };
+        let _ = tx.send(result);
+        // Keep draining stdout so the replica never blocks on a full pipe.
+        let mut sink = [0u8; 4096];
+        while matches!(lines.read(&mut sink), Ok(n) if n > 0) {}
+    });
+
+    match rx.recv_timeout(REPLICA_START_TIMEOUT) {
+        Ok(Ok(addr)) => Ok(Replica { addr, child }),
+        Ok(Err(e)) => {
+            let _ = child.kill();
+            let _ = child.wait();
+            Err(e)
+        }
+        Err(_) => {
+            let _ = child.kill();
+            let _ = child.wait();
+            Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                format!("replica {index} did not start within {REPLICA_START_TIMEOUT:?}"),
+            ))
+        }
+    }
+}
+
+/// The replica-side entry hook. **Every binary that may host replicas must
+/// call this first in `main`**; when `BAYONET_REPLICA_SPEC` is present the
+/// process becomes a replica server and this function never returns.
+///
+/// The replica binds an ephemeral loopback port, announces it as
+/// `BAYONET_REPLICA_ADDR <addr>` on stdout, then blocks reading stdin:
+/// EOF there (the router dropping the pipe, or dying) is the shutdown
+/// order.
+pub fn replica_entry() {
+    let Ok(spec) = std::env::var(REPLICA_ENV) else {
+        return;
+    };
+    let config = decode_spec(&spec);
+    let code = match crate::server::start(config) {
+        Ok(handle) => {
+            println!("BAYONET_REPLICA_ADDR {}", handle.addr());
+            let _ = io::stdout().flush();
+            let mut sink = [0u8; 64];
+            let mut stdin = io::stdin().lock();
+            while matches!(stdin.read(&mut sink), Ok(n) if n > 0) {}
+            handle.shutdown();
+            0
+        }
+        Err(e) => {
+            eprintln!("bayonet replica failed to start: {e}");
+            1
+        }
+    };
+    std::process::exit(code);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_is_deterministic_and_covers_all_replicas() {
+        let ring = ShardRing::new(4);
+        let again = ShardRing::new(4);
+        let mut seen = [false; 4];
+        for i in 0..10_000u64 {
+            let key = fnv1a(&i.to_le_bytes());
+            let shard = ring.shard_for(key);
+            assert_eq!(shard, again.shard_for(key));
+            seen[shard] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all replicas own some keyspace");
+    }
+
+    #[test]
+    fn ring_load_is_roughly_even() {
+        let ring = ShardRing::new(4);
+        let mut counts = [0usize; 4];
+        for i in 0..40_000u64 {
+            counts[ring.shard_for(fnv1a(&i.to_le_bytes()))] += 1;
+        }
+        for &c in &counts {
+            // Within a factor of two of perfectly even is plenty for a
+            // cache-sharding ring with 64 virtual points per replica.
+            assert!((5_000..20_000).contains(&c), "skewed ring: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn shard_key_normalizes_program_formatting() {
+        let a = Request {
+            method: "POST".into(),
+            path: "/v1/run".into(),
+            headers: vec![],
+            body: br#"{"source":"packet_fields { dst }\ntopology { nodes { A } links { } }\nprograms { A -> p }\ninit { packet -> (A, pt1); }\nquery probability(true);\ndef p(pkt, pt) { drop; }"}"#.to_vec(),
+        };
+        let b = Request {
+            method: "POST".into(),
+            path: "/v1/run".into(),
+            headers: vec![],
+            body: br#"{"source":"packet_fields { dst }   \n\n\ntopology { nodes { A } links { } }\nprograms { A -> p }\ninit { packet -> (A, pt1); }\nquery probability(true);\ndef p(pkt, pt) { drop; }"}"#.to_vec(),
+        };
+        assert_eq!(shard_key(&a), shard_key(&b));
+    }
+
+    #[test]
+    fn spec_roundtrips_through_encode_decode() {
+        let config = ServerConfig {
+            threads: 3,
+            cache_entries: 17,
+            queue_capacity: 9,
+            io_timeout: Duration::from_millis(2500),
+            max_connections: 123,
+            cache_dir: Some(PathBuf::from("/tmp/bayonet cache;odd")),
+            cache_max_bytes: 4096,
+            ..ServerConfig::default()
+        };
+        let decoded = decode_spec(&encode_spec(&config, 2));
+        assert_eq!(decoded.threads, 3);
+        assert_eq!(decoded.cache_entries, 17);
+        assert_eq!(decoded.queue_capacity, 9);
+        assert_eq!(decoded.io_timeout, Duration::from_millis(2500));
+        assert_eq!(decoded.max_connections, 123);
+        assert_eq!(decoded.cache_max_bytes, 4096);
+        assert_eq!(
+            decoded.cache_dir,
+            Some(PathBuf::from("/tmp/bayonet cache;odd/shard-2"))
+        );
+        assert_eq!(decoded.addr, "127.0.0.1:0");
+        assert_eq!(decoded.replicas, 1);
+    }
+}

@@ -5,11 +5,12 @@
 //! logic instead of five private copies.
 #![allow(dead_code)] // each test binary uses a different subset
 
-use std::io::{Read, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use bayonet_serve::{parse_json, Json, ServerConfig};
 
@@ -99,6 +100,79 @@ pub fn unique_dir(tag: &str) -> PathBuf {
     ));
     let _ = std::fs::remove_dir_all(&dir);
     dir
+}
+
+/// A real out-of-process server: the `bayonet-served` binary, spawned so
+/// a suite's client fds and the server's fds come out of separate process
+/// budgets (a 10k-connection stress run needs both sides near the soft
+/// `RLIMIT_NOFILE`). The spawner holds the child's stdin as a lifeline:
+/// EOF there is the shutdown order, so a panicking test never leaks a
+/// server process past its own exit.
+pub struct Served {
+    child: Child,
+    pub addr: SocketAddr,
+}
+
+impl Served {
+    /// Spawns `exe` (pass `env!("CARGO_BIN_EXE_bayonet-served")`) with
+    /// `args` and scrapes the `BAYONET_SERVE_ADDR` announcement.
+    pub fn spawn(exe: &str, args: &[&str]) -> Served {
+        let mut child = Command::new(exe)
+            .args(args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .expect("spawn bayonet-served");
+        let stdout = child.stdout.take().expect("stdout piped");
+        let mut lines = BufReader::new(stdout);
+        let mut line = String::new();
+        lines.read_line(&mut line).expect("read address announcement");
+        let addr = line
+            .trim()
+            .strip_prefix("BAYONET_SERVE_ADDR ")
+            .and_then(|a| a.parse().ok())
+            .unwrap_or_else(|| panic!("bad server announcement: {line:?}"));
+        // Keep draining stdout so the child can never block on a full pipe.
+        std::thread::spawn(move || {
+            let mut sink = [0u8; 4096];
+            while matches!(lines.read(&mut sink), Ok(n) if n > 0) {}
+        });
+        Served { child, addr }
+    }
+
+    /// Orders a graceful shutdown (EOF on stdin) and reaps the child,
+    /// killing it if it ignores the order for ten seconds.
+    pub fn stop(mut self) {
+        drop(self.child.stdin.take());
+        for _ in 0..100 {
+            if matches!(self.child.try_wait(), Ok(Some(_))) {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(100));
+        }
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Polls `/metrics` until the `bayonet_http_open_connections` gauge drains
+/// to exactly `want` — the fd-leak check. `want` is normally `1.0`: the
+/// scraping connection itself is open while the gauge is rendered.
+pub fn await_open_connections(addr: SocketAddr, want: f64, within: Duration) {
+    let deadline = Instant::now() + within;
+    loop {
+        let text = metrics(addr);
+        let open = metric_value(&text, "bayonet_http_open_connections");
+        if open == want {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "open-connections gauge stuck at {open}, want {want} — leaked fds:\n{text}"
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    }
 }
 
 /// One-shot HTTP exchange: returns `(status, head, payload)`. The payload

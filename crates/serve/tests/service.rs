@@ -4,8 +4,6 @@
 //! `/v1/batch` must be byte-identical per item to 10 individual `/v1/run`
 //! calls, with the metrics proving the shared source compiled exactly once.
 
-use std::io::Read;
-use std::net::TcpStream;
 use std::path::PathBuf;
 use std::time::Duration;
 
@@ -158,39 +156,53 @@ fn expired_deadline_returns_structured_timeout() {
 
 #[test]
 fn overloaded_queue_sheds_load_with_503() {
-    // One worker, a one-slot queue, and a short I/O timeout so the
-    // stalled connection cannot wedge the test.
+    // One worker and a one-slot queue. Idle connections no longer occupy
+    // workers under the event loop, so saturation takes genuinely slow
+    // jobs: rejection-sampling runs sized far past what the per-request
+    // deadline allows, each pinning the worker until its 504.
     let handle = start(ServerConfig {
         threads: 1,
         queue_capacity: 1,
-        io_timeout: Duration::from_secs(5),
+        cache_entries: 0, // identical slow requests must not hit the cache
+        io_timeout: Duration::from_secs(30),
         ..common::test_config()
     })
     .expect("start server");
     let addr = handle.addr();
 
-    // Occupy the worker: connect but never send a request, so the worker
-    // blocks reading this socket.
-    let stall = TcpStream::connect(addr).expect("stall connection");
-    std::thread::sleep(Duration::from_millis(200));
-    // Fill the queue's single slot the same way.
-    let parked = TcpStream::connect(addr).expect("parked connection");
-    std::thread::sleep(Duration::from_millis(100));
+    let slow_body = |seed: u64| {
+        Json::obj(vec![
+            ("source", Json::Str(GOSSIP_K4.into())),
+            ("engine", Json::Str("rejection".into())),
+            ("particles", Json::Num(2_000_000.0)),
+            ("seed", Json::Num(seed as f64)),
+            ("timeout_ms", Json::Num(3_000.0)),
+        ])
+        .to_string()
+    };
+    // Occupy the worker, then fill the queue's single slot.
+    let busy: Vec<_> = (0..2)
+        .map(|seed| {
+            let body = slow_body(seed);
+            let client = std::thread::spawn(move || http(addr, "POST", "/v1/run", &body));
+            std::thread::sleep(Duration::from_millis(400));
+            client
+        })
+        .collect();
 
-    // The next connection is rejected by the accept loop before any
-    // request bytes are read.
-    let mut conn = TcpStream::connect(addr).expect("overflow connection");
-    conn.set_read_timeout(Some(Duration::from_secs(10)))
-        .unwrap();
-    let mut raw = String::new();
-    conn.read_to_string(&mut raw).expect("read 503");
-    assert!(raw.starts_with("HTTP/1.1 503"), "{raw}");
-    assert!(raw.contains("Retry-After: 1"), "{raw}");
-    assert!(raw.contains(r#""kind":"overloaded""#), "{raw}");
+    // The next request is shed by the event loop the moment it parses:
+    // a fully framed 503, not queued latency.
+    let (status, head, payload) = http(addr, "POST", "/v1/run", &run_body(TINY));
+    assert_eq!(status, 503, "{payload}");
+    assert!(head.contains("Retry-After: 1"), "{head}");
+    assert!(payload.contains(r#""kind":"overloaded""#), "{payload}");
 
-    // Release the worker and the queued slot so shutdown joins cleanly.
-    drop(stall);
-    drop(parked);
+    // The slow jobs run to their deadline and answer 504: shed load never
+    // cancels accepted work.
+    for client in busy {
+        let (status, _, payload) = client.join().expect("slow client");
+        assert_eq!(status, 504, "{payload}");
+    }
     handle.shutdown();
 }
 

@@ -1,0 +1,199 @@
+//! Shard-routing determinism for `--replicas N` mode.
+//!
+//! The router hashes the *canonical pretty-printed program* onto a
+//! consistent-hash ring, so: the same program lands on the same replica
+//! no matter the request order; textually different spellings of one
+//! program land together; the mapping survives a full router restart; and
+//! — the point of the whole design — per-replica cache metrics prove no
+//! program is ever compiled on two replicas.
+
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use bayonet_serve::{parse_json, start, Json, ServerConfig};
+
+mod common;
+use common::{metric_value, run_body};
+
+/// Distinct programs, parameterized by flip weight.
+fn program(k: u64) -> String {
+    format!(
+        r#"
+        packet_fields {{ dst }}
+        topology {{ nodes {{ A, B }} links {{ (A, pt1) <-> (B, pt1) }} }}
+        programs {{ A -> send, B -> recv }}
+        init {{ packet -> (A, pt1); }}
+        query probability(got@B == 1);
+        def send(pkt, pt) {{ if flip(1/{k}) {{ fwd(1); }} else {{ drop; }} }}
+        def recv(pkt, pt) state got(0) {{ got = 1; drop; }}
+    "#
+    )
+}
+
+/// A router config with `n` out-of-process replicas. The replica binary
+/// is `bayonet-served` — a test harness `main` cannot host
+/// `replica_entry`, so the fleet re-execs the real server binary.
+fn router_config(n: usize) -> ServerConfig {
+    ServerConfig {
+        replicas: n,
+        replica_exe: Some(PathBuf::from(env!("CARGO_BIN_EXE_bayonet-served"))),
+        threads: 1,
+        ..common::test_config()
+    }
+}
+
+/// The replica index a proxied response came from.
+fn replica_of(head: &str) -> usize {
+    head.lines()
+        .find_map(|l| l.strip_prefix("X-Bayonet-Replica: "))
+        .unwrap_or_else(|| panic!("response head has no X-Bayonet-Replica:\n{head}"))
+        .trim()
+        .parse()
+        .expect("numeric replica index")
+}
+
+/// Runs `program(k)` through the router; returns `(replica, payload)`.
+fn route_run(addr: SocketAddr, k: u64) -> (usize, String) {
+    let (status, head, payload) = common::http(addr, "POST", "/v1/run", &run_body(&program(k)));
+    assert_eq!(status, 200, "{payload}");
+    (replica_of(&head), payload)
+}
+
+/// The replica table from `GET /v1/replicas`.
+fn replica_addrs(addr: SocketAddr) -> Vec<SocketAddr> {
+    let (status, _, payload) = common::http(addr, "GET", "/v1/replicas", "");
+    assert_eq!(status, 200, "{payload}");
+    let doc = parse_json(&payload).expect("replicas json");
+    let replicas = doc.get("replicas").expect("replicas array");
+    let mut addrs = Vec::new();
+    while let Some(entry) = replicas.get_index(addrs.len()) {
+        let addr = entry
+            .get("addr")
+            .and_then(Json::as_str)
+            .expect("replica addr");
+        addrs.push(addr.parse().expect("parseable addr"));
+    }
+    addrs
+}
+
+#[test]
+fn same_program_same_replica_and_caches_stay_disjoint() {
+    let handle = start(router_config(3)).expect("start router");
+    let addr = handle.addr();
+    let programs: Vec<u64> = (2..=7).collect();
+
+    // The router knows its fleet.
+    let fleet = replica_addrs(addr);
+    assert_eq!(fleet.len(), 3, "{fleet:?}");
+
+    // Pass 1, forward order: record each program's home replica.
+    let mut homes = Vec::new();
+    for &k in &programs {
+        homes.push(route_run(addr, k).0);
+    }
+    // Pass 2, reverse order: identical mapping — routing is a pure
+    // function of the program, not of arrival order or warm caches.
+    for (&k, &home) in programs.iter().rev().zip(homes.iter().rev()) {
+        let (replica, payload) = route_run(addr, k);
+        assert_eq!(replica, home, "program {k} moved replicas: {payload}");
+    }
+
+    // A reformatted spelling of program 2 — extra blank lines and
+    // trailing spaces — is the *same* canonical program, so it must land
+    // on program 2's home replica.
+    let reformatted = program(2).replace(";", ";\n\n   ");
+    let (status, head, payload) =
+        common::http(addr, "POST", "/v1/run", &run_body(&reformatted));
+    assert_eq!(status, 200, "{payload}");
+    assert_eq!(
+        replica_of(&head),
+        homes[0],
+        "reformatting split one program across replicas"
+    );
+
+    // The disjointness proof, from each replica's own mouth: every
+    // program compiled (missed) exactly once fleet-wide — on its home
+    // replica — and pass 2 was all cache hits. A program compiled on two
+    // replicas would push total misses past the program count.
+    let mut total_misses = 0.0;
+    let mut total_hits = 0.0;
+    for (i, replica_addr) in fleet.iter().enumerate() {
+        let text = common::metrics(*replica_addr);
+        let misses = metric_value(&text, "bayonet_cache_misses_total");
+        let hits = metric_value(&text, "bayonet_cache_hits_total");
+        let owned = homes.iter().filter(|&&h| h == i).count() as f64;
+        assert_eq!(
+            misses, owned,
+            "replica {i} compiled {misses} programs but owns {owned}:\n{text}"
+        );
+        total_misses += misses;
+        total_hits += hits;
+    }
+    assert_eq!(total_misses, programs.len() as f64, "duplicate compiles");
+    // Pass 2 (6 repeats) + the reformatted spelling all hit.
+    assert_eq!(total_hits, programs.len() as f64 + 1.0, "cold repeats");
+
+    // The router's own metrics account for every proxied request (a
+    // replica that owned no program simply has no line).
+    let router_metrics = common::metrics(addr);
+    let routed: f64 = (0..3)
+        .map(|i| {
+            let prefix = format!("bayonet_router_requests_total{{replica=\"{i}\"}} ");
+            router_metrics
+                .lines()
+                .find_map(|l| l.strip_prefix(&prefix))
+                .and_then(|v| v.trim().parse().ok())
+                .unwrap_or(0.0)
+        })
+        .sum();
+    assert_eq!(routed, 2.0 * programs.len() as f64 + 1.0, "{router_metrics}");
+
+    handle.shutdown();
+}
+
+#[test]
+fn routing_survives_a_router_restart() {
+    let programs: Vec<u64> = (2..=6).collect();
+
+    let first = start(router_config(2)).expect("start first router");
+    let mut homes = Vec::new();
+    for &k in &programs {
+        homes.push(route_run(first.addr(), k).0);
+    }
+    first.shutdown();
+
+    // A brand-new fleet: new processes, new ports, same replica count.
+    // The ring hashes replica *indices*, so the mapping is reproducible
+    // across restarts — a warm persistent cache shard stays correct.
+    let second = start(router_config(2)).expect("start second router");
+    for (&k, &home) in programs.iter().zip(homes.iter()) {
+        let (replica, payload) = route_run(second.addr(), k);
+        assert_eq!(
+            replica, home,
+            "program {k} changed replicas across restart: {payload}"
+        );
+    }
+    let fleet = replica_addrs(second.addr());
+    second.shutdown();
+
+    // Sanity: with more than one replica the programs don't all pile
+    // onto one shard (deterministic given the ring, so never flaky).
+    let distinct: std::collections::BTreeSet<usize> = homes.into_iter().collect();
+    assert!(distinct.len() > 1, "all programs routed to one replica");
+
+    // Replicas die with the router: shutdown reaps the fleet, so the old
+    // replica ports must refuse connections — no orphaned processes.
+    for replica_addr in fleet {
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            match std::net::TcpStream::connect(replica_addr) {
+                Err(_) => break,
+                Ok(_) if std::time::Instant::now() >= deadline => {
+                    panic!("replica on {replica_addr} outlived the router")
+                }
+                Ok(_) => std::thread::sleep(Duration::from_millis(100)),
+            }
+        }
+    }
+}

@@ -1,16 +1,17 @@
-//! Stress tests: one large parallel request sharing the server with a
-//! burst of small concurrent requests, and concurrent batches against a
-//! saturated pool.
+//! Stress tests for the event-loop serve core.
 //!
-//! Locks down the pool-sharing contract: the big request leases idle
-//! workers (visible as steal/lease movement in `/metrics`), the small
-//! requests are neither deadlocked nor shed with `503`, and the pool's
-//! occupancy returns to zero when the dust settles. The batch leg locks
-//! down overload behavior: a shed batch is a *complete* buffered `503` —
-//! never a half-written chunked body — and once the pool frees up a batch
-//! completes with full chunked framing.
+//! Four legs: a big parallel request sharing the pool with a burst of
+//! small requests; whole-batch shedding against a saturated worker pool;
+//! connection-cap shedding with byte-clean 503 framing; and a
+//! high-concurrency sweep against a real out-of-process server — 256
+//! concurrent connections by default, the full 10 000 when
+//! `BAYONET_STRESS_10K` is set (CI runs it in a dedicated job with a
+//! raised fd limit). The sweep's contract: below the shed thresholds not
+//! one response is dropped, and afterwards the
+//! `bayonet_http_open_connections` gauge drains back down — the loop
+//! reclaimed every fd.
 
-use std::io::Read;
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
@@ -38,6 +39,16 @@ fn small_program(k: u64) -> String {
 fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
     let (status, _, payload) = common::http(addr, method, path, body);
     (status, payload)
+}
+
+/// A `/v1/run` body that reliably pins a worker for ~3 s: rejection
+/// sampling polls the deadline once per sample, so `timeout_ms` is
+/// honored closely, while the particle budget alone would run far longer.
+fn slow_body(seed: u64) -> String {
+    format!(
+        r#"{{"source":{},"engine":"rejection","particles":2000000,"seed":{seed},"timeout_ms":3000}}"#,
+        Json::Str(GOSSIP_K4.into())
+    )
 }
 
 #[test]
@@ -117,77 +128,76 @@ fn saturated_pool_sheds_whole_batches_then_recovers() {
     let handle = start(ServerConfig {
         threads: 1,
         queue_capacity: 1,
-        io_timeout: Duration::from_secs(5),
+        cache_entries: 0,
+        io_timeout: Duration::from_secs(30),
         ..common::test_config()
     })
     .expect("start server");
     let addr = handle.addr();
 
-    // Saturate: stall the single worker with a connection that never sends
-    // a request, then park another in the queue's only slot.
-    let stall = TcpStream::connect(addr).expect("stall connection");
+    // Saturate: one slow rejection job pins the single worker; a second
+    // fills the queue's only slot. Distinct seeds keep them apart even if
+    // a result cache were in play.
+    let worker_job = std::thread::spawn(move || http(addr, "POST", "/v1/run", &slow_body(1)));
+    std::thread::sleep(Duration::from_millis(500));
+    let queued_job = std::thread::spawn(move || http(addr, "POST", "/v1/run", &slow_body(2)));
     std::thread::sleep(Duration::from_millis(300));
-    let parked = TcpStream::connect(addr).expect("parked connection");
-    std::thread::sleep(Duration::from_millis(100));
 
-    // Three concurrent batch clients hit the saturated server. The shed
-    // happens in the accept loop — *before any request byte is read*, so
-    // a rejected batch can never have started a chunked body. Each client
-    // must see a complete buffered 503: a Content-Length, no
-    // Transfer-Encoding, and a JSON body that parses whole. (The clients
-    // hold their request back: the server closes the socket right after
-    // the 503, and bytes it never read would turn that close into a
-    // reset.)
+    // Three concurrent batch clients hit the saturated server. The event
+    // loop parses each request, finds the job queue full at dispatch, and
+    // sheds — *before any worker is involved*, so a rejected batch can
+    // never have started a chunked body. Each client must see a complete
+    // buffered 503: a Content-Length, no Transfer-Encoding, and a JSON
+    // body that parses whole.
+    let batch_body = format!(
+        r#"{{"source":{},"items":[{{}},{{}},{{}}]}}"#,
+        Json::Str(TINY.into())
+    );
     let shed: Vec<_> = (0..3)
         .map(|_| {
-            std::thread::spawn(move || {
-                let mut conn = TcpStream::connect(addr).expect("batch connection");
-                conn.set_read_timeout(Some(Duration::from_secs(10)))
-                    .unwrap();
-                let mut raw = String::new();
-                conn.read_to_string(&mut raw).expect("read shed response");
-                raw
-            })
+            let body = batch_body.clone();
+            std::thread::spawn(move || common::http(addr, "POST", "/v1/batch", &body))
         })
         .collect();
     for client in shed {
-        let raw = client.join().expect("shed client");
-        assert!(raw.starts_with("HTTP/1.1 503"), "{raw}");
-        assert!(raw.contains("Content-Length:"), "{raw}");
+        let (status, head, payload) = client.join().expect("shed client");
+        assert_eq!(status, 503, "{head}\n{payload}");
+        assert!(head.contains("Content-Length:"), "{head}");
+        assert!(head.contains("Retry-After: 1"), "{head}");
         assert!(
-            !raw.contains("Transfer-Encoding"),
-            "a shed batch must never start a chunked body: {raw}"
+            !head.contains("Transfer-Encoding"),
+            "a shed batch must never start a chunked body: {head}"
         );
-        let (_, payload) = raw.split_once("\r\n\r\n").expect("head/body split");
-        let doc = parse_json(payload).expect("shed body parses whole");
+        let doc = parse_json(&payload).expect("shed body parses whole");
         assert_eq!(
             doc.get("error")
                 .and_then(|e| e.get("kind"))
                 .and_then(Json::as_str),
             Some("overloaded"),
-            "{raw}"
+            "{head}\n{payload}"
         );
     }
 
-    // Release the worker; the parked (now closed) connection drains and
-    // the server recovers.
-    drop(stall);
-    drop(parked);
+    // The saturating jobs run to their 3 s deadline and come back 504 —
+    // they were never cut off by the shedding around them.
+    for client in [worker_job, queued_job] {
+        let (status, body) = client.join().expect("slow client");
+        assert_eq!(status, 504, "{body}");
+    }
 
     // A batch now completes — with `BAYONET_TEST_THREADS` driving the
     // items' exact-engine parallelism — and the raw wire bytes are
     // verified as well-formed chunked framing ending in the terminal zero
     // chunk (decode_chunked panics on any truncated or malformed chunk).
-    // Draining the released connections is asynchronous, so poll through
-    // any residual 503s for a bounded window instead of racing the worker.
-    let batch_body = format!(
+    // Worker drain is asynchronous, so poll through any residual 503s.
+    let recovery_body = format!(
         r#"{{"source":{},"items":[{{"threads":{t}}},{{"threads":{t}}},{{"threads":{t}}}]}}"#,
         Json::Str(TINY.into()),
         t = common::test_threads().min(64)
     );
-    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let deadline = std::time::Instant::now() + Duration::from_secs(15);
     let (status, head, payload) = loop {
-        let resp = common::http(addr, "POST", "/v1/batch", &batch_body);
+        let resp = common::http(addr, "POST", "/v1/batch", &recovery_body);
         if resp.0 != 503 || std::time::Instant::now() >= deadline {
             break resp;
         }
@@ -207,10 +217,147 @@ fn saturated_pool_sheds_whole_batches_then_recovers() {
     }
 
     // Shed batches recorded no batch work; the successful one recorded
-    // exactly one.
+    // exactly one. The loop counted each shed.
     let metrics = common::metrics(addr);
     assert_eq!(metric_value(&metrics, "bayonet_batch_requests_total"), 1.0);
     assert_eq!(metric_value(&metrics, "bayonet_batch_items_total"), 3.0);
+    assert!(
+        metric_value(&metrics, "bayonet_http_conn_shed_total") >= 3.0,
+        "{metrics}"
+    );
 
     handle.shutdown();
+}
+
+/// Above the connection cap the loop sheds *at accept* with the same
+/// byte-clean buffered 503 framing as a queue shed, and recovers the
+/// moment held connections drain.
+#[test]
+fn connection_cap_sheds_with_clean_503_framing() {
+    let handle = start(ServerConfig {
+        max_connections: 8,
+        io_timeout: Duration::from_secs(10),
+        ..common::test_config()
+    })
+    .expect("start server");
+    let addr = handle.addr();
+
+    // Fill the cap with idle held connections.
+    let held: Vec<TcpStream> = (0..8)
+        .map(|i| TcpStream::connect(addr).unwrap_or_else(|e| panic!("held connect {i}: {e}")))
+        .collect();
+    std::thread::sleep(Duration::from_millis(300));
+
+    // Every connection above the cap gets a complete buffered 503 and a
+    // clean close — without sending a single request byte.
+    for k in 0..4 {
+        let mut conn = TcpStream::connect(addr).expect("overflow connection");
+        conn.set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut raw = String::new();
+        conn.read_to_string(&mut raw)
+            .unwrap_or_else(|e| panic!("overflow read {k}: {e}"));
+        assert!(raw.starts_with("HTTP/1.1 503"), "{raw}");
+        assert!(raw.contains("Content-Length:"), "{raw}");
+        assert!(raw.contains("Retry-After: 1"), "{raw}");
+        assert!(!raw.contains("Transfer-Encoding"), "{raw}");
+        let (_, payload) = raw.split_once("\r\n\r\n").expect("head/body split");
+        let doc = parse_json(payload).expect("shed body parses whole");
+        assert_eq!(
+            doc.get("error")
+                .and_then(|e| e.get("kind"))
+                .and_then(Json::as_str),
+            Some("overloaded"),
+            "{raw}"
+        );
+    }
+
+    // Release the held slots; the loop reaps the EOFs and admits work
+    // again.
+    drop(held);
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let (status, body) = loop {
+        let resp = common::post_run(addr, TINY);
+        if resp.0 != 503 || std::time::Instant::now() >= deadline {
+            break resp;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    assert_eq!(status, 200, "server never recovered from the cap: {body}");
+
+    let metrics = common::metrics(addr);
+    assert!(
+        metric_value(&metrics, "bayonet_http_conn_shed_total") >= 4.0,
+        "{metrics}"
+    );
+
+    handle.shutdown();
+}
+
+/// The headline sweep: N concurrent connections against a real
+/// out-of-process server, every one answered, every fd reclaimed.
+/// N = 256 by default; `BAYONET_STRESS_10K` raises it to 10 000 (run in
+/// CI with `ulimit -n` raised on both sides).
+#[test]
+fn high_concurrency_sweep_no_drops_no_leaks() {
+    let n: usize = match std::env::var("BAYONET_STRESS_10K") {
+        Ok(v) if !v.is_empty() && v != "0" => 10_000,
+        _ => 256,
+    };
+    // The client side holds N sockets too: lift our own fd ceiling.
+    let _ = bayonet_net::raise_nofile_limit();
+
+    let served = common::Served::spawn(
+        env!("CARGO_BIN_EXE_bayonet-served"),
+        &[
+            "--threads",
+            "2",
+            "--queue",
+            "20000",
+            "--io-timeout-ms",
+            "120000",
+            "--max-connections",
+            "16384",
+        ],
+    );
+    let addr = served.addr;
+
+    // Phase 1: open all N connections, each immediately sending its
+    // request so the read deadline never bites a socket we dawdled on.
+    let mut conns = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut conn =
+            TcpStream::connect(addr).unwrap_or_else(|e| panic!("connect {i} of {n}: {e}"));
+        conn.set_read_timeout(Some(Duration::from_secs(120)))
+            .unwrap();
+        conn.write_all(b"GET /healthz HTTP/1.1\r\nHost: stress\r\n\r\n")
+            .unwrap_or_else(|e| panic!("write {i} of {n}: {e}"));
+        conns.push(conn);
+    }
+
+    // Phase 2: collect. Below the shed thresholds (cap 16384, queue
+    // 20000) the server owes every single connection a complete 200 —
+    // zero drops, zero resets, zero truncations.
+    for (i, mut conn) in conns.into_iter().enumerate() {
+        let mut raw = String::new();
+        conn.read_to_string(&mut raw)
+            .unwrap_or_else(|e| panic!("response {i} of {n} dropped: {e}"));
+        assert!(raw.starts_with("HTTP/1.1 200"), "response {i}: {raw}");
+        assert!(raw.contains(r#""status":"ok""#), "response {i}: {raw}");
+    }
+
+    // Phase 3: the fd-leak check. Every client socket is gone; the gauge
+    // must drain to exactly the one connection doing the scraping.
+    common::await_open_connections(addr, 1.0, Duration::from_secs(30));
+    let metrics = common::metrics(addr);
+    assert!(
+        metric_value(&metrics, "bayonet_http_accepted_total") >= n as f64,
+        "{metrics}"
+    );
+    assert!(
+        metric_value(&metrics, "bayonet_http_loop_wakeups_total") > 0.0,
+        "{metrics}"
+    );
+
+    served.stop();
 }
