@@ -21,11 +21,17 @@
 //!   --out PATH       write the report to PATH (always printed to stdout)
 //!   --baseline PATH  embed a prior report under "baseline" and compute
 //!                    per-workload enumerate-phase speedups
+//!   --check PATH     CI regression gate: exit 1 when any enumerate-phase
+//!                    median (either backend) regresses more than 25% vs.
+//!                    the committed baseline at PATH. Tune with
+//!                    BAYONET_BENCH_TOLERANCE / BAYONET_BENCH_STRICT (see
+//!                    `bayonet_bench::gate`).
 
 use std::sync::Arc;
 use std::time::Instant;
 
 use bayonet::{parse, scenarios, Network, Rat, Sched};
+use bayonet_bench::gate;
 use bayonet_exact::{
     analyze, answer_cached, synthesize_result, EngineKind, ExactOptions, FeasibilityCache,
     Objective, SynthesisOptions,
@@ -363,6 +369,7 @@ fn main() {
     let mut trials = 5usize;
     let mut out: Option<String> = None;
     let mut baseline_path: Option<String> = None;
+    let mut check_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -381,6 +388,10 @@ fn main() {
             "--baseline" => {
                 i += 1;
                 baseline_path = Some(args.get(i).expect("--baseline needs a path").clone());
+            }
+            "--check" => {
+                i += 1;
+                check_path = Some(args.get(i).expect("--check needs a path").clone());
             }
             other => panic!("unknown flag `{other}` (see --help in the source header)"),
         }
@@ -427,4 +438,56 @@ fn main() {
             .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
         eprintln!("regress: wrote {path}");
     }
+
+    if let Some(path) = &check_path {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read check baseline {path}: {e}"));
+        let baseline = parse_json(&text).expect("check baseline is not valid JSON");
+        if !check_against(&report, &baseline) {
+            std::process::exit(1);
+        }
+    }
+}
+
+/// The CI gate: both exact backends' enumerate-phase medians, per
+/// workload, against a committed baseline report. Workloads present on
+/// only one side (e.g. a `--quick` run against a full baseline) are
+/// skipped; phases below the noise floor are printed but not gated.
+fn check_against(current: &Json, baseline: &Json) -> bool {
+    if let Some(pass) = gate::host_class_gate(current, baseline) {
+        return pass;
+    }
+    let phase = |report: &Json, name: &str, key: &str| -> Option<f64> {
+        report.get("workloads")?.as_arr()?.iter().find_map(|w| {
+            if w.get("name")?.as_str()? == name {
+                w.get("phases")?.get(key)?.as_f64()
+            } else {
+                None
+            }
+        })
+    };
+    let mut rows = Vec::new();
+    if let Some(ws) = current.get("workloads").and_then(Json::as_arr) {
+        for w in ws {
+            let name = w.get("name").and_then(Json::as_str).unwrap_or("");
+            for key in ["enumerate_ns", "bdd_enumerate_ns"] {
+                let (Some(now), Some(before)) =
+                    (phase(current, name, key), phase(baseline, name, key))
+                else {
+                    continue;
+                };
+                rows.push(gate::Check {
+                    label: format!("{name}/{key}"),
+                    baseline: before,
+                    current: now,
+                    gated: before >= gate::MIN_GATED_NS,
+                });
+            }
+        }
+    }
+    assert!(
+        !rows.is_empty(),
+        "check: no comparable workloads between current run and baseline"
+    );
+    gate::verdict(&rows, gate::tolerance(), "ns")
 }

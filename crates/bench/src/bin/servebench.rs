@@ -23,13 +23,20 @@
 //!   --duration-ms N  measure window per cell (default 4000)
 //!   --server-exe P   path to bayonet-served (default: sibling of this binary)
 //!   --out PATH       write the report to PATH (always printed to stdout)
+//!   --check PATH     CI regression gate: exit 1 when any matched cell's
+//!                    p99 latency regresses more than 25% (plus a 50 µs
+//!                    absolute slack) vs. the committed baseline at PATH.
+//!                    Cells are matched on (replicas, parked_connections);
+//!                    tune with BAYONET_BENCH_TOLERANCE /
+//!                    BAYONET_BENCH_STRICT (see `bayonet_bench::gate`).
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::process::{Child, Command, Stdio};
 use std::time::{Duration, Instant};
 
-use bayonet_serve::parse_json;
+use bayonet_bench::gate;
+use bayonet_serve::{parse_json, Json};
 
 /// The measured program: small enough that its exact answer is an LRU
 /// hit after the warm-up request, so every timed exchange is pure serve
@@ -105,7 +112,8 @@ fn exchange(addr: SocketAddr, body: &str) -> Duration {
     let started = Instant::now();
     let mut conn = TcpStream::connect(addr).expect("connect");
     conn.set_nodelay(true).ok();
-    conn.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
+    conn.set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
     let request = format!(
         "POST /v1/run HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
         body.len()
@@ -113,7 +121,10 @@ fn exchange(addr: SocketAddr, body: &str) -> Duration {
     conn.write_all(request.as_bytes()).expect("write request");
     let mut raw = String::new();
     conn.read_to_string(&mut raw).expect("read response");
-    assert!(raw.starts_with("HTTP/1.1 200"), "bench request failed: {raw}");
+    assert!(
+        raw.starts_with("HTTP/1.1 200"),
+        "bench request failed: {raw}"
+    );
     started.elapsed()
 }
 
@@ -177,9 +188,8 @@ fn main() {
     // The parked set lives in this process: lift the client fd ceiling.
     let _ = bayonet_net::raise_nofile_limit();
 
-    let body =
-        bayonet_serve::Json::obj(vec![("source", bayonet_serve::Json::Str(TINY.into()))])
-            .to_string();
+    let body = bayonet_serve::Json::obj(vec![("source", bayonet_serve::Json::Str(TINY.into()))])
+        .to_string();
 
     let mut cells: Vec<Cell> = Vec::new();
     for replicas in [1usize, 4] {
@@ -230,15 +240,81 @@ fn main() {
         std::env::consts::OS,
         std::env::consts::ARCH,
         std::thread::available_parallelism().map_or(1, |n| n.get()),
-        if cfg!(debug_assertions) { "debug" } else { "release" },
+        if cfg!(debug_assertions) {
+            "debug"
+        } else {
+            "release"
+        },
         cells_json.join(",")
     );
     // Self-validation: the report must round-trip through the same JSON
     // parser the service uses.
-    parse_json(&report).expect("report is well-formed JSON");
+    let parsed = parse_json(&report).expect("report is well-formed JSON");
     println!("{report}");
     if let Some(path) = flag("--out") {
         std::fs::write(&path, format!("{report}\n")).expect("write report");
         eprintln!("wrote {path}");
     }
+
+    if let Some(path) = flag("--check") {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read check baseline {path}: {e}"));
+        let baseline = parse_json(&text).expect("check baseline is not valid JSON");
+        if !check_against(&parsed, &baseline) {
+            std::process::exit(1);
+        }
+    }
+}
+
+/// The CI gate: p99 latency per cell, matched on `(replicas,
+/// parked_connections)`, against a committed baseline. A `--quick` run
+/// parks 100 connections instead of 10 000, so only the parked=0 cells
+/// match a full baseline — the intersection is what gets gated. Besides
+/// the relative tolerance, a cell only fails when the regression exceeds
+/// an absolute 50 µs slack: micro-scale tails jitter on shared runners.
+fn check_against(current: &Json, baseline: &Json) -> bool {
+    if let Some(pass) = gate::host_class_gate(current, baseline) {
+        return pass;
+    }
+    let p99_of = |report: &Json, replicas: f64, parked: f64| -> Option<f64> {
+        report.get("cells")?.as_arr()?.iter().find_map(|c| {
+            if c.get("replicas")?.as_f64()? == replicas
+                && c.get("parked_connections")?.as_f64()? == parked
+            {
+                c.get("latency_us")?.get("p99")?.as_f64()
+            } else {
+                None
+            }
+        })
+    };
+    let tol = gate::tolerance();
+    let mut rows = Vec::new();
+    if let Some(cells) = current.get("cells").and_then(Json::as_arr) {
+        for c in cells {
+            let replicas = c.get("replicas").and_then(Json::as_f64).unwrap_or(0.0);
+            let parked = c
+                .get("parked_connections")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0);
+            let (Some(now), Some(before)) = (
+                p99_of(current, replicas, parked),
+                p99_of(baseline, replicas, parked),
+            ) else {
+                continue;
+            };
+            rows.push(gate::Check {
+                label: format!("replicas={replicas}/parked={parked}/p99"),
+                baseline: before,
+                current: now,
+                // Relative tolerance alone would gate on single-digit
+                // microseconds; require the absolute slack too.
+                gated: now - before > gate::MIN_GATED_SLACK_US,
+            });
+        }
+    }
+    assert!(
+        !rows.is_empty(),
+        "check: no comparable cells between current run and baseline"
+    );
+    gate::verdict(&rows, tol, "us")
 }

@@ -3,10 +3,10 @@
 //!
 //! ```text
 //! bayonet check <file.bay>
-//! bayonet run <file.bay> [--engine exact|enum|bdd|smc|rejection|psi]
+//! bayonet run <file.bay> [--engine auto|exact|enum|bdd|smc|rejection|psi]
 //!                        [--particles N] [--seed N] [--threads N]
 //!                        [--scheduler uniform|det|rotor]
-//!                        [--bind NAME=VALUE]... [--stats]
+//!                        [--bind NAME=VALUE]... [--stats] [--explain-plan]
 //! bayonet run <batch.json> --batch [--threads N]
 //! bayonet synthesize <file.bay> [--query N] [--maximize]
 //! bayonet codegen <file.bay> [--target psi|webppl]
@@ -20,8 +20,9 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use bayonet::{
-    synthesize_with, ApproxOptions, DeterministicScheduler, EngineKind, ExactOptions, Network,
-    Objective, Rat, RotorScheduler, SynthesisOptions, UniformScheduler,
+    plan_model, synthesize_with, ApproxOptions, DeterministicScheduler, EngineKind, ExactOptions,
+    Network, Objective, PlanEngine, PlannerConfig, Rat, RotorScheduler, SynthesisOptions,
+    UniformScheduler,
 };
 
 fn main() -> ExitCode {
@@ -42,8 +43,9 @@ fn main() -> ExitCode {
 
 fn usage() -> String {
     "usage: bayonet <check|run|synthesize|codegen|pretty|serve> [<file.bay>] [options]\n\
-     run options: --engine exact|enum|bdd|smc|rejection|psi|simulate  --particles N  --seed N\n\
-                  --scheduler uniform|det|rotor  --bind NAME=VALUE  --threads N  --stats\n\
+     run options: --engine auto|exact|enum|bdd|smc|rejection|psi|simulate  --particles N\n\
+                  --seed N  --scheduler uniform|det|rotor  --bind NAME=VALUE  --threads N\n\
+                  --stats  --explain-plan (print the planner's routing and cost estimate)\n\
                   --batch (file is a /v1/batch JSON request; NDJSON frames to stdout)\n\
      synthesize options: --query N  --maximize  --allow-zero-params\n\
      codegen options: --target psi|webppl\n\
@@ -62,6 +64,7 @@ const RUN_FLAGS: &[(&str, bool)] = &[
     ("--bind", true),
     ("--threads", true),
     ("--stats", false),
+    ("--explain-plan", false),
     ("--batch", false),
 ];
 const SYNTHESIZE_FLAGS: &[(&str, bool)] = &[
@@ -215,12 +218,43 @@ fn check(source: &str) -> Result<(), String> {
 
 fn run_queries(source: &str, rest: &[String]) -> Result<(), String> {
     let network = load(source, rest)?;
-    let engine = flag_value(rest, "--engine").unwrap_or("exact");
+    let engine_flag = flag_value(rest, "--engine").unwrap_or("exact");
     let want_stats = has_flag(rest, "--stats");
     let started = Instant::now();
+
+    // `--engine auto` consults the static cost model; `--explain-plan`
+    // prints the same estimate for any engine (diagnostics go to stderr so
+    // posterior output stays diffable).
+    let plan = (engine_flag == "auto" || has_flag(rest, "--explain-plan"))
+        .then(|| plan_model(network.model(), &PlannerConfig::default(), None));
+    if has_flag(rest, "--explain-plan") {
+        eprintln!("{}", plan.as_ref().expect("plan computed above").explain());
+    }
+    let engine = if engine_flag == "auto" {
+        match plan.as_ref().and_then(|p| p.engine()) {
+            Some(PlanEngine::Bdd) => "bdd",
+            Some(PlanEngine::Smc) => "smc",
+            Some(PlanEngine::Enum) => "enum",
+            None => {
+                return Err(
+                    "planner found no feasible engine for this program (see --explain-plan)"
+                        .to_string(),
+                )
+            }
+        }
+    } else {
+        engine_flag
+    };
+
+    // An auto-routed SMC run uses the planner's error-bounded particle
+    // count; an explicit `--particles` always wins.
+    let planned_particles = (engine_flag == "auto")
+        .then(|| plan.as_ref().and_then(|p| p.particles))
+        .flatten();
     let particles = flag_value(rest, "--particles")
         .map(|v| v.parse::<usize>().map_err(|e| e.to_string()))
         .transpose()?
+        .or(planned_particles)
         .unwrap_or(1000);
     let seed = flag_value(rest, "--seed")
         .map(|v| v.parse::<u64>().map_err(|e| e.to_string()))
@@ -240,9 +274,11 @@ fn run_queries(source: &str, rest: &[String]) -> Result<(), String> {
         })
         .transpose()?
         .unwrap_or(1);
-    if threads > 1 && !matches!(engine, "exact" | "enum") {
+    if threads > 1 && engine_flag != "auto" && !matches!(engine, "exact" | "enum") {
         // The diagram backend is single-threaded by design; erroring beats
-        // silently ignoring the flag.
+        // silently ignoring the flag. `auto` is exempt: the planner may
+        // route anywhere, and the pool simply goes unused off the
+        // enumeration path.
         return Err(format!(
             "--threads only applies to the exact enumeration engine, not `{engine}`"
         ));
@@ -348,6 +384,7 @@ fn run_batch_cmd(source: &str, rest: &[String]) -> Result<(), String> {
         "--scheduler",
         "--bind",
         "--stats",
+        "--explain-plan",
     ] {
         if has_flag(rest, flag) {
             return Err(format!(

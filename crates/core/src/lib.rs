@@ -68,8 +68,8 @@ pub use synthesis::{synthesize, synthesize_with, Objective, Synthesis, Synthesis
 
 pub use bayonet_approx::{ApproxOptions, Estimate, SimEvent, Simulation};
 pub use bayonet_exact::{
-    CellAnswer, ComputePool, EngineKind, EngineStats, ExactOptions, FeasibilityCache, PoolStats,
-    QueryResult,
+    plan_model, CellAnswer, ComputePool, EngineKind, EngineStats, ExactOptions, FeasibilityCache,
+    Plan, PlanDecision, PlanEngine, PlanSignals, PlannerConfig, PoolStats, QueryResult,
 };
 pub use bayonet_lang::{check, parse, pretty_program};
 pub use bayonet_net::{

@@ -190,3 +190,35 @@ fn serve_rejects_bad_flags() {
     assert!(!ok);
     assert!(stderr.contains("bad --threads value"), "{stderr}");
 }
+
+#[test]
+fn run_auto_engine_routes_and_explains() {
+    // gossip_k4 routes to the BDD backend; the posterior matches the
+    // explicit run bit for bit and the plan goes to stderr only.
+    let (ok, stdout, stderr) = cli(&[
+        "run",
+        &bay_file("gossip_k4.bay"),
+        "--engine",
+        "auto",
+        "--explain-plan",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("94/27"), "{stdout}");
+    assert!(!stdout.contains("plan:"), "{stdout}");
+    assert!(stderr.contains("plan: engine=bdd"), "{stderr}");
+    assert!(stderr.contains("est_cost="), "{stderr}");
+    assert!(stderr.contains("shared_program_nodes="), "{stderr}");
+
+    // --explain-plan also works with an explicit engine and never changes
+    // what actually runs.
+    let (ok, stdout, stderr) = cli(&[
+        "run",
+        &bay_file("gossip_k4.bay"),
+        "--engine",
+        "enum",
+        "--explain-plan",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("94/27"), "{stdout}");
+    assert!(stderr.contains("plan: engine=bdd"), "{stderr}");
+}

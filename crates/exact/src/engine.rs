@@ -57,6 +57,10 @@ pub enum EngineKind {
     /// order of magnitude — when nodes' local states are conditionally
     /// independent. Single-threaded; ignores [`ExactOptions::threads`].
     Bdd,
+    /// Let the static cost model pick between [`EngineKind::Enum`] and
+    /// [`EngineKind::Bdd`] (see [`crate::planner`]). The choice is a pure
+    /// function of the model, so results stay deterministic.
+    Auto,
 }
 
 /// Options controlling the exact engine.
@@ -525,7 +529,14 @@ pub fn analyze(
     scheduler: &dyn Scheduler,
     opts: &ExactOptions,
 ) -> Result<Analysis, ExactError> {
-    if opts.engine == EngineKind::Bdd && model.num_nodes() <= 64 {
+    let engine = match opts.engine {
+        // Auto resolves through the static cost model; the choice depends
+        // only on the model, so posteriors (bit-identical across backends
+        // anyway) and statistics stay deterministic.
+        EngineKind::Auto => crate::planner::choose_exact(model),
+        explicit => explicit,
+    };
+    if engine == EngineKind::Bdd && model.num_nodes() <= 64 {
         // The diagram backend packs per-node queue flags into a `u128` (two
         // bits per node); larger models fall back to enumeration, which has
         // no such bound.

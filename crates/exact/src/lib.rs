@@ -38,6 +38,7 @@
 mod bdd_engine;
 mod engine;
 mod enumerate;
+pub mod planner;
 mod pool;
 mod query;
 mod synthesize;
@@ -45,6 +46,7 @@ mod synthesize;
 pub use bayonet_symbolic::FeasibilityCache;
 pub use engine::{analyze, Analysis, EngineKind, EngineStats, ExactError, ExactOptions};
 pub use enumerate::{enumerate_eval, enumerate_eval_cached, Branch, ReplayDriver};
+pub use planner::{plan_model, Plan, PlanDecision, PlanEngine, PlanSignals, PlannerConfig};
 pub use pool::{ComputePool, PoolLease, PoolStats};
 pub use query::{
     answer, answer_cached, value_distribution, CellAnswer, QueryResult, MAX_CELL_ATOMS,

@@ -9,14 +9,17 @@
 use bayonet_exact::{EngineKind, ExactOptions};
 
 /// The engine this test process runs under: `BAYONET_TEST_ENGINE=bdd`
-/// selects the diagram backend, anything else (or unset) the enumeration
-/// default. Unknown values are an error — a typo silently falling back to
-/// the default would quietly skip the whole matrix leg.
+/// selects the diagram backend, `auto` the planner-routed backend (the
+/// cost model picks per model, deterministically), anything else (or
+/// unset) the enumeration default. Unknown values are an error — a typo
+/// silently falling back to the default would quietly skip the whole
+/// matrix leg.
 pub fn test_engine() -> EngineKind {
     match std::env::var("BAYONET_TEST_ENGINE") {
         Ok(v) if v == "bdd" => EngineKind::Bdd,
+        Ok(v) if v == "auto" => EngineKind::Auto,
         Ok(v) if v == "enum" || v.is_empty() => EngineKind::Enum,
-        Ok(v) => panic!("BAYONET_TEST_ENGINE must be `enum` or `bdd`, got `{v}`"),
+        Ok(v) => panic!("BAYONET_TEST_ENGINE must be `enum`, `bdd`, or `auto`, got `{v}`"),
         Err(_) => EngineKind::Enum,
     }
 }

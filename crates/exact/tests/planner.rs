@@ -1,0 +1,286 @@
+//! Golden tests for the static cost-model planner.
+//!
+//! A table of curated programs pins (a) the engine the planner routes each
+//! one to and (b) that the predicted enumeration cost stays within a
+//! **documented factor of 32** of the measured expansion count from the
+//! engine's own statistics (the CLI's `--stats`). The model is calibrated,
+//! not clairvoyant: it systematically overestimates small state spaces
+//! (merging is most effective there), so the tolerance is wide but the
+//! *routing* — the thing posteriors and deadlines depend on — is pinned
+//! exactly.
+
+use std::time::Duration;
+
+use bayonet_exact::{
+    analyze, plan_model, EngineKind, ExactOptions, PlanDecision, PlanEngine, PlannerConfig,
+};
+use bayonet_lang::parse;
+use bayonet_net::{compile, scheduler_for, Model};
+
+mod common;
+
+/// Documented accuracy bound: predicted expansions stay within this factor
+/// of the measured count, in both directions (see docs/PERFORMANCE.md).
+const COST_FACTOR: f64 = 32.0;
+
+const TINY: &str = r#"
+    packet_fields { dst }
+    topology { nodes { A, B } links { (A, pt1) <-> (B, pt1) } }
+    programs { A -> send, B -> recv }
+    init { packet -> (A, pt1); }
+    query probability(got@B == 1);
+    def send(pkt, pt) { if flip(1/3) { fwd(1); } else { drop; } }
+    def recv(pkt, pt) state got(0) { got = 1; drop; }
+"#;
+
+/// Local copy of the `bayonet::scenarios` gossip generator (the core crate
+/// depends on this one, so the test cannot import it).
+fn gossip_source(n: usize) -> String {
+    let nodes: Vec<String> = (0..n).map(|i| format!("S{i}")).collect();
+    let mut links = Vec::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            links.push(format!("(S{i}, pt{}) <-> (S{j}, pt{})", j, i + 1));
+        }
+    }
+    let mut programs = vec!["S0 -> seed".to_string()];
+    for node in nodes.iter().skip(1) {
+        programs.push(format!("{node} -> gossip"));
+    }
+    let sum = (0..n)
+        .map(|i| format!("infected@S{i}"))
+        .collect::<Vec<_>>()
+        .join(" + ");
+    let deg = n - 1;
+    format!(
+        r#"
+packet_fields {{ dst }}
+topology {{ nodes {{ {nodes} }} links {{ {links} }} }}
+programs {{ {programs} }}
+queue_capacity 2;
+init {{ packet -> (S0, pt1); }}
+query expectation({sum});
+def seed(pkt, pt) state infected(0) {{
+    if infected == 0 {{ infected = 1; fwd(uniformInt(1, {deg})); }} else {{ drop; }}
+}}
+def gossip(pkt, pt) state infected(0) {{
+    if infected == 0 {{
+        infected = 1; dup; fwd(uniformInt(1, {deg})); fwd(uniformInt(1, {deg}));
+    }} else {{ drop; }}
+}}
+"#,
+        nodes = nodes.join(", "),
+        links = links.join(",\n        "),
+        programs = programs.join(", "),
+    )
+}
+
+/// A deterministic relay chain of `n` nodes: one packet hops end to end.
+/// With `n > 64` the BDD backend's `u128` packing bound rules it out, so
+/// the planner must fall back to enumeration no matter how symmetric the
+/// program sharing is.
+fn chain_source(n: usize) -> String {
+    let nodes: Vec<String> = (0..n).map(|i| format!("N{i}")).collect();
+    let links: Vec<String> = (0..n - 1)
+        .map(|i| format!("(N{i}, pt2) <-> (N{}, pt1)", i + 1))
+        .collect();
+    let mut programs = vec![format!("N0 -> relay"), format!("N{} -> sink", n - 1)];
+    for node in nodes.iter().take(n - 1).skip(1) {
+        programs.push(format!("{node} -> relay"));
+    }
+    format!(
+        r#"
+packet_fields {{ dst }}
+topology {{ nodes {{ {nodes} }} links {{ {links} }} }}
+programs {{ {programs} }}
+scheduler roundrobin;
+init {{ packet -> (N0, pt1); }}
+query probability(done@N{last} == 1);
+def relay(pkt, pt) {{ fwd(2); }}
+def sink(pkt, pt) state done(0) {{ done = 1; drop; }}
+"#,
+        nodes = nodes.join(", "),
+        links = links.join(",\n        "),
+        programs = programs.join(", "),
+        last = n - 1,
+    )
+}
+
+fn model_of(source: &str) -> Model {
+    compile(&parse(source).expect("parse")).expect("compile")
+}
+
+fn measured_expansions(model: &Model, engine: EngineKind) -> u64 {
+    let opts = ExactOptions {
+        engine,
+        ..ExactOptions::default()
+    };
+    let analysis = analyze(model, &*scheduler_for(model), &opts).expect("analyze");
+    analysis.stats.expansions
+}
+
+/// The golden table: program → pinned engine, with predicted-vs-measured
+/// accuracy asserted for every row cheap enough to run under the debug
+/// profile (`measure: false` rows pin routing only; gossip_k5 enumerates
+/// half a million configurations, which the release-mode `regress` harness
+/// times instead).
+#[test]
+fn golden_table_pins_routing_and_cost_accuracy() {
+    struct Row {
+        name: &'static str,
+        source: String,
+        expect: PlanEngine,
+        measure: bool,
+    }
+    let rows = [
+        Row {
+            name: "tiny",
+            source: TINY.to_string(),
+            expect: PlanEngine::Enum,
+            measure: true,
+        },
+        Row {
+            name: "gossip_k4",
+            source: gossip_source(4),
+            expect: PlanEngine::Bdd,
+            measure: true,
+        },
+        Row {
+            name: "gossip_k5",
+            source: gossip_source(5),
+            expect: PlanEngine::Bdd,
+            measure: false,
+        },
+        Row {
+            name: "chain_70_fallback",
+            source: chain_source(70),
+            expect: PlanEngine::Enum,
+            measure: true,
+        },
+    ];
+    let cfg = PlannerConfig::default();
+    for row in &rows {
+        let model = model_of(&row.source);
+        let plan = plan_model(&model, &cfg, None);
+        assert_eq!(
+            plan.engine(),
+            Some(row.expect),
+            "{}: wrong route\n{}",
+            row.name,
+            plan.explain()
+        );
+        if row.expect == PlanEngine::Bdd {
+            assert!(
+                plan.signals.shared_program_nodes >= 2,
+                "{}: bdd route must rest on the symmetry signal",
+                row.name
+            );
+        }
+        if row.name == "chain_70_fallback" {
+            assert!(
+                plan.signals.nodes > 64 && plan.est_bdd_ns.is_none(),
+                "{}: >64 nodes must make bdd ineligible\n{}",
+                row.name,
+                plan.explain()
+            );
+        }
+        if row.measure {
+            let engine = match row.expect {
+                PlanEngine::Bdd => EngineKind::Bdd,
+                _ => EngineKind::Enum,
+            };
+            let measured = measured_expansions(&model, engine).max(1);
+            let ratio = plan.est_expansions as f64 / measured as f64;
+            assert!(
+                (1.0 / COST_FACTOR..=COST_FACTOR).contains(&ratio),
+                "{}: predicted {} vs measured {} expansions (ratio {:.2}) \
+                 outside the documented {}x envelope\n{}",
+                row.name,
+                plan.est_expansions,
+                measured,
+                ratio,
+                COST_FACTOR,
+                plan.explain()
+            );
+        }
+    }
+}
+
+/// `EngineKind::Auto` resolves through the planner inside `analyze`, and
+/// the posterior is bit-identical to the explicitly chosen backend.
+#[test]
+fn auto_engine_matches_explicit_choice() {
+    for source in [TINY.to_string(), gossip_source(4)] {
+        let model = model_of(&source);
+        let auto = analyze(
+            &model,
+            &*scheduler_for(&model),
+            &ExactOptions {
+                engine: EngineKind::Auto,
+                ..ExactOptions::default()
+            },
+        )
+        .expect("auto analyze");
+        let chosen = match plan_model(&model, &PlannerConfig::default(), None).engine() {
+            Some(PlanEngine::Bdd) => EngineKind::Bdd,
+            _ => EngineKind::Enum,
+        };
+        let explicit = analyze(
+            &model,
+            &*scheduler_for(&model),
+            &ExactOptions {
+                engine: chosen,
+                ..ExactOptions::default()
+            },
+        )
+        .expect("explicit analyze");
+        assert_eq!(auto.terminals, explicit.terminals);
+        assert_eq!(auto.discarded, explicit.discarded);
+        assert_eq!(auto.stats.steps, explicit.stats.steps);
+        assert_eq!(auto.stats.expansions, explicit.stats.expansions);
+    }
+}
+
+/// Deadline admission: a budget nothing can meet is rejected up front; a
+/// budget only sampling can meet routes to SMC with the error-bounded
+/// particle count; symbolic parameters keep the request on exact engines.
+#[test]
+fn budget_routing_and_admission() {
+    let k5 = model_of(&gossip_source(5));
+    let cfg = PlannerConfig::default();
+
+    // Exact estimates for gossip_k5 are far beyond 1 s, but SMC is linear
+    // and fits: the planner falls back to sampling.
+    let plan = plan_model(&k5, &cfg, Some(Duration::from_secs(1)));
+    assert_eq!(plan.engine(), Some(PlanEngine::Smc), "{}", plan.explain());
+    let expected_n = (0.25 / (cfg.target_std_error * cfg.target_std_error)).ceil() as usize;
+    assert_eq!(
+        plan.particles,
+        Some(expected_n.clamp(cfg.min_particles, cfg.max_particles))
+    );
+
+    // A nanosecond budget admits nothing: structured rejection, with the
+    // cheapest estimate attached so the caller can report what was needed.
+    let plan = plan_model(&k5, &cfg, Some(Duration::from_nanos(1)));
+    match plan.decision {
+        PlanDecision::Infeasible { needed_ns } => assert!(needed_ns > 1),
+        other => panic!("expected infeasible, got {other:?}\n{}", plan.explain()),
+    }
+
+    // Unlimited budget: exact inference is preferred whenever its estimate
+    // sits under the SMC cutover, even when sampling would be cheaper.
+    let plan = plan_model(&k5, &cfg, None);
+    assert_eq!(plan.engine(), Some(PlanEngine::Bdd), "{}", plan.explain());
+
+    // Symbolic parameters rule sampling out entirely.
+    let ecmp = model_of(
+        &std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../examples/bay/ecmp_costs.bay"
+        ))
+        .expect("read ecmp_costs.bay"),
+    );
+    let plan = plan_model(&ecmp, &cfg, None);
+    assert!(plan.signals.symbolic_params);
+    assert!(plan.est_smc_ns.is_none() && plan.particles.is_none());
+}

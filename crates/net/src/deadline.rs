@@ -121,6 +121,15 @@ impl Deadline {
     pub fn is_limited(&self) -> bool {
         self.cutoff.is_some() || self.cancelled.is_some()
     }
+
+    /// Wall-clock budget left before the cutoff: `None` when no cutoff is
+    /// set, `Some(ZERO)` once it has passed. The serve layer's planner uses
+    /// this as the admission budget — a request whose estimated cost
+    /// exceeds `remaining()` is rejected before any engine work.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.cutoff
+            .map(|cutoff| cutoff.saturating_duration_since(Instant::now()))
+    }
 }
 
 #[cfg(test)]

@@ -65,13 +65,11 @@ pub use deadline::{CancelHandle, Deadline};
 pub use error::SemanticsError;
 pub use fsio::{atomic_write, fsync_dir};
 pub use global::{deliver, initial_config};
-pub use poll::{
-    nofile_limit, open_fd_count, raise_nofile_limit, Interest, PollEvent, Poller,
-};
 pub use handler::{
     apply_binop, build_init_packet, compare, eval_query_expr, eval_state_init, run_handler,
     truth_of, ChoiceDriver, HandlerOutcome, NoChoiceDriver,
 };
+pub use poll::{nofile_limit, open_fd_count, raise_nofile_limit, Interest, PollEvent, Poller};
 pub use queue::{Packet, PktQueue, QueueEntry};
 pub use scheduler::{
     scheduler_for, DeterministicScheduler, RotorScheduler, Scheduler, UniformScheduler,

@@ -300,7 +300,9 @@ pub fn raise_nofile_limit() -> io::Result<(u64, u64)> {
 /// `/proc`, mostly).
 pub fn open_fd_count() -> io::Result<usize> {
     // The readdir itself holds one fd; exclude it.
-    Ok(std::fs::read_dir("/proc/self/fd")?.count().saturating_sub(1))
+    Ok(std::fs::read_dir("/proc/self/fd")?
+        .count()
+        .saturating_sub(1))
 }
 
 #[cfg(test)]
@@ -315,9 +317,7 @@ mod tests {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         listener.set_nonblocking(true).unwrap();
         let poller = Poller::new().unwrap();
-        poller
-            .add(listener.as_raw_fd(), 7, Interest::READ)
-            .unwrap();
+        poller.add(listener.as_raw_fd(), 7, Interest::READ).unwrap();
 
         let mut events = Vec::new();
         // Nothing pending: a short wait times out with zero events.

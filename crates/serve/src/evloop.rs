@@ -328,8 +328,7 @@ impl EventLoop {
             }
             self.cfg.metrics.record_wakeups(1);
 
-            for i in 0..events.len() {
-                let ev = events[i];
+            for &ev in &events {
                 match ev.token {
                     TOKEN_LISTENER => self.accept_ready(),
                     TOKEN_WAKER => self.drain_waker(),
@@ -957,9 +956,10 @@ impl EventLoop {
     /// Rearms (or disarms) the connection's deadline.
     fn retime(&mut self, token: u64, kind: TimerKind) {
         let io_timeout = self.cfg.io_timeout;
-        let stale = self.conns.get(&token).and_then(|conn| {
-            (conn.timer != TimerKind::None).then_some((conn.deadline, token))
-        });
+        let stale = self
+            .conns
+            .get(&token)
+            .and_then(|conn| (conn.timer != TimerKind::None).then_some((conn.deadline, token)));
         if let Some(stale) = stale {
             self.timers.remove(&stale);
         }

@@ -113,7 +113,7 @@ impl RequestFuzzGen {
             3 => {
                 let pad = crate::MAX_HEAD_BYTES + 1 + self.below(16 * 1024) as usize;
                 let mut req = format!("{}\r\nX-Pad: ", self.request_line()).into_bytes();
-                req.extend(std::iter::repeat(b'a').take(pad));
+                req.extend(std::iter::repeat_n(b'a', pad));
                 req.extend_from_slice(b"\r\n\r\n");
                 req
             }
@@ -164,15 +164,16 @@ impl RequestFuzzGen {
                     "POST /v1/run HTTP/1.1\r\nHost: fuzz\r\nContent-Length: {declared}\r\n\r\n"
                 )
                 .into_bytes();
-                req.extend(std::iter::repeat(b'{').take(sent));
+                req.extend(std::iter::repeat_n(b'{', sent));
                 req
             }
             // Huge request line (path far past any sane length).
             _ => {
                 let mut req = b"GET /".to_vec();
-                req.extend(
-                    std::iter::repeat(b'z').take(crate::MAX_HEAD_BYTES + self.below(8192) as usize),
-                );
+                req.extend(std::iter::repeat_n(
+                    b'z',
+                    crate::MAX_HEAD_BYTES + self.below(8192) as usize,
+                ));
                 req.extend_from_slice(b" HTTP/1.1\r\nHost: fuzz\r\n\r\n");
                 req
             }

@@ -18,6 +18,11 @@ use crate::persist::PersistCounters;
 /// Latency histogram bucket upper bounds, in seconds.
 const BUCKETS: [f64; 8] = [0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0];
 
+/// Bucket upper bounds for the planner's actual/predicted cost ratio.
+/// Centered on 1.0: buckets below it are overestimates (the run beat the
+/// prediction), above it underestimates.
+const RATIO_BUCKETS: [f64; 9] = [0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 4.0, 16.0];
+
 #[derive(Default, Clone)]
 struct Histogram {
     counts: [u64; BUCKETS.len()],
@@ -73,6 +78,14 @@ struct Inner {
     /// Requests proxied per replica index (router mode only; rendered only
     /// when nonempty).
     router_routed: BTreeMap<usize, u64>,
+    /// Planner routing decisions per chosen engine (`"engine": "auto"`).
+    planner_decisions: BTreeMap<&'static str, u64>,
+    /// Requests the planner rejected up front (estimate exceeded budget).
+    planner_rejections: u64,
+    /// Actual/predicted cost ratios of planner-routed runs.
+    planner_ratio: [u64; RATIO_BUCKETS.len()],
+    planner_ratio_total: u64,
+    planner_ratio_sum: f64,
 }
 
 /// The service metrics registry.
@@ -166,6 +179,31 @@ impl Metrics {
         let mut inner = self.inner.lock().expect("metrics mutex");
         inner.engine_feasibility_hits += hits;
         inner.engine_feasibility_misses += misses;
+    }
+
+    /// Records one planner routing decision (`"engine": "auto"` resolved to
+    /// `engine`).
+    pub fn record_planner_decision(&self, engine: &'static str) {
+        let mut inner = self.inner.lock().expect("metrics mutex");
+        *inner.planner_decisions.entry(engine).or_insert(0) += 1;
+    }
+
+    /// Records one up-front planner rejection (estimate exceeded the
+    /// deadline budget; no engine work was started).
+    pub fn record_planner_rejection(&self) {
+        self.inner.lock().expect("metrics mutex").planner_rejections += 1;
+    }
+
+    /// Records the actual/predicted cost ratio of one planner-routed run.
+    pub fn record_planner_ratio(&self, ratio: f64) {
+        let mut inner = self.inner.lock().expect("metrics mutex");
+        for (i, bound) in RATIO_BUCKETS.iter().enumerate() {
+            if ratio <= *bound {
+                inner.planner_ratio[i] += 1;
+            }
+        }
+        inner.planner_ratio_total += 1;
+        inner.planner_ratio_sum += ratio;
     }
 
     /// Binds the shared compute pool whose occupancy and steal counters are
@@ -344,9 +382,7 @@ impl Metrics {
         );
 
         if !inner.router_routed.is_empty() {
-            out.push_str(
-                "# HELP bayonet_router_requests_total Requests proxied per replica.\n",
-            );
+            out.push_str("# HELP bayonet_router_requests_total Requests proxied per replica.\n");
             out.push_str("# TYPE bayonet_router_requests_total counter\n");
             for (replica, count) in &inner.router_routed {
                 let _ = writeln!(
@@ -524,6 +560,55 @@ impl Metrics {
             inner.engine_feasibility_misses
         );
 
+        out.push_str(
+            "# HELP bayonet_planner_decisions_total Auto-routing decisions per \
+             chosen engine.\n",
+        );
+        out.push_str("# TYPE bayonet_planner_decisions_total counter\n");
+        for (engine, count) in &inner.planner_decisions {
+            let _ = writeln!(
+                out,
+                "bayonet_planner_decisions_total{{engine=\"{engine}\"}} {count}"
+            );
+        }
+        out.push_str(
+            "# HELP bayonet_planner_rejections_total Requests rejected up front \
+             because the cost estimate exceeded the deadline budget.\n",
+        );
+        out.push_str("# TYPE bayonet_planner_rejections_total counter\n");
+        let _ = writeln!(
+            out,
+            "bayonet_planner_rejections_total {}",
+            inner.planner_rejections
+        );
+        out.push_str(
+            "# HELP bayonet_planner_cost_ratio Actual/predicted wall-clock ratio of \
+             planner-routed runs (1.0 = perfect prediction).\n",
+        );
+        out.push_str("# TYPE bayonet_planner_cost_ratio histogram\n");
+        for (i, bound) in RATIO_BUCKETS.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "bayonet_planner_cost_ratio_bucket{{le=\"{bound}\"}} {}",
+                inner.planner_ratio[i]
+            );
+        }
+        let _ = writeln!(
+            out,
+            "bayonet_planner_cost_ratio_bucket{{le=\"+Inf\"}} {}",
+            inner.planner_ratio_total
+        );
+        let _ = writeln!(
+            out,
+            "bayonet_planner_cost_ratio_sum {}",
+            inner.planner_ratio_sum
+        );
+        let _ = writeln!(
+            out,
+            "bayonet_planner_cost_ratio_count {}",
+            inner.planner_ratio_total
+        );
+
         if let Some(pool) = self.pool.lock().expect("pool mutex").as_ref() {
             let stats = pool.stats();
             out.push_str("# HELP bayonet_pool_workers_total Compute-pool slots.\n");
@@ -580,6 +665,12 @@ mod tests {
             bdd_apply_cache_hits: 8,
         });
         m.record_feasibility(11, 5);
+        m.record_planner_decision("bdd");
+        m.record_planner_decision("bdd");
+        m.record_planner_decision("smc");
+        m.record_planner_rejection();
+        m.record_planner_ratio(0.4);
+        m.record_planner_ratio(3.0);
         let pool = ComputePool::new(8);
         let lease = pool.lease(3);
         pool.add_steals(5);
@@ -611,6 +702,12 @@ mod tests {
         assert!(text.contains("bayonet_bdd_nodes_total 21"));
         assert!(text.contains("bayonet_bdd_unique_hits_total 13"));
         assert!(text.contains("bayonet_bdd_apply_cache_hits_total 8"));
+        assert!(text.contains("bayonet_planner_decisions_total{engine=\"bdd\"} 2"));
+        assert!(text.contains("bayonet_planner_decisions_total{engine=\"smc\"} 1"));
+        assert!(text.contains("bayonet_planner_rejections_total 1"));
+        assert!(text.contains("bayonet_planner_cost_ratio_bucket{le=\"0.5\"} 1"));
+        assert!(text.contains("bayonet_planner_cost_ratio_bucket{le=\"4\"} 2"));
+        assert!(text.contains("bayonet_planner_cost_ratio_count 2"));
         assert!(text.contains("bayonet_pool_workers_total 8"));
         assert!(text.contains("bayonet_pool_workers_busy 3"));
         assert!(text.contains("bayonet_pool_steals_total 5"));

@@ -26,8 +26,9 @@ use std::time::{Duration, Instant};
 
 use bayonet_approx::{rejection, smc, ApproxError, ApproxOptions, Estimate};
 use bayonet_exact::{
-    analyze, answer_cached, synthesize_result, ComputePool, EngineKind, ExactError, ExactOptions,
-    FeasibilityCache, Objective, QueryResult, SynthesisOptions,
+    analyze, answer_cached, plan_model, synthesize_result, ComputePool, EngineKind, ExactError,
+    ExactOptions, FeasibilityCache, Objective, Plan, PlanDecision, PlanEngine, PlannerConfig,
+    QueryResult, SynthesisOptions,
 };
 use bayonet_lang::{check, parse, pretty_program, Program};
 use bayonet_net::{compile, scheduler_for, Deadline, Model, Scheduler};
@@ -222,7 +223,7 @@ impl Service {
     }
 
     fn inference(&self, req: &Request) -> Result<Response, ApiError> {
-        let parsed = InferenceRequest::from_http(req)?;
+        let mut parsed = InferenceRequest::from_http(req)?;
 
         // Canonical cache key: pretty-printed program, not raw source, so
         // formatting differences still hit.
@@ -233,6 +234,29 @@ impl Service {
             field: None,
         })?;
         let canonical = pretty_program(&program);
+
+        // `"engine": "auto"` resolves to a concrete engine *before* the
+        // cache key is computed, so a planner-routed result and the same
+        // request with the chosen engine spelled out share one cache entry
+        // — and an infeasible deadline is rejected before any engine work.
+        let mut prebuilt: Option<(Model, Box<dyn Scheduler>)> = None;
+        let mut plan: Option<Plan> = None;
+        if parsed.engine == Engine::Auto {
+            if req.path == "/v1/run" {
+                let (model, scheduler) = parsed.build_model()?;
+                let budget = parsed.timeout_ms.map(Duration::from_millis);
+                match self.plan_auto(&mut parsed, &model, budget) {
+                    Ok(p) => plan = Some(p),
+                    Err(rejection) => return Ok(rejection),
+                }
+                prebuilt = Some((model, scheduler));
+            } else {
+                // `/v1/check` never runs an engine and `/v1/synthesize`
+                // always runs the exact enumeration core, so auto resolves
+                // to the same key the default request would use.
+                parsed.engine = Engine::Exact;
+            }
+        }
         let key = parsed.cache_key(&req.path, &canonical);
 
         if let Some(hit) = self.cache.lock().expect("cache mutex").get(&key).cloned() {
@@ -243,7 +267,7 @@ impl Service {
 
         let response = match req.path.as_str() {
             "/v1/check" => self.check_endpoint(&parsed)?,
-            "/v1/run" => self.run_endpoint(&parsed)?,
+            "/v1/run" => self.run_endpoint(&parsed, prebuilt, plan.as_ref())?,
             "/v1/synthesize" => self.synthesize_endpoint(&parsed)?,
             _ => unreachable!("routed"),
         };
@@ -309,15 +333,82 @@ impl Service {
         }
     }
 
-    fn run_endpoint(&self, req: &InferenceRequest) -> Result<Response, ApiError> {
-        let (model, scheduler) = req.build_model()?;
-        self.run_with_model(req, &model, &*scheduler, req.deadline())
+    fn run_endpoint(
+        &self,
+        req: &InferenceRequest,
+        prebuilt: Option<(Model, Box<dyn Scheduler>)>,
+        plan: Option<&Plan>,
+    ) -> Result<Response, ApiError> {
+        let (model, scheduler) = match prebuilt {
+            // Auto routing already compiled the model to plan against.
+            Some(built) => built,
+            None => req.build_model()?,
+        };
+        self.run_with_model(req, &model, &*scheduler, req.deadline(), plan)
+    }
+
+    /// Routes a request whose `engine` is `auto` through the static cost
+    /// model: rewrites `req.engine` (and, for the SMC route, an absent
+    /// `particles`) so the cache key and the response are identical to an
+    /// explicit request for the chosen engine. Infeasible budgets return
+    /// the structured 422 as a ready [`Response`] — no engine work has
+    /// happened yet by design.
+    fn plan_auto(
+        &self,
+        req: &mut InferenceRequest,
+        model: &Model,
+        budget: Option<Duration>,
+    ) -> Result<Plan, Response> {
+        let plan = plan_model(model, &PlannerConfig::default(), budget);
+        match plan.decision {
+            PlanDecision::Run(engine) => {
+                req.engine = match engine {
+                    PlanEngine::Enum => Engine::Exact,
+                    PlanEngine::Bdd => Engine::Bdd,
+                    PlanEngine::Smc => Engine::Smc,
+                };
+                if engine == PlanEngine::Smc && req.particles.is_none() {
+                    // The error-bounded particle count, written into the
+                    // request so the cache key matches an explicit
+                    // `{"engine":"smc","particles":N}` call.
+                    req.particles = plan.particles;
+                }
+                self.metrics.record_planner_decision(req.engine.name());
+                Ok(plan)
+            }
+            PlanDecision::Infeasible { needed_ns } => {
+                self.metrics.record_planner_rejection();
+                Err(infeasible_response(&plan, needed_ns))
+            }
+        }
     }
 
     /// Runs the `/v1/run` engine dispatch against an already compiled
     /// model. The batch endpoint calls this directly with a clone of a
-    /// shared compiled model and a batch-clamped deadline.
+    /// shared compiled model and a batch-clamped deadline. With `plan` set
+    /// (planner-routed requests) the run is timed and the actual/predicted
+    /// cost ratio folded into `bayonet_planner_cost_ratio`.
     fn run_with_model(
+        &self,
+        req: &InferenceRequest,
+        model: &Model,
+        scheduler: &dyn Scheduler,
+        deadline: Deadline,
+        plan: Option<&Plan>,
+    ) -> Result<Response, ApiError> {
+        let started = Instant::now();
+        let result = self.run_engine(req, model, scheduler, deadline);
+        if let Some(plan) = plan {
+            if matches!(&result, Ok(resp) if resp.status == 200) {
+                let actual_ns = started.elapsed().as_nanos() as f64;
+                self.metrics
+                    .record_planner_ratio(actual_ns / plan.est_cost_ns.max(1) as f64);
+            }
+        }
+        result
+    }
+
+    fn run_engine(
         &self,
         req: &InferenceRequest,
         model: &Model,
@@ -416,7 +507,7 @@ impl Service {
                     let est: Estimate = match req.engine {
                         Engine::Smc => smc(model, scheduler, q, &opts),
                         Engine::Rejection => rejection(model, scheduler, q, &opts),
-                        Engine::Exact | Engine::Bdd => unreachable!(),
+                        Engine::Exact | Engine::Bdd | Engine::Auto => unreachable!(),
                     }
                     .map_err(approx_error)?;
                     // Byte-for-byte the stdout of `bayonet run --engine smc`.
@@ -440,6 +531,9 @@ impl Service {
                     .to_string(),
                 ))
             }
+            // Resolved to a concrete engine in `inference` / `batch_item_inner`
+            // before any run is dispatched.
+            Engine::Auto => unreachable!("auto engine is resolved before dispatch"),
         }
     }
 
@@ -783,7 +877,7 @@ impl Service {
         prep: &BatchPrep,
         batch_deadline: &Deadline,
     ) -> Result<Response, ApiError> {
-        let parsed = InferenceRequest::from_json(item, shared_source)?;
+        let mut parsed = InferenceRequest::from_json(item, shared_source)?;
         let prepared = prep
             .by_source
             .get(&parsed.source)
@@ -792,6 +886,29 @@ impl Service {
             Ok(model) => model,
             Err(e) => return Err(e.clone()),
         };
+
+        let deadline = match parsed.timeout_ms {
+            Some(ms) => batch_deadline.clamped(Duration::from_millis(ms)),
+            None => batch_deadline.clone(),
+        };
+
+        // Auto items plan **per item** — the shared compile is still
+        // amortized, but routing is independent: each item's bindings (and
+        // its share of the remaining batch budget) can push it to a
+        // different engine. Resolution happens before the cache key below,
+        // exactly like the single-request path.
+        let mut prebuilt: Option<(Model, Box<dyn Scheduler>)> = None;
+        let mut plan: Option<Plan> = None;
+        if parsed.engine == Engine::Auto {
+            let mut model = template.clone();
+            apply_bindings(&mut model, &parsed.bindings)?;
+            match self.plan_auto(&mut parsed, &model, deadline.remaining()) {
+                Ok(p) => plan = Some(p),
+                Err(rejection) => return Ok(rejection),
+            }
+            let scheduler = scheduler_for(&model);
+            prebuilt = Some((model, scheduler));
+        }
 
         // Same key as a single `/v1/run` call, so batch items and single
         // runs share cache entries in both directions.
@@ -810,15 +927,18 @@ impl Service {
                 field: None,
             });
         }
-        let deadline = match parsed.timeout_ms {
-            Some(ms) => batch_deadline.clamped(Duration::from_millis(ms)),
-            None => batch_deadline.clone(),
-        };
 
-        let mut model = template.clone();
-        apply_bindings(&mut model, &parsed.bindings)?;
-        let scheduler = scheduler_for(&model);
-        let response = self.run_with_model(&parsed, &model, &*scheduler, deadline)?;
+        let (model, scheduler) = match prebuilt {
+            Some(built) => built,
+            None => {
+                let mut model = template.clone();
+                apply_bindings(&mut model, &parsed.bindings)?;
+                let scheduler = scheduler_for(&model);
+                (model, scheduler)
+            }
+        };
+        let response =
+            self.run_with_model(&parsed, &model, &*scheduler, deadline, plan.as_ref())?;
         if response.status == 200 {
             let evictions = {
                 let mut cache = self.cache.lock().expect("cache mutex");
@@ -1051,6 +1171,12 @@ enum Engine {
     Bdd,
     Smc,
     Rejection,
+    /// Planner-routed: the static cost model picks exact, bdd, or smc per
+    /// request (`crate`-level docs; `bayonet_exact::planner`). Resolved to
+    /// a concrete engine *before* the cache key is computed, so an
+    /// auto-routed result and the same request with the chosen engine
+    /// spelled out share one cache entry.
+    Auto,
 }
 
 impl Engine {
@@ -1060,6 +1186,7 @@ impl Engine {
             Engine::Bdd => "bdd",
             Engine::Smc => "smc",
             Engine::Rejection => "rejection",
+            Engine::Auto => "auto",
         }
     }
 }
@@ -1090,6 +1217,47 @@ impl ApiError {
             Json::obj(vec![("ok", Json::Bool(false)), ("error", Json::obj(error))]).to_string(),
         )
     }
+}
+
+/// The structured 422 for a request whose cheapest cost estimate exceeds
+/// its deadline budget (`"engine": "auto"` only — explicit engines keep the
+/// run-then-interrupt contract). The `plan` object carries the estimates so
+/// the client can raise `timeout_ms` by an informed amount, pick an engine
+/// explicitly, or shrink the program. See `docs/SERVER.md`.
+fn infeasible_response(plan: &Plan, needed_ns: u64) -> Response {
+    let ms = |ns: u64| Json::Num((ns as f64 / 1e6 * 1000.0).round() / 1000.0);
+    let mut plan_obj = vec![
+        ("needed_ms", ms(needed_ns)),
+        ("budget_ms", plan.budget_ns.map_or(Json::Null, ms)),
+        ("est_expansions", Json::Num(plan.est_expansions as f64)),
+        ("est_enum_ms", ms(plan.est_enum_ns)),
+    ];
+    if let Some(ns) = plan.est_bdd_ns {
+        plan_obj.push(("est_bdd_ms", ms(ns)));
+    }
+    if let (Some(ns), Some(particles)) = (plan.est_smc_ns, plan.particles) {
+        plan_obj.push(("est_smc_ms", ms(ns)));
+        plan_obj.push(("est_smc_particles", Json::Num(particles as f64)));
+    }
+    let error = vec![
+        ("kind", Json::Str("infeasible_deadline".into())),
+        (
+            "message",
+            Json::Str(format!(
+                "planner estimates {:.1} ms of work for the cheapest eligible \
+                 engine but the deadline budget is {:.1} ms; raise timeout_ms, \
+                 select an engine explicitly, or shrink the program",
+                needed_ns as f64 / 1e6,
+                plan.budget_ns.unwrap_or(0) as f64 / 1e6,
+            )),
+        ),
+        ("field", Json::Str("timeout_ms".into())),
+        ("plan", Json::obj(plan_obj)),
+    ];
+    Response::json(
+        422,
+        Json::obj(vec![("ok", Json::Bool(false)), ("error", Json::obj(error))]).to_string(),
+    )
 }
 
 fn exact_error(e: ExactError) -> ApiError {
@@ -1213,12 +1381,13 @@ impl InferenceRequest {
             Some((_, Some("bdd"))) => Engine::Bdd,
             Some((_, Some("smc"))) => Engine::Smc,
             Some((_, Some("rejection"))) => Engine::Rejection,
+            Some((_, Some("auto"))) => Engine::Auto,
             Some((v, _)) => {
                 return Err(ApiError {
                     status: 400,
                     kind: "bad_request",
                     message: format!(
-                        "unknown engine {v} (known engines: exact, enum, bdd, smc, rejection)"
+                        "unknown engine {v} (known engines: exact, enum, bdd, smc, rejection, auto)"
                     ),
                     field: Some("engine".into()),
                 })

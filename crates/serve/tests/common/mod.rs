@@ -127,7 +127,9 @@ impl Served {
         let stdout = child.stdout.take().expect("stdout piped");
         let mut lines = BufReader::new(stdout);
         let mut line = String::new();
-        lines.read_line(&mut line).expect("read address announcement");
+        lines
+            .read_line(&mut line)
+            .expect("read address announcement");
         let addr = line
             .trim()
             .strip_prefix("BAYONET_SERVE_ADDR ")

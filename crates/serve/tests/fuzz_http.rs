@@ -64,9 +64,10 @@ fn live_server_answers_or_closes_cleanly_on_every_corpus_entry() {
 
     for seed in 0..300u64 {
         let input = RequestFuzzGen::new(seed).generate();
-        let mut conn = TcpStream::connect(addr)
-            .unwrap_or_else(|e| panic!("seed {seed}: connect failed: {e}"));
-        conn.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+        let mut conn =
+            TcpStream::connect(addr).unwrap_or_else(|e| panic!("seed {seed}: connect failed: {e}"));
+        conn.set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
         // The server may reject mid-upload (oversized heads) and close;
         // a write error then is the server being correct, not a failure.
         let _ = conn.write_all(&input);

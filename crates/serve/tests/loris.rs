@@ -30,7 +30,8 @@ fn slow_loris_trickle_times_out_without_wedging_the_loop() {
     // The loris: dribble one header byte at a time, forever. The writer
     // thread keeps dripping until the server hangs up on it.
     let mut conn = TcpStream::connect(addr).expect("loris connection");
-    conn.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    conn.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
     let mut writer = conn.try_clone().expect("clone for writer");
     let dripper = std::thread::spawn(move || {
         for byte in b"POST /v1/run HTTP/1.1\r\nHost: loris\r\nContent-Length: 999\r\nX-Drip: aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"
@@ -73,7 +74,8 @@ fn torn_request_head_answered_400_and_fd_reclaimed() {
     // for bytes that will never come (the default read deadline is 30 s —
     // far beyond this test's patience).
     let mut conn = TcpStream::connect(addr).expect("torn connection");
-    conn.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    conn.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
     conn.write_all(b"POST /v1/run HTTP/1.1\r\nHost: torn\r\nContent-Le")
         .expect("write torn head");
     conn.shutdown(Shutdown::Write).expect("half-close");
@@ -85,7 +87,8 @@ fn torn_request_head_answered_400_and_fd_reclaimed() {
 
     // Same for a complete head whose body never fully arrives.
     let mut conn = TcpStream::connect(addr).expect("torn body connection");
-    conn.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    conn.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
     conn.write_all(b"POST /v1/run HTTP/1.1\r\nHost: torn\r\nContent-Length: 50\r\n\r\n{\"sou")
         .expect("write torn body");
     conn.shutdown(Shutdown::Write).expect("half-close");
@@ -120,8 +123,9 @@ fn client_disconnect_mid_batch_cancels_cleanly() {
     // the loop tears the connection down and the worker's next frame
     // write fails with `BrokenPipe` — cancelling the remaining items
     // instead of grinding through them for a dead client.
-    let slow_item =
-        |seed: u64| format!(r#"{{"engine":"rejection","particles":2000000,"seed":{seed},"timeout_ms":3000}}"#);
+    let slow_item = |seed: u64| {
+        format!(r#"{{"engine":"rejection","particles":2000000,"seed":{seed},"timeout_ms":3000}}"#)
+    };
     let batch = format!(
         r#"{{"source":{},"items":[{},{},{}]}}"#,
         Json::Str(GOSSIP_K4.into()),

@@ -103,8 +103,7 @@ fn same_program_same_replica_and_caches_stay_disjoint() {
     // trailing spaces — is the *same* canonical program, so it must land
     // on program 2's home replica.
     let reformatted = program(2).replace(";", ";\n\n   ");
-    let (status, head, payload) =
-        common::http(addr, "POST", "/v1/run", &run_body(&reformatted));
+    let (status, head, payload) = common::http(addr, "POST", "/v1/run", &run_body(&reformatted));
     assert_eq!(status, 200, "{payload}");
     assert_eq!(
         replica_of(&head),
@@ -147,7 +146,11 @@ fn same_program_same_replica_and_caches_stay_disjoint() {
                 .unwrap_or(0.0)
         })
         .sum();
-    assert_eq!(routed, 2.0 * programs.len() as f64 + 1.0, "{router_metrics}");
+    assert_eq!(
+        routed,
+        2.0 * programs.len() as f64 + 1.0,
+        "{router_metrics}"
+    );
 
     handle.shutdown();
 }

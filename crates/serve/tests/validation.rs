@@ -177,7 +177,7 @@ fn engine_validation_is_table_driven_across_run_and_batch() {
         let message = error.get("message").and_then(Json::as_str).unwrap_or("");
         assert!(message.contains("unknown engine"), "case {case}: {message}");
         assert!(
-            message.contains("known engines: exact, enum, bdd, smc, rejection"),
+            message.contains("known engines: exact, enum, bdd, smc, rejection, auto"),
             "case {case}: {message}"
         );
     };
