@@ -8,6 +8,11 @@
 //! FNV-1a answer digests asserted equal, so the report doubles as a
 //! bit-identity witness while exposing the per-engine wall-clock trade-off
 //! (`enumerate_ns` vs. `bdd_enumerate_ns`, summarized as `bdd_speedup`).
+//! A dedicated parameter-sweep workload (`gossip_k4_sweep16`) times a
+//! 16-point grid both as independent pointwise runs and as one `sweep()`
+//! call, asserts their digests identical, and reports the shared-prefix
+//! speedup (`pointwise_ns` vs. `sweep_ns`, summarized as `sweep_speedup`);
+//! both phases are gated by `--check` alongside the enumerate phases.
 //! The report is self-validated by re-parsing it with the same JSON
 //! parser the service uses, so CI can gate on "harness ran and produced
 //! well-formed output" without gating on wall-clock numbers.
@@ -33,9 +38,10 @@ use std::time::Instant;
 use bayonet::{parse, scenarios, Network, Rat, Sched};
 use bayonet_bench::gate;
 use bayonet_exact::{
-    analyze, answer_cached, synthesize_result, EngineKind, ExactOptions, FeasibilityCache,
-    Objective, SynthesisOptions,
+    analyze, answer, answer_cached, sweep, synthesize_result, EngineKind, ExactOptions,
+    FeasibilityCache, Objective, SynthesisOptions,
 };
+use bayonet_net::scheduler_for;
 use bayonet_serve::{parse_json, Json};
 
 struct Workload {
@@ -306,6 +312,105 @@ fn bench_workload(w: &Workload, trials: usize) -> Json {
     ])
 }
 
+/// The parameter-sweep workload: a 16-point grid over the threshold
+/// parameter of `gossip_k4_sweep.bay`, timed two ways — (a) sixteen
+/// independent pointwise enumerations (bind, analyze, answer; exactly what
+/// sixteen `/v1/run` calls would do) and (b) one `sweep()` call that shares
+/// the exploration across the grid. The FNV-1a digests over the rendered
+/// answers are asserted identical every trial, so `sweep_speedup` compares
+/// bit-identical computations; the per-trial digest pins determinism the
+/// same way `bench_workload` does.
+fn bench_sweep(trials: usize) -> Json {
+    let w = curated("gossip_k4_sweep16", "gossip_k4_sweep.bay");
+    let model = Network::from_source(&w.source)
+        .expect("compile")
+        .model()
+        .clone();
+    let param = model
+        .params
+        .iter()
+        .find(|id| model.params.name(*id) == "K")
+        .expect("gossip_k4_sweep.bay declares K");
+    let points: Vec<Vec<Rat>> = (1..=16).map(|k| vec![Rat::int(k)]).collect();
+    let opts = ExactOptions {
+        engine: EngineKind::Enum,
+        ..ExactOptions::default()
+    };
+
+    let mut pointwise_runs = Vec::new();
+    let mut sweep_runs = Vec::new();
+    let mut digest = 0u64;
+    for trial in 0..trials {
+        // (a) Pointwise: one full enumeration per grid point.
+        let start = Instant::now();
+        let mut pointwise_digest = 0u64;
+        for point in &points {
+            let mut bound = model.clone();
+            bound.bind_param("K", point[0].clone()).expect("bind K");
+            let scheduler = scheduler_for(&bound);
+            let analysis = analyze(&bound, &*scheduler, &opts).expect("analyze");
+            for q in &bound.queries {
+                let r = answer(&bound, &analysis, q, opts.fm_pruning).expect("answer");
+                pointwise_digest = fnv1a(pointwise_digest, &r.to_string());
+            }
+            pointwise_digest = fnv1a(
+                pointwise_digest,
+                &format!(
+                    "Z={} D={}",
+                    analysis.total_terminal_mass(),
+                    analysis.total_discarded_mass()
+                ),
+            );
+        }
+        pointwise_runs.push(start.elapsed().as_nanos() as u64);
+
+        // (b) Sweep: shared exploration, per-point answers.
+        let start = Instant::now();
+        let result = sweep(&model, &[param], &points, &opts).expect("sweep");
+        let mut sweep_digest = 0u64;
+        for p in &result.points {
+            let p = p.as_ref().expect("sweep point");
+            for r in &p.results {
+                sweep_digest = fnv1a(sweep_digest, &r.to_string());
+            }
+            sweep_digest = fnv1a(sweep_digest, &format!("Z={} D={}", p.z, p.discarded));
+        }
+        sweep_runs.push(start.elapsed().as_nanos() as u64);
+
+        assert_eq!(
+            pointwise_digest, sweep_digest,
+            "gossip_k4_sweep16: sweep and pointwise answers diverge"
+        );
+        if trial == 0 {
+            digest = sweep_digest;
+        } else {
+            assert_eq!(
+                digest, sweep_digest,
+                "gossip_k4_sweep16: non-deterministic answers across trials"
+            );
+        }
+    }
+
+    let pointwise_med = median(pointwise_runs.clone());
+    let sweep_med = median(sweep_runs.clone());
+    Json::obj(vec![
+        ("name", Json::Str("gossip_k4_sweep16".to_string())),
+        (
+            "phases",
+            Json::obj(vec![
+                ("pointwise_ns", num(pointwise_med)),
+                ("sweep_ns", num(sweep_med)),
+            ]),
+        ),
+        ("grid_points", num(points.len() as u64)),
+        ("answer_digest", Json::Str(format!("{digest:016x}"))),
+        (
+            "sweep_speedup",
+            Json::Num((pointwise_med as f64 / sweep_med.max(1) as f64 * 1000.0).round() / 1000.0),
+        ),
+    ])
+}
+
 fn machine_info() -> Json {
     let cpus = std::thread::available_parallelism()
         .map(|n| n.get() as u64)
@@ -408,6 +513,8 @@ fn main() {
         eprintln!("regress: {} ({} trials)...", w.name, trials);
         rows.push(bench_workload(w, trials));
     }
+    eprintln!("regress: gossip_k4_sweep16 ({trials} trials)...");
+    rows.push(bench_sweep(trials));
 
     let mut report_pairs = vec![
         ("schema", Json::Str("bayonet-regress-v1".to_string())),
@@ -470,7 +577,12 @@ fn check_against(current: &Json, baseline: &Json) -> bool {
     if let Some(ws) = current.get("workloads").and_then(Json::as_arr) {
         for w in ws {
             let name = w.get("name").and_then(Json::as_str).unwrap_or("");
-            for key in ["enumerate_ns", "bdd_enumerate_ns"] {
+            for key in [
+                "enumerate_ns",
+                "bdd_enumerate_ns",
+                "sweep_ns",
+                "pointwise_ns",
+            ] {
                 let (Some(now), Some(before)) =
                     (phase(current, name, key), phase(baseline, name, key))
                 else {

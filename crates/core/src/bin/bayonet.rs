@@ -8,6 +8,8 @@
 //!                        [--scheduler uniform|det|rotor]
 //!                        [--bind NAME=VALUE]... [--stats] [--explain-plan]
 //! bayonet run <batch.json> --batch [--threads N]
+//! bayonet run <file.bay> --sweep <grid.json> [--engine auto|exact|enum|bdd]
+//!                        [--bind NAME=VALUE]... [--threads N]
 //! bayonet synthesize <file.bay> [--query N] [--maximize]
 //! bayonet codegen <file.bay> [--target psi|webppl]
 //! bayonet pretty <file.bay>
@@ -47,6 +49,8 @@ fn usage() -> String {
                   --seed N  --scheduler uniform|det|rotor  --bind NAME=VALUE  --threads N\n\
                   --stats  --explain-plan (print the planner's routing and cost estimate)\n\
                   --batch (file is a /v1/batch JSON request; NDJSON frames to stdout)\n\
+                  --sweep GRID.json (sweep parameters over a value grid; one NDJSON\n\
+                                     frame per grid point, sharing exploration work)\n\
      synthesize options: --query N  --maximize  --allow-zero-params\n\
      codegen options: --target psi|webppl\n\
      serve options: --addr HOST:PORT  --threads N  --cache-entries K\n\
@@ -66,6 +70,7 @@ const RUN_FLAGS: &[(&str, bool)] = &[
     ("--stats", false),
     ("--explain-plan", false),
     ("--batch", false),
+    ("--sweep", true),
 ];
 const SYNTHESIZE_FLAGS: &[(&str, bool)] = &[
     ("--query", true),
@@ -104,7 +109,12 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         "run" => {
             validate_flags(rest, RUN_FLAGS)?;
-            if has_flag(rest, "--batch") {
+            if let Some(grid_file) = flag_value(rest, "--sweep") {
+                if has_flag(rest, "--batch") {
+                    return Err("--batch cannot be combined with --sweep".into());
+                }
+                run_sweep_cmd(&source, grid_file, rest)
+            } else if has_flag(rest, "--batch") {
                 run_batch_cmd(&source, rest)
             } else {
                 run_queries(&source, rest)
@@ -427,6 +437,102 @@ fn run_batch_cmd(source: &str, rest: &[String]) -> Result<(), String> {
     if failed > 0 {
         let total = body.lines().count();
         return Err(format!("{failed} of {total} batch item(s) failed"));
+    }
+    Ok(())
+}
+
+/// `bayonet run <file.bay> --sweep <grid.json>`: sweeps the program across
+/// a parameter grid (the file maps parameter names to value arrays, e.g.
+/// `{"K": [1, 2, 3, 4]}`) through the same `/v1/sweep` orchestration as
+/// the server, sharing exploration work across grid points. One NDJSON
+/// frame per point is printed to stdout in row-major grid order; each
+/// frame's `body` is the answer an independent `run --bind` of that point
+/// would produce.
+fn run_sweep_cmd(source: &str, grid_file: &str, rest: &[String]) -> Result<(), String> {
+    for flag in [
+        "--particles",
+        "--seed",
+        "--scheduler",
+        "--stats",
+        "--explain-plan",
+    ] {
+        if has_flag(rest, flag) {
+            return Err(format!("{flag} cannot be combined with --sweep"));
+        }
+    }
+    let grid_text = std::fs::read_to_string(grid_file)
+        .map_err(|e| format!("cannot read sweep grid {grid_file}: {e}"))?;
+    let grid = bayonet_serve::parse_json(&grid_text)
+        .map_err(|e| format!("bad sweep grid {grid_file}: {e}"))?;
+    let threads = flag_value(rest, "--threads")
+        .map(|v| match v.parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(n),
+            Ok(_) => Err("bad --threads value: must be at least 1".to_string()),
+            Err(e) => Err(format!("bad --threads value: {e}")),
+        })
+        .transpose()?
+        .unwrap_or(1);
+
+    let mut fields = vec![
+        ("source", bayonet_serve::Json::Str(source.to_string())),
+        ("sweep", grid),
+    ];
+    if let Some(engine) = flag_value(rest, "--engine") {
+        fields.push(("engine", bayonet_serve::Json::Str(engine.to_string())));
+    }
+    // --bind NAME=VALUE (repeatable) become the fixed (non-swept) bindings.
+    let mut bindings = Vec::new();
+    let mut i = 0;
+    while i < rest.len() {
+        if rest[i] == "--bind" {
+            let spec = rest
+                .get(i + 1)
+                .ok_or_else(|| "--bind needs NAME=VALUE".to_string())?;
+            let (name, value) = spec
+                .split_once('=')
+                .ok_or_else(|| format!("malformed --bind `{spec}` (want NAME=VALUE)"))?;
+            bindings.push((
+                name.to_string(),
+                bayonet_serve::Json::Str(value.to_string()),
+            ));
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    if !bindings.is_empty() {
+        fields.push(("bindings", bayonet_serve::Json::Obj(bindings)));
+    }
+    if threads > 1 {
+        fields.push(("threads", bayonet_serve::Json::Num(threads as f64)));
+    }
+
+    let service = bayonet_serve::Service::with_options(bayonet_serve::ServiceOptions {
+        cache_entries: bayonet_serve::DEFAULT_CACHE_ENTRIES,
+        pool: (threads > 1).then(|| bayonet::ComputePool::new(threads)),
+        persist: None,
+    })
+    .map_err(|e| format!("cannot build sweep service: {e}"))?;
+    let request = bayonet_serve::Request {
+        method: "POST".into(),
+        path: "/v1/sweep".into(),
+        headers: Vec::new(),
+        body: bayonet_serve::Json::obj(fields).to_string().into_bytes(),
+    };
+    let response = service.handle(&request);
+    let body = String::from_utf8_lossy(&response.body).into_owned();
+    if response.status != 200 {
+        return Err(format!("sweep rejected ({}): {body}", response.status));
+    }
+    print!("{body}");
+    let failed = body
+        .lines()
+        .filter_map(|line| bayonet_serve::parse_json(line).ok())
+        .filter(|doc| doc.get("status").and_then(|s| s.as_u64()) != Some(200))
+        .count();
+    if failed > 0 {
+        let total = body.lines().count();
+        return Err(format!("{failed} of {total} sweep point(s) failed"));
     }
     Ok(())
 }

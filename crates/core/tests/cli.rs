@@ -12,6 +12,15 @@ fn bay_file(name: &str) -> String {
     p.to_string_lossy().into_owned()
 }
 
+fn grid_file(name: &str) -> String {
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop(); // crates/
+    p.pop(); // repo root
+    p.push("examples/grids");
+    p.push(name);
+    p.to_string_lossy().into_owned()
+}
+
 fn cli(args: &[&str]) -> (bool, String, String) {
     let out = Command::new(env!("CARGO_BIN_EXE_bayonet"))
         .args(args)
@@ -221,4 +230,64 @@ fn run_auto_engine_routes_and_explains() {
     assert!(ok, "{stderr}");
     assert!(stdout.contains("94/27"), "{stdout}");
     assert!(stderr.contains("plan: engine=bdd"), "{stderr}");
+}
+
+#[test]
+fn run_sweep_streams_one_frame_per_grid_point() {
+    let (ok, stdout, stderr) = cli(&[
+        "run",
+        &bay_file("gossip_k4_sweep.bay"),
+        "--sweep",
+        &grid_file("gossip_k.json"),
+    ]);
+    assert!(ok, "{stderr}");
+    let frames: Vec<&str> = stdout.lines().collect();
+    assert_eq!(frames.len(), 4, "{stdout}");
+    for (i, frame) in frames.iter().enumerate() {
+        assert!(
+            frame.contains(&format!("\"index\":{i},\"status\":200")),
+            "frame {i}: {frame}"
+        );
+        assert!(
+            frame.contains(&format!("\"point\":{{\"K\":\"{}\"}}", i + 1)),
+            "frame {i}: {frame}"
+        );
+    }
+    // K = 1: the seed node always infects itself, so the probability is 1,
+    // and the query handlers never read K, so the route is symbolic.
+    assert!(
+        frames[0].contains("1 \\u{2248} 1.0000") || frames[0].contains("1 ≈ 1.0000"),
+        "{}",
+        frames[0]
+    );
+    assert!(
+        frames[0].contains("\"route\":\"symbolic\""),
+        "{}",
+        frames[0]
+    );
+}
+
+#[test]
+fn run_sweep_rejects_incompatible_flags_and_bad_grids() {
+    let source = bay_file("gossip_k4_sweep.bay");
+    let grid = grid_file("gossip_k.json");
+    let (ok, _, stderr) = cli(&["run", &source, "--sweep", &grid, "--batch"]);
+    assert!(!ok);
+    assert!(
+        stderr.contains("--batch cannot be combined with --sweep"),
+        "{stderr}"
+    );
+    let (ok, _, stderr) = cli(&["run", &source, "--sweep", &grid, "--stats"]);
+    assert!(!ok);
+    assert!(
+        stderr.contains("--stats cannot be combined with --sweep"),
+        "{stderr}"
+    );
+    let (ok, _, stderr) = cli(&["run", &source, "--sweep", "/no/such/grid.json"]);
+    assert!(!ok);
+    assert!(stderr.contains("cannot read sweep grid"), "{stderr}");
+    // A grid naming an undeclared parameter surfaces the structured 400.
+    let (ok, _, stderr) = cli(&["run", &bay_file("gossip_k4.bay"), "--sweep", &grid]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown swept parameter `K`"), "{stderr}");
 }

@@ -513,6 +513,214 @@ fn expand_frontier_parallel(
     Ok((merged, steals))
 }
 
+/// The enumeration engine's exploration state between global steps.
+///
+/// [`analyze`] drives it straight to the fixpoint; the sweep engine
+/// ([`crate::sweep`]) instead snapshots it (it is `Clone`) at the last step
+/// that provably did not depend on a swept parameter, and replays the
+/// remainder once per grid point.
+#[derive(Clone)]
+pub(crate) struct EnumState {
+    frontier: Weighted,
+    terminal_acc: Weighted,
+    discarded: HashMap<Guard, Rat>,
+    pub(crate) stats: EngineStats,
+}
+
+impl EnumState {
+    /// Builds the initial distribution: enumerate the (possibly random)
+    /// state initializers of every node, then the cartesian product.
+    pub(crate) fn init(model: &Model, opts: &ExactOptions) -> Result<EnumState, ExactError> {
+        let mut stats = EngineStats::default();
+        let k = model.num_nodes();
+        let mut initial: Vec<(Vec<Vec<Val>>, Rat, Guard)> =
+            vec![(Vec::with_capacity(k), Rat::one(), Guard::top())];
+        for node in 0..k {
+            let prog = &model.programs[node];
+            let node_branches = enumerate_eval_cached(
+                &Guard::top(),
+                opts.fm_pruning,
+                opts.feasibility_cache.as_deref(),
+                |driver| bayonet_net::eval_state_init(model, prog, driver),
+            )?;
+            let mut next = Vec::with_capacity(initial.len() * node_branches.len());
+            for (states, mass, guard) in &initial {
+                for b in &node_branches {
+                    let Some(combined) = guard.conjoin(&b.guard) else {
+                        continue; // contradictory parameter assumptions
+                    };
+                    let mut states = states.clone();
+                    states.push(b.result.clone());
+                    next.push((states, mass * &b.weight, combined));
+                }
+            }
+            initial = next;
+        }
+
+        let mut frontier: Weighted = Vec::new();
+        let mut terminal_acc: Weighted = Vec::new();
+        for (states, mass, guard) in initial {
+            let cfg = initial_config(model, states)?;
+            if cfg.is_terminal() {
+                terminal_acc.push((guard, cfg, mass));
+            } else {
+                frontier.push((guard, cfg, mass));
+            }
+        }
+        frontier = compress(frontier, &mut stats);
+        Ok(EnumState {
+            frontier,
+            terminal_acc,
+            discarded: HashMap::new(),
+            stats,
+        })
+    }
+
+    /// Has the exploration reached its fixpoint (empty frontier)?
+    pub(crate) fn done(&self) -> bool {
+        self.frontier.is_empty()
+    }
+
+    /// Executes one global step: bound checks, then a (possibly parallel)
+    /// expansion of the whole frontier, then merging.
+    ///
+    /// Callers must not invoke this once [`EnumState::done`] holds.
+    pub(crate) fn step(
+        &mut self,
+        model: &Model,
+        scheduler: &dyn Scheduler,
+        opts: &ExactOptions,
+        workers: usize,
+        step_bound: u64,
+    ) -> Result<(), ExactError> {
+        let stats = &mut self.stats;
+        stats.steps += 1;
+        if stats.steps > step_bound {
+            let mass: Rat = self
+                .frontier
+                .iter()
+                .fold(Rat::zero(), |acc, (_, _, m)| acc + m);
+            return Err(ExactError::Unterminated {
+                live_configs: self.frontier.len(),
+                mass: format!("{:.6}", mass.to_f64()),
+            });
+        }
+        stats.peak_configs = stats.peak_configs.max(self.frontier.len());
+        if self.frontier.len() > opts.max_configs {
+            return Err(ExactError::ConfigLimit(opts.max_configs));
+        }
+        if opts.deadline.expired() {
+            return Err(ExactError::Interrupted {
+                steps: stats.steps - 1,
+                expansions: stats.expansions,
+            });
+        }
+
+        stats.expansions += self.frontier.len() as u64;
+        let expansion = if workers > 1 && self.frontier.len() >= opts.par_threshold.max(2) {
+            match expand_frontier_parallel(model, scheduler, &self.frontier, opts, workers) {
+                Ok((merged, steals)) => {
+                    stats.steals += steals;
+                    if let Some(pool) = &opts.pool {
+                        pool.add_steals(steals);
+                    }
+                    merged
+                }
+                Err((_, e)) => {
+                    return Err(match e {
+                        ExactError::Interrupted { .. } => ExactError::Interrupted {
+                            steps: stats.steps - 1,
+                            expansions: stats.expansions,
+                        },
+                        other => other,
+                    })
+                }
+            }
+        } else {
+            let mut out = Expansion::default();
+            for (i, (g, c, m)) in self.frontier.iter().enumerate() {
+                if i > 0 && i % DEADLINE_POLL_STRIDE == 0 && opts.deadline.expired() {
+                    return Err(ExactError::Interrupted {
+                        steps: stats.steps - 1,
+                        expansions: stats.expansions,
+                    });
+                }
+                expand_config(model, scheduler, g, c, m, opts, &mut out)?;
+            }
+            out
+        };
+        self.frontier.clear();
+        self.terminal_acc.extend(expansion.terminal);
+        for (g, m) in expansion.discarded {
+            *self.discarded.entry(g).or_insert_with(Rat::zero) += &m;
+        }
+        self.frontier = if opts.merge_configs {
+            compress(expansion.next, &mut self.stats)
+        } else {
+            expansion.next
+        };
+        Ok(())
+    }
+
+    /// Seals the exploration into an [`Analysis`]: merge and sort terminals,
+    /// sort discarded mass. Feasibility-cache counters are the caller's
+    /// responsibility (they are deltas against a shared cache).
+    pub(crate) fn finish(self) -> Analysis {
+        let mut stats = self.stats;
+        // Terminal configurations are always merged: soundness does not
+        // depend on it, and it keeps the posterior small.
+        let terminals = compress(self.terminal_acc, &mut stats);
+        stats.terminal_configs = terminals.len();
+        let mut discarded: Vec<(Guard, Rat)> = self.discarded.into_iter().collect();
+        discarded.sort_unstable_by(|(g1, _), (g2, _)| g1.cmp(g2));
+        Analysis {
+            terminals: terminals.into_iter().map(|(g, c, m)| (c, g, m)).collect(),
+            discarded,
+            stats,
+        }
+    }
+}
+
+/// Rebinds `opts` with a run-level feasibility cache: a caller-provided
+/// cache is shared (its counters delta-reported), otherwise the run gets a
+/// private one. Returns the cache and its counter snapshot.
+pub(crate) fn run_cache_opts(
+    opts: &ExactOptions,
+) -> (Arc<FeasibilityCache>, ExactOptions, (u64, u64)) {
+    let run_cache: Arc<FeasibilityCache> = opts.feasibility_cache.clone().unwrap_or_default();
+    let counts_before = run_cache.counts();
+    let opts = ExactOptions {
+        feasibility_cache: Some(Arc::clone(&run_cache)),
+        ..opts.clone()
+    };
+    (run_cache, opts, counts_before)
+}
+
+/// Leases extra expansion workers for a whole run: a big request holds its
+/// crew from the shared pool (degrading gracefully when the pool is busy),
+/// while `threads` is taken at face value without a pool. Returns the lease
+/// guard (workers return to the pool on drop) and the effective crew size.
+pub(crate) fn lease_workers(opts: &ExactOptions) -> (Option<crate::pool::PoolLease>, usize) {
+    let requested = opts.threads.max(1);
+    let lease = match &opts.pool {
+        Some(pool) if requested > 1 => Some(pool.lease(requested - 1)),
+        _ => None,
+    };
+    let workers = match &lease {
+        Some(lease) => 1 + lease.granted(),
+        None => requested,
+    };
+    (lease, workers)
+}
+
+/// The global step bound: the source's `num_steps N;` bounds the
+/// exploration like the paper's generated `repeat N { step() };
+/// assert(terminated())` (Figure 10), falling back to the options' safety
+/// bound.
+pub(crate) fn step_bound(model: &Model, opts: &ExactOptions) -> u64 {
+    model.num_steps.unwrap_or(opts.max_global_steps)
+}
+
 /// Runs the exact engine to the termination fixpoint.
 ///
 /// With `opts.threads > 1` the frontier expansion of each global step is
@@ -542,152 +750,17 @@ pub fn analyze(
         // no such bound.
         return crate::bdd_engine::analyze_bdd(model, scheduler, opts);
     }
-    let mut stats = EngineStats::default();
-    let k = model.num_nodes();
-    // The source's `num_steps N;` bounds the exploration like the paper's
-    // generated `repeat N { step() }; assert(terminated())` (Figure 10).
-    let step_bound = model.num_steps.unwrap_or(opts.max_global_steps);
+    let bound = step_bound(model, opts);
+    let (run_cache, opts, (hits_before, misses_before)) = run_cache_opts(opts);
+    let (_lease, workers) = lease_workers(&opts);
 
-    // Every run memoizes feasibility verdicts: a caller-provided cache is
-    // shared (and its counters delta-reported), otherwise the run gets a
-    // private one. The rebound `opts` carries the cache to every expansion.
-    let run_cache: Arc<FeasibilityCache> = opts.feasibility_cache.clone().unwrap_or_default();
-    let (hits_before, misses_before) = run_cache.counts();
-    let opts = &ExactOptions {
-        feasibility_cache: Some(Arc::clone(&run_cache)),
-        ..opts.clone()
-    };
-
-    // Lease extra workers for the whole run: a big request holds its crew
-    // from the shared pool (degrading gracefully when the pool is busy),
-    // while `threads` is taken at face value without a pool.
-    let requested = opts.threads.max(1);
-    let lease = match &opts.pool {
-        Some(pool) if requested > 1 => Some(pool.lease(requested - 1)),
-        _ => None,
-    };
-    let workers = match &lease {
-        Some(lease) => 1 + lease.granted(),
-        None => requested,
-    };
-
-    // Initial distribution: enumerate the (possibly random) state
-    // initializers of every node, then build the cartesian product.
-    let mut initial: Vec<(Vec<Vec<Val>>, Rat, Guard)> =
-        vec![(Vec::with_capacity(k), Rat::one(), Guard::top())];
-    for node in 0..k {
-        let prog = &model.programs[node];
-        let node_branches = enumerate_eval_cached(
-            &Guard::top(),
-            opts.fm_pruning,
-            opts.feasibility_cache.as_deref(),
-            |driver| bayonet_net::eval_state_init(model, prog, driver),
-        )?;
-        let mut next = Vec::with_capacity(initial.len() * node_branches.len());
-        for (states, mass, guard) in &initial {
-            for b in &node_branches {
-                let Some(combined) = guard.conjoin(&b.guard) else {
-                    continue; // contradictory parameter assumptions
-                };
-                let mut states = states.clone();
-                states.push(b.result.clone());
-                next.push((states, mass * &b.weight, combined));
-            }
-        }
-        initial = next;
+    let mut state = EnumState::init(model, &opts)?;
+    while !state.done() {
+        state.step(model, scheduler, &opts, workers, bound)?;
     }
-
-    let mut frontier: Weighted = Vec::new();
-    let mut terminal_acc: Weighted = Vec::new();
-    let mut discarded: HashMap<Guard, Rat> = HashMap::new();
-
-    for (states, mass, guard) in initial {
-        let cfg = initial_config(model, states)?;
-        if cfg.is_terminal() {
-            terminal_acc.push((guard, cfg, mass));
-        } else {
-            frontier.push((guard, cfg, mass));
-        }
-    }
-    frontier = compress(frontier, &mut stats);
-
-    while !frontier.is_empty() {
-        stats.steps += 1;
-        if stats.steps > step_bound {
-            let mass: Rat = frontier.iter().fold(Rat::zero(), |acc, (_, _, m)| acc + m);
-            return Err(ExactError::Unterminated {
-                live_configs: frontier.len(),
-                mass: format!("{:.6}", mass.to_f64()),
-            });
-        }
-        stats.peak_configs = stats.peak_configs.max(frontier.len());
-        if frontier.len() > opts.max_configs {
-            return Err(ExactError::ConfigLimit(opts.max_configs));
-        }
-        if opts.deadline.expired() {
-            return Err(ExactError::Interrupted {
-                steps: stats.steps - 1,
-                expansions: stats.expansions,
-            });
-        }
-
-        stats.expansions += frontier.len() as u64;
-        let expansion = if workers > 1 && frontier.len() >= opts.par_threshold.max(2) {
-            match expand_frontier_parallel(model, scheduler, &frontier, opts, workers) {
-                Ok((merged, steals)) => {
-                    stats.steals += steals;
-                    if let Some(pool) = &opts.pool {
-                        pool.add_steals(steals);
-                    }
-                    merged
-                }
-                Err((_, e)) => {
-                    return Err(match e {
-                        ExactError::Interrupted { .. } => ExactError::Interrupted {
-                            steps: stats.steps - 1,
-                            expansions: stats.expansions,
-                        },
-                        other => other,
-                    })
-                }
-            }
-        } else {
-            let mut out = Expansion::default();
-            for (i, (g, c, m)) in frontier.iter().enumerate() {
-                if i > 0 && i % DEADLINE_POLL_STRIDE == 0 && opts.deadline.expired() {
-                    return Err(ExactError::Interrupted {
-                        steps: stats.steps - 1,
-                        expansions: stats.expansions,
-                    });
-                }
-                expand_config(model, scheduler, g, c, m, opts, &mut out)?;
-            }
-            out
-        };
-        frontier.clear();
-        terminal_acc.extend(expansion.terminal);
-        for (g, m) in expansion.discarded {
-            *discarded.entry(g).or_insert_with(Rat::zero) += &m;
-        }
-        frontier = if opts.merge_configs {
-            compress(expansion.next, &mut stats)
-        } else {
-            expansion.next
-        };
-    }
-
-    // Terminal configurations are always merged: soundness does not depend
-    // on it, and it keeps the posterior small.
-    let terminals = compress(terminal_acc, &mut stats);
-    stats.terminal_configs = terminals.len();
+    let mut analysis = state.finish();
     let (hits_after, misses_after) = run_cache.counts();
-    stats.feasibility_hits = hits_after - hits_before;
-    stats.feasibility_misses = misses_after - misses_before;
-    let mut discarded: Vec<(Guard, Rat)> = discarded.into_iter().collect();
-    discarded.sort_unstable_by(|(g1, _), (g2, _)| g1.cmp(g2));
-    Ok(Analysis {
-        terminals: terminals.into_iter().map(|(g, c, m)| (c, g, m)).collect(),
-        discarded,
-        stats,
-    })
+    analysis.stats.feasibility_hits = hits_after - hits_before;
+    analysis.stats.feasibility_misses = misses_after - misses_before;
+    Ok(analysis)
 }

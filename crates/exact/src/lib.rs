@@ -41,6 +41,7 @@ mod enumerate;
 pub mod planner;
 mod pool;
 mod query;
+mod sweep;
 mod synthesize;
 
 pub use bayonet_symbolic::FeasibilityCache;
@@ -51,4 +52,5 @@ pub use pool::{ComputePool, PoolLease, PoolStats};
 pub use query::{
     answer, answer_cached, value_distribution, CellAnswer, QueryResult, MAX_CELL_ATOMS,
 };
+pub use sweep::{sweep, SweepPointResult, SweepResult, SweepRoute};
 pub use synthesize::{synthesize_result, Objective, Synthesis, SynthesisError, SynthesisOptions};

@@ -27,6 +27,11 @@ use std::fmt::Write as _;
 /// ```
 pub struct ProgramGen {
     state: u64,
+    /// When set, the program declares `parameters { PT }` and threads the
+    /// parameter through the final query (and, seed-dependent, a forwarding
+    /// comparison) — sweep-ready programs for the grid-vs-pointwise
+    /// differential suites.
+    parameterized: bool,
 }
 
 impl ProgramGen {
@@ -35,6 +40,20 @@ impl ProgramGen {
         // Splash the seed so small seeds don't produce correlated streams.
         ProgramGen {
             state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1),
+            parameterized: false,
+        }
+    }
+
+    /// Like [`ProgramGen::new`], but the generated program declares a
+    /// symbolic parameter `PT` and compares against it in the probability
+    /// query's threshold; some seeds additionally gate one node's forward
+    /// decision on it. Binding `PT` to any small integer yields a valid
+    /// concrete program, which is exactly what parameter sweeps do per grid
+    /// point.
+    pub fn new_parameterized(seed: u64) -> ProgramGen {
+        ProgramGen {
+            parameterized: true,
+            ..ProgramGen::new(seed)
         }
     }
 
@@ -61,6 +80,9 @@ impl ProgramGen {
         let nodes = 2 + self.below(2) as usize;
         let mut src = String::new();
         src.push_str("packet_fields { tag }\n");
+        if self.parameterized {
+            src.push_str("parameters { PT }\n");
+        }
         src.push_str("topology {\n    nodes { ");
         for i in 0..nodes {
             if i > 0 {
@@ -93,7 +115,11 @@ impl ProgramGen {
         src.push_str("init { packet -> (N0, pt1); }\n");
 
         let last = nodes - 1;
-        let _ = writeln!(src, "query probability(hits@N{last} >= 1);");
+        if self.parameterized {
+            let _ = writeln!(src, "query probability(hits@N{last} >= PT);");
+        } else {
+            let _ = writeln!(src, "query probability(hits@N{last} >= 1);");
+        }
         let _ = writeln!(src, "query expectation(hits@N{last} + x0@N0);");
 
         for i in 0..last {
@@ -146,11 +172,21 @@ impl ProgramGen {
                 );
             }
             1 => {
-                let _ = writeln!(
-                    src,
-                    "    if {var} >= {} {{ fwd({right_port}); }} else {{ drop; }}",
-                    self.below(2)
-                );
+                // Sweep-ready programs sometimes gate the forward decision
+                // on the parameter itself: both arms end the packet visit,
+                // so the termination argument is unchanged.
+                if self.parameterized && self.below(3) == 0 {
+                    let _ = writeln!(
+                        src,
+                        "    if {var} >= PT {{ fwd({right_port}); }} else {{ drop; }}"
+                    );
+                } else {
+                    let _ = writeln!(
+                        src,
+                        "    if {var} >= {} {{ fwd({right_port}); }} else {{ drop; }}",
+                        self.below(2)
+                    );
+                }
             }
             _ => {
                 let _ = writeln!(src, "    fwd({right_port});");
@@ -226,6 +262,33 @@ mod tests {
             assert_eq!(
                 ProgramGen::new(seed).generate(),
                 ProgramGen::new(seed).generate()
+            );
+        }
+    }
+
+    #[test]
+    fn parameterized_programs_parse_and_declare_the_parameter() {
+        let mut gated = 0;
+        for seed in 0..50 {
+            let src = ProgramGen::new_parameterized(seed).generate();
+            parse(&src).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{src}"));
+            assert!(src.contains("parameters { PT }"), "seed {seed}:\n{src}");
+            assert!(src.contains(">= PT"), "seed {seed} never uses PT:\n{src}");
+            if src.contains("if x") && src.contains(">= PT {") {
+                gated += 1;
+            }
+        }
+        // Some seeds must gate a forward decision on PT (the prefix-fork
+        // case), not only the query threshold (the fully-shared case).
+        assert!(gated > 0, "no seed gated forwarding on PT");
+    }
+
+    #[test]
+    fn parameterized_generation_is_deterministic_per_seed() {
+        for seed in [0, 3, 11] {
+            assert_eq!(
+                ProgramGen::new_parameterized(seed).generate(),
+                ProgramGen::new_parameterized(seed).generate()
             );
         }
     }

@@ -8,6 +8,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use bayonet_lang::ast;
@@ -177,6 +178,55 @@ pub struct InitPacketSpec {
 
 /// A fully compiled, executable network model.
 ///
+/// Observes parameter-binding reads on behalf of the sweep engine.
+///
+/// A watch marks a subset of parameters as *watched*; whenever
+/// [`Model::binding`] is consulted for a watched parameter the sticky
+/// [`ParamWatch::hit`] flag trips. Exploration that never trips the watch
+/// is provably independent of the watched parameters' values, so it can be
+/// replayed verbatim across every point of a parameter grid. The flag is an
+/// atomic because the exact engine expands frontiers from multiple worker
+/// threads.
+#[derive(Debug, Default)]
+pub struct ParamWatch {
+    /// `mask[ParamId::index()]` — is this parameter watched?
+    mask: Vec<bool>,
+    /// Sticky flag: has any watched parameter been read?
+    hit: AtomicBool,
+}
+
+impl ParamWatch {
+    /// Creates a watch over `watched` out of `nparams` total parameters.
+    pub fn new(nparams: usize, watched: &[ParamId]) -> ParamWatch {
+        let mut mask = vec![false; nparams];
+        for id in watched {
+            mask[id.index()] = true;
+        }
+        ParamWatch {
+            mask,
+            hit: AtomicBool::new(false),
+        }
+    }
+
+    /// Records one binding read (called from [`Model::binding`]).
+    fn note_read(&self, id: ParamId) {
+        if self.mask.get(id.index()).copied().unwrap_or(false) {
+            self.hit.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Has any watched parameter been read since construction / the last
+    /// [`ParamWatch::reset`]?
+    pub fn hit(&self) -> bool {
+        self.hit.load(Ordering::Relaxed)
+    }
+
+    /// Clears the sticky flag.
+    pub fn reset(&self) {
+        self.hit.store(false, Ordering::Relaxed);
+    }
+}
+
 /// Cloning is cheap relative to compilation: node programs are shared
 /// behind [`Arc`], so a clone copies only the tables and bindings. The
 /// serve layer's batch endpoint relies on this to compile a shared source
@@ -208,6 +258,9 @@ pub struct Model {
     pub queries: Vec<CompiledQuery>,
     /// Per-handler-run step limit.
     pub local_step_limit: u64,
+    /// Optional observer of parameter-binding reads (see [`ParamWatch`]).
+    /// Shared across clones; cleared with [`Model::clear_param_watch`].
+    watch: Option<Arc<ParamWatch>>,
 }
 
 impl Model {
@@ -263,7 +316,24 @@ impl Model {
 
     /// The concrete binding of a parameter, if any.
     pub fn binding(&self, id: ParamId) -> Option<&Rat> {
+        if let Some(watch) = &self.watch {
+            watch.note_read(id);
+        }
         self.bindings[id.index()].as_ref()
+    }
+
+    /// Installs a [`ParamWatch`]: every subsequent [`Model::binding`] read
+    /// of a watched parameter trips the watch's flag. The sweep engine uses
+    /// this to find the longest exploration prefix that never depends on a
+    /// swept parameter.
+    pub fn set_param_watch(&mut self, watch: Arc<ParamWatch>) {
+        self.watch = Some(watch);
+    }
+
+    /// Removes any installed [`ParamWatch`]; binding reads are no longer
+    /// observed.
+    pub fn clear_param_watch(&mut self) {
+        self.watch = None;
     }
 
     /// Returns `true` if any declared parameter is unbound (symbolic).
@@ -400,6 +470,7 @@ pub fn compile(p: &Program) -> Result<Model, CompileError> {
         init_packets,
         queries,
         local_step_limit: DEFAULT_LOCAL_STEP_LIMIT,
+        watch: None,
     })
 }
 
@@ -692,6 +763,35 @@ mod tests {
             prog_a.body[2],
             CStmt::FieldAssign(0, CExpr::Const(Rat::zero()))
         );
+    }
+
+    #[test]
+    fn param_watch_trips_only_on_watched_reads() {
+        let mut model = compile(&parse(&two_node_src("drop;")).unwrap()).unwrap();
+        let id = model.params.lookup("COST").unwrap();
+        let watch = Arc::new(ParamWatch::new(model.params.len(), &[id]));
+        assert!(!watch.hit());
+
+        // Unwatched model: reads leave the (uninstalled) watch untouched.
+        let _ = model.binding(id);
+        assert!(!watch.hit());
+
+        model.set_param_watch(Arc::clone(&watch));
+        // Clones share the installed watch.
+        let clone = model.clone();
+        let _ = clone.binding(id);
+        assert!(watch.hit());
+        watch.reset();
+        assert!(!watch.hit());
+
+        // An empty watch never trips; clearing detaches the model.
+        let empty = Arc::new(ParamWatch::new(model.params.len(), &[]));
+        model.set_param_watch(Arc::clone(&empty));
+        let _ = model.binding(id);
+        assert!(!empty.hit());
+        model.clear_param_watch();
+        let _ = model.binding(id);
+        assert!(!watch.hit() && !empty.hit());
     }
 
     #[test]

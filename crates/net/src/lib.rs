@@ -58,7 +58,7 @@ mod value;
 
 pub use compile::{
     compile, CExpr, CStmt, CompileError, CompiledProgram, CompiledQuery, InitPacketSpec, Model,
-    QExpr, QueryKind, SchedKind, DEFAULT_LOCAL_STEP_LIMIT, DEFAULT_QUEUE_CAPACITY,
+    ParamWatch, QExpr, QueryKind, SchedKind, DEFAULT_LOCAL_STEP_LIMIT, DEFAULT_QUEUE_CAPACITY,
 };
 pub use config::{Action, GlobalConfig, NodeConfig};
 pub use deadline::{CancelHandle, Deadline};

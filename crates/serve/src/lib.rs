@@ -9,6 +9,10 @@
 //! * `POST /v1/batch` — many inference items in one request, streamed back
 //!   as NDJSON frames over chunked transfer encoding as they complete,
 //!   with parse/check/compile amortized across items sharing a source,
+//! * `POST /v1/sweep` — one program across a parameter grid, streamed back
+//!   as per-point NDJSON frames; the exact engine shares exploration work
+//!   across grid points (symbolic cells or a replayed prefix) while staying
+//!   bit-identical to pointwise runs,
 //! * `GET /healthz` — liveness probe,
 //! * `GET /metrics` — Prometheus text exposition.
 //!
@@ -70,4 +74,6 @@ pub use persist::{
 };
 pub use router::replica_entry;
 pub use server::{start, ServerConfig, ServerHandle, DEFAULT_MAX_CONNECTIONS};
-pub use service::{Service, ServiceOptions, DEFAULT_CACHE_ENTRIES, MAX_BATCH_ITEMS};
+pub use service::{
+    Service, ServiceOptions, DEFAULT_CACHE_ENTRIES, MAX_BATCH_ITEMS, MAX_SWEEP_POINTS,
+};

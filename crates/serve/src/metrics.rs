@@ -61,6 +61,16 @@ struct Inner {
     batch_item_errors: u64,
     batch_compiles: u64,
     batch_source_reuse: u64,
+    /// Sweep endpoint totals: sweeps handled per sharing route (`symbolic`,
+    /// `prefix`, `per_point`, or `cached` when every point came from the
+    /// result cache), grid points answered, points that produced an error
+    /// frame, points answered by reusing shared work instead of a full
+    /// exploration, and global steps of shared (run-once) exploration.
+    sweeps: BTreeMap<String, u64>,
+    sweep_points: u64,
+    sweep_point_errors: u64,
+    sweep_prefix_reuse: u64,
+    sweep_prefix_steps: u64,
     /// Cumulative exact-engine work across all requests.
     engine_steps: u64,
     engine_expansions: u64,
@@ -157,6 +167,28 @@ impl Metrics {
         inner.batch_item_errors += item_errors;
         inner.batch_compiles += compiles;
         inner.batch_source_reuse += source_reuse;
+    }
+
+    /// Folds one completed parameter sweep into the `bayonet_sweep_*`
+    /// totals: `points` answered via sharing route `route`, of which
+    /// `point_errors` produced error frames and `reused` were answered from
+    /// shared work (a fully-shared 16-point sweep reuses 15 — the first
+    /// point is charged with the shared exploration of `prefix_steps`
+    /// global steps).
+    pub fn record_sweep(
+        &self,
+        route: &str,
+        points: u64,
+        point_errors: u64,
+        reused: u64,
+        prefix_steps: u64,
+    ) {
+        let mut inner = self.inner.lock().expect("metrics mutex");
+        *inner.sweeps.entry(route.to_string()).or_insert(0) += 1;
+        inner.sweep_points += points;
+        inner.sweep_point_errors += point_errors;
+        inner.sweep_prefix_reuse += reused;
+        inner.sweep_prefix_steps += prefix_steps;
     }
 
     /// Folds one exact-engine run into the cumulative totals.
@@ -487,6 +519,51 @@ impl Metrics {
             inner.batch_source_reuse
         );
 
+        out.push_str(
+            "# HELP bayonet_sweep_requests_total Sweeps handled by /v1/sweep, per \
+             sharing route.\n",
+        );
+        out.push_str("# TYPE bayonet_sweep_requests_total counter\n");
+        for (route, count) in &inner.sweeps {
+            let _ = writeln!(
+                out,
+                "bayonet_sweep_requests_total{{route=\"{route}\"}} {count}"
+            );
+        }
+        out.push_str("# HELP bayonet_sweep_points_total Sweep grid points answered.\n");
+        out.push_str("# TYPE bayonet_sweep_points_total counter\n");
+        let _ = writeln!(out, "bayonet_sweep_points_total {}", inner.sweep_points);
+        out.push_str(
+            "# HELP bayonet_sweep_point_errors_total Sweep points that produced an \
+             error frame.\n",
+        );
+        out.push_str("# TYPE bayonet_sweep_point_errors_total counter\n");
+        let _ = writeln!(
+            out,
+            "bayonet_sweep_point_errors_total {}",
+            inner.sweep_point_errors
+        );
+        out.push_str(
+            "# HELP bayonet_sweep_prefix_reuse_total Sweep points answered by reusing \
+             shared exploration instead of a full independent run.\n",
+        );
+        out.push_str("# TYPE bayonet_sweep_prefix_reuse_total counter\n");
+        let _ = writeln!(
+            out,
+            "bayonet_sweep_prefix_reuse_total {}",
+            inner.sweep_prefix_reuse
+        );
+        out.push_str(
+            "# HELP bayonet_sweep_prefix_steps_total Global steps of shared (run-once) \
+             sweep exploration.\n",
+        );
+        out.push_str("# TYPE bayonet_sweep_prefix_steps_total counter\n");
+        let _ = writeln!(
+            out,
+            "bayonet_sweep_prefix_steps_total {}",
+            inner.sweep_prefix_steps
+        );
+
         out.push_str("# HELP bayonet_engine_steps_total Exact-engine global steps.\n");
         out.push_str("# TYPE bayonet_engine_steps_total counter\n");
         let _ = writeln!(out, "bayonet_engine_steps_total {}", inner.engine_steps);
@@ -651,6 +728,8 @@ mod tests {
         m.bind_persist(persist);
         m.queue_depth_add(2);
         m.record_batch(10, 2, 1, 9);
+        m.record_sweep("prefix", 16, 1, 15, 7);
+        m.record_sweep("symbolic", 4, 0, 3, 2);
         m.record_engine(&EngineStats {
             steps: 10,
             expansions: 100,
@@ -694,6 +773,12 @@ mod tests {
         assert!(text.contains("bayonet_batch_item_errors_total 2"));
         assert!(text.contains("bayonet_batch_compiles_total 1"));
         assert!(text.contains("bayonet_batch_source_reuse_total 9"));
+        assert!(text.contains("bayonet_sweep_requests_total{route=\"prefix\"} 1"));
+        assert!(text.contains("bayonet_sweep_requests_total{route=\"symbolic\"} 1"));
+        assert!(text.contains("bayonet_sweep_points_total 20"));
+        assert!(text.contains("bayonet_sweep_point_errors_total 1"));
+        assert!(text.contains("bayonet_sweep_prefix_reuse_total 18"));
+        assert!(text.contains("bayonet_sweep_prefix_steps_total 9"));
         assert!(text.contains("bayonet_engine_steps_total 10"));
         assert!(text.contains("bayonet_engine_peak_configs 7"));
         assert!(text.contains("bayonet_engine_steals_total 4"));

@@ -197,6 +197,9 @@ fn start_serve(config: ServerConfig) -> io::Result<ServerHandle> {
                     // NDJSON; a closed connection fails the writes, which
                     // is what cancels the remaining items.
                     let _ = service.handle_batch(&job.request, &mut job.out);
+                } else if job.request.method == "POST" && job.request.path == "/v1/sweep" {
+                    // Sweep grid points stream back the same way.
+                    let _ = service.handle_sweep(&job.request, &mut job.out);
                 } else {
                     let response = service.handle(&job.request);
                     let _ = response.write_to(&mut job.out);

@@ -28,7 +28,7 @@ use bayonet_approx::{rejection, smc, ApproxError, ApproxOptions, Estimate};
 use bayonet_exact::{
     analyze, answer_cached, plan_model, synthesize_result, ComputePool, EngineKind, ExactError,
     ExactOptions, FeasibilityCache, Objective, Plan, PlanDecision, PlanEngine, PlannerConfig,
-    QueryResult, SynthesisOptions,
+    QueryResult, SweepResult, SynthesisOptions,
 };
 use bayonet_lang::{check, parse, pretty_program, Program};
 use bayonet_net::{compile, scheduler_for, Deadline, Model, Scheduler};
@@ -47,6 +47,11 @@ pub const DEFAULT_CACHE_ENTRIES: usize = 128;
 /// one hostile or confused client from parking an unbounded amount of work
 /// behind a single connection; bigger workloads split into several batches.
 pub const MAX_BATCH_ITEMS: usize = 256;
+
+/// Largest accepted parameter-sweep grid (cartesian-product points) in a
+/// `/v1/sweep` request — the same resource argument as [`MAX_BATCH_ITEMS`],
+/// scaled up because grid points share one compile and most engine work.
+pub const MAX_SWEEP_POINTS: usize = 1024;
 
 /// Largest per-request `threads` value accepted before server-side
 /// clamping; anything above this is a client error rather than a hint.
@@ -204,7 +209,8 @@ impl Service {
                 }
             }
             ("POST", "/v1/batch") => self.batch_endpoint(req),
-            ("GET", "/v1/check" | "/v1/run" | "/v1/synthesize" | "/v1/batch")
+            ("POST", "/v1/sweep") => self.sweep_endpoint(req),
+            ("GET", "/v1/check" | "/v1/run" | "/v1/synthesize" | "/v1/batch" | "/v1/sweep")
             | ("POST", "/healthz" | "/metrics") => ApiError {
                 status: 405,
                 kind: "method_not_allowed",
@@ -650,7 +656,7 @@ impl Service {
             frames
                 .lock()
                 .expect("frames mutex")
-                .push((index, batch_frame(index, resp)));
+                .push((index, ndjson_frame(index, resp)));
         };
         let stats = self.run_batch(&batch, &deadline, &emit);
         self.record_batch_stats(&stats);
@@ -699,7 +705,7 @@ impl Service {
             if broken.load(Ordering::Relaxed) {
                 return;
             }
-            let frame = batch_frame(index, resp);
+            let frame = ndjson_frame(index, resp);
             let failed = writer
                 .lock()
                 .expect("chunk writer mutex")
@@ -952,6 +958,190 @@ impl Service {
         }
         Ok(response)
     }
+
+    /// The buffered `/v1/sweep` handler used by [`Service::handle`]: runs
+    /// the whole grid, then returns one NDJSON body with one frame per grid
+    /// point, in grid (row-major) order. The HTTP server streams the same
+    /// frames instead via [`Service::handle_sweep`]; this path serves
+    /// in-process callers (the CLI's `run --sweep`, tests).
+    fn sweep_endpoint(&self, req: &Request) -> Response {
+        let frames = match self.run_sweep(req) {
+            Ok(frames) => frames,
+            Err(e) => return e.into_response(),
+        };
+        let mut body = Vec::new();
+        for frame in frames {
+            body.extend_from_slice(&frame);
+        }
+        Response {
+            status: 200,
+            headers: Vec::new(),
+            content_type: "application/x-ndjson",
+            body,
+        }
+    }
+
+    /// The streaming `/v1/sweep` handler: validates the request, runs the
+    /// sweep (sharing work across grid points), then writes per-point
+    /// NDJSON frames to `stream` as chunked transfer encoding. Validation
+    /// errors are written as an ordinary buffered error response — no chunk
+    /// is emitted before the sweep is known to be well-formed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors, including the client disconnecting
+    /// mid-stream.
+    pub fn handle_sweep<W: Write + Send>(&self, req: &Request, stream: &mut W) -> io::Result<()> {
+        let started = Instant::now();
+        match self.run_sweep(req) {
+            Err(e) => {
+                let resp = e.into_response();
+                self.metrics
+                    .record_request("/v1/sweep", resp.status, started.elapsed());
+                resp.write_to(stream)
+            }
+            Ok(frames) => {
+                self.metrics
+                    .record_request("/v1/sweep", 200, started.elapsed());
+                let mut writer = ChunkedWriter::begin(stream, 200, "application/x-ndjson")?;
+                for frame in &frames {
+                    writer.chunk(frame)?;
+                }
+                writer.finish()
+            }
+        }
+    }
+
+    /// Validates and runs one `/v1/sweep` request to its per-point NDJSON
+    /// frames (frame `index` = row-major grid index). The program compiles
+    /// once; the exact sweep engine then shares work across grid points —
+    /// symbolically (piecewise cells answer every point), via a replayed
+    /// exploration prefix, or not at all when nothing is shareable — while
+    /// staying bit-identical to independent pointwise runs.
+    fn run_sweep(&self, req: &Request) -> Result<Vec<Vec<u8>>, ApiError> {
+        let sreq = SweepRequest::from_http(req)?;
+        let program = parse(&sreq.source).map_err(|e| ApiError {
+            status: 422,
+            kind: "parse_error",
+            message: e.to_string(),
+            field: None,
+        })?;
+        let canonical = pretty_program(&program);
+        let mut model = check_and_compile(&program)?;
+        apply_bindings(&mut model, &sreq.bindings)?;
+
+        // Resolve swept names against the declared parameter table before
+        // any engine work; a typo'd name is a structured 400, not 16
+        // identical per-point errors.
+        let mut param_ids = Vec::with_capacity(sreq.sweep.len());
+        for (name, _) in &sreq.sweep {
+            let id = model
+                .params
+                .iter()
+                .find(|id| model.params.name(*id) == name.as_str())
+                .ok_or_else(|| ApiError {
+                    status: 400,
+                    kind: "bad_request",
+                    message: format!(
+                        "unknown swept parameter `{name}` (not declared in `parameters {{ ... }}`)"
+                    ),
+                    field: Some(format!("sweep.{name}")),
+                })?;
+            param_ids.push(id);
+        }
+        let points = sreq.points();
+
+        // Per-point cache probe: every point of an all-hit sweep is served
+        // from cache with no engine work. A partial hit reruns the whole
+        // grid — shared exploration makes skipping individual points a
+        // wash — and refreshes every entry.
+        let keys: Vec<u64> = points
+            .iter()
+            .map(|p| sreq.point_key(&canonical, p))
+            .collect();
+        {
+            let mut cache = self.cache.lock().expect("cache mutex");
+            let hits: Vec<Response> = keys.iter().filter_map(|k| cache.get(k).cloned()).collect();
+            if hits.len() == keys.len() {
+                drop(cache);
+                self.metrics.record_cache(true);
+                self.metrics
+                    .record_sweep("cached", points.len() as u64, 0, 0, 0);
+                return Ok(hits
+                    .iter()
+                    .enumerate()
+                    .map(|(i, resp)| ndjson_frame(i, resp))
+                    .collect());
+            }
+        }
+        self.metrics.record_cache(false);
+
+        let requested = sreq.threads.unwrap_or(1);
+        let threads = match &self.pool {
+            Some(pool) => requested.min(pool.capacity()),
+            None => 1,
+        };
+        let deadline = match sreq.timeout_ms {
+            Some(ms) => Deadline::after(Duration::from_millis(ms)),
+            None => Deadline::unlimited(),
+        };
+        let feas = Arc::new(FeasibilityCache::new());
+        let mut opts = ExactOptions {
+            deadline,
+            threads,
+            pool: self.pool.clone(),
+            ..ExactOptions::default()
+        };
+        opts.engine = match sreq.engine {
+            Engine::Bdd => EngineKind::Bdd,
+            Engine::Auto => EngineKind::Auto,
+            _ => EngineKind::Enum,
+        };
+        opts.feasibility_cache = Some(Arc::clone(&feas));
+
+        let result =
+            bayonet_exact::sweep(&model, &param_ids, &points, &opts).map_err(exact_error)?;
+        self.metrics.record_engine(&result.prefix_stats);
+        let mut frames = Vec::with_capacity(points.len());
+        let mut point_errors = 0u64;
+        for (i, (point, outcome)) in points.iter().zip(&result.points).enumerate() {
+            let resp = match outcome {
+                Ok(p) => {
+                    // Per-point stats cover only this point's continuation;
+                    // the shared prefix was folded in once above, so the
+                    // exported expansion totals reflect the actual saving.
+                    self.metrics.record_engine(&p.stats);
+                    sweep_point_response(&result, &sreq.sweep, point, p)
+                }
+                Err(e) => {
+                    point_errors += 1;
+                    exact_error_ref(e).into_response()
+                }
+            };
+            if resp.status == 200 {
+                let evictions = {
+                    let mut cache = self.cache.lock().expect("cache mutex");
+                    cache.insert(keys[i], resp.clone());
+                    cache.evictions()
+                };
+                self.metrics.set_cache_evictions(evictions);
+                if let Some(store) = &self.persist {
+                    store.append(keys[i], resp.body.clone());
+                }
+            }
+            frames.push(ndjson_frame(i, &resp));
+        }
+        let (feas_hits, feas_misses) = feas.counts();
+        self.metrics.record_feasibility(feas_hits, feas_misses);
+        self.metrics.record_sweep(
+            result.route.name(),
+            points.len() as u64,
+            point_errors,
+            result.reused_points() as u64,
+            result.shared_steps,
+        );
+        Ok(frames)
+    }
 }
 
 /// One item's source string: its own `source` field if set, else the
@@ -960,16 +1150,343 @@ fn item_source<'a>(item: &'a Json, shared: Option<&'a str>) -> Option<&'a str> {
     item.get("source").and_then(Json::as_str).or(shared)
 }
 
-/// Renders one NDJSON batch frame: `{"index":N,"status":S,"body":...}\n`
-/// with the item's `/v1/run` response body spliced in verbatim, so each
-/// frame's `body` is byte-identical to the equivalent single call.
-fn batch_frame(index: usize, resp: &Response) -> Vec<u8> {
+/// Renders one NDJSON frame: `{"index":N,"status":S,"body":...}\n` with the
+/// response body spliced in verbatim. This is the single framing used by
+/// *both* streaming endpoints — `/v1/batch` items and `/v1/sweep` grid
+/// points — so each frame's `body` is byte-identical to the equivalent
+/// standalone response and clients decode one shape.
+fn ndjson_frame(index: usize, resp: &Response) -> Vec<u8> {
     let mut frame = Vec::with_capacity(resp.body.len() + 48);
     frame.extend_from_slice(format!("{{\"index\":{index},\"status\":{}", resp.status).as_bytes());
     frame.extend_from_slice(b",\"body\":");
     frame.extend_from_slice(&resp.body);
     frame.extend_from_slice(b"}\n");
     frame
+}
+
+/// One grid point's response body: the `/v1/run` shape plus the point's
+/// swept bindings and the sharing route, minus the `stats` object (per-point
+/// statistics are not meaningful under shared exploration — see
+/// `bayonet_exact::SweepResult`). The `text` field is the `bayonet run`
+/// stdout for this point minus its stats bracket.
+fn sweep_point_response(
+    sweep: &SweepResult,
+    grid: &[(String, Vec<Rat>)],
+    point: &[Rat],
+    result: &bayonet_exact::SweepPointResult,
+) -> Response {
+    let mut text = String::new();
+    for r in &result.results {
+        let _ = write!(text, "{r}");
+    }
+    let _ = writeln!(
+        text,
+        "Z = {} (discarded by observations: {})",
+        result.z, result.discarded
+    );
+    let point_obj: Vec<(String, Json)> = grid
+        .iter()
+        .zip(point)
+        .map(|((name, _), value)| (name.clone(), Json::Str(value.to_string())))
+        .collect();
+    let engine = match sweep.engine {
+        EngineKind::Bdd => "bdd",
+        _ => "exact",
+    };
+    Response::json(
+        200,
+        Json::obj(vec![
+            ("ok", Json::Bool(true)),
+            ("engine", Json::Str(engine.into())),
+            ("route", Json::Str(sweep.route.name().into())),
+            ("point", Json::Obj(point_obj)),
+            (
+                "results",
+                Json::Arr(result.results.iter().map(query_result_json).collect()),
+            ),
+            ("z", Json::Str(result.z.to_string())),
+            ("discarded", Json::Str(result.discarded.to_string())),
+            ("text", Json::Str(text)),
+        ])
+        .to_string(),
+    )
+}
+
+/// The decoded body of a `/v1/sweep` request.
+struct SweepRequest {
+    source: String,
+    /// Exact backends only (`exact`/`enum`, `bdd`, or `auto` resolved by
+    /// the sweep engine); sampling engines cannot share work across points.
+    engine: Engine,
+    /// Fixed (non-swept) parameter bindings, sorted by name.
+    bindings: Vec<(String, Rat)>,
+    /// Swept parameters with their value lists, sorted by name. The grid is
+    /// their cartesian product, row-major in this order: the last-sorted
+    /// parameter varies fastest, and frame `index` follows this order.
+    sweep: Vec<(String, Vec<Rat>)>,
+    timeout_ms: Option<u64>,
+    threads: Option<usize>,
+}
+
+impl SweepRequest {
+    fn from_http(req: &Request) -> Result<SweepRequest, ApiError> {
+        let bad = |message: String, field: Option<String>| ApiError {
+            status: 400,
+            kind: "bad_request",
+            message,
+            field,
+        };
+        let body = req.body_str().map_err(|e| bad(e.to_string(), None))?;
+        let doc = json::parse(body).map_err(|e| bad(e.to_string(), None))?;
+        let Some(pairs) = doc.as_obj() else {
+            return Err(bad("request body must be a JSON object".into(), None));
+        };
+
+        let known = [
+            "source",
+            "program",
+            "sweep",
+            "engine",
+            "bindings",
+            "timeout_ms",
+            "threads",
+        ];
+        for (key, _) in pairs {
+            if !known.contains(&key.as_str()) {
+                return Err(bad(
+                    format!(
+                        "unknown sweep field `{key}` (known fields: {})",
+                        known.join(", ")
+                    ),
+                    Some(key.clone()),
+                ));
+            }
+        }
+
+        // `program` is accepted as an alias for `source` (a grid file pairs
+        // naturally with a program file); setting both is ambiguous.
+        let source_field = doc.get("source").filter(|v| !matches!(v, Json::Null));
+        let program_field = doc.get("program").filter(|v| !matches!(v, Json::Null));
+        if source_field.is_some() && program_field.is_some() {
+            return Err(bad(
+                "`program` conflicts with `source`; set exactly one".into(),
+                Some("program".into()),
+            ));
+        }
+        let source = match source_field.or(program_field) {
+            Some(Json::Str(s)) => s.clone(),
+            Some(_) => {
+                return Err(bad(
+                    "`source` must be a string".into(),
+                    Some("source".into()),
+                ))
+            }
+            None => {
+                return Err(bad(
+                    "missing required string field `source`".into(),
+                    Some("source".into()),
+                ))
+            }
+        };
+
+        let engine = match doc.get("engine").map(|e| (e, e.as_str())) {
+            None => Engine::Exact,
+            Some((_, Some("exact" | "enum"))) => Engine::Exact,
+            Some((_, Some("bdd"))) => Engine::Bdd,
+            Some((_, Some("auto"))) => Engine::Auto,
+            Some((_, Some("smc" | "rejection"))) => {
+                return Err(bad(
+                    "sweeps are exact-only (known engines: exact, enum, bdd, auto); \
+                     sampling engines cannot share work across grid points"
+                        .into(),
+                    Some("engine".into()),
+                ))
+            }
+            Some((v, _)) => {
+                return Err(bad(
+                    format!("unknown engine {v} (known engines: exact, enum, bdd, auto)"),
+                    Some("engine".into()),
+                ))
+            }
+        };
+
+        let mut bindings = Vec::new();
+        match doc.get("bindings") {
+            None | Some(Json::Null) => {}
+            Some(Json::Obj(pairs)) => {
+                for (name, value) in pairs {
+                    let rat = rat_from_json(value).ok_or_else(|| {
+                        bad(
+                            format!(
+                                "binding `{name}` must be an integer or a rational string \
+                                 like \"1/2\""
+                            ),
+                            Some(format!("bindings.{name}")),
+                        )
+                    })?;
+                    bindings.push((name.clone(), rat));
+                }
+            }
+            Some(_) => {
+                return Err(bad(
+                    "`bindings` must be an object".into(),
+                    Some("bindings".into()),
+                ))
+            }
+        }
+        bindings.sort_by(|a, b| a.0.cmp(&b.0));
+
+        let mut sweep: Vec<(String, Vec<Rat>)> = Vec::new();
+        match doc.get("sweep") {
+            None | Some(Json::Null) => {
+                return Err(bad(
+                    "missing required object field `sweep`".into(),
+                    Some("sweep".into()),
+                ))
+            }
+            Some(Json::Obj(grid)) => {
+                if grid.is_empty() {
+                    return Err(bad(
+                        "`sweep` must name at least one parameter".into(),
+                        Some("sweep".into()),
+                    ));
+                }
+                for (name, values) in grid {
+                    let field = format!("sweep.{name}");
+                    let Some(arr) = values.as_arr() else {
+                        return Err(bad(
+                            format!("`{field}` must be an array of values"),
+                            Some(field),
+                        ));
+                    };
+                    if arr.is_empty() {
+                        return Err(bad(
+                            format!("`{field}` must contain at least one value"),
+                            Some(field),
+                        ));
+                    }
+                    if sweep.iter().any(|(n, _)| n == name) {
+                        return Err(bad(
+                            format!("parameter `{name}` appears twice in `sweep`"),
+                            Some(field),
+                        ));
+                    }
+                    let mut vals = Vec::with_capacity(arr.len());
+                    for v in arr {
+                        vals.push(rat_from_json(v).ok_or_else(|| {
+                            bad(
+                                format!(
+                                    "values in `{field}` must be integers or rational \
+                                     strings like \"1/2\""
+                                ),
+                                Some(field.clone()),
+                            )
+                        })?);
+                    }
+                    sweep.push((name.clone(), vals));
+                }
+            }
+            Some(_) => {
+                return Err(bad(
+                    "`sweep` must be an object mapping parameter names to value arrays".into(),
+                    Some("sweep".into()),
+                ))
+            }
+        }
+        sweep.sort_by(|a, b| a.0.cmp(&b.0));
+        for (name, _) in &sweep {
+            if bindings.iter().any(|(b, _)| b == name) {
+                return Err(bad(
+                    format!("parameter `{name}` is set in both `bindings` and `sweep`"),
+                    Some(format!("sweep.{name}")),
+                ));
+            }
+        }
+        let total = sweep
+            .iter()
+            .fold(1usize, |acc, (_, v)| acc.saturating_mul(v.len()));
+        if total > MAX_SWEEP_POINTS {
+            return Err(bad(
+                format!("sweep grid has {total} points; the maximum is {MAX_SWEEP_POINTS}"),
+                Some("sweep".into()),
+            ));
+        }
+
+        let bounded = |name: &'static str, lo: u64, hi: u64| -> Result<Option<u64>, ApiError> {
+            match doc.get(name) {
+                None | Some(Json::Null) => Ok(None),
+                Some(v) => match v.as_u64() {
+                    Some(n) if (lo..=hi).contains(&n) => Ok(Some(n)),
+                    Some(n) => Err(bad(
+                        format!("`{name}` must be between {lo} and {hi}, got {n}"),
+                        Some(name.to_string()),
+                    )),
+                    None => Err(bad(
+                        format!("`{name}` must be a nonnegative integer"),
+                        Some(name.to_string()),
+                    )),
+                },
+            }
+        };
+        let timeout_ms = bounded("timeout_ms", 1, MAX_TIMEOUT_MS)?;
+        let threads = bounded("threads", 1, MAX_REQUEST_THREADS)?.map(|v| v as usize);
+
+        Ok(SweepRequest {
+            source,
+            engine,
+            bindings,
+            sweep,
+            timeout_ms,
+            threads,
+        })
+    }
+
+    /// The full grid: cartesian product of the per-parameter value lists,
+    /// row-major over the name-sorted parameter order.
+    fn points(&self) -> Vec<Vec<Rat>> {
+        let mut points: Vec<Vec<Rat>> = vec![Vec::new()];
+        for (_, values) in &self.sweep {
+            let mut next = Vec::with_capacity(points.len() * values.len());
+            for prefix in &points {
+                for v in values {
+                    let mut row = prefix.clone();
+                    row.push(v.clone());
+                    next.push(row);
+                }
+            }
+            points = next;
+        }
+        points
+    }
+
+    /// Cache key for one grid point's response body. Sweep bodies carry
+    /// extra fields (`point`, `route`) and omit `stats`, so they live under
+    /// sweep-specific keys rather than sharing `/v1/run` entries.
+    fn point_key(&self, canonical_program: &str, point: &[Rat]) -> u64 {
+        let mut h = DefaultHasher::new();
+        "/v1/sweep".hash(&mut h);
+        canonical_program.hash(&mut h);
+        self.engine.name().hash(&mut h);
+        for (name, value) in &self.bindings {
+            name.hash(&mut h);
+            value.to_string().hash(&mut h);
+        }
+        for ((name, _), value) in self.sweep.iter().zip(point) {
+            name.hash(&mut h);
+            value.to_string().hash(&mut h);
+        }
+        h.finish()
+    }
+}
+
+/// Decodes one parameter value: a JSON integer or a rational string like
+/// `"1/2"` — the same forms `bindings` accepts.
+fn rat_from_json(value: &Json) -> Option<Rat> {
+    match value {
+        Json::Str(s) => s.parse::<Rat>().ok(),
+        Json::Num(n) if n.fract() == 0.0 && n.abs() < 9e15 => Some(Rat::ratio(*n as i64, 1)),
+        _ => None,
+    }
 }
 
 /// One distinct source's shared parse → check → compile outcome.
@@ -1132,6 +1649,7 @@ fn normalize_endpoint(path: &str) -> &'static str {
         "/v1/run" => "/v1/run",
         "/v1/synthesize" => "/v1/synthesize",
         "/v1/batch" => "/v1/batch",
+        "/v1/sweep" => "/v1/sweep",
         _ => "other",
     }
 }
@@ -1261,6 +1779,12 @@ fn infeasible_response(plan: &Plan, needed_ns: u64) -> Response {
 }
 
 fn exact_error(e: ExactError) -> ApiError {
+    exact_error_ref(&e)
+}
+
+/// By-reference variant for per-point sweep errors, which stay owned by the
+/// [`bayonet_exact::SweepResult`].
+fn exact_error_ref(e: &ExactError) -> ApiError {
     match e {
         ExactError::Interrupted { .. } => ApiError {
             status: 504,
@@ -1600,6 +2124,19 @@ mod tests {
 
     fn body_json(resp: &Response) -> Json {
         json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap()
+    }
+
+    /// Pins the one NDJSON framing shared by `/v1/batch` items and
+    /// `/v1/sweep` grid points: `{"index":N,"status":S,"body":...}\n` with
+    /// the response body spliced in verbatim.
+    #[test]
+    fn ndjson_frame_encoding_is_pinned() {
+        let resp = Response::json(207, r#"{"ok":true}"#);
+        assert_eq!(
+            ndjson_frame(3, &resp),
+            br#"{"index":3,"status":207,"body":{"ok":true}}
+"#
+        );
     }
 
     #[test]

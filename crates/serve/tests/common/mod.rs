@@ -26,6 +26,21 @@ pub const TINY: &str = r#"
     def recv(pkt, pt) state got(0) { got = 1; drop; }
 "#;
 
+/// [`TINY`] with the receive probability lifted into a parameter `P` read
+/// by the *receiver*: the sender's exploration steps never consult `P`, so
+/// a parameter sweep over `P` shares them as a prefix and forks only at
+/// the receiver. Answer: P/3 for any bound P.
+pub const TINY_PARAM: &str = r#"
+    packet_fields { dst }
+    parameters { P }
+    topology { nodes { A, B } links { (A, pt1) <-> (B, pt1) } }
+    programs { A -> send, B -> recv }
+    init { packet -> (A, pt1); }
+    query probability(got@B == 1);
+    def send(pkt, pt) { if flip(1/3) { fwd(1); } else { drop; } }
+    def recv(pkt, pt) state got(0) { if flip(P) { got = 1; } drop; }
+"#;
+
 /// Gossip on K4 (examples/bay/gossip_k4.bay): heavy enough that a 1 ms
 /// deadline reliably expires mid-exploration and the work-stealing
 /// expander engages.
