@@ -113,6 +113,11 @@ fn workloads(quick: bool) -> Vec<Workload> {
         },
         curated("gossip_k4", "gossip_k4.bay"),
         curated("ttl_triangle", "ttl_triangle.bay"),
+        Workload {
+            bindings: vec![("P_LOSS", Rat::ratio(1, 4))],
+            ..curated("fattree_k4", "fattree_k4.bay")
+        },
+        curated("firewall_nat", "firewall_nat.bay"),
     ];
     if !quick {
         ws.push(Workload {
@@ -411,6 +416,81 @@ fn bench_sweep(trials: usize) -> Json {
     ])
 }
 
+/// The optimization-pass workload: `gossip_k4.bay` enumerated twice from
+/// the same compiled model — once with the pass pipeline disabled and once
+/// with it on (symmetry canonicalization merges the three interchangeable
+/// peers' frontier states; the group has order 6). The rendered answers
+/// plus Z/discarded digests are asserted identical every trial, so
+/// `opt_speedup` compares bit-identical posteriors.
+fn bench_opt(trials: usize) -> Json {
+    let w = curated("gossip_k4_noopt_vs_opt", "gossip_k4.bay");
+    let network = Network::from_source(&w.source).expect("compile");
+    let timed_pass = |passes: bool| -> (u64, u64) {
+        let opts = ExactOptions {
+            engine: EngineKind::Enum,
+            passes,
+            ..ExactOptions::default()
+        };
+        let start = Instant::now();
+        let analysis = analyze(network.model(), network.scheduler(), &opts).expect("analyze");
+        let ns = start.elapsed().as_nanos() as u64;
+        let mut d = 0u64;
+        for q in network.queries() {
+            let r = answer(network.model(), &analysis, q, opts.fm_pruning).expect("answer");
+            d = fnv1a(d, &r.to_string());
+        }
+        d = fnv1a(
+            d,
+            &format!(
+                "Z={} D={}",
+                analysis.total_terminal_mass(),
+                analysis.total_discarded_mass()
+            ),
+        );
+        (ns, d)
+    };
+
+    let mut noopt_runs = Vec::new();
+    let mut opt_runs = Vec::new();
+    let mut digest = 0u64;
+    for trial in 0..trials {
+        let (noopt_ns, noopt_digest) = timed_pass(false);
+        let (opt_ns, opt_digest) = timed_pass(true);
+        assert_eq!(
+            noopt_digest, opt_digest,
+            "gossip_k4_noopt_vs_opt: optimized posterior diverges"
+        );
+        noopt_runs.push(noopt_ns);
+        opt_runs.push(opt_ns);
+        if trial == 0 {
+            digest = opt_digest;
+        } else {
+            assert_eq!(
+                digest, opt_digest,
+                "gossip_k4_noopt_vs_opt: non-deterministic answers across trials"
+            );
+        }
+    }
+
+    let noopt_med = median(noopt_runs);
+    let opt_med = median(opt_runs);
+    Json::obj(vec![
+        ("name", Json::Str("gossip_k4_noopt_vs_opt".to_string())),
+        (
+            "phases",
+            Json::obj(vec![
+                ("noopt_enumerate_ns", num(noopt_med)),
+                ("opt_enumerate_ns", num(opt_med)),
+            ]),
+        ),
+        ("answer_digest", Json::Str(format!("{digest:016x}"))),
+        (
+            "opt_speedup",
+            Json::Num((noopt_med as f64 / opt_med.max(1) as f64 * 1000.0).round() / 1000.0),
+        ),
+    ])
+}
+
 fn machine_info() -> Json {
     let cpus = std::thread::available_parallelism()
         .map(|n| n.get() as u64)
@@ -515,6 +595,8 @@ fn main() {
     }
     eprintln!("regress: gossip_k4_sweep16 ({trials} trials)...");
     rows.push(bench_sweep(trials));
+    eprintln!("regress: gossip_k4_noopt_vs_opt ({trials} trials)...");
+    rows.push(bench_opt(trials));
 
     let mut report_pairs = vec![
         ("schema", Json::Str("bayonet-regress-v1".to_string())),
@@ -582,6 +664,8 @@ fn check_against(current: &Json, baseline: &Json) -> bool {
                 "bdd_enumerate_ns",
                 "sweep_ns",
                 "pointwise_ns",
+                "noopt_enumerate_ns",
+                "opt_enumerate_ns",
             ] {
                 let (Some(now), Some(before)) =
                     (phase(current, name, key), phase(baseline, name, key))

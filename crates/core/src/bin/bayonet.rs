@@ -7,6 +7,7 @@
 //!                        [--particles N] [--seed N] [--threads N]
 //!                        [--scheduler uniform|det|rotor]
 //!                        [--bind NAME=VALUE]... [--stats] [--explain-plan]
+//!                        [--no-opt] [--explain-passes]
 //! bayonet run <batch.json> --batch [--threads N]
 //! bayonet run <file.bay> --sweep <grid.json> [--engine auto|exact|enum|bdd]
 //!                        [--bind NAME=VALUE]... [--threads N]
@@ -48,6 +49,8 @@ fn usage() -> String {
      run options: --engine auto|exact|enum|bdd|smc|rejection|psi|simulate  --particles N\n\
                   --seed N  --scheduler uniform|det|rotor  --bind NAME=VALUE  --threads N\n\
                   --stats  --explain-plan (print the planner's routing and cost estimate)\n\
+                  --no-opt (skip the model-optimization pass pipeline)\n\
+                  --explain-passes (print what each optimization pass did)\n\
                   --batch (file is a /v1/batch JSON request; NDJSON frames to stdout)\n\
                   --sweep GRID.json (sweep parameters over a value grid; one NDJSON\n\
                                      frame per grid point, sharing exploration work)\n\
@@ -69,6 +72,8 @@ const RUN_FLAGS: &[(&str, bool)] = &[
     ("--threads", true),
     ("--stats", false),
     ("--explain-plan", false),
+    ("--no-opt", false),
+    ("--explain-passes", false),
     ("--batch", false),
     ("--sweep", true),
 ];
@@ -227,16 +232,31 @@ fn check(source: &str) -> Result<(), String> {
 }
 
 fn run_queries(source: &str, rest: &[String]) -> Result<(), String> {
-    let network = load(source, rest)?;
+    let mut network = load(source, rest)?;
     let engine_flag = flag_value(rest, "--engine").unwrap_or("exact");
     let want_stats = has_flag(rest, "--stats");
+    let passes = !has_flag(rest, "--no-opt");
+    let explain_passes = has_flag(rest, "--explain-passes");
+    if explain_passes && !passes {
+        return Err("--explain-passes cannot be combined with --no-opt".into());
+    }
     let started = Instant::now();
 
     // `--engine auto` consults the static cost model; `--explain-plan`
     // prints the same estimate for any engine (diagnostics go to stderr so
-    // posterior output stays diffable).
-    let plan = (engine_flag == "auto" || has_flag(rest, "--explain-plan"))
-        .then(|| plan_model(network.model(), &PlannerConfig::default(), None));
+    // posterior output stays diffable). Planning reads the optimized
+    // model's cached pass facts and symmetry signals.
+    let plan = (engine_flag == "auto" || has_flag(rest, "--explain-plan")).then(|| {
+        if passes {
+            plan_model(
+                &bayonet::opt::optimize(network.model()),
+                &PlannerConfig::default(),
+                None,
+            )
+        } else {
+            plan_model(network.model(), &PlannerConfig::default(), None)
+        }
+    });
     if has_flag(rest, "--explain-plan") {
         eprintln!("{}", plan.as_ref().expect("plan computed above").explain());
     }
@@ -294,10 +314,27 @@ fn run_queries(source: &str, rest: &[String]) -> Result<(), String> {
         ));
     }
 
+    // The exact family runs the optimized model; sampling/psi engines run
+    // the original (pass rewrites change the draw sequence for a fixed
+    // seed), so for them `--explain-passes` reports on a throwaway copy.
+    let exact_family = matches!(engine, "exact" | "enum" | "bdd");
+    let pass_report = (passes && exact_family).then(|| network.optimize().clone());
+    if explain_passes {
+        match &pass_report {
+            Some(report) => eprint!("{}", report.explain(&network.model().node_names)),
+            None => {
+                let optimized = bayonet::opt::optimize(network.model());
+                let info = optimized.opt_info().expect("optimize attaches a report");
+                eprint!("{}", info.report.explain(&optimized.node_names));
+            }
+        }
+    }
+
     match engine {
         "exact" | "enum" | "bdd" => {
             let opts = ExactOptions {
                 threads,
+                passes,
                 engine: if engine == "bdd" {
                     EngineKind::Bdd
                 } else {
@@ -337,6 +374,17 @@ fn run_queries(source: &str, rest: &[String]) -> Result<(), String> {
                         report.stats.bdd_nodes,
                         report.stats.bdd_unique_hits,
                         report.stats.bdd_apply_cache_hits
+                    );
+                }
+                if let Some(pr) = &pass_report {
+                    eprintln!(
+                        "stats: opt {} pass runs, {} flips eliminated, {} guards folded, \
+                         group order {}, {} orbit merges",
+                        pr.pass_runs,
+                        pr.flips_eliminated,
+                        pr.guards_folded,
+                        pr.group_order,
+                        report.stats.orbit_merges
                     );
                 }
             }
@@ -395,6 +443,8 @@ fn run_batch_cmd(source: &str, rest: &[String]) -> Result<(), String> {
         "--bind",
         "--stats",
         "--explain-plan",
+        "--no-opt",
+        "--explain-passes",
     ] {
         if has_flag(rest, flag) {
             return Err(format!(
@@ -455,6 +505,7 @@ fn run_sweep_cmd(source: &str, grid_file: &str, rest: &[String]) -> Result<(), S
         "--scheduler",
         "--stats",
         "--explain-plan",
+        "--explain-passes",
     ] {
         if has_flag(rest, flag) {
             return Err(format!("{flag} cannot be combined with --sweep"));
@@ -479,6 +530,9 @@ fn run_sweep_cmd(source: &str, grid_file: &str, rest: &[String]) -> Result<(), S
     ];
     if let Some(engine) = flag_value(rest, "--engine") {
         fields.push(("engine", bayonet_serve::Json::Str(engine.to_string())));
+    }
+    if has_flag(rest, "--no-opt") {
+        fields.push(("passes", bayonet_serve::Json::Bool(false)));
     }
     // --bind NAME=VALUE (repeatable) become the fixed (non-swept) bindings.
     let mut bindings = Vec::new();

@@ -72,6 +72,8 @@ pub use bayonet_exact::{
     Plan, PlanDecision, PlanEngine, PlanSignals, PlannerConfig, PoolStats, QueryResult,
 };
 pub use bayonet_lang::{check, parse, pretty_program};
+pub use bayonet_net::opt;
+pub use bayonet_net::opt::{OptInfo, OptReport, PassConfig};
 pub use bayonet_net::{
     scheduler_for, DeterministicScheduler, Model, QueryKind, RotorScheduler, Scheduler,
     UniformScheduler, WeightedScheduler,

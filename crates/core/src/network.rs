@@ -107,6 +107,23 @@ impl Network {
         self.scheduler = scheduler;
     }
 
+    /// Runs the model-optimization pass pipeline in place and returns the
+    /// pass report. Idempotent: once optimized, later calls return the
+    /// cached report without re-running the passes. The exact engines also
+    /// optimize on entry (unless [`ExactOptions::passes`] is off); calling
+    /// this first simply makes the report inspectable — e.g. for the CLI's
+    /// `--explain-passes` — and lets one optimized model serve many runs.
+    pub fn optimize(&mut self) -> &bayonet_net::opt::OptReport {
+        if self.model.opt_info().is_none() {
+            self.model = bayonet_net::opt::optimize(&self.model);
+        }
+        &self
+            .model
+            .opt_info()
+            .expect("optimize attaches opt_info")
+            .report
+    }
+
     /// Binds a symbolic parameter to a concrete value.
     ///
     /// # Errors

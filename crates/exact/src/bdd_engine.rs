@@ -55,6 +55,7 @@ use bayonet_bdd::{FastMap, NodeRef, Store, BLOCK_BITS};
 use bayonet_num::Rat;
 use bayonet_symbolic::{FeasibilityCache, Guard};
 
+use bayonet_net::opt::SymmetryGroup;
 use bayonet_net::{
     initial_config, run_handler, Action, GlobalConfig, HandlerOutcome, Model, NodeConfig, Packet,
     Scheduler, SemanticsError, Val,
@@ -481,6 +482,79 @@ fn route(
     }
 }
 
+/// Symmetry-aware routing: with a non-trivial automorphism group, every
+/// represented configuration is replaced by its orbit representative before
+/// it reaches the next frontier or the terminal accumulator, exactly as the
+/// enumeration engine does — so `steps`/`expansions`/`peak_configs`/
+/// `terminal_configs` stay pinned equal across backends. Canonicalization
+/// permutes whole paths across node blocks, which a block-local transform
+/// cannot express, so the piece is decoded, canonicalized per path, and
+/// re-encoded (orbit-equal paths then merge in the canonical diagram).
+/// Without a group this delegates to [`route`] untouched.
+#[allow(clippy::too_many_arguments)]
+fn canon_route(
+    store: &mut Store,
+    ctx: &mut Ctx<'_>,
+    stats: &mut EngineStats,
+    sym: Option<&SymmetryGroup>,
+    next: &mut HashMap<GroupKey, Vec<NodeRef>>,
+    terminal: &mut HashMap<(u32, Guard), Vec<NodeRef>>,
+    sched_state: u32,
+    guard: Guard,
+    flags: Vec<(bool, bool)>,
+    has_error: bool,
+    diagram: NodeRef,
+) {
+    let Some(group) = sym else {
+        route(
+            store,
+            stats,
+            next,
+            terminal,
+            sched_state,
+            guard,
+            flags,
+            has_error,
+            diagram,
+        );
+        return;
+    };
+    if diagram == NodeRef::ZERO {
+        return;
+    }
+    let mut paths = Vec::new();
+    store.enumerate(diagram, &mut paths);
+    for (ids, mass) in paths {
+        let nodes: Vec<NodeConfig> = ids.iter().map(|&id| ctx.interner.get(id).clone()).collect();
+        let mut cfg = GlobalConfig { sched_state, nodes };
+        if group.canonicalize(&mut cfg) {
+            stats.orbit_merges += 1;
+        }
+        let ids: Vec<u32> = cfg
+            .nodes
+            .iter()
+            .map(|n| ctx.interner.id(n.clone()))
+            .collect();
+        let mut d = store.terminal(mass);
+        for (block, &id) in ids.iter().enumerate().rev() {
+            d = store.encode(block as u32, id, d);
+        }
+        let flags: Vec<(bool, bool)> = ids.iter().map(|&id| ctx.interner.flag(id)).collect();
+        let has_error = ids.iter().any(|&id| ctx.interner.errors[id as usize]);
+        route(
+            store,
+            stats,
+            next,
+            terminal,
+            cfg.sched_state,
+            guard.clone(),
+            flags,
+            has_error,
+            d,
+        );
+    }
+}
+
 fn merge_into<K: std::hash::Hash + Eq>(
     _store: &mut Store,
     stats: &mut EngineStats,
@@ -530,6 +604,11 @@ pub(crate) fn analyze_bdd(
     let run_cache: Arc<FeasibilityCache> = opts.feasibility_cache.clone().unwrap_or_default();
     let (hits_before, misses_before) = run_cache.counts();
 
+    // Same gate as the enumeration engine: canonicalize by orbit only when
+    // the scheduler commutes with node permutations and parameters are
+    // concrete.
+    let sym = crate::engine::symmetry_for(model, scheduler);
+
     let mut store = Store::new();
     let mut ctx = Ctx {
         model,
@@ -571,9 +650,14 @@ pub(crate) fn analyze_bdd(
     let mut discarded: HashMap<Guard, Rat> = HashMap::new();
 
     for (states, mass, guard) in initial {
-        let cfg = initial_config(model, states)?;
+        let mut cfg = initial_config(model, states)?;
         if mass.is_zero() {
             continue; // see the module docs: zero-weight branches drop
+        }
+        if let Some(group) = sym {
+            if group.canonicalize(&mut cfg) {
+                stats.orbit_merges += 1;
+            }
         }
         let ids: Vec<u32> = cfg
             .nodes
@@ -653,6 +737,7 @@ pub(crate) fn analyze_bdd(
                             &mut store,
                             &mut ctx,
                             &mut stats,
+                            sym,
                             &key,
                             root,
                             i,
@@ -668,6 +753,7 @@ pub(crate) fn analyze_bdd(
                             &mut store,
                             &mut ctx,
                             &mut stats,
+                            sym,
                             &key,
                             root,
                             i,
@@ -722,6 +808,7 @@ fn expand_run(
     store: &mut Store,
     ctx: &mut Ctx<'_>,
     stats: &mut EngineStats,
+    sym: Option<&SymmetryGroup>,
     key: &GroupKey,
     root: NodeRef,
     i: usize,
@@ -794,9 +881,11 @@ fn expand_run(
             } => {
                 let mut flags = key.flags.clone();
                 flags[i] = *node_flags;
-                route(
+                canon_route(
                     store,
+                    ctx,
                     stats,
+                    sym,
                     next,
                     terminal_acc,
                     sched_next,
@@ -819,6 +908,7 @@ fn expand_fwd(
     store: &mut Store,
     ctx: &mut Ctx<'_>,
     stats: &mut EngineStats,
+    sym: Option<&SymmetryGroup>,
     key: &GroupKey,
     root: NodeRef,
     i: usize,
@@ -971,9 +1061,11 @@ fn expand_fwd(
         let root_w = store.edge_weight(root);
         for (flags, piece) in pieces.iter() {
             let piece = store.rescale(*piece, root_w);
-            route(
+            canon_route(
                 store,
+                ctx,
                 stats,
+                sym,
                 next,
                 terminal_acc,
                 sched_next,

@@ -100,6 +100,12 @@ pub struct ExactOptions {
     /// Which backend to run; see [`EngineKind`]. Both backends honor every
     /// other option and produce bit-identical posteriors.
     pub engine: EngineKind,
+    /// Run the model-optimization pass pipeline (`bayonet_net::opt`) before
+    /// inference (default on; the CLI's `--no-opt` and the serve API's
+    /// `"passes": false` turn it off). Posteriors are bit-identical either
+    /// way; passes only shrink the explored state space. Models that
+    /// already carry pass results ([`Model::opt_info`]) are not re-optimized.
+    pub passes: bool,
 }
 
 impl Default for ExactOptions {
@@ -115,6 +121,7 @@ impl Default for ExactOptions {
             deadline: Deadline::default(),
             feasibility_cache: None,
             engine: EngineKind::default(),
+            passes: true,
         }
     }
 }
@@ -155,6 +162,11 @@ pub struct EngineStats {
     /// ADD operations answered by the apply/operation memo caches
     /// ([`EngineKind::Bdd`] only).
     pub bdd_apply_cache_hits: u64,
+    /// Successor configurations replaced by a smaller member of their
+    /// symmetry orbit (see `bayonet_net::opt`; 0 when the model has no
+    /// non-trivial automorphisms or canonicalization is gated off).
+    /// Schedule-independent: a pure function of the model and options.
+    pub orbit_merges: u64,
 }
 
 /// Errors from the exact engine.
@@ -267,6 +279,7 @@ struct Expansion {
     next: Weighted,
     terminal: Weighted,
     discarded: Vec<(Guard, Rat)>,
+    orbit_merges: u64,
 }
 
 impl Expansion {
@@ -274,14 +287,48 @@ impl Expansion {
         self.next.extend(part.next);
         self.terminal.extend(part.terminal);
         self.discarded.extend(part.discarded);
+        self.orbit_merges += part.orbit_merges;
+    }
+}
+
+/// The symmetry group to canonicalize frontier configurations with, when
+/// every gate passes: the model was optimized and has a non-trivial
+/// automorphism group, the scheduler *actually running* is
+/// permutation-invariant (a `set_scheduler` override can differ from the
+/// model's declared kind), and no unbound symbolic parameters remain (the
+/// case-split order of symbolic query evaluation would otherwise depend on
+/// which orbit representative survives).
+pub(crate) fn symmetry_for<'a>(
+    model: &'a Model,
+    scheduler: &dyn Scheduler,
+) -> Option<&'a bayonet_net::opt::SymmetryGroup> {
+    if !scheduler.permutation_invariant() || model.has_symbolic_params() {
+        return None;
+    }
+    model.opt_info().and_then(|i| i.symmetry.as_ref())
+}
+
+/// Canonicalizes a successor configuration by symmetry orbit, counting the
+/// replacement when it changed anything.
+fn canon_config(
+    sym: Option<&bayonet_net::opt::SymmetryGroup>,
+    cfg: &mut GlobalConfig,
+    merges: &mut u64,
+) {
+    if let Some(group) = sym {
+        if group.canonicalize(cfg) {
+            *merges += 1;
+        }
     }
 }
 
 /// Expands one non-terminal configuration by one global step, appending
 /// successors to `out`.
+#[allow(clippy::too_many_arguments)]
 fn expand_config(
     model: &Model,
     scheduler: &dyn Scheduler,
+    sym: Option<&bayonet_net::opt::SymmetryGroup>,
     guard: &Guard,
     cfg: &GlobalConfig,
     mass: &Rat,
@@ -298,6 +345,7 @@ fn expand_config(
                 let mut c2 = cfg.clone();
                 c2.sched_state = sched_next;
                 deliver(model, &mut c2, i)?;
+                canon_config(sym, &mut c2, &mut out.orbit_merges);
                 if c2.is_terminal() {
                     out.terminal.push((guard.clone(), c2, step_mass));
                 } else {
@@ -332,6 +380,7 @@ fn expand_config(
                             if outcome == HandlerOutcome::AssertFailed {
                                 c2.nodes[i].error = true;
                             }
+                            canon_config(sym, &mut c2, &mut out.orbit_merges);
                             if c2.is_terminal() {
                                 out.terminal.push((b.guard, c2, branch_mass));
                             } else {
@@ -393,6 +442,7 @@ type TaggedError = (usize, ExactError);
 fn expand_frontier_parallel(
     model: &Model,
     scheduler: &dyn Scheduler,
+    sym: Option<&bayonet_net::opt::SymmetryGroup>,
     frontier: &[(Guard, GlobalConfig, Rat)],
     opts: &ExactOptions,
     workers: usize,
@@ -463,7 +513,8 @@ fn expand_frontier_parallel(
                                     ));
                                 }
                             }
-                            if let Err(e) = expand_config(model, scheduler, g, c, m, opts, &mut out)
+                            if let Err(e) =
+                                expand_config(model, scheduler, sym, g, c, m, opts, &mut out)
                             {
                                 stop.store(true, Ordering::Relaxed);
                                 return Err((task.ordinal, e));
@@ -530,7 +581,12 @@ pub(crate) struct EnumState {
 impl EnumState {
     /// Builds the initial distribution: enumerate the (possibly random)
     /// state initializers of every node, then the cartesian product.
-    pub(crate) fn init(model: &Model, opts: &ExactOptions) -> Result<EnumState, ExactError> {
+    pub(crate) fn init(
+        model: &Model,
+        scheduler: &dyn Scheduler,
+        opts: &ExactOptions,
+    ) -> Result<EnumState, ExactError> {
+        let sym = symmetry_for(model, scheduler);
         let mut stats = EngineStats::default();
         let k = model.num_nodes();
         let mut initial: Vec<(Vec<Vec<Val>>, Rat, Guard)> =
@@ -560,7 +616,11 @@ impl EnumState {
         let mut frontier: Weighted = Vec::new();
         let mut terminal_acc: Weighted = Vec::new();
         for (states, mass, guard) in initial {
-            let cfg = initial_config(model, states)?;
+            let mut cfg = initial_config(model, states)?;
+            // Canonicalize from the initial distribution onward: orbit
+            // masses then evolve exactly under the permutation-invariant
+            // step kernel, for any initial packet placement.
+            canon_config(sym, &mut cfg, &mut stats.orbit_merges);
             if cfg.is_terminal() {
                 terminal_acc.push((guard, cfg, mass));
             } else {
@@ -616,9 +676,10 @@ impl EnumState {
             });
         }
 
+        let sym = symmetry_for(model, scheduler);
         stats.expansions += self.frontier.len() as u64;
         let expansion = if workers > 1 && self.frontier.len() >= opts.par_threshold.max(2) {
-            match expand_frontier_parallel(model, scheduler, &self.frontier, opts, workers) {
+            match expand_frontier_parallel(model, scheduler, sym, &self.frontier, opts, workers) {
                 Ok((merged, steals)) => {
                     stats.steals += steals;
                     if let Some(pool) = &opts.pool {
@@ -645,10 +706,11 @@ impl EnumState {
                         expansions: stats.expansions,
                     });
                 }
-                expand_config(model, scheduler, g, c, m, opts, &mut out)?;
+                expand_config(model, scheduler, sym, g, c, m, opts, &mut out)?;
             }
             out
         };
+        self.stats.orbit_merges += expansion.orbit_merges;
         self.frontier.clear();
         self.terminal_acc.extend(expansion.terminal);
         for (g, m) in expansion.discarded {
@@ -737,6 +799,17 @@ pub fn analyze(
     scheduler: &dyn Scheduler,
     opts: &ExactOptions,
 ) -> Result<Analysis, ExactError> {
+    // Run the pass pipeline unless the caller opted out or already did it
+    // (serve and sweep optimize up front so one optimized model serves many
+    // runs); the pipeline is semantics-preserving, so this changes engine
+    // statistics, never posteriors.
+    let optimized;
+    let model = if opts.passes && model.opt_info().is_none() {
+        optimized = bayonet_net::opt::optimize(model);
+        &optimized
+    } else {
+        model
+    };
     let engine = match opts.engine {
         // Auto resolves through the static cost model; the choice depends
         // only on the model, so posteriors (bit-identical across backends
@@ -754,7 +827,7 @@ pub fn analyze(
     let (run_cache, opts, (hits_before, misses_before)) = run_cache_opts(opts);
     let (_lease, workers) = lease_workers(&opts);
 
-    let mut state = EnumState::init(model, &opts)?;
+    let mut state = EnumState::init(model, scheduler, &opts)?;
     while !state.done() {
         state.step(model, scheduler, &opts, workers, bound)?;
     }

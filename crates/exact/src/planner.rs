@@ -41,10 +41,10 @@
 //! auto-routing is deterministic and safe to bake into cache keys.
 
 use std::fmt::Write as _;
-use std::sync::Arc;
 use std::time::Duration;
 
-use bayonet_net::{CExpr, CStmt, Model, SchedKind};
+use bayonet_net::opt::model_facts;
+use bayonet_net::{Model, SchedKind};
 
 use crate::engine::EngineKind;
 
@@ -168,6 +168,15 @@ pub struct PlanSignals {
     /// Size of the largest group of nodes sharing one program `Arc` — the
     /// symmetry the BDD backend exploits (0 when no sharing).
     pub shared_program_nodes: usize,
+    /// Order of the model's automorphism group, from the pass pipeline
+    /// (1 when the model is unoptimized or the group is trivial). Orbit
+    /// canonicalization divides the explored frontier by up to this factor.
+    pub symmetry_group_order: u64,
+    /// Size of the largest node orbit under that group (0 when trivial).
+    /// When present this replaces the Arc-sharing heuristic as the BDD
+    /// backend's structure-sharing signal: it is the *proven* count of
+    /// interchangeable nodes, not a syntactic proxy.
+    pub symmetry_largest_orbit: usize,
     /// Whether unbound symbolic parameters remain (rules out SMC).
     pub symbolic_params: bool,
 }
@@ -236,7 +245,8 @@ impl Plan {
             "  signals: nodes={} links={} queue_capacity={} horizon={} \
              flips={} uniforms={} dups={} sched_branching={:.1} \
              handler_branching={:.2} effective_branching={:.3} \
-             shared_program_nodes={} symbolic_params={}",
+             shared_program_nodes={} symmetry_order={} symmetry_orbit={} \
+             symbolic_params={}",
             s.nodes,
             s.links,
             s.queue_capacity,
@@ -248,6 +258,8 @@ impl Plan {
             s.handler_branching,
             s.effective_branching,
             s.shared_program_nodes,
+            s.symmetry_group_order,
+            s.symmetry_largest_orbit,
             s.symbolic_params,
         );
         let _ = writeln!(
@@ -275,145 +287,49 @@ fn fmt_ns(ns: u64) -> String {
     }
 }
 
-/// Cap on any single branching product, so pathological programs cannot
-/// overflow the f64 arithmetic downstream.
-const BRANCH_CAP: f64 = 1e12;
-
-/// Number of complete executions of an expression's random choices.
-fn expr_branches(e: &CExpr, uniforms: &mut usize, flips: &mut usize) -> f64 {
-    match e {
-        CExpr::Const(_)
-        | CExpr::Param(_)
-        | CExpr::State(_)
-        | CExpr::Local(_)
-        | CExpr::Field(_)
-        | CExpr::Port => 1.0,
-        CExpr::Flip(inner) => {
-            *flips += 1;
-            2.0 * expr_branches(inner, uniforms, flips)
-        }
-        CExpr::UniformInt(lo, hi) => {
-            *uniforms += 1;
-            let span = match (lo.as_ref(), hi.as_ref()) {
-                (CExpr::Const(a), CExpr::Const(b)) => {
-                    (b.to_f64() - a.to_f64() + 1.0).clamp(1.0, BRANCH_CAP)
-                }
-                // Non-constant bounds: assume a small span.
-                _ => 3.0,
-            };
-            span * expr_branches(lo, uniforms, flips) * expr_branches(hi, uniforms, flips)
-        }
-        CExpr::Binary(_, a, b) => {
-            expr_branches(a, uniforms, flips) * expr_branches(b, uniforms, flips)
-        }
-        CExpr::Not(inner) | CExpr::Neg(inner) => expr_branches(inner, uniforms, flips),
-    }
-    .min(BRANCH_CAP)
-}
-
-/// Approximate number of complete executions of a statement sequence. The
-/// enumeration engine explores every one of them per handler run.
-fn stmts_branches(stmts: &[CStmt], sig: &mut PlanSignals) -> f64 {
-    let mut product = 1.0f64;
-    for s in stmts {
-        let b = match s {
-            CStmt::New | CStmt::Drop | CStmt::Skip => 1.0,
-            CStmt::Dup => {
-                sig.dup_sites += 1;
-                1.0
-            }
-            CStmt::Fwd(e)
-            | CStmt::AssignState(_, e)
-            | CStmt::AssignLocal(_, e)
-            | CStmt::FieldAssign(_, e)
-            | CStmt::Assert(e)
-            | CStmt::Observe(e) => expr_branches(e, &mut sig.uniform_sites, &mut sig.flip_sites),
-            CStmt::If(cond, then_b, else_b) => {
-                let c = expr_branches(cond, &mut sig.uniform_sites, &mut sig.flip_sites);
-                // A probabilistic condition sends mass down both arms; a
-                // deterministic one takes the worse arm in the worst case.
-                let t = stmts_branches(then_b, sig);
-                let e = stmts_branches(else_b, sig);
-                if c > 1.0 {
-                    c * t.max(e)
-                } else {
-                    t.max(e)
-                }
-            }
-            CStmt::While(cond, body) => {
-                // Loops are bounded by the local step limit; assume a few
-                // iterations of the body's branching.
-                let c = expr_branches(cond, &mut sig.uniform_sites, &mut sig.flip_sites);
-                (c * stmts_branches(body, sig)).powf(2.0)
-            }
-        };
-        product = (product * b).min(BRANCH_CAP);
-    }
-    product
-}
-
-/// Size of the largest group of nodes sharing one `CompiledProgram` `Arc`
-/// (0 when every node has a private program). This is the symmetry signal
-/// the BDD backend exploits: shared handlers compile to shared diagrams.
-fn shared_program_nodes(model: &Model) -> usize {
-    let mut best = 0usize;
-    for (i, p) in model.programs.iter().enumerate() {
-        let group = model.programs[i..]
-            .iter()
-            .filter(|q| Arc::ptr_eq(p, q))
-            .count();
-        if group > 1 {
-            best = best.max(group);
-        }
-    }
-    best
-}
-
 /// Extracts the cost-model signals from a compiled model.
+///
+/// An optimized model (see [`bayonet_net::opt::optimize`]) carries its
+/// facts in [`bayonet_net::opt::OptInfo`], gathered once by the pass
+/// pipeline — extraction is then a field read, fixing the old
+/// plan-then-analyze double traversal. Unoptimized models fall back to
+/// [`model_facts`], the *same* implementation the pipeline uses, so the
+/// two paths cannot diverge.
 pub fn extract_signals(model: &Model) -> PlanSignals {
     let nodes = model.num_nodes();
-    let mut sig = PlanSignals {
+    let fallback;
+    let (facts, symmetry) = match model.opt_info() {
+        Some(info) => (&info.facts, info.symmetry.as_ref()),
+        None => {
+            fallback = model_facts(model);
+            (&fallback, None)
+        }
+    };
+    let (symmetry_group_order, symmetry_largest_orbit) = match symmetry {
+        Some(g) => (g.order() as u64, g.largest_orbit()),
+        None => (1, 0),
+    };
+    let sched_branching = match model.scheduler {
+        SchedKind::Uniform | SchedKind::Weighted(_) => 2.0,
+        SchedKind::Deterministic | SchedKind::Rotor => 1.0,
+    };
+    let handler_branching = facts.handler_branching;
+    PlanSignals {
         nodes,
         links: model.links().count() / 2,
         queue_capacity: model.queue_capacity,
         horizon: model.num_steps.unwrap_or(4 * nodes as u64 + 2),
-        flip_sites: 0,
-        uniform_sites: 0,
-        dup_sites: 0,
-        sched_branching: match model.scheduler {
-            SchedKind::Uniform | SchedKind::Weighted(_) => 2.0,
-            SchedKind::Deterministic | SchedKind::Rotor => 1.0,
-        },
-        handler_branching: 1.0,
-        effective_branching: 1.0,
-        shared_program_nodes: shared_program_nodes(model),
+        flip_sites: facts.flip_sites,
+        uniform_sites: facts.uniform_sites,
+        dup_sites: facts.dup_sites,
+        sched_branching,
+        handler_branching,
+        effective_branching: (sched_branching * handler_branching).powf(ALPHA).max(1.0),
+        shared_program_nodes: facts.shared_program_nodes,
+        symmetry_group_order,
+        symmetry_largest_orbit,
         symbolic_params: model.has_symbolic_params(),
-    };
-    // Per-node handler branching, averaged. Count flip/uniform sites once
-    // per *distinct* program but weight branching per node: the engine runs
-    // the shared handler at every node that holds it.
-    let mut total = 0.0f64;
-    let mut counted: Vec<*const bayonet_net::CompiledProgram> = Vec::new();
-    for prog in &model.programs {
-        let ptr = Arc::as_ptr(prog);
-        if counted.contains(&ptr) {
-            // Re-measure branching without double-counting the site tallies.
-            let mut scratch = sig.clone();
-            total += stmts_branches(&prog.body, &mut scratch);
-        } else {
-            counted.push(ptr);
-            total += stmts_branches(&prog.body, &mut sig);
-        }
     }
-    sig.handler_branching = if model.programs.is_empty() {
-        1.0
-    } else {
-        (total / model.programs.len() as f64).max(1.0)
-    };
-    sig.effective_branching = (sig.sched_branching * sig.handler_branching)
-        .powf(ALPHA)
-        .max(1.0);
-    sig
 }
 
 /// Builds a [`Plan`] for `model` under an optional deadline budget.
@@ -435,12 +351,24 @@ pub fn plan_model(model: &Model, cfg: &PlannerConfig, budget: Option<Duration>) 
             break;
         }
     }
-    let est_expansions = est_expansions.max(1.0);
+    // Orbit canonicalization merges symmetric frontier configurations, so
+    // a non-trivial automorphism group divides the explored frontier by up
+    // to its order.
+    let est_expansions = if signals.symmetry_group_order > 1 {
+        (est_expansions / signals.symmetry_group_order as f64).max(1.0)
+    } else {
+        est_expansions.max(1.0)
+    };
     let est_enum_ns = (est_expansions * cfg.ns_per_expansion as f64).min(1e18) as u64;
 
     // BDD: eligible under the u128 packing bound and only worth the base
-    // overhead when there is symmetry to exploit.
-    let shared = signals.shared_program_nodes;
+    // overhead when there is structure sharing to exploit. A proven orbit
+    // from the pass pipeline overrides the Arc-sharing proxy.
+    let shared = if signals.symmetry_largest_orbit >= 2 {
+        signals.symmetry_largest_orbit
+    } else {
+        signals.shared_program_nodes
+    };
     let est_bdd_ns =
         (signals.nodes <= 64 && shared >= 2).then(|| est_enum_ns / shared as u64 + cfg.bdd_base_ns);
 

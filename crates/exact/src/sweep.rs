@@ -156,6 +156,15 @@ pub fn sweep(
         base.unbind_param(&name)
             .expect("swept parameter exists in the model");
     }
+    // Optimize once for the whole sweep: passes are binding-independent, so
+    // every grid point (and the probe run) shares the result, and the
+    // pointwise `analyze` runs the points are pinned against make the same
+    // transformation themselves.
+    let base = if opts.passes && base.opt_info().is_none() {
+        bayonet_net::opt::optimize(&base)
+    } else {
+        base
+    };
     let scheduler = scheduler_for(&base);
 
     // Resolve `Auto` exactly as a pointwise run would: on the bound model.
@@ -361,7 +370,7 @@ fn prefix_route(
         let watch = Arc::new(ParamWatch::new(probe.params.len(), params));
         probe.set_param_watch(Arc::clone(&watch));
 
-        let Ok(mut state) = EnumState::init(&probe, &opts) else {
+        let Ok(mut state) = EnumState::init(&probe, scheduler, &opts) else {
             // Initialization failed; whether the error depends on the grid
             // is unknown, so let every point reproduce it independently.
             break 'probe Probe::Nothing;

@@ -24,13 +24,28 @@ pub fn test_engine() -> EngineKind {
     }
 }
 
-/// [`ExactOptions::default`] with the suite engine applied. Use this (or
-/// struct-update from it) instead of `ExactOptions::default()` so the
-/// `BAYONET_TEST_ENGINE=bdd` CI leg actually exercises the diagram backend.
+/// Whether this test process runs the model-optimization pass pipeline:
+/// `BAYONET_TEST_PASSES=off` disables it, `on` (or unset) keeps the
+/// default. The CI matrix runs both legs — posteriors must be identical.
+/// Unknown values are an error for the same reason as [`test_engine`].
+pub fn test_passes() -> bool {
+    match std::env::var("BAYONET_TEST_PASSES") {
+        Ok(v) if v == "off" => false,
+        Ok(v) if v == "on" || v.is_empty() => true,
+        Ok(v) => panic!("BAYONET_TEST_PASSES must be `on` or `off`, got `{v}`"),
+        Err(_) => true,
+    }
+}
+
+/// [`ExactOptions::default`] with the suite engine and pass toggle applied.
+/// Use this (or struct-update from it) instead of `ExactOptions::default()`
+/// so the `BAYONET_TEST_ENGINE=bdd` and `BAYONET_TEST_PASSES=off` CI legs
+/// actually exercise their configurations.
 #[allow(dead_code)]
 pub fn test_options() -> ExactOptions {
     ExactOptions {
         engine: test_engine(),
+        passes: test_passes(),
         ..ExactOptions::default()
     }
 }

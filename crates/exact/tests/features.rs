@@ -64,12 +64,18 @@ fn rotor_scheduler_is_deterministic_but_fair() {
     // seed-only network has exactly 3 terminals (one per first hop).
     let src = format!("{GOSSIP_K4_HEADER} scheduler rotor; {GOSSIP_BODY}");
     let m = model(&src);
-    let analysis = analyze(&m, &*scheduler_for(&m), &common::test_options()).unwrap();
+    // Compare raw trace trees: symmetry reduction (uniform-scheduler only)
+    // would mask the scheduler-branching effect this test measures.
+    let opts = bayonet_exact::ExactOptions {
+        passes: false,
+        ..common::test_options()
+    };
+    let analysis = analyze(&m, &*scheduler_for(&m), &opts).unwrap();
     // Every step is deterministic except uniformInt draws: the trace tree
     // has far fewer configurations than under the uniform scheduler.
     let uniform_src = format!("{GOSSIP_K4_HEADER} scheduler uniform; {GOSSIP_BODY}");
     let uni = model(&uniform_src);
-    let uni_analysis = analyze(&uni, &*scheduler_for(&uni), &common::test_options()).unwrap();
+    let uni_analysis = analyze(&uni, &*scheduler_for(&uni), &opts).unwrap();
     assert!(analysis.stats.peak_configs < uni_analysis.stats.peak_configs);
 }
 

@@ -261,6 +261,11 @@ pub struct Model {
     /// Optional observer of parameter-binding reads (see [`ParamWatch`]).
     /// Shared across clones; cleared with [`Model::clear_param_watch`].
     watch: Option<Arc<ParamWatch>>,
+    /// Optimization-pass results (see [`crate::opt`]): present after
+    /// [`crate::opt::optimize`] ran, absent on a freshly compiled model.
+    /// Shared across clones; binding-independent by construction (passes
+    /// never fold parameters), so batch items and sweep points reuse it.
+    pub(crate) opt_info: Option<Arc<crate::opt::OptInfo>>,
 }
 
 impl Model {
@@ -339,6 +344,12 @@ impl Model {
     /// Returns `true` if any declared parameter is unbound (symbolic).
     pub fn has_symbolic_params(&self) -> bool {
         self.bindings.iter().any(|b| b.is_none())
+    }
+
+    /// The optimization-pass results attached by [`crate::opt::optimize`],
+    /// if the model has been optimized.
+    pub fn opt_info(&self) -> Option<&Arc<crate::opt::OptInfo>> {
+        self.opt_info.as_ref()
     }
 
     /// The state slot of variable `var` in `node`'s program.
@@ -471,6 +482,7 @@ pub fn compile(p: &Program) -> Result<Model, CompileError> {
         queries,
         local_step_limit: DEFAULT_LOCAL_STEP_LIMIT,
         watch: None,
+        opt_info: None,
     })
 }
 

@@ -51,6 +51,7 @@ mod error;
 mod fsio;
 mod global;
 mod handler;
+pub mod opt;
 mod poll;
 mod queue;
 mod scheduler;

@@ -1,0 +1,259 @@
+//! Dead-flip / dead-assignment elimination.
+//!
+//! A state slot is *live* when some handler expression reads it or some
+//! declared query mentions it via `x@Node`; a local is live when some
+//! handler expression reads it. An assignment to a dead slot can be removed
+//! when its right-hand side is **droppable**: evaluation is total (no error
+//! branch disappears) and introduces no `decide_sign` case split. Droppable
+//! RHSes may still branch (`flip`, `uniformInt` with constant bounds) —
+//! removing such a site is sound because the branches differ only in a
+//! value nothing ever reads, so their continuations are isomorphic and the
+//! probability masses re-merge in every query and in `Z`. That merge is the
+//! exponential win: one removed flip halves the frontier.
+//!
+//! Serve-side queries are always indexes into the model's declared queries
+//! (`check_query_index`), so the declared list is the complete liveness
+//! source — there is no ad-hoc query path that could read a dead slot.
+
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+
+use bayonet_lang::BinOp;
+use bayonet_num::Rat;
+
+use crate::compile::{CExpr, CStmt, CompiledProgram, Model, QExpr};
+
+use super::OptReport;
+
+/// Runs the pass over every program, preserving `Arc` sharing. Returns
+/// whether anything changed.
+pub(super) fn run(model: &mut Model, report: &mut OptReport) -> bool {
+    // Liveness contributed by declared queries, per shared program: a query
+    // on any node using program P keeps that slot alive for every node
+    // sharing P (they share one rewritten body).
+    let mut query_live: HashMap<*const CompiledProgram, BTreeSet<usize>> = HashMap::new();
+    for q in &model.queries {
+        collect_query_slots(&q.expr, &mut |node, slot| {
+            if let Some(prog) = model.programs.get(node) {
+                query_live
+                    .entry(Arc::as_ptr(prog))
+                    .or_default()
+                    .insert(slot);
+            }
+        });
+    }
+    let mut rewritten: Vec<(*const CompiledProgram, Arc<CompiledProgram>)> = Vec::new();
+    let mut changed = false;
+    for prog in &mut model.programs {
+        let ptr = Arc::as_ptr(prog);
+        if let Some((_, new)) = rewritten.iter().find(|(p, _)| *p == ptr) {
+            *prog = new.clone();
+            continue;
+        }
+        let empty = BTreeSet::new();
+        let live_from_queries = query_live.get(&ptr).unwrap_or(&empty);
+        let new = transform(prog, live_from_queries, report);
+        let new_arc = match new {
+            Some(p) => {
+                changed = true;
+                Arc::new(p)
+            }
+            None => prog.clone(),
+        };
+        rewritten.push((ptr, new_arc.clone()));
+        *prog = new_arc;
+    }
+    changed
+}
+
+fn collect_query_slots(e: &QExpr, f: &mut impl FnMut(usize, usize)) {
+    match e {
+        QExpr::At { node, slot } => f(*node, *slot),
+        QExpr::Binary(_, a, b) => {
+            collect_query_slots(a, f);
+            collect_query_slots(b, f);
+        }
+        QExpr::Not(x) | QExpr::Neg(x) => collect_query_slots(x, f),
+        QExpr::Const(_) | QExpr::Param(_) => {}
+    }
+}
+
+fn transform(
+    p: &CompiledProgram,
+    live_from_queries: &BTreeSet<usize>,
+    report: &mut OptReport,
+) -> Option<CompiledProgram> {
+    // Reads are collected over the whole current body, including statements
+    // this round removes; cascades (a dead slot read only by another dead
+    // assignment) resolve over the pass-manager fixpoint rounds.
+    let mut state_read = BTreeSet::new();
+    let mut local_read = BTreeSet::new();
+    for s in &p.body {
+        collect_stmt_reads(s, &mut state_read, &mut local_read);
+    }
+    let live_state: BTreeSet<usize> = state_read.union(live_from_queries).copied().collect();
+
+    let mut removed = 0u64;
+    let mut sites = 0u64;
+    let body = strip_block(&p.body, &live_state, &local_read, &mut removed, &mut sites);
+
+    // Dead slots whose initializer draws randomness branch the state-init
+    // product; replace with 0 (any constant works — nothing reads it).
+    let mut inits_zeroed = 0u64;
+    let mut init_sites = 0u64;
+    let state_init: Vec<CExpr> = p
+        .state_init
+        .iter()
+        .enumerate()
+        .map(|(slot, e)| {
+            if !live_state.contains(&slot) && droppable(e) && count_random_sites(e) > 0 {
+                inits_zeroed += 1;
+                init_sites += count_random_sites(e);
+                CExpr::Const(Rat::zero())
+            } else {
+                e.clone()
+            }
+        })
+        .collect();
+
+    if removed == 0 && inits_zeroed == 0 {
+        return None;
+    }
+    report.dead_stmts += removed;
+    report.flips_eliminated += sites + init_sites;
+    report.inits_zeroed += inits_zeroed;
+    Some(CompiledProgram {
+        name: p.name.clone(),
+        state_names: p.state_names.clone(),
+        state_init,
+        local_names: p.local_names.clone(),
+        body,
+    })
+}
+
+fn strip_block(
+    stmts: &[CStmt],
+    live_state: &BTreeSet<usize>,
+    local_read: &BTreeSet<usize>,
+    removed: &mut u64,
+    sites: &mut u64,
+) -> Vec<CStmt> {
+    let mut out = Vec::new();
+    for s in stmts {
+        match s {
+            // Replaced by `Skip` rather than deleted: the interpreter ticks
+            // once per statement, and the local step limit makes tick counts
+            // observable, so rewrites must be tick-neutral.
+            CStmt::AssignState(slot, e) if !live_state.contains(slot) && droppable(e) => {
+                *removed += 1;
+                *sites += count_random_sites(e);
+                out.push(CStmt::Skip);
+            }
+            CStmt::AssignLocal(slot, e) if !local_read.contains(slot) && droppable(e) => {
+                *removed += 1;
+                *sites += count_random_sites(e);
+                out.push(CStmt::Skip);
+            }
+            CStmt::If(c, t, f) => out.push(CStmt::If(
+                c.clone(),
+                strip_block(t, live_state, local_read, removed, sites),
+                strip_block(f, live_state, local_read, removed, sites),
+            )),
+            CStmt::While(c, b) => out.push(CStmt::While(
+                c.clone(),
+                strip_block(b, live_state, local_read, removed, sites),
+            )),
+            other => out.push(other.clone()),
+        }
+    }
+    out
+}
+
+fn collect_stmt_reads(s: &CStmt, state: &mut BTreeSet<usize>, local: &mut BTreeSet<usize>) {
+    match s {
+        CStmt::Fwd(e)
+        | CStmt::AssignState(_, e)
+        | CStmt::AssignLocal(_, e)
+        | CStmt::FieldAssign(_, e)
+        | CStmt::Assert(e)
+        | CStmt::Observe(e) => collect_expr_reads(e, state, local),
+        CStmt::If(c, t, f) => {
+            collect_expr_reads(c, state, local);
+            for s in t.iter().chain(f) {
+                collect_stmt_reads(s, state, local);
+            }
+        }
+        CStmt::While(c, b) => {
+            collect_expr_reads(c, state, local);
+            for s in b {
+                collect_stmt_reads(s, state, local);
+            }
+        }
+        CStmt::New | CStmt::Drop | CStmt::Dup | CStmt::Skip => {}
+    }
+}
+
+fn collect_expr_reads(e: &CExpr, state: &mut BTreeSet<usize>, local: &mut BTreeSet<usize>) {
+    match e {
+        CExpr::State(s) => {
+            state.insert(*s);
+        }
+        CExpr::Local(l) => {
+            local.insert(*l);
+        }
+        CExpr::Flip(a) | CExpr::Not(a) | CExpr::Neg(a) => collect_expr_reads(a, state, local),
+        CExpr::UniformInt(a, b) | CExpr::Binary(_, a, b) => {
+            collect_expr_reads(a, state, local);
+            collect_expr_reads(b, state, local);
+        }
+        CExpr::Const(_) | CExpr::Param(_) | CExpr::Field(_) | CExpr::Port => {}
+    }
+}
+
+/// Whether evaluating `e` is total (no reachable error) and free of
+/// `decide_sign` case splits, so the statement around it can vanish without
+/// changing any trace's error disposition or symbolic guard cells.
+///
+/// Deliberately conservative: division and multiplication can fail on
+/// symbolic operands, comparisons and boolean operators case-split on
+/// symbolic values, `flip`/`uniformInt` with non-constant arguments can
+/// raise bound errors, and `Field`/`Port` reads require a queued packet.
+fn droppable(e: &CExpr) -> bool {
+    match e {
+        CExpr::Const(_) | CExpr::Param(_) | CExpr::State(_) | CExpr::Local(_) => true,
+        CExpr::Flip(p) => match p.as_ref() {
+            // flip(c) errors unless 0 <= c <= 1.
+            CExpr::Const(c) => !c.is_negative() && *c <= Rat::one(),
+            _ => false,
+        },
+        CExpr::UniformInt(lo, hi) => match (lo.as_ref(), hi.as_ref()) {
+            // uniformInt(a, b) needs integer bounds with a <= b.
+            (CExpr::Const(a), CExpr::Const(b)) => match (a.to_i64(), b.to_i64()) {
+                (Some(ia), Some(ib)) => ia <= ib,
+                _ => false,
+            },
+            _ => false,
+        },
+        CExpr::Binary(BinOp::Add | BinOp::Sub, a, b) => droppable(a) && droppable(b),
+        CExpr::Neg(a) => droppable(a),
+        _ => false,
+    }
+}
+
+/// Number of branching random sites (`flip` with 0 < p < 1, `uniformInt`
+/// with a non-degenerate constant range) in a droppable expression.
+fn count_random_sites(e: &CExpr) -> u64 {
+    match e {
+        CExpr::Flip(p) => match p.as_ref() {
+            CExpr::Const(c) if c.is_zero() || c.is_one() => 0,
+            _ => 1,
+        },
+        CExpr::UniformInt(lo, hi) => match (lo.as_ref(), hi.as_ref()) {
+            (CExpr::Const(a), CExpr::Const(b)) if a == b => 0,
+            _ => 1,
+        },
+        CExpr::Binary(_, a, b) => count_random_sites(a) + count_random_sites(b),
+        CExpr::Not(a) | CExpr::Neg(a) => count_random_sites(a),
+        _ => 0,
+    }
+}

@@ -1,0 +1,353 @@
+//! Constant folding, constant-guard folding, and loop-invariant hoisting.
+//!
+//! Everything here is justified against the interpreter in
+//! [`crate::handler`]: a rewrite is admitted only when the original
+//! evaluation is total on the folded operands (no error branch is lost) and
+//! no `decide_sign` case split is added or removed (symbolic guard cells
+//! must stay bit-identical). Parameters are never folded — passes must stay
+//! binding-independent so batch items and sweep points share one optimized
+//! model.
+
+use std::sync::Arc;
+
+use bayonet_lang::BinOp;
+use bayonet_num::Rat;
+
+use crate::compile::{CExpr, CStmt, CompiledProgram, Model};
+use crate::handler::{apply_binop, NoChoiceDriver};
+use crate::value::Val;
+
+use super::OptReport;
+
+/// Folds every program in the model, preserving `Arc` sharing (nodes that
+/// shared a program before still share the rewritten one). Returns whether
+/// anything changed.
+pub(super) fn run(model: &mut Model, report: &mut OptReport) -> bool {
+    let mut rewritten: Vec<(*const CompiledProgram, Arc<CompiledProgram>)> = Vec::new();
+    let mut changed = false;
+    for prog in &mut model.programs {
+        let ptr = Arc::as_ptr(prog);
+        if let Some((_, new)) = rewritten.iter().find(|(p, _)| *p == ptr) {
+            *prog = new.clone();
+            continue;
+        }
+        let new = fold_program(prog, report);
+        let new_arc = match new {
+            Some(p) => {
+                changed = true;
+                Arc::new(p)
+            }
+            None => prog.clone(),
+        };
+        rewritten.push((ptr, new_arc.clone()));
+        *prog = new_arc;
+    }
+    changed
+}
+
+fn fold_program(p: &CompiledProgram, report: &mut OptReport) -> Option<CompiledProgram> {
+    // Count rewrites only if the rebuild actually differs, so fixpoint
+    // re-runs over an already-folded program report nothing.
+    let mut scratch = OptReport::default();
+    let new = CompiledProgram {
+        name: p.name.clone(),
+        state_names: p.state_names.clone(),
+        state_init: p
+            .state_init
+            .iter()
+            .map(|e| fold_expr(e, &mut scratch))
+            .collect(),
+        local_names: p.local_names.clone(),
+        body: fold_block(&p.body, &mut scratch, true),
+    };
+    if new == *p {
+        return None;
+    }
+    report.consts_folded += scratch.consts_folded;
+    report.guards_folded += scratch.guards_folded;
+    report.hoisted += scratch.hoisted;
+    Some(new)
+}
+
+fn const_rat(e: &CExpr) -> Option<&Rat> {
+    match e {
+        CExpr::Const(r) => Some(r),
+        _ => None,
+    }
+}
+
+fn fold_expr(e: &CExpr, r: &mut OptReport) -> CExpr {
+    match e {
+        CExpr::Flip(p) => {
+            let p2 = fold_expr(p, r);
+            // flip(0) and flip(1) resolve without drawing (see
+            // `ExecCx::eval`); other constants stay — flip(p) with p outside
+            // [0, 1] must still error at runtime.
+            if let Some(c) = const_rat(&p2) {
+                if c.is_zero() || c.is_one() {
+                    r.consts_folded += 1;
+                    return p2;
+                }
+            }
+            CExpr::Flip(Box::new(p2))
+        }
+        CExpr::UniformInt(lo, hi) => {
+            let lo2 = fold_expr(lo, r);
+            let hi2 = fold_expr(hi, r);
+            // uniformInt(c, c) draws nothing; wider or invalid bounds keep
+            // their runtime behavior (errors included).
+            if let (Some(a), Some(b)) = (const_rat(&lo2), const_rat(&hi2)) {
+                if let (Some(ia), Some(ib)) = (a.to_i64(), b.to_i64()) {
+                    if ia == ib {
+                        r.consts_folded += 1;
+                        return CExpr::Const(Rat::int(ia));
+                    }
+                }
+            }
+            CExpr::UniformInt(Box::new(lo2), Box::new(hi2))
+        }
+        CExpr::Binary(op, a, b) => {
+            let a2 = fold_expr(a, r);
+            let b2 = fold_expr(b, r);
+            // Short-circuit folds: the interpreter never evaluates the RHS
+            // when the constant LHS decides the result, so dropping it is
+            // exactly the original behavior.
+            match op {
+                BinOp::And => {
+                    if let Some(c) = const_rat(&a2) {
+                        if !c.is_true() {
+                            r.consts_folded += 1;
+                            return CExpr::Const(Rat::zero());
+                        }
+                    }
+                }
+                BinOp::Or => {
+                    if let Some(c) = const_rat(&a2) {
+                        if c.is_true() {
+                            r.consts_folded += 1;
+                            return CExpr::Const(Rat::one());
+                        }
+                    }
+                }
+                _ => {}
+            }
+            if let (Some(ca), Some(cb)) = (const_rat(&a2), const_rat(&b2)) {
+                // Evaluate with the runtime's own operator; fold only on
+                // success so division by zero (etc.) still errors at the
+                // original site. Concrete operands never consult the driver.
+                let av = Val::Rat(ca.clone());
+                let bv = Val::Rat(cb.clone());
+                if let Ok(v) = apply_binop(*op, &av, &bv, &mut NoChoiceDriver) {
+                    if let Some(folded) = v.as_rat() {
+                        r.consts_folded += 1;
+                        return CExpr::Const(folded.clone());
+                    }
+                }
+            }
+            CExpr::Binary(*op, Box::new(a2), Box::new(b2))
+        }
+        CExpr::Not(x) => {
+            let x2 = fold_expr(x, r);
+            if let Some(c) = const_rat(&x2) {
+                r.consts_folded += 1;
+                return CExpr::Const(Rat::from_bool(!c.is_true()));
+            }
+            CExpr::Not(Box::new(x2))
+        }
+        CExpr::Neg(x) => {
+            let x2 = fold_expr(x, r);
+            if let Some(c) = const_rat(&x2) {
+                r.consts_folded += 1;
+                return CExpr::Const(-c);
+            }
+            CExpr::Neg(Box::new(x2))
+        }
+        // Param is deliberately never folded (binding independence); the
+        // remaining leaves have nothing to fold.
+        CExpr::Const(_)
+        | CExpr::Param(_)
+        | CExpr::State(_)
+        | CExpr::Local(_)
+        | CExpr::Field(_)
+        | CExpr::Port => e.clone(),
+    }
+}
+
+fn fold_block(stmts: &[CStmt], r: &mut OptReport, top_level: bool) -> Vec<CStmt> {
+    let mut out = Vec::new();
+    for s in stmts {
+        match s {
+            CStmt::If(c, t, e) => {
+                let c2 = fold_expr(c, r);
+                let t2 = fold_block(t, r, false);
+                let e2 = fold_block(e, r, false);
+                if let Some(v) = const_rat(&c2) {
+                    // Splice the taken branch. A `Skip` stands in for the
+                    // `if` so tick counts are unchanged (the step limit
+                    // makes them observable).
+                    r.guards_folded += 1;
+                    out.push(CStmt::Skip);
+                    out.extend(if v.is_true() { t2 } else { e2 });
+                } else {
+                    out.push(CStmt::If(c2, t2, e2));
+                }
+            }
+            CStmt::While(c, b) => {
+                let c2 = fold_expr(c, r);
+                let b2 = fold_block(b, r, false);
+                if let Some(v) = const_rat(&c2) {
+                    if !v.is_true() {
+                        // Zero-iteration loop cost two ticks (statement +
+                        // failing guard); two `Skip`s keep the count exact.
+                        r.guards_folded += 1;
+                        out.push(CStmt::Skip);
+                        out.push(CStmt::Skip);
+                        continue;
+                    }
+                    // while(true) is kept verbatim so the step-limit error
+                    // fires exactly as before.
+                }
+                out.push(CStmt::While(c2, b2));
+            }
+            CStmt::Assert(e) => {
+                let e2 = fold_expr(e, r);
+                if let Some(v) = const_rat(&e2) {
+                    if v.is_true() {
+                        r.guards_folded += 1;
+                        out.push(CStmt::Skip);
+                        continue;
+                    }
+                    // assert(false) must keep failing at runtime.
+                }
+                out.push(CStmt::Assert(e2));
+            }
+            CStmt::Observe(e) => {
+                let e2 = fold_expr(e, r);
+                if let Some(v) = const_rat(&e2) {
+                    if v.is_true() {
+                        r.guards_folded += 1;
+                        out.push(CStmt::Skip);
+                        continue;
+                    }
+                    // observe(false) keeps killing the trace.
+                }
+                out.push(CStmt::Observe(e2));
+            }
+            CStmt::Fwd(e) => out.push(CStmt::Fwd(fold_expr(e, r))),
+            CStmt::AssignState(slot, e) => out.push(CStmt::AssignState(*slot, fold_expr(e, r))),
+            CStmt::AssignLocal(slot, e) => out.push(CStmt::AssignLocal(*slot, fold_expr(e, r))),
+            CStmt::FieldAssign(field, e) => out.push(CStmt::FieldAssign(*field, fold_expr(e, r))),
+            CStmt::New | CStmt::Drop | CStmt::Dup | CStmt::Skip => out.push(s.clone()),
+        }
+    }
+    if top_level {
+        hoist(&mut out, r);
+    }
+    out
+}
+
+/// Hoists a loop-invariant leading `AssignLocal` out of a top-level `while`.
+///
+/// Conditions (all checked, all required for exactness):
+/// * the binding's RHS is built only from `Const`/`Param` with `+`, `-`,
+///   unary `-`, and constant scaling — total (no error branch moves) and
+///   concrete-or-linear (no `decide_sign`), and invariant because it reads
+///   no state, locals, fields, or the packet;
+/// * no other statement in the loop assigns the local, so every iteration
+///   recomputes the same value the hoisted copy already holds;
+/// * the loop guard does not read the local (the first guard evaluation
+///   originally ran before the binding);
+/// * nothing after the loop reads the local, so a zero-iteration loop that
+///   originally left it unset diverges nowhere.
+///
+/// The binding moves in front of the loop and a `Skip` takes its place in
+/// the body, so per-iteration tick counts are unchanged; the activation
+/// costs one extra tick total, the single spot where this pipeline is not
+/// exactly tick-neutral (a program would have to sit within one tick of
+/// the 100 000-tick step limit to observe it).
+fn hoist(seq: &mut Vec<CStmt>, r: &mut OptReport) {
+    let mut i = 0;
+    while i < seq.len() {
+        let hoistable = match &seq[i] {
+            CStmt::While(cond, body) => match body.first() {
+                Some(CStmt::AssignLocal(l, e)) => {
+                    invariant_total(e)
+                        && !expr_reads_local(cond, *l)
+                        && !body[1..].iter().any(|s| stmt_assigns_local(s, *l))
+                        && !seq[i + 1..].iter().any(|s| stmt_reads_local(s, *l))
+                }
+                _ => false,
+            },
+            _ => false,
+        };
+        if hoistable {
+            if let CStmt::While(cond, mut body) = seq.remove(i) {
+                let binding = body.remove(0);
+                body.insert(0, CStmt::Skip);
+                seq.insert(i, binding);
+                seq.insert(i + 1, CStmt::While(cond, body));
+                r.hoisted += 1;
+                i += 2;
+                continue;
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Loop-invariant and total: constants and parameters combined with
+/// operators that can neither fail nor case-split.
+fn invariant_total(e: &CExpr) -> bool {
+    match e {
+        CExpr::Const(_) | CExpr::Param(_) => true,
+        CExpr::Neg(x) => invariant_total(x),
+        CExpr::Binary(BinOp::Add | BinOp::Sub, a, b) => invariant_total(a) && invariant_total(b),
+        // Multiplication is total only when one side is a literal constant
+        // (constant × linear stays linear; symbolic × symbolic errors).
+        CExpr::Binary(BinOp::Mul, a, b) => {
+            (matches!(**a, CExpr::Const(_)) && invariant_total(b))
+                || (matches!(**b, CExpr::Const(_)) && invariant_total(a))
+        }
+        _ => false,
+    }
+}
+
+pub(super) fn expr_reads_local(e: &CExpr, l: usize) -> bool {
+    match e {
+        CExpr::Local(x) => *x == l,
+        CExpr::Flip(a) | CExpr::Not(a) | CExpr::Neg(a) => expr_reads_local(a, l),
+        CExpr::UniformInt(a, b) | CExpr::Binary(_, a, b) => {
+            expr_reads_local(a, l) || expr_reads_local(b, l)
+        }
+        _ => false,
+    }
+}
+
+fn stmt_reads_local(s: &CStmt, l: usize) -> bool {
+    match s {
+        CStmt::Fwd(e)
+        | CStmt::AssignState(_, e)
+        | CStmt::AssignLocal(_, e)
+        | CStmt::FieldAssign(_, e)
+        | CStmt::Assert(e)
+        | CStmt::Observe(e) => expr_reads_local(e, l),
+        CStmt::If(c, t, f) => {
+            expr_reads_local(c, l)
+                || t.iter().any(|s| stmt_reads_local(s, l))
+                || f.iter().any(|s| stmt_reads_local(s, l))
+        }
+        CStmt::While(c, b) => expr_reads_local(c, l) || b.iter().any(|s| stmt_reads_local(s, l)),
+        CStmt::New | CStmt::Drop | CStmt::Dup | CStmt::Skip => false,
+    }
+}
+
+fn stmt_assigns_local(s: &CStmt, l: usize) -> bool {
+    match s {
+        CStmt::AssignLocal(x, _) => *x == l,
+        CStmt::If(_, t, f) => {
+            t.iter().any(|s| stmt_assigns_local(s, l)) || f.iter().any(|s| stmt_assigns_local(s, l))
+        }
+        CStmt::While(_, b) => b.iter().any(|s| stmt_assigns_local(s, l)),
+        _ => false,
+    }
+}

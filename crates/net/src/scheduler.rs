@@ -34,6 +34,18 @@ pub trait Scheduler: fmt::Debug + Send + Sync {
         enabled: &[Action],
         num_nodes: usize,
     ) -> Vec<(Action, Rat, u32)>;
+
+    /// Whether the distribution commutes with node permutations: permuting
+    /// the enabled-action set permutes the returned support with unchanged
+    /// probabilities and scheduler states. Required for symmetry reduction
+    /// (see `bayonet_net::opt`): the exact engines only canonicalize
+    /// frontier configurations by orbit when the scheduler that actually
+    /// runs — which `set_scheduler` may have overridden independently of
+    /// the model's declared kind — guarantees this. Defaults to `false`;
+    /// only the uniform scheduler (stateless, `1/|enabled|` each) opts in.
+    fn permutation_invariant(&self) -> bool {
+        false
+    }
 }
 
 /// The uniform scheduler of paper Figure 6: every enabled action is equally
@@ -44,6 +56,10 @@ pub struct UniformScheduler;
 impl Scheduler for UniformScheduler {
     fn name(&self) -> &str {
         "uniform"
+    }
+
+    fn permutation_invariant(&self) -> bool {
+        true
     }
 
     fn distribution(

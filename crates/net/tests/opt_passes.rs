@@ -1,0 +1,271 @@
+//! Per-pass unit tests for the model-optimization pipeline
+//! (`bayonet_net::opt`): constant/guard folding, loop-invariant hoisting,
+//! dead-flip elimination, and topology symmetry detection — each pinned
+//! through its `OptReport` counters on a program built to trigger exactly
+//! that rewrite. Whole-posterior equivalence of the optimized model is
+//! pinned separately by `crates/exact/tests/opt_differential.rs`.
+
+use bayonet_lang::parse;
+use bayonet_net::opt::{model_facts, optimize, optimize_with, OptReport, PassConfig};
+use bayonet_net::{compile, Model};
+
+fn model(src: &str) -> Model {
+    compile(&parse(src).expect("parses")).expect("compiles")
+}
+
+fn report(src: &str) -> (Model, OptReport) {
+    let optimized = optimize(&model(src));
+    let report = optimized
+        .opt_info()
+        .expect("optimize attaches opt_info")
+        .report
+        .clone();
+    (optimized, report)
+}
+
+/// Two-node skeleton with handler bodies spliced in.
+fn two_node(a_body: &str, b_body: &str) -> String {
+    format!(
+        r#"
+        packet_fields {{ dst }}
+        parameters {{ P }}
+        topology {{ nodes {{ A, B }} links {{ (A, pt1) <-> (B, pt1) }} }}
+        programs {{ A -> a, B -> b }}
+        init {{ packet -> (A, pt1); }}
+        query probability(got@B == 1);
+        def a(pkt, pt) {a_body}
+        def b(pkt, pt) {b_body}
+        "#
+    )
+}
+
+const RECV: &str = "state got(0) { got = 1; drop; }";
+
+#[test]
+fn constant_guards_fold() {
+    let (_, r) = report(&two_node("{ if 1 < 2 { fwd(1); } else { drop; } }", RECV));
+    assert!(r.guards_folded >= 1, "{r:?}");
+    assert!(r.pass_runs >= 1, "{r:?}");
+}
+
+#[test]
+fn constant_subexpressions_fold() {
+    let (_, r) = report(&two_node(
+        "state x(0) { x = 1 + 2 + 3; if x > 0 { fwd(1); } else { drop; } }",
+        RECV,
+    ));
+    assert!(r.consts_folded >= 1, "{r:?}");
+}
+
+#[test]
+fn parameter_guards_never_fold() {
+    // Binding independence: `P` must survive every pass so one optimized
+    // model serves all sweep points and batch bindings.
+    let (optimized, r) = report(&two_node("{ if P < 5 { fwd(1); } else { drop; } }", RECV));
+    assert_eq!(r.guards_folded, 0, "{r:?}");
+    assert!(optimized.has_symbolic_params());
+}
+
+#[test]
+fn loop_invariant_binding_hoists() {
+    let (_, r) = report(&two_node(
+        "state s(0), n(0) {
+            while n < 2 { cost = P + 1; s = s + cost; n = n + 1; }
+            if s > 0 { fwd(1); } else { drop; }
+        }",
+        RECV,
+    ));
+    assert!(r.hoisted >= 1, "{r:?}");
+}
+
+#[test]
+fn dead_flip_assignment_is_eliminated() {
+    // `junk` is written with randomness but never read by any statement or
+    // query: the flip site must disappear (fewer random branches for the
+    // engines) without touching the live `got` path.
+    let (_, r) = report(&two_node(
+        "state junk(0) { junk = flip(1/2); fwd(1); }",
+        RECV,
+    ));
+    assert!(r.flips_eliminated >= 1, "{r:?}");
+    assert!(r.dead_stmts >= 1, "{r:?}");
+}
+
+#[test]
+fn dead_randomized_initializer_is_zeroed() {
+    let (_, r) = report(&two_node("state junk(flip(1/2)) { fwd(1); }", RECV));
+    assert!(r.inits_zeroed >= 1, "{r:?}");
+    // Per the field contract, zeroed initializers count as eliminated
+    // random sites too.
+    assert!(r.flips_eliminated >= r.inits_zeroed, "{r:?}");
+}
+
+#[test]
+fn live_flips_are_never_eliminated() {
+    let (_, r) = report(&two_node(
+        "state coin(0) { coin = flip(1/2); if coin == 1 { fwd(1); } else { drop; } }",
+        RECV,
+    ));
+    assert_eq!(r.flips_eliminated, 0, "{r:?}");
+}
+
+const GOSSIP_K4: &str = r#"
+    packet_fields { dst }
+    topology {
+        nodes { S0, S1, S2, S3 }
+        links {
+            (S0, pt1) <-> (S1, pt1), (S0, pt2) <-> (S2, pt1),
+            (S0, pt3) <-> (S3, pt1), (S1, pt2) <-> (S2, pt2),
+            (S1, pt3) <-> (S3, pt2), (S2, pt3) <-> (S3, pt3)
+        }
+    }
+    programs { S0 -> seed, S1 -> gossip, S2 -> gossip, S3 -> gossip }
+    init { packet -> (S0, pt1); }
+    query expectation(infected@S0 + infected@S1 + infected@S2 + infected@S3);
+    def seed(pkt, pt) state infected(0) {
+        if infected == 0 { infected = 1; fwd(uniformInt(1, 3)); } else { drop; }
+    }
+    def gossip(pkt, pt) state infected(0) {
+        if infected == 0 {
+            infected = 1; dup;
+            fwd(uniformInt(1, 3)); fwd(uniformInt(1, 3));
+        } else { drop; }
+    }
+"#;
+
+#[test]
+fn gossip_k4_has_the_full_peer_symmetry() {
+    // S1, S2, S3 are interchangeable (same program, complete graph, and
+    // the query sums over all of them): the group is S_3 acting on the
+    // peers, order 6, one non-trivial orbit {S1, S2, S3}.
+    let (optimized, r) = report(GOSSIP_K4);
+    assert_eq!(r.group_order, 6, "{}", r.symmetry_note);
+    assert_eq!(r.orbits, vec![vec![1, 2, 3]], "{r:?}");
+    let info = optimized.opt_info().unwrap();
+    let group = info.symmetry.as_ref().expect("non-trivial group kept");
+    assert_eq!(group.order(), 6);
+    assert_eq!(group.largest_orbit(), 3);
+}
+
+#[test]
+fn asymmetric_gossip_variant_has_trivial_orbits() {
+    // The same K4 gossip shape, but every peer runs a *different* program:
+    // no node permutation can preserve behavior, so the symmetry pass must
+    // report the trivial group rather than merging observably distinct
+    // states.
+    let src = GOSSIP_K4.replace(
+        "programs { S0 -> seed, S1 -> gossip, S2 -> gossip, S3 -> gossip }",
+        "programs { S0 -> seed, S1 -> gossip, S2 -> eager, S3 -> lazy }",
+    ) + r#"
+    def eager(pkt, pt) state infected(0) {
+        if infected == 0 { infected = 1; dup; fwd(1); fwd(2); } else { drop; }
+    }
+    def lazy(pkt, pt) state infected(0) {
+        if infected == 0 { infected = 1; fwd(uniformInt(1, 3)); } else { drop; }
+    }
+"#;
+    let (optimized, r) = report(&src);
+    assert_eq!(r.group_order, 1, "{}", r.symmetry_note);
+    assert!(r.orbits.is_empty(), "{r:?}");
+    assert!(optimized.opt_info().unwrap().symmetry.is_none());
+}
+
+#[test]
+fn node_state_in_the_query_blocks_asymmetric_permutations() {
+    // Querying a single peer's state breaks the S1/S2/S3 symmetry down to
+    // the stabilizer of S1: only the {S2, S3} swap survives.
+    let src = GOSSIP_K4.replace(
+        "query expectation(infected@S0 + infected@S1 + infected@S2 + infected@S3);",
+        "query expectation(infected@S1);",
+    );
+    let (_, r) = report(&src);
+    assert_eq!(r.group_order, 2, "{}", r.symmetry_note);
+    assert_eq!(r.orbits, vec![vec![2, 3]], "{r:?}");
+}
+
+#[test]
+fn disabling_individual_passes_skips_their_rewrites() {
+    let src = two_node(
+        "state junk(0) { junk = flip(1/2); if 1 < 2 { fwd(1); } else { drop; } }",
+        RECV,
+    );
+    let m = model(&src);
+    let no_fold = optimize_with(
+        &m,
+        &PassConfig {
+            fold: false,
+            ..PassConfig::default()
+        },
+    );
+    let r = &no_fold.opt_info().unwrap().report;
+    assert_eq!(r.guards_folded + r.consts_folded + r.hoisted, 0, "{r:?}");
+    let no_dead = optimize_with(
+        &m,
+        &PassConfig {
+            dead_flip: false,
+            ..PassConfig::default()
+        },
+    );
+    let r = &no_dead.opt_info().unwrap().report;
+    assert_eq!(r.dead_stmts + r.flips_eliminated, 0, "{r:?}");
+    let no_sym = optimize_with(
+        &m,
+        &PassConfig {
+            symmetry: false,
+            ..PassConfig::default()
+        },
+    );
+    let info = no_sym.opt_info().unwrap();
+    assert_eq!(info.report.group_order, 1);
+    assert!(info.symmetry.is_none());
+}
+
+#[test]
+fn attached_facts_describe_the_optimized_model() {
+    // The planner consumes `opt_info.facts` instead of re-walking the
+    // model; they must equal a fresh traversal of the *optimized* model
+    // (dead flips removed), not of the input.
+    let src = two_node(
+        "state junk(0) { junk = flip(1/2); coin = flip(1/2);
+          if coin == 1 { fwd(1); } else { drop; } }",
+        RECV,
+    );
+    let optimized = optimize(&model(&src));
+    let cached = &optimized.opt_info().unwrap().facts;
+    let fresh = model_facts(&optimized);
+    assert_eq!(cached.flip_sites, fresh.flip_sites);
+    assert_eq!(cached.uniform_sites, fresh.uniform_sites);
+    assert_eq!(cached.dup_sites, fresh.dup_sites);
+    assert_eq!(cached.shared_program_nodes, fresh.shared_program_nodes);
+    assert!((cached.handler_branching - fresh.handler_branching).abs() < 1e-12);
+    // And the dead flip is really gone from the cost model's view: only
+    // the live coin flip remains on node A.
+    assert_eq!(cached.flip_sites, 1, "{cached:?}");
+}
+
+#[test]
+fn canonicalize_maps_an_orbit_to_one_representative() {
+    use bayonet_net::{initial_config, Val};
+    let optimized = optimize(&model(GOSSIP_K4));
+    let info = optimized.opt_info().unwrap();
+    let group = info.symmetry.as_ref().expect("gossip has a group");
+    let zeros: Vec<Vec<Val>> = optimized
+        .programs
+        .iter()
+        .map(|p| vec![Val::zero(); p.state_names.len()])
+        .collect();
+    // "S2 infected" and "S3 infected" lie in one orbit (the peers are
+    // interchangeable): both must canonicalize to the same representative.
+    let mut s2_hot = initial_config(&optimized, zeros.clone()).unwrap();
+    s2_hot.nodes[2].state[0] = Val::one();
+    let mut s3_hot = initial_config(&optimized, zeros).unwrap();
+    s3_hot.nodes[3].state[0] = Val::one();
+    assert_ne!(s2_hot, s3_hot);
+    group.canonicalize(&mut s2_hot);
+    group.canonicalize(&mut s3_hot);
+    assert_eq!(s2_hot, s3_hot);
+    // Canonicalizing a representative again is a no-op.
+    let mut again = s2_hot.clone();
+    assert!(!group.canonicalize(&mut again));
+    assert_eq!(again, s2_hot);
+}

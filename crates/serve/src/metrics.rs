@@ -77,6 +77,14 @@ struct Inner {
     engine_merge_hits: u64,
     engine_peak_configs: u64,
     engine_steals: u64,
+    /// Pass-pipeline totals: pass executions, random sites eliminated,
+    /// constant guards folded (from [`bayonet_net::opt::OptReport`]), and
+    /// frontier configurations replaced by their orbit representative
+    /// (from [`EngineStats::orbit_merges`]).
+    opt_pass_runs: u64,
+    opt_flips_eliminated: u64,
+    opt_guards_folded: u64,
+    opt_orbit_states_merged: u64,
     bdd_nodes: u64,
     bdd_unique_hits: u64,
     bdd_apply_cache_hits: u64,
@@ -199,9 +207,20 @@ impl Metrics {
         inner.engine_merge_hits += stats.merge_hits;
         inner.engine_peak_configs = inner.engine_peak_configs.max(stats.peak_configs as u64);
         inner.engine_steals += stats.steals;
+        inner.opt_orbit_states_merged += stats.orbit_merges;
         inner.bdd_nodes += stats.bdd_nodes;
         inner.bdd_unique_hits += stats.bdd_unique_hits;
         inner.bdd_apply_cache_hits += stats.bdd_apply_cache_hits;
+    }
+
+    /// Folds one model optimization into the `bayonet_opt_*` totals:
+    /// `pass_runs` pass executions that eliminated `flips_eliminated`
+    /// random sites and folded `guards_folded` constant guards.
+    pub fn record_opt(&self, pass_runs: u64, flips_eliminated: u64, guards_folded: u64) {
+        let mut inner = self.inner.lock().expect("metrics mutex");
+        inner.opt_pass_runs += pass_runs;
+        inner.opt_flips_eliminated += flips_eliminated;
+        inner.opt_guards_folded += guards_folded;
     }
 
     /// Folds one request's feasibility-cache totals (hits, misses) into the
@@ -593,6 +612,39 @@ impl Metrics {
         );
         out.push_str("# TYPE bayonet_engine_steals_total counter\n");
         let _ = writeln!(out, "bayonet_engine_steals_total {}", inner.engine_steals);
+        out.push_str("# HELP bayonet_opt_pass_runs_total Model-optimization pass executions.\n");
+        out.push_str("# TYPE bayonet_opt_pass_runs_total counter\n");
+        let _ = writeln!(out, "bayonet_opt_pass_runs_total {}", inner.opt_pass_runs);
+        out.push_str(
+            "# HELP bayonet_opt_flips_eliminated_total Random sites removed by \
+             dead-flip elimination.\n",
+        );
+        out.push_str("# TYPE bayonet_opt_flips_eliminated_total counter\n");
+        let _ = writeln!(
+            out,
+            "bayonet_opt_flips_eliminated_total {}",
+            inner.opt_flips_eliminated
+        );
+        out.push_str(
+            "# HELP bayonet_opt_guards_folded_total Constant guards folded by the \
+             pass pipeline.\n",
+        );
+        out.push_str("# TYPE bayonet_opt_guards_folded_total counter\n");
+        let _ = writeln!(
+            out,
+            "bayonet_opt_guards_folded_total {}",
+            inner.opt_guards_folded
+        );
+        out.push_str(
+            "# HELP bayonet_opt_orbit_states_merged_total Frontier configurations \
+             replaced by their symmetry-orbit representative.\n",
+        );
+        out.push_str("# TYPE bayonet_opt_orbit_states_merged_total counter\n");
+        let _ = writeln!(
+            out,
+            "bayonet_opt_orbit_states_merged_total {}",
+            inner.opt_orbit_states_merged
+        );
         out.push_str("# HELP bayonet_bdd_nodes_total ADD store decision nodes allocated.\n");
         out.push_str("# TYPE bayonet_bdd_nodes_total counter\n");
         let _ = writeln!(out, "bayonet_bdd_nodes_total {}", inner.bdd_nodes);
@@ -737,12 +789,14 @@ mod tests {
             merge_hits: 3,
             terminal_configs: 2,
             steals: 4,
+            orbit_merges: 12,
             feasibility_hits: 0,
             feasibility_misses: 0,
             bdd_nodes: 21,
             bdd_unique_hits: 13,
             bdd_apply_cache_hits: 8,
         });
+        m.record_opt(3, 2, 1);
         m.record_feasibility(11, 5);
         m.record_planner_decision("bdd");
         m.record_planner_decision("bdd");
@@ -784,6 +838,10 @@ mod tests {
         assert!(text.contains("bayonet_engine_steals_total 4"));
         assert!(text.contains("bayonet_engine_feasibility_hits_total 11"));
         assert!(text.contains("bayonet_engine_feasibility_misses_total 5"));
+        assert!(text.contains("bayonet_opt_pass_runs_total 3"));
+        assert!(text.contains("bayonet_opt_flips_eliminated_total 2"));
+        assert!(text.contains("bayonet_opt_guards_folded_total 1"));
+        assert!(text.contains("bayonet_opt_orbit_states_merged_total 12"));
         assert!(text.contains("bayonet_bdd_nodes_total 21"));
         assert!(text.contains("bayonet_bdd_unique_hits_total 13"));
         assert!(text.contains("bayonet_bdd_apply_cache_hits_total 8"));

@@ -31,6 +31,7 @@ use bayonet_exact::{
     QueryResult, SweepResult, SynthesisOptions,
 };
 use bayonet_lang::{check, parse, pretty_program, Program};
+use bayonet_net::opt::optimize;
 use bayonet_net::{compile, scheduler_for, Deadline, Model, Scheduler};
 use bayonet_num::Rat;
 
@@ -178,6 +179,7 @@ impl Service {
             deadline,
             threads,
             pool: self.pool.clone(),
+            passes: req.passes,
             ..ExactOptions::default()
         }
     }
@@ -250,12 +252,22 @@ impl Service {
         if parsed.engine == Engine::Auto {
             if req.path == "/v1/run" {
                 let (model, scheduler) = parsed.build_model()?;
+                // Plan against the optimized model: the cost model reads
+                // the cached pass facts and symmetry signals. The optimized
+                // model is kept only for exact routes — sampling engines
+                // run the original (see `run_engine`).
+                let optimized = parsed.passes.then(|| optimize(&model));
                 let budget = parsed.timeout_ms.map(Duration::from_millis);
-                match self.plan_auto(&mut parsed, &model, budget) {
+                match self.plan_auto(&mut parsed, optimized.as_ref().unwrap_or(&model), budget) {
                     Ok(p) => plan = Some(p),
                     Err(rejection) => return Ok(rejection),
                 }
-                prebuilt = Some((model, scheduler));
+                let exact_route = matches!(parsed.engine, Engine::Exact | Engine::Bdd);
+                let chosen = match (optimized, exact_route) {
+                    (Some(opt), true) => opt,
+                    _ => model,
+                };
+                prebuilt = Some((chosen, scheduler));
             } else {
                 // `/v1/check` never runs an engine and `/v1/synthesize`
                 // always runs the exact enumeration core, so auto resolves
@@ -423,6 +435,25 @@ impl Service {
     ) -> Result<Response, ApiError> {
         match req.engine {
             Engine::Exact | Engine::Bdd => {
+                // The exact family runs the optimized model unless the
+                // request opted out; sampling engines stay unoptimized
+                // because pass rewrites change the draw sequence for a
+                // fixed seed. Auto-routed requests arrive pre-optimized —
+                // `opt_info` makes this idempotent.
+                let optimized;
+                let model = if req.passes && model.opt_info().is_none() {
+                    optimized = optimize(model);
+                    &optimized
+                } else {
+                    model
+                };
+                if req.passes {
+                    if let Some(info) = model.opt_info() {
+                        let r = &info.report;
+                        self.metrics
+                            .record_opt(r.pass_runs, r.flips_eliminated, r.guards_folded);
+                    }
+                }
                 // Per-request feasibility memo table, shared between the
                 // analysis and every query answer; its totals feed the
                 // metrics aggregates once, below.
@@ -1029,6 +1060,17 @@ impl Service {
         let canonical = pretty_program(&program);
         let mut model = check_and_compile(&program)?;
         apply_bindings(&mut model, &sreq.bindings)?;
+        // Optimize up front (rather than letting the sweep engine do it)
+        // so the pass report feeds the metrics registry; the sweep's own
+        // hook sees `opt_info` already attached and skips re-running.
+        if sreq.passes {
+            model = optimize(&model);
+            if let Some(info) = model.opt_info() {
+                let r = &info.report;
+                self.metrics
+                    .record_opt(r.pass_runs, r.flips_eliminated, r.guards_folded);
+            }
+        }
 
         // Resolve swept names against the declared parameter table before
         // any engine work; a typo'd name is a structured 400, not 16
@@ -1090,6 +1132,7 @@ impl Service {
             deadline,
             threads,
             pool: self.pool.clone(),
+            passes: sreq.passes,
             ..ExactOptions::default()
         };
         opts.engine = match sreq.engine {
@@ -1226,6 +1269,8 @@ struct SweepRequest {
     sweep: Vec<(String, Vec<Rat>)>,
     timeout_ms: Option<u64>,
     threads: Option<usize>,
+    /// Whether to run the model-optimization pass pipeline (default true).
+    passes: bool,
 }
 
 impl SweepRequest {
@@ -1250,6 +1295,7 @@ impl SweepRequest {
             "bindings",
             "timeout_ms",
             "threads",
+            "passes",
         ];
         for (key, _) in pairs {
             if !known.contains(&key.as_str()) {
@@ -1431,6 +1477,14 @@ impl SweepRequest {
         let timeout_ms = bounded("timeout_ms", 1, MAX_TIMEOUT_MS)?;
         let threads = bounded("threads", 1, MAX_REQUEST_THREADS)?.map(|v| v as usize);
 
+        // Defaults to *true*, matching `/v1/run` and the CLI.
+        let passes = match doc.get("passes") {
+            None | Some(Json::Null) => true,
+            Some(v) => v
+                .as_bool()
+                .ok_or_else(|| bad("`passes` must be a boolean".into(), Some("passes".into())))?,
+        };
+
         Ok(SweepRequest {
             source,
             engine,
@@ -1438,6 +1492,7 @@ impl SweepRequest {
             sweep,
             timeout_ms,
             threads,
+            passes,
         })
     }
 
@@ -1467,6 +1522,7 @@ impl SweepRequest {
         "/v1/sweep".hash(&mut h);
         canonical_program.hash(&mut h);
         self.engine.name().hash(&mut h);
+        self.passes.hash(&mut h);
         for (name, value) in &self.bindings {
             name.hash(&mut h);
             value.to_string().hash(&mut h);
@@ -1833,6 +1889,10 @@ struct InferenceRequest {
     threads: Option<usize>,
     maximize: bool,
     allow_zero_params: bool,
+    /// Whether to run the model-optimization pass pipeline (default true;
+    /// `"passes": false` mirrors the CLI's `--no-opt`). Part of the cache
+    /// key: pass-on and pass-off runs report different engine stats.
+    passes: bool,
 }
 
 impl InferenceRequest {
@@ -1875,6 +1935,7 @@ impl InferenceRequest {
             "threads",
             "maximize",
             "allow_zero_params",
+            "passes",
         ];
         for (key, _) in doc.as_obj().expect("checked") {
             if !known.contains(&key.as_str()) {
@@ -1986,6 +2047,14 @@ impl InferenceRequest {
         let timeout_ms = bounded_field("timeout_ms", 1, MAX_TIMEOUT_MS)?;
         let threads = bounded_field("threads", 1, MAX_REQUEST_THREADS)?.map(|v| v as usize);
 
+        // Unlike the other boolean knobs, `passes` defaults to *true*.
+        let passes = match doc.get("passes") {
+            None | Some(Json::Null) => true,
+            Some(v) => v
+                .as_bool()
+                .ok_or_else(|| bad("`passes` must be a boolean".into()))?,
+        };
+
         Ok(InferenceRequest {
             source,
             engine,
@@ -1997,6 +2066,7 @@ impl InferenceRequest {
             threads,
             maximize: bool_field("maximize")?,
             allow_zero_params: bool_field("allow_zero_params")?,
+            passes,
         })
     }
 
@@ -2017,6 +2087,7 @@ impl InferenceRequest {
         self.seed.hash(&mut h);
         self.maximize.hash(&mut h);
         self.allow_zero_params.hash(&mut h);
+        self.passes.hash(&mut h);
         for (name, value) in &self.bindings {
             name.hash(&mut h);
             value.to_string().hash(&mut h);

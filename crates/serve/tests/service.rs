@@ -250,11 +250,12 @@ fn batch_is_byte_identical_to_sequential_runs_for_every_example() {
     let programs = example_programs();
     let mut expected_items = 0u64;
     for (round, (name, source)) in programs.iter().enumerate() {
-        // `lossy_link.bay` samples `flip(P_LOSS)`, which the exact engine
-        // only accepts with a concrete binding; everything else runs
-        // symbolically. Bindings are part of the cache key, so all ten
-        // items carry the same ones.
-        let bindings = (name == "lossy_link.bay").then_some(r#""bindings":{"P_LOSS":"1/10"}"#);
+        // `lossy_link.bay` and `fattree_k4.bay` sample `flip(P_LOSS)`,
+        // which the exact engine only accepts with a concrete binding;
+        // everything else runs symbolically. Bindings are part of the
+        // cache key, so all ten items carry the same ones.
+        let bindings = matches!(name.as_str(), "lossy_link.bay" | "fattree_k4.bay")
+            .then_some(r#""bindings":{"P_LOSS":"1/10"}"#);
         // Ten items sharing one source. Odd items carry extra per-item
         // knobs (`timeout_ms`, `threads`) that must not change a byte of
         // the result — both are deliberately excluded from the cache key.
@@ -413,4 +414,50 @@ fn mixed_engine_batch_matches_sequential_runs() {
 
     batch_server.shutdown();
     sequential_server.shutdown();
+}
+
+#[test]
+fn optimization_metrics_prove_symmetry_reduction() {
+    let handle = start(common::test_config()).expect("start server");
+    let addr = handle.addr();
+
+    // Passes default on: the gossip run folds through the pipeline, and
+    // its three interchangeable peers make the frontier canonicalization
+    // actually merge states — the orbit counter must move.
+    let (status, optimized) = common::post_run(addr, GOSSIP_K4);
+    assert_eq!(status, 200, "{optimized}");
+    let text = common::metrics(addr);
+    assert!(
+        common::metric(&text, "bayonet_opt_pass_runs_total") >= 1,
+        "{text}"
+    );
+    let merged = common::metric(&text, "bayonet_opt_orbit_states_merged_total");
+    assert!(merged > 0, "symmetry reduction merged no states:\n{text}");
+
+    // Opting out answers identically but records no optimization work.
+    let body = Json::obj(vec![
+        ("source", Json::Str(GOSSIP_K4.into())),
+        ("passes", Json::Bool(false)),
+    ])
+    .to_string();
+    let (status, _, plain) = http(addr, "POST", "/v1/run", &body);
+    assert_eq!(status, 200, "{plain}");
+    // Identical up to the engine-stats bracket (which *should* shrink:
+    // fewer expansions and a smaller peak under canonicalization).
+    let posterior = |payload: &str| -> String {
+        let doc = bayonet_serve::parse_json(payload).expect("json");
+        let text = doc.get("text").and_then(Json::as_str).unwrap();
+        text.lines()
+            .filter(|l| !l.starts_with('['))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(posterior(&optimized), posterior(&plain));
+    let after = common::metrics(addr);
+    assert_eq!(
+        common::metric(&after, "bayonet_opt_orbit_states_merged_total"),
+        merged,
+        "{after}"
+    );
+    handle.shutdown();
 }

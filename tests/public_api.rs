@@ -19,12 +19,18 @@ const COIN_SRC: &str = r#"
 #[test]
 fn scheduler_override_changes_behavior() {
     // Gossip expectation is scheduler-independent: overriding the scheduler
-    // must keep the answer while changing the exploration.
+    // must keep the answer while changing the exploration. Compare raw
+    // trace trees: symmetry reduction (uniform-scheduler only) would mask
+    // the scheduler-branching effect asserted below.
+    let no_opt = bayonet_repro::ExactOptions {
+        passes: false,
+        ..Default::default()
+    };
     let mut n = scenarios::gossip(4, Sched::Uniform).unwrap();
-    let uniform_stats = n.exact().unwrap();
+    let uniform_stats = n.exact_with(&no_opt).unwrap();
     n.set_scheduler(Box::new(RotorScheduler));
     assert_eq!(n.scheduler().name(), "rotor");
-    let rotor_stats = n.exact().unwrap();
+    let rotor_stats = n.exact_with(&no_opt).unwrap();
     assert_eq!(uniform_stats.results[0].rat(), rotor_stats.results[0].rat());
     assert!(rotor_stats.stats.peak_configs < uniform_stats.stats.peak_configs);
 
